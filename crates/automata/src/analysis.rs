@@ -1,0 +1,183 @@
+//! Language analyses used by the planner and the baselines.
+//!
+//! * [`required_symbols`] feeds baseline **G2** (Koschmieder & Leser,
+//!   SSDBM 2012): a symbol that occurs in *every* accepted word is a
+//!   candidate "rare label" at which the query can be split.
+//! * [`is_empty`] / [`contains_epsilon`] are used throughout query
+//!   planning (e.g. to decide whether `u —R→ u` holds on a DAG run).
+//! * [`enumerate_words`] is a test oracle.
+
+use crate::ast::Symbol;
+use crate::dfa::Dfa;
+
+/// Is `L(dfa)` empty?
+pub fn is_empty(dfa: &Dfa) -> bool {
+    dfa.is_empty()
+}
+
+/// Is ε ∈ `L(dfa)`?
+pub fn contains_epsilon(dfa: &Dfa) -> bool {
+    dfa.accepts_epsilon()
+}
+
+/// Symbols that occur in **every** non-empty accepted word.
+///
+/// Computed per symbol `a` by testing whether the language restricted to
+/// transitions avoiding `a` still reaches an accepting state — i.e.
+/// whether `L(R) ∩ (Γ∖{a})* = ∅` (then `a` is required). ε-acceptance is
+/// ignored: a query that accepts ε has no useful splitting symbol anyway,
+/// and G2 falls back to plain product search.
+pub fn required_symbols(dfa: &Dfa) -> Vec<Symbol> {
+    let mut out = Vec::new();
+    for a in 0..dfa.n_symbols() {
+        if symbol_is_required(dfa, Symbol(a as u32)) {
+            out.push(Symbol(a as u32));
+        }
+    }
+    out
+}
+
+fn symbol_is_required(dfa: &Dfa, avoid: Symbol) -> bool {
+    // Forward reachability from the start using only symbols != avoid.
+    let mut seen = vec![false; dfa.n_states()];
+    let mut stack = vec![dfa.start()];
+    seen[dfa.start() as usize] = true;
+    while let Some(q) = stack.pop() {
+        // A non-ε word must exist: we accept "required" only if no word
+        // (including ε) avoiding `avoid` is accepted. ε acceptance means
+        // the start state is accepting.
+        if dfa.is_accepting(q) && q != dfa.start() {
+            return false;
+        }
+        for s in 0..dfa.n_symbols() {
+            if s == avoid.index() {
+                continue;
+            }
+            let to = dfa.next(q, Symbol(s as u32));
+            if !seen[to as usize] {
+                seen[to as usize] = true;
+                stack.push(to);
+            }
+        }
+    }
+    // Start state accepting = ε accepted without the symbol; then the
+    // symbol is not required for *all* accepted words.
+    !dfa.accepts_epsilon()
+}
+
+/// Enumerate all accepted words of length ≤ `max_len` (test oracle;
+/// exponential, use only with tiny alphabets).
+pub fn enumerate_words(dfa: &Dfa, max_len: usize) -> Vec<Vec<Symbol>> {
+    let mut out = Vec::new();
+    let mut frontier: Vec<Vec<Symbol>> = vec![vec![]];
+    if dfa.accepts_epsilon() {
+        out.push(vec![]);
+    }
+    for _ in 0..max_len {
+        let mut next = Vec::new();
+        for w in &frontier {
+            for a in 0..dfa.n_symbols() {
+                let mut w2 = w.clone();
+                w2.push(Symbol(a as u32));
+                if dfa.accepts(&w2) {
+                    out.push(w2.clone());
+                }
+                next.push(w2);
+            }
+        }
+        frontier = next;
+    }
+    out
+}
+
+/// Length of the shortest accepted word, if any (BFS over states).
+pub fn shortest_word_len(dfa: &Dfa) -> Option<usize> {
+    let mut dist = vec![usize::MAX; dfa.n_states()];
+    let mut queue = std::collections::VecDeque::new();
+    dist[dfa.start() as usize] = 0;
+    queue.push_back(dfa.start());
+    while let Some(q) = queue.pop_front() {
+        if dfa.is_accepting(q) {
+            return Some(dist[q as usize]);
+        }
+        for a in 0..dfa.n_symbols() {
+            let to = dfa.next(q, Symbol(a as u32));
+            if dist[to as usize] == usize::MAX {
+                dist[to as usize] = dist[q as usize] + 1;
+                queue.push_back(to);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Regex;
+    use crate::compile_minimal_dfa;
+
+    fn sym(i: u32) -> Symbol {
+        Symbol(i)
+    }
+
+    fn s(i: u32) -> Regex {
+        Regex::Sym(sym(i))
+    }
+
+    #[test]
+    fn required_symbols_of_ifq() {
+        // ⎵* t0 ⎵* t1 ⎵* requires t0 and t1.
+        let dfa = compile_minimal_dfa(&Regex::ifq(&[sym(0), sym(1)]), 4);
+        assert_eq!(required_symbols(&dfa), vec![sym(0), sym(1)]);
+    }
+
+    #[test]
+    fn alternation_kills_requirement() {
+        // (t0|t1) t2 requires t2 only.
+        let re = Regex::concat(vec![Regex::alt(vec![s(0), s(1)]), s(2)]);
+        let dfa = compile_minimal_dfa(&re, 3);
+        assert_eq!(required_symbols(&dfa), vec![sym(2)]);
+    }
+
+    #[test]
+    fn star_is_never_required() {
+        let dfa = compile_minimal_dfa(&Regex::star(s(0)), 2);
+        assert!(required_symbols(&dfa).is_empty());
+    }
+
+    #[test]
+    fn plus_is_required() {
+        let dfa = compile_minimal_dfa(&Regex::plus(s(0)), 2);
+        assert_eq!(required_symbols(&dfa), vec![sym(0)]);
+    }
+
+    #[test]
+    fn empty_language_trivially_requires_everything() {
+        let dfa = compile_minimal_dfa(&Regex::Empty, 2);
+        assert_eq!(required_symbols(&dfa), vec![sym(0), sym(1)]);
+    }
+
+    #[test]
+    fn enumerate_words_oracle() {
+        let dfa = compile_minimal_dfa(&Regex::alt(vec![Regex::Epsilon, s(1)]), 2);
+        let words = enumerate_words(&dfa, 2);
+        assert_eq!(words, vec![vec![], vec![sym(1)]]);
+    }
+
+    #[test]
+    fn shortest_word() {
+        assert_eq!(
+            shortest_word_len(&compile_minimal_dfa(&Regex::ifq(&[sym(0), sym(1)]), 2)),
+            Some(2)
+        );
+        assert_eq!(
+            shortest_word_len(&compile_minimal_dfa(&Regex::Empty, 2)),
+            None
+        );
+        assert_eq!(
+            shortest_word_len(&compile_minimal_dfa(&Regex::any_star(), 2)),
+            Some(0)
+        );
+    }
+}

@@ -1,0 +1,67 @@
+#![warn(missing_docs)]
+
+//! Regular-expression and finite-automaton machinery for regular path
+//! queries over workflow provenance.
+//!
+//! The paper (Huang et al., ICDE 2015) relies on the `dk.brics.automaton`
+//! Java library to parse regular expressions and minimize DFAs; this crate
+//! is the Rust replacement. It provides:
+//!
+//! * a regex AST over an interned symbol alphabet ([`Regex`]),
+//! * a text syntax for queries ([`parse`]), e.g. `"_* e _*"` for the
+//!   paper's query `R3` and `"x (a1|a2)+ s _* p"` for the introduction's
+//!   example,
+//! * Thompson-style NFAs ([`nfa::Nfa`]),
+//! * complete (total) DFAs via subset construction ([`dfa::Dfa`]),
+//! * Hopcroft minimization ([`minimize::minimize`]),
+//! * language analyses used by the query planner and the baselines
+//!   ([`analysis`]).
+//!
+//! Symbols are small integers ([`Symbol`]); callers (the grammar crate)
+//! intern edge-tag names to symbols. The *wildcard* `_` matches any single
+//! symbol of the alphabet, mirroring the paper's `⎵` tag wildcard.
+
+pub mod analysis;
+pub mod ast;
+pub mod dfa;
+pub mod minimize;
+pub mod nfa;
+pub mod parser;
+
+pub use analysis::{contains_epsilon, is_empty, required_symbols};
+pub use ast::{Regex, Symbol};
+pub use dfa::{Dfa, StateId, DEAD_STATE_NONE};
+pub use minimize::minimize;
+pub use nfa::Nfa;
+pub use parser::{parse, ParseError};
+
+/// Compile a regex AST straight to a *minimal, complete* DFA over an
+/// alphabet of `n_symbols` symbols.
+///
+/// This is the one-stop entry point used by the query planner: the paper's
+/// Lemma 3.2 shows safety checking may (and should) be performed on the
+/// minimal DFA.
+pub fn compile_minimal_dfa(regex: &Regex, n_symbols: usize) -> Dfa {
+    let nfa = Nfa::from_regex(regex, n_symbols);
+    let dfa = Dfa::from_nfa(&nfa);
+    minimize(&dfa)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_to_end_compile_ifq() {
+        // _* a _* over alphabet {a, b}: minimal DFA has 2 states.
+        let re = parse("_* s0 _*", &mut |name| match name {
+            "s0" => Some(Symbol(0)),
+            _ => None,
+        })
+        .unwrap();
+        let dfa = compile_minimal_dfa(&re, 2);
+        assert_eq!(dfa.n_states(), 2);
+        assert!(dfa.accepts(&[Symbol(1), Symbol(0), Symbol(1)]));
+        assert!(!dfa.accepts(&[Symbol(1), Symbol(1)]));
+    }
+}

@@ -1,0 +1,300 @@
+//! DFA minimization (Moore partition refinement).
+//!
+//! Lemma 3.2 of the paper shows that checking query safety on the
+//! *minimal* DFA is both sound and complete, and the minimal DFA also
+//! bounds the size of the query-intersected grammar `G_R` (each module of
+//! `G_R` carries `|Q|` input and `|Q|` output ports), so minimization is
+//! on the critical path of the whole approach.
+//!
+//! The implementation trims unreachable states and then runs Moore's
+//! partition refinement to a fixpoint: states are repeatedly re-grouped
+//! by the signature (current class, class of each successor). Moore is
+//! `O(n²·|Γ|)` versus Hopcroft's `O(n·|Γ|·log n)`, but query DFAs here
+//! are tiny (an IFQ of size k has k+1 states) while correctness is
+//! load-bearing — an earlier Hopcroft variant lost pending-splitter
+//! obligations and was caught by the referee property tests.
+
+use crate::ast::Symbol;
+use crate::dfa::Dfa;
+use std::collections::HashMap;
+
+/// Minimize a complete DFA. The result is again complete, with states
+/// renumbered so the start state is `0` and the remaining states follow
+/// a breadth-first order (deterministic output for equal inputs —
+/// equal-language minimal DFAs are structurally identical).
+pub fn minimize(dfa: &Dfa) -> Dfa {
+    let reachable = reachable_states(dfa);
+    let n_symbols = dfa.n_symbols();
+
+    // Compact reachable states.
+    let mut compact: Vec<u32> = vec![u32::MAX; dfa.n_states()];
+    let mut originals: Vec<u32> = Vec::new();
+    for (q, &r) in reachable.iter().enumerate() {
+        if r {
+            compact[q] = originals.len() as u32;
+            originals.push(q as u32);
+        }
+    }
+    let n = originals.len();
+    debug_assert!(n > 0, "start state is always reachable");
+
+    // Transition table restricted to reachable states.
+    let mut table = vec![0u32; n * n_symbols];
+    let mut accepting = vec![false; n];
+    for (i, &orig) in originals.iter().enumerate() {
+        accepting[i] = dfa.is_accepting(orig);
+        for a in 0..n_symbols {
+            let to = dfa.next(orig, Symbol(a as u32));
+            debug_assert!(reachable[to as usize]);
+            table[i * n_symbols + a] = compact[to as usize];
+        }
+    }
+
+    // Moore refinement to a fixpoint.
+    let mut class: Vec<u32> = accepting.iter().map(|&a| u32::from(a)).collect();
+    let mut n_classes = if accepting.iter().any(|&a| a) && accepting.iter().any(|&a| !a) {
+        2
+    } else {
+        1
+    };
+    // Normalize classes so ids are dense from 0 even if all states agree.
+    if n_classes == 1 {
+        class.fill(0);
+    }
+    loop {
+        let mut sig_index: HashMap<Vec<u32>, u32> = HashMap::with_capacity(n_classes * 2);
+        let mut next_class = vec![0u32; n];
+        for q in 0..n {
+            let mut sig = Vec::with_capacity(n_symbols + 1);
+            sig.push(class[q]);
+            for a in 0..n_symbols {
+                sig.push(class[table[q * n_symbols + a] as usize]);
+            }
+            let next_id = sig_index.len() as u32;
+            next_class[q] = *sig_index.entry(sig).or_insert(next_id);
+        }
+        let new_count = sig_index.len();
+        class = next_class;
+        if new_count == n_classes {
+            break;
+        }
+        n_classes = new_count;
+    }
+
+    // Rebuild the quotient automaton with BFS numbering from the start.
+    let start_compact = compact[dfa.start() as usize] as usize;
+    // A representative state per class.
+    let mut rep: Vec<usize> = vec![usize::MAX; n_classes];
+    for (q, &c) in class.iter().enumerate() {
+        if rep[c as usize] == usize::MAX {
+            rep[c as usize] = q;
+        }
+    }
+
+    let mut renumber: Vec<u32> = vec![u32::MAX; n_classes];
+    let mut order: Vec<usize> = Vec::with_capacity(n_classes);
+    let start_class = class[start_compact] as usize;
+    renumber[start_class] = 0;
+    order.push(start_class);
+    let mut head = 0;
+    while head < order.len() {
+        let c = order[head];
+        head += 1;
+        let r = rep[c];
+        for a in 0..n_symbols {
+            let tc = class[table[r * n_symbols + a] as usize] as usize;
+            if renumber[tc] == u32::MAX {
+                renumber[tc] = order.len() as u32;
+                order.push(tc);
+            }
+        }
+    }
+    // Every class contains a reachable state, and the partition is a
+    // congruence at the fixpoint, so BFS over representatives visits all
+    // classes.
+    debug_assert_eq!(order.len(), n_classes);
+
+    let mut out_table = vec![0u32; n_classes * n_symbols];
+    let mut out_accepting = vec![false; n_classes];
+    for (new_id, &c) in order.iter().enumerate() {
+        let r = rep[c];
+        out_accepting[new_id] = accepting[r];
+        for a in 0..n_symbols {
+            let tc = class[table[r * n_symbols + a] as usize] as usize;
+            out_table[new_id * n_symbols + a] = renumber[tc];
+        }
+    }
+
+    Dfa::from_parts(n_symbols, out_table, 0, out_accepting)
+}
+
+fn reachable_states(dfa: &Dfa) -> Vec<bool> {
+    let mut seen = vec![false; dfa.n_states()];
+    let mut stack = vec![dfa.start()];
+    seen[dfa.start() as usize] = true;
+    while let Some(q) = stack.pop() {
+        for a in 0..dfa.n_symbols() {
+            let to = dfa.next(q, Symbol(a as u32));
+            if !seen[to as usize] {
+                seen[to as usize] = true;
+                stack.push(to);
+            }
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Regex, Symbol};
+    use crate::nfa::Nfa;
+
+    fn sym(i: u32) -> Symbol {
+        Symbol(i)
+    }
+
+    fn s(i: u32) -> Regex {
+        Regex::Sym(sym(i))
+    }
+
+    fn min_of(re: &Regex, n: usize) -> Dfa {
+        minimize(&Dfa::from_nfa(&Nfa::from_regex(re, n)))
+    }
+
+    fn all_words(n_syms: u32, max_len: usize) -> Vec<Vec<Symbol>> {
+        let mut words: Vec<Vec<Symbol>> = vec![vec![]];
+        let mut frontier = vec![vec![]];
+        for _ in 0..max_len {
+            let mut next = Vec::new();
+            for w in &frontier {
+                for a in 0..n_syms {
+                    let mut w2: Vec<Symbol> = w.clone();
+                    w2.push(sym(a));
+                    next.push(w2);
+                }
+            }
+            words.extend(next.iter().cloned());
+            frontier = next;
+        }
+        words
+    }
+
+    #[test]
+    fn minimization_preserves_language() {
+        let res = [
+            Regex::ifq(&[sym(0), sym(1)]),
+            Regex::star(Regex::alt(vec![s(0), Regex::concat(vec![s(1), s(2)])])),
+            Regex::alt(vec![
+                Regex::concat(vec![s(0), Regex::star(s(1))]),
+                Regex::concat(vec![s(0), Regex::star(s(2))]),
+            ]),
+            Regex::Empty,
+            Regex::Epsilon,
+            Regex::concat(vec![
+                Regex::alt(vec![s(0), s(1)]),
+                Regex::plus(Regex::alt(vec![s(1), s(2)])),
+                Regex::optional(s(0)),
+            ]),
+        ];
+        for re in &res {
+            let dfa = Dfa::from_nfa(&Nfa::from_regex(re, 3));
+            let min = minimize(&dfa);
+            assert!(min.n_states() <= dfa.n_states());
+            for w in all_words(3, 5) {
+                assert_eq!(min.accepts(&w), dfa.accepts(&w), "{re:?} on {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn minimal_sizes_match_theory() {
+        // ⎵* e ⎵* (paper's R3): 2 states.
+        let r3 = Regex::ifq(&[sym(0)]);
+        assert_eq!(min_of(&r3, 2).n_states(), 2);
+
+        // Single symbol `e` over {e, x}: start, accept, dead = 3 states.
+        assert_eq!(min_of(&s(0), 2).n_states(), 3);
+
+        // ⎵* : 1 state.
+        assert_eq!(min_of(&Regex::any_star(), 4).n_states(), 1);
+
+        // ∅: 1 state.
+        assert_eq!(min_of(&Regex::Empty, 2).n_states(), 1);
+
+        // IFQ with k symbols: k+1 states (no dead state needed thanks to
+        // the trailing ⎵*).
+        for k in 0..6u32 {
+            let syms: Vec<Symbol> = (0..k).map(|_| sym(0)).collect();
+            let re = Regex::ifq(&syms);
+            assert_eq!(min_of(&re, 2).n_states(), (k + 1) as usize, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn idempotent() {
+        let re = Regex::star(Regex::alt(vec![s(0), Regex::concat(vec![s(1), s(0)])]));
+        let once = min_of(&re, 2);
+        let twice = minimize(&once);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn minimization_is_canonical_for_equivalent_regexes() {
+        // (a|b)* and (a* b*)* denote the same language.
+        let lhs = min_of(&Regex::star(Regex::alt(vec![s(0), s(1)])), 2);
+        let rhs = min_of(
+            &Regex::star(Regex::concat(vec![Regex::star(s(0)), Regex::star(s(1))])),
+            2,
+        );
+        // BFS renumbering makes equal-language minimal DFAs structurally
+        // identical.
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn start_state_is_zero() {
+        let m = min_of(&Regex::ifq(&[sym(1)]), 3);
+        assert_eq!(m.start(), 0);
+    }
+
+    #[test]
+    fn randomized_minimization_agrees_with_equivalence() {
+        // Random regexes: minimized DFA must be language-equivalent to
+        // the unminimized one (checked via product-complement emptiness)
+        // and no larger.
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        fn random_regex(rng: &mut SmallRng, depth: usize) -> Regex {
+            if depth == 0 {
+                return match rng.gen_range(0..6) {
+                    0 => Regex::Wildcard,
+                    1 => Regex::Epsilon,
+                    _ => Regex::Sym(Symbol(rng.gen_range(0..3))),
+                };
+            }
+            match rng.gen_range(0..8) {
+                0..=2 => Regex::concat(vec![
+                    random_regex(rng, depth - 1),
+                    random_regex(rng, depth - 1),
+                ]),
+                3..=5 => Regex::alt(vec![
+                    random_regex(rng, depth - 1),
+                    random_regex(rng, depth - 1),
+                ]),
+                6 => Regex::star(random_regex(rng, depth - 1)),
+                _ => Regex::plus(random_regex(rng, depth - 1)),
+            }
+        }
+        let mut rng = SmallRng::seed_from_u64(42);
+        for _ in 0..200 {
+            let re = random_regex(&mut rng, 3);
+            let dfa = Dfa::from_nfa(&Nfa::from_regex(&re, 3));
+            let min = minimize(&dfa);
+            assert!(min.n_states() <= dfa.n_states());
+            assert!(min.equivalent(&dfa), "not equivalent for {re:?}");
+            // Idempotence on arbitrary inputs.
+            assert_eq!(minimize(&min), min);
+        }
+    }
+}

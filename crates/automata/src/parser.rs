@@ -1,0 +1,367 @@
+//! Text syntax for regular path queries.
+//!
+//! ```text
+//! alt    := cat ('|' cat)*
+//! cat    := postfix+                (juxtaposition concatenates)
+//! postfix:= atom ('*' | '+' | '?')*
+//! atom   := IDENT | '_' | '~' | '(' alt ')'
+//! IDENT  := [A-Za-z][A-Za-z0-9_.:-]*  (must start with a letter)
+//! ```
+//!
+//! `_` is the single-symbol wildcard (the paper's `⎵`), `~` is ε.
+//! Whitespace separates tokens and is otherwise ignored, so the paper's
+//! query `R3 = ⎵* e ⎵*` is written `"_* e _*"` and the introduction's
+//! example `x.(a1|a2)+.s.⎵*.p` is written `"x (a1|a2)+ s _* p"`.
+//! (An infix `.` is *not* an operator; `.` may appear inside identifiers
+//! because myExperiment module names contain dots.)
+//!
+//! Symbol identifiers are resolved through a caller-supplied interner
+//! closure so the parser stays independent of the grammar crate.
+
+use crate::ast::{Regex, Symbol};
+use std::fmt;
+
+/// Parse failure, with a byte offset into the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the offending token.
+    pub at: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a query string, resolving identifiers via `intern`.
+///
+/// `intern` returns `None` for unknown tag names, which is reported as a
+/// parse error (queries over tags the workflow cannot produce are almost
+/// always user mistakes; callers wanting "unknown tag = empty language"
+/// semantics can intern to a fresh symbol instead).
+pub fn parse(
+    input: &str,
+    intern: &mut dyn FnMut(&str) -> Option<Symbol>,
+) -> Result<Regex, ParseError> {
+    let mut p = Parser {
+        tokens: lex(input)?,
+        pos: 0,
+        intern,
+    };
+    let re = p.alt()?;
+    if p.pos != p.tokens.len() {
+        let t = &p.tokens[p.pos];
+        return Err(ParseError {
+            at: t.at,
+            message: format!("unexpected trailing token {:?}", t.kind),
+        });
+    }
+    Ok(re)
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum TokKind {
+    Ident(String),
+    Wildcard,
+    Epsilon,
+    Star,
+    Plus,
+    Question,
+    Pipe,
+    LParen,
+    RParen,
+}
+
+#[derive(Debug, Clone)]
+struct Token {
+    kind: TokKind,
+    at: usize,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | ':' | '-')
+}
+
+fn lex(input: &str) -> Result<Vec<Token>, ParseError> {
+    let mut out = Vec::new();
+    let mut chars = input.char_indices().peekable();
+    while let Some(&(at, c)) = chars.peek() {
+        let kind = match c {
+            c if c.is_whitespace() => {
+                chars.next();
+                continue;
+            }
+            '_' => TokKind::Wildcard,
+            '~' => TokKind::Epsilon,
+            '*' => TokKind::Star,
+            '+' => TokKind::Plus,
+            '?' => TokKind::Question,
+            '|' => TokKind::Pipe,
+            '(' => TokKind::LParen,
+            ')' => TokKind::RParen,
+            c if is_ident_start(c) => {
+                let mut ident = String::new();
+                while let Some(&(_, c)) = chars.peek() {
+                    if is_ident_continue(c) {
+                        ident.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token {
+                    kind: TokKind::Ident(ident),
+                    at,
+                });
+                continue;
+            }
+            other => {
+                return Err(ParseError {
+                    at,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        };
+        chars.next();
+        out.push(Token { kind, at });
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    tokens: Vec<Token>,
+    pos: usize,
+    intern: &'a mut dyn FnMut(&str) -> Option<Symbol>,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<&TokKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn at(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map(|t| t.at)
+            .unwrap_or(usize::MAX)
+    }
+
+    fn alt(&mut self) -> Result<Regex, ParseError> {
+        let mut parts = vec![self.cat()?];
+        while self.peek() == Some(&TokKind::Pipe) {
+            self.pos += 1;
+            parts.push(self.cat()?);
+        }
+        Ok(Regex::alt(parts))
+    }
+
+    fn cat(&mut self) -> Result<Regex, ParseError> {
+        let mut parts = vec![self.postfix()?];
+        while matches!(
+            self.peek(),
+            Some(TokKind::Ident(_) | TokKind::Wildcard | TokKind::Epsilon | TokKind::LParen)
+        ) {
+            parts.push(self.postfix()?);
+        }
+        Ok(Regex::concat(parts))
+    }
+
+    fn postfix(&mut self) -> Result<Regex, ParseError> {
+        let mut re = self.atom()?;
+        loop {
+            match self.peek() {
+                Some(TokKind::Star) => {
+                    self.pos += 1;
+                    re = Regex::star(re);
+                }
+                Some(TokKind::Plus) => {
+                    self.pos += 1;
+                    re = Regex::plus(re);
+                }
+                Some(TokKind::Question) => {
+                    self.pos += 1;
+                    re = Regex::optional(re);
+                }
+                _ => return Ok(re),
+            }
+        }
+    }
+
+    fn atom(&mut self) -> Result<Regex, ParseError> {
+        let at = self.at();
+        match self.peek().cloned() {
+            Some(TokKind::Ident(name)) => {
+                self.pos += 1;
+                match (self.intern)(&name) {
+                    Some(sym) => Ok(Regex::Sym(sym)),
+                    None => Err(ParseError {
+                        at,
+                        message: format!("unknown tag {name:?}"),
+                    }),
+                }
+            }
+            Some(TokKind::Wildcard) => {
+                self.pos += 1;
+                Ok(Regex::Wildcard)
+            }
+            Some(TokKind::Epsilon) => {
+                self.pos += 1;
+                Ok(Regex::Epsilon)
+            }
+            Some(TokKind::LParen) => {
+                self.pos += 1;
+                let re = self.alt()?;
+                if self.peek() == Some(&TokKind::RParen) {
+                    self.pos += 1;
+                    Ok(re)
+                } else {
+                    Err(ParseError {
+                        at: self.at(),
+                        message: "expected ')'".to_owned(),
+                    })
+                }
+            }
+            other => Err(ParseError {
+                at,
+                message: format!("expected atom, found {other:?}"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Interner mapping `t<i>` → `Symbol(i)` plus a few letters.
+    fn test_intern(name: &str) -> Option<Symbol> {
+        match name {
+            "a" => Some(Symbol(0)),
+            "b" => Some(Symbol(1)),
+            "c" => Some(Symbol(2)),
+            "e" => Some(Symbol(3)),
+            _ => name.strip_prefix('t').and_then(|n| n.parse().ok().map(Symbol)),
+        }
+    }
+
+    fn p(input: &str) -> Regex {
+        parse(input, &mut test_intern).unwrap()
+    }
+
+    #[test]
+    fn parses_single_symbol() {
+        assert_eq!(p("a"), Regex::Sym(Symbol(0)));
+    }
+
+    #[test]
+    fn parses_r3_from_the_paper() {
+        // R3 = ⎵* e ⎵*
+        assert_eq!(
+            p("_* e _*"),
+            Regex::Concat(vec![
+                Regex::any_star(),
+                Regex::Sym(Symbol(3)),
+                Regex::any_star()
+            ])
+        );
+    }
+
+    #[test]
+    fn parses_intro_example() {
+        // x.(a1|a2)+.s.⎵*.p with symbols renamed to t-ids
+        let r = p("t9 (t1|t2)+ t3 _* t4");
+        assert_eq!(r.size(), 10);
+        assert!(!r.nullable());
+    }
+
+    #[test]
+    fn precedence_star_binds_tighter_than_concat() {
+        assert_eq!(
+            p("a b*"),
+            Regex::Concat(vec![
+                Regex::Sym(Symbol(0)),
+                Regex::star(Regex::Sym(Symbol(1)))
+            ])
+        );
+    }
+
+    #[test]
+    fn precedence_concat_binds_tighter_than_alt() {
+        assert_eq!(
+            p("a b|c"),
+            Regex::alt(vec![
+                Regex::concat(vec![Regex::Sym(Symbol(0)), Regex::Sym(Symbol(1))]),
+                Regex::Sym(Symbol(2)),
+            ])
+        );
+    }
+
+    #[test]
+    fn parens_override_precedence() {
+        assert_eq!(
+            p("a (b|c)"),
+            Regex::concat(vec![
+                Regex::Sym(Symbol(0)),
+                Regex::alt(vec![Regex::Sym(Symbol(1)), Regex::Sym(Symbol(2))]),
+            ])
+        );
+    }
+
+    #[test]
+    fn epsilon_and_question() {
+        assert_eq!(p("~"), Regex::Epsilon);
+        assert_eq!(p("a?"), Regex::optional(Regex::Sym(Symbol(0))));
+        assert!(p("a?").nullable());
+    }
+
+    #[test]
+    fn double_postfix_applies_in_order() {
+        assert_eq!(p("a+*"), Regex::star(Regex::Sym(Symbol(0))));
+    }
+
+    #[test]
+    fn unknown_tag_is_an_error() {
+        let err = parse("zz", &mut test_intern).unwrap_err();
+        assert!(err.message.contains("unknown tag"));
+    }
+
+    #[test]
+    fn unbalanced_paren_is_an_error() {
+        assert!(parse("(a", &mut test_intern).is_err());
+        assert!(parse("a)", &mut test_intern).is_err());
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert!(parse("", &mut test_intern).is_err());
+    }
+
+    #[test]
+    fn identifiers_may_contain_dots_and_digits() {
+        let mut names = Vec::new();
+        let r = parse("Blast.run2", &mut |n| {
+            names.push(n.to_owned());
+            Some(Symbol(42))
+        })
+        .unwrap();
+        assert_eq!(r, Regex::Sym(Symbol(42)));
+        assert_eq!(names, vec!["Blast.run2"]);
+    }
+
+    #[test]
+    fn display_parses_back() {
+        let namer = |s: Symbol| format!("t{}", s.0);
+        let original = p("(t1|t2 t3)* t4+ _?");
+        let rendered = original.display_with(&namer).to_string();
+        assert_eq!(p(&rendered), original);
+    }
+}

@@ -1,0 +1,286 @@
+//! Baseline **G2**: rare-label decomposition + bidirectional search
+//! (Koschmieder & Leser, SSDBM 2012 — the paper's Option G2).
+//!
+//! The approach picks a *rare label* — a symbol that (a) occurs in every
+//! word of the query language and (b) matches few run edges — and splits
+//! the search at its occurrences: a backward product search from each
+//! rare edge toward candidate sources and a forward product search toward
+//! candidate targets. Queries without a required symbol fall back to a
+//! plain forward product search per source (still linear in run size,
+//! which is the point of comparison with the label-based approach).
+
+use rpq_automata::{required_symbols, Dfa, Symbol};
+use rpq_grammar::Tag;
+use rpq_labeling::{NodeId, Run};
+use rpq_relalg::{NodePairSet, TagIndex};
+
+/// G2 evaluator bound to one run.
+pub struct G2<'a> {
+    run: &'a Run,
+    index: &'a TagIndex,
+}
+
+impl<'a> G2<'a> {
+    /// Bind to a run and its tag index.
+    pub fn new(run: &'a Run, index: &'a TagIndex) -> G2<'a> {
+        G2 { run, index }
+    }
+
+    /// Pick the rare label for a query DFA: the required symbol with the
+    /// fewest matching edges.
+    pub fn rare_label(&self, dfa: &Dfa) -> Option<Symbol> {
+        let required = required_symbols(dfa);
+        let tags: Vec<Tag> = required.iter().map(|s| Tag(s.0)).collect();
+        self.index.rarest(&tags).map(|t| Symbol(t.0))
+    }
+
+    /// All-pairs over `l1 × l2`.
+    pub fn all_pairs(&self, dfa: &Dfa, l1: &[NodeId], l2: &[NodeId]) -> NodePairSet {
+        let mut l1s = l1.to_vec();
+        l1s.sort_unstable();
+        l1s.dedup();
+        let mut l2s = l2.to_vec();
+        l2s.sort_unstable();
+        l2s.dedup();
+
+        let mut out: Vec<(NodeId, NodeId)> = Vec::new();
+        if dfa.accepts_epsilon() {
+            let set2: std::collections::HashSet<NodeId> = l2s.iter().copied().collect();
+            for &u in &l1s {
+                if set2.contains(&u) {
+                    out.push((u, u));
+                }
+            }
+        }
+
+        match self.rare_label(dfa) {
+            Some(rare) => {
+                self.all_pairs_via_rare(dfa, rare, &l1s, &l2s, &mut out);
+            }
+            None => {
+                // Fallback: forward product search per source.
+                let accepting = accepting_mask(dfa);
+                for &u in &l1s {
+                    let masks = forward(self.run, dfa, u);
+                    for &v in &l2s {
+                        if v != u && masks[v.index()] & accepting != 0 {
+                            out.push((u, v));
+                        }
+                    }
+                }
+            }
+        }
+        NodePairSet::from_pairs(out)
+    }
+
+    fn all_pairs_via_rare(
+        &self,
+        dfa: &Dfa,
+        rare: Symbol,
+        l1: &[NodeId],
+        l2: &[NodeId],
+        out: &mut Vec<(NodeId, NodeId)>,
+    ) {
+        let l1set: std::collections::HashSet<NodeId> = l1.iter().copied().collect();
+        let l2set: std::collections::HashSet<NodeId> = l2.iter().copied().collect();
+        let accepting = accepting_mask(dfa);
+
+        for (x, y) in self.index.edges(Tag(rare.0)).iter() {
+            // Which DFA transitions does this edge realize?
+            for q1 in 0..dfa.n_states() as u32 {
+                let q2 = dfa.next(q1, rare);
+                // Backward: sources u ∈ l1 with a path u → x driving the
+                // DFA from start to q1.
+                let sources = backward_sources(self.run, dfa, x, q1, &l1set);
+                if sources.is_empty() {
+                    continue;
+                }
+                // Forward: targets v ∈ l2 with a path y → v driving the
+                // DFA from q2 to acceptance.
+                let targets = forward_targets(self.run, dfa, y, q2, accepting, &l2set);
+                for &u in &sources {
+                    for &v in &targets {
+                        out.push((u, v));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pairwise query: product BFS bounded by the pair.
+    pub fn pairwise(&self, dfa: &Dfa, u: NodeId, v: NodeId) -> bool {
+        if u == v {
+            return dfa.accepts_epsilon();
+        }
+        let accepting = accepting_mask(dfa);
+        let masks = forward(self.run, dfa, u);
+        masks[v.index()] & accepting != 0
+    }
+}
+
+fn accepting_mask(dfa: &Dfa) -> u64 {
+    let mut mask = 0u64;
+    for (q, &acc) in dfa.accepting().iter().enumerate() {
+        if acc {
+            mask |= 1 << q;
+        }
+    }
+    mask
+}
+
+/// Forward product reachability from `(u, start)`.
+fn forward(run: &Run, dfa: &Dfa, u: NodeId) -> Vec<u64> {
+    let mut masks = vec![0u64; run.n_nodes()];
+    masks[u.index()] |= 1 << dfa.start();
+    let mut stack = vec![(u, dfa.start())];
+    while let Some((x, q)) = stack.pop() {
+        for &(y, tag) in run.out_edges(x) {
+            let q2 = dfa.next(q, Symbol(tag.0));
+            if masks[y.index()] >> q2 & 1 == 0 {
+                masks[y.index()] |= 1 << q2;
+                stack.push((y, q2));
+            }
+        }
+    }
+    masks
+}
+
+/// Nodes `u ∈ candidates` that can reach `(x, q1)` starting from
+/// `(u, start)` — computed by a backward product search.
+fn backward_sources(
+    run: &Run,
+    dfa: &Dfa,
+    x: NodeId,
+    q1: u32,
+    candidates: &std::collections::HashSet<NodeId>,
+) -> Vec<NodeId> {
+    let mut masks = vec![0u64; run.n_nodes()];
+    masks[x.index()] |= 1 << q1;
+    let mut stack = vec![(x, q1)];
+    while let Some((y, q)) = stack.pop() {
+        for &(w, tag) in run.in_edges(y) {
+            // All predecessor states p with δ(p, tag) = q.
+            for p in 0..dfa.n_states() as u32 {
+                if dfa.next(p, Symbol(tag.0)) == q && masks[w.index()] >> p & 1 == 0 {
+                    masks[w.index()] |= 1 << p;
+                    stack.push((w, p));
+                }
+            }
+        }
+    }
+    candidates
+        .iter()
+        .copied()
+        .filter(|u| masks[u.index()] >> dfa.start() & 1 == 1)
+        .collect()
+}
+
+/// Nodes `v ∈ candidates` reachable from `(y, q2)` at an accepting state.
+fn forward_targets(
+    run: &Run,
+    dfa: &Dfa,
+    y: NodeId,
+    q2: u32,
+    accepting: u64,
+    candidates: &std::collections::HashSet<NodeId>,
+) -> Vec<NodeId> {
+    let mut masks = vec![0u64; run.n_nodes()];
+    masks[y.index()] |= 1 << q2;
+    let mut stack = vec![(y, q2)];
+    while let Some((x, q)) = stack.pop() {
+        for &(z, tag) in run.out_edges(x) {
+            let q3 = dfa.next(q, Symbol(tag.0));
+            if masks[z.index()] >> q3 & 1 == 0 {
+                masks[z.index()] |= 1 << q3;
+                stack.push((z, q3));
+            }
+        }
+    }
+    candidates
+        .iter()
+        .copied()
+        .filter(|v| masks[v.index()] & accepting != 0)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Referee;
+    use rpq_automata::{compile_minimal_dfa, Regex};
+    use rpq_grammar::SpecificationBuilder;
+    use rpq_labeling::RunBuilder;
+
+    fn spec() -> rpq_grammar::Specification {
+        let mut b = SpecificationBuilder::new();
+        b.atomic("t");
+        b.atomic("u");
+        b.composite("S");
+        b.production("S", |w| {
+            let x = w.node("t");
+            let s = w.node("S");
+            let y = w.node("u");
+            w.edge_named(x, s, "fwd");
+            w.edge_named(s, y, "bwd");
+        });
+        b.production("S", |w| {
+            let x = w.node("t");
+            let y = w.node("u");
+            w.edge_named(x, y, "mid");
+        });
+        b.start("S");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn rare_label_is_the_infrequent_one() {
+        let spec = spec();
+        let run = RunBuilder::new(&spec).seed(2).target_edges(100).build().unwrap();
+        let index = TagIndex::build(&run, spec.n_tags());
+        let g2 = G2::new(&run, &index);
+        let mid = Symbol(spec.tag_by_name("mid").unwrap().0);
+        // ⎵* mid ⎵* requires mid, which occurs exactly once.
+        let dfa = compile_minimal_dfa(&Regex::ifq(&[mid]), spec.n_tags());
+        assert_eq!(g2.rare_label(&dfa), Some(mid));
+        // Plain reachability has no required symbol.
+        let star = compile_minimal_dfa(&Regex::any_star(), spec.n_tags());
+        assert_eq!(g2.rare_label(&star), None);
+    }
+
+    #[test]
+    fn g2_matches_referee() {
+        let spec = spec();
+        let run = RunBuilder::new(&spec).seed(5).target_edges(80).build().unwrap();
+        let index = TagIndex::build(&run, spec.n_tags());
+        let g2 = G2::new(&run, &index);
+        let all: Vec<NodeId> = run.node_ids().collect();
+        let sym = |n: &str| Symbol(spec.tag_by_name(n).unwrap().0);
+
+        let queries = vec![
+            Regex::any_star(),
+            Regex::ifq(&[sym("mid")]),
+            Regex::ifq(&[sym("fwd"), sym("mid")]),
+            Regex::plus(Regex::Sym(sym("fwd"))),
+            Regex::concat(vec![
+                Regex::Sym(sym("fwd")),
+                Regex::star(Regex::Wildcard),
+                Regex::Sym(sym("bwd")),
+            ]),
+        ];
+        for q in &queries {
+            let dfa = compile_minimal_dfa(q, spec.n_tags());
+            let referee = Referee::new(&run, &dfa);
+            assert_eq!(
+                g2.all_pairs(&dfa, &all, &all),
+                referee.all_pairs(&all, &all),
+                "query {q:?}"
+            );
+            // Spot-check pairwise agreement on a few pairs.
+            for &u in all.iter().take(6) {
+                for &v in all.iter().rev().take(6) {
+                    assert_eq!(g2.pairwise(&dfa, u, v), referee.pairwise(u, v));
+                }
+            }
+        }
+    }
+}

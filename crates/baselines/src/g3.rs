@@ -1,0 +1,244 @@
+//! Baseline **G3**: tag index + reachability labels for IFQs.
+//!
+//! For queries of the infrequent form `R = ⎵* a1 ⎵* a2 … ⎵* ak ⎵*`
+//! (Section IV-B, Option G3): fetch the edge list of every `ai` from the
+//! index, then chain-join consecutive lists with *reachability* tests
+//! answered from the labels of Bao et al. — here, the 1-state reachability
+//! plan of `rpq-core`. The cost profile is exactly the paper's: great for
+//! highly selective symbol lists, miserable when the lists are long.
+
+use rpq_automata::{Regex, Symbol};
+use rpq_core::SafeQueryPlan;
+use rpq_grammar::{Specification, Tag};
+use rpq_labeling::{NodeId, Run};
+use rpq_relalg::{NodePairSet, TagIndex};
+
+/// Extract the symbol sequence of an IFQ, if the regex has that shape.
+///
+/// Accepts `⎵*`, `⎵* a ⎵*`, `⎵* a ⎵* b ⎵*`, … — i.e. an alternation-free
+/// concatenation of `⎵*` separators and single symbols with `⎵*` at both
+/// ends.
+pub fn ifq_symbols(regex: &Regex) -> Option<Vec<Symbol>> {
+    fn is_any_star(r: &Regex) -> bool {
+        matches!(r, Regex::Star(inner) if matches!(**inner, Regex::Wildcard))
+    }
+    match regex {
+        r if is_any_star(r) => Some(Vec::new()),
+        Regex::Concat(parts) => {
+            // Expect: ⎵* (sym ⎵*)+
+            if parts.len() < 3 || parts.len() % 2 == 0 || !is_any_star(&parts[0]) {
+                return None;
+            }
+            let mut syms = Vec::new();
+            for chunk in parts[1..].chunks(2) {
+                match (&chunk[0], chunk.get(1)) {
+                    (Regex::Sym(s), Some(sep)) if is_any_star(sep) => syms.push(*s),
+                    _ => return None,
+                }
+            }
+            Some(syms)
+        }
+        _ => None,
+    }
+}
+
+/// G3 evaluator: index lookups chained with label-based reachability.
+pub struct G3<'a> {
+    run: &'a Run,
+    index: &'a TagIndex,
+    /// The 1-state reachability plan (the labels of ref [3]/[4]).
+    reach: SafeQueryPlan,
+}
+
+impl<'a> G3<'a> {
+    /// Build for a specification and run. Panics only if the spec is not
+    /// strictly linear (callers validated at derivation time).
+    pub fn new(spec: &Specification, run: &'a Run, index: &'a TagIndex) -> G3<'a> {
+        let dfa = rpq_automata::compile_minimal_dfa(&Regex::any_star(), spec.n_tags());
+        let reach = SafeQueryPlan::compile(spec, dfa).expect("reachability is always safe");
+        G3 { run, index, reach }
+    }
+
+    /// Reachability with equality: `u = v` or `u ⇝ v`.
+    #[inline]
+    fn reach_eq(&self, u: NodeId, v: NodeId) -> bool {
+        u == v || self.reach.pairwise(self.run, u, v)
+    }
+
+    /// All-pairs for the IFQ with the given symbol sequence.
+    pub fn all_pairs(&self, symbols: &[Symbol], l1: &[NodeId], l2: &[NodeId]) -> NodePairSet {
+        let mut l1s = l1.to_vec();
+        l1s.sort_unstable();
+        l1s.dedup();
+        let mut l2s = l2.to_vec();
+        l2s.sort_unstable();
+        l2s.dedup();
+
+        if symbols.is_empty() {
+            // Plain reachability (including self pairs: ε ∈ ⎵*).
+            let mut out = Vec::new();
+            for &u in &l1s {
+                for &v in &l2s {
+                    if self.reach_eq(u, v) {
+                        out.push((u, v));
+                    }
+                }
+            }
+            return NodePairSet::from_pairs(out);
+        }
+
+        // Stage 0: sources joined to the first symbol's edge list.
+        let first = self.index.edges(Tag(symbols[0].0));
+        let mut frontier: Vec<(NodeId, NodeId)> = Vec::new(); // (u, y_i)
+        for &u in &l1s {
+            for (x, y) in first.iter() {
+                if self.reach_eq(u, x) {
+                    frontier.push((u, y));
+                }
+            }
+        }
+        frontier.sort_unstable();
+        frontier.dedup();
+
+        // Chain through the remaining symbols.
+        for s in &symbols[1..] {
+            let edges = self.index.edges(Tag(s.0));
+            let mut next = Vec::new();
+            for &(u, yi) in &frontier {
+                for (x, y) in edges.iter() {
+                    if self.reach_eq(yi, x) {
+                        next.push((u, y));
+                    }
+                }
+            }
+            next.sort_unstable();
+            next.dedup();
+            frontier = next;
+            if frontier.is_empty() {
+                return NodePairSet::new();
+            }
+        }
+
+        // Final stage: join to targets.
+        let mut out = Vec::new();
+        for &(u, yk) in &frontier {
+            for &v in &l2s {
+                if self.reach_eq(yk, v) {
+                    out.push((u, v));
+                }
+            }
+        }
+        NodePairSet::from_pairs(out)
+    }
+
+    /// Pairwise IFQ query.
+    pub fn pairwise(&self, symbols: &[Symbol], u: NodeId, v: NodeId) -> bool {
+        if symbols.is_empty() {
+            return self.reach_eq(u, v);
+        }
+        // Chain with the pair's endpoints fixed.
+        let first = self.index.edges(Tag(symbols[0].0));
+        let mut frontier: Vec<NodeId> = first
+            .iter()
+            .filter(|&(x, _)| self.reach_eq(u, x))
+            .map(|(_, y)| y)
+            .collect();
+        frontier.sort_unstable();
+        frontier.dedup();
+        for s in &symbols[1..] {
+            let edges = self.index.edges(Tag(s.0));
+            let mut next: Vec<NodeId> = Vec::new();
+            for &yi in &frontier {
+                for (x, y) in edges.iter() {
+                    if self.reach_eq(yi, x) {
+                        next.push(y);
+                    }
+                }
+            }
+            next.sort_unstable();
+            next.dedup();
+            frontier = next;
+            if frontier.is_empty() {
+                return false;
+            }
+        }
+        frontier.iter().any(|&yk| self.reach_eq(yk, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Referee;
+    use rpq_automata::compile_minimal_dfa;
+    use rpq_grammar::SpecificationBuilder;
+    use rpq_labeling::RunBuilder;
+
+    #[test]
+    fn ifq_recognizer() {
+        let s0 = Symbol(0);
+        let s1 = Symbol(1);
+        assert_eq!(ifq_symbols(&Regex::any_star()), Some(vec![]));
+        assert_eq!(ifq_symbols(&Regex::ifq(&[s0])), Some(vec![s0]));
+        assert_eq!(ifq_symbols(&Regex::ifq(&[s0, s1])), Some(vec![s0, s1]));
+        assert_eq!(ifq_symbols(&Regex::Sym(s0)), None);
+        assert_eq!(
+            ifq_symbols(&Regex::concat(vec![Regex::Sym(s0), Regex::Sym(s1)])),
+            None
+        );
+        assert_eq!(ifq_symbols(&Regex::plus(Regex::Sym(s0))), None);
+    }
+
+    #[test]
+    fn g3_matches_referee_on_ifqs() {
+        let mut b = SpecificationBuilder::new();
+        b.atomic("t");
+        b.atomic("u");
+        b.composite("S");
+        b.production("S", |w| {
+            let x = w.node("t");
+            let s = w.node("S");
+            let y = w.node("u");
+            w.edge_named(x, s, "fwd");
+            w.edge_named(s, y, "bwd");
+        });
+        b.production("S", |w| {
+            let x = w.node("t");
+            let y = w.node("u");
+            w.edge_named(x, y, "mid");
+        });
+        b.start("S");
+        let spec = b.build().unwrap();
+        let run = RunBuilder::new(&spec).seed(9).target_edges(120).build().unwrap();
+        let index = TagIndex::build(&run, spec.n_tags());
+        let g3 = G3::new(&spec, &run, &index);
+        let all: Vec<NodeId> = run.node_ids().collect();
+        let sym = |n: &str| Symbol(spec.tag_by_name(n).unwrap().0);
+
+        for syms in [
+            vec![],
+            vec![sym("mid")],
+            vec![sym("fwd"), sym("mid")],
+            vec![sym("fwd"), sym("mid"), sym("bwd")],
+            vec![sym("mid"), sym("mid")], // unsatisfiable: mid occurs once
+        ] {
+            let regex = Regex::ifq(&syms);
+            let dfa = compile_minimal_dfa(&regex, spec.n_tags());
+            let referee = Referee::new(&run, &dfa);
+            assert_eq!(
+                g3.all_pairs(&syms, &all, &all),
+                referee.all_pairs(&all, &all),
+                "symbols {syms:?}"
+            );
+            for &u in all.iter().take(5) {
+                for &v in all.iter().rev().take(5) {
+                    assert_eq!(
+                        g3.pairwise(&syms, u, v),
+                        referee.pairwise(u, v),
+                        "pair {u:?},{v:?} symbols {syms:?}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! Baseline RPQ evaluators and the brute-force referee.
+//!
+//! The paper compares against three prior approaches (Section IV-B):
+//!
+//! * **G1** ([`g1`]) — Li & Moon: represent the query as a parse tree and
+//!   evaluate bottom-up with relational joins;
+//! * **G2** ([`g2`]) — Koschmieder & Leser: decompose at *rare labels*
+//!   and run bidirectional searches from the rare-edge occurrences;
+//! * **G3** ([`g3`]) — per-symbol tag index + reachability labels for
+//!   infrequent-form queries `⎵* a1 ⎵* … ak ⎵*`.
+//!
+//! [`referee`] is not from the paper: it is the obviously-correct product
+//! construction of Section III-B ("augment each module in the run with
+//! input and output ports representing the states of a DFA"), used as
+//! ground truth by the test suite.
+
+pub mod g1;
+pub mod g2;
+pub mod g3;
+pub mod referee;
+
+pub use g1::G1;
+pub use g2::G2;
+pub use g3::{ifq_symbols, G3};
+pub use referee::Referee;

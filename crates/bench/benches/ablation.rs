@@ -1,0 +1,79 @@
+//! Ablation benches beyond the paper's figures:
+//!
+//! * S1 (nested) vs S2 (tree-merge filter) vs pure reachability merge —
+//!   quantifies how much the reachability filter buys at different
+//!   selectivities;
+//! * pairwise decode vs product-BFS referee — the constant-time claim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rpq_automata::compile_minimal_dfa;
+use rpq_baselines::Referee;
+use rpq_bench::Dataset;
+use rpq_core::{all_pairs_filtered, all_pairs_nested, all_pairs_reachability, RpqEngine};
+use rpq_workloads::{runs, QueryGen};
+
+fn bench(c: &mut Criterion) {
+    let d = Dataset::bioaid();
+    let engine = RpqEngine::new(d.spec());
+
+    {
+        let mut group = c.benchmark_group("ablation_s1_vs_s2");
+        group.sample_size(10);
+        let run = d.run(2000, 42);
+        let all = runs::sample_nodes(&run, 400, 5);
+        let mut qg = QueryGen::new(d.spec(), 11);
+        let q = qg.ifq_over(&d.real.pool_tags, 2);
+        let plan = engine.plan_safe(&q).unwrap();
+        group.bench_function("S1_nested", |b| {
+            b.iter(|| std::hint::black_box(all_pairs_nested(&plan, &run, &all, &all)))
+        });
+        group.bench_function("S2_filtered", |b| {
+            b.iter(|| std::hint::black_box(all_pairs_filtered(&plan, d.spec(), &run, &all, &all)))
+        });
+        group.bench_function("reachability_merge", |b| {
+            b.iter(|| std::hint::black_box(all_pairs_reachability(d.spec(), &run, &all, &all)))
+        });
+        group.finish();
+    }
+
+    {
+        // Pairwise decode stays flat as runs grow; BFS does not.
+        let mut group = c.benchmark_group("ablation_decode_vs_bfs");
+        group.sample_size(10);
+        let mut qg = QueryGen::new(d.spec(), 13);
+        let q = qg.ifq_over(&d.real.pool_tags, 3);
+        let dfa = compile_minimal_dfa(&q, d.spec().n_tags());
+        for &edges in &[1000usize, 8000] {
+            let run = d.run(edges, 42);
+            let plan = engine.plan_safe(&q).unwrap();
+            let pairs: Vec<_> = runs::sample_nodes(&run, 64, 1)
+                .into_iter()
+                .zip(runs::sample_nodes(&run, 64, 2))
+                .collect();
+            group.bench_function(BenchmarkId::new("label_decode", edges), |b| {
+                b.iter(|| {
+                    let mut hits = 0;
+                    for &(u, v) in &pairs {
+                        hits += usize::from(plan.pairwise(&run, u, v));
+                    }
+                    std::hint::black_box(hits)
+                })
+            });
+            let referee = Referee::new(&run, &dfa);
+            let few: Vec<_> = pairs.iter().copied().take(8).collect();
+            group.bench_function(BenchmarkId::new("product_bfs", edges), |b| {
+                b.iter(|| {
+                    let mut hits = 0;
+                    for &(u, v) in &few {
+                        hits += usize::from(referee.pairwise(u, v));
+                    }
+                    std::hint::black_box(hits)
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

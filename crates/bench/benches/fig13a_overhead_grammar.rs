@@ -1,0 +1,36 @@
+//! Fig. 13a — safety-check/planning overhead vs grammar size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rpq_core::RpqEngine;
+use rpq_workloads::{synthetic, QueryGen, SynthParams};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13a_overhead_vs_grammar_size");
+    group.sample_size(20);
+    for &n_composite in &[40usize, 80, 120] {
+        let s = synthetic::generate(&SynthParams {
+            n_atomic: n_composite * 2,
+            n_composite,
+            n_self_cycles: n_composite / 4,
+            n_two_cycles: 0,
+            body_nodes: (4, 8),
+            extra_edge_prob: 0.2,
+            composite_ref_prob: 0.0,
+            n_tags: 20,
+            alt_production_per_mille: 0,
+            seed: 0xF13A,
+        });
+        let engine = RpqEngine::new(&s.spec);
+        let mut qg = QueryGen::new(&s.spec, 1);
+        let q = qg.ifq_over(&s.pool_tags, 3);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(s.spec.size()),
+            &q,
+            |b, q| b.iter(|| std::hint::black_box(engine.plan(q).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Fig. 13b — planning overhead vs query size k on BioAID/QBLast.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rpq_bench::Dataset;
+use rpq_core::RpqEngine;
+use rpq_workloads::QueryGen;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13b_overhead_vs_query_size");
+    group.sample_size(20);
+    for d in [Dataset::bioaid(), Dataset::qblast()] {
+        let engine = RpqEngine::new(d.spec());
+        for &k in &[0usize, 3, 6, 10] {
+            let mut qg = QueryGen::new(d.spec(), k as u64);
+            let q = qg.ifq_over(&d.real.pool_tags, k);
+            group.bench_with_input(
+                BenchmarkId::new(d.name(), k),
+                &q,
+                |b, q| b.iter(|| std::hint::black_box(engine.plan(q).unwrap())),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Fig. 13c — pairwise query time vs run size (RPL vs G3 vs G2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rpq_automata::compile_minimal_dfa;
+use rpq_baselines::{ifq_symbols, G2, G3};
+use rpq_core::RpqEngine;
+use rpq_bench::Dataset;
+use rpq_workloads::{runs, QueryGen};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13c_pairwise_vs_run_size");
+    group.sample_size(10);
+    let d = Dataset::bioaid();
+    let engine = RpqEngine::new(d.spec());
+    let mut qg = QueryGen::new(d.spec(), 99);
+    let q = qg.ifq_over(&d.real.pool_tags, 3);
+    let syms = ifq_symbols(&q).unwrap();
+    let dfa = compile_minimal_dfa(&q, d.spec().n_tags());
+    for &edges in &[1000usize, 4000] {
+        let run = d.run(edges, 42);
+        let index = d.index(&run);
+        let pairs: Vec<_> = runs::sample_nodes(&run, 200, 1)
+            .into_iter()
+            .zip(runs::sample_nodes(&run, 200, 2))
+            .collect();
+        let plan = engine.plan_safe(&q).unwrap();
+        group.bench_with_input(BenchmarkId::new("RPL", edges), &pairs, |b, pairs| {
+            b.iter(|| {
+                let mut hits = 0;
+                for &(u, v) in pairs {
+                    hits += usize::from(plan.pairwise(&run, u, v));
+                }
+                std::hint::black_box(hits)
+            })
+        });
+        let g3 = G3::new(d.spec(), &run, &index);
+        group.bench_with_input(BenchmarkId::new("G3", edges), &pairs, |b, pairs| {
+            b.iter(|| {
+                let mut hits = 0;
+                for &(u, v) in pairs {
+                    hits += usize::from(g3.pairwise(&syms, u, v));
+                }
+                std::hint::black_box(hits)
+            })
+        });
+        let g2 = G2::new(&run, &index);
+        let few: Vec<_> = pairs.iter().copied().take(20).collect();
+        group.bench_with_input(BenchmarkId::new("G2", edges), &few, |b, few| {
+            b.iter(|| {
+                let mut hits = 0;
+                for &(u, v) in few {
+                    hits += usize::from(g2.pairwise(&dfa, u, v));
+                }
+                std::hint::black_box(hits)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

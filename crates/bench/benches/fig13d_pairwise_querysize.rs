@@ -1,0 +1,49 @@
+//! Fig. 13d — pairwise query time vs query size k.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rpq_baselines::{ifq_symbols, G3};
+use rpq_bench::Dataset;
+use rpq_core::RpqEngine;
+use rpq_workloads::{runs, QueryGen};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13d_pairwise_vs_query_size");
+    group.sample_size(10);
+    let d = Dataset::bioaid();
+    let engine = RpqEngine::new(d.spec());
+    let run = d.run(2000, 42);
+    let index = d.index(&run);
+    let pairs: Vec<_> = runs::sample_nodes(&run, 200, 1)
+        .into_iter()
+        .zip(runs::sample_nodes(&run, 200, 2))
+        .collect();
+    for &k in &[0usize, 3, 6, 10] {
+        let mut qg = QueryGen::new(d.spec(), 7 + k as u64);
+        let q = qg.ifq_over(&d.real.pool_tags, k);
+        let syms = ifq_symbols(&q).unwrap();
+        let plan = engine.plan_safe(&q).unwrap();
+        group.bench_with_input(BenchmarkId::new("RPL", k), &pairs, |b, pairs| {
+            b.iter(|| {
+                let mut hits = 0;
+                for &(u, v) in pairs {
+                    hits += usize::from(plan.pairwise(&run, u, v));
+                }
+                std::hint::black_box(hits)
+            })
+        });
+        let g3 = G3::new(d.spec(), &run, &index);
+        group.bench_with_input(BenchmarkId::new("G3", k), &pairs, |b, pairs| {
+            b.iter(|| {
+                let mut hits = 0;
+                for &(u, v) in pairs {
+                    hits += usize::from(g3.pairwise(&syms, u, v));
+                }
+                std::hint::black_box(hits)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Fig. 13g — all-pairs Kleene star a* on fork-heavy bioaid runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rpq_baselines::G1;
+use rpq_bench::Dataset;
+use rpq_core::{all_pairs_filtered, all_pairs_nested, RpqEngine};
+use rpq_workloads::{runs, QueryGen};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13g_star_bioaid");
+    group.sample_size(10);
+    let d = Dataset::bioaid();
+    let engine = RpqEngine::new(d.spec());
+    let qg = QueryGen::new(d.spec(), 0);
+    let q = qg.kleene_star(d.star_tag()).unwrap();
+    for &edges in &[1000usize, 4000] {
+        let run = d.fork_run(edges, 42);
+        let index = d.index(&run);
+        let all = runs::sample_nodes(&run, 300, 5);
+        let g1 = G1::new(&index);
+        group.bench_function(BenchmarkId::new("BaselineG1", edges), |b| {
+            b.iter(|| std::hint::black_box(g1.all_pairs(&q, &all, &all)))
+        });
+        let plan = engine.plan_safe(&q).unwrap();
+        group.bench_function(BenchmarkId::new("RPL_S1", edges), |b| {
+            b.iter(|| std::hint::black_box(all_pairs_nested(&plan, &run, &all, &all)))
+        });
+        group.bench_function(BenchmarkId::new("optRPL_S2", edges), |b| {
+            b.iter(|| std::hint::black_box(all_pairs_filtered(&plan, d.spec(), &run, &all, &all)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

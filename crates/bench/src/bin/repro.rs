@@ -1,0 +1,55 @@
+//! Paper-figure reproduction harness.
+//!
+//! ```text
+//! cargo run -p rpq-bench --release --bin repro            # all figures
+//! cargo run -p rpq-bench --release --bin repro -- fig13c  # one figure
+//! cargo run -p rpq-bench --release --bin repro -- --quick # smoke scale
+//! ```
+
+use rpq_bench::experiments::{self, Scale};
+use rpq_bench::Dataset;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Full
+    };
+    let figures: Vec<String> = args.into_iter().filter(|a| !a.starts_with("--")).collect();
+    let want = |name: &str| figures.is_empty() || figures.iter().any(|f| f == name);
+
+    println!("rpq paper-figure reproduction (scale: {scale:?})");
+    println!("Huang, Bao, Davidson, Milo, Yuan — ICDE 2015\n");
+
+    if want("fig13a") {
+        println!("{}", experiments::fig13a(scale).render());
+    }
+    if want("fig13b") {
+        println!("{}", experiments::fig13b(scale).render());
+    }
+    if want("fig13c") {
+        println!("{}", experiments::fig13c(scale).render());
+    }
+    if want("fig13d") {
+        println!("{}", experiments::fig13d(scale).render());
+    }
+    if want("fig13e") {
+        println!("{}", experiments::fig13ef(&Dataset::bioaid(), scale).render());
+    }
+    if want("fig13f") {
+        println!("{}", experiments::fig13ef(&Dataset::qblast(), scale).render());
+    }
+    if want("fig13g") {
+        println!("{}", experiments::fig13gh(&Dataset::bioaid(), scale).render());
+    }
+    if want("fig13h") {
+        println!("{}", experiments::fig13gh(&Dataset::qblast(), scale).render());
+    }
+    if want("fig15a") {
+        println!("{}", experiments::fig15(&Dataset::bioaid(), scale).render());
+    }
+    if want("fig15b") {
+        println!("{}", experiments::fig15(&Dataset::qblast(), scale).render());
+    }
+}

@@ -1,0 +1,77 @@
+//! Shared dataset handles for the experiments.
+
+use rpq_grammar::Specification;
+use rpq_labeling::Run;
+use rpq_relalg::TagIndex;
+use rpq_workloads::{bioaid_like, qblast_like, runs, RealisticSpec};
+
+/// A named dataset: specification + cached runs/indexes per size.
+pub struct Dataset {
+    /// The realistic specification bundle.
+    pub real: RealisticSpec,
+}
+
+impl Dataset {
+    /// The BioAID-like dataset ("deep").
+    pub fn bioaid() -> Dataset {
+        Dataset {
+            real: bioaid_like(),
+        }
+    }
+
+    /// The QBLast-like dataset ("branchy").
+    pub fn qblast() -> Dataset {
+        Dataset {
+            real: qblast_like(),
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        self.real.name
+    }
+
+    /// The specification.
+    pub fn spec(&self) -> &Specification {
+        &self.real.spec
+    }
+
+    /// Simulate a run of roughly `edges` edges (random production
+    /// firing, seeded).
+    pub fn run(&self, edges: usize, seed: u64) -> Run {
+        runs::simulate(self.spec(), edges, seed).expect("realistic specs derive")
+    }
+
+    /// Simulate a fork-heavy run unfolding the first cycle.
+    pub fn fork_run(&self, edges: usize, seed: u64) -> Run {
+        runs::simulate_fork(self.spec(), 0, edges, seed).expect("realistic specs derive")
+    }
+
+    /// Build the per-run tag index (the paper's stored inverted index).
+    pub fn index(&self, run: &Run) -> TagIndex {
+        TagIndex::build(run, self.spec().n_tags())
+    }
+
+    /// The tag name targeted by the Kleene-star experiments: the chain
+    /// tag of the first cycle.
+    pub fn star_tag(&self) -> &str {
+        &self.real.cycle_tags[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datasets_materialize() {
+        for d in [Dataset::bioaid(), Dataset::qblast()] {
+            let run = d.run(500, 1);
+            assert!(run.n_edges() >= 500);
+            let fork = d.fork_run(500, 1);
+            let tag = d.spec().tag_by_name(d.star_tag()).unwrap();
+            let star_edges = fork.edges().iter().filter(|e| e.tag == tag).count();
+            assert!(star_edges > 50, "{}: {star_edges} star edges", d.name());
+        }
+    }
+}

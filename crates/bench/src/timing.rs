@@ -1,0 +1,126 @@
+//! Minimal timing and table-rendering utilities for the repro harness.
+
+use std::time::Instant;
+
+/// Average seconds per invocation over `reps` runs (the paper reports
+/// "averages of 5 sample runs per setting").
+pub fn time_avg_secs<F: FnMut()>(mut f: F, reps: usize) -> f64 {
+    let reps = reps.max(1);
+    let start = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    start.elapsed().as_secs_f64() / reps as f64
+}
+
+/// Best (minimum) and average seconds over `reps` runs.
+pub fn time_stats_secs<F: FnMut()>(mut f: F, reps: usize) -> (f64, f64) {
+    let reps = reps.max(1);
+    let mut total = 0.0;
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        let t = start.elapsed().as_secs_f64();
+        total += t;
+        best = best.min(t);
+    }
+    (best, total / reps as f64)
+}
+
+/// A plain-text table printer with aligned columns.
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a figure title.
+    pub fn new(title: &str, headers: &[&str]) -> Table {
+        Table {
+            title: title.to_owned(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format seconds with an adaptive unit.
+pub fn fmt_secs(s: f64) -> String {
+    if s < 1e-6 {
+        format!("{:.2}ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:.2}us", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{s:.2}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("Fig Test", &["x", "value"]);
+        t.row(vec!["1".into(), "10.0us".into()]);
+        t.row(vec!["1000".into(), "7ms".into()]);
+        let s = t.render();
+        assert!(s.contains("== Fig Test =="));
+        assert!(s.contains("1000"));
+    }
+
+    #[test]
+    fn fmt_units() {
+        assert!(fmt_secs(5e-9).ends_with("ns"));
+        assert!(fmt_secs(5e-6).ends_with("us"));
+        assert!(fmt_secs(5e-3).ends_with("ms"));
+        assert!(fmt_secs(5.0).ends_with('s'));
+    }
+
+    #[test]
+    fn timing_is_positive() {
+        let t = time_avg_secs(|| { std::hint::black_box(1 + 1); }, 10);
+        assert!(t >= 0.0);
+        let (best, avg) = time_stats_secs(|| { std::hint::black_box(1 + 1); }, 5);
+        assert!(best <= avg + 1e-12);
+    }
+}

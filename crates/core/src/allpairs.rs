@@ -1,0 +1,521 @@
+//! All-pairs safe queries (Section IV-A, Algorithm 2).
+//!
+//! Three evaluation strategies, matching the paper's experiment labels:
+//!
+//! * [`all_pairs_nested`] — **Option S1 / "RPL"**: nested loop over
+//!   `l1 × l2` with the constant-time pairwise decode per pair,
+//!   `Θ(|l1|·|l2|)`.
+//! * [`all_pairs_filtered`] — **Option S2 / "optRPL"**: Algorithm 2.
+//!   Both lists become projections of the compressed parse tree
+//!   ([`ListTree`]); a simultaneous top-down merge emits exactly the
+//!   *reachable* candidate pairs (Case 1: same simple workflow, Case 2:
+//!   recursion with red/blue coloring). Each emitted group shares its
+//!   decode "bridge", so filtering costs one forward mask per source,
+//!   one backward mask per target and a single AND per pair. Runs in
+//!   `O(|G|³·max(|l1|,|l2|) + N)` with `N` the reachable-pair count.
+//! * [`all_pairs_reachability`] — Algorithm 2 with no filter: the
+//!   optimal input+output-linear all-pairs reachability evaluator the
+//!   paper obtains "as a side effect".
+
+use crate::plan::{Bridge, SafeQueryPlan};
+use rpq_grammar::Specification;
+use rpq_labeling::{LabelEntry, ListTree, NodeId, Run};
+use rpq_relalg::NodePairSet;
+
+/// Option S1: nested-loop structural join with O(1) pairwise decodes.
+pub fn all_pairs_nested(
+    plan: &SafeQueryPlan,
+    run: &Run,
+    l1: &[NodeId],
+    l2: &[NodeId],
+) -> NodePairSet {
+    let mut out = Vec::new();
+    for &u in l1 {
+        for &v in l2 {
+            if plan.pairwise(run, u, v) {
+                out.push((u, v));
+            }
+        }
+    }
+    NodePairSet::from_pairs(out)
+}
+
+/// Option S2: Algorithm 2 — reachable pairs as a filtering step, with
+/// group-factorized decodes on each candidate group.
+pub fn all_pairs_filtered(
+    plan: &SafeQueryPlan,
+    spec: &Specification,
+    run: &Run,
+    l1: &[NodeId],
+    l2: &[NodeId],
+) -> NodePairSet {
+    let merger = Merger {
+        spec,
+        run,
+        t1: ListTree::build(run, l1),
+        t2: ListTree::build(run, l2),
+        emit_filter: if plan.is_reachability() {
+            None
+        } else {
+            Some(plan)
+        },
+        epsilon: plan.accepts_epsilon(),
+    };
+    merger.run()
+}
+
+/// Algorithm 2 without the filter: all-pairs *reachability* in time
+/// linear in input and output.
+pub fn all_pairs_reachability(
+    spec: &Specification,
+    run: &Run,
+    l1: &[NodeId],
+    l2: &[NodeId],
+) -> NodePairSet {
+    let merger = Merger {
+        spec,
+        run,
+        t1: ListTree::build(run, l1),
+        t2: ListTree::build(run, l2),
+        emit_filter: None,
+        epsilon: true, // u ⇝ u holds under plain reachability
+    };
+    merger.run()
+}
+
+struct Merger<'a> {
+    spec: &'a Specification,
+    run: &'a Run,
+    t1: ListTree,
+    t2: ListTree,
+    emit_filter: Option<&'a SafeQueryPlan>,
+    epsilon: bool,
+}
+
+impl Merger<'_> {
+    fn run(&self) -> NodePairSet {
+        let mut out = Vec::new();
+        if self.t1.n_leaves() == 0 || self.t2.n_leaves() == 0 {
+            return NodePairSet::new();
+        }
+        self.merge(0, 0, 0, &mut out);
+        NodePairSet::from_pairs(out)
+    }
+
+    /// Emit the cross product of two leaf groups. With a filter plan,
+    /// all pairs of the group share `bridge`: each source contributes a
+    /// forward mask, each target a backward mask, each pair one AND
+    /// (Algorithm 2's `output` subroutine, line 8, batched).
+    ///
+    /// `u_anchor` / `v_anchor` are the label depths of the group anchors
+    /// (entries strictly below them feed the chains).
+    #[allow(clippy::too_many_arguments)]
+    fn emit(
+        &self,
+        us: &[NodeId],
+        u_anchor: usize,
+        vs: &[NodeId],
+        v_anchor: usize,
+        bridge: Option<Bridge>,
+        out: &mut Vec<(NodeId, NodeId)>,
+    ) {
+        match (self.emit_filter, bridge) {
+            (Some(plan), Some(bridge)) => {
+                let w_us: Vec<u64> = us
+                    .iter()
+                    .map(|&u| plan.source_mask(&self.run.label(u).entries()[u_anchor..], &bridge))
+                    .collect();
+                let a_vs: Vec<u64> = vs
+                    .iter()
+                    .map(|&v| plan.target_mask(&self.run.label(v).entries()[v_anchor..]))
+                    .collect();
+                for (&u, &w) in us.iter().zip(&w_us) {
+                    if w == 0 {
+                        continue;
+                    }
+                    for (&v, &a) in vs.iter().zip(&a_vs) {
+                        if w & a != 0 {
+                            out.push((u, v));
+                        }
+                    }
+                }
+            }
+            _ => {
+                for &u in us {
+                    for &v in vs {
+                        out.push((u, v));
+                    }
+                }
+            }
+        }
+    }
+
+    fn merge(&self, n1: u32, n2: u32, depth: usize, out: &mut Vec<(NodeId, NodeId)>) {
+        let a = self.t1.node(n1);
+        let b = self.t2.node(n2);
+
+        // Same tree position holding a leaf in both lists: the self pair.
+        if let (Some(u), Some(v)) = (a.leaf, b.leaf) {
+            debug_assert_eq!(u, v, "equal labels denote the same node");
+            if self.epsilon {
+                out.push((u, v));
+            }
+        }
+        if a.children.is_empty() || b.children.is_empty() {
+            return;
+        }
+
+        // All children of one node share their entry kind.
+        let is_rec = matches!(
+            self.t1.node(a.children[0]).entry,
+            Some(LabelEntry::Rec { .. })
+        );
+        if is_rec {
+            self.merge_recursion(a, b, depth, out);
+        } else {
+            self.merge_production(a, b, depth, out);
+        }
+    }
+
+    /// Case 1: children come from the same simple workflow.
+    fn merge_production(
+        &self,
+        a: &rpq_labeling::ListTreeNode,
+        b: &rpq_labeling::ListTreeNode,
+        depth: usize,
+        out: &mut Vec<(NodeId, NodeId)>,
+    ) {
+        for &c1 in &a.children {
+            let (k1, i) = prod_entry(self.t1.node(c1).entry);
+            for &c2 in &b.children {
+                let (k2, j) = prod_entry(self.t2.node(c2).entry);
+                debug_assert_eq!(k1, k2, "same parent node fired one production");
+                if i == j {
+                    self.merge(c1, c2, depth + 1, out);
+                } else {
+                    let body = &self.spec.production(k1).body;
+                    if body.reaches(i, j) {
+                        let bridge = self
+                            .emit_filter
+                            .map(|plan| plan.bridge_production(k1, i, j));
+                        self.emit(
+                            &self.t1.leaves_under(c1),
+                            depth + 1,
+                            &self.t2.leaves_under(c2),
+                            depth + 1,
+                            bridge,
+                            out,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Case 2: children are recursion unfoldings; merge-join by index
+    /// with red/blue edge coloring.
+    fn merge_recursion(
+        &self,
+        a: &rpq_labeling::ListTreeNode,
+        b: &rpq_labeling::ListTreeNode,
+        depth: usize,
+        out: &mut Vec<(NodeId, NodeId)>,
+    ) {
+        // Set=: equal unfolding index → recurse (merge join).
+        let (mut x, mut y) = (0usize, 0usize);
+        while x < a.children.len() && y < b.children.len() {
+            let ia = rec_entry(self.t1.node(a.children[x]).entry);
+            let ib = rec_entry(self.t2.node(b.children[y]).entry);
+            match ia.2.cmp(&ib.2) {
+                std::cmp::Ordering::Equal => {
+                    self.merge(a.children[x], b.children[y], depth + 1, out);
+                    x += 1;
+                    y += 1;
+                }
+                std::cmp::Ordering::Less => x += 1,
+                std::cmp::Ordering::Greater => y += 1,
+            }
+        }
+
+        // Set<: u under child at index i < j = v's index, u's top body
+        // position reaching the recursive position (a "red" grandchild):
+        // leaves under the red grandchild reach all leaves under v.
+        let mut x = 0usize;
+        let mut red_prefix: Vec<(u32, u32, rpq_grammar::ProductionId, usize, Vec<NodeId>)> =
+            Vec::new();
+        for &c2 in &b.children {
+            let (cycle, phase, ib) = rec_entry(self.t2.node(c2).entry);
+            while x < a.children.len() {
+                let (_, _, ia) = rec_entry(self.t1.node(a.children[x]).entry);
+                if ia >= ib {
+                    break;
+                }
+                let c1 = a.children[x];
+                for &g in &self.t1.node(c1).children {
+                    if let Some((k, i)) = try_prod_entry(self.t1.node(g).entry) {
+                        if self.is_red(k, i) {
+                            red_prefix.push((ia, 0, k, i, self.t1.leaves_under(g)));
+                        }
+                    }
+                }
+                x += 1;
+            }
+            let v_leaves = self.t2.leaves_under(c2);
+            for (ia, _, k, i, reds) in &red_prefix {
+                let bridge = self
+                    .emit_filter
+                    .map(|plan| plan.bridge_rec_desc(cycle, phase, *ia, ib, *k, *i));
+                // u anchor: below the red grandchild (depth+2);
+                // v anchor: below the recursion child (depth+1).
+                self.emit(reds, depth + 2, &v_leaves, depth + 1, bridge, out);
+            }
+        }
+
+        // Set>: u under child at index i > j = v's index, v having
+        // "blue" grandchildren (reachable from the recursive position).
+        let mut y = 0usize;
+        let mut blue_prefix: Vec<(u32, rpq_grammar::ProductionId, usize, Vec<NodeId>)> =
+            Vec::new();
+        for &c1 in &a.children {
+            let (cycle, phase, ia) = rec_entry(self.t1.node(c1).entry);
+            while y < b.children.len() {
+                let (_, _, ib) = rec_entry(self.t2.node(b.children[y]).entry);
+                if ib >= ia {
+                    break;
+                }
+                let c2 = b.children[y];
+                for &g in &self.t2.node(c2).children {
+                    if let Some((k, j)) = try_prod_entry(self.t2.node(g).entry) {
+                        if self.is_blue(k, j) {
+                            blue_prefix.push((ib, k, j, self.t2.leaves_under(g)));
+                        }
+                    }
+                }
+                y += 1;
+            }
+            let u_leaves = self.t1.leaves_under(c1);
+            for (ib, k, j, blues) in &blue_prefix {
+                let bridge = self
+                    .emit_filter
+                    .map(|plan| plan.bridge_rec_asc(cycle, phase, ia, *ib, *k, *j));
+                // u anchor: below the recursion child (depth+1);
+                // v anchor: below the blue grandchild (depth+2).
+                self.emit(&u_leaves, depth + 1, blues, depth + 2, bridge, out);
+            }
+        }
+    }
+
+    /// Red: position `i` of cycle production `k` reaches the recursive
+    /// position ("v ⇝ v′ in W").
+    fn is_red(&self, k: rpq_grammar::ProductionId, i: usize) -> bool {
+        match self.spec.recursion().cycle_of_production(k) {
+            Some((_, rec_pos)) => self.spec.production(k).body.reaches(i, rec_pos as usize),
+            None => false, // exit production: no deeper unfolding
+        }
+    }
+
+    /// Blue: the recursive position reaches position `j` ("v′ ⇝ v in W").
+    fn is_blue(&self, k: rpq_grammar::ProductionId, j: usize) -> bool {
+        match self.spec.recursion().cycle_of_production(k) {
+            Some((_, rec_pos)) => self.spec.production(k).body.reaches(rec_pos as usize, j),
+            None => false,
+        }
+    }
+}
+
+fn prod_entry(e: Option<LabelEntry>) -> (rpq_grammar::ProductionId, usize) {
+    match e {
+        Some(LabelEntry::Prod { production, pos }) => (production, pos as usize),
+        other => unreachable!("expected production entry, got {other:?}"),
+    }
+}
+
+fn try_prod_entry(e: Option<LabelEntry>) -> Option<(rpq_grammar::ProductionId, usize)> {
+    match e {
+        Some(LabelEntry::Prod { production, pos }) => Some((production, pos as usize)),
+        _ => None,
+    }
+}
+
+fn rec_entry(e: Option<LabelEntry>) -> (u16, u16, u32) {
+    match e {
+        Some(LabelEntry::Rec {
+            cycle,
+            start_phase,
+            idx,
+        }) => (cycle, start_phase, idx),
+        other => unreachable!("expected recursion entry, got {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::SafeQueryPlan;
+    use rpq_automata::{compile_minimal_dfa, parse, Symbol};
+    use rpq_grammar::{ProductionId, SpecificationBuilder};
+    use rpq_labeling::{RunBuilder, Scripted};
+
+    fn fig2() -> Specification {
+        let mut b = SpecificationBuilder::new();
+        for m in ["a", "b", "c", "d", "e"] {
+            b.atomic(m);
+        }
+        for m in ["S", "A", "B"] {
+            b.composite(m);
+        }
+        b.production("S", |w| {
+            let c = w.node("c");
+            let a = w.node("A");
+            let bb = w.node("B");
+            let b2 = w.node("b");
+            // W1 is a diamond: c feeds both A and B, which both feed b
+            // (the only shape consistent with Examples 3.1 and 3.2).
+            w.edge(c, a);
+            w.edge(c, bb);
+            w.edge(a, b2);
+            w.edge(bb, b2);
+        });
+        b.production("A", |w| {
+            let a = w.node("a");
+            let aa = w.node("A");
+            let d = w.node("d");
+            // The paper's unsafe example ⎵* a ⎵* needs an `a` tag that
+            // only W2 executions cross.
+            w.edge_named(a, aa, "a");
+            w.edge(aa, d);
+        });
+        b.production("A", |w| {
+            let e1 = w.node("e");
+            let e2 = w.node("e");
+            w.edge(e1, e2);
+        });
+        b.production("B", |w| {
+            let b1 = w.node("b");
+            let b2 = w.node("b");
+            w.edge(b1, b2);
+        });
+        b.start("S");
+        b.build().unwrap()
+    }
+
+    fn plan(spec: &Specification, text: &str) -> SafeQueryPlan {
+        let re = parse(text, &mut |n| spec.tag_by_name(n).map(|t| Symbol(t.0))).unwrap();
+        SafeQueryPlan::compile(spec, compile_minimal_dfa(&re, spec.n_tags())).unwrap()
+    }
+
+    fn fig2_run(spec: &Specification) -> Run {
+        RunBuilder::new(spec)
+            .policy(Scripted::new([
+                ProductionId(0),
+                ProductionId(1),
+                ProductionId(1),
+                ProductionId(2),
+                ProductionId(3),
+            ]))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn filtered_matches_nested_on_fig2() {
+        let spec = fig2();
+        let run = fig2_run(&spec);
+        let all: Vec<NodeId> = run.node_ids().collect();
+        for q in ["_*", "_* e _*", "_* b _*", "d d", "d+", "b+"] {
+            let p = plan(&spec, q);
+            let nested = all_pairs_nested(&p, &run, &all, &all);
+            let filtered = all_pairs_filtered(&p, &spec, &run, &all, &all);
+            assert_eq!(nested, filtered, "query {q}");
+        }
+    }
+
+    #[test]
+    fn reachability_tree_merge_matches_bfs() {
+        let spec = fig2();
+        let run = RunBuilder::new(&spec).seed(7).target_edges(600).build().unwrap();
+        let all: Vec<NodeId> = run.node_ids().collect();
+        let result = all_pairs_reachability(&spec, &run, &all, &all);
+
+        // BFS ground truth from every node.
+        let mut expected = Vec::new();
+        for u in run.node_ids() {
+            let mut seen = vec![false; run.n_nodes()];
+            let mut stack = vec![u];
+            seen[u.index()] = true;
+            while let Some(x) = stack.pop() {
+                for &(to, _) in run.out_edges(x) {
+                    if !seen[to.index()] {
+                        seen[to.index()] = true;
+                        stack.push(to);
+                    }
+                }
+            }
+            for v in run.node_ids() {
+                if seen[v.index()] {
+                    expected.push((u, v));
+                }
+            }
+        }
+        assert_eq!(result, NodePairSet::from_pairs(expected));
+    }
+
+    #[test]
+    fn example_3_1_all_pairs() {
+        // All-pairs over l1 = {d:1, d:2, e:2}, l2 = {b:1, b:2} for the
+        // paper's Example 3.1 analogues: with tags following the
+        // head-name convention, ⎵* b matches exactly the pairs the paper
+        // lists for R1 and b matches the single pair of R2.
+        let spec = fig2();
+        let run = fig2_run(&spec);
+        let n = |s: &str| run.node_by_name(&spec, s).unwrap();
+        let l1 = vec![n("d:1"), n("d:2"), n("e:2")];
+        let l2 = vec![n("b:1"), n("b:2")];
+
+        let r1 = plan(&spec, "_* b");
+        let got = all_pairs_filtered(&r1, &spec, &run, &l1, &l2);
+        let expect = NodePairSet::from_pairs(vec![
+            (n("d:1"), n("b:1")),
+            (n("d:2"), n("b:1")),
+            (n("e:2"), n("b:1")),
+        ]);
+        assert_eq!(got, expect);
+
+        let r2 = plan(&spec, "b");
+        let got = all_pairs_filtered(&r2, &spec, &run, &l1, &l2);
+        let expect = NodePairSet::from_pairs(vec![(n("d:1"), n("b:1"))]);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn disjoint_lists_and_empty_lists() {
+        let spec = fig2();
+        let run = fig2_run(&spec);
+        let p = plan(&spec, "_*");
+        assert!(all_pairs_filtered(&p, &spec, &run, &[], &[]).is_empty());
+        let some = vec![run.entry()];
+        assert!(all_pairs_filtered(&p, &spec, &run, &some, &[]).is_empty());
+        // Self pair under reachability.
+        let self_pairs = all_pairs_filtered(&p, &spec, &run, &some, &some);
+        assert_eq!(self_pairs.len(), 1);
+    }
+
+    #[test]
+    fn filtered_matches_nested_on_larger_runs() {
+        let spec = fig2();
+        for seed in 0..4u64 {
+            let run = RunBuilder::new(&spec)
+                .seed(seed)
+                .target_edges(300)
+                .build()
+                .unwrap();
+            let all: Vec<NodeId> = run.node_ids().collect();
+            for q in ["_* e _*", "d d", "b+"] {
+                let p = plan(&spec, q);
+                let nested = all_pairs_nested(&p, &run, &all, &all);
+                let filtered = all_pairs_filtered(&p, &spec, &run, &all, &all);
+                assert_eq!(nested, filtered, "seed {seed} query {q}");
+            }
+        }
+    }
+}

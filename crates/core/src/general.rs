@@ -1,0 +1,650 @@
+//! General (possibly unsafe) all-pairs queries — Section IV-B.
+//!
+//! "Our approach": represent the regular expression as a parse tree and
+//! find its *maximal safe subtrees* top-down; each safe subtree is
+//! evaluated with the label-based all-pairs engine (Algorithm 2), and
+//! the unsafe remainder is composed with relational operators exactly as
+//! baseline G1 would (join for concatenation, union for alternation,
+//! semi-naive fixpoint for Kleene closure). Leaf subexpressions (one
+//! symbol, wildcard, ε) are always answered from the tag index — exact
+//! and cheaper than a structural join.
+
+use crate::allpairs::{all_pairs_filtered, all_pairs_nested};
+use crate::plan::{PlanError, SafeQueryPlan};
+use rpq_automata::{compile_minimal_dfa, Regex};
+use rpq_grammar::{Specification, Tag};
+use rpq_labeling::{NodeId, Run};
+use rpq_relalg::{compose, transitive_closure, NodePairSet, Relation, TagIndex};
+
+/// How safe subqueries inside a decomposed plan are evaluated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubqueryPolicy {
+    /// Always use the label-based all-pairs merge (the paper's optRPL).
+    AlwaysLabels,
+    /// Let the cost model pick label-based vs relational per subquery
+    /// (the cost-based optimizer the paper's conclusion sketches).
+    CostBased,
+}
+
+/// A compiled plan for an arbitrary regular path query.
+#[derive(Debug)]
+pub enum QueryPlan {
+    /// The whole query is safe: evaluated purely from labels.
+    Safe(SafeQueryPlan),
+    /// Mixed plan: safe subtrees under relational composition.
+    Composite(PlanNode, SubqueryPolicy),
+}
+
+impl QueryPlan {
+    /// Is the whole query safe for the specification?
+    pub fn is_safe(&self) -> bool {
+        matches!(self, QueryPlan::Safe(_))
+    }
+
+    /// Number of safe sub-plans (1 for a fully safe query).
+    pub fn n_safe_subqueries(&self) -> usize {
+        match self {
+            QueryPlan::Safe(_) => 1,
+            QueryPlan::Composite(node, _) => node.count_safe(),
+        }
+    }
+}
+
+/// One node of a composite plan.
+#[derive(Debug)]
+pub enum PlanNode {
+    /// A maximal safe subtree, normally evaluated with Algorithm 2; the
+    /// original subexpression is kept so the cost model may fall back to
+    /// relational evaluation when the subquery is estimated to be cheap
+    /// (the paper's closing remark: "a very useful component in a
+    /// cost-based query optimizer").
+    SafeEval(Box<SafeQueryPlan>, Regex),
+    /// One edge tag: answered from the tag index.
+    Sym(Tag),
+    /// Any one edge: the full edge relation.
+    Wildcard,
+    /// The empty path.
+    Epsilon,
+    /// The empty language.
+    Empty,
+    /// Concatenation: relational composition of the children.
+    Concat(Vec<PlanNode>),
+    /// Alternation: union of the children.
+    Alt(Vec<PlanNode>),
+    /// Kleene star: semi-naive closure ∪ identity.
+    Star(Box<PlanNode>),
+    /// Kleene plus: semi-naive closure.
+    Plus(Box<PlanNode>),
+    /// Zero-or-one.
+    Optional(Box<PlanNode>),
+}
+
+impl PlanNode {
+    fn count_safe(&self) -> usize {
+        match self {
+            PlanNode::SafeEval(..) => 1,
+            PlanNode::Concat(cs) | PlanNode::Alt(cs) => cs.iter().map(PlanNode::count_safe).sum(),
+            PlanNode::Star(c) | PlanNode::Plus(c) | PlanNode::Optional(c) => c.count_safe(),
+            _ => 0,
+        }
+    }
+}
+
+/// Compile a general query plan: top-down maximal-safe-subtree search.
+///
+/// Fails only on structural grounds (non-strictly-linear spec, DFA too
+/// large); *unsafety* is what this planner exists to handle, so it never
+/// surfaces as an error here.
+pub fn plan_query(spec: &Specification, regex: &Regex) -> Result<QueryPlan, PlanError> {
+    plan_query_with(spec, regex, SubqueryPolicy::CostBased)
+}
+
+/// [`plan_query`] with an explicit subquery-evaluation policy.
+pub fn plan_query_with(
+    spec: &Specification,
+    regex: &Regex,
+    policy: SubqueryPolicy,
+) -> Result<QueryPlan, PlanError> {
+    if !spec.is_strictly_linear() {
+        return Err(PlanError::NotStrictlyLinear);
+    }
+    // Leaf expressions are cheaper via the index even when safe.
+    if !is_leaf(regex) {
+        match try_safe(spec, regex) {
+            Ok(plan) => return Ok(QueryPlan::Safe(plan)),
+            Err(PlanError::Unsafe { .. }) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(QueryPlan::Composite(plan_node(spec, regex)?, policy))
+}
+
+fn is_leaf(re: &Regex) -> bool {
+    matches!(
+        re,
+        Regex::Empty | Regex::Epsilon | Regex::Sym(_) | Regex::Wildcard
+    )
+}
+
+fn try_safe(spec: &Specification, regex: &Regex) -> Result<SafeQueryPlan, PlanError> {
+    let dfa = compile_minimal_dfa(regex, spec.n_tags());
+    SafeQueryPlan::compile(spec, dfa)
+}
+
+fn plan_node(spec: &Specification, regex: &Regex) -> Result<PlanNode, PlanError> {
+    // Non-leaf safe subtree → stop descending (the "largest safe
+    // subtree" heuristic of Section IV-B).
+    if !is_leaf(regex) {
+        match try_safe(spec, regex) {
+            Ok(plan) => return Ok(PlanNode::SafeEval(Box::new(plan), regex.clone())),
+            Err(PlanError::Unsafe { .. } | PlanError::TooManyStates(_)) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(match regex {
+        Regex::Empty => PlanNode::Empty,
+        Regex::Epsilon => PlanNode::Epsilon,
+        Regex::Sym(s) => PlanNode::Sym(Tag(s.0)),
+        Regex::Wildcard => PlanNode::Wildcard,
+        Regex::Concat(parts) => PlanNode::Concat(plan_concat_segments(spec, parts)?),
+        Regex::Alt(parts) => PlanNode::Alt(
+            parts
+                .iter()
+                .map(|p| plan_node(spec, p))
+                .collect::<Result<_, _>>()?,
+        ),
+        Regex::Star(inner) => PlanNode::Star(Box::new(plan_node(spec, inner)?)),
+        Regex::Plus(inner) => PlanNode::Plus(Box::new(plan_node(spec, inner)?)),
+        Regex::Optional(inner) => PlanNode::Optional(Box::new(plan_node(spec, inner)?)),
+    })
+}
+
+/// Plan a concatenation whose whole is unsafe: greedily group maximal
+/// *safe segments* of adjacent factors. This goes beyond the paper's
+/// per-subtree search (its "query rewriting" future work): `A B C` may
+/// be unsafe as a whole while `A B` is safe, and evaluating `A B` with
+/// one label-based subquery instead of two halves both the subquery
+/// count and the join fan-in.
+fn plan_concat_segments(
+    spec: &Specification,
+    parts: &[Regex],
+) -> Result<Vec<PlanNode>, PlanError> {
+    let mut nodes = Vec::new();
+    let mut i = 0;
+    while i < parts.len() {
+        let mut grouped = None;
+        // Longest safe segment of ≥ 2 factors starting at i.
+        for j in ((i + 2)..=parts.len()).rev() {
+            let seg = Regex::concat(parts[i..j].to_vec());
+            if is_leaf(&seg) {
+                continue;
+            }
+            match try_safe(spec, &seg) {
+                Ok(plan) => {
+                    grouped = Some((j, plan));
+                    break;
+                }
+                Err(PlanError::Unsafe { .. } | PlanError::TooManyStates(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        match grouped {
+            Some((j, plan)) => {
+                let seg = Regex::concat(parts[i..j].to_vec());
+                nodes.push(PlanNode::SafeEval(Box::new(plan), seg));
+                i = j;
+            }
+            None => {
+                nodes.push(plan_node(spec, &parts[i])?);
+                i += 1;
+            }
+        }
+    }
+    Ok(nodes)
+}
+
+/// Evaluate a composite plan node to a relation over the run.
+pub fn eval_node(
+    node: &PlanNode,
+    spec: &Specification,
+    run: &Run,
+    index: &TagIndex,
+    universe: &[NodeId],
+    policy: SubqueryPolicy,
+) -> Relation {
+    match node {
+        PlanNode::SafeEval(plan, regex) => {
+            // Cost-based evaluator choice (the optimizer the paper's
+            // conclusion sketches): the label-based merge touches every
+            // reachable candidate pair over the universe, so when the
+            // subquery's relational work estimate is far below that,
+            // plain joins win — e.g. a selective symbol chain on a large
+            // run.
+            if policy == SubqueryPolicy::CostBased {
+                let model = crate::cost::CostModel::new(index, run.n_nodes());
+                let rel_node = relational_node(regex);
+                let n = run.n_nodes() as f64;
+                if model.work_estimate(&rel_node) < n * n / 16.0 {
+                    return eval_node(&rel_node, spec, run, index, universe, policy);
+                }
+            }
+            let pairs = all_pairs_filtered(plan, spec, run, universe, universe);
+            // ε acceptance is already reflected in the self pairs the
+            // safe evaluator emits; strip them back out into the
+            // symbolic identity so downstream composition stays sparse.
+            if plan.accepts_epsilon() {
+                let non_reflexive: NodePairSet =
+                    pairs.iter().filter(|(u, v)| u != v).collect();
+                Relation {
+                    pairs: non_reflexive,
+                    identity: true,
+                }
+            } else {
+                Relation::from_pairs(pairs)
+            }
+        }
+        PlanNode::Sym(tag) => Relation::from_pairs(index.edges(*tag).clone()),
+        PlanNode::Wildcard => Relation::from_pairs(index.all_edges()),
+        PlanNode::Epsilon => Relation::epsilon(),
+        PlanNode::Empty => Relation::empty(),
+        PlanNode::Concat(children) => {
+            if children.len() <= 2 {
+                let mut rel = eval_node(&children[0], spec, run, index, universe, policy);
+                for c in &children[1..] {
+                    if rel.pairs.is_empty() && !rel.identity {
+                        return Relation::empty();
+                    }
+                    rel = compose(&rel, &eval_node(c, spec, run, index, universe, policy));
+                }
+                return rel;
+            }
+            // Associate the chain by estimated intermediate sizes (the
+            // paper's cost-model future work; see `cost`).
+            let model = crate::cost::CostModel::new(index, run.n_nodes());
+            let sizes: Vec<f64> = children.iter().map(|c| model.estimate(c)).collect();
+            let order = model.chain_order(&sizes);
+            eval_chain(children, &order, 0, children.len() - 1, spec, run, index, universe, policy)
+        }
+        PlanNode::Alt(children) => {
+            let mut rel = Relation::empty();
+            for c in children {
+                rel = rel.union(&eval_node(c, spec, run, index, universe, policy));
+            }
+            rel
+        }
+        PlanNode::Star(inner) => {
+            let base = eval_node(inner, spec, run, index, universe, policy);
+            Relation {
+                pairs: transitive_closure(&base.pairs),
+                identity: true,
+            }
+        }
+        PlanNode::Plus(inner) => {
+            let base = eval_node(inner, spec, run, index, universe, policy);
+            Relation {
+                pairs: transitive_closure(&base.pairs),
+                identity: base.identity,
+            }
+        }
+        PlanNode::Optional(inner) => {
+            let base = eval_node(inner, spec, run, index, universe, policy);
+            Relation {
+                pairs: base.pairs,
+                identity: true,
+            }
+        }
+    }
+}
+
+/// Lower a regex to a purely relational plan (no label-based subqueries)
+/// — the evaluator baseline G1 uses, and the cost model's fallback shape.
+pub fn relational_node(regex: &Regex) -> PlanNode {
+    match regex {
+        Regex::Empty => PlanNode::Empty,
+        Regex::Epsilon => PlanNode::Epsilon,
+        Regex::Sym(s) => PlanNode::Sym(Tag(s.0)),
+        Regex::Wildcard => PlanNode::Wildcard,
+        Regex::Concat(parts) => PlanNode::Concat(parts.iter().map(relational_node).collect()),
+        Regex::Alt(parts) => PlanNode::Alt(parts.iter().map(relational_node).collect()),
+        Regex::Star(inner) => PlanNode::Star(Box::new(relational_node(inner))),
+        Regex::Plus(inner) => PlanNode::Plus(Box::new(relational_node(inner))),
+        Regex::Optional(inner) => PlanNode::Optional(Box::new(relational_node(inner))),
+    }
+}
+
+/// Evaluate a concatenation segment `i..=j` in the association order the
+/// cost model chose.
+#[allow(clippy::too_many_arguments)]
+fn eval_chain(
+    children: &[PlanNode],
+    order: &crate::cost::ChainOrder,
+    i: usize,
+    j: usize,
+    spec: &Specification,
+    run: &Run,
+    index: &TagIndex,
+    universe: &[NodeId],
+    policy: SubqueryPolicy,
+) -> Relation {
+    if i == j {
+        return eval_node(&children[i], spec, run, index, universe, policy);
+    }
+    let k = order.split_of(i, j);
+    let left = eval_chain(children, order, i, k, spec, run, index, universe, policy);
+    if left.pairs.is_empty() && !left.identity {
+        return Relation::empty();
+    }
+    let right = eval_chain(children, order, k + 1, j, spec, run, index, universe, policy);
+    compose(&left, &right)
+}
+
+/// Evaluate a full query plan as an all-pairs query over `l1 × l2`.
+pub fn all_pairs(
+    plan: &QueryPlan,
+    spec: &Specification,
+    run: &Run,
+    index: &TagIndex,
+    l1: &[NodeId],
+    l2: &[NodeId],
+) -> NodePairSet {
+    match plan {
+        QueryPlan::Safe(p) => all_pairs_filtered(p, spec, run, l1, l2),
+        QueryPlan::Composite(node, policy) => {
+            let universe: Vec<NodeId> = run.node_ids().collect();
+            let rel = eval_node(node, spec, run, index, &universe, *policy);
+            let mut l2sorted = l2.to_vec();
+            l2sorted.sort_unstable();
+            l2sorted.dedup();
+            let mut out = Vec::new();
+            for &u in l1 {
+                for &v in &l2sorted {
+                    if rel.contains(u, v) {
+                        out.push((u, v));
+                    }
+                }
+            }
+            NodePairSet::from_pairs(out)
+        }
+    }
+}
+
+/// Evaluate a full query plan pairwise.
+pub fn pairwise(
+    plan: &QueryPlan,
+    spec: &Specification,
+    run: &Run,
+    index: &TagIndex,
+    u: NodeId,
+    v: NodeId,
+) -> bool {
+    match plan {
+        QueryPlan::Safe(p) => p.pairwise(run, u, v),
+        QueryPlan::Composite(node, policy) => {
+            let universe: Vec<NodeId> = run.node_ids().collect();
+            eval_node(node, spec, run, index, &universe, *policy).contains(u, v)
+        }
+    }
+}
+
+/// Nested-loop variant for the "RPL" measurement (Option S1) on safe
+/// plans; composite plans fall back to [`all_pairs`].
+pub fn all_pairs_s1(
+    plan: &QueryPlan,
+    spec: &Specification,
+    run: &Run,
+    index: &TagIndex,
+    l1: &[NodeId],
+    l2: &[NodeId],
+) -> NodePairSet {
+    match plan {
+        QueryPlan::Safe(p) => all_pairs_nested(p, run, l1, l2),
+        QueryPlan::Composite(..) => all_pairs(plan, spec, run, index, l1, l2),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpq_automata::{parse, Symbol};
+    use rpq_grammar::SpecificationBuilder;
+    use rpq_labeling::RunBuilder;
+
+    fn fig2() -> Specification {
+        let mut b = SpecificationBuilder::new();
+        for m in ["a", "b", "c", "d", "e"] {
+            b.atomic(m);
+        }
+        for m in ["S", "A", "B"] {
+            b.composite(m);
+        }
+        b.production("S", |w| {
+            let c = w.node("c");
+            let a = w.node("A");
+            let bb = w.node("B");
+            let b2 = w.node("b");
+            // W1 is a diamond: c feeds both A and B, which both feed b
+            // (the only shape consistent with Examples 3.1 and 3.2).
+            w.edge(c, a);
+            w.edge(c, bb);
+            w.edge(a, b2);
+            w.edge(bb, b2);
+        });
+        b.production("A", |w| {
+            let a = w.node("a");
+            let aa = w.node("A");
+            let d = w.node("d");
+            // The paper's unsafe example ⎵* a ⎵* needs an `a` tag that
+            // only W2 executions cross.
+            w.edge_named(a, aa, "a");
+            w.edge(aa, d);
+        });
+        b.production("A", |w| {
+            let e1 = w.node("e");
+            let e2 = w.node("e");
+            w.edge(e1, e2);
+        });
+        b.production("B", |w| {
+            let b1 = w.node("b");
+            let b2 = w.node("b");
+            w.edge(b1, b2);
+        });
+        b.start("S");
+        b.build().unwrap()
+    }
+
+    fn q(spec: &Specification, text: &str) -> Regex {
+        parse(text, &mut |n| spec.tag_by_name(n).map(|t| Symbol(t.0))).unwrap()
+    }
+
+    #[test]
+    fn safe_query_gets_a_safe_plan() {
+        let spec = fig2();
+        let plan = plan_query(&spec, &q(&spec, "_* e _*")).unwrap();
+        assert!(plan.is_safe());
+        assert_eq!(plan.n_safe_subqueries(), 1);
+    }
+
+    #[test]
+    fn unsafe_query_decomposes() {
+        // ⎵* a ⎵* is unsafe for Fig. 2 (the paper's running example).
+        let spec = fig2();
+        let plan = plan_query(&spec, &q(&spec, "_* a _*")).unwrap();
+        assert!(!plan.is_safe());
+        // Decomposition: [⎵*][a][⎵*] with two safe reachability parts.
+        assert_eq!(plan.n_safe_subqueries(), 2);
+    }
+
+    #[test]
+    fn composite_matches_safe_on_safe_remainder() {
+        // Even when forced through the composite path, the answer agrees
+        // with the label-based evaluator.
+        let spec = fig2();
+        let run = RunBuilder::new(&spec).seed(3).target_edges(120).build().unwrap();
+        let index = TagIndex::build(&run, spec.n_tags());
+        let all: Vec<NodeId> = run.node_ids().collect();
+
+        let regex = q(&spec, "_* e _*");
+        let safe = plan_query(&spec, &regex).unwrap();
+        let forced = QueryPlan::Composite(
+            PlanNode::Concat(vec![
+            PlanNode::SafeEval(
+                Box::new(
+                    SafeQueryPlan::compile(
+                        &spec,
+                        compile_minimal_dfa(&q(&spec, "_*"), spec.n_tags()),
+                    )
+                    .unwrap(),
+                ),
+                q(&spec, "_*"),
+            ),
+            PlanNode::Sym(spec.tag_by_name("e").unwrap()),
+            PlanNode::SafeEval(
+                Box::new(
+                    SafeQueryPlan::compile(
+                        &spec,
+                        compile_minimal_dfa(&q(&spec, "_*"), spec.n_tags()),
+                    )
+                    .unwrap(),
+                ),
+                q(&spec, "_*"),
+            ),
+            ]),
+            SubqueryPolicy::AlwaysLabels,
+        );
+        let a = all_pairs(&safe, &spec, &run, &index, &all, &all);
+        let b = all_pairs(&forced, &spec, &run, &index, &all, &all);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unsafe_plan_answers_correctly() {
+        let spec = fig2();
+        let run = {
+            use rpq_grammar::ProductionId;
+            RunBuilder::new(&spec)
+                .policy(rpq_labeling::Scripted::new([
+                    ProductionId(0),
+                    ProductionId(1),
+                    ProductionId(1),
+                    ProductionId(2),
+                    ProductionId(3),
+                ]))
+                .build()
+                .unwrap()
+        };
+        let index = TagIndex::build(&run, spec.n_tags());
+        let n = |s: &str| run.node_by_name(&spec, s).unwrap();
+
+        // ⎵* a ⎵*: true iff the path crosses an `a`-tagged edge.
+        // In the Fig. 2b run the a-tagged edges are a:1→a:2 and
+        // a:2→e:1 (both introduced by W2 firings).
+        let plan = plan_query(&spec, &q(&spec, "_* a _*")).unwrap();
+        assert!(pairwise(&plan, &spec, &run, &index, n("c:1"), n("e:2")));
+        assert!(pairwise(&plan, &spec, &run, &index, n("c:1"), n("b:1")));
+        assert!(!pairwise(&plan, &spec, &run, &index, n("e:1"), n("b:1")));
+        assert!(!pairwise(&plan, &spec, &run, &index, n("d:2"), n("b:1")));
+
+        // Exact single symbol (unsafe leaf): e matches only e:1 → e:2.
+        let plan_e = plan_query(&spec, &q(&spec, "e")).unwrap();
+        let all: Vec<NodeId> = run.node_ids().collect();
+        let res = all_pairs(&plan_e, &spec, &run, &index, &all, &all);
+        assert_eq!(res.len(), 1);
+        assert!(res.contains(n("e:1"), n("e:2")));
+    }
+
+    #[test]
+    fn concat_segments_group_maximal_safe_prefixes() {
+        // ⎵* e ⎵* a ⎵* is unsafe for Fig. 2 (whether an `a` follows the
+        // e depends on the recursion depth), but the prefix ⎵* e ⎵* a
+        // happens to be safe: grouping it into one label-based subquery
+        // leaves [SafeEval(⎵* e ⎵* a), SafeEval(⎵*)] — 2 safe
+        // subqueries where per-child planning would produce 3
+        // reachability subqueries plus two index symbols.
+        let spec = fig2();
+        let regex = q(&spec, "_* e _* a _*");
+        let plan = plan_query(&spec, &regex).unwrap();
+        assert!(!plan.is_safe());
+        assert_eq!(plan.n_safe_subqueries(), 2);
+
+        // Correctness against a product-BFS referee.
+        let run = RunBuilder::new(&spec).seed(5).target_edges(150).build().unwrap();
+        let index = TagIndex::build(&run, spec.n_tags());
+        let all: Vec<NodeId> = run.node_ids().collect();
+        let got = all_pairs(&plan, &spec, &run, &index, &all, &all);
+        let expected = bfs_referee(&spec, &run, &regex, &all);
+        assert_eq!(got, expected);
+    }
+
+    /// Tiny product-BFS referee (inline to avoid a dev-dependency cycle
+    /// with rpq-baselines).
+    fn bfs_referee(
+        spec: &Specification,
+        run: &Run,
+        regex: &Regex,
+        all: &[NodeId],
+    ) -> NodePairSet {
+        let dfa = compile_minimal_dfa(regex, spec.n_tags());
+        let mut acc_mask = 0u64;
+        for (state, &is_acc) in dfa.accepting().iter().enumerate() {
+            if is_acc {
+                acc_mask |= 1 << state;
+            }
+        }
+        let mut expected = Vec::new();
+        for &u in all {
+            let mut masks = vec![0u64; run.n_nodes()];
+            masks[u.index()] |= 1 << dfa.start();
+            let mut stack = vec![(u, dfa.start())];
+            while let Some((x, qs)) = stack.pop() {
+                for &(y, tag) in run.out_edges(x) {
+                    let q2 = dfa.next(qs, Symbol(tag.0));
+                    if masks[y.index()] >> q2 & 1 == 0 {
+                        masks[y.index()] |= 1 << q2;
+                        stack.push((y, q2));
+                    }
+                }
+            }
+            for &v in all {
+                let hit = if u == v {
+                    dfa.accepts_epsilon()
+                } else {
+                    masks[v.index()] & acc_mask != 0
+                };
+                if hit {
+                    expected.push((u, v));
+                }
+            }
+        }
+        NodePairSet::from_pairs(expected)
+    }
+
+    #[test]
+    fn cost_ordered_chain_is_exact() {
+        // Long unsafe chains go through the matrix-chain association;
+        // the result must be identical to naive left-to-right folding.
+        let spec = fig2();
+        let run = RunBuilder::new(&spec).seed(9).target_edges(200).build().unwrap();
+        let index = TagIndex::build(&run, spec.n_tags());
+        let all: Vec<NodeId> = run.node_ids().collect();
+        let regex = q(&spec, "_* a _* a _* d _*");
+        let plan = plan_query(&spec, &regex).unwrap();
+        assert!(!plan.is_safe());
+        let got = all_pairs(&plan, &spec, &run, &index, &all, &all);
+        assert_eq!(got, bfs_referee(&spec, &run, &regex, &all));
+    }
+
+    #[test]
+    fn empty_and_epsilon_plans() {
+        let spec = fig2();
+        let run = RunBuilder::new(&spec).seed(1).target_edges(40).build().unwrap();
+        let index = TagIndex::build(&run, spec.n_tags());
+        let all: Vec<NodeId> = run.node_ids().collect();
+
+        let empty = plan_query(&spec, &Regex::Empty).unwrap();
+        assert!(all_pairs(&empty, &spec, &run, &index, &all, &all).is_empty());
+
+        let eps = plan_query(&spec, &Regex::Epsilon).unwrap();
+        let res = all_pairs(&eps, &spec, &run, &index, &all, &all);
+        assert_eq!(res.len(), run.n_nodes()); // exactly the self pairs
+    }
+}

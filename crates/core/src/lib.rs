@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! The paper's core contribution: answering regular path queries on
+//! workflow provenance with derivation-based reachability labels.
+//!
+//! Pipeline (Huang, Bao, Davidson, Milo, Yuan — ICDE 2015):
+//!
+//! 1. compile the query to its **minimal DFA** (`rpq-automata`);
+//! 2. **check safety** w.r.t. the workflow specification via the λ-matrix
+//!    fixpoint ([`safety`], Section III-C);
+//! 3. for safe queries, build the implicit **query-intersected
+//!    specification** `G_R` as per-production port-graph closures
+//!    ([`portgraph`], Section III-B) and compile a [`SafeQueryPlan`];
+//! 4. answer **pairwise** queries in constant time per pair by decoding
+//!    the two nodes' labels ([`plan`], Algorithm 1);
+//! 5. answer **all-pairs** queries with a tree-merge structural join over
+//!    label tries ([`allpairs`], Algorithm 2 — Options S1/S2);
+//! 6. **decompose** unsafe queries into maximal safe subtrees composed
+//!    relationally ([`general`], Section IV-B).
+//!
+//! [`RpqEngine`] is the high-level entry point.
+
+pub mod allpairs;
+pub mod cost;
+pub mod engine;
+pub mod general;
+pub mod matrix;
+pub mod plan;
+pub mod portgraph;
+pub mod safety;
+
+pub use allpairs::{all_pairs_filtered, all_pairs_nested, all_pairs_reachability};
+pub use cost::{ChainOrder, CostModel};
+pub use engine::RpqEngine;
+pub use general::{
+    all_pairs, eval_node, pairwise, plan_query, plan_query_with, relational_node, PlanNode,
+    QueryPlan, SubqueryPolicy,
+};
+pub use matrix::StateMatrix;
+pub use plan::{PlanError, SafeQueryPlan};
+pub use portgraph::BodyMatrices;
+pub use safety::{check_safety, SafetyOutcome};

@@ -1,0 +1,988 @@
+//! Compiled safe-query plans and the pairwise label decoder.
+//!
+//! [`SafeQueryPlan`] packages everything Algorithm 1 needs: the minimal
+//! DFA, λ matrices, per-production port-graph closures (the implicit
+//! `G_R` of Section III-B) and, per recursion cycle, the step matrices
+//! *and their period-product binary powers*, so the decoder jumps over
+//! arbitrarily many recursion unfoldings in `O(log n)` bitmask
+//! operations. Given the labels of two nodes, [`SafeQueryPlan::pairwise`]
+//! answers `u —R→ v` in time independent of the run size, without heap
+//! allocation.
+//!
+//! ## Decoding
+//!
+//! Write both labels from their divergence point (the lowest common
+//! ancestor in the compressed parse tree). Any `u → v` path in the run
+//! must exit `u`'s enclosing sub-runs through their unique exit nodes,
+//! cross the LCA's production body (or recursion chain), and enter `v`'s
+//! enclosing sub-runs through their unique entry nodes; the state
+//! matrices compose accordingly:
+//!
+//! * same-production divergence `(k,i)` vs `(k,j)`:
+//!   `exit(u…) · between_k(i, j) · enter(v…)`;
+//! * recursion divergence `(s,t,a)` vs `(s,t,b)` with `a < b` (v nested
+//!   deeper): `exit(u…) · between_{k_a}(i₁, rec) · desc^{b-a-1} ·
+//!   enter(v…)`;
+//! * `a > b` (u nested deeper): `exit(u…) · asc^{a-b-1} ·
+//!   between_{k_b}(rec, j₁) · enter(v…)`.
+//!
+//! The pairwise decoder propagates the start-state **row bitmask**
+//! through this product left-to-right; the all-pairs evaluator uses the
+//! [`Bridge`] factorization instead — all pairs of an emitted candidate
+//! group share the bridge, so each `u` needs one forward row pass
+//! ([`SafeQueryPlan::source_mask`]), each `v` one backward column pass
+//! ([`SafeQueryPlan::target_mask`]), and each pair a single `AND`.
+
+use crate::matrix::StateMatrix;
+use crate::portgraph::BodyMatrices;
+use crate::safety::{check_safety, SafetyOutcome};
+use rpq_automata::Dfa;
+use rpq_grammar::{ProductionId, Specification};
+use rpq_labeling::{Label, LabelEntry, NodeId, Run};
+use std::fmt;
+
+/// Why a safe plan could not be produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// The minimal DFA exceeds the 64-state matrix cap.
+    TooManyStates(usize),
+    /// The specification is not strictly linear-recursive.
+    NotStrictlyLinear,
+    /// The query is not safe w.r.t. the specification (the interesting
+    /// case — callers fall back to decomposition, Section IV-B).
+    Unsafe {
+        /// A production whose executions disagree.
+        witness: ProductionId,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::TooManyStates(n) => write!(f, "minimal DFA has {n} states (max 64)"),
+            PlanError::NotStrictlyLinear => {
+                write!(f, "specification is not strictly linear-recursive")
+            }
+            PlanError::Unsafe { witness } => {
+                write!(f, "query is unsafe (witness production #{})", witness.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// Number of precomputed period-power levels (`2^47` unfoldings — far
+/// beyond any materializable run).
+const POW_LEVELS: usize = 48;
+
+/// Per-cycle decoding tables.
+#[derive(Debug, Clone)]
+struct CyclePlan {
+    len: usize,
+    /// Per phase: the cycle production and its recursive body position.
+    production: Vec<ProductionId>,
+    rec_pos: Vec<usize>,
+    /// Per phase φ: body-input → in(rec position) of the φ-cycle
+    /// production (one descent step).
+    desc_step: Vec<StateMatrix>,
+    /// Per phase φ: out(rec position) → body-output (one ascent step).
+    asc_step: Vec<StateMatrix>,
+    /// `desc_pows[p][k]` = (product of one descent period starting at
+    /// phase `p`)^(2^k).
+    desc_pows: Vec<Vec<StateMatrix>>,
+    /// `asc_pows[p][k]` = (product of one ascent period starting at
+    /// phase `p`, phases descending)^(2^k).
+    asc_pows: Vec<Vec<StateMatrix>>,
+}
+
+impl CyclePlan {
+    /// Phase of the `c`-th recursion child (1-based) for a chain
+    /// starting at phase `t`.
+    #[inline]
+    fn phase(&self, t: u64, c: u64) -> usize {
+        ((t + c - 1) % self.len as u64) as usize
+    }
+
+    /// Full matrix of `count` descent steps with phases `p0, p0+1, …`.
+    fn desc_range(&self, p0: usize, count: u64) -> StateMatrix {
+        let n = self.desc_step[0].dim();
+        let l = self.len as u64;
+        if count <= 2 * l {
+            let mut m = StateMatrix::identity(n);
+            for i in 0..count {
+                m = m.mul(&self.desc_step[(p0 as u64 + i) as usize % self.len]);
+            }
+            return m;
+        }
+        let (q, r) = (count / l, count % l);
+        let mut m = pow_from_table(&self.desc_pows[p0], q, n);
+        for i in 0..r {
+            m = m.mul(&self.desc_step[(p0 as u64 + i) as usize % self.len]);
+        }
+        m
+    }
+
+    /// Full matrix of `count` ascent steps with phases `p0, p0-1, …`.
+    fn asc_range(&self, p0: usize, count: u64) -> StateMatrix {
+        let n = self.asc_step[0].dim();
+        let l = self.len as u64;
+        let step = |i: u64| &self.asc_step[((p0 as u64 + l - (i % l)) % l) as usize];
+        if count <= 2 * l {
+            let mut m = StateMatrix::identity(n);
+            for i in 0..count {
+                m = m.mul(step(i));
+            }
+            return m;
+        }
+        let (q, r) = (count / l, count % l);
+        let mut m = pow_from_table(&self.asc_pows[p0], q, n);
+        for i in 0..r {
+            m = m.mul(step(i));
+        }
+        m
+    }
+
+    /// `row · descⁿ` without allocating.
+    fn desc_row(&self, mut row: u64, p0: usize, count: u64) -> u64 {
+        let l = self.len as u64;
+        let (q, r) = if count > 2 * l {
+            (count / l, count % l)
+        } else {
+            (0, count)
+        };
+        if q > 0 {
+            row = row_pow(&self.desc_pows[p0], q, row);
+        }
+        for i in 0..r {
+            row = self.desc_step[(p0 as u64 + i) as usize % self.len].row_mul(row);
+        }
+        row
+    }
+
+    /// `descⁿ · col` without allocating.
+    fn desc_col(&self, mut col: u64, p0: usize, count: u64) -> u64 {
+        let l = self.len as u64;
+        let (q, r) = if count > 2 * l {
+            (count / l, count % l)
+        } else {
+            (0, count)
+        };
+        // M = P^q · partial; apply the partial steps to the column
+        // first (right to left).
+        for i in (0..r).rev() {
+            col = self.desc_step[(p0 as u64 + i) as usize % self.len].col_mul(col);
+        }
+        if q > 0 {
+            col = col_pow(&self.desc_pows[p0], q, col);
+        }
+        col
+    }
+
+    /// `row · ascⁿ` without allocating (phases descend).
+    fn asc_row(&self, mut row: u64, p0: usize, count: u64) -> u64 {
+        let l = self.len as u64;
+        let step = |i: u64| &self.asc_step[((p0 as u64 + l - (i % l)) % l) as usize];
+        let (q, r) = if count > 2 * l {
+            (count / l, count % l)
+        } else {
+            (0, count)
+        };
+        if q > 0 {
+            row = row_pow(&self.asc_pows[p0], q, row);
+        }
+        for i in 0..r {
+            row = step(i).row_mul(row);
+        }
+        row
+    }
+
+}
+
+/// `P^q` from a binary power table (powers of one matrix commute, so
+/// application order is free).
+fn pow_from_table(pows: &[StateMatrix], q: u64, n: usize) -> StateMatrix {
+    let mut m = StateMatrix::identity(n);
+    for (k, p) in pows.iter().enumerate() {
+        if q >> k & 1 == 1 {
+            m = m.mul(p);
+        }
+    }
+    debug_assert!(q < (1u64 << pows.len().min(63)), "period power overflow");
+    m
+}
+
+/// `row · P^q` via the power table.
+fn row_pow(pows: &[StateMatrix], q: u64, mut row: u64) -> u64 {
+    for (k, p) in pows.iter().enumerate() {
+        if q >> k & 1 == 1 {
+            row = p.row_mul(row);
+        }
+    }
+    row
+}
+
+/// `P^q · col` via the power table.
+fn col_pow(pows: &[StateMatrix], q: u64, mut col: u64) -> u64 {
+    for (k, p) in pows.iter().enumerate() {
+        if q >> k & 1 == 1 {
+            col = p.col_mul(col);
+        }
+    }
+    col
+}
+
+/// A compiled plan for one safe query against one specification.
+#[derive(Debug, Clone)]
+pub struct SafeQueryPlan {
+    dfa: Dfa,
+    start_state: usize,
+    accepting_mask: u64,
+    epsilon: bool,
+    lambda: Vec<StateMatrix>,
+    bodies: Vec<BodyMatrices>,
+    cycles: Vec<CyclePlan>,
+}
+
+/// The group-constant middle factor of a decode: all pairs of one
+/// emitted candidate group share it (see module docs).
+#[derive(Debug, Clone)]
+pub struct Bridge {
+    matrix: StateMatrix,
+}
+
+impl SafeQueryPlan {
+    /// Compile a plan from a *minimal* DFA. Checks strict linearity and
+    /// safety; on success the plan answers pairwise queries in constant
+    /// time w.r.t. run size.
+    pub fn compile(spec: &Specification, dfa: Dfa) -> Result<SafeQueryPlan, PlanError> {
+        if dfa.n_states() > crate::matrix::MAX_STATES {
+            return Err(PlanError::TooManyStates(dfa.n_states()));
+        }
+        if !spec.is_strictly_linear() {
+            return Err(PlanError::NotStrictlyLinear);
+        }
+        let (lambda, bodies) = match check_safety(spec, &dfa) {
+            SafetyOutcome::Safe { lambda, bodies } => (lambda, bodies),
+            SafetyOutcome::Unsafe { witness } => return Err(PlanError::Unsafe { witness }),
+        };
+
+        let n = dfa.n_states();
+        let cycles = spec
+            .recursion()
+            .cycles
+            .iter()
+            .map(|cycle| {
+                let len = cycle.len();
+                let mut production = Vec::with_capacity(len);
+                let mut rec_pos = Vec::with_capacity(len);
+                let mut desc_step = Vec::with_capacity(len);
+                let mut asc_step = Vec::with_capacity(len);
+                for e in &cycle.edges {
+                    let bm = &bodies[e.production.index()];
+                    production.push(e.production);
+                    rec_pos.push(e.body_pos as usize);
+                    desc_step.push(bm.down(e.body_pos as usize).clone());
+                    asc_step.push(bm.up(e.body_pos as usize).clone());
+                }
+                // Period products per rotation, plus binary powers.
+                let mut desc_pows = Vec::with_capacity(len);
+                let mut asc_pows = Vec::with_capacity(len);
+                for p in 0..len {
+                    let mut dp = StateMatrix::identity(n);
+                    let mut ap = StateMatrix::identity(n);
+                    for i in 0..len {
+                        dp = dp.mul(&desc_step[(p + i) % len]);
+                        ap = ap.mul(&asc_step[(p + len - i % len) % len]);
+                    }
+                    let mut dpow = Vec::with_capacity(POW_LEVELS);
+                    let mut apow = Vec::with_capacity(POW_LEVELS);
+                    for _ in 0..POW_LEVELS {
+                        dpow.push(dp.clone());
+                        apow.push(ap.clone());
+                        dp = dp.mul(&dp);
+                        ap = ap.mul(&ap);
+                    }
+                    desc_pows.push(dpow);
+                    asc_pows.push(apow);
+                }
+                CyclePlan {
+                    len,
+                    production,
+                    rec_pos,
+                    desc_step,
+                    asc_step,
+                    desc_pows,
+                    asc_pows,
+                }
+            })
+            .collect();
+
+        let mut accepting_mask = 0u64;
+        for (q, &acc) in dfa.accepting().iter().enumerate() {
+            if acc {
+                accepting_mask |= 1 << q;
+            }
+        }
+        Ok(SafeQueryPlan {
+            start_state: dfa.start() as usize,
+            accepting_mask,
+            epsilon: dfa.accepts_epsilon(),
+            lambda,
+            bodies,
+            cycles,
+            dfa,
+        })
+    }
+
+    /// The minimal DFA the plan was compiled from.
+    pub fn dfa(&self) -> &Dfa {
+        &self.dfa
+    }
+
+    /// Number of DFA states `|Q|`.
+    pub fn n_states(&self) -> usize {
+        self.dfa.n_states()
+    }
+
+    /// Does the query accept the empty path (`u —R→ u` on a DAG)?
+    pub fn accepts_epsilon(&self) -> bool {
+        self.epsilon
+    }
+
+    /// λ matrix of a module (for diagnostics and tests).
+    pub fn lambda(&self, module: rpq_grammar::ModuleId) -> &StateMatrix {
+        &self.lambda[module.index()]
+    }
+
+    /// Is this the trivial reachability plan (`⎵*`)?
+    pub fn is_reachability(&self) -> bool {
+        self.dfa.n_states() == 1 && self.epsilon
+    }
+
+    /// Accepting-state bitmask.
+    pub fn accepting_mask(&self) -> u64 {
+        self.accepting_mask
+    }
+
+    /// The DFA start state.
+    pub fn start_state(&self) -> usize {
+        self.start_state
+    }
+
+    /// Answer the pairwise query `u —R→ v` from labels alone
+    /// (Algorithm 1 / Theorem 1). Allocation-free.
+    pub fn pairwise(&self, run: &Run, u: NodeId, v: NodeId) -> bool {
+        if u == v {
+            return self.epsilon;
+        }
+        self.pairwise_labels(run.label(u), run.label(v))
+    }
+
+    /// Pairwise decode from raw labels (distinct leaves of one run).
+    pub fn pairwise_labels(&self, lu: &Label, lv: &Label) -> bool {
+        let cp = lu.common_prefix_len(lv);
+        let eu = &lu.entries()[cp..];
+        let ev = &lv.entries()[cp..];
+        debug_assert!(
+            !eu.is_empty() && !ev.is_empty(),
+            "labels of distinct leaves diverge strictly before both ends"
+        );
+        let q0 = 1u64 << self.start_state;
+        let row = match (eu[0], ev[0]) {
+            (
+                LabelEntry::Prod {
+                    production: k1,
+                    pos: i,
+                },
+                LabelEntry::Prod { pos: j, .. },
+            ) => {
+                let row = self.exit_row(q0, &eu[1..]);
+                let row = self.bodies[k1.index()]
+                    .between(i as usize, j as usize)
+                    .row_mul(row);
+                self.enter_row(row, &ev[1..])
+            }
+            (
+                LabelEntry::Rec {
+                    cycle,
+                    start_phase,
+                    idx: a,
+                },
+                LabelEntry::Rec { idx: b, .. },
+            ) => {
+                let cpl = &self.cycles[cycle as usize];
+                let t = start_phase as u64;
+                if a < b {
+                    let (ka, i1) = expect_prod(&eu[1]);
+                    debug_assert_eq!(ka, cpl.production[cpl.phase(t, a as u64)]);
+                    let rp = cpl.rec_pos[cpl.phase(t, a as u64)];
+                    let row = self.exit_row(q0, &eu[2..]);
+                    let row = self.bodies[ka.index()].between(i1, rp).row_mul(row);
+                    let row = cpl.desc_row(row, cpl.phase(t, a as u64 + 1), (b - a - 1) as u64);
+                    self.enter_row(row, &ev[1..])
+                } else {
+                    let (kb, j1) = expect_prod(&ev[1]);
+                    debug_assert_eq!(kb, cpl.production[cpl.phase(t, b as u64)]);
+                    let rp = cpl.rec_pos[cpl.phase(t, b as u64)];
+                    let row = self.exit_row(q0, &eu[1..]);
+                    let row = cpl.asc_row(row, cpl.phase(t, a as u64 - 1), (a - b - 1) as u64);
+                    let row = self.bodies[kb.index()].between(rp, j1).row_mul(row);
+                    self.enter_row(row, &ev[2..])
+                }
+            }
+            _ => unreachable!("siblings are either all production or all recursion children"),
+        };
+        row & self.accepting_mask != 0
+    }
+
+    /// The full state-transition matrix from `out(u)` to `in(v)` (test
+    /// and diagnostics API; production paths use bitmask rows instead).
+    pub fn decode_matrix(&self, lu: &Label, lv: &Label) -> StateMatrix {
+        let cp = lu.common_prefix_len(lv);
+        let eu = &lu.entries()[cp..];
+        let ev = &lv.entries()[cp..];
+        debug_assert!(!eu.is_empty() && !ev.is_empty());
+        match (eu[0], ev[0]) {
+            (
+                LabelEntry::Prod {
+                    production: k1,
+                    pos: i,
+                },
+                LabelEntry::Prod { pos: j, .. },
+            ) => {
+                let bm = &self.bodies[k1.index()];
+                self.exit_matrix(&eu[1..])
+                    .mul(bm.between(i as usize, j as usize))
+                    .mul(&self.enter_matrix(&ev[1..]))
+            }
+            (
+                LabelEntry::Rec {
+                    cycle,
+                    start_phase,
+                    idx: a,
+                },
+                LabelEntry::Rec { idx: b, .. },
+            ) => {
+                let cpl = &self.cycles[cycle as usize];
+                let t = start_phase as u64;
+                if a < b {
+                    let (ka, i1) = expect_prod(&eu[1]);
+                    let rp = cpl.rec_pos[cpl.phase(t, a as u64)];
+                    self.exit_matrix(&eu[2..])
+                        .mul(self.bodies[ka.index()].between(i1, rp))
+                        .mul(&cpl.desc_range(cpl.phase(t, a as u64 + 1), (b - a - 1) as u64))
+                        .mul(&self.enter_matrix(&ev[1..]))
+                } else {
+                    let (kb, j1) = expect_prod(&ev[1]);
+                    let rp = cpl.rec_pos[cpl.phase(t, b as u64)];
+                    self.exit_matrix(&eu[1..])
+                        .mul(&cpl.asc_range(cpl.phase(t, a as u64 - 1), (a - b - 1) as u64))
+                        .mul(self.bodies[kb.index()].between(rp, j1))
+                        .mul(&self.enter_matrix(&ev[2..]))
+                }
+            }
+            _ => unreachable!("siblings are either all production or all recursion children"),
+        }
+    }
+
+    // -- Group decoding (Algorithm 2's output step) ----------------------
+
+    /// Bridge for a same-production divergence: `out(x_i) → in(x_j)` of
+    /// production `k`.
+    pub fn bridge_production(&self, k: ProductionId, i: usize, j: usize) -> Bridge {
+        Bridge {
+            matrix: self.bodies[k.index()].between(i, j).clone(),
+        }
+    }
+
+    /// Bridge for recursion divergence with `u` under child `a` at
+    /// top-level body position `i1` (of cycle production `ka`) and `v`
+    /// under the deeper child `b`.
+    pub fn bridge_rec_desc(
+        &self,
+        cycle: u16,
+        start_phase: u16,
+        a: u32,
+        b: u32,
+        ka: ProductionId,
+        i1: usize,
+    ) -> Bridge {
+        let cpl = &self.cycles[cycle as usize];
+        let t = start_phase as u64;
+        let rp = cpl.rec_pos[cpl.phase(t, a as u64)];
+        let m = self.bodies[ka.index()]
+            .between(i1, rp)
+            .mul(&cpl.desc_range(cpl.phase(t, a as u64 + 1), (b - a - 1) as u64));
+        Bridge { matrix: m }
+    }
+
+    /// Bridge for recursion divergence with `u` under the deeper child
+    /// `a` and `v` under child `b` at top-level position `j1` (of cycle
+    /// production `kb`).
+    pub fn bridge_rec_asc(
+        &self,
+        cycle: u16,
+        start_phase: u16,
+        a: u32,
+        b: u32,
+        kb: ProductionId,
+        j1: usize,
+    ) -> Bridge {
+        let cpl = &self.cycles[cycle as usize];
+        let t = start_phase as u64;
+        let rp = cpl.rec_pos[cpl.phase(t, b as u64)];
+        let m = cpl
+            .asc_range(cpl.phase(t, a as u64 - 1), (a - b - 1) as u64)
+            .mul(self.bodies[kb.index()].between(rp, j1));
+        Bridge { matrix: m }
+    }
+
+    /// Forward mask of a group member `u`: the DFA states reachable on
+    /// the far side of the bridge when leaving `u`. `entries` are `u`'s
+    /// label entries strictly below the group anchor.
+    pub fn source_mask(&self, entries: &[LabelEntry], bridge: &Bridge) -> u64 {
+        let row = self.exit_row(1u64 << self.start_state, entries);
+        bridge.matrix.row_mul(row)
+    }
+
+    /// Backward mask of a group member `v`: the far-side states from
+    /// which `v`'s entry chain reaches acceptance. A pair matches iff
+    /// `source_mask(u) & target_mask(v) ≠ 0`.
+    pub fn target_mask(&self, entries: &[LabelEntry]) -> u64 {
+        self.enter_col(self.accepting_mask, entries)
+    }
+
+    // -- Row/column chain propagation ------------------------------------
+
+    /// `row · exit-chain`: out(u) upward to out(top sub-run); entries
+    /// compose deepest-first.
+    fn exit_row(&self, mut row: u64, entries: &[LabelEntry]) -> u64 {
+        for e in entries.iter().rev() {
+            match *e {
+                LabelEntry::Prod { production, pos } => {
+                    row = self.bodies[production.index()]
+                        .up(pos as usize)
+                        .row_mul(row);
+                }
+                LabelEntry::Rec {
+                    cycle,
+                    start_phase,
+                    idx,
+                } => {
+                    if idx > 1 {
+                        let cpl = &self.cycles[cycle as usize];
+                        row = cpl.asc_row(
+                            row,
+                            cpl.phase(start_phase as u64, idx as u64 - 1),
+                            idx as u64 - 1,
+                        );
+                    }
+                }
+            }
+        }
+        row
+    }
+
+    /// `row · enter-chain`: in(top sub-run) downward to in(v).
+    fn enter_row(&self, mut row: u64, entries: &[LabelEntry]) -> u64 {
+        for e in entries {
+            match *e {
+                LabelEntry::Prod { production, pos } => {
+                    row = self.bodies[production.index()]
+                        .down(pos as usize)
+                        .row_mul(row);
+                }
+                LabelEntry::Rec {
+                    cycle,
+                    start_phase,
+                    idx,
+                } => {
+                    if idx > 1 {
+                        let cpl = &self.cycles[cycle as usize];
+                        row = cpl.desc_row(row, start_phase as usize, idx as u64 - 1);
+                    }
+                }
+            }
+        }
+        row
+    }
+
+    /// `enter-chain · col`: backward from `v` toward the group anchor.
+    fn enter_col(&self, mut col: u64, entries: &[LabelEntry]) -> u64 {
+        for e in entries.iter().rev() {
+            match *e {
+                LabelEntry::Prod { production, pos } => {
+                    col = self.bodies[production.index()]
+                        .down(pos as usize)
+                        .col_mul(col);
+                }
+                LabelEntry::Rec {
+                    cycle,
+                    start_phase,
+                    idx,
+                } => {
+                    if idx > 1 {
+                        let cpl = &self.cycles[cycle as usize];
+                        col = cpl.desc_col(col, start_phase as usize, idx as u64 - 1);
+                    }
+                }
+            }
+        }
+        col
+    }
+
+    /// Full exit-chain matrix (diagnostics/tests).
+    fn exit_matrix(&self, entries: &[LabelEntry]) -> StateMatrix {
+        let mut m = StateMatrix::identity(self.n_states());
+        for e in entries.iter().rev() {
+            match *e {
+                LabelEntry::Prod { production, pos } => {
+                    m = m.mul(self.bodies[production.index()].up(pos as usize));
+                }
+                LabelEntry::Rec {
+                    cycle,
+                    start_phase,
+                    idx,
+                } => {
+                    if idx > 1 {
+                        let cpl = &self.cycles[cycle as usize];
+                        m = m.mul(&cpl.asc_range(
+                            cpl.phase(start_phase as u64, idx as u64 - 1),
+                            idx as u64 - 1,
+                        ));
+                    }
+                }
+            }
+        }
+        m
+    }
+
+    /// Full enter-chain matrix (diagnostics/tests).
+    fn enter_matrix(&self, entries: &[LabelEntry]) -> StateMatrix {
+        let mut m = StateMatrix::identity(self.n_states());
+        for e in entries {
+            match *e {
+                LabelEntry::Prod { production, pos } => {
+                    m = m.mul(self.bodies[production.index()].down(pos as usize));
+                }
+                LabelEntry::Rec {
+                    cycle,
+                    start_phase,
+                    idx,
+                } => {
+                    if idx > 1 {
+                        let cpl = &self.cycles[cycle as usize];
+                        m = m.mul(&cpl.desc_range(start_phase as usize, idx as u64 - 1));
+                    }
+                }
+            }
+        }
+        m
+    }
+}
+
+fn expect_prod(e: &LabelEntry) -> (ProductionId, usize) {
+    match *e {
+        LabelEntry::Prod { production, pos } => (production, pos as usize),
+        LabelEntry::Rec { .. } => {
+            unreachable!("a recursion child's own children carry production entries")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpq_automata::{compile_minimal_dfa, parse, Symbol};
+    use rpq_grammar::SpecificationBuilder;
+    use rpq_labeling::{RunBuilder, Scripted};
+
+    fn fig2() -> Specification {
+        let mut b = SpecificationBuilder::new();
+        for m in ["a", "b", "c", "d", "e"] {
+            b.atomic(m);
+        }
+        for m in ["S", "A", "B"] {
+            b.composite(m);
+        }
+        b.production("S", |w| {
+            let c = w.node("c");
+            let a = w.node("A");
+            let bb = w.node("B");
+            let b2 = w.node("b");
+            // W1 is a diamond: c feeds both A and B, which both feed b
+            // (the only shape consistent with Examples 3.1 and 3.2).
+            w.edge(c, a);
+            w.edge(c, bb);
+            w.edge(a, b2);
+            w.edge(bb, b2);
+        });
+        b.production("A", |w| {
+            let a = w.node("a");
+            let aa = w.node("A");
+            let d = w.node("d");
+            // The paper's unsafe example ⎵* a ⎵* needs an `a` tag that
+            // only W2 executions cross.
+            w.edge_named(a, aa, "a");
+            w.edge(aa, d);
+        });
+        b.production("A", |w| {
+            let e1 = w.node("e");
+            let e2 = w.node("e");
+            w.edge(e1, e2);
+        });
+        b.production("B", |w| {
+            let b1 = w.node("b");
+            let b2 = w.node("b");
+            w.edge(b1, b2);
+        });
+        b.start("S");
+        b.build().unwrap()
+    }
+
+    fn plan(spec: &Specification, text: &str) -> SafeQueryPlan {
+        let re = parse(text, &mut |n| spec.tag_by_name(n).map(|t| Symbol(t.0))).unwrap();
+        let dfa = compile_minimal_dfa(&re, spec.n_tags());
+        SafeQueryPlan::compile(spec, dfa).unwrap()
+    }
+
+    fn fig2_run(spec: &Specification) -> rpq_labeling::Run {
+        RunBuilder::new(spec)
+            .policy(Scripted::new([
+                ProductionId(0),
+                ProductionId(1),
+                ProductionId(1),
+                ProductionId(2),
+                ProductionId(3),
+            ]))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn example_3_2_pairwise_results() {
+        // R3 = ⎵* e ⎵* evaluates to true for (c:1, b:1) but false for
+        // (c:1, b:3) — Section III-B, Example 3.2.
+        let spec = fig2();
+        let run = fig2_run(&spec);
+        let p = plan(&spec, "_* e _*");
+        let n = |s: &str| run.node_by_name(&spec, s).unwrap();
+        assert!(p.pairwise(&run, n("c:1"), n("b:1")));
+        assert!(!p.pairwise(&run, n("c:1"), n("b:3")));
+    }
+
+    #[test]
+    fn reachability_plan_matches_bfs() {
+        let spec = fig2();
+        let run = fig2_run(&spec);
+        let p = plan(&spec, "_*");
+        assert!(p.is_reachability());
+        let reach = |u: NodeId, v: NodeId| {
+            let mut seen = vec![false; run.n_nodes()];
+            let mut stack = vec![u];
+            seen[u.index()] = true;
+            while let Some(x) = stack.pop() {
+                if x == v {
+                    return true;
+                }
+                for &(to, _) in run.out_edges(x) {
+                    if !seen[to.index()] {
+                        seen[to.index()] = true;
+                        stack.push(to);
+                    }
+                }
+            }
+            false
+        };
+        for u in run.node_ids() {
+            for v in run.node_ids() {
+                assert_eq!(
+                    p.pairwise(&run, u, v),
+                    reach(u, v),
+                    "reach({}, {})",
+                    run.node_name(&spec, u),
+                    run.node_name(&spec, v)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unsafe_query_is_rejected_at_compile() {
+        let spec = fig2();
+        let re = parse("_* a _*", &mut |n| {
+            spec.tag_by_name(n).map(|t| Symbol(t.0))
+        })
+        .unwrap();
+        let dfa = compile_minimal_dfa(&re, spec.n_tags());
+        match SafeQueryPlan::compile(&spec, dfa) {
+            Err(PlanError::Unsafe { .. }) => {}
+            other => panic!("expected Unsafe, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn epsilon_semantics_on_self_pairs() {
+        let spec = fig2();
+        let run = fig2_run(&spec);
+        let star = plan(&spec, "_*");
+        let plus = plan(&spec, "_+");
+        let u = run.entry();
+        assert!(star.pairwise(&run, u, u));
+        assert!(!plus.pairwise(&run, u, u));
+    }
+
+    #[test]
+    fn deep_recursion_uses_matrix_powers() {
+        let spec = fig2();
+        let run = RunBuilder::new(&spec)
+            .seed(1)
+            .target_edges(4000)
+            .build()
+            .unwrap();
+        let p = plan(&spec, "_* e _*");
+        let a = spec.module_by_name("a").unwrap();
+        let d = spec.module_by_name("d").unwrap();
+        let a_nodes = run.nodes_of_module(a);
+        let d_nodes = run.nodes_of_module(d);
+        assert!(a_nodes.len() > 100, "expected a deep recursion chain");
+        let first_a = a_nodes[0];
+        for &dn in &d_nodes {
+            assert!(p.pairwise(&run, first_a, dn));
+        }
+        for &dn in d_nodes.iter().take(10) {
+            assert!(!p.pairwise(&run, dn, first_a));
+        }
+    }
+
+    #[test]
+    fn pairwise_row_decode_matches_full_matrix_decode() {
+        let spec = fig2();
+        for seed in [3u64, 4, 5] {
+            let run = RunBuilder::new(&spec)
+                .seed(seed)
+                .target_edges(400)
+                .build()
+                .unwrap();
+            for q in ["_*", "_* e _*", "_* b _*", "d+", "b+"] {
+                let p = plan(&spec, q);
+                let nodes: Vec<NodeId> = run.node_ids().collect();
+                for &u in nodes.iter().step_by(7) {
+                    for &v in nodes.iter().step_by(5) {
+                        if u == v {
+                            continue;
+                        }
+                        let via_matrix = p
+                            .decode_matrix(run.label(u), run.label(v))
+                            .row_intersects(p.start_state, p.accepting_mask);
+                        assert_eq!(
+                            p.pairwise(&run, u, v),
+                            via_matrix,
+                            "query {q} pair ({u:?}, {v:?}) seed {seed}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bridge_masks_match_pairwise() {
+        // Pairs diverging at the root production: the bridge
+        // factorization must agree with the direct decode.
+        let spec = fig2();
+        let run = fig2_run(&spec);
+        let p = plan(&spec, "_* e _*");
+        let n = |s: &str| run.node_by_name(&spec, s).unwrap();
+        // u = a:1 under body position 1 (A), v = b:1 at position 3; the
+        // path a:1 → … → e:1 → e:2 → … → b:1 crosses the e edge.
+        let u = n("a:1");
+        let v = n("b:1");
+        let bridge = p.bridge_production(ProductionId(0), 1, 3);
+        let w_u = p.source_mask(&run.label(u).entries()[1..], &bridge);
+        let a_v = p.target_mask(&run.label(v).entries()[1..]);
+        assert_eq!(w_u & a_v != 0, p.pairwise(&run, u, v));
+        assert!(w_u & a_v != 0);
+        // d:2 sits after the e's: same bridge, no match.
+        let u3 = n("d:2");
+        let w3 = p.source_mask(&run.label(u3).entries()[1..], &bridge);
+        assert_eq!(w3 & a_v != 0, p.pairwise(&run, u3, v));
+        assert_eq!(w3 & a_v, 0);
+
+        // A pair that must NOT match: the B branch never sees an e.
+        let u2 = n("c:1");
+        let v2 = n("b:3");
+        let bridge2 = p.bridge_production(ProductionId(0), 0, 2);
+        let w2 = p.source_mask(&run.label(u2).entries()[1..], &bridge2);
+        let a2 = p.target_mask(&run.label(v2).entries()[1..]);
+        assert_eq!(w2 & a2 != 0, p.pairwise(&run, u2, v2));
+        assert_eq!(w2 & a2, 0);
+    }
+
+    #[test]
+    fn rec_bridges_match_pairwise_on_deep_chains() {
+        let spec = fig2();
+        let run = RunBuilder::new(&spec)
+            .seed(2)
+            .target_edges(800)
+            .build()
+            .unwrap();
+        let p = plan(&spec, "_* e _*");
+        let a_mod = spec.module_by_name("a").unwrap();
+        let d_mod = spec.module_by_name("d").unwrap();
+        let a_nodes = run.nodes_of_module(a_mod);
+        let d_nodes = run.nodes_of_module(d_mod);
+        // a:i lives under recursion child i; d:j under child j. Pick a
+        // pair several unfoldings apart in each direction and check the
+        // bridge factorization.
+        let u = a_nodes[2]; // child 3 of the recursion node
+        let v = d_nodes[40]; // child 41
+        let (lu, lv) = (run.label(u), run.label(v));
+        let cp = lu.common_prefix_len(lv);
+        let eu = &lu.entries()[cp..];
+        let ev = &lv.entries()[cp..];
+        if let (
+            LabelEntry::Rec { cycle, start_phase, idx: a },
+            LabelEntry::Rec { idx: b, .. },
+        ) = (eu[0], ev[0])
+        {
+            assert!(a < b, "expected u shallower than v");
+            let (ka, i1) = match eu[1] {
+                LabelEntry::Prod { production, pos } => (production, pos as usize),
+                _ => unreachable!(),
+            };
+            let bridge = p.bridge_rec_desc(cycle, start_phase, a, b, ka, i1);
+            let w = p.source_mask(&eu[2..], &bridge);
+            let t = p.target_mask(&ev[1..]);
+            assert_eq!(w & t != 0, p.pairwise(&run, u, v));
+        } else {
+            panic!("expected recursion divergence");
+        }
+
+        // And the ascending direction (u deeper than v).
+        let u2 = d_nodes[40];
+        let v2 = d_nodes[2];
+        let (lu2, lv2) = (run.label(u2), run.label(v2));
+        let cp2 = lu2.common_prefix_len(lv2);
+        let eu2 = &lu2.entries()[cp2..];
+        let ev2 = &lv2.entries()[cp2..];
+        if let (
+            LabelEntry::Rec { cycle, start_phase, idx: a },
+            LabelEntry::Rec { idx: b, .. },
+        ) = (eu2[0], ev2[0])
+        {
+            assert!(a > b);
+            let (kb, j1) = match ev2[1] {
+                LabelEntry::Prod { production, pos } => (production, pos as usize),
+                _ => unreachable!(),
+            };
+            let bridge = p.bridge_rec_asc(cycle, start_phase, a, b, kb, j1);
+            let w = p.source_mask(&eu2[1..], &bridge);
+            let t = p.target_mask(&ev2[2..]);
+            assert_eq!(w & t != 0, p.pairwise(&run, u2, v2));
+        } else {
+            panic!("expected recursion divergence");
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! Port-graph closures of production bodies under a query DFA.
+//!
+//! This module realizes the query-intersected specification `G_R` of
+//! Section III-B *implicitly*: instead of materializing modules with
+//! `|Q|` input/output ports, it computes — per production body — the
+//! state-transition matrices between all port pairs the decoder and the
+//! safety check need:
+//!
+//! * `between[i][j]`: transitions from the **output** of body node `i` to
+//!   the **input** of body node `j` (crossing edges and intermediate
+//!   modules' λ matrices);
+//! * `up[i]`: from the output of node `i` to the body's output (the
+//!   sink's output port);
+//! * `down[j]`: from the body's input (the source's input port) to the
+//!   input of node `j`;
+//! * `head`: from body input to body output — the candidate λ of the
+//!   production's head module.
+
+use crate::matrix::StateMatrix;
+use rpq_automata::{Dfa, Symbol};
+use rpq_grammar::SimpleWorkflow;
+
+/// All port-to-port closures of one production body.
+#[derive(Debug, Clone)]
+pub struct BodyMatrices {
+    /// `between[i * n + j]`: out(i) → in(j). Zero matrix when no path.
+    between: Vec<StateMatrix>,
+    /// `up[i]`: out(i) → body output.
+    up: Vec<StateMatrix>,
+    /// `down[j]`: body input → in(j).
+    down: Vec<StateMatrix>,
+    /// body input → body output: the head module's candidate λ.
+    head: StateMatrix,
+    n: usize,
+}
+
+impl BodyMatrices {
+    /// Compute closures for `body`, given the λ matrix of every module
+    /// (λ must already be defined for all modules occurring in `body`).
+    ///
+    /// `lambda_of` maps a body position's module to its λ matrix.
+    pub fn compute(
+        body: &SimpleWorkflow,
+        dfa: &Dfa,
+        lambda_of: &dyn Fn(rpq_grammar::ModuleId) -> StateMatrix,
+    ) -> BodyMatrices {
+        let n = body.n_nodes();
+        let q = dfa.n_states();
+        let lambdas: Vec<StateMatrix> = body.nodes().iter().map(|&m| lambda_of(m)).collect();
+
+        // Edge transition matrices, shared per distinct tag on demand.
+        let edge_matrix =
+            |tag: rpq_grammar::Tag| StateMatrix::from_dfa_symbol(dfa, Symbol(tag.0));
+
+        // between[i][j] over increasing j (nodes are topologically
+        // ordered, so all edges go forward).
+        let mut between = vec![StateMatrix::zero(q); n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let mut acc = StateMatrix::zero(q);
+                for e in body.edges_into(j) {
+                    let m = e.src as usize;
+                    let step = edge_matrix(e.tag);
+                    if m == i {
+                        acc.or_assign(&step);
+                    } else if m > i {
+                        // out(i) → in(m), through m's λ, over the edge.
+                        let via = between[i * n + m].mul(&lambdas[m]).mul(&step);
+                        acc.or_assign(&via);
+                    }
+                }
+                between[i * n + j] = acc;
+            }
+        }
+
+        let source = body.source();
+        let sink = body.sink();
+
+        let up: Vec<StateMatrix> = (0..n)
+            .map(|i| {
+                if i == sink {
+                    StateMatrix::identity(q)
+                } else {
+                    between[i * n + sink].mul(&lambdas[sink])
+                }
+            })
+            .collect();
+
+        let down: Vec<StateMatrix> = (0..n)
+            .map(|j| {
+                if j == source {
+                    StateMatrix::identity(q)
+                } else {
+                    lambdas[source].mul(&between[source * n + j])
+                }
+            })
+            .collect();
+
+        let head = if source == sink {
+            lambdas[source].clone()
+        } else {
+            lambdas[source]
+                .mul(&between[source * n + sink])
+                .mul(&lambdas[sink])
+        };
+
+        BodyMatrices {
+            between,
+            up,
+            down,
+            head,
+            n,
+        }
+    }
+
+    /// out(i) → in(j).
+    #[inline]
+    pub fn between(&self, i: usize, j: usize) -> &StateMatrix {
+        &self.between[i * self.n + j]
+    }
+
+    /// out(i) → body output.
+    #[inline]
+    pub fn up(&self, i: usize) -> &StateMatrix {
+        &self.up[i]
+    }
+
+    /// body input → in(j).
+    #[inline]
+    pub fn down(&self, j: usize) -> &StateMatrix {
+        &self.down[j]
+    }
+
+    /// body input → body output (candidate λ of the head).
+    pub fn head(&self) -> &StateMatrix {
+        &self.head
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpq_automata::{compile_minimal_dfa, Regex, Symbol};
+    use rpq_grammar::{Specification, SpecificationBuilder};
+
+    /// S -> x -e-> y -f-> z, all atomic.
+    fn chain_spec() -> Specification {
+        let mut b = SpecificationBuilder::new();
+        for m in ["x", "y", "z"] {
+            b.atomic(m);
+        }
+        b.composite("S");
+        b.production("S", |w| {
+            let x = w.node("x");
+            let y = w.node("y");
+            let z = w.node("z");
+            w.edge_named(x, y, "e");
+            w.edge_named(y, z, "f");
+        });
+        b.start("S");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn chain_matrices_track_dfa_states() {
+        let spec = chain_spec();
+        // Query: ⎵* e ⎵* — 2-state DFA, q0 -e-> qf.
+        let e = Symbol(spec.tag_by_name("e").unwrap().0);
+        let dfa = compile_minimal_dfa(&Regex::ifq(&[e]), spec.n_tags());
+        assert_eq!(dfa.n_states(), 2);
+        let body = &spec.productions()[0].body;
+        let id = StateMatrix::identity(2);
+        let bm = BodyMatrices::compute(body, &dfa, &|_| id.clone());
+
+        // out(x) → in(y): one e-edge, so q0 → qf and qf → qf.
+        let b01 = bm.between(0, 1);
+        assert!(b01.get(0, 1));
+        assert!(b01.get(1, 1));
+        assert!(!b01.get(0, 0));
+
+        // out(x) → in(z): e then f — still lands in qf from q0.
+        let b02 = bm.between(0, 2);
+        assert!(b02.get(0, 1));
+        assert!(!b02.get(0, 0));
+
+        // out(y) → in(z): only the f-edge, which keeps states.
+        let b12 = bm.between(1, 2);
+        assert!(b12.get(0, 0));
+        assert!(b12.get(1, 1));
+        assert!(!b12.get(0, 1));
+
+        // head: in(x) → out(z) passes the e edge.
+        assert!(bm.head().get(0, 1));
+        assert!(!bm.head().get(0, 0));
+
+        // up(z) is the identity (z is the sink).
+        assert_eq!(bm.up(2), &id);
+        // down(x) is the identity (x is the source).
+        assert_eq!(bm.down(0), &id);
+        // down(y) = λ(x) ∘ edge(e): q0 → qf.
+        assert!(bm.down(1).get(0, 1));
+    }
+
+    #[test]
+    fn diamond_unions_paths() {
+        // S -> src -> (a | b branches) -> dst; tags differ per branch.
+        let mut b = SpecificationBuilder::new();
+        for m in ["s", "p", "q", "t"] {
+            b.atomic(m);
+        }
+        b.composite("S");
+        b.production("S", |w| {
+            let s = w.node("s");
+            let p = w.node("p");
+            let q = w.node("q");
+            let t = w.node("t");
+            w.edge_named(s, p, "left");
+            w.edge_named(s, q, "right");
+            w.edge_named(p, t, "mid");
+            w.edge_named(q, t, "mid");
+        });
+        b.start("S");
+        let spec = b.build().unwrap();
+
+        // Query ⎵* left ⎵*: paths via p transition to accept, via q not.
+        let left = Symbol(spec.tag_by_name("left").unwrap().0);
+        let dfa = compile_minimal_dfa(&Regex::ifq(&[left]), spec.n_tags());
+        let body = &spec.productions()[0].body;
+        let id = StateMatrix::identity(dfa.n_states());
+        let bm = BodyMatrices::compute(body, &dfa, &|_| id.clone());
+
+        // out(s) → in(t): the union of both branches: q0 can reach qf
+        // (via left) and also stay in q0 (via right).
+        let s_pos = 0;
+        let t_pos = 3;
+        let m = bm.between(s_pos, t_pos);
+        assert!(m.get(0, 1));
+        assert!(m.get(0, 0));
+    }
+
+    #[test]
+    fn no_path_gives_zero_matrix() {
+        let spec = chain_spec();
+        let dfa = compile_minimal_dfa(&Regex::any_star(), spec.n_tags());
+        let body = &spec.productions()[0].body;
+        let id = StateMatrix::identity(1);
+        let bm = BodyMatrices::compute(body, &dfa, &|_| id.clone());
+        // Backwards: out(z) → in(x) has no path.
+        assert!(bm.between(2, 0).is_zero());
+        // Reachability forward is total for the 1-state DFA.
+        assert!(bm.between(0, 2).get(0, 0));
+    }
+}

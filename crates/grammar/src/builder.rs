@@ -1,0 +1,549 @@
+//! Fluent construction and validation of workflow specifications.
+//!
+//! ```
+//! use rpq_grammar::SpecificationBuilder;
+//!
+//! let mut b = SpecificationBuilder::new();
+//! b.atomic("fetch");
+//! b.atomic("align");
+//! b.composite("Pipeline");
+//! b.production("Pipeline", |w| {
+//!     let f = w.node("fetch");
+//!     let a = w.node("align");
+//!     w.edge_named(f, a, "reads");
+//! });
+//! b.start("Pipeline");
+//! let spec = b.build().unwrap();
+//! assert_eq!(spec.size(), 3);
+//! ```
+
+use crate::spec::{Module, ModuleId, ModuleKind, Production, Specification, Tag};
+use crate::validate::ValidationError;
+use crate::workflow::{BodyEdge, SimpleWorkflow};
+use std::collections::HashMap;
+
+/// Builder for [`Specification`]; performs full validation in
+/// [`SpecificationBuilder::build`].
+#[derive(Debug, Default)]
+pub struct SpecificationBuilder {
+    modules: Vec<Module>,
+    module_index: HashMap<String, ModuleId>,
+    duplicate: Option<String>,
+    tags: Vec<String>,
+    tag_index: HashMap<String, Tag>,
+    productions: Vec<PendingProduction>,
+    start: Option<String>,
+}
+
+#[derive(Debug)]
+struct PendingProduction {
+    head: String,
+    nodes: Vec<String>,
+    edges: Vec<(usize, usize, Option<String>)>,
+}
+
+/// Body under construction, passed to the closure of
+/// [`SpecificationBuilder::production`]. Node handles are plain indices.
+#[derive(Debug, Default)]
+pub struct BodyBuilder {
+    nodes: Vec<String>,
+    edges: Vec<(usize, usize, Option<String>)>,
+}
+
+impl BodyBuilder {
+    /// Add an occurrence of `module`; returns its handle.
+    pub fn node(&mut self, module: &str) -> usize {
+        self.nodes.push(module.to_owned());
+        self.nodes.len() - 1
+    }
+
+    /// Add a data edge with an explicit tag.
+    pub fn edge_named(&mut self, src: usize, dst: usize, tag: &str) {
+        self.edges.push((src, dst, Some(tag.to_owned())));
+    }
+
+    /// Add a data edge using the paper's example convention: the tag is
+    /// the name of the module at the edge's head.
+    pub fn edge(&mut self, src: usize, dst: usize) {
+        self.edges.push((src, dst, None));
+    }
+}
+
+impl SpecificationBuilder {
+    /// Fresh builder.
+    pub fn new() -> SpecificationBuilder {
+        SpecificationBuilder::default()
+    }
+
+    fn add_module(&mut self, name: &str, kind: ModuleKind) {
+        if self.module_index.contains_key(name) {
+            self.duplicate.get_or_insert_with(|| name.to_owned());
+            return;
+        }
+        let id = ModuleId(self.modules.len() as u32);
+        self.modules.push(Module {
+            name: name.to_owned(),
+            kind,
+        });
+        self.module_index.insert(name.to_owned(), id);
+    }
+
+    /// Declare an atomic module (a terminal).
+    pub fn atomic(&mut self, name: &str) -> &mut Self {
+        self.add_module(name, ModuleKind::Atomic);
+        self
+    }
+
+    /// Declare a composite module (a nonterminal).
+    pub fn composite(&mut self, name: &str) -> &mut Self {
+        self.add_module(name, ModuleKind::Composite);
+        self
+    }
+
+    /// Pre-intern a tag so it exists even if unused on edges (useful when
+    /// queries mention tags that only appear in some specs of a family).
+    pub fn declare_tag(&mut self, name: &str) -> &mut Self {
+        self.intern_tag(name);
+        self
+    }
+
+    fn intern_tag(&mut self, name: &str) -> Tag {
+        if let Some(&t) = self.tag_index.get(name) {
+            return t;
+        }
+        let t = Tag(self.tags.len() as u32);
+        self.tags.push(name.to_owned());
+        self.tag_index.insert(name.to_owned(), t);
+        t
+    }
+
+    /// Declare a production `head → body`, with the body assembled by the
+    /// closure. Declaration order fixes the production numbering that
+    /// labels reference.
+    pub fn production(&mut self, head: &str, f: impl FnOnce(&mut BodyBuilder)) -> &mut Self {
+        let mut body = BodyBuilder::default();
+        f(&mut body);
+        self.productions.push(PendingProduction {
+            head: head.to_owned(),
+            nodes: body.nodes,
+            edges: body.edges,
+        });
+        self
+    }
+
+    /// Declare the start module `S`.
+    pub fn start(&mut self, name: &str) -> &mut Self {
+        self.start = Some(name.to_owned());
+        self
+    }
+
+    /// Validate and build the specification.
+    pub fn build(mut self) -> Result<Specification, ValidationError> {
+        if let Some(name) = self.duplicate.take() {
+            return Err(ValidationError::DuplicateModule(name));
+        }
+        let start_name = self.start.clone().ok_or(ValidationError::MissingStart)?;
+        let start = *self
+            .module_index
+            .get(&start_name)
+            .ok_or(ValidationError::UnknownModule(start_name))?;
+
+        // Resolve and validate productions one by one.
+        let pending = std::mem::take(&mut self.productions);
+        let mut productions: Vec<Production> = Vec::with_capacity(pending.len());
+        for (pi, p) in pending.into_iter().enumerate() {
+            let head = *self
+                .module_index
+                .get(&p.head)
+                .ok_or_else(|| ValidationError::UnknownModule(p.head.clone()))?;
+            if self.modules[head.index()].kind != ModuleKind::Composite {
+                return Err(ValidationError::ProductionForAtomic(p.head));
+            }
+            if p.nodes.is_empty() {
+                return Err(ValidationError::EmptyBody { production: pi });
+            }
+            let mut nodes: Vec<ModuleId> = Vec::with_capacity(p.nodes.len());
+            for n in &p.nodes {
+                nodes.push(
+                    *self
+                        .module_index
+                        .get(n)
+                        .ok_or_else(|| ValidationError::UnknownModule(n.clone()))?,
+                );
+            }
+            let n = nodes.len();
+            for &(s, d, _) in &p.edges {
+                if s >= n || d >= n {
+                    return Err(ValidationError::EdgeOutOfRange { production: pi });
+                }
+            }
+
+            // Stable topological sort (Kahn, smallest declaration index
+            // first) — fixes the paper's "arbitrary topological ordering"
+            // deterministically and catches cycles.
+            let mut indeg = vec![0usize; n];
+            for &(_, d, _) in &p.edges {
+                indeg[d] += 1;
+            }
+            let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<usize>> = indeg
+                .iter()
+                .enumerate()
+                .filter(|(_, &d)| d == 0)
+                .map(|(i, _)| std::cmp::Reverse(i))
+                .collect();
+            let mut order: Vec<usize> = Vec::with_capacity(n);
+            let mut remaining_indeg = indeg.clone();
+            while let Some(std::cmp::Reverse(v)) = ready.pop() {
+                order.push(v);
+                for &(s, d, _) in &p.edges {
+                    if s == v {
+                        remaining_indeg[d] -= 1;
+                        if remaining_indeg[d] == 0 {
+                            ready.push(std::cmp::Reverse(d));
+                        }
+                    }
+                }
+            }
+            if order.len() != n {
+                return Err(ValidationError::CyclicBody { production: pi });
+            }
+            let n_sources = indeg.iter().filter(|&&d| d == 0).count();
+            if n_sources != 1 {
+                return Err(ValidationError::NotSingleSource {
+                    production: pi,
+                    count: n_sources,
+                });
+            }
+            let mut outdeg = vec![0usize; n];
+            for &(s, _, _) in &p.edges {
+                outdeg[s] += 1;
+            }
+            let n_sinks = outdeg.iter().filter(|&&d| d == 0).count();
+            if n_sinks != 1 {
+                return Err(ValidationError::NotSingleSink {
+                    production: pi,
+                    count: n_sinks,
+                });
+            }
+
+            // Remap to topological positions.
+            let mut new_pos = vec![0usize; n];
+            for (new_i, &old_i) in order.iter().enumerate() {
+                new_pos[old_i] = new_i;
+            }
+            let sorted_nodes: Vec<ModuleId> = order.iter().map(|&i| nodes[i]).collect();
+            let mut edges: Vec<BodyEdge> = Vec::with_capacity(p.edges.len());
+            for (s, d, tag) in p.edges {
+                let tag_name = match tag {
+                    Some(t) => t,
+                    // Default convention: tag = head-module name.
+                    None => self.modules[nodes[d].index()].name.clone(),
+                };
+                let tag = self.intern_tag(&tag_name);
+                edges.push(BodyEdge {
+                    src: new_pos[s] as u32,
+                    dst: new_pos[d] as u32,
+                    tag,
+                });
+            }
+            edges.sort_by_key(|e| (e.src, e.dst, e.tag));
+            if edges
+                .windows(2)
+                .any(|w| w[0].src == w[1].src && w[0].dst == w[1].dst && w[0].tag == w[1].tag)
+            {
+                return Err(ValidationError::DuplicateParallelEdge { production: pi });
+            }
+            productions.push(Production {
+                head,
+                body: SimpleWorkflow::new(sorted_nodes, edges),
+            });
+        }
+
+        // Every composite module needs at least one production.
+        let mut has_prod = vec![false; self.modules.len()];
+        for p in &productions {
+            has_prod[p.head.index()] = true;
+        }
+        for (i, m) in self.modules.iter().enumerate() {
+            if m.kind == ModuleKind::Composite && !has_prod[i] {
+                return Err(ValidationError::CompositeWithoutProduction(m.name.clone()));
+            }
+        }
+
+        // Productivity fixpoint: atomic modules are productive; a
+        // composite is productive once some production has an
+        // all-productive body. Guarantees derivation termination.
+        let mut productive: Vec<bool> = self
+            .modules
+            .iter()
+            .map(|m| m.kind == ModuleKind::Atomic)
+            .collect();
+        loop {
+            let mut changed = false;
+            for p in &productions {
+                if !productive[p.head.index()]
+                    && p.body.nodes().iter().all(|m| productive[m.index()])
+                {
+                    productive[p.head.index()] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        if let Some((i, _)) = productive.iter().enumerate().find(|(_, &p)| !p) {
+            return Err(ValidationError::Unproductive(self.modules[i].name.clone()));
+        }
+
+        Ok(Specification::from_parts(
+            self.modules,
+            self.tags,
+            start,
+            productions,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> SpecificationBuilder {
+        let mut b = SpecificationBuilder::new();
+        b.atomic("x");
+        b.atomic("y");
+        b.composite("S");
+        b
+    }
+
+    #[test]
+    fn minimal_spec_builds() {
+        let mut b = base();
+        b.production("S", |w| {
+            w.node("x");
+        });
+        b.start("S");
+        let spec = b.build().unwrap();
+        assert_eq!(spec.n_modules(), 3);
+        assert_eq!(spec.productions().len(), 1);
+    }
+
+    #[test]
+    fn duplicate_module_rejected() {
+        let mut b = base();
+        b.atomic("x");
+        b.production("S", |w| {
+            w.node("x");
+        });
+        b.start("S");
+        assert_eq!(
+            b.build().unwrap_err(),
+            ValidationError::DuplicateModule("x".into())
+        );
+    }
+
+    #[test]
+    fn missing_start_rejected() {
+        let mut b = base();
+        b.production("S", |w| {
+            w.node("x");
+        });
+        assert_eq!(b.build().unwrap_err(), ValidationError::MissingStart);
+    }
+
+    #[test]
+    fn unknown_module_in_body_rejected() {
+        let mut b = base();
+        b.production("S", |w| {
+            w.node("ghost");
+        });
+        b.start("S");
+        assert_eq!(
+            b.build().unwrap_err(),
+            ValidationError::UnknownModule("ghost".into())
+        );
+    }
+
+    #[test]
+    fn production_for_atomic_rejected() {
+        let mut b = base();
+        b.production("x", |w| {
+            w.node("y");
+        });
+        b.production("S", |w| {
+            w.node("x");
+        });
+        b.start("S");
+        assert_eq!(
+            b.build().unwrap_err(),
+            ValidationError::ProductionForAtomic("x".into())
+        );
+    }
+
+    #[test]
+    fn composite_without_production_rejected() {
+        let mut b = base();
+        b.composite("T");
+        b.production("S", |w| {
+            w.node("x");
+        });
+        b.start("S");
+        assert_eq!(
+            b.build().unwrap_err(),
+            ValidationError::CompositeWithoutProduction("T".into())
+        );
+    }
+
+    #[test]
+    fn cyclic_body_rejected() {
+        let mut b = base();
+        b.production("S", |w| {
+            let a = w.node("x");
+            let c = w.node("y");
+            w.edge_named(a, c, "t");
+            w.edge_named(c, a, "t2");
+        });
+        b.start("S");
+        assert_eq!(
+            b.build().unwrap_err(),
+            ValidationError::CyclicBody { production: 0 }
+        );
+    }
+
+    #[test]
+    fn multi_source_rejected() {
+        let mut b = base();
+        b.production("S", |w| {
+            let a = w.node("x");
+            let c = w.node("x");
+            let d = w.node("y");
+            w.edge_named(a, d, "t");
+            w.edge_named(c, d, "u");
+        });
+        b.start("S");
+        assert_eq!(
+            b.build().unwrap_err(),
+            ValidationError::NotSingleSource {
+                production: 0,
+                count: 2
+            }
+        );
+    }
+
+    #[test]
+    fn multi_sink_rejected() {
+        let mut b = base();
+        b.production("S", |w| {
+            let a = w.node("x");
+            let c = w.node("x");
+            let d = w.node("y");
+            w.edge_named(d, a, "t");
+            w.edge_named(d, c, "u");
+        });
+        b.start("S");
+        assert_eq!(
+            b.build().unwrap_err(),
+            ValidationError::NotSingleSink {
+                production: 0,
+                count: 2
+            }
+        );
+    }
+
+    #[test]
+    fn duplicate_parallel_edge_rejected() {
+        let mut b = base();
+        b.production("S", |w| {
+            let a = w.node("x");
+            let c = w.node("y");
+            w.edge_named(a, c, "t");
+            w.edge_named(a, c, "t");
+        });
+        b.start("S");
+        assert_eq!(
+            b.build().unwrap_err(),
+            ValidationError::DuplicateParallelEdge { production: 0 }
+        );
+    }
+
+    #[test]
+    fn parallel_edges_with_distinct_tags_allowed() {
+        let mut b = base();
+        b.production("S", |w| {
+            let a = w.node("x");
+            let c = w.node("y");
+            w.edge_named(a, c, "t");
+            w.edge_named(a, c, "u");
+        });
+        b.start("S");
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn unproductive_recursion_rejected() {
+        // A -> A with no base case can never finish deriving.
+        let mut b = base();
+        b.composite("A");
+        b.production("S", |w| {
+            w.node("A");
+        });
+        b.production("A", |w| {
+            let t = w.node("x");
+            let a = w.node("A");
+            w.edge_named(t, a, "A");
+        });
+        b.start("S");
+        // Both S and A are unproductive (S's body contains A); the error
+        // names the first one in declaration order.
+        assert!(matches!(
+            b.build().unwrap_err(),
+            ValidationError::Unproductive(_)
+        ));
+    }
+
+    #[test]
+    fn bodies_are_topologically_renumbered() {
+        let mut b = base();
+        // Declare nodes in anti-topological order.
+        b.production("S", |w| {
+            let last = w.node("y");
+            let first = w.node("x");
+            w.edge_named(first, last, "t");
+        });
+        b.start("S");
+        let spec = b.build().unwrap();
+        let body = &spec.productions()[0].body;
+        // After sorting, position 0 must be the source "x".
+        assert_eq!(spec.module_name(body.node(0)), "x");
+        assert_eq!(spec.module_name(body.node(1)), "y");
+        assert_eq!(body.source(), 0);
+        assert_eq!(body.sink(), 1);
+    }
+
+    #[test]
+    fn default_edge_tag_is_head_module_name() {
+        let mut b = base();
+        b.production("S", |w| {
+            let a = w.node("x");
+            let c = w.node("y");
+            w.edge(a, c);
+        });
+        b.start("S");
+        let spec = b.build().unwrap();
+        let e = spec.productions()[0].body.edges()[0];
+        assert_eq!(spec.tag_name(e.tag), "y");
+    }
+
+    #[test]
+    fn declared_tags_are_interned() {
+        let mut b = base();
+        b.declare_tag("phantom");
+        b.production("S", |w| {
+            w.node("x");
+        });
+        b.start("S");
+        let spec = b.build().unwrap();
+        assert!(spec.tag_by_name("phantom").is_some());
+    }
+}

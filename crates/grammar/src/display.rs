@@ -1,0 +1,89 @@
+//! Human-readable rendering of specifications (diagnostics, examples).
+
+use crate::spec::Specification;
+use std::fmt;
+
+/// Wrapper rendering a full specification as text, production by
+/// production, in the style of the paper's Fig. 2a.
+pub struct SpecDisplay<'a>(pub &'a Specification);
+
+impl fmt::Display for SpecDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let spec = self.0;
+        writeln!(
+            f,
+            "specification: {} modules ({} composite), {} productions, start = {}, size = {}",
+            spec.n_modules(),
+            spec.n_composite(),
+            spec.productions().len(),
+            spec.module_name(spec.start()),
+            spec.size(),
+        )?;
+        for (i, p) in spec.productions().iter().enumerate() {
+            write!(f, "  p{}: {} -> {{", i, spec.module_name(p.head))?;
+            for (j, &m) in p.body.nodes().iter().enumerate() {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}:{}", j, spec.module_name(m))?;
+            }
+            write!(f, "}} [")?;
+            for (j, e) in p.body.edges().iter().enumerate() {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}-{}->{}", e.src, spec.tag_name(e.tag), e.dst)?;
+            }
+            writeln!(f, "]")?;
+        }
+        let rec = spec.recursion();
+        if rec.cycles.is_empty() {
+            writeln!(f, "  (non-recursive)")?;
+        } else {
+            for (ci, c) in rec.cycles.iter().enumerate() {
+                write!(f, "  cycle {}:", ci)?;
+                for e in &c.edges {
+                    write!(
+                        f,
+                        " {} -p{}@{}->",
+                        spec.module_name(e.from),
+                        e.production.index(),
+                        e.body_pos
+                    )?;
+                }
+                writeln!(f, " {}", spec.module_name(c.edges[0].from))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SpecificationBuilder;
+
+    #[test]
+    fn display_contains_key_facts() {
+        let mut b = SpecificationBuilder::new();
+        b.atomic("t");
+        b.composite("S");
+        b.production("S", |w| {
+            let a = w.node("t");
+            let c = w.node("S");
+            let d = w.node("t");
+            w.edge_named(a, c, "go");
+            w.edge_named(c, d, "done");
+        });
+        b.production("S", |w| {
+            w.node("t");
+        });
+        b.start("S");
+        let spec = b.build().unwrap();
+        let text = SpecDisplay(&spec).to_string();
+        assert!(text.contains("start = S"));
+        assert!(text.contains("p0: S ->"));
+        assert!(text.contains("cycle 0:"));
+        assert!(text.contains("-go->"));
+    }
+}

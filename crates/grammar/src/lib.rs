@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! Workflow specifications as context-free graph grammars (CFGGs).
+//!
+//! This crate implements the workflow model of Section II of Huang et al.
+//! (ICDE 2015), which in turn follows Bao, Davidson, Milo (PVLDB 2012) and
+//! Beeri et al. (VLDB 2006):
+//!
+//! * a **simple workflow** is a DAG of module occurrences with tagged data
+//!   edges ([`SimpleWorkflow`]);
+//! * a **workflow production** `M → W` replaces a composite module `M`
+//!   with a simple workflow `W` ([`Production`]);
+//! * a **workflow specification** is a CFGG `G = (Σ, Δ, S, P)`
+//!   ([`Specification`]); its language is the set of executions (runs),
+//!   derived by repeated node replacement (implemented in `rpq-labeling`).
+//!
+//! The crate also provides the **production graph** `P(G)` (Definition 5)
+//! with cycle analysis establishing whether `G` is **strictly
+//! linear-recursive** (Definition 6) — the structural condition that makes
+//! compact derivation-based labeling possible.
+//!
+//! Coarse-grained restrictions from Section III-A are enforced at
+//! validation time: production bodies are acyclic with a unique source and
+//! a unique sink, so every module has a single input and a single output.
+
+pub mod builder;
+pub mod display;
+pub mod production_graph;
+pub mod spec;
+pub mod validate;
+pub mod workflow;
+
+pub use builder::SpecificationBuilder;
+pub use production_graph::{Cycle, CycleEdge, ProductionGraph, RecursionInfo};
+pub use spec::{ModuleId, ModuleKind, Production, ProductionId, Specification, Tag};
+pub use validate::ValidationError;
+pub use workflow::{BodyEdge, SimpleWorkflow};

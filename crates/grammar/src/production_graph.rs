@@ -1,0 +1,552 @@
+//! The production graph `P(G)` and strict-linear-recursion analysis.
+//!
+//! Definition 5: `P(G)` is a directed multigraph with one vertex per
+//! module and one edge `M → M'` for every occurrence of `M'` in the body
+//! of a production of `M` (parallel edges for multiple occurrences).
+//!
+//! Definition 6: `G` is **strictly linear-recursive** iff all cycles of
+//! `P(G)` are vertex-disjoint. Equivalently — and this is what we check —
+//! every non-trivial strongly connected component of `P(G)` is a single
+//! simple cycle: each member vertex has exactly one outgoing and one
+//! incoming edge *within* the component (counting edge multiplicity).
+//! If some vertex had two outgoing in-component edges, each would lie on a
+//! cycle through that vertex, contradicting disjointness; conversely a
+//! component that is a simple cycle contains exactly one cycle.
+
+use crate::spec::{ModuleId, ProductionId, Specification};
+use serde::{Deserialize, Serialize};
+
+/// One edge of `P(G)`: module `from` derives module `to` via position
+/// `body_pos` of production `production`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PgEdge {
+    /// Head of the production.
+    pub from: ModuleId,
+    /// Production inducing the edge.
+    pub production: ProductionId,
+    /// Body position of the occurrence.
+    pub body_pos: u32,
+    /// Module at that position.
+    pub to: ModuleId,
+}
+
+/// The production graph `P(G)`.
+#[derive(Debug, Clone)]
+pub struct ProductionGraph {
+    /// Outgoing edges per module.
+    out: Vec<Vec<PgEdge>>,
+    n_edges: usize,
+}
+
+impl ProductionGraph {
+    /// Build `P(G)` from a specification.
+    pub fn build(spec: &Specification) -> ProductionGraph {
+        let mut out: Vec<Vec<PgEdge>> = vec![Vec::new(); spec.n_modules()];
+        let mut n_edges = 0;
+        for (pi, prod) in spec.productions().iter().enumerate() {
+            for (pos, &module) in prod.body.nodes().iter().enumerate() {
+                out[prod.head.index()].push(PgEdge {
+                    from: prod.head,
+                    production: ProductionId(pi as u32),
+                    body_pos: pos as u32,
+                    to: module,
+                });
+                n_edges += 1;
+            }
+        }
+        ProductionGraph { out, n_edges }
+    }
+
+    /// Outgoing edges of `module`.
+    pub fn edges_from(&self, module: ModuleId) -> &[PgEdge] {
+        &self.out[module.index()]
+    }
+
+    /// Total number of edges.
+    pub fn n_edges(&self) -> usize {
+        self.n_edges
+    }
+
+    /// Number of vertices (= modules).
+    pub fn n_vertices(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Strongly connected components (Tarjan, iterative). Returns the
+    /// component id of each vertex; ids are in reverse topological order.
+    pub fn sccs(&self) -> Vec<u32> {
+        let n = self.out.len();
+        let mut index = vec![u32::MAX; n];
+        let mut lowlink = vec![0u32; n];
+        let mut on_stack = vec![false; n];
+        let mut comp = vec![u32::MAX; n];
+        let mut stack: Vec<u32> = Vec::new();
+        let mut next_index = 0u32;
+        let mut n_comps = 0u32;
+
+        // Explicit DFS stack: (vertex, next-edge-cursor).
+        let mut call: Vec<(u32, usize)> = Vec::new();
+        for root in 0..n as u32 {
+            if index[root as usize] != u32::MAX {
+                continue;
+            }
+            call.push((root, 0));
+            index[root as usize] = next_index;
+            lowlink[root as usize] = next_index;
+            next_index += 1;
+            stack.push(root);
+            on_stack[root as usize] = true;
+
+            while let Some(&mut (v, ref mut cursor)) = call.last_mut() {
+                let edges = &self.out[v as usize];
+                if *cursor < edges.len() {
+                    let w = edges[*cursor].to.0;
+                    *cursor += 1;
+                    if index[w as usize] == u32::MAX {
+                        index[w as usize] = next_index;
+                        lowlink[w as usize] = next_index;
+                        next_index += 1;
+                        stack.push(w);
+                        on_stack[w as usize] = true;
+                        call.push((w, 0));
+                    } else if on_stack[w as usize] {
+                        lowlink[v as usize] = lowlink[v as usize].min(index[w as usize]);
+                    }
+                } else {
+                    call.pop();
+                    if let Some(&(parent, _)) = call.last() {
+                        lowlink[parent as usize] =
+                            lowlink[parent as usize].min(lowlink[v as usize]);
+                    }
+                    if lowlink[v as usize] == index[v as usize] {
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w as usize] = false;
+                            comp[w as usize] = n_comps;
+                            if w == v {
+                                break;
+                            }
+                        }
+                        n_comps += 1;
+                    }
+                }
+            }
+        }
+        comp
+    }
+}
+
+/// One cycle of `P(G)` in a strictly linear-recursive specification.
+///
+/// `edges[t]` leads from the cycle's `t`-th module to its `(t+1) mod L`-th
+/// module; the paper's "(s, t, i)" label entries reference cycles by index
+/// `s` and a starting phase `t`. The first module is canonicalized to the
+/// smallest `ModuleId` on the cycle, making cycle numbering deterministic.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cycle {
+    /// The cycle's edges in order.
+    pub edges: Vec<CycleEdge>,
+}
+
+/// One step of a cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CycleEdge {
+    /// Module executing the recursive production.
+    pub from: ModuleId,
+    /// The unique cycle-continuing production of `from`.
+    pub production: ProductionId,
+    /// Body position holding the next cycle module.
+    pub body_pos: u32,
+    /// The next cycle module.
+    pub to: ModuleId,
+}
+
+impl Cycle {
+    /// Cycle length (number of modules = number of edges).
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True iff the cycle is a self-loop.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// The module at phase `t`.
+    pub fn module_at(&self, phase: usize) -> ModuleId {
+        self.edges[phase % self.edges.len()].from
+    }
+}
+
+/// Recursion analysis of a specification.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecursionInfo {
+    /// Are all cycles of `P(G)` vertex-disjoint?
+    pub is_strictly_linear: bool,
+    /// The cycles (populated only when strictly linear; deterministic
+    /// order: by smallest member module id).
+    pub cycles: Vec<Cycle>,
+    /// For each module: `(cycle index, phase)` if the module lies on a
+    /// cycle.
+    pub module_cycle: Vec<Option<(u16, u16)>>,
+    /// For each production: `(cycle index, rec body position)` if the
+    /// production is the cycle-continuing production of its head.
+    pub production_cycle: Vec<Option<(u16, u32)>>,
+}
+
+impl RecursionInfo {
+    /// Analyze a specification.
+    pub fn analyze(spec: &Specification) -> RecursionInfo {
+        let pg = spec.production_graph();
+        let comp = pg.sccs();
+        let n = spec.n_modules();
+
+        // Group vertices by component, find non-trivial components:
+        // >1 member, or a single member with a self-loop.
+        let n_comps = comp.iter().map(|&c| c + 1).max().unwrap_or(0) as usize;
+        let mut members: Vec<Vec<u32>> = vec![Vec::new(); n_comps];
+        for v in 0..n as u32 {
+            members[comp[v as usize] as usize].push(v);
+        }
+
+        let mut cycles: Vec<Cycle> = Vec::new();
+        let mut strictly_linear = true;
+
+        for ms in members.iter() {
+            let single = ms.len() == 1;
+            let v0 = ms[0];
+            let has_self_loop = pg
+                .edges_from(ModuleId(v0))
+                .iter()
+                .any(|e| e.to.0 == v0);
+            if single && !has_self_loop {
+                continue; // trivial component
+            }
+            // Non-trivial: every member must have exactly one in-component
+            // outgoing edge (multiplicity counted).
+            let in_comp = |m: u32| comp[m as usize] == comp[v0 as usize];
+            let mut ok = true;
+            let mut next_edge: Vec<Option<PgEdge>> = vec![None; ms.len()];
+            let local = |m: u32| ms.binary_search(&m).expect("member");
+            for &m in ms {
+                let internal: Vec<&PgEdge> = pg
+                    .edges_from(ModuleId(m))
+                    .iter()
+                    .filter(|e| in_comp(e.to.0))
+                    .collect();
+                if internal.len() != 1 {
+                    ok = false;
+                    break;
+                }
+                next_edge[local(m)] = Some(*internal[0]);
+            }
+            if !ok {
+                strictly_linear = false;
+                continue;
+            }
+            // Walk the functional graph from the smallest member; it must
+            // visit every member exactly once and return.
+            let start = *ms.iter().min().expect("non-empty");
+            let mut edges = Vec::with_capacity(ms.len());
+            let mut cur = start;
+            loop {
+                let e = next_edge[local(cur)].expect("set above");
+                edges.push(CycleEdge {
+                    from: e.from,
+                    production: e.production,
+                    body_pos: e.body_pos,
+                    to: e.to,
+                });
+                cur = e.to.0;
+                if cur == start {
+                    break;
+                }
+                if edges.len() > ms.len() {
+                    break; // revisits a vertex before closing: not simple
+                }
+            }
+            if edges.len() != ms.len() || cur != start {
+                strictly_linear = false;
+                continue;
+            }
+            cycles.push(Cycle { edges });
+        }
+
+        if !strictly_linear {
+            return RecursionInfo {
+                is_strictly_linear: false,
+                cycles: Vec::new(),
+                module_cycle: vec![None; n],
+                production_cycle: vec![None; spec.productions().len()],
+            };
+        }
+
+        cycles.sort_by_key(|c| c.edges[0].from);
+        let mut module_cycle = vec![None; n];
+        let mut production_cycle = vec![None; spec.productions().len()];
+        for (ci, cycle) in cycles.iter().enumerate() {
+            for (phase, e) in cycle.edges.iter().enumerate() {
+                module_cycle[e.from.index()] = Some((ci as u16, phase as u16));
+                production_cycle[e.production.index()] = Some((ci as u16, e.body_pos));
+            }
+        }
+        RecursionInfo {
+            is_strictly_linear: true,
+            cycles,
+            module_cycle,
+            production_cycle,
+        }
+    }
+
+    /// The cycle and phase of `module`, if it is recursive.
+    pub fn cycle_of_module(&self, module: ModuleId) -> Option<(u16, u16)> {
+        self.module_cycle[module.index()]
+    }
+
+    /// If `production` continues a cycle, its `(cycle, rec body position)`.
+    pub fn cycle_of_production(&self, production: ProductionId) -> Option<(u16, u32)> {
+        self.production_cycle[production.index()]
+    }
+
+    /// Is the module recursive (on some cycle)?
+    pub fn is_recursive_module(&self, module: ModuleId) -> bool {
+        self.module_cycle[module.index()].is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::SpecificationBuilder;
+
+    /// The paper's Fig. 2a specification (see `rpq-workloads` for the
+    /// shared constructor; rebuilt here to keep the crate self-contained).
+    fn fig2() -> crate::Specification {
+        let mut b = SpecificationBuilder::new();
+        for m in ["a", "b", "c", "d", "e"] {
+            b.atomic(m);
+        }
+        for m in ["S", "A", "B"] {
+            b.composite(m);
+        }
+        // W1: c -> A -> B -> b
+        b.production("S", |w| {
+            let c = w.node("c");
+            let a = w.node("A");
+            let bb = w.node("B");
+            let b2 = w.node("b");
+            w.edge_named(c, a, "A");
+            w.edge_named(a, bb, "B");
+            w.edge_named(bb, b2, "b");
+        });
+        // W2: a -> A -> d
+        b.production("A", |w| {
+            let a = w.node("a");
+            let aa = w.node("A");
+            let d = w.node("d");
+            w.edge_named(a, aa, "A");
+            w.edge_named(aa, d, "d");
+        });
+        // W3: e -> e
+        b.production("A", |w| {
+            let e1 = w.node("e");
+            let e2 = w.node("e");
+            w.edge_named(e1, e2, "e");
+        });
+        // W4: b -> b
+        b.production("B", |w| {
+            let b1 = w.node("b");
+            let b2 = w.node("b");
+            w.edge_named(b1, b2, "b");
+        });
+        b.start("S");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn fig2_is_strictly_linear_with_one_cycle() {
+        let spec = fig2();
+        let rec = spec.recursion();
+        assert!(rec.is_strictly_linear);
+        assert_eq!(rec.cycles.len(), 1);
+        let cycle = &rec.cycles[0];
+        assert_eq!(cycle.len(), 1);
+        let a = spec.module_by_name("A").unwrap();
+        assert_eq!(cycle.edges[0].from, a);
+        assert_eq!(cycle.edges[0].to, a);
+        // W2 is the second declared production, rec position 1 (module A).
+        assert_eq!(cycle.edges[0].production.index(), 1);
+        assert_eq!(cycle.edges[0].body_pos, 1);
+        assert!(rec.is_recursive_module(a));
+        assert!(!rec.is_recursive_module(spec.module_by_name("S").unwrap()));
+        assert_eq!(spec.n_recursive_productions(), 1);
+    }
+
+    #[test]
+    fn fig5_shared_cycles_are_rejected() {
+        // Fig. 5: S with two self-loops (two cycles sharing S).
+        let mut b = SpecificationBuilder::new();
+        b.atomic("a");
+        b.atomic("b");
+        b.atomic("c");
+        b.composite("S");
+        b.production("S", |w| {
+            let x = w.node("a");
+            let s = w.node("S");
+            let y = w.node("b");
+            w.edge_named(x, s, "S");
+            w.edge_named(s, y, "b");
+        });
+        b.production("S", |w| {
+            let x = w.node("c");
+            let s = w.node("S");
+            w.edge_named(x, s, "S");
+        });
+        b.production("S", |w| {
+            w.node("a");
+        });
+        b.start("S");
+        let spec = b.build().unwrap();
+        assert!(!spec.is_strictly_linear());
+        assert!(spec.recursion().cycles.is_empty());
+    }
+
+    #[test]
+    fn two_module_cycle_is_linear() {
+        // S -> A; A -> x B y; B -> x A y | x; A -> z  (cycle A -> B -> A)
+        let mut b = SpecificationBuilder::new();
+        for m in ["x", "y", "z"] {
+            b.atomic(m);
+        }
+        for m in ["S", "A", "B"] {
+            b.composite(m);
+        }
+        b.production("S", |w| {
+            w.node("A");
+        });
+        b.production("A", |w| {
+            let x = w.node("x");
+            let bb = w.node("B");
+            let y = w.node("y");
+            w.edge_named(x, bb, "B");
+            w.edge_named(bb, y, "y");
+        });
+        b.production("B", |w| {
+            let x = w.node("x");
+            let aa = w.node("A");
+            let y = w.node("y");
+            w.edge_named(x, aa, "A");
+            w.edge_named(aa, y, "y");
+        });
+        b.production("B", |w| {
+            w.node("x");
+        });
+        b.production("A", |w| {
+            w.node("z");
+        });
+        b.start("S");
+        let spec = b.build().unwrap();
+        let rec = spec.recursion();
+        assert!(rec.is_strictly_linear);
+        assert_eq!(rec.cycles.len(), 1);
+        assert_eq!(rec.cycles[0].len(), 2);
+        let a = spec.module_by_name("A").unwrap();
+        let bb = spec.module_by_name("B").unwrap();
+        // Canonical start = smaller module id (A was declared before B).
+        assert_eq!(rec.cycles[0].edges[0].from, a);
+        assert_eq!(rec.cycles[0].edges[0].to, bb);
+        assert_eq!(rec.cycles[0].edges[1].from, bb);
+        assert_eq!(rec.cycles[0].edges[1].to, a);
+        assert_eq!(rec.cycle_of_module(a), Some((0, 0)));
+        assert_eq!(rec.cycle_of_module(bb), Some((0, 1)));
+    }
+
+    #[test]
+    fn two_disjoint_cycles_are_linear() {
+        let mut b = SpecificationBuilder::new();
+        b.atomic("t");
+        for m in ["S", "A", "B"] {
+            b.composite(m);
+        }
+        b.production("S", |w| {
+            let a = w.node("A");
+            let bb = w.node("B");
+            w.edge_named(a, bb, "B");
+        });
+        b.production("A", |w| {
+            let t = w.node("t");
+            let a = w.node("A");
+            w.edge_named(t, a, "A");
+        });
+        b.production("A", |w| {
+            w.node("t");
+        });
+        b.production("B", |w| {
+            let t = w.node("t");
+            let bb = w.node("B");
+            w.edge_named(t, bb, "B");
+        });
+        b.production("B", |w| {
+            w.node("t");
+        });
+        b.start("S");
+        let spec = b.build().unwrap();
+        let rec = spec.recursion();
+        assert!(rec.is_strictly_linear);
+        assert_eq!(rec.cycles.len(), 2);
+    }
+
+    #[test]
+    fn parallel_recursive_occurrences_rejected() {
+        // A -> body containing A twice: two parallel P(G) edges A -> A,
+        // i.e. two cycles sharing A.
+        let mut b = SpecificationBuilder::new();
+        b.atomic("t");
+        b.composite("S");
+        b.composite("A");
+        b.production("S", |w| {
+            w.node("A");
+        });
+        b.production("A", |w| {
+            let x = w.node("t");
+            let a1 = w.node("A");
+            let a2 = w.node("A");
+            let y = w.node("t");
+            w.edge_named(x, a1, "A");
+            w.edge_named(x, a2, "A");
+            w.edge_named(a1, y, "t");
+            w.edge_named(a2, y, "t");
+        });
+        b.production("A", |w| {
+            w.node("t");
+        });
+        b.start("S");
+        let spec = b.build().unwrap();
+        assert!(!spec.is_strictly_linear());
+    }
+
+    #[test]
+    fn acyclic_spec_has_no_cycles() {
+        let mut b = SpecificationBuilder::new();
+        b.atomic("t");
+        b.composite("S");
+        b.production("S", |w| {
+            let x = w.node("t");
+            let y = w.node("t");
+            w.edge_named(x, y, "t");
+        });
+        b.start("S");
+        let spec = b.build().unwrap();
+        assert!(spec.is_strictly_linear());
+        assert!(!spec.is_recursive());
+    }
+
+    #[test]
+    fn production_graph_edge_counts() {
+        let spec = fig2();
+        let pg = spec.production_graph();
+        // W1 has 4 nodes, W2 3, W3 2, W4 2 → 11 edges.
+        assert_eq!(pg.n_edges(), 11);
+        let s = spec.module_by_name("S").unwrap();
+        assert_eq!(pg.edges_from(s).len(), 4);
+    }
+}

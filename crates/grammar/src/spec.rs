@@ -1,0 +1,319 @@
+//! Core specification types: modules, tags, productions, specifications.
+
+use crate::production_graph::{ProductionGraph, RecursionInfo};
+use crate::workflow::SimpleWorkflow;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Dense id of a module (an element of `Σ`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ModuleId(pub u32);
+
+impl ModuleId {
+    /// Dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Dense id of a production (an element of `P`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProductionId(pub u32);
+
+impl ProductionId {
+    /// Dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Dense id of an edge tag (an element of `Γ`, the data-name alphabet).
+///
+/// Tags are what regular path queries are written over; `rpq-automata`'s
+/// `Symbol(i)` corresponds to `Tag(i)` one-to-one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Tag(pub u32);
+
+impl Tag {
+    /// Dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Atomic modules execute directly; composite modules are replaced by a
+/// production body during derivation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModuleKind {
+    /// A terminal of the CFGG.
+    Atomic,
+    /// A nonterminal of the CFGG (element of `Δ`).
+    Composite,
+}
+
+/// A module declaration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Module {
+    /// Human-readable unique name.
+    pub name: String,
+    /// Atomic or composite.
+    pub kind: ModuleKind,
+}
+
+/// A workflow production `M → W` (Definition 2).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Production {
+    /// The composite module being defined.
+    pub head: ModuleId,
+    /// The simple workflow it expands to.
+    pub body: SimpleWorkflow,
+}
+
+/// A workflow specification `G = (Σ, Δ, S, P)` (Definition 3).
+///
+/// Construct via [`crate::SpecificationBuilder`], which validates the
+/// coarse-grained well-formedness conditions. A `Specification` is
+/// immutable after construction; derived analyses (production graph,
+/// recursion info) are computed once and cached inside.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Specification {
+    modules: Vec<Module>,
+    tags: Vec<String>,
+    start: ModuleId,
+    productions: Vec<Production>,
+    /// Productions per head module (empty vec for atomic modules).
+    prods_by_head: Vec<Vec<ProductionId>>,
+    #[serde(skip)]
+    name_index: std::sync::OnceLock<HashMap<String, ModuleId>>,
+    #[serde(skip)]
+    tag_index: std::sync::OnceLock<HashMap<String, Tag>>,
+    #[serde(skip)]
+    recursion: std::sync::OnceLock<RecursionInfo>,
+}
+
+impl PartialEq for Specification {
+    fn eq(&self, other: &Self) -> bool {
+        self.modules == other.modules
+            && self.tags == other.tags
+            && self.start == other.start
+            && self.productions == other.productions
+    }
+}
+
+impl Specification {
+    /// Assemble a specification from validated parts (crate-internal; use
+    /// [`crate::SpecificationBuilder`]).
+    pub(crate) fn from_parts(
+        modules: Vec<Module>,
+        tags: Vec<String>,
+        start: ModuleId,
+        productions: Vec<Production>,
+    ) -> Specification {
+        let mut prods_by_head: Vec<Vec<ProductionId>> = vec![Vec::new(); modules.len()];
+        for (i, p) in productions.iter().enumerate() {
+            prods_by_head[p.head.index()].push(ProductionId(i as u32));
+        }
+        Specification {
+            modules,
+            tags,
+            start,
+            productions,
+            prods_by_head,
+            name_index: std::sync::OnceLock::new(),
+            tag_index: std::sync::OnceLock::new(),
+            recursion: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// All modules (`Σ`).
+    pub fn modules(&self) -> &[Module] {
+        &self.modules
+    }
+
+    /// Number of modules `|Σ|`.
+    pub fn n_modules(&self) -> usize {
+        self.modules.len()
+    }
+
+    /// Number of distinct edge tags `|Γ|`.
+    pub fn n_tags(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// The start module `S`.
+    pub fn start(&self) -> ModuleId {
+        self.start
+    }
+
+    /// All productions (`P`), in declaration order (the "fixed arbitrary
+    /// ordering" the labeling scheme requires).
+    pub fn productions(&self) -> &[Production] {
+        &self.productions
+    }
+
+    /// Production by id.
+    #[inline]
+    pub fn production(&self, id: ProductionId) -> &Production {
+        &self.productions[id.index()]
+    }
+
+    /// The productions whose head is `module` (empty for atomic modules).
+    pub fn productions_of(&self, module: ModuleId) -> &[ProductionId] {
+        &self.prods_by_head[module.index()]
+    }
+
+    /// Module metadata by id.
+    #[inline]
+    pub fn module(&self, id: ModuleId) -> &Module {
+        &self.modules[id.index()]
+    }
+
+    /// Is `id` composite (∈ Δ)?
+    #[inline]
+    pub fn is_composite(&self, id: ModuleId) -> bool {
+        self.modules[id.index()].kind == ModuleKind::Composite
+    }
+
+    /// Module name by id.
+    pub fn module_name(&self, id: ModuleId) -> &str {
+        &self.modules[id.index()].name
+    }
+
+    /// Look up a module by name.
+    pub fn module_by_name(&self, name: &str) -> Option<ModuleId> {
+        self.name_index
+            .get_or_init(|| {
+                self.modules
+                    .iter()
+                    .enumerate()
+                    .map(|(i, m)| (m.name.clone(), ModuleId(i as u32)))
+                    .collect()
+            })
+            .get(name)
+            .copied()
+    }
+
+    /// Tag name by id.
+    pub fn tag_name(&self, tag: Tag) -> &str {
+        &self.tags[tag.index()]
+    }
+
+    /// Look up a tag by name.
+    pub fn tag_by_name(&self, name: &str) -> Option<Tag> {
+        self.tag_index
+            .get_or_init(|| {
+                self.tags
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| (t.clone(), Tag(i as u32)))
+                    .collect()
+            })
+            .get(name)
+            .copied()
+    }
+
+    /// All tag names in id order.
+    pub fn tag_names(&self) -> &[String] {
+        &self.tags
+    }
+
+    /// The paper's `|G|`: the sum over productions of (1 + number of body
+    /// modules) — footnote 3 of Section V-A.
+    pub fn size(&self) -> usize {
+        self.productions
+            .iter()
+            .map(|p| 1 + p.body.n_nodes())
+            .sum::<usize>()
+    }
+
+    /// Build (or fetch the cached) production graph `P(G)`.
+    pub fn production_graph(&self) -> ProductionGraph {
+        ProductionGraph::build(self)
+    }
+
+    /// Cached recursion analysis (cycles, phases, strict linearity).
+    pub fn recursion(&self) -> &RecursionInfo {
+        self.recursion
+            .get_or_init(|| RecursionInfo::analyze(self))
+    }
+
+    /// Is the specification strictly linear-recursive (Definition 6)?
+    pub fn is_strictly_linear(&self) -> bool {
+        self.recursion().is_strictly_linear
+    }
+
+    /// Is the specification recursive at all?
+    pub fn is_recursive(&self) -> bool {
+        !self.recursion().cycles.is_empty()
+    }
+
+    /// Count of composite modules `|Δ|`.
+    pub fn n_composite(&self) -> usize {
+        self.modules
+            .iter()
+            .filter(|m| m.kind == ModuleKind::Composite)
+            .count()
+    }
+
+    /// Number of *recursive* productions (productions that sit on a cycle
+    /// of `P(G)`); the statistic the paper reports for its datasets.
+    pub fn n_recursive_productions(&self) -> usize {
+        let rec = self.recursion();
+        let mut ids: Vec<ProductionId> = rec
+            .cycles
+            .iter()
+            .flat_map(|c| c.edges.iter().map(|e| e.production))
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::SpecificationBuilder;
+
+    #[test]
+    fn size_matches_paper_footnote() {
+        // One production S -> (a -> b): size = 1 + 2 = 3.
+        let mut b = SpecificationBuilder::new();
+        b.atomic("a");
+        b.atomic("b");
+        b.composite("S");
+        b.production("S", |w| {
+            let x = w.node("a");
+            let y = w.node("b");
+            w.edge_named(x, y, "data");
+        });
+        b.start("S");
+        let spec = b.build().unwrap();
+        assert_eq!(spec.size(), 3);
+        assert_eq!(spec.n_modules(), 3);
+        assert_eq!(spec.n_composite(), 1);
+        assert_eq!(spec.n_tags(), 1);
+    }
+
+    #[test]
+    fn lookups_round_trip() {
+        let mut b = SpecificationBuilder::new();
+        b.atomic("leaf");
+        b.composite("Root");
+        b.production("Root", |w| {
+            w.node("leaf");
+        });
+        b.start("Root");
+        let spec = b.build().unwrap();
+        let root = spec.module_by_name("Root").unwrap();
+        assert_eq!(spec.module_name(root), "Root");
+        assert!(spec.is_composite(root));
+        let leaf = spec.module_by_name("leaf").unwrap();
+        assert!(!spec.is_composite(leaf));
+        assert_eq!(spec.productions_of(root).len(), 1);
+        assert_eq!(spec.productions_of(leaf).len(), 0);
+        assert!(spec.module_by_name("nope").is_none());
+    }
+}

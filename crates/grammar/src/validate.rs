@@ -1,0 +1,104 @@
+//! Well-formedness conditions for coarse-grained specifications.
+
+use std::fmt;
+
+/// Why a specification under construction was rejected.
+///
+/// These conditions package the model restrictions of Sections II and
+/// III-A of the paper: bodies are non-empty DAGs with a unique source and
+/// sink (single-input/single-output modules), parallel edges carry
+/// distinct tags, every composite module has at least one production, and
+/// every module is *productive* (derives at least one finite run, so
+/// derivation always terminates).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// Two modules declared with the same name.
+    DuplicateModule(String),
+    /// A production or start declaration referenced an undeclared module.
+    UnknownModule(String),
+    /// A production was declared for an atomic module.
+    ProductionForAtomic(String),
+    /// A composite module has no production, so it can never execute.
+    CompositeWithoutProduction(String),
+    /// No start module was declared.
+    MissingStart,
+    /// A production body has no nodes.
+    EmptyBody {
+        /// Declaration index of the offending production.
+        production: usize,
+    },
+    /// A body edge references a node index that does not exist.
+    EdgeOutOfRange {
+        /// Declaration index of the offending production.
+        production: usize,
+    },
+    /// A production body contains a directed cycle (bodies must be DAGs).
+    CyclicBody {
+        /// Declaration index of the offending production.
+        production: usize,
+    },
+    /// A body has zero or several in-degree-0 nodes.
+    NotSingleSource {
+        /// Declaration index of the offending production.
+        production: usize,
+        /// Number of sources found.
+        count: usize,
+    },
+    /// A body has zero or several out-degree-0 nodes.
+    NotSingleSink {
+        /// Declaration index of the offending production.
+        production: usize,
+        /// Number of sinks found.
+        count: usize,
+    },
+    /// Two parallel edges between the same node pair share a tag.
+    DuplicateParallelEdge {
+        /// Declaration index of the offending production.
+        production: usize,
+    },
+    /// A module cannot derive any finite run (infinite recursion with no
+    /// base case).
+    Unproductive(String),
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::DuplicateModule(n) => write!(f, "duplicate module {n:?}"),
+            ValidationError::UnknownModule(n) => write!(f, "unknown module {n:?}"),
+            ValidationError::ProductionForAtomic(n) => {
+                write!(f, "production declared for atomic module {n:?}")
+            }
+            ValidationError::CompositeWithoutProduction(n) => {
+                write!(f, "composite module {n:?} has no production")
+            }
+            ValidationError::MissingStart => write!(f, "no start module declared"),
+            ValidationError::EmptyBody { production } => {
+                write!(f, "production #{production} has an empty body")
+            }
+            ValidationError::EdgeOutOfRange { production } => {
+                write!(f, "production #{production} has an edge to a missing node")
+            }
+            ValidationError::CyclicBody { production } => {
+                write!(f, "production #{production} body is not acyclic")
+            }
+            ValidationError::NotSingleSource { production, count } => {
+                write!(f, "production #{production} body has {count} sources, need exactly 1")
+            }
+            ValidationError::NotSingleSink { production, count } => {
+                write!(f, "production #{production} body has {count} sinks, need exactly 1")
+            }
+            ValidationError::DuplicateParallelEdge { production } => {
+                write!(
+                    f,
+                    "production #{production} has parallel edges with identical tags"
+                )
+            }
+            ValidationError::Unproductive(n) => {
+                write!(f, "module {n:?} cannot derive any finite execution")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}

@@ -1,0 +1,271 @@
+//! Simple workflows: the DAG bodies of workflow productions.
+//!
+//! A simple workflow `W = (V, E)` (Definition 1) has module occurrences as
+//! nodes and tagged data edges. In the coarse-grained model of Section
+//! III-A each body is a DAG with a unique source and unique sink: node
+//! replacement attaches the replaced node's incoming edges to the source
+//! instance and its outgoing edges to the sink instance, giving every
+//! sub-run a single entry and a single exit node — the structural property
+//! the labeling scheme exploits.
+
+use crate::spec::{ModuleId, Tag};
+use serde::{Deserialize, Serialize};
+
+/// A tagged data edge between two body positions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BodyEdge {
+    /// Source position (index into the body's node list).
+    pub src: u32,
+    /// Target position.
+    pub dst: u32,
+    /// Data name flowing over the edge.
+    pub tag: Tag,
+}
+
+/// The body of a production: a DAG of module occurrences.
+///
+/// Positions (indices into [`SimpleWorkflow::nodes`]) are the unit the
+/// labeling scheme works with: a label entry `(k, i)` means "the i-th node
+/// of production k's body" (the paper fixes an arbitrary topological
+/// ordering; we require the node list itself to be topologically sorted,
+/// which the builder verifies).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimpleWorkflow {
+    nodes: Vec<ModuleId>,
+    edges: Vec<BodyEdge>,
+    /// Position of the unique source (in-degree 0).
+    source: u32,
+    /// Position of the unique sink (out-degree 0).
+    sink: u32,
+    /// `reach[i * n + j]`: does position `i` reach position `j` through
+    /// body edges (reflexive)? Cached transitive closure; bodies are small
+    /// (`n` ≤ tens), so a dense bitset-free matrix is fine.
+    reach: Vec<bool>,
+}
+
+impl SimpleWorkflow {
+    /// Build a simple workflow, computing the cached analyses.
+    ///
+    /// The caller (builder/validation) must have verified that the node
+    /// list is topologically sorted w.r.t. `edges`, that the DAG has a
+    /// unique source and sink, and that parallel edges carry distinct
+    /// tags. Panics on a non-topological node order in debug builds.
+    pub(crate) fn new(nodes: Vec<ModuleId>, edges: Vec<BodyEdge>) -> SimpleWorkflow {
+        debug_assert!(
+            edges.iter().all(|e| e.src < e.dst),
+            "body nodes must be listed in topological order"
+        );
+        let n = nodes.len();
+        let mut indeg = vec![0usize; n];
+        let mut outdeg = vec![0usize; n];
+        for e in &edges {
+            outdeg[e.src as usize] += 1;
+            indeg[e.dst as usize] += 1;
+        }
+        let source = indeg.iter().position(|&d| d == 0).expect("validated") as u32;
+        let sink = outdeg.iter().rposition(|&d| d == 0).expect("validated") as u32;
+
+        // Reflexive-transitive closure, processing targets in reverse
+        // topological order.
+        let mut reach = vec![false; n * n];
+        for i in 0..n {
+            reach[i * n + i] = true;
+        }
+        for e in edges.iter().rev() {
+            let (s, d) = (e.src as usize, e.dst as usize);
+            for j in 0..n {
+                if reach[d * n + j] {
+                    reach[s * n + j] = true;
+                }
+            }
+        }
+        SimpleWorkflow {
+            nodes,
+            edges,
+            source,
+            sink,
+            reach,
+        }
+    }
+
+    /// Number of module occurrences.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Module occupying position `i`.
+    #[inline]
+    pub fn node(&self, i: usize) -> ModuleId {
+        self.nodes[i]
+    }
+
+    /// All positions in (topological) order.
+    pub fn nodes(&self) -> &[ModuleId] {
+        &self.nodes
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[BodyEdge] {
+        &self.edges
+    }
+
+    /// The unique source position.
+    pub fn source(&self) -> usize {
+        self.source as usize
+    }
+
+    /// The unique sink position.
+    pub fn sink(&self) -> usize {
+        self.sink as usize
+    }
+
+    /// Reflexive-transitive reachability between positions — "the i-th
+    /// node reaches the j-th node on the right-hand side of the
+    /// production" from Algorithm 2, Case 1.
+    #[inline]
+    pub fn reaches(&self, i: usize, j: usize) -> bool {
+        self.reach[i * self.nodes.len() + j]
+    }
+
+    /// Outgoing edges of position `i`.
+    pub fn edges_from(&self, i: usize) -> impl Iterator<Item = &BodyEdge> {
+        let i = i as u32;
+        self.edges.iter().filter(move |e| e.src == i)
+    }
+
+    /// Incoming edges of position `i`.
+    pub fn edges_into(&self, i: usize) -> impl Iterator<Item = &BodyEdge> {
+        let i = i as u32;
+        self.edges.iter().filter(move |e| e.dst == i)
+    }
+
+    /// Positions holding a given module.
+    pub fn positions_of(&self, module: ModuleId) -> impl Iterator<Item = usize> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(move |(_, &m)| m == module)
+            .map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(i: u32) -> ModuleId {
+        ModuleId(i)
+    }
+
+    fn t(i: u32) -> Tag {
+        Tag(i)
+    }
+
+    fn chain3() -> SimpleWorkflow {
+        SimpleWorkflow::new(
+            vec![m(0), m(1), m(2)],
+            vec![
+                BodyEdge {
+                    src: 0,
+                    dst: 1,
+                    tag: t(0),
+                },
+                BodyEdge {
+                    src: 1,
+                    dst: 2,
+                    tag: t(1),
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn source_and_sink_of_chain() {
+        let w = chain3();
+        assert_eq!(w.source(), 0);
+        assert_eq!(w.sink(), 2);
+    }
+
+    #[test]
+    fn reachability_is_reflexive_transitive() {
+        let w = chain3();
+        for i in 0..3 {
+            assert!(w.reaches(i, i));
+        }
+        assert!(w.reaches(0, 2));
+        assert!(!w.reaches(2, 0));
+        assert!(!w.reaches(1, 0));
+    }
+
+    #[test]
+    fn diamond_reachability() {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3.
+        let w = SimpleWorkflow::new(
+            vec![m(0), m(1), m(2), m(3)],
+            vec![
+                BodyEdge {
+                    src: 0,
+                    dst: 1,
+                    tag: t(0),
+                },
+                BodyEdge {
+                    src: 0,
+                    dst: 2,
+                    tag: t(0),
+                },
+                BodyEdge {
+                    src: 1,
+                    dst: 3,
+                    tag: t(0),
+                },
+                BodyEdge {
+                    src: 2,
+                    dst: 3,
+                    tag: t(0),
+                },
+            ],
+        );
+        assert!(w.reaches(0, 3));
+        assert!(!w.reaches(1, 2));
+        assert!(!w.reaches(2, 1));
+        assert_eq!(w.source(), 0);
+        assert_eq!(w.sink(), 3);
+    }
+
+    #[test]
+    fn singleton_body() {
+        let w = SimpleWorkflow::new(vec![m(5)], vec![]);
+        assert_eq!(w.source(), 0);
+        assert_eq!(w.sink(), 0);
+        assert!(w.reaches(0, 0));
+    }
+
+    #[test]
+    fn edge_iterators() {
+        let w = chain3();
+        assert_eq!(w.edges_from(0).count(), 1);
+        assert_eq!(w.edges_from(2).count(), 0);
+        assert_eq!(w.edges_into(2).count(), 1);
+        assert_eq!(w.edges_into(0).count(), 0);
+    }
+
+    #[test]
+    fn positions_of_finds_duplicates() {
+        let w = SimpleWorkflow::new(
+            vec![m(1), m(7), m(1)],
+            vec![
+                BodyEdge {
+                    src: 0,
+                    dst: 1,
+                    tag: t(0),
+                },
+                BodyEdge {
+                    src: 1,
+                    dst: 2,
+                    tag: t(0),
+                },
+            ],
+        );
+        assert_eq!(w.positions_of(m(1)).collect::<Vec<_>>(), vec![0, 2]);
+    }
+}

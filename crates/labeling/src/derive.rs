@@ -1,0 +1,909 @@
+//! The derivation engine: node replacement with on-the-fly labeling.
+//!
+//! Derivation (Definition 4) starts from the start module and repeatedly
+//! replaces a composite node by the body of one of its productions.
+//! Incoming edges of the replaced node are redirected to the body's source
+//! instance, outgoing edges to its sink instance; edge tags are inherited
+//! unchanged. We expand depth-first with an explicit stack, creating run
+//! nodes (and their labels) exactly when they are derived — labels never
+//! change afterwards, matching the dynamic labeling requirement of the
+//! paper ("a label is assigned to each node as soon as it is executed").
+//!
+//! ## Labeling rules (compressed parse tree, Section II-B)
+//!
+//! When an execution with tree label `L` fires production `k`:
+//!
+//! * an **atomic** child at body position `i` gets label `L · (k, i)`;
+//! * a **composite, non-recursive** child at position `i` gets
+//!   `L · (k, i)`;
+//! * a **composite, recursive** child (module on cycle `s`, phase `t`) at
+//!   a position that is *not* the cycle continuation opens a fresh
+//!   recursion node `R` at `L · (k, i)`; the child execution becomes R's
+//!   first child with label `L · (k, i) · (s, t, 1)`;
+//! * the child at the **cycle-continuation position** of a cycle
+//!   production becomes the next sibling under the enclosing recursion
+//!   node: label `ψ(R) · (s, t, idx+1)`.
+//!
+//! Strict linearity guarantees each cycle is entered at most once per
+//! root-leaf path, so tree depth stays `O(|G|)` while recursion chains
+//! grow in breadth — the property that keeps labels logarithmic in run
+//! size.
+
+use crate::label::{Label, LabelEntry};
+use crate::run::{NodeId, Run, RunEdge, RunNode};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rpq_grammar::{ModuleId, ProductionId, Specification};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Why derivation was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeriveError {
+    /// The specification is not strictly linear-recursive, so the compact
+    /// labeling scheme is undefined (Section II-B constraint 1).
+    NotStrictlyLinear,
+}
+
+impl fmt::Display for DeriveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeriveError::NotStrictlyLinear => {
+                write!(f, "specification is not strictly linear-recursive")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeriveError {}
+
+/// Minimal-completion sizes per module, used to steer run growth and to
+/// guarantee termination once a size budget is exhausted.
+#[derive(Debug, Clone)]
+pub struct MinSizes {
+    /// Minimum number of run edges an execution of each module produces.
+    pub min_edges: Vec<u64>,
+    /// A production achieving the minimum (None for atomic modules).
+    pub min_production: Vec<Option<ProductionId>>,
+}
+
+impl MinSizes {
+    /// Fixpoint computation; terminates because validated specifications
+    /// are productive.
+    pub fn compute(spec: &Specification) -> MinSizes {
+        let n = spec.n_modules();
+        let mut min_edges = vec![u64::MAX; n];
+        let mut min_production = vec![None; n];
+        for (i, m) in spec.modules().iter().enumerate() {
+            if m.kind == rpq_grammar::ModuleKind::Atomic {
+                min_edges[i] = 0;
+            }
+        }
+        loop {
+            let mut changed = false;
+            for (pi, p) in spec.productions().iter().enumerate() {
+                let mut total = p.body.edges().len() as u64;
+                let mut ok = true;
+                for &m in p.body.nodes() {
+                    if min_edges[m.index()] == u64::MAX {
+                        ok = false;
+                        break;
+                    }
+                    total = total.saturating_add(min_edges[m.index()]);
+                }
+                if ok && total < min_edges[p.head.index()] {
+                    min_edges[p.head.index()] = total;
+                    min_production[p.head.index()] = Some(ProductionId(pi as u32));
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        MinSizes {
+            min_edges,
+            min_production,
+        }
+    }
+
+    /// The cheapest production of `module`.
+    pub fn minimal_production(&self, module: ModuleId) -> ProductionId {
+        self.min_production[module.index()].expect("composite module has a minimal production")
+    }
+}
+
+/// Derivation-time information offered to policies.
+#[derive(Debug)]
+pub struct PolicyContext<'a> {
+    /// Edges materialized so far plus the minimal completion of all
+    /// pending composite work — an accurate lower bound on the final size.
+    pub estimated_edges: u64,
+    /// The requested run size (edges).
+    pub target_edges: u64,
+    /// Number of production firings so far.
+    pub expansions: u64,
+    /// Minimal-completion table.
+    pub min_sizes: &'a MinSizes,
+}
+
+/// Chooses which production a composite execution fires.
+pub trait ProductionPolicy {
+    /// Pick one of `spec.productions_of(module)`.
+    fn choose(
+        &mut self,
+        spec: &Specification,
+        module: ModuleId,
+        ctx: &PolicyContext<'_>,
+    ) -> ProductionId;
+}
+
+/// The paper's run simulator: apply productions until the size budget is
+/// met, then complete minimally.
+///
+/// To reliably hit the requested run size (the paper sweeps 1K–16K
+/// edges), recursive modules *continue* their cycle while the estimated
+/// size is under budget; all other choice points (which exit production,
+/// which implementation of a non-recursive composite) are uniformly
+/// random. A pure uniform policy ([`UniformRandom`]) is also provided for
+/// fuzzing, but cannot guarantee a size.
+#[derive(Debug)]
+pub struct RandomGrowth {
+    rng: SmallRng,
+}
+
+impl RandomGrowth {
+    /// Seeded random policy.
+    pub fn new(seed: u64) -> RandomGrowth {
+        RandomGrowth {
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl ProductionPolicy for RandomGrowth {
+    fn choose(
+        &mut self,
+        spec: &Specification,
+        module: ModuleId,
+        ctx: &PolicyContext<'_>,
+    ) -> ProductionId {
+        // Safety valve: even if growth keeps firing recursive productions
+        // with zero-edge bodies, cap total expansions.
+        let over_budget = ctx.estimated_edges >= ctx.target_edges
+            || ctx.expansions > 64 * ctx.target_edges + 4096;
+        match spec.recursion().cycle_of_module(module) {
+            Some((cycle, phase)) => {
+                let continue_prod =
+                    spec.recursion().cycles[cycle as usize].edges[phase as usize].production;
+                if !over_budget {
+                    return continue_prod;
+                }
+                // Exit productions never continue any cycle (strict
+                // linearity makes non-cycle production-graph edges a
+                // DAG), so picking one at random still terminates.
+                let exits: Vec<ProductionId> = spec
+                    .productions_of(module)
+                    .iter()
+                    .copied()
+                    .filter(|&p| p != continue_prod)
+                    .collect();
+                if exits.is_empty() {
+                    // The base case lives on another module of the cycle.
+                    return continue_prod;
+                }
+                exits[self.rng.gen_range(0..exits.len())]
+            }
+            None => {
+                if over_budget {
+                    return ctx.min_sizes.minimal_production(module);
+                }
+                let prods = spec.productions_of(module);
+                prods[self.rng.gen_range(0..prods.len())]
+            }
+        }
+    }
+}
+
+/// Uniformly random production choice — Definition 4 taken literally.
+/// Run sizes are whatever the random walk yields (with a termination
+/// cap), so this policy is meant for property tests, not benchmarks.
+#[derive(Debug)]
+pub struct UniformRandom {
+    rng: SmallRng,
+}
+
+impl UniformRandom {
+    /// Seeded uniform policy.
+    pub fn new(seed: u64) -> UniformRandom {
+        UniformRandom {
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl ProductionPolicy for UniformRandom {
+    fn choose(
+        &mut self,
+        spec: &Specification,
+        module: ModuleId,
+        ctx: &PolicyContext<'_>,
+    ) -> ProductionId {
+        if ctx.estimated_edges >= ctx.target_edges
+            || ctx.expansions > 64 * ctx.target_edges + 4096
+        {
+            return ctx.min_sizes.minimal_production(module);
+        }
+        let prods = spec.productions_of(module);
+        prods[self.rng.gen_range(0..prods.len())]
+    }
+}
+
+/// Fork-heavy policy for the Kleene-star experiments (Fig. 13g/13h):
+/// fire one designated cycle `unfoldings` times, every other cycle once,
+/// everything else minimally.
+#[derive(Debug)]
+pub struct ForkFocus {
+    target_cycle: usize,
+    unfoldings: u64,
+    fired_target: u64,
+    fired_other: Vec<u64>,
+    rng: SmallRng,
+}
+
+impl ForkFocus {
+    /// `target_cycle` indexes the specification's canonical cycle list.
+    pub fn new(target_cycle: usize, unfoldings: u64, seed: u64) -> ForkFocus {
+        ForkFocus {
+            target_cycle,
+            unfoldings,
+            fired_target: 0,
+            fired_other: Vec::new(),
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl ProductionPolicy for ForkFocus {
+    fn choose(
+        &mut self,
+        spec: &Specification,
+        module: ModuleId,
+        ctx: &PolicyContext<'_>,
+    ) -> ProductionId {
+        let rec = spec.recursion();
+        self.fired_other.resize(rec.cycles.len().max(1), 0);
+        if let Some((cycle, phase)) = rec.cycle_of_module(module) {
+            let cycle = cycle as usize;
+            let continue_prod = rec.cycles[cycle].edges[phase as usize].production;
+            if cycle == self.target_cycle {
+                if self.fired_target < self.unfoldings {
+                    self.fired_target += 1;
+                    return continue_prod;
+                }
+            } else if self.fired_other[cycle] < 1 {
+                self.fired_other[cycle] += 1;
+                return continue_prod;
+            }
+            // Exit the cycle as cheaply as possible.
+            let exits: Vec<ProductionId> = spec
+                .productions_of(module)
+                .iter()
+                .copied()
+                .filter(|&p| p != continue_prod)
+                .collect();
+            if exits.is_empty() {
+                return continue_prod;
+            }
+            return exits[self.rng.gen_range(0..exits.len())];
+        }
+        let _ = ctx;
+        let prods = spec.productions_of(module);
+        prods[self.rng.gen_range(0..prods.len())]
+    }
+}
+
+/// Replays an explicit production sequence (depth-first, body-position
+/// order); falls back to minimal completion when exhausted. Used to
+/// reproduce the paper's worked derivations exactly.
+#[derive(Debug)]
+pub struct Scripted {
+    script: VecDeque<ProductionId>,
+}
+
+impl Scripted {
+    /// Productions will be consumed in depth-first expansion order.
+    pub fn new(script: impl IntoIterator<Item = ProductionId>) -> Scripted {
+        Scripted {
+            script: script.into_iter().collect(),
+        }
+    }
+}
+
+impl ProductionPolicy for Scripted {
+    fn choose(
+        &mut self,
+        spec: &Specification,
+        module: ModuleId,
+        ctx: &PolicyContext<'_>,
+    ) -> ProductionId {
+        match self.script.pop_front() {
+            Some(p) => {
+                assert_eq!(
+                    spec.production(p).head,
+                    module,
+                    "scripted production {p:?} does not produce module {:?}",
+                    spec.module_name(module)
+                );
+                p
+            }
+            None => ctx.min_sizes.minimal_production(module),
+        }
+    }
+}
+
+/// Builder for labeled runs.
+///
+/// ```
+/// use rpq_grammar::SpecificationBuilder;
+/// use rpq_labeling::RunBuilder;
+///
+/// let mut b = SpecificationBuilder::new();
+/// b.atomic("t");
+/// b.composite("S");
+/// b.production("S", |w| {
+///     let x = w.node("t");
+///     let s = w.node("S");
+///     let y = w.node("t");
+///     w.edge_named(x, s, "go");
+///     w.edge_named(s, y, "go");
+/// });
+/// b.production("S", |w| { w.node("t"); });
+/// b.start("S");
+/// let spec = b.build().unwrap();
+///
+/// let run = RunBuilder::new(&spec).seed(7).target_edges(100).build().unwrap();
+/// assert!(run.n_edges() >= 100);
+/// assert!(run.is_acyclic());
+/// ```
+pub struct RunBuilder<'a> {
+    spec: &'a Specification,
+    seed: u64,
+    target_edges: u64,
+    policy: Option<Box<dyn ProductionPolicy>>,
+}
+
+impl<'a> RunBuilder<'a> {
+    /// Start building a run of `spec`.
+    pub fn new(spec: &'a Specification) -> RunBuilder<'a> {
+        RunBuilder {
+            spec,
+            seed: 0,
+            target_edges: 64,
+            policy: None,
+        }
+    }
+
+    /// RNG seed for the default [`RandomGrowth`] policy.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Approximate run size in edges (the paper's 1K–16K parameter).
+    pub fn target_edges(mut self, edges: usize) -> Self {
+        self.target_edges = edges as u64;
+        self
+    }
+
+    /// Override the production policy.
+    pub fn policy(mut self, policy: impl ProductionPolicy + 'static) -> Self {
+        self.policy = Some(Box::new(policy));
+        self
+    }
+
+    /// Derive and label the run.
+    pub fn build(self) -> Result<Run, DeriveError> {
+        if !self.spec.is_strictly_linear() {
+            return Err(DeriveError::NotStrictlyLinear);
+        }
+        let mut policy = self
+            .policy
+            .unwrap_or_else(|| Box::new(RandomGrowth::new(self.seed)));
+        let engine = Engine::new(self.spec, self.target_edges);
+        Ok(engine.run(policy.as_mut()))
+    }
+}
+
+/// Recursion context of a composite execution: which recursion node it
+/// hangs under and at which unfolding index.
+#[derive(Clone)]
+struct RecCtx {
+    cycle: u16,
+    start_phase: u16,
+    idx: u32,
+    /// Label of the recursion node itself.
+    r_label: Label,
+}
+
+struct Frame {
+    production: ProductionId,
+    /// Tree label of this composite execution.
+    label: Label,
+    rec_ctx: Option<RecCtx>,
+    /// (entry, exit) of each expanded body position.
+    results: Vec<Option<(NodeId, NodeId)>>,
+    next_pos: usize,
+    /// Slot in the parent frame to deposit this sub-run's interface into.
+    parent_slot: Option<(usize, usize)>,
+}
+
+struct Engine<'a> {
+    spec: &'a Specification,
+    min_sizes: MinSizes,
+    target_edges: u64,
+    nodes: Vec<RunNode>,
+    edges: Vec<RunEdge>,
+    occurrences: Vec<u32>,
+    estimated_edges: u64,
+    expansions: u64,
+}
+
+impl<'a> Engine<'a> {
+    fn new(spec: &'a Specification, target_edges: u64) -> Engine<'a> {
+        let min_sizes = MinSizes::compute(spec);
+        let estimated_edges = min_sizes.min_edges[spec.start().index()];
+        Engine {
+            spec,
+            min_sizes,
+            target_edges,
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            occurrences: vec![0; spec.n_modules()],
+            estimated_edges,
+            expansions: 0,
+        }
+    }
+
+    fn ctx(&self) -> PolicyContext<'_> {
+        PolicyContext {
+            estimated_edges: self.estimated_edges,
+            target_edges: self.target_edges,
+            expansions: self.expansions,
+            min_sizes: &self.min_sizes,
+        }
+    }
+
+    fn new_node(&mut self, module: ModuleId, label: Label) -> NodeId {
+        self.occurrences[module.index()] += 1;
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(RunNode {
+            module,
+            occurrence: self.occurrences[module.index()],
+            label,
+        });
+        id
+    }
+
+    /// Label and recursion context for a *fresh* (non-continuation)
+    /// execution of `module` at tree position `position_label`.
+    fn fresh_execution(
+        &self,
+        module: ModuleId,
+        position_label: Label,
+    ) -> (Label, Option<RecCtx>) {
+        match self.spec.recursion().cycle_of_module(module) {
+            Some((cycle, phase)) => {
+                let exec = position_label.child(LabelEntry::Rec {
+                    cycle,
+                    start_phase: phase,
+                    idx: 1,
+                });
+                (
+                    exec,
+                    Some(RecCtx {
+                        cycle,
+                        start_phase: phase,
+                        idx: 1,
+                        r_label: position_label,
+                    }),
+                )
+            }
+            None => (position_label, None),
+        }
+    }
+
+    /// Account for firing production `p` on a composite: its minimal
+    /// completion is replaced by the body's own minimal completion.
+    fn account_expansion(&mut self, head: ModuleId, p: ProductionId) {
+        self.expansions += 1;
+        let body = &self.spec.production(p).body;
+        let mut body_min = body.edges().len() as u64;
+        for &m in body.nodes() {
+            body_min = body_min.saturating_add(self.min_sizes.min_edges[m.index()]);
+        }
+        self.estimated_edges = self
+            .estimated_edges
+            .saturating_sub(self.min_sizes.min_edges[head.index()])
+            .saturating_add(body_min);
+    }
+
+    /// Create a frame for an execution firing `production`, materializing
+    /// all *atomic* body nodes immediately — the paper numbers
+    /// occurrences by node-replacement order (the whole body appears when
+    /// the production fires, cf. Fig. 2c), not by depth-first traversal.
+    fn make_frame(
+        &mut self,
+        production: ProductionId,
+        label: Label,
+        rec_ctx: Option<RecCtx>,
+        parent_slot: Option<(usize, usize)>,
+    ) -> Frame {
+        let body = &self.spec.production(production).body;
+        let n = body.n_nodes();
+        let mut results: Vec<Option<(NodeId, NodeId)>> = vec![None; n];
+        for (pos, slot) in results.iter_mut().enumerate() {
+            let m = body.node(pos);
+            if !self.spec.is_composite(m) {
+                let node_label = label.child(LabelEntry::Prod {
+                    production,
+                    pos: pos as u32,
+                });
+                let id = self.new_node(m, node_label);
+                *slot = Some((id, id));
+            }
+        }
+        Frame {
+            production,
+            label,
+            rec_ctx,
+            results,
+            next_pos: 0,
+            parent_slot,
+        }
+    }
+
+    fn run(mut self, policy: &mut dyn ProductionPolicy) -> Run {
+        let start = self.spec.start();
+        if !self.spec.is_composite(start) {
+            let id = self.new_node(start, Label::root());
+            let _ = id;
+            return Run::from_parts(self.nodes, self.edges);
+        }
+
+        let (root_label, root_ctx) = self.fresh_execution(start, Label::root());
+        let root_prod = policy.choose(self.spec, start, &self.ctx());
+        self.account_expansion(start, root_prod);
+        let root = self.make_frame(root_prod, root_label, root_ctx, None);
+        let mut stack: Vec<Frame> = vec![root];
+        let mut final_interface: Option<(NodeId, NodeId)> = None;
+
+        while let Some(top) = stack.last() {
+            let frame_idx = stack.len() - 1;
+            let prod_id = top.production;
+            let body = &self.spec.production(prod_id).body;
+
+            if top.next_pos < body.n_nodes() {
+                let pos = top.next_pos;
+                stack[frame_idx].next_pos += 1;
+                if stack[frame_idx].results[pos].is_some() {
+                    continue; // atomic node, already materialized
+                }
+                let child_module = body.node(pos);
+
+                // Composite child: continuation of the enclosing recursion
+                // or a fresh execution?
+                let rec = self.spec.recursion();
+                let continuation = rec
+                    .cycle_of_production(prod_id)
+                    .filter(|&(_, rec_pos)| rec_pos as usize == pos);
+                let (child_label, child_ctx) = match continuation {
+                    Some((cycle, _)) => {
+                        let rc = stack[frame_idx]
+                            .rec_ctx
+                            .clone()
+                            .expect("cycle production fired outside a recursion context");
+                        debug_assert_eq!(rc.cycle, cycle);
+                        let label = rc.r_label.child(LabelEntry::Rec {
+                            cycle: rc.cycle,
+                            start_phase: rc.start_phase,
+                            idx: rc.idx + 1,
+                        });
+                        let ctx = RecCtx {
+                            idx: rc.idx + 1,
+                            ..rc
+                        };
+                        (label, Some(ctx))
+                    }
+                    None => {
+                        let position_label = stack[frame_idx].label.child(LabelEntry::Prod {
+                            production: prod_id,
+                            pos: pos as u32,
+                        });
+                        self.fresh_execution(child_module, position_label)
+                    }
+                };
+                let child_prod = policy.choose(self.spec, child_module, &self.ctx());
+                debug_assert_eq!(self.spec.production(child_prod).head, child_module);
+                self.account_expansion(child_module, child_prod);
+                let frame =
+                    self.make_frame(child_prod, child_label, child_ctx, Some((frame_idx, pos)));
+                stack.push(frame);
+            } else {
+                // Body fully expanded: materialize its internal edges and
+                // report the interface upward.
+                let frame = stack.pop().expect("non-empty stack");
+                let body = &self.spec.production(frame.production).body;
+                for e in body.edges() {
+                    let (_, src_exit) = frame.results[e.src as usize].expect("expanded");
+                    let (dst_entry, _) = frame.results[e.dst as usize].expect("expanded");
+                    self.edges.push(RunEdge {
+                        src: src_exit,
+                        dst: dst_entry,
+                        tag: e.tag,
+                    });
+                }
+                let (entry, _) = frame.results[body.source()].expect("expanded");
+                let (_, exit) = frame.results[body.sink()].expect("expanded");
+                match frame.parent_slot {
+                    Some((pframe, slot)) => {
+                        stack[pframe].results[slot] = Some((entry, exit));
+                    }
+                    None => final_interface = Some((entry, exit)),
+                }
+            }
+        }
+
+        debug_assert!(final_interface.is_some());
+        Run::from_parts(self.nodes, self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpq_grammar::SpecificationBuilder;
+
+    /// The paper's Fig. 2a specification.
+    fn fig2() -> Specification {
+        let mut b = SpecificationBuilder::new();
+        for m in ["a", "b", "c", "d", "e"] {
+            b.atomic(m);
+        }
+        for m in ["S", "A", "B"] {
+            b.composite(m);
+        }
+        b.production("S", |w| {
+            let c = w.node("c");
+            let a = w.node("A");
+            let bb = w.node("B");
+            let b2 = w.node("b");
+            // W1 is a diamond: c feeds both A and B, which both feed b
+            // (the only shape consistent with Examples 3.1 and 3.2).
+            w.edge(c, a);
+            w.edge(c, bb);
+            w.edge(a, b2);
+            w.edge(bb, b2);
+        });
+        b.production("A", |w| {
+            let a = w.node("a");
+            let aa = w.node("A");
+            let d = w.node("d");
+            w.edge(a, aa);
+            w.edge(aa, d);
+        });
+        b.production("A", |w| {
+            let e1 = w.node("e");
+            let e2 = w.node("e");
+            w.edge(e1, e2);
+        });
+        b.production("B", |w| {
+            let b1 = w.node("b");
+            let b2 = w.node("b");
+            w.edge(b1, b2);
+        });
+        b.start("S");
+        b.build().unwrap()
+    }
+
+    /// The Fig. 2b run: S fires W1; A recurses twice (W2, W2) then exits
+    /// with W3; B fires W4.
+    fn fig2_run(spec: &Specification) -> Run {
+        RunBuilder::new(spec)
+            .policy(Scripted::new([
+                ProductionId(0),
+                ProductionId(1),
+                ProductionId(1),
+                ProductionId(2),
+                ProductionId(3),
+            ]))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn min_sizes_of_fig2() {
+        let spec = fig2();
+        let ms = MinSizes::compute(&spec);
+        let a = spec.module_by_name("A").unwrap();
+        let s = spec.module_by_name("S").unwrap();
+        // A's cheapest completion is W3 (e -> e): 1 edge.
+        assert_eq!(ms.min_edges[a.index()], 1);
+        assert_eq!(ms.minimal_production(a), ProductionId(2));
+        // S: W1 has 4 edges + A(1) + B(1) = 6.
+        assert_eq!(ms.min_edges[s.index()], 6);
+    }
+
+    #[test]
+    fn fig2b_run_structure() {
+        let spec = fig2();
+        let run = fig2_run(&spec);
+        // Nodes: c, a, a, e, e, d, d, b, b, b = 10.
+        assert_eq!(run.n_nodes(), 10);
+        assert!(run.is_acyclic());
+        // Unique entry c:1 and unique exit b:1 (last node of W1).
+        assert_eq!(run.node_name(&spec, run.entry()), "c:1");
+        let a1 = run.node_by_name(&spec, "a:1").unwrap();
+        assert_eq!(run.node(a1).occurrence, 1);
+    }
+
+    #[test]
+    fn fig7_labels_match_the_paper() {
+        // The paper's compressed parse tree (Fig. 7) assigns:
+        //   ψV(c:1) = (1,1)
+        //   ψV(a:1) = (1,2)(1,1,1)(2,1)
+        //   ψV(d:1) = (1,2)(1,1,1)(2,3)
+        //   ψV(a:2) = (1,2)(1,1,2)(2,1)
+        //   ψV(e:1) = (1,2)(1,1,3)(3,1)
+        //   ψV(b:2) = (1,3)(4,1)
+        //   ψV(b:1) = (1,4)
+        let spec = fig2();
+        let run = fig2_run(&spec);
+        let label_of = |name: &str| {
+            let id = run.node_by_name(&spec, name).expect(name);
+            run.label(id).to_string()
+        };
+        assert_eq!(label_of("c:1"), "(1,1)");
+        assert_eq!(label_of("a:1"), "(1,2)(1,1,1)(2,1)");
+        assert_eq!(label_of("d:1"), "(1,2)(1,1,1)(2,3)");
+        assert_eq!(label_of("a:2"), "(1,2)(1,1,2)(2,1)");
+        assert_eq!(label_of("d:2"), "(1,2)(1,1,2)(2,3)");
+        assert_eq!(label_of("e:1"), "(1,2)(1,1,3)(3,1)");
+        assert_eq!(label_of("e:2"), "(1,2)(1,1,3)(3,2)");
+        assert_eq!(label_of("b:2"), "(1,3)(4,1)");
+        assert_eq!(label_of("b:3"), "(1,3)(4,2)");
+        assert_eq!(label_of("b:1"), "(1,4)");
+    }
+
+    #[test]
+    fn fig2b_edges() {
+        let spec = fig2();
+        let run = fig2_run(&spec);
+        // W1 contributes 4 edges, two firings of W2 contribute 2 each,
+        // W3 and W4 contribute 1 each.
+        assert_eq!(run.n_edges(), 10);
+        let n = |name: &str| run.node_by_name(&spec, name).unwrap();
+        let has_edge = |s: &str, d: &str| {
+            run.out_edges(n(s)).iter().any(|&(to, _)| to == n(d))
+        };
+        // The A branch: c feeds A's expansion a:1 a:2 e:1 e:2 d:2 d:1.
+        assert!(has_edge("c:1", "a:1"));
+        assert!(has_edge("a:1", "a:2"));
+        assert!(has_edge("a:2", "e:1"));
+        assert!(has_edge("e:1", "e:2"));
+        assert!(has_edge("e:2", "d:2"));
+        assert!(has_edge("d:2", "d:1"));
+        assert!(has_edge("d:1", "b:1"));
+        // The B branch: c feeds B's expansion b:2 b:3, which feeds b:1.
+        assert!(has_edge("c:1", "b:2"));
+        assert!(has_edge("b:2", "b:3"));
+        assert!(has_edge("b:3", "b:1"));
+    }
+
+    #[test]
+    fn random_growth_hits_target_sizes() {
+        let spec = fig2();
+        for target in [50usize, 200, 1000] {
+            let run = RunBuilder::new(&spec)
+                .seed(3)
+                .target_edges(target)
+                .build()
+                .unwrap();
+            assert!(run.n_edges() >= target, "{} < {target}", run.n_edges());
+            // Minimal completion keeps the overshoot bounded by the work
+            // in flight; generous factor to stay robust across seeds.
+            assert!(run.n_edges() < 4 * target + 64);
+            assert!(run.is_acyclic());
+        }
+    }
+
+    #[test]
+    fn runs_are_reproducible_per_seed() {
+        // A spec with genuine branching (two exit productions for A) so
+        // different seeds yield different runs.
+        let mut b = SpecificationBuilder::new();
+        for m in ["x", "y"] {
+            b.atomic(m);
+        }
+        b.composite("S");
+        b.composite("A");
+        b.production("S", |w| {
+            w.node("A");
+        });
+        b.production("A", |w| {
+            let x = w.node("x");
+            let a = w.node("A");
+            let y = w.node("y");
+            w.edge(x, a);
+            w.edge(a, y);
+        });
+        b.production("A", |w| {
+            let x = w.node("x");
+            let y = w.node("y");
+            w.edge(x, y);
+        });
+        b.production("A", |w| {
+            let y = w.node("y");
+            let x = w.node("x");
+            w.edge(y, x);
+        });
+        b.start("S");
+        let spec = b.build().unwrap();
+
+        let r1 = RunBuilder::new(&spec).seed(11).target_edges(300).build().unwrap();
+        let r2 = RunBuilder::new(&spec).seed(11).target_edges(300).build().unwrap();
+        assert_eq!(r1.n_nodes(), r2.n_nodes());
+        assert_eq!(r1.edges(), r2.edges());
+        let differs = (12..20u64).any(|s| {
+            let r3 = RunBuilder::new(&spec).seed(s).target_edges(300).build().unwrap();
+            r1.n_nodes() != r3.n_nodes() || r1.edges() != r3.edges()
+        });
+        assert!(differs, "eight different seeds all produced identical runs");
+    }
+
+    #[test]
+    fn atomic_start_yields_singleton_run() {
+        let mut b = SpecificationBuilder::new();
+        b.atomic("only");
+        b.start("only");
+        let spec = b.build().unwrap();
+        let run = RunBuilder::new(&spec).build().unwrap();
+        assert_eq!(run.n_nodes(), 1);
+        assert_eq!(run.n_edges(), 0);
+        assert_eq!(run.entry(), run.exit());
+    }
+
+    #[test]
+    fn fork_focus_unfolds_target_cycle() {
+        let spec = fig2();
+        let run = RunBuilder::new(&spec)
+            .policy(ForkFocus::new(0, 20, 1))
+            .build()
+            .unwrap();
+        // 20 unfoldings of A produce 20 `a` and 20 `d` executions.
+        let a = spec.module_by_name("a").unwrap();
+        assert_eq!(run.nodes_of_module(a).len(), 20);
+        assert!(run.is_acyclic());
+    }
+
+    #[test]
+    fn document_order_is_label_order() {
+        let spec = fig2();
+        let run = RunBuilder::new(&spec).seed(5).target_edges(200).build().unwrap();
+        let order = run.nodes_in_document_order();
+        for w in order.windows(2) {
+            assert!(run.label(w[0]) < run.label(w[1]));
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let spec = fig2();
+        let run = RunBuilder::new(&spec).seed(9).target_edges(500).build().unwrap();
+        let mut labels: Vec<&Label> = run.node_ids().map(|id| run.label(id)).collect();
+        let before = labels.len();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), before);
+    }
+}

@@ -1,0 +1,255 @@
+//! Label entries and labels (`ψV`).
+//!
+//! A node's label is the concatenation of compressed-parse-tree edge
+//! labels from the root to the node (Section II-B):
+//!
+//! * `(k, i)` — [`LabelEntry::Prod`]: the parent fired production `k` and
+//!   this child is the `i`-th node of its body;
+//! * `(s, t, i)` — [`LabelEntry::Rec`]: the parent is a recursion node of
+//!   cycle `s` whose unfolding starts at phase `t`, and this child is the
+//!   `i`-th module execution of the chain (1-based, outermost first).
+//!
+//! Because production bodies are topologically ordered and recursion
+//! children are ordered by unfolding depth, lexicographic order on labels
+//! equals left-to-right (document) order of the compressed parse tree's
+//! leaves — the order Algorithm 2 requires its input lists sorted in.
+
+use rpq_grammar::ProductionId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// One compressed-parse-tree edge label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LabelEntry {
+    /// `(k, i)`: the `i`-th body node of production `k`.
+    Prod {
+        /// Production fired by the parent execution.
+        production: ProductionId,
+        /// Body position of this child.
+        pos: u32,
+    },
+    /// `(s, t, i)`: the `i`-th child of a recursion node for cycle `s`
+    /// starting at phase `t`.
+    Rec {
+        /// Cycle index in the specification's canonical cycle list.
+        cycle: u16,
+        /// Phase of the first child's module within the cycle.
+        start_phase: u16,
+        /// 1-based unfolding index.
+        idx: u32,
+    },
+}
+
+impl LabelEntry {
+    /// Total order: within one tree node all children are either all
+    /// `Prod` (same production) or all `Rec` (same cycle and phase), so
+    /// ordering by position / unfolding index yields document order.
+    fn sort_key(&self) -> (u8, u32, u32) {
+        match *self {
+            LabelEntry::Prod { production, pos } => (0, production.0, pos),
+            LabelEntry::Rec {
+                cycle,
+                start_phase,
+                idx,
+            } => (1, ((cycle as u32) << 16) | start_phase as u32, idx),
+        }
+    }
+}
+
+impl PartialOrd for LabelEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for LabelEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.sort_key().cmp(&other.sort_key())
+    }
+}
+
+impl fmt::Display for LabelEntry {
+    /// Paper notation: 1-based `(k,i)` and `(s,t,i)` tuples.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            LabelEntry::Prod { production, pos } => {
+                write!(f, "({},{})", production.0 + 1, pos + 1)
+            }
+            LabelEntry::Rec {
+                cycle,
+                start_phase,
+                idx,
+            } => write!(f, "({},{},{})", cycle + 1, start_phase + 1, idx),
+        }
+    }
+}
+
+/// A node label `ψV(v)`: the path of entries from the root.
+///
+/// Shared immutably (`Arc`) because sibling labels share long prefixes
+/// conceptually; materialized flat for O(1) indexing during decoding.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Label(Arc<[LabelEntry]>);
+
+impl Serialize for Label {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.0.as_ref().serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for Label {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Ok(Label::from_entries(Vec::<LabelEntry>::deserialize(
+            deserializer,
+        )?))
+    }
+}
+
+impl Label {
+    /// The root's (empty) label.
+    pub fn root() -> Label {
+        Label(Arc::from(Vec::new()))
+    }
+
+    /// Build from entries.
+    pub fn from_entries(entries: Vec<LabelEntry>) -> Label {
+        Label(Arc::from(entries))
+    }
+
+    /// Extend with one entry (copying; labels are short).
+    pub fn child(&self, entry: LabelEntry) -> Label {
+        let mut v = Vec::with_capacity(self.0.len() + 1);
+        v.extend_from_slice(&self.0);
+        v.push(entry);
+        Label(Arc::from(v))
+    }
+
+    /// Replace the last entry (used when a recursion child's sibling label
+    /// is derived from the previous unfolding).
+    pub fn with_last(&self, entry: LabelEntry) -> Label {
+        let mut v = self.0.to_vec();
+        *v.last_mut().expect("with_last on empty label") = entry;
+        Label(Arc::from(v))
+    }
+
+    /// Entries, root-first.
+    pub fn entries(&self) -> &[LabelEntry] {
+        &self.0
+    }
+
+    /// Tree depth of the node.
+    pub fn depth(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Is this a prefix of `other`?
+    pub fn is_prefix_of(&self, other: &Label) -> bool {
+        other.0.len() >= self.0.len() && self.0[..] == other.0[..self.0.len()]
+    }
+
+    /// Length of the longest common prefix with `other` — the depth of
+    /// the lowest common ancestor in the compressed parse tree.
+    pub fn common_prefix_len(&self, other: &Label) -> usize {
+        self.0
+            .iter()
+            .zip(other.0.iter())
+            .take_while(|(a, b)| a == b)
+            .count()
+    }
+}
+
+impl PartialOrd for Label {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Label {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.iter().cmp(other.0.iter())
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return write!(f, "(root)");
+        }
+        for e in self.0.iter() {
+            write!(f, "{e}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prod(k: u32, i: u32) -> LabelEntry {
+        LabelEntry::Prod {
+            production: ProductionId(k),
+            pos: i,
+        }
+    }
+
+    fn rec(s: u16, t: u16, i: u32) -> LabelEntry {
+        LabelEntry::Rec {
+            cycle: s,
+            start_phase: t,
+            idx: i,
+        }
+    }
+
+    #[test]
+    fn child_appends() {
+        let l = Label::root().child(prod(0, 1)).child(rec(0, 0, 1));
+        assert_eq!(l.entries(), &[prod(0, 1), rec(0, 0, 1)]);
+        assert_eq!(l.depth(), 2);
+    }
+
+    #[test]
+    fn with_last_swaps_tail() {
+        let l = Label::root().child(prod(0, 1)).child(rec(0, 0, 1));
+        let sib = l.with_last(rec(0, 0, 2));
+        assert_eq!(sib.entries(), &[prod(0, 1), rec(0, 0, 2)]);
+    }
+
+    #[test]
+    fn prefix_and_lca() {
+        let a = Label::from_entries(vec![prod(0, 1), rec(0, 0, 1), prod(1, 0)]);
+        let b = Label::from_entries(vec![prod(0, 1), rec(0, 0, 2), prod(1, 2)]);
+        assert_eq!(a.common_prefix_len(&b), 1);
+        let p = Label::from_entries(vec![prod(0, 1)]);
+        assert!(p.is_prefix_of(&a));
+        assert!(!a.is_prefix_of(&p));
+        assert!(p.is_prefix_of(&p.clone()));
+    }
+
+    #[test]
+    fn ordering_is_document_order() {
+        // Siblings under the same production: ordered by position.
+        let a = Label::from_entries(vec![prod(0, 0)]);
+        let b = Label::from_entries(vec![prod(0, 2)]);
+        assert!(a < b);
+        // Recursion children ordered by unfolding index.
+        let r1 = Label::from_entries(vec![prod(0, 1), rec(0, 0, 1)]);
+        let r2 = Label::from_entries(vec![prod(0, 1), rec(0, 0, 2)]);
+        assert!(r1 < r2);
+        // A node deeper below r1 still precedes r2's subtree.
+        let r1_deep = Label::from_entries(vec![prod(0, 1), rec(0, 0, 1), prod(1, 5)]);
+        assert!(r1_deep < r2);
+        assert!(r1 < r1_deep);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        // The paper writes ψV(b:2) = (1,3)(4,1) with 1-based numbering.
+        let l = Label::from_entries(vec![prod(0, 2), prod(3, 0)]);
+        assert_eq!(l.to_string(), "(1,3)(4,1)");
+        let r = Label::from_entries(vec![prod(0, 1), rec(0, 0, 2)]);
+        assert_eq!(r.to_string(), "(1,2)(1,1,2)");
+        assert_eq!(Label::root().to_string(), "(root)");
+    }
+}

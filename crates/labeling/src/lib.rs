@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! Runs, derivation and derivation-based reachability labels.
+//!
+//! This crate is the substrate the paper borrows from Bao, Davidson, Milo
+//! (PVLDB 2012, the paper's ref \[4\]): executions of a workflow
+//! specification are derived by node replacement, and every node is
+//! labeled **as it is created** with the sequence of derivation steps that
+//! produced it — the edge labels of the *compressed parse tree* from the
+//! root down to the node (Section II-B of Huang et al., ICDE 2015).
+//!
+//! Contents:
+//!
+//! * [`label`] — label entries `(k, i)` / `(s, t, i)` and [`Label`]s;
+//! * [`run`] — the provenance DAG ([`Run`]) produced by a derivation;
+//! * [`mod@derive`] — the node-replacement engine with pluggable production
+//!   policies ([`RunBuilder`]);
+//! * [`parse_tree`] — explicit compressed parse trees (diagnostics and
+//!   property tests; query evaluation never materializes them);
+//! * [`list_tree`] — the trie ("tree representation of a list of nodes",
+//!   Fig. 12) that Algorithm 2 merges;
+//! * [`codec`] — compact binary label encoding, demonstrating the
+//!   logarithmic label size the scheme guarantees;
+//! * [`stats`] — run/label statistics used by the experiment harness.
+
+pub mod codec;
+pub mod derive;
+pub mod label;
+pub mod list_tree;
+pub mod parse_tree;
+pub mod run;
+pub mod stats;
+
+pub use derive::{
+    DeriveError, ForkFocus, MinSizes, PolicyContext, ProductionPolicy, RandomGrowth, RunBuilder,
+    Scripted, UniformRandom,
+};
+pub use label::{Label, LabelEntry};
+pub use list_tree::{ListTree, ListTreeNode};
+pub use parse_tree::ParseTree;
+pub use run::{NodeId, Run, RunEdge, RunNode};
+pub use stats::RunStats;

@@ -1,0 +1,205 @@
+//! Explicit compressed parse trees (diagnostics and property tests).
+//!
+//! Query evaluation never materializes the parse tree — that is the whole
+//! point of label decoding — but tests need it to verify the depth bound
+//! ("the depth of a compressed parse tree is bounded by the size of the
+//! specification") and to render trees like the paper's Fig. 7.
+
+use crate::label::{Label, LabelEntry};
+use crate::run::{NodeId, Run};
+use std::collections::BTreeMap;
+
+/// A reconstructed compressed parse tree.
+#[derive(Debug)]
+pub struct ParseTree {
+    root: PtNode,
+}
+
+/// One tree node: interior nodes are module executions or recursion
+/// nodes, leaves are run nodes.
+#[derive(Debug, Default)]
+pub struct PtNode {
+    /// Children keyed by their edge label (BTreeMap keeps document order).
+    children: BTreeMap<LabelEntry, PtNode>,
+    /// Set when this node is a leaf (an atomic execution).
+    pub leaf: Option<NodeId>,
+}
+
+impl ParseTree {
+    /// Rebuild the tree from all node labels of a run.
+    pub fn from_run(run: &Run) -> ParseTree {
+        let mut root = PtNode::default();
+        for (id, node) in run.nodes() {
+            let mut cur = &mut root;
+            for &e in node.label.entries() {
+                cur = cur.children.entry(e).or_default();
+            }
+            debug_assert!(cur.leaf.is_none(), "duplicate label {}", node.label);
+            cur.leaf = Some(id);
+        }
+        ParseTree { root }
+    }
+
+    /// The root node.
+    pub fn root(&self) -> &PtNode {
+        &self.root
+    }
+
+    /// Maximum depth (edges on the longest root-leaf path).
+    pub fn depth(&self) -> usize {
+        fn go(n: &PtNode) -> usize {
+            n.children.values().map(|c| 1 + go(c)).max().unwrap_or(0)
+        }
+        go(&self.root)
+    }
+
+    /// Total number of tree nodes (including interior ones).
+    pub fn n_nodes(&self) -> usize {
+        fn go(n: &PtNode) -> usize {
+            1 + n.children.values().map(go).sum::<usize>()
+        }
+        go(&self.root)
+    }
+
+    /// Leaves in document order; must equal the run's label order.
+    pub fn leaves(&self) -> Vec<NodeId> {
+        fn go(n: &PtNode, out: &mut Vec<NodeId>) {
+            if let Some(id) = n.leaf {
+                out.push(id);
+            }
+            for c in n.children.values() {
+                go(c, out);
+            }
+        }
+        let mut out = Vec::new();
+        go(&self.root, &mut out);
+        out
+    }
+
+    /// Find the subtree at a label prefix.
+    pub fn descend(&self, label: &Label) -> Option<&PtNode> {
+        let mut cur = &self.root;
+        for e in label.entries() {
+            cur = cur.children.get(e)?;
+        }
+        Some(cur)
+    }
+}
+
+impl PtNode {
+    /// Children in document order.
+    pub fn children(&self) -> impl Iterator<Item = (&LabelEntry, &PtNode)> {
+        self.children.iter()
+    }
+
+    /// Number of children.
+    pub fn n_children(&self) -> usize {
+        self.children.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::derive::{RunBuilder, Scripted};
+    use rpq_grammar::{ProductionId, Specification, SpecificationBuilder};
+
+    fn fig2() -> Specification {
+        let mut b = SpecificationBuilder::new();
+        for m in ["a", "b", "c", "d", "e"] {
+            b.atomic(m);
+        }
+        for m in ["S", "A", "B"] {
+            b.composite(m);
+        }
+        b.production("S", |w| {
+            let c = w.node("c");
+            let a = w.node("A");
+            let bb = w.node("B");
+            let b2 = w.node("b");
+            // W1 is a diamond: c feeds both A and B, which both feed b
+            // (the only shape consistent with Examples 3.1 and 3.2).
+            w.edge(c, a);
+            w.edge(c, bb);
+            w.edge(a, b2);
+            w.edge(bb, b2);
+        });
+        b.production("A", |w| {
+            let a = w.node("a");
+            let aa = w.node("A");
+            let d = w.node("d");
+            w.edge(a, aa);
+            w.edge(aa, d);
+        });
+        b.production("A", |w| {
+            let e1 = w.node("e");
+            let e2 = w.node("e");
+            w.edge(e1, e2);
+        });
+        b.production("B", |w| {
+            let b1 = w.node("b");
+            let b2 = w.node("b");
+            w.edge(b1, b2);
+        });
+        b.start("S");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn fig7_tree_shape() {
+        let spec = fig2();
+        let run = RunBuilder::new(&spec)
+            .policy(Scripted::new([
+                ProductionId(0),
+                ProductionId(1),
+                ProductionId(1),
+                ProductionId(2),
+                ProductionId(3),
+            ]))
+            .build()
+            .unwrap();
+        let tree = ParseTree::from_run(&run);
+        // Root S:1 has 4 children: c:1, R:1, B:1, b:1.
+        assert_eq!(tree.root().n_children(), 4);
+        // The recursion node R:1 (at S's body position 1) has 3 children.
+        let r_label = crate::label::Label::from_entries(vec![LabelEntry::Prod {
+            production: ProductionId(0),
+            pos: 1,
+        }]);
+        let r = tree.descend(&r_label).unwrap();
+        assert_eq!(r.n_children(), 3);
+        // Depth: root -> R -> A:i -> leaf = 3.
+        assert_eq!(tree.depth(), 3);
+        assert_eq!(tree.leaves().len(), run.n_nodes());
+    }
+
+    #[test]
+    fn depth_is_bounded_by_spec_size_even_for_huge_runs() {
+        let spec = fig2();
+        for (seed, target) in [(1u64, 500usize), (2, 2000), (3, 8000)] {
+            let run = RunBuilder::new(&spec)
+                .seed(seed)
+                .target_edges(target)
+                .build()
+                .unwrap();
+            let tree = ParseTree::from_run(&run);
+            // The structural bound: every root-leaf path alternates
+            // between production levels and (at most one per cycle)
+            // recursion levels.
+            assert!(
+                tree.depth() <= 2 * spec.size(),
+                "depth {} too large for spec size {}",
+                tree.depth(),
+                spec.size()
+            );
+        }
+    }
+
+    #[test]
+    fn leaves_in_document_order_match_label_sort() {
+        let spec = fig2();
+        let run = RunBuilder::new(&spec).seed(4).target_edges(400).build().unwrap();
+        let tree = ParseTree::from_run(&run);
+        assert_eq!(tree.leaves(), run.nodes_in_document_order());
+    }
+}

@@ -1,0 +1,290 @@
+//! Provenance runs: edge-tagged DAGs produced by derivation.
+//!
+//! A run contains only atomic module executions (all composites have been
+//! replaced). Node replacement with unique-source/unique-sink bodies
+//! guarantees that every run is itself a DAG with a unique entry node and
+//! a unique exit node, and — crucially for the labeling approach — that
+//! the sub-run derived from any module execution has a unique entry and
+//! exit too, so every path crossing its boundary passes through them.
+
+use crate::label::Label;
+use rpq_grammar::{ModuleId, Tag};
+use serde::{Deserialize, Serialize};
+
+/// Dense run-node id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One atomic module execution.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunNode {
+    /// The atomic module executed.
+    pub module: ModuleId,
+    /// 1-based occurrence number among executions of the same module
+    /// (creation order) — the paper's `a:1`, `a:2`, … notation.
+    pub occurrence: u32,
+    /// Derivation-based reachability label `ψV`.
+    pub label: Label,
+}
+
+/// One tagged data edge of the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunEdge {
+    /// Producer execution.
+    pub src: NodeId,
+    /// Consumer execution.
+    pub dst: NodeId,
+    /// Data name, inherited from the production body that introduced the
+    /// edge (tags survive node replacement unchanged).
+    pub tag: Tag,
+}
+
+/// A fully derived, labeled run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Run {
+    nodes: Vec<RunNode>,
+    edges: Vec<RunEdge>,
+    /// Outgoing adjacency: `(target, tag)` per node.
+    out: Vec<Vec<(NodeId, Tag)>>,
+    /// Incoming adjacency: `(source, tag)` per node.
+    inc: Vec<Vec<(NodeId, Tag)>>,
+    entry: NodeId,
+    exit: NodeId,
+}
+
+impl Run {
+    /// Assemble a run from nodes and edges (crate-internal; use
+    /// [`crate::RunBuilder`]).
+    pub(crate) fn from_parts(nodes: Vec<RunNode>, edges: Vec<RunEdge>) -> Run {
+        let n = nodes.len();
+        let mut out: Vec<Vec<(NodeId, Tag)>> = vec![Vec::new(); n];
+        let mut inc: Vec<Vec<(NodeId, Tag)>> = vec![Vec::new(); n];
+        for e in &edges {
+            out[e.src.index()].push((e.dst, e.tag));
+            inc[e.dst.index()].push((e.src, e.tag));
+        }
+        let entry = NodeId(
+            inc.iter()
+                .position(|v| v.is_empty())
+                .expect("run has a unique entry") as u32,
+        );
+        let exit = NodeId(
+            out.iter()
+                .rposition(|v| v.is_empty())
+                .expect("run has a unique exit") as u32,
+        );
+        debug_assert_eq!(inc.iter().filter(|v| v.is_empty()).count(), 1);
+        debug_assert_eq!(out.iter().filter(|v| v.is_empty()).count(), 1);
+        Run {
+            nodes,
+            edges,
+            out,
+            inc,
+            entry,
+            exit,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges — the paper's run-size parameter.
+    pub fn n_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Node metadata.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &RunNode {
+        &self.nodes[id.index()]
+    }
+
+    /// Node label `ψV(v)`.
+    #[inline]
+    pub fn label(&self, id: NodeId) -> &Label {
+        &self.nodes[id.index()].label
+    }
+
+    /// All node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// All nodes with ids.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &RunNode)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId(i as u32), n))
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[RunEdge] {
+        &self.edges
+    }
+
+    /// Outgoing `(target, tag)` pairs of `node`.
+    #[inline]
+    pub fn out_edges(&self, node: NodeId) -> &[(NodeId, Tag)] {
+        &self.out[node.index()]
+    }
+
+    /// Incoming `(source, tag)` pairs of `node`.
+    #[inline]
+    pub fn in_edges(&self, node: NodeId) -> &[(NodeId, Tag)] {
+        &self.inc[node.index()]
+    }
+
+    /// The run's unique entry (source) node.
+    pub fn entry(&self) -> NodeId {
+        self.entry
+    }
+
+    /// The run's unique exit (sink) node.
+    pub fn exit(&self) -> NodeId {
+        self.exit
+    }
+
+    /// Look up a node by the paper's `name:occurrence` notation, e.g.
+    /// `"a:2"`. Requires the specification for name resolution.
+    pub fn node_by_name(&self, spec: &rpq_grammar::Specification, name: &str) -> Option<NodeId> {
+        let (module, occ) = name.rsplit_once(':')?;
+        let occ: u32 = occ.parse().ok()?;
+        let module = spec.module_by_name(module)?;
+        self.nodes
+            .iter()
+            .position(|n| n.module == module && n.occurrence == occ)
+            .map(|i| NodeId(i as u32))
+    }
+
+    /// Human-readable node name.
+    pub fn node_name(&self, spec: &rpq_grammar::Specification, id: NodeId) -> String {
+        let n = self.node(id);
+        format!("{}:{}", spec.module_name(n.module), n.occurrence)
+    }
+
+    /// Nodes executing `module`, in occurrence order.
+    pub fn nodes_of_module(&self, module: ModuleId) -> Vec<NodeId> {
+        self.nodes()
+            .filter(|(_, n)| n.module == module)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Node ids sorted by label (document order) — the input order
+    /// Algorithm 2 expects.
+    pub fn nodes_in_document_order(&self) -> Vec<NodeId> {
+        let mut ids: Vec<NodeId> = self.node_ids().collect();
+        ids.sort_by(|a, b| self.label(*a).cmp(self.label(*b)));
+        ids
+    }
+
+    /// Check that this run is consistent with `spec`: every label entry
+    /// references an existing production/body position or cycle, every
+    /// node's module matches the position its label points at, and all
+    /// modules are atomic.
+    ///
+    /// Query plans decode labels against the specification without
+    /// further checks; pairing a run with the wrong specification would
+    /// otherwise fail deep inside the decoder. Call this after loading a
+    /// persisted run.
+    pub fn validate_against(&self, spec: &rpq_grammar::Specification) -> Result<(), String> {
+        let rec = spec.recursion();
+        for (id, node) in self.nodes() {
+            if node.module.index() >= spec.n_modules() {
+                return Err(format!(
+                    "node {id:?}: module id {} out of range",
+                    node.module.0
+                ));
+            }
+            if spec.is_composite(node.module) {
+                return Err(format!("node {id:?} executes a composite module"));
+            }
+            let entries = node.label.entries();
+            let Some(last) = entries.last() else {
+                // Only a single-node run of an atomic start has an empty
+                // label.
+                if self.n_nodes() == 1 && spec.start() == node.module {
+                    continue;
+                }
+                return Err(format!("node {id:?} has an empty label"));
+            };
+            match *last {
+                crate::label::LabelEntry::Prod { production, pos } => {
+                    let Some(prod) = spec.productions().get(production.index()) else {
+                        return Err(format!(
+                            "node {id:?}: production #{} out of range",
+                            production.0
+                        ));
+                    };
+                    if pos as usize >= prod.body.n_nodes() {
+                        return Err(format!(
+                            "node {id:?}: position {pos} outside production #{}",
+                            production.0
+                        ));
+                    }
+                    if prod.body.node(pos as usize) != node.module {
+                        return Err(format!(
+                            "node {id:?}: module mismatch at production #{} position {pos}",
+                            production.0
+                        ));
+                    }
+                }
+                crate::label::LabelEntry::Rec { .. } => {
+                    return Err(format!(
+                        "node {id:?}: atomic node label ends with a recursion entry"
+                    ));
+                }
+            }
+            for e in entries {
+                if let crate::label::LabelEntry::Rec { cycle, start_phase, idx } = *e {
+                    let Some(c) = rec.cycles.get(cycle as usize) else {
+                        return Err(format!("node {id:?}: cycle {cycle} out of range"));
+                    };
+                    if start_phase as usize >= c.len() {
+                        return Err(format!(
+                            "node {id:?}: phase {start_phase} outside cycle {cycle}"
+                        ));
+                    }
+                    if idx == 0 {
+                        return Err(format!("node {id:?}: recursion index 0 (1-based)"));
+                    }
+                }
+            }
+        }
+        for e in self.edges() {
+            if e.tag.index() >= spec.n_tags() {
+                return Err(format!("edge tag {:?} out of range", e.tag));
+            }
+        }
+        Ok(())
+    }
+
+    /// Verify the run is a DAG (defensive check for tests).
+    pub fn is_acyclic(&self) -> bool {
+        let n = self.n_nodes();
+        let mut indeg: Vec<usize> = (0..n).map(|i| self.inc[i].len()).collect();
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut seen = 0;
+        while let Some(v) = queue.pop() {
+            seen += 1;
+            for &(to, _) in &self.out[v] {
+                indeg[to.index()] -= 1;
+                if indeg[to.index()] == 0 {
+                    queue.push(to.index());
+                }
+            }
+        }
+        seen == n
+    }
+}

@@ -1,0 +1,88 @@
+//! Run and label statistics for the experiment harness.
+
+use crate::codec::encoded_len;
+use crate::parse_tree::ParseTree;
+use crate::run::Run;
+
+/// Aggregate statistics of a labeled run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunStats {
+    /// Node count.
+    pub n_nodes: usize,
+    /// Edge count (the paper's run-size parameter).
+    pub n_edges: usize,
+    /// Compressed parse tree depth.
+    pub tree_depth: usize,
+    /// Total encoded label bytes.
+    pub label_bytes_total: usize,
+    /// Mean encoded label size in bytes.
+    pub label_bytes_avg: f64,
+    /// Largest encoded label in bytes.
+    pub label_bytes_max: usize,
+}
+
+impl RunStats {
+    /// Measure a run.
+    pub fn measure(run: &Run) -> RunStats {
+        let mut total = 0usize;
+        let mut max = 0usize;
+        for id in run.node_ids() {
+            let len = encoded_len(run.label(id));
+            total += len;
+            max = max.max(len);
+        }
+        let tree_depth = ParseTree::from_run(run).depth();
+        RunStats {
+            n_nodes: run.n_nodes(),
+            n_edges: run.n_edges(),
+            tree_depth,
+            label_bytes_total: total,
+            label_bytes_avg: total as f64 / run.n_nodes().max(1) as f64,
+            label_bytes_max: max,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::derive::RunBuilder;
+    use rpq_grammar::SpecificationBuilder;
+
+    #[test]
+    fn label_sizes_stay_logarithmic_as_runs_grow() {
+        let mut b = SpecificationBuilder::new();
+        b.atomic("t");
+        b.composite("S");
+        b.production("S", |w| {
+            let x = w.node("t");
+            let s = w.node("S");
+            let y = w.node("t");
+            w.edge_named(x, s, "go");
+            w.edge_named(s, y, "go");
+        });
+        b.production("S", |w| {
+            w.node("t");
+        });
+        b.start("S");
+        let spec = b.build().unwrap();
+
+        let small = RunStats::measure(
+            &RunBuilder::new(&spec).seed(1).target_edges(100).build().unwrap(),
+        );
+        let large = RunStats::measure(
+            &RunBuilder::new(&spec).seed(1).target_edges(10_000).build().unwrap(),
+        );
+        // A 100x larger run must not have 100x larger labels; varint
+        // recursion indices keep growth logarithmic.
+        assert!(large.n_edges >= 50 * small.n_edges.min(200));
+        assert!(
+            large.label_bytes_max <= small.label_bytes_max + 16,
+            "labels grew too fast: {} -> {}",
+            small.label_bytes_max,
+            large.label_bytes_max
+        );
+        // Tree depth is independent of run size for this grammar.
+        assert_eq!(small.tree_depth, large.tree_depth);
+    }
+}

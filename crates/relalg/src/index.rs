@@ -1,0 +1,129 @@
+//! Per-tag inverted edge index (baseline G3's index; Section V-A).
+//!
+//! "For each run, an index maps an edge tag γ ∈ Γ to a list of node pairs
+//! that are connected by an edge tagged γ." The index also serves the
+//! rare-label selection of baseline G2 and the selectivity estimates of
+//! the cost-model extension.
+
+use crate::relation::NodePairSet;
+use rpq_grammar::Tag;
+use rpq_labeling::{NodeId, Run};
+
+/// Inverted index from edge tags to edge endpoint pairs.
+#[derive(Debug, Clone)]
+pub struct TagIndex {
+    /// `per_tag[t]`: sorted pairs connected by a `t`-tagged edge.
+    per_tag: Vec<NodePairSet>,
+}
+
+impl TagIndex {
+    /// Build the index for a run over a `n_tags`-tag alphabet.
+    pub fn build(run: &Run, n_tags: usize) -> TagIndex {
+        let mut buckets: Vec<Vec<(NodeId, NodeId)>> = vec![Vec::new(); n_tags];
+        for e in run.edges() {
+            buckets[e.tag.index()].push((e.src, e.dst));
+        }
+        TagIndex {
+            per_tag: buckets.into_iter().map(NodePairSet::from_pairs).collect(),
+        }
+    }
+
+    /// Edges tagged `tag`.
+    pub fn edges(&self, tag: Tag) -> &NodePairSet {
+        &self.per_tag[tag.index()]
+    }
+
+    /// Number of edges tagged `tag` (selectivity statistic).
+    pub fn count(&self, tag: Tag) -> usize {
+        self.per_tag[tag.index()].len()
+    }
+
+    /// All edges regardless of tag (the wildcard relation).
+    pub fn all_edges(&self) -> NodePairSet {
+        let mut out = NodePairSet::new();
+        for s in &self.per_tag {
+            out = out.union(s);
+        }
+        out
+    }
+
+    /// The tag with the fewest (but non-zero) matching edges among
+    /// `candidates` — G2's "rare label". Returns `None` when every
+    /// candidate has zero matches (the query is trivially empty on this
+    /// run).
+    pub fn rarest(&self, candidates: &[Tag]) -> Option<Tag> {
+        candidates
+            .iter()
+            .copied()
+            .filter(|&t| self.count(t) > 0)
+            .min_by_key(|&t| self.count(t))
+    }
+
+    /// Number of tags.
+    pub fn n_tags(&self) -> usize {
+        self.per_tag.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpq_grammar::SpecificationBuilder;
+    use rpq_labeling::RunBuilder;
+
+    #[test]
+    fn index_counts_match_run_edges() {
+        let mut b = SpecificationBuilder::new();
+        b.atomic("t");
+        b.composite("S");
+        b.production("S", |w| {
+            let x = w.node("t");
+            let s = w.node("S");
+            let y = w.node("t");
+            w.edge_named(x, s, "fwd");
+            w.edge_named(s, y, "bwd");
+        });
+        b.production("S", |w| {
+            let x = w.node("t");
+            let y = w.node("t");
+            w.edge_named(x, y, "base");
+        });
+        b.start("S");
+        let spec = b.build().unwrap();
+        let run = RunBuilder::new(&spec).seed(1).target_edges(50).build().unwrap();
+        let idx = TagIndex::build(&run, spec.n_tags());
+
+        let total: usize = (0..spec.n_tags()).map(|t| idx.count(Tag(t as u32))).sum();
+        assert_eq!(total, run.n_edges());
+        assert_eq!(idx.all_edges().len(), run.n_edges());
+
+        // "base" appears exactly once (one base-case firing).
+        let base = spec.tag_by_name("base").unwrap();
+        assert_eq!(idx.count(base), 1);
+
+        // The rarest among {fwd, base} is base.
+        let fwd = spec.tag_by_name("fwd").unwrap();
+        assert_eq!(idx.rarest(&[fwd, base]), Some(base));
+    }
+
+    #[test]
+    fn rarest_skips_absent_tags() {
+        let mut b = SpecificationBuilder::new();
+        b.atomic("t");
+        b.composite("S");
+        b.declare_tag("phantom");
+        b.production("S", |w| {
+            let x = w.node("t");
+            let y = w.node("t");
+            w.edge_named(x, y, "real");
+        });
+        b.start("S");
+        let spec = b.build().unwrap();
+        let run = RunBuilder::new(&spec).build().unwrap();
+        let idx = TagIndex::build(&run, spec.n_tags());
+        let phantom = spec.tag_by_name("phantom").unwrap();
+        let real = spec.tag_by_name("real").unwrap();
+        assert_eq!(idx.rarest(&[phantom]), None);
+        assert_eq!(idx.rarest(&[phantom, real]), Some(real));
+    }
+}

@@ -1,0 +1,160 @@
+//! Composition joins and the semi-naive Kleene fixpoint.
+//!
+//! These are the operators baseline G1 (Li & Moon's parse-tree
+//! evaluation, the paper's Option G1) is built from; the paper's own
+//! approach uses them only for the *unsafe remainder* of a decomposed
+//! query — which is exactly why it wins on queries whose safe parts are
+//! lowly selective.
+
+use crate::relation::{NodePairSet, Relation};
+use rpq_labeling::NodeId;
+use std::collections::HashMap;
+
+/// Composition of pair sets: `{(u, w) | (u, v) ∈ a, (v, w) ∈ b}`
+/// (hash join on the shared middle node).
+pub fn compose_pairs(a: &NodePairSet, b: &NodePairSet) -> NodePairSet {
+    // Index b by source.
+    let mut by_src: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+    for (v, w) in b.iter() {
+        by_src.entry(v).or_default().push(w);
+    }
+    let mut out = Vec::new();
+    for (u, v) in a.iter() {
+        if let Some(ws) = by_src.get(&v) {
+            out.extend(ws.iter().map(|&w| (u, w)));
+        }
+    }
+    NodePairSet::from_pairs(out)
+}
+
+/// Composition of relations, respecting symbolic identity:
+/// `(a ∪ id?) ∘ (b ∪ id?)`.
+pub fn compose(a: &Relation, b: &Relation) -> Relation {
+    let mut pairs = compose_pairs(&a.pairs, &b.pairs);
+    if a.identity {
+        pairs = pairs.union(&b.pairs);
+    }
+    if b.identity {
+        pairs = pairs.union(&a.pairs);
+    }
+    Relation {
+        pairs,
+        identity: a.identity && b.identity,
+    }
+}
+
+/// Transitive closure (Kleene plus) of a pair set, computed semi-naively:
+/// `Δ₀ = R; Δᵢ₊₁ = (Δᵢ ∘ R) ∖ total`. This is the fixpoint loop whose
+/// unknown round count makes Kleene-star queries expensive for the
+/// baselines (Section V-A: "Since it is unknown how many rounds it takes
+/// to reach a fixpoint, the performance can be very bad").
+pub fn transitive_closure(r: &NodePairSet) -> NodePairSet {
+    // Successor index of the base relation.
+    let mut succ: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+    for (u, v) in r.iter() {
+        succ.entry(u).or_default().push(v);
+    }
+    // Hash membership + a flat accumulator: per-round work is then
+    // proportional to the newly discovered pairs only (a per-round
+    // sorted union would add an O(total) term per round, quadratic on
+    // long chains).
+    let mut seen: std::collections::HashSet<(NodeId, NodeId)> = r.iter().collect();
+    let mut acc: Vec<(NodeId, NodeId)> = r.iter().collect();
+    let mut delta: Vec<(NodeId, NodeId)> = r.iter().collect();
+    while !delta.is_empty() {
+        let mut next = Vec::new();
+        for &(u, v) in &delta {
+            if let Some(ws) = succ.get(&v) {
+                for &w in ws {
+                    if seen.insert((u, w)) {
+                        next.push((u, w));
+                    }
+                }
+            }
+        }
+        acc.extend_from_slice(&next);
+        delta = next;
+    }
+    NodePairSet::from_pairs(acc)
+}
+
+/// Kleene star as a relation: `r* = r⁺ ∪ id`.
+pub fn star(r: &NodePairSet) -> Relation {
+    Relation {
+        pairs: transitive_closure(r),
+        identity: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn pairs(ps: &[(u32, u32)]) -> NodePairSet {
+        NodePairSet::from_pairs(ps.iter().map(|&(a, b)| (n(a), n(b))).collect())
+    }
+
+    #[test]
+    fn compose_pairs_basic() {
+        let a = pairs(&[(0, 1), (1, 2)]);
+        let b = pairs(&[(1, 5), (2, 6)]);
+        let c = compose_pairs(&a, &b);
+        assert_eq!(c, pairs(&[(0, 5), (1, 6)]));
+    }
+
+    #[test]
+    fn compose_with_identity() {
+        let a = Relation::from_pairs(pairs(&[(0, 1)]));
+        let eps = Relation::epsilon();
+        assert_eq!(compose(&a, &eps), a);
+        assert_eq!(compose(&eps, &a), a);
+        let opt = a.union(&eps); // a?
+        let twice = compose(&opt, &opt); // matches "", "a", "aa"
+        assert!(twice.identity);
+        assert!(twice.contains(n(0), n(1)));
+    }
+
+    #[test]
+    fn closure_of_chain() {
+        let chain = pairs(&[(0, 1), (1, 2), (2, 3)]);
+        let tc = transitive_closure(&chain);
+        assert_eq!(
+            tc,
+            pairs(&[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+        );
+    }
+
+    #[test]
+    fn closure_of_diamond() {
+        let d = pairs(&[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let tc = transitive_closure(&d);
+        assert!(tc.contains(n(0), n(3)));
+        assert!(!tc.contains(n(1), n(2)));
+        assert_eq!(tc.len(), 5);
+    }
+
+    #[test]
+    fn closure_of_empty_is_empty() {
+        assert!(transitive_closure(&NodePairSet::new()).is_empty());
+    }
+
+    #[test]
+    fn star_includes_identity() {
+        let s = star(&pairs(&[(0, 1)]));
+        assert!(s.contains(n(4), n(4)));
+        assert!(s.contains(n(0), n(1)));
+    }
+
+    #[test]
+    fn closure_handles_cycles_in_relation_graphs() {
+        // Relations produced by sub-queries can cycle even on DAG runs
+        // (e.g. different path endpoints); the fixpoint must still stop.
+        let cyc = pairs(&[(0, 1), (1, 0)]);
+        let tc = transitive_closure(&cyc);
+        assert_eq!(tc, pairs(&[(0, 0), (0, 1), (1, 0), (1, 1)]));
+    }
+}

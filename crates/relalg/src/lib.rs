@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! Relational substrate for RPQ evaluation over provenance runs.
+//!
+//! The baselines (G1's bottom-up parse-tree evaluation in particular) and
+//! the composition step of the paper's general-query algorithm all
+//! manipulate *node-pair relations*: sets of `(u, v)` pairs meaning
+//! "some path whose tag string matches the subexpression leads from `u`
+//! to `v`". This crate provides:
+//!
+//! * [`NodePairSet`] — a sorted, deduplicated pair set;
+//! * [`Relation`] — a pair set plus a symbolic identity flag, so `ε` and
+//!   `e*` never materialize the quadratic identity relation;
+//! * composition ([`compose`]), union, and the semi-naive Kleene fixpoint
+//!   ([`transitive_closure`]);
+//! * [`TagIndex`] — the per-edge-tag inverted index the paper stores on
+//!   disk for baseline G3 ("an index maps an edge tag γ ∈ Γ to a list of
+//!   node pairs that are connected by an edge tagged γ").
+
+pub mod index;
+pub mod join;
+pub mod relation;
+
+pub use index::TagIndex;
+pub use join::{compose, compose_pairs, transitive_closure};
+pub use relation::{NodePairSet, Relation};

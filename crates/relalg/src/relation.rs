@@ -1,0 +1,219 @@
+//! Node-pair sets and relations with symbolic identity.
+
+use rpq_labeling::NodeId;
+
+/// A sorted, deduplicated set of `(source, target)` node pairs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NodePairSet {
+    pairs: Vec<(NodeId, NodeId)>,
+}
+
+impl NodePairSet {
+    /// Empty set.
+    pub fn new() -> NodePairSet {
+        NodePairSet::default()
+    }
+
+    /// Build from arbitrary pairs (sorts and dedups).
+    pub fn from_pairs(mut pairs: Vec<(NodeId, NodeId)>) -> NodePairSet {
+        pairs.sort_unstable();
+        pairs.dedup();
+        NodePairSet { pairs }
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Membership test (binary search).
+    pub fn contains(&self, u: NodeId, v: NodeId) -> bool {
+        self.pairs.binary_search(&(u, v)).is_ok()
+    }
+
+    /// Iterate pairs in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.pairs.iter().copied()
+    }
+
+    /// Raw slice access.
+    pub fn as_slice(&self) -> &[(NodeId, NodeId)] {
+        &self.pairs
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &NodePairSet) -> NodePairSet {
+        let mut out = Vec::with_capacity(self.len() + other.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.pairs.len() && j < other.pairs.len() {
+            match self.pairs[i].cmp(&other.pairs[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.pairs[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(other.pairs[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(self.pairs[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.pairs[i..]);
+        out.extend_from_slice(&other.pairs[j..]);
+        NodePairSet { pairs: out }
+    }
+
+    /// Restrict to pairs whose source is in `sources` (sorted input).
+    pub fn filter_sources(&self, sources: &[NodeId]) -> NodePairSet {
+        let set: std::collections::HashSet<NodeId> = sources.iter().copied().collect();
+        NodePairSet {
+            pairs: self
+                .pairs
+                .iter()
+                .copied()
+                .filter(|(u, _)| set.contains(u))
+                .collect(),
+        }
+    }
+
+    /// Restrict to pairs whose target is in `targets`.
+    pub fn filter_targets(&self, targets: &[NodeId]) -> NodePairSet {
+        let set: std::collections::HashSet<NodeId> = targets.iter().copied().collect();
+        NodePairSet {
+            pairs: self
+                .pairs
+                .iter()
+                .copied()
+                .filter(|(_, v)| set.contains(v))
+                .collect(),
+        }
+    }
+}
+
+impl FromIterator<(NodeId, NodeId)> for NodePairSet {
+    fn from_iter<T: IntoIterator<Item = (NodeId, NodeId)>>(iter: T) -> Self {
+        NodePairSet::from_pairs(iter.into_iter().collect())
+    }
+}
+
+/// A relation: explicit pairs plus a symbolic "identity on all nodes"
+/// component. `ε` and `e*` contribute the identity; keeping it symbolic
+/// avoids materializing `|V|` reflexive pairs in every star.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Relation {
+    /// Explicit (non-reflexive-by-construction) pairs.
+    pub pairs: NodePairSet,
+    /// Whether the identity relation is included.
+    pub identity: bool,
+}
+
+impl Relation {
+    /// The empty relation (∅).
+    pub fn empty() -> Relation {
+        Relation::default()
+    }
+
+    /// The identity relation (ε).
+    pub fn epsilon() -> Relation {
+        Relation {
+            pairs: NodePairSet::new(),
+            identity: true,
+        }
+    }
+
+    /// From explicit pairs.
+    pub fn from_pairs(pairs: NodePairSet) -> Relation {
+        Relation {
+            pairs,
+            identity: false,
+        }
+    }
+
+    /// Union of relations.
+    pub fn union(&self, other: &Relation) -> Relation {
+        Relation {
+            pairs: self.pairs.union(&other.pairs),
+            identity: self.identity || other.identity,
+        }
+    }
+
+    /// Does the relation relate `u` to `v`?
+    pub fn contains(&self, u: NodeId, v: NodeId) -> bool {
+        (self.identity && u == v) || self.pairs.contains(u, v)
+    }
+
+    /// Materialize against an explicit universe (for final answers whose
+    /// endpoints are restricted to given lists anyway).
+    pub fn materialize(&self, universe: &[NodeId]) -> NodePairSet {
+        if !self.identity {
+            return self.pairs.clone();
+        }
+        let mut pairs: Vec<(NodeId, NodeId)> = self.pairs.iter().collect();
+        pairs.extend(universe.iter().map(|&n| (n, n)));
+        NodePairSet::from_pairs(pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn from_pairs_sorts_and_dedups() {
+        let s = NodePairSet::from_pairs(vec![(n(2), n(1)), (n(0), n(5)), (n(2), n(1))]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.as_slice(), &[(n(0), n(5)), (n(2), n(1))]);
+        assert!(s.contains(n(2), n(1)));
+        assert!(!s.contains(n(1), n(2)));
+    }
+
+    #[test]
+    fn union_merges() {
+        let a = NodePairSet::from_pairs(vec![(n(0), n(1)), (n(2), n(3))]);
+        let b = NodePairSet::from_pairs(vec![(n(0), n(1)), (n(4), n(5))]);
+        let u = a.union(&b);
+        assert_eq!(u.len(), 3);
+        assert!(u.contains(n(4), n(5)));
+    }
+
+    #[test]
+    fn filters() {
+        let s = NodePairSet::from_pairs(vec![(n(0), n(1)), (n(2), n(3)), (n(0), n(3))]);
+        assert_eq!(s.filter_sources(&[n(0)]).len(), 2);
+        assert_eq!(s.filter_targets(&[n(3)]).len(), 2);
+        assert_eq!(s.filter_sources(&[]).len(), 0);
+    }
+
+    #[test]
+    fn relation_identity_semantics() {
+        let r = Relation::epsilon();
+        assert!(r.contains(n(7), n(7)));
+        assert!(!r.contains(n(7), n(8)));
+        let m = r.materialize(&[n(1), n(2)]);
+        assert_eq!(m.len(), 2);
+        assert!(m.contains(n(1), n(1)));
+    }
+
+    #[test]
+    fn relation_union_keeps_identity() {
+        let a = Relation::from_pairs(NodePairSet::from_pairs(vec![(n(0), n(1))]));
+        let b = Relation::epsilon();
+        let u = a.union(&b);
+        assert!(u.identity);
+        assert!(u.contains(n(0), n(1)));
+        assert!(u.contains(n(9), n(9)));
+    }
+}

@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! Workloads: specifications, runs and queries for experiments and tests.
+//!
+//! * [`paper_examples`] — the worked examples of the paper (Fig. 2,
+//!   Fig. 5, Fig. 14) plus hand-built multi-phase recursion specs;
+//! * [`synthetic`] — the random specification generator behind the
+//!   overhead experiments ("we create a set of synthetic workflows while
+//!   varying workflow parameters", Section V-A);
+//! * [`realistic`] — deterministic stand-ins for the myExperiment
+//!   workflows **BioAID** and **QBLast**, built to the statistics the
+//!   paper reports (see DESIGN.md for the substitution argument);
+//! * [`queries`] — IFQ / Kleene-star / random query generators with
+//!   selectivity steering;
+//! * [`runs`] — run-simulation conveniences shared by benches and tests.
+
+pub mod paper_examples;
+pub mod queries;
+pub mod realistic;
+pub mod runs;
+pub mod synthetic;
+
+pub use queries::QueryGen;
+pub use realistic::{bioaid_like, qblast_like, RealisticSpec};
+pub use synthetic::{SynthParams, SynthesizedSpec};

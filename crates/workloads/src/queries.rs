@@ -1,0 +1,164 @@
+//! Query generators: IFQs, Kleene stars and random combinations.
+//!
+//! Section V-A: the experiments use (1) IFQs `⎵* a1 ⎵* … ak ⎵*`, (2)
+//! Kleene stars `a*` targeting fork/loop recursions, and (3) queries
+//! generated "by randomly combining edge tags using concatenation,
+//! union, and Kleene star".
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rpq_automata::{Regex, Symbol};
+use rpq_grammar::{Specification, Tag};
+use rpq_relalg::TagIndex;
+
+/// Seeded query generator bound to a specification's tag alphabet.
+pub struct QueryGen<'a> {
+    spec: &'a Specification,
+    rng: SmallRng,
+}
+
+impl<'a> QueryGen<'a> {
+    /// New generator.
+    pub fn new(spec: &'a Specification, seed: u64) -> QueryGen<'a> {
+        QueryGen {
+            spec,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    fn random_symbol(&mut self) -> Symbol {
+        Symbol(self.rng.gen_range(0..self.spec.n_tags() as u32))
+    }
+
+    /// An IFQ with `k` random symbols.
+    pub fn ifq(&mut self, k: usize) -> Regex {
+        let syms: Vec<Symbol> = (0..k).map(|_| self.random_symbol()).collect();
+        Regex::ifq(&syms)
+    }
+
+    /// An IFQ with `k` symbols drawn from a restricted tag-name set
+    /// (e.g. a dataset's safe base pool).
+    pub fn ifq_over(&mut self, tag_names: &[String], k: usize) -> Regex {
+        assert!(!tag_names.is_empty(), "empty tag set");
+        let syms: Vec<Symbol> = (0..k)
+            .map(|_| {
+                let name = &tag_names[self.rng.gen_range(0..tag_names.len())];
+                Symbol(self.spec.tag_by_name(name).expect("tag exists").0)
+            })
+            .collect();
+        Regex::ifq(&syms)
+    }
+
+    /// An IFQ whose symbols are drawn by run selectivity: `high_sel`
+    /// picks rare tags (few matching edges → small intermediate lists),
+    /// otherwise frequent tags. Mirrors the paper's "highly selective /
+    /// lowly selective" query split in Fig. 13e/13f.
+    pub fn ifq_by_selectivity(&mut self, k: usize, index: &TagIndex, high_sel: bool) -> Regex {
+        let mut tags: Vec<(usize, Tag)> = (0..self.spec.n_tags())
+            .map(|t| (index.count(Tag(t as u32)), Tag(t as u32)))
+            .filter(|(c, _)| *c > 0)
+            .collect();
+        tags.sort_unstable_by_key(|&(c, _)| c);
+        if !high_sel {
+            tags.reverse();
+        }
+        // Draw from the extreme third of the distribution.
+        let pool = &tags[..(tags.len().div_ceil(3)).max(1).min(tags.len())];
+        let syms: Vec<Symbol> = (0..k)
+            .map(|_| Symbol(pool[self.rng.gen_range(0..pool.len())].1 .0))
+            .collect();
+        Regex::ifq(&syms)
+    }
+
+    /// `tag*` for a named tag — the Kleene-star workload.
+    pub fn kleene_star(&self, tag_name: &str) -> Option<Regex> {
+        let tag = self.spec.tag_by_name(tag_name)?;
+        Some(Regex::star(Regex::Sym(Symbol(tag.0))))
+    }
+
+    /// Random query combining tags with concatenation, union and star,
+    /// with approximately `size` AST leaves.
+    pub fn random_query(&mut self, size: usize) -> Regex {
+        self.random_rec(size.max(1))
+    }
+
+    fn random_rec(&mut self, budget: usize) -> Regex {
+        if budget <= 1 {
+            return match self.rng.gen_range(0..10) {
+                0 => Regex::Wildcard,
+                1 => Regex::any_star(),
+                _ => Regex::Sym(self.random_symbol()),
+            };
+        }
+        match self.rng.gen_range(0..10) {
+            // Concatenation (most common, as in IFQs).
+            0..=4 => {
+                let left = budget / 2;
+                Regex::concat(vec![self.random_rec(left), self.random_rec(budget - left)])
+            }
+            // Union.
+            5..=7 => {
+                let left = budget / 2;
+                Regex::alt(vec![self.random_rec(left), self.random_rec(budget - left)])
+            }
+            // Star / plus.
+            8 => Regex::star(self.random_rec(budget - 1)),
+            _ => Regex::plus(self.random_rec(budget - 1)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_examples::fig2_spec;
+
+    #[test]
+    fn ifq_shapes() {
+        let spec = fig2_spec();
+        let mut g = QueryGen::new(&spec, 1);
+        let q0 = g.ifq(0);
+        assert_eq!(q0, Regex::any_star());
+        let q3 = g.ifq(3);
+        assert!(q3.symbols().len() <= 3);
+        // Concat node + 3 symbols + 4 stars over wildcards.
+        assert_eq!(q3.size(), 1 + 3 + 4 * 2);
+    }
+
+    #[test]
+    fn kleene_star_lookup() {
+        let spec = fig2_spec();
+        let g = QueryGen::new(&spec, 2);
+        assert!(g.kleene_star("a").is_some());
+        assert!(g.kleene_star("zzz").is_none());
+    }
+
+    #[test]
+    fn random_queries_are_reproducible_and_varied() {
+        let spec = fig2_spec();
+        let mut g1 = QueryGen::new(&spec, 7);
+        let mut g2 = QueryGen::new(&spec, 7);
+        let qs1: Vec<Regex> = (0..20).map(|_| g1.random_query(6)).collect();
+        let qs2: Vec<Regex> = (0..20).map(|_| g2.random_query(6)).collect();
+        assert_eq!(qs1, qs2);
+        let distinct: std::collections::HashSet<String> =
+            qs1.iter().map(|q| format!("{q:?}")).collect();
+        assert!(distinct.len() > 5, "queries lack variety");
+    }
+
+    #[test]
+    fn selectivity_steering_picks_from_extremes() {
+        use rpq_labeling::RunBuilder;
+        let spec = fig2_spec();
+        let run = RunBuilder::new(&spec).seed(1).target_edges(400).build().unwrap();
+        let index = TagIndex::build(&run, spec.n_tags());
+        let mut g = QueryGen::new(&spec, 3);
+        let high = g.ifq_by_selectivity(1, &index, true);
+        let low = g.ifq_by_selectivity(1, &index, false);
+        let count_of = |r: &Regex| {
+            let syms = r.symbols();
+            index.count(Tag(syms[0].0))
+        };
+        assert!(count_of(&high) <= count_of(&low));
+    }
+}

@@ -1,0 +1,83 @@
+//! Run-simulation conveniences shared by benches, examples and tests.
+
+use rpq_grammar::Specification;
+use rpq_labeling::{DeriveError, ForkFocus, Run, RunBuilder};
+
+/// Simulate a run of roughly `target_edges` edges (the paper's random
+/// production firing).
+pub fn simulate(spec: &Specification, target_edges: usize, seed: u64) -> Result<Run, DeriveError> {
+    RunBuilder::new(spec)
+        .seed(seed)
+        .target_edges(target_edges)
+        .build()
+}
+
+/// Simulate a fork-heavy run: the designated cycle is unfolded until the
+/// run reaches roughly `target_edges` edges, every other recursion fires
+/// once (the Fig. 13g/13h workload).
+pub fn simulate_fork(
+    spec: &Specification,
+    cycle: usize,
+    target_edges: usize,
+    seed: u64,
+) -> Result<Run, DeriveError> {
+    // Estimate unfoldings from the cycle production's body size.
+    let rec = spec.recursion();
+    let edges_per_unfold: usize = rec.cycles[cycle]
+        .edges
+        .iter()
+        .map(|e| spec.production(e.production).body.edges().len())
+        .sum::<usize>()
+        .max(1);
+    let unfoldings = (target_edges / edges_per_unfold).max(1) as u64;
+    RunBuilder::new(spec)
+        .policy(ForkFocus::new(cycle, unfoldings, seed))
+        .target_edges(target_edges)
+        .build()
+}
+
+/// Sample `n` node ids deterministically (stride sampling) — benchmark
+/// input lists.
+pub fn sample_nodes(run: &Run, n: usize, seed: u64) -> Vec<rpq_labeling::NodeId> {
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    let mut all: Vec<rpq_labeling::NodeId> = run.node_ids().collect();
+    all.shuffle(&mut rng);
+    all.truncate(n);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_examples::{fig2_spec, fork_spec};
+
+    #[test]
+    fn simulate_hits_target() {
+        let spec = fig2_spec();
+        let run = simulate(&spec, 500, 3).unwrap();
+        assert!(run.n_edges() >= 500);
+    }
+
+    #[test]
+    fn fork_simulation_unfolds_the_cycle() {
+        let spec = fork_spec();
+        let run = simulate_fork(&spec, 0, 400, 1).unwrap();
+        let fork = spec.tag_by_name("fork").unwrap();
+        let n_fork = run.edges().iter().filter(|e| e.tag == fork).count();
+        assert!(n_fork >= 80, "only {n_fork} fork edges");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_bounded() {
+        let spec = fig2_spec();
+        let run = simulate(&spec, 300, 3).unwrap();
+        let a = sample_nodes(&run, 50, 9);
+        let b = sample_nodes(&run, 50, 9);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 50);
+        let all = sample_nodes(&run, 10_000_000, 9);
+        assert_eq!(all.len(), run.n_nodes());
+    }
+}

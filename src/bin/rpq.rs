@@ -1,0 +1,13 @@
+//! The `rpq` command-line tool: inspect specifications, simulate labeled
+//! runs and evaluate regular path queries. See `rpq help`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match rpq::cli::run_cli(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

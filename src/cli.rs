@@ -1,0 +1,382 @@
+//! Command-line interface logic (the `rpq` binary is a thin wrapper).
+//!
+//! Subcommands:
+//!
+//! * `spec <SPEC>` — show a specification (productions, cycles, size);
+//! * `simulate <SPEC> --edges N [--seed S] [--fork CYCLE] [--out FILE]`
+//!   — derive a labeled run and optionally persist it as JSON;
+//! * `query <SPEC> <QUERY> [--run FILE | --edges N --seed S]
+//!   [--from NODE] [--to NODE] [--limit K]` — plan and evaluate a
+//!   regular path query (pairwise when both endpoints are given,
+//!   all-pairs otherwise);
+//! * `stats (--run FILE | <SPEC> --edges N)` — run/label statistics.
+//!
+//! `<SPEC>` is `fig2`, `fork`, `bioaid`, `qblast`, or a path to a JSON
+//! specification produced by serde.
+
+use rpq_core::RpqEngine;
+use rpq_grammar::Specification;
+use rpq_labeling::{Run, RunBuilder, RunStats};
+use std::fmt::Write as _;
+
+/// CLI failure: message for the user plus a suggested exit code.
+#[derive(Debug)]
+pub struct CliError {
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl CliError {
+    fn new(message: impl Into<String>) -> CliError {
+        CliError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Entry point: interpret `args` (without the program name) and return
+/// the output text.
+pub fn run_cli(args: &[String]) -> Result<String, CliError> {
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        Some("spec") => cmd_spec(&args[1..]),
+        Some("simulate") => cmd_simulate(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("help") | None => Ok(USAGE.to_owned()),
+        Some(other) => Err(CliError::new(format!(
+            "unknown subcommand {other:?}\n{USAGE}"
+        ))),
+    }
+}
+
+const USAGE: &str = "\
+rpq — regular path queries on workflow provenance
+
+USAGE:
+  rpq spec <SPEC>
+  rpq simulate <SPEC> --edges N [--seed S] [--fork CYCLE] [--out FILE]
+  rpq query <SPEC> <QUERY> [--run FILE | --edges N --seed S]
+            [--from NODE] [--to NODE] [--limit K]
+  rpq stats (--run FILE | <SPEC> --edges N [--seed S])
+
+SPEC: fig2 | fork | bioaid | qblast | path to a JSON specification
+NODE: module:occurrence, e.g. a:2
+";
+
+/// Resolve a spec argument.
+pub fn load_spec(arg: &str) -> Result<Specification, CliError> {
+    match arg {
+        "fig2" => Ok(rpq_workloads::paper_examples::fig2_spec()),
+        "fork" => Ok(rpq_workloads::paper_examples::fork_spec()),
+        "bioaid" => Ok(rpq_workloads::bioaid_like().spec),
+        "qblast" => Ok(rpq_workloads::qblast_like().spec),
+        path => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError::new(format!("cannot read spec {path:?}: {e}")))?;
+            serde_json::from_str(&text)
+                .map_err(|e| CliError::new(format!("cannot parse spec {path:?}: {e}")))
+        }
+    }
+}
+
+fn load_run(path: &str, spec: &Specification) -> Result<Run, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::new(format!("cannot read run {path:?}: {e}")))?;
+    let run: Run = serde_json::from_str(&text)
+        .map_err(|e| CliError::new(format!("cannot parse run {path:?}: {e}")))?;
+    run.validate_against(spec)
+        .map_err(|e| CliError::new(format!("run {path:?} does not match the specification: {e}")))?;
+    Ok(run)
+}
+
+/// Positional arguments and `--key value` options of one subcommand.
+type ParsedArgs<'a> = (Vec<&'a str>, Vec<(&'a str, &'a str)>);
+
+/// Parse `--key value` options; returns (positional, options).
+fn split_args(args: &[String]) -> Result<ParsedArgs<'_>, CliError> {
+    let mut positional = Vec::new();
+    let mut options = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| CliError::new(format!("--{key} needs a value")))?;
+            options.push((key, value.as_str()));
+            i += 2;
+        } else {
+            positional.push(args[i].as_str());
+            i += 1;
+        }
+    }
+    Ok((positional, options))
+}
+
+fn opt<'a>(options: &[(&str, &'a str)], key: &str) -> Option<&'a str> {
+    options.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, CliError> {
+    s.parse()
+        .map_err(|_| CliError::new(format!("invalid {what}: {s:?}")))
+}
+
+fn cmd_spec(args: &[String]) -> Result<String, CliError> {
+    let (positional, _) = split_args(args)?;
+    let name = positional
+        .first()
+        .ok_or_else(|| CliError::new("spec: missing <SPEC>"))?;
+    let spec = load_spec(name)?;
+    Ok(rpq_grammar::display::SpecDisplay(&spec).to_string())
+}
+
+fn simulate_run(
+    spec: &Specification,
+    options: &[(&str, &str)],
+) -> Result<Run, CliError> {
+    let edges: usize = parse_num(opt(options, "edges").unwrap_or("200"), "--edges")?;
+    let seed: u64 = parse_num(opt(options, "seed").unwrap_or("0"), "--seed")?;
+    let builder = RunBuilder::new(spec).seed(seed).target_edges(edges);
+    let builder = if let Some(fork) = opt(options, "fork") {
+        let cycle: usize = parse_num(fork, "--fork")?;
+        if cycle >= spec.recursion().cycles.len() {
+            return Err(CliError::new(format!(
+                "--fork {cycle}: specification has {} cycle(s)",
+                spec.recursion().cycles.len()
+            )));
+        }
+        let per_unfold: usize = spec.recursion().cycles[cycle]
+            .edges
+            .iter()
+            .map(|e| spec.production(e.production).body.edges().len())
+            .sum::<usize>()
+            .max(1);
+        builder.policy(rpq_labeling::ForkFocus::new(
+            cycle,
+            (edges / per_unfold).max(1) as u64,
+            seed,
+        ))
+    } else {
+        builder
+    };
+    builder
+        .build()
+        .map_err(|e| CliError::new(format!("derivation failed: {e}")))
+}
+
+fn cmd_simulate(args: &[String]) -> Result<String, CliError> {
+    let (positional, options) = split_args(args)?;
+    let name = positional
+        .first()
+        .ok_or_else(|| CliError::new("simulate: missing <SPEC>"))?;
+    let spec = load_spec(name)?;
+    let run = simulate_run(&spec, &options)?;
+    let stats = RunStats::measure(&run);
+    let mut out = String::new();
+    writeln!(
+        out,
+        "derived run: {} nodes, {} edges, parse-tree depth {}, avg label {:.1} B",
+        stats.n_nodes, stats.n_edges, stats.tree_depth, stats.label_bytes_avg
+    )
+    .expect("write to string");
+    if let Some(path) = opt(&options, "out") {
+        let json = serde_json::to_string(&run)
+            .map_err(|e| CliError::new(format!("serialize failed: {e}")))?;
+        std::fs::write(path, json)
+            .map_err(|e| CliError::new(format!("cannot write {path:?}: {e}")))?;
+        writeln!(out, "saved to {path}").expect("write to string");
+    }
+    Ok(out)
+}
+
+fn cmd_query(args: &[String]) -> Result<String, CliError> {
+    let (positional, options) = split_args(args)?;
+    let spec_name = positional
+        .first()
+        .ok_or_else(|| CliError::new("query: missing <SPEC>"))?;
+    let query_text = positional
+        .get(1)
+        .ok_or_else(|| CliError::new("query: missing <QUERY>"))?;
+    let spec = load_spec(spec_name)?;
+    let run = match opt(&options, "run") {
+        Some(path) => load_run(path, &spec)?,
+        None => simulate_run(&spec, &options)?,
+    };
+    let engine = RpqEngine::new(&spec);
+    let regex = engine
+        .parse_query(query_text)
+        .map_err(|e| CliError::new(format!("query parse error: {e}")))?;
+    let plan = engine
+        .plan(&regex)
+        .map_err(|e| CliError::new(format!("planning failed: {e}")))?;
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "query: {query_text}\nsafe: {} (safe subqueries: {})",
+        plan.is_safe(),
+        plan.n_safe_subqueries()
+    )
+    .expect("write to string");
+
+    let resolve = |name: &str| -> Result<rpq_labeling::NodeId, CliError> {
+        run.node_by_name(&spec, name)
+            .ok_or_else(|| CliError::new(format!("no node named {name:?} in the run")))
+    };
+    match (opt(&options, "from"), opt(&options, "to")) {
+        (Some(f), Some(t)) => {
+            let (u, v) = (resolve(f)?, resolve(t)?);
+            writeln!(out, "{f} -R-> {t} : {}", engine.pairwise(&plan, &run, u, v))
+                .expect("write to string");
+        }
+        (from, to) => {
+            let l1: Vec<rpq_labeling::NodeId> = match from {
+                Some(f) => vec![resolve(f)?],
+                None => run.node_ids().collect(),
+            };
+            let l2: Vec<rpq_labeling::NodeId> = match to {
+                Some(t) => vec![resolve(t)?],
+                None => run.node_ids().collect(),
+            };
+            let limit: usize = parse_num(opt(&options, "limit").unwrap_or("20"), "--limit")?;
+            let result = engine.all_pairs(&plan, &run, &l1, &l2);
+            writeln!(out, "matches: {}", result.len()).expect("write to string");
+            for (u, v) in result.iter().take(limit) {
+                writeln!(
+                    out,
+                    "  {} -> {}",
+                    run.node_name(&spec, u),
+                    run.node_name(&spec, v)
+                )
+                .expect("write to string");
+            }
+            if result.len() > limit {
+                writeln!(out, "  … {} more (raise --limit)", result.len() - limit)
+                    .expect("write to string");
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_stats(args: &[String]) -> Result<String, CliError> {
+    let (positional, options) = split_args(args)?;
+    let run = match (opt(&options, "run"), positional.first()) {
+        (Some(path), Some(name)) => load_run(path, &load_spec(name)?)?,
+        (Some(path), None) => {
+            // No spec to validate against: parse-only load.
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError::new(format!("cannot read run {path:?}: {e}")))?;
+            serde_json::from_str(&text)
+                .map_err(|e| CliError::new(format!("cannot parse run {path:?}: {e}")))?
+        }
+        (None, Some(name)) => {
+            let spec = load_spec(name)?;
+            simulate_run(&spec, &options)?
+        }
+        (None, None) => {
+            return Err(CliError::new("stats: need --run FILE or <SPEC> --edges N"));
+        }
+    };
+    let s = RunStats::measure(&run);
+    Ok(format!(
+        "nodes: {}\nedges: {}\nparse-tree depth: {}\nlabel bytes: total {} / avg {:.1} / max {}\n",
+        s.n_nodes, s.n_edges, s.tree_depth, s.label_bytes_total, s.label_bytes_avg, s.label_bytes_max
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(args: &[&str]) -> Result<String, CliError> {
+        let owned: Vec<String> = args.iter().map(|s| (*s).to_owned()).collect();
+        run_cli(&owned)
+    }
+
+    #[test]
+    fn help_and_unknown() {
+        assert!(run(&[]).unwrap().contains("USAGE"));
+        assert!(run(&["help"]).unwrap().contains("USAGE"));
+        assert!(run(&["frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn spec_command_renders_builtins() {
+        for s in ["fig2", "fork", "bioaid", "qblast"] {
+            let out = run(&["spec", s]).unwrap();
+            assert!(out.contains("productions"), "{s}: {out}");
+        }
+        assert!(run(&["spec", "/nonexistent.json"]).is_err());
+    }
+
+    #[test]
+    fn simulate_and_query_round_trip() {
+        let dir = std::env::temp_dir().join("rpq_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let run_path = dir.join("run.json");
+        let run_path = run_path.to_str().unwrap();
+
+        let out = run(&[
+            "simulate", "fig2", "--edges", "80", "--seed", "3", "--out", run_path,
+        ])
+        .unwrap();
+        assert!(out.contains("derived run"));
+
+        // All-pairs over the persisted run.
+        let out = run(&["query", "fig2", "_* e _*", "--run", run_path]).unwrap();
+        assert!(out.contains("safe: true"));
+        assert!(out.contains("matches:"));
+
+        // Pairwise between named nodes.
+        let out = run(&[
+            "query", "fig2", "_*", "--run", run_path, "--from", "c:1", "--to", "b:1",
+        ])
+        .unwrap();
+        assert!(out.contains("c:1 -R-> b:1 : true"));
+
+        // Stats over the same file.
+        let out = run(&["stats", "--run", run_path]).unwrap();
+        assert!(out.contains("parse-tree depth"));
+    }
+
+    #[test]
+    fn query_without_run_simulates() {
+        let out = run(&["query", "fork", "fork*", "--edges", "60", "--seed", "1"]).unwrap();
+        assert!(out.contains("safe: true"));
+    }
+
+    #[test]
+    fn mismatched_run_and_spec_are_rejected() {
+        let dir = std::env::temp_dir().join("rpq_cli_mismatch");
+        std::fs::create_dir_all(&dir).unwrap();
+        let run_path = dir.join("run.json");
+        let run_path = run_path.to_str().unwrap();
+        run(&["simulate", "bioaid", "--edges", "60", "--out", run_path]).unwrap();
+        let err = run(&["query", "fig2", "_*", "--run", run_path]).unwrap_err();
+        assert!(err.message.contains("does not match"), "{}", err.message);
+    }
+
+    #[test]
+    fn bad_inputs_are_reported() {
+        assert!(run(&["query", "fig2", "((("]).is_err());
+        assert!(run(&["query", "fig2", "_*", "--from", "zz:9", "--to", "b:1"])
+            .unwrap_err()
+            .message
+            .contains("no node named"));
+        assert!(run(&["simulate", "fig2", "--edges", "NaN"]).is_err());
+        assert!(run(&["simulate", "fig2", "--fork", "7"])
+            .unwrap_err()
+            .message
+            .contains("cycle"));
+    }
+}

@@ -1,0 +1,63 @@
+#![warn(missing_docs)]
+
+//! # rpq — Regular Path Queries on Workflow Provenance
+//!
+//! A from-scratch Rust reproduction of **Huang, Bao, Davidson, Milo, Yuan,
+//! "Answering Regular Path Queries on Workflow Provenance" (ICDE 2015)**.
+//!
+//! This facade crate re-exports the whole workspace so applications can
+//! depend on a single crate:
+//!
+//! * [`automata`] — regexes, NFAs, DFAs, Hopcroft minimization.
+//! * [`grammar`] — context-free graph-grammar workflow specifications.
+//! * [`labeling`] — runs, derivation, compressed parse trees and the
+//!   derivation-based reachability labels of Bao et al. (PVLDB 2012).
+//! * [`relalg`] — node-pair relations, joins and Kleene fixpoints.
+//! * [`core`] — the paper's contribution: safe-query detection,
+//!   query-intersected grammars, constant-time pairwise decoding,
+//!   all-pairs tree-merge evaluation and general-query decomposition.
+//! * [`baselines`] — the baselines G1, G2, G3 and a brute-force referee.
+//! * [`workloads`] — synthetic specifications matching the paper's
+//!   datasets, run simulation and query generators.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rpq::prelude::*;
+//!
+//! // The paper's Fig. 2 workflow specification.
+//! let spec = rpq::workloads::paper_examples::fig2_spec();
+//!
+//! // Derive a labeled run (a provenance DAG).
+//! let run = RunBuilder::new(&spec).seed(42).target_edges(64).build().unwrap();
+//!
+//! // Parse the paper's query R3 = ⎵* e ⎵* and evaluate it.
+//! let engine = RpqEngine::new(&spec);
+//! let r3 = engine.parse_query("_* e _*").unwrap();
+//! let plan = engine.plan(&r3).unwrap();
+//! assert!(plan.is_safe());
+//!
+//! let nodes: Vec<_> = run.node_ids().collect();
+//! let result = engine.all_pairs(&plan, &run, &nodes, &nodes);
+//! assert!(!result.is_empty());
+//! ```
+
+pub mod cli;
+pub mod tutorial;
+
+pub use rpq_automata as automata;
+pub use rpq_baselines as baselines;
+pub use rpq_core as core;
+pub use rpq_grammar as grammar;
+pub use rpq_labeling as labeling;
+pub use rpq_relalg as relalg;
+pub use rpq_workloads as workloads;
+
+/// Convenience re-exports for the most common entry points.
+pub mod prelude {
+    pub use rpq_automata::{Regex, Symbol};
+    pub use rpq_core::{QueryPlan, RpqEngine, SafeQueryPlan, SubqueryPolicy};
+    pub use rpq_grammar::{ModuleId, ProductionId, Specification, SpecificationBuilder, Tag};
+    pub use rpq_labeling::{NodeId, Run, RunBuilder};
+    pub use rpq_relalg::{NodePairSet, TagIndex};
+}

@@ -1,0 +1,145 @@
+//! Property tests for the automata substrate.
+
+use proptest::prelude::*;
+use rpq_automata::{
+    analysis, compile_minimal_dfa, minimize, parse, Dfa, Nfa, Regex, Symbol,
+};
+
+const N_SYMS: usize = 3;
+
+/// Random regex strategy over a 3-symbol alphabet.
+fn regex_strategy() -> impl Strategy<Value = Regex> {
+    let leaf = prop_oneof![
+        (0u32..N_SYMS as u32).prop_map(|i| Regex::Sym(Symbol(i))),
+        Just(Regex::Wildcard),
+        Just(Regex::Epsilon),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Regex::concat),
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Regex::alt),
+            inner.clone().prop_map(Regex::star),
+            inner.clone().prop_map(Regex::plus),
+            inner.prop_map(Regex::optional),
+        ]
+    })
+}
+
+fn all_words(max_len: usize) -> Vec<Vec<Symbol>> {
+    let mut words: Vec<Vec<Symbol>> = vec![vec![]];
+    let mut frontier = vec![Vec::new()];
+    for _ in 0..max_len {
+        let mut next = Vec::new();
+        for w in &frontier {
+            for a in 0..N_SYMS as u32 {
+                let mut w2 = w.clone();
+                w2.push(Symbol(a));
+                next.push(w2);
+            }
+        }
+        words.extend(next.iter().cloned());
+        frontier = next;
+    }
+    words
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// NFA, DFA and minimal DFA all accept exactly the same words.
+    #[test]
+    fn nfa_dfa_minimal_agree(re in regex_strategy()) {
+        let nfa = Nfa::from_regex(&re, N_SYMS);
+        let dfa = Dfa::from_nfa(&nfa);
+        let min = minimize(&dfa);
+        for w in all_words(4) {
+            let via_nfa = nfa.accepts(&w);
+            prop_assert_eq!(dfa.accepts(&w), via_nfa, "DFA vs NFA on {:?}", w);
+            prop_assert_eq!(min.accepts(&w), via_nfa, "minimal vs NFA on {:?}", w);
+        }
+        // Structural invariants.
+        prop_assert!(min.n_states() <= dfa.n_states());
+        prop_assert_eq!(min.start(), 0);
+        prop_assert_eq!(min.accepts_epsilon(), re.nullable());
+    }
+
+    /// Minimization is idempotent and canonical.
+    #[test]
+    fn minimize_idempotent(re in regex_strategy()) {
+        let min = compile_minimal_dfa(&re, N_SYMS);
+        prop_assert_eq!(minimize(&min), min.clone());
+        prop_assert!(min.equivalent(&min));
+    }
+
+    /// Display → parse round-trips the AST.
+    #[test]
+    fn display_parse_round_trip(re in regex_strategy()) {
+        let namer = |s: Symbol| format!("t{}", s.0);
+        let rendered = re.display_with(&namer).to_string();
+        let reparsed = parse(&rendered, &mut |name| {
+            name.strip_prefix('t').and_then(|n| n.parse().ok()).map(Symbol)
+        });
+        prop_assert!(reparsed.is_ok(), "failed to reparse {rendered:?}");
+        prop_assert_eq!(reparsed.unwrap(), re);
+    }
+
+    /// Required symbols really are required: removing all transitions on
+    /// a required symbol empties the language of non-empty words.
+    #[test]
+    fn required_symbols_are_required(re in regex_strategy()) {
+        let dfa = compile_minimal_dfa(&re, N_SYMS);
+        let required = analysis::required_symbols(&dfa);
+        for w in all_words(4) {
+            if w.is_empty() || !dfa.accepts(&w) {
+                continue;
+            }
+            for &r in &required {
+                prop_assert!(
+                    w.contains(&r),
+                    "accepted word {:?} misses required symbol {:?} of {:?}",
+                    w, r, re
+                );
+            }
+        }
+    }
+
+    /// Product-intersection semantics on random pairs.
+    #[test]
+    fn intersection_is_conjunction(a in regex_strategy(), b in regex_strategy()) {
+        let da = compile_minimal_dfa(&a, N_SYMS);
+        let db = compile_minimal_dfa(&b, N_SYMS);
+        let both = da.intersect(&db);
+        for w in all_words(3) {
+            prop_assert_eq!(
+                both.accepts(&w),
+                da.accepts(&w) && db.accepts(&w),
+                "word {:?}", w
+            );
+        }
+    }
+
+    /// Complement flips membership; double complement is the identity
+    /// language (checked via equivalence).
+    #[test]
+    fn complement_involution(a in regex_strategy()) {
+        let da = compile_minimal_dfa(&a, N_SYMS);
+        let comp = da.complement();
+        for w in all_words(3) {
+            prop_assert_eq!(comp.accepts(&w), !da.accepts(&w));
+        }
+        prop_assert!(da.equivalent(&comp.complement()));
+    }
+
+    /// Shortest accepted word length matches brute-force enumeration.
+    #[test]
+    fn shortest_word_matches_enumeration(re in regex_strategy()) {
+        let dfa = compile_minimal_dfa(&re, N_SYMS);
+        let brute = all_words(5).into_iter().filter(|w| dfa.accepts(w)).map(|w| w.len()).min();
+        match (analysis::shortest_word_len(&dfa), brute) {
+            (Some(k), Some(b)) if k <= 5 => prop_assert_eq!(k, b),
+            (Some(k), None) => prop_assert!(k > 5, "claimed shortest {k} but nothing ≤ 5"),
+            (None, found) => prop_assert_eq!(found, None),
+            _ => {}
+        }
+    }
+}

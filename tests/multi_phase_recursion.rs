@@ -1,0 +1,94 @@
+//! Deep-recursion stress tests for the label decoder, exercising the
+//! matrix-power range products over one-, two- and three-phase cycles.
+
+use rpq_automata::compile_minimal_dfa;
+use rpq_baselines::Referee;
+use rpq_core::{all_pairs_filtered, RpqEngine};
+use rpq_labeling::{NodeId, RunBuilder};
+use rpq_workloads::paper_examples::{three_phase_cycle_spec, two_phase_cycle_spec};
+use rpq_workloads::QueryGen;
+
+fn check_spec_against_referee(spec: &rpq_grammar::Specification, run_target: usize) {
+    let engine = RpqEngine::new(spec);
+    for run_seed in [1u64, 2, 3] {
+        let run = RunBuilder::new(spec)
+            .seed(run_seed)
+            .target_edges(run_target)
+            .build()
+            .unwrap();
+        let all: Vec<NodeId> = run.node_ids().collect();
+        // Sample pairs across recursion depths: first and last 15 nodes
+        // in document order plus a mid stripe.
+        let doc = run.nodes_in_document_order();
+        let mut sample: Vec<NodeId> = Vec::new();
+        sample.extend(doc.iter().take(15));
+        sample.extend(doc.iter().rev().take(15));
+        let mid = doc.len() / 2;
+        sample.extend(doc[mid..(mid + 10).min(doc.len())].iter());
+
+        let mut qg = QueryGen::new(spec, run_seed);
+        let mut n_safe = 0;
+        for i in 0..24 {
+            let q = if i < 4 { qg.ifq(i) } else { qg.random_query(4) };
+            let Ok(plan) = engine.plan_safe(&q) else {
+                continue;
+            };
+            n_safe += 1;
+            let dfa = compile_minimal_dfa(&q, spec.n_tags());
+            let referee = Referee::new(&run, &dfa);
+            // Pairwise across recursion depths.
+            for &u in &sample {
+                for &v in &sample {
+                    assert_eq!(
+                        plan.pairwise(&run, u, v),
+                        referee.pairwise(u, v),
+                        "query {q:?} pair ({u:?}, {v:?}) seed {run_seed}"
+                    );
+                }
+            }
+            // Full all-pairs through the tree merge.
+            assert_eq!(
+                all_pairs_filtered(&plan, spec, &run, &all, &all),
+                referee.all_pairs(&all, &all),
+                "all-pairs for {q:?} seed {run_seed}"
+            );
+        }
+        assert!(n_safe >= 1, "no safe query generated for seed {run_seed}");
+    }
+}
+
+#[test]
+fn two_phase_cycle_decodes_correctly() {
+    check_spec_against_referee(&two_phase_cycle_spec(), 400);
+}
+
+#[test]
+fn three_phase_cycle_decodes_correctly() {
+    check_spec_against_referee(&three_phase_cycle_spec(), 400);
+}
+
+#[test]
+fn very_deep_single_cycle() {
+    // A single self-cycle unfolded thousands of times: the decoder must
+    // jump over the chain with matrix powers, and still be exact.
+    let spec = rpq_workloads::paper_examples::fig2_spec();
+    let engine = RpqEngine::new(&spec);
+    let run = RunBuilder::new(&spec).seed(9).target_edges(6000).build().unwrap();
+
+    let q = engine.parse_query("_* e _*").unwrap();
+    let plan = engine.plan_safe(&q).unwrap();
+    let dfa = compile_minimal_dfa(&q, spec.n_tags());
+    let referee = Referee::new(&run, &dfa);
+
+    let doc = run.nodes_in_document_order();
+    let stripe: Vec<NodeId> = doc.iter().step_by(doc.len() / 64 + 1).copied().collect();
+    for &u in &stripe {
+        for &v in &stripe {
+            assert_eq!(
+                plan.pairwise(&run, u, v),
+                referee.pairwise(u, v),
+                "pair ({u:?}, {v:?})"
+            );
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Safety-profile expectations on the realistic datasets: the paper
+//! observes that "most of the queries are safe" on BioAID/QBLast; our
+//! stand-ins must reproduce that, and the benchmark workloads rely on
+//! specific query classes being safe.
+
+use rpq_core::RpqEngine;
+use rpq_workloads::{bioaid_like, qblast_like, QueryGen};
+
+#[test]
+fn pool_tag_ifqs_are_safe_on_realistic_specs() {
+    for real in [bioaid_like(), qblast_like()] {
+        let engine = RpqEngine::new(&real.spec);
+        let mut qg = QueryGen::new(&real.spec, 17);
+        for k in 0..=6usize {
+            for i in 0..6 {
+                // Pool tags live outside recursion bodies, so IFQs over
+                // them are safe by construction.
+                let q = qg.ifq_over(&real.pool_tags, k);
+                assert!(
+                    engine.is_safe(&q),
+                    "{}: pool IFQ k={k} #{i} unsafe",
+                    real.name
+                );
+            }
+        }
+        // Unrestricted IFQs mix in cycle-local tags; a fair share stays
+        // safe, but not all — the planner's decomposition path matters.
+        let mut n_safe = 0;
+        let total = 40;
+        for _ in 0..total {
+            if engine.is_safe(&qg.ifq(3)) {
+                n_safe += 1;
+            }
+        }
+        assert!(
+            n_safe > 0 && n_safe < total,
+            "{}: {n_safe}/{total} unrestricted IFQs safe",
+            real.name
+        );
+    }
+}
+
+#[test]
+fn cycle_chain_star_is_safe() {
+    // The Kleene-star workload a* (a = first cycle's chain tag) must be
+    // safe so that RPL/optRPL evaluate it from labels (Fig. 13g/13h).
+    for real in [bioaid_like(), qblast_like()] {
+        let engine = RpqEngine::new(&real.spec);
+        let qg = QueryGen::new(&real.spec, 0);
+        let q = qg.kleene_star(&real.cycle_tags[0]).expect("tag exists");
+        assert!(
+            engine.is_safe(&q),
+            "{}: {}* should be safe",
+            real.name,
+            real.cycle_tags[0]
+        );
+    }
+}
+
+#[test]
+fn most_random_queries_are_safe() {
+    // Section V-E: "We observed that most of the queries are safe."
+    for real in [bioaid_like(), qblast_like()] {
+        let engine = RpqEngine::new(&real.spec);
+        let mut qg = QueryGen::new(&real.spec, 23);
+        let mut n_safe = 0;
+        let total = 60;
+        for _ in 0..total {
+            let q = qg.random_query(5);
+            if engine.is_safe(&q) {
+                n_safe += 1;
+            }
+        }
+        assert!(
+            n_safe * 2 >= total,
+            "{}: only {n_safe}/{total} random queries safe",
+            real.name
+        );
+        // But unsafe queries must exist too (Fig. 15 needs them).
+        assert!(
+            n_safe < total,
+            "{}: every random query safe — Fig. 15 would be empty",
+            real.name
+        );
+    }
+}

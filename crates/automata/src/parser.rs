@@ -249,7 +249,9 @@ mod tests {
             "b" => Some(Symbol(1)),
             "c" => Some(Symbol(2)),
             "e" => Some(Symbol(3)),
-            _ => name.strip_prefix('t').and_then(|n| n.parse().ok().map(Symbol)),
+            _ => name
+                .strip_prefix('t')
+                .and_then(|n| n.parse().ok().map(Symbol)),
         }
     }
 

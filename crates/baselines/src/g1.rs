@@ -142,7 +142,11 @@ mod tests {
     #[test]
     fn g1_matches_referee_on_assorted_queries() {
         let spec = linear_rec_spec();
-        let run = RunBuilder::new(&spec).seed(3).target_edges(60).build().unwrap();
+        let run = RunBuilder::new(&spec)
+            .seed(3)
+            .target_edges(60)
+            .build()
+            .unwrap();
         let index = TagIndex::build(&run, spec.n_tags());
         let g1 = G1::new(&index);
         let all: Vec<NodeId> = run.node_ids().collect();
@@ -175,7 +179,11 @@ mod tests {
     #[test]
     fn full_star_is_reachability() {
         let spec = linear_rec_spec();
-        let run = RunBuilder::new(&spec).seed(1).target_edges(40).build().unwrap();
+        let run = RunBuilder::new(&spec)
+            .seed(1)
+            .target_edges(40)
+            .build()
+            .unwrap();
         let rel = eval_once(&run, spec.n_tags(), &Regex::any_star());
         assert!(rel.identity);
         // entry reaches exit.

@@ -235,7 +235,11 @@ mod tests {
     #[test]
     fn rare_label_is_the_infrequent_one() {
         let spec = spec();
-        let run = RunBuilder::new(&spec).seed(2).target_edges(100).build().unwrap();
+        let run = RunBuilder::new(&spec)
+            .seed(2)
+            .target_edges(100)
+            .build()
+            .unwrap();
         let index = TagIndex::build(&run, spec.n_tags());
         let g2 = G2::new(&run, &index);
         let mid = Symbol(spec.tag_by_name("mid").unwrap().0);
@@ -250,7 +254,11 @@ mod tests {
     #[test]
     fn g2_matches_referee() {
         let spec = spec();
-        let run = RunBuilder::new(&spec).seed(5).target_edges(80).build().unwrap();
+        let run = RunBuilder::new(&spec)
+            .seed(5)
+            .target_edges(80)
+            .build()
+            .unwrap();
         let index = TagIndex::build(&run, spec.n_tags());
         let g2 = G2::new(&run, &index);
         let all: Vec<NodeId> = run.node_ids().collect();

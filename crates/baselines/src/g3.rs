@@ -209,7 +209,11 @@ mod tests {
         });
         b.start("S");
         let spec = b.build().unwrap();
-        let run = RunBuilder::new(&spec).seed(9).target_edges(120).build().unwrap();
+        let run = RunBuilder::new(&spec)
+            .seed(9)
+            .target_edges(120)
+            .build()
+            .unwrap();
         let index = TagIndex::build(&run, spec.n_tags());
         let g3 = G3::new(&spec, &run, &index);
         let all: Vec<NodeId> = run.node_ids().collect();

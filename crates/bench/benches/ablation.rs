@@ -9,12 +9,11 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rpq_automata::compile_minimal_dfa;
 use rpq_baselines::Referee;
 use rpq_bench::Dataset;
-use rpq_core::{all_pairs_filtered, all_pairs_nested, all_pairs_reachability, RpqEngine};
+use rpq_core::{all_pairs_filtered, all_pairs_nested, all_pairs_reachability};
 use rpq_workloads::{runs, QueryGen};
 
 fn bench(c: &mut Criterion) {
     let d = Dataset::bioaid();
-    let engine = RpqEngine::new(d.spec());
 
     {
         let mut group = c.benchmark_group("ablation_s1_vs_s2");
@@ -23,7 +22,7 @@ fn bench(c: &mut Criterion) {
         let all = runs::sample_nodes(&run, 400, 5);
         let mut qg = QueryGen::new(d.spec(), 11);
         let q = qg.ifq_over(&d.real.pool_tags, 2);
-        let plan = engine.plan_safe(&q).unwrap();
+        let plan = d.session().plan_safe(&q).unwrap();
         group.bench_function("S1_nested", |b| {
             b.iter(|| std::hint::black_box(all_pairs_nested(&plan, &run, &all, &all)))
         });
@@ -45,7 +44,7 @@ fn bench(c: &mut Criterion) {
         let dfa = compile_minimal_dfa(&q, d.spec().n_tags());
         for &edges in &[1000usize, 8000] {
             let run = d.run(edges, 42);
-            let plan = engine.plan_safe(&q).unwrap();
+            let plan = d.session().plan_safe(&q).unwrap();
             let pairs: Vec<_> = runs::sample_nodes(&run, 64, 1)
                 .into_iter()
                 .zip(runs::sample_nodes(&run, 64, 2))

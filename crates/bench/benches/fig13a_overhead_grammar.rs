@@ -1,7 +1,7 @@
 //! Fig. 13a — safety-check/planning overhead vs grammar size.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rpq_core::RpqEngine;
+use rpq_core::plan_query;
 use rpq_workloads::{synthetic, QueryGen, SynthParams};
 
 fn bench(c: &mut Criterion) {
@@ -20,14 +20,11 @@ fn bench(c: &mut Criterion) {
             alt_production_per_mille: 0,
             seed: 0xF13A,
         });
-        let engine = RpqEngine::new(&s.spec);
         let mut qg = QueryGen::new(&s.spec, 1);
         let q = qg.ifq_over(&s.pool_tags, 3);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(s.spec.size()),
-            &q,
-            |b, q| b.iter(|| std::hint::black_box(engine.plan(q).unwrap())),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(s.spec.size()), &q, |b, q| {
+            b.iter(|| std::hint::black_box(plan_query(&s.spec, q).unwrap()))
+        });
     }
     group.finish();
 }

@@ -3,7 +3,6 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rpq_automata::compile_minimal_dfa;
 use rpq_baselines::{ifq_symbols, G2, G3};
-use rpq_core::RpqEngine;
 use rpq_bench::Dataset;
 use rpq_workloads::{runs, QueryGen};
 
@@ -11,7 +10,6 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig13c_pairwise_vs_run_size");
     group.sample_size(10);
     let d = Dataset::bioaid();
-    let engine = RpqEngine::new(d.spec());
     let mut qg = QueryGen::new(d.spec(), 99);
     let q = qg.ifq_over(&d.real.pool_tags, 3);
     let syms = ifq_symbols(&q).unwrap();
@@ -23,7 +21,7 @@ fn bench(c: &mut Criterion) {
             .into_iter()
             .zip(runs::sample_nodes(&run, 200, 2))
             .collect();
-        let plan = engine.plan_safe(&q).unwrap();
+        let plan = d.session().plan_safe(&q).unwrap();
         group.bench_with_input(BenchmarkId::new("RPL", edges), &pairs, |b, pairs| {
             b.iter(|| {
                 let mut hits = 0;

@@ -3,14 +3,12 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rpq_baselines::{ifq_symbols, G3};
 use rpq_bench::Dataset;
-use rpq_core::RpqEngine;
 use rpq_workloads::{runs, QueryGen};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig13d_pairwise_vs_query_size");
     group.sample_size(10);
     let d = Dataset::bioaid();
-    let engine = RpqEngine::new(d.spec());
     let run = d.run(2000, 42);
     let index = d.index(&run);
     let pairs: Vec<_> = runs::sample_nodes(&run, 200, 1)
@@ -21,7 +19,7 @@ fn bench(c: &mut Criterion) {
         let mut qg = QueryGen::new(d.spec(), 7 + k as u64);
         let q = qg.ifq_over(&d.real.pool_tags, k);
         let syms = ifq_symbols(&q).unwrap();
-        let plan = engine.plan_safe(&q).unwrap();
+        let plan = d.session().plan_safe(&q).unwrap();
         group.bench_with_input(BenchmarkId::new("RPL", k), &pairs, |b, pairs| {
             b.iter(|| {
                 let mut hits = 0;

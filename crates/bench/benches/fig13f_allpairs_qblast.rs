@@ -3,14 +3,13 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rpq_baselines::{ifq_symbols, G3};
 use rpq_bench::Dataset;
-use rpq_core::{all_pairs_filtered, all_pairs_nested, RpqEngine};
+use rpq_core::{all_pairs_filtered, all_pairs_nested};
 use rpq_workloads::{runs, QueryGen};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig13f_allpairs_qblast");
     group.sample_size(10);
     let d = Dataset::qblast();
-    let engine = RpqEngine::new(d.spec());
     let run = d.run(1000, 42);
     let index = d.index(&run);
     let all = runs::sample_nodes(&run, 300, 5);
@@ -18,12 +17,12 @@ fn bench(c: &mut Criterion) {
     for (label, high) in [("high_sel", true), ("low_sel", false)] {
         let q = loop {
             let q = qg.ifq_by_selectivity(3, &index, high);
-            if engine.is_safe(&q) {
+            if d.session().is_safe(&q) {
                 break q;
             }
         };
         let syms = ifq_symbols(&q).unwrap();
-        let plan = engine.plan_safe(&q).unwrap();
+        let plan = d.session().plan_safe(&q).unwrap();
         let g3 = G3::new(d.spec(), &run, &index);
         group.bench_function(BenchmarkId::new("BaselineG3", label), |b| {
             b.iter(|| std::hint::black_box(g3.all_pairs(&syms, &all, &all)))

@@ -3,14 +3,13 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rpq_baselines::G1;
 use rpq_bench::Dataset;
-use rpq_core::{all_pairs_filtered, all_pairs_nested, RpqEngine};
+use rpq_core::{all_pairs_filtered, all_pairs_nested};
 use rpq_workloads::{runs, QueryGen};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig13g_star_bioaid");
     group.sample_size(10);
     let d = Dataset::bioaid();
-    let engine = RpqEngine::new(d.spec());
     let qg = QueryGen::new(d.spec(), 0);
     let q = qg.kleene_star(d.star_tag()).unwrap();
     for &edges in &[1000usize, 4000] {
@@ -21,7 +20,7 @@ fn bench(c: &mut Criterion) {
         group.bench_function(BenchmarkId::new("BaselineG1", edges), |b| {
             b.iter(|| std::hint::black_box(g1.all_pairs(&q, &all, &all)))
         });
-        let plan = engine.plan_safe(&q).unwrap();
+        let plan = d.session().plan_safe(&q).unwrap();
         group.bench_function(BenchmarkId::new("RPL_S1", edges), |b| {
             b.iter(|| std::hint::black_box(all_pairs_nested(&plan, &run, &all, &all)))
         });

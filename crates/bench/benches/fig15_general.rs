@@ -4,14 +4,12 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rpq_automata::compile_minimal_dfa;
 use rpq_baselines::G1;
 use rpq_bench::Dataset;
-use rpq_core::RpqEngine;
 use rpq_workloads::{runs, QueryGen};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig15_general_unsafe_queries");
     group.sample_size(10);
     for d in [Dataset::bioaid(), Dataset::qblast()] {
-        let engine = RpqEngine::new(d.spec());
         let run = d.run(1000, 42);
         let index = d.index(&run);
         let all = runs::sample_nodes(&run, 250, 5);
@@ -23,21 +21,19 @@ fn bench(c: &mut Criterion) {
             let q = qg.random_query(6);
             tries += 1;
             if compile_minimal_dfa(&q, d.spec().n_tags()).n_states() <= 64
-                && !engine.is_safe(&q)
+                && !d.session().is_safe(&q)
             {
                 unsafe_queries.push(q);
             }
         }
         for (i, q) in unsafe_queries.iter().enumerate() {
-            let plan = engine.plan(q).unwrap();
+            let plan = d.session().prepare_regex(q).unwrap();
             let g1 = G1::new(&index);
             group.bench_function(BenchmarkId::new(format!("{}_G1", d.name()), i), |b| {
                 b.iter(|| std::hint::black_box(g1.all_pairs(q, &all, &all)))
             });
             group.bench_function(BenchmarkId::new(format!("{}_optRPL", d.name()), i), |b| {
-                b.iter(|| {
-                    std::hint::black_box(engine.all_pairs_indexed(&plan, &run, &index, &all, &all))
-                })
+                b.iter(|| std::hint::black_box(d.session().all_pairs(&plan, &run, &all, &all)))
             });
         }
     }

@@ -35,16 +35,28 @@ fn main() {
         println!("{}", experiments::fig13d(scale).render());
     }
     if want("fig13e") {
-        println!("{}", experiments::fig13ef(&Dataset::bioaid(), scale).render());
+        println!(
+            "{}",
+            experiments::fig13ef(&Dataset::bioaid(), scale).render()
+        );
     }
     if want("fig13f") {
-        println!("{}", experiments::fig13ef(&Dataset::qblast(), scale).render());
+        println!(
+            "{}",
+            experiments::fig13ef(&Dataset::qblast(), scale).render()
+        );
     }
     if want("fig13g") {
-        println!("{}", experiments::fig13gh(&Dataset::bioaid(), scale).render());
+        println!(
+            "{}",
+            experiments::fig13gh(&Dataset::bioaid(), scale).render()
+        );
     }
     if want("fig13h") {
-        println!("{}", experiments::fig13gh(&Dataset::qblast(), scale).render());
+        println!(
+            "{}",
+            experiments::fig13gh(&Dataset::qblast(), scale).render()
+        );
     }
     if want("fig15a") {
         println!("{}", experiments::fig15(&Dataset::bioaid(), scale).render());

@@ -1,29 +1,35 @@
 //! Shared dataset handles for the experiments.
 
+use rpq_core::Session;
 use rpq_grammar::Specification;
 use rpq_labeling::Run;
 use rpq_relalg::TagIndex;
 use rpq_workloads::{bioaid_like, qblast_like, runs, RealisticSpec};
 
-/// A named dataset: specification + cached runs/indexes per size.
+/// A named dataset: specification, a query [`Session`] over it, and
+/// run/index helpers.
 pub struct Dataset {
     /// The realistic specification bundle.
     pub real: RealisticSpec,
+    session: Session,
 }
 
 impl Dataset {
+    fn new(real: RealisticSpec) -> Dataset {
+        Dataset {
+            session: Session::from_spec(real.spec.clone()),
+            real,
+        }
+    }
+
     /// The BioAID-like dataset ("deep").
     pub fn bioaid() -> Dataset {
-        Dataset {
-            real: bioaid_like(),
-        }
+        Dataset::new(bioaid_like())
     }
 
     /// The QBLast-like dataset ("branchy").
     pub fn qblast() -> Dataset {
-        Dataset {
-            real: qblast_like(),
-        }
+        Dataset::new(qblast_like())
     }
 
     /// Display name.
@@ -34,6 +40,11 @@ impl Dataset {
     /// The specification.
     pub fn spec(&self) -> &Specification {
         &self.real.spec
+    }
+
+    /// The dataset's query session (plan + per-run index caches).
+    pub fn session(&self) -> &Session {
+        &self.session
     }
 
     /// Simulate a run of roughly `edges` edges (random production

@@ -9,7 +9,7 @@ use crate::datasets::Dataset;
 use crate::timing::{fmt_secs, time_avg_secs, time_stats_secs, Table};
 use rpq_automata::{compile_minimal_dfa, Regex};
 use rpq_baselines::{ifq_symbols, G1, G2, G3};
-use rpq_core::{all_pairs_filtered, all_pairs_nested, RpqEngine};
+use rpq_core::{all_pairs_filtered, all_pairs_nested, plan_query};
 use rpq_labeling::NodeId;
 use rpq_workloads::{runs, synthetic, QueryGen, SynthParams};
 
@@ -75,13 +75,14 @@ pub fn fig13a(scale: Scale) -> Table {
                 seed: 0xF13A + g as u64,
             });
             actual_size += s.spec.size();
-            let engine = RpqEngine::new(&s.spec);
             let mut qg = QueryGen::new(&s.spec, g as u64);
             for _ in 0..n_queries {
                 let q = qg.ifq_over(&s.pool_tags, 3);
+                // Time the raw planner: a session's plan cache would
+                // turn every repetition after the first into a hit.
                 let t = time_avg_secs(
                     || {
-                        std::hint::black_box(engine.plan(&q).unwrap());
+                        std::hint::black_box(plan_query(&s.spec, &q).unwrap());
                     },
                     scale.reps(),
                 );
@@ -107,7 +108,13 @@ pub fn fig13a(scale: Scale) -> Table {
 pub fn fig13b(scale: Scale) -> Table {
     let mut table = Table::new(
         "Fig 13b: time overhead vs query size k",
-        &["k", "BioAID avg", "BioAID worst", "QBLast avg", "QBLast worst"],
+        &[
+            "k",
+            "BioAID avg",
+            "BioAID worst",
+            "QBLast avg",
+            "QBLast worst",
+        ],
     );
     let ks: Vec<usize> = match scale {
         Scale::Full => (0..=10).collect(),
@@ -117,14 +124,13 @@ pub fn fig13b(scale: Scale) -> Table {
     for k in ks {
         let mut cells = vec![format!("{k}")];
         for d in &datasets {
-            let engine = RpqEngine::new(d.spec());
             let queries = safe_pool_ifqs(d, k, if scale == Scale::Full { 20 } else { 4 }, k as u64);
             let mut avg = 0.0;
             let mut worst: f64 = 0.0;
             for q in &queries {
                 let t = time_avg_secs(
                     || {
-                        std::hint::black_box(engine.plan(q).unwrap());
+                        std::hint::black_box(plan_query(d.spec(), q).unwrap());
                     },
                     scale.reps(),
                 );
@@ -161,7 +167,7 @@ pub fn fig13c(scale: Scale) -> Table {
     for edges in sizes {
         let run = d.run(edges, 42);
         let index = d.index(&run);
-        let engine = RpqEngine::new(d.spec());
+        let session = d.session();
         let pairs: Vec<(NodeId, NodeId)> = {
             let l1 = runs::sample_nodes(&run, n_pairs, 1);
             let l2 = runs::sample_nodes(&run, n_pairs, 2);
@@ -175,7 +181,7 @@ pub fn fig13c(scale: Scale) -> Table {
         // RPL: plan once + decode per pair.
         let rpl = {
             let start = std::time::Instant::now();
-            let plan = engine.plan_safe(&q).expect("pool IFQs are safe");
+            let plan = session.plan_safe(&q).expect("pool IFQs are safe");
             let mut hits = 0usize;
             for &(u, v) in &pairs {
                 hits += usize::from(plan.pairwise(&run, u, v));
@@ -201,7 +207,9 @@ pub fn fig13c(scale: Scale) -> Table {
         let g2 = {
             let g2 = G2::new(&run, &index);
             let dfa = compile_minimal_dfa(&q, d.spec().n_tags());
-            let capped = &pairs[..pairs.len().min(if scale == Scale::Full { 500 } else { 100 })];
+            let capped = &pairs[..pairs
+                .len()
+                .min(if scale == Scale::Full { 500 } else { 100 })];
             let start = std::time::Instant::now();
             let mut hits = 0usize;
             for &(u, v) in capped {
@@ -239,7 +247,7 @@ pub fn fig13d(scale: Scale) -> Table {
     let edges = if scale == Scale::Full { 2000 } else { 800 };
     let run = d.run(edges, 42);
     let index = d.index(&run);
-    let engine = RpqEngine::new(d.spec());
+    let session = d.session();
     let pairs: Vec<(NodeId, NodeId)> = {
         let l1 = runs::sample_nodes(&run, n_pairs, 1);
         let l2 = runs::sample_nodes(&run, n_pairs, 2);
@@ -255,7 +263,7 @@ pub fn fig13d(scale: Scale) -> Table {
 
         let rpl = {
             let start = std::time::Instant::now();
-            let plan = engine.plan_safe(&q).expect("pool IFQs are safe");
+            let plan = session.plan_safe(&q).expect("pool IFQs are safe");
             let mut hits = 0;
             for &(u, v) in &pairs {
                 hits += usize::from(plan.pairwise(&run, u, v));
@@ -276,7 +284,9 @@ pub fn fig13d(scale: Scale) -> Table {
         let g2 = {
             let g2 = G2::new(&run, &index);
             let dfa = compile_minimal_dfa(&q, d.spec().n_tags());
-            let capped = &pairs[..pairs.len().min(if scale == Scale::Full { 500 } else { 100 })];
+            let capped = &pairs[..pairs
+                .len()
+                .min(if scale == Scale::Full { 500 } else { 100 })];
             let start = std::time::Instant::now();
             let mut hits = 0;
             for &(u, v) in capped {
@@ -307,12 +317,19 @@ pub fn fig13ef(d: &Dataset, scale: Scale) -> Table {
             "Fig 13e/f: all-pairs IFQ k=3 by selectivity ({}, run 2K)",
             d.name()
         ),
-        &["query", "selectivity", "matches", "Baseline(G3)", "RPL(S1)", "optRPL(S2)"],
+        &[
+            "query",
+            "selectivity",
+            "matches",
+            "Baseline(G3)",
+            "RPL(S1)",
+            "optRPL(S2)",
+        ],
     );
     let edges = if scale == Scale::Full { 2000 } else { 600 };
     let run = d.run(edges, 42);
     let index = d.index(&run);
-    let engine = RpqEngine::new(d.spec());
+    let session = d.session();
     let all: Vec<NodeId> = match scale {
         Scale::Full => run.node_ids().collect(),
         Scale::Quick => runs::sample_nodes(&run, 250, 5),
@@ -324,7 +341,7 @@ pub fn fig13ef(d: &Dataset, scale: Scale) -> Table {
     let mut tries = 0;
     while queries.iter().filter(|(_, s)| *s == "high").count() < per_class && tries < 200 {
         let q = qg.ifq_by_selectivity(3, &index, true);
-        if engine.is_safe(&q) {
+        if session.is_safe(&q) {
             queries.push((q, "high"));
         }
         tries += 1;
@@ -332,7 +349,7 @@ pub fn fig13ef(d: &Dataset, scale: Scale) -> Table {
     tries = 0;
     while queries.iter().filter(|(_, s)| *s == "low").count() < per_class && tries < 200 {
         let q = qg.ifq_by_selectivity(3, &index, false);
-        if engine.is_safe(&q) {
+        if session.is_safe(&q) {
             queries.push((q, "low"));
         }
         tries += 1;
@@ -341,7 +358,7 @@ pub fn fig13ef(d: &Dataset, scale: Scale) -> Table {
     for (i, (q, sel)) in queries.iter().enumerate() {
         let syms = ifq_symbols(q).expect("IFQ shape");
         let g3 = G3::new(d.spec(), &run, &index);
-        let plan = engine.plan_safe(q).expect("selected safe queries");
+        let plan = session.plan_safe(q).expect("selected safe queries");
         let matches = g3.all_pairs(&syms, &all, &all).len();
 
         let t_g3 = time_avg_secs(
@@ -383,13 +400,19 @@ pub fn fig13ef(d: &Dataset, scale: Scale) -> Table {
 pub fn fig13gh(d: &Dataset, scale: Scale) -> Table {
     let mut table = Table::new(
         &format!("Fig 13g/h: all-pairs a* vs run size ({})", d.name()),
-        &["run edges", "matches", "Baseline(G1)", "RPL(S1)", "optRPL(S2)"],
+        &[
+            "run edges",
+            "matches",
+            "Baseline(G1)",
+            "RPL(S1)",
+            "optRPL(S2)",
+        ],
     );
     let sizes: Vec<usize> = match scale {
         Scale::Full => vec![1000, 2000, 4000, 8000, 16_000],
         Scale::Quick => vec![500, 1000],
     };
-    let engine = RpqEngine::new(d.spec());
+    let session = d.session();
     let qg = QueryGen::new(d.spec(), 0);
     let q = qg.kleene_star(d.star_tag()).expect("cycle tag exists");
     for edges in sizes {
@@ -411,7 +434,7 @@ pub fn fig13gh(d: &Dataset, scale: Scale) -> Table {
             },
             scale.reps(),
         );
-        let plan = engine.plan_safe(&q).expect("chain-tag star is safe");
+        let plan = session.plan_safe(&q).expect("chain-tag star is safe");
         let t_s1 = time_avg_secs(
             || {
                 std::hint::black_box(all_pairs_nested(&plan, &run, &all, &all));
@@ -453,8 +476,10 @@ pub fn fig15(d: &Dataset, scale: Scale) -> Table {
     let edges = if scale == Scale::Full { 2000 } else { 600 };
     let n_queries = if scale == Scale::Full { 40 } else { 10 };
     let run = d.run(edges, 42);
-    let index = d.index(&run);
-    let engine = RpqEngine::new(d.spec());
+    let session = d.session();
+    // One index for this run: G1 borrows the session's cached copy, so
+    // `Session::all_pairs` below does not build a second one.
+    let (index, _) = session.index_for(&run);
     let all: Vec<NodeId> = match scale {
         Scale::Full => run.node_ids().collect(),
         Scale::Quick => runs::sample_nodes(&run, 250, 5),
@@ -470,7 +495,7 @@ pub fn fig15(d: &Dataset, scale: Scale) -> Table {
         if dfa.n_states() > 64 {
             continue;
         }
-        if !engine.is_safe(&q) {
+        if !session.is_safe(&q) {
             unsafe_queries.push(q);
         }
     }
@@ -478,17 +503,17 @@ pub fn fig15(d: &Dataset, scale: Scale) -> Table {
     let mut rows: Vec<(f64, Vec<String>)> = Vec::new();
     for (i, q) in unsafe_queries.iter().enumerate() {
         use rpq_core::SubqueryPolicy;
-        let plan_labels = engine
-            .plan_with(q, SubqueryPolicy::AlwaysLabels)
+        let plan_labels = session
+            .prepare_regex_with(q, SubqueryPolicy::AlwaysLabels)
             .expect("plan compiles");
-        let plan_cost = engine
-            .plan_with(q, SubqueryPolicy::CostBased)
+        let plan_cost = session
+            .prepare_regex_with(q, SubqueryPolicy::CostBased)
             .expect("plan compiles");
         let g1 = G1::new(&index);
         let reference = g1.all_pairs(q, &all, &all);
-        let ours = engine.all_pairs_indexed(&plan_labels, &run, &index, &all, &all);
+        let ours = session.all_pairs(&plan_labels, &run, &all, &all);
         assert_eq!(reference, ours, "correctness cross-check (labels)");
-        let ours_cost = engine.all_pairs_indexed(&plan_cost, &run, &index, &all, &all);
+        let ours_cost = session.all_pairs(&plan_cost, &run, &all, &all);
         assert_eq!(reference, ours_cost, "correctness cross-check (cost)");
 
         let (t_g1, _) = time_stats_secs(
@@ -499,17 +524,13 @@ pub fn fig15(d: &Dataset, scale: Scale) -> Table {
         );
         let (t_labels, _) = time_stats_secs(
             || {
-                std::hint::black_box(
-                    engine.all_pairs_indexed(&plan_labels, &run, &index, &all, &all),
-                );
+                std::hint::black_box(session.all_pairs(&plan_labels, &run, &all, &all));
             },
             scale.reps(),
         );
         let (t_cost, _) = time_stats_secs(
             || {
-                std::hint::black_box(
-                    engine.all_pairs_indexed(&plan_cost, &run, &index, &all, &all),
-                );
+                std::hint::black_box(session.all_pairs(&plan_cost, &run, &all, &all));
             },
             scale.reps(),
         );
@@ -519,7 +540,7 @@ pub fn fig15(d: &Dataset, scale: Scale) -> Table {
             impr_labels,
             vec![
                 format!("U{}", i + 1),
-                format!("{}", plan_labels.n_safe_subqueries()),
+                format!("{}", plan_labels.stats().n_safe_subqueries),
                 format!("{}", reference.len()),
                 fmt_secs(t_g1),
                 fmt_secs(t_labels),
@@ -571,7 +592,10 @@ mod tests {
     fn fig13ef_smoke() {
         let t = fig13ef(&Dataset::qblast(), Scale::Quick);
         let rendered = t.render();
-        assert!(rendered.contains("high") && rendered.contains("low"), "{rendered}");
+        assert!(
+            rendered.contains("high") && rendered.contains("low"),
+            "{rendered}"
+        );
     }
 
     #[test]

@@ -118,9 +118,19 @@ mod tests {
 
     #[test]
     fn timing_is_positive() {
-        let t = time_avg_secs(|| { std::hint::black_box(1 + 1); }, 10);
+        let t = time_avg_secs(
+            || {
+                std::hint::black_box(1 + 1);
+            },
+            10,
+        );
         assert!(t >= 0.0);
-        let (best, avg) = time_stats_secs(|| { std::hint::black_box(1 + 1); }, 5);
+        let (best, avg) = time_stats_secs(
+            || {
+                std::hint::black_box(1 + 1);
+            },
+            5,
+        );
         assert!(best <= avg + 1e-12);
     }
 }

@@ -274,8 +274,7 @@ impl Merger<'_> {
         // Set>: u under child at index i > j = v's index, v having
         // "blue" grandchildren (reachable from the recursive position).
         let mut y = 0usize;
-        let mut blue_prefix: Vec<(u32, rpq_grammar::ProductionId, usize, Vec<NodeId>)> =
-            Vec::new();
+        let mut blue_prefix: Vec<(u32, rpq_grammar::ProductionId, usize, Vec<NodeId>)> = Vec::new();
         for &c1 in &a.children {
             let (cycle, phase, ia) = rec_entry(self.t1.node(c1).entry);
             while y < b.children.len() {
@@ -433,7 +432,11 @@ mod tests {
     #[test]
     fn reachability_tree_merge_matches_bfs() {
         let spec = fig2();
-        let run = RunBuilder::new(&spec).seed(7).target_edges(600).build().unwrap();
+        let run = RunBuilder::new(&spec)
+            .seed(7)
+            .target_edges(600)
+            .build()
+            .unwrap();
         let all: Vec<NodeId> = run.node_ids().collect();
         let result = all_pairs_reachability(&spec, &run, &all, &all);
 

@@ -58,9 +58,9 @@ impl CostModel {
                 est
             }
             PlanNode::Alt(children) => children.iter().map(|c| self.estimate(c)).sum(),
-            PlanNode::Star(inner) | PlanNode::Plus(inner) => self.closure_estimate(
-                self.estimate(inner),
-            ),
+            PlanNode::Star(inner) | PlanNode::Plus(inner) => {
+                self.closure_estimate(self.estimate(inner))
+            }
             PlanNode::Optional(inner) => self.estimate(inner) + self.n_nodes,
         }
     }
@@ -108,8 +108,7 @@ impl CostModel {
                 work
             }
             PlanNode::Alt(children) => {
-                children.iter().map(|c| self.work_estimate(c)).sum::<f64>()
-                    + self.estimate(node)
+                children.iter().map(|c| self.work_estimate(c)).sum::<f64>() + self.estimate(node)
             }
             PlanNode::Star(inner) | PlanNode::Plus(inner) => {
                 // Semi-naive closure work ~ result size × rounds; the

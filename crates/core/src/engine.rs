@@ -1,19 +1,27 @@
-//! High-level engine facade.
+//! The deprecated pre-session facade.
 //!
-//! [`RpqEngine`] ties the pieces together for applications: parse a query
-//! against a specification's tag alphabet, compile a plan (safe or
-//! decomposed), and evaluate pairwise or all-pairs against labeled runs.
+//! [`RpqEngine`] was the original entry point: it borrowed a
+//! specification, recompiled plans at every call site and rebuilt the
+//! [`TagIndex`] on every `pairwise`/`all_pairs` call. The
+//! session-oriented API ([`crate::Session`] / [`crate::PreparedQuery`]
+//! / [`crate::QueryRequest`]) replaces it with *compile once, evaluate
+//! many* semantics and shared caches; this type remains only as a thin
+//! deprecated shim over the same planner and evaluators, preserving
+//! the original per-call cost model (no hidden caches, no clones).
 
-use crate::general::{self, QueryPlan};
+#![allow(deprecated)]
+
+use crate::general::{QueryPlan, SubqueryPolicy};
 use crate::plan::{PlanError, SafeQueryPlan};
-use rpq_automata::{compile_minimal_dfa, parse, ParseError, Regex, Symbol};
+use rpq_automata::{ParseError, Regex};
 use rpq_grammar::Specification;
 use rpq_labeling::{NodeId, Run};
 use rpq_relalg::{NodePairSet, TagIndex};
 
-/// Query engine bound to one workflow specification.
+/// Deprecated query facade bound to one workflow specification.
 ///
 /// ```
+/// #![allow(deprecated)]
 /// use rpq_core::RpqEngine;
 /// use rpq_grammar::SpecificationBuilder;
 /// use rpq_labeling::RunBuilder;
@@ -39,12 +47,18 @@ use rpq_relalg::{NodePairSet, TagIndex};
 /// let result = engine.all_pairs(&plan, &run, &[run.entry()], &[run.exit()]);
 /// assert_eq!(result.len(), 1);
 /// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Session` / `PreparedQuery` / `QueryRequest`: engines recompile \
+            plans and rebuild indexes per call, sessions cache both"
+)]
 pub struct RpqEngine<'a> {
     spec: &'a Specification,
 }
 
 impl<'a> RpqEngine<'a> {
-    /// Bind an engine to a specification.
+    /// Bind an engine to a specification (zero-cost, as the original
+    /// engine was — no clone, no cache state).
     pub fn new(spec: &'a Specification) -> RpqEngine<'a> {
         RpqEngine { spec }
     }
@@ -56,30 +70,31 @@ impl<'a> RpqEngine<'a> {
 
     /// Parse a query, resolving tag names against the specification.
     pub fn parse_query(&self, text: &str) -> Result<Regex, ParseError> {
-        parse(text, &mut |name| {
-            self.spec.tag_by_name(name).map(|t| Symbol(t.0))
+        rpq_automata::parse(text, &mut |name| {
+            self.spec
+                .tag_by_name(name)
+                .map(|t| rpq_automata::Symbol(t.0))
         })
     }
 
     /// Compile a general plan: safe if possible, decomposed otherwise
     /// (cost-based subquery evaluation by default).
     pub fn plan(&self, regex: &Regex) -> Result<QueryPlan, PlanError> {
-        general::plan_query(self.spec, regex)
+        self.plan_with(regex, SubqueryPolicy::CostBased)
     }
 
     /// [`RpqEngine::plan`] with an explicit subquery-evaluation policy.
-    pub fn plan_with(
-        &self,
-        regex: &Regex,
-        policy: general::SubqueryPolicy,
-    ) -> Result<QueryPlan, PlanError> {
-        general::plan_query_with(self.spec, regex, policy)
+    pub fn plan_with(&self, regex: &Regex, policy: SubqueryPolicy) -> Result<QueryPlan, PlanError> {
+        crate::general::plan_query_with(self.spec, regex, policy)
     }
 
     /// Compile strictly as a safe plan (errors with
     /// [`PlanError::Unsafe`] when decomposition would be needed).
     pub fn plan_safe(&self, regex: &Regex) -> Result<SafeQueryPlan, PlanError> {
-        SafeQueryPlan::compile(self.spec, compile_minimal_dfa(regex, self.spec.n_tags()))
+        SafeQueryPlan::compile(
+            self.spec,
+            rpq_automata::compile_minimal_dfa(regex, self.spec.n_tags()),
+        )
     }
 
     /// Is `regex` safe w.r.t. the specification (Definition 13)?
@@ -94,17 +109,25 @@ impl<'a> RpqEngine<'a> {
     }
 
     /// Pairwise query `u —R→ v`.
+    ///
+    /// Keeps the original engine's behavior: composite plans build a
+    /// fresh index per call (constant memory over any number of runs).
+    /// The session API caches it per run instead — that cache is
+    /// deliberately *not* used here, because engines have no eviction
+    /// surface and legacy callers may stream unboundedly many runs.
     pub fn pairwise(&self, plan: &QueryPlan, run: &Run, u: NodeId, v: NodeId) -> bool {
         match plan {
             QueryPlan::Safe(p) => p.pairwise(run, u, v),
             QueryPlan::Composite(..) => {
                 let index = self.index(run);
-                general::pairwise(plan, self.spec, run, &index, u, v)
+                crate::general::pairwise(plan, self.spec, run, &index, u, v)
             }
         }
     }
 
     /// All-pairs query over `l1 × l2` (Algorithm 2 for safe plans).
+    /// Builds the index per call, as the original engine did; see
+    /// [`RpqEngine::pairwise`].
     pub fn all_pairs(
         &self,
         plan: &QueryPlan,
@@ -113,11 +136,10 @@ impl<'a> RpqEngine<'a> {
         l2: &[NodeId],
     ) -> NodePairSet {
         let index = self.index(run);
-        general::all_pairs(plan, self.spec, run, &index, l1, l2)
+        crate::general::all_pairs(plan, self.spec, run, &index, l1, l2)
     }
 
-    /// All-pairs with a prebuilt index (benchmarks reuse the index
-    /// across queries, as the paper's stored indexes do).
+    /// All-pairs with a caller-managed prebuilt index.
     pub fn all_pairs_indexed(
         &self,
         plan: &QueryPlan,
@@ -126,68 +148,6 @@ impl<'a> RpqEngine<'a> {
         l1: &[NodeId],
         l2: &[NodeId],
     ) -> NodePairSet {
-        general::all_pairs(plan, self.spec, run, index, l1, l2)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use rpq_grammar::SpecificationBuilder;
-    use rpq_labeling::RunBuilder;
-
-    fn spec() -> Specification {
-        let mut b = SpecificationBuilder::new();
-        b.atomic("t");
-        b.atomic("u");
-        b.composite("S");
-        b.production("S", |w| {
-            let x = w.node("t");
-            let s = w.node("S");
-            let y = w.node("u");
-            w.edge_named(x, s, "go");
-            w.edge_named(s, y, "done");
-        });
-        b.production("S", |w| {
-            let x = w.node("t");
-            let y = w.node("u");
-            w.edge_named(x, y, "base");
-        });
-        b.start("S");
-        b.build().unwrap()
-    }
-
-    #[test]
-    fn engine_round_trip() {
-        let spec = spec();
-        let engine = RpqEngine::new(&spec);
-        let run = RunBuilder::new(&spec).seed(2).target_edges(80).build().unwrap();
-
-        let q = engine.parse_query("go+ base _*").unwrap();
-        let plan = engine.plan(&q).unwrap();
-        // Entry descends through all `go` edges then crosses `base`.
-        assert!(engine.pairwise(&plan, &run, run.entry(), run.exit()));
-    }
-
-    #[test]
-    fn unknown_tag_is_a_parse_error() {
-        let spec = spec();
-        let engine = RpqEngine::new(&spec);
-        assert!(engine.parse_query("nosuchtag").is_err());
-    }
-
-    #[test]
-    fn is_safe_matches_plan_kind() {
-        let spec = spec();
-        let engine = RpqEngine::new(&spec);
-        let safe_q = engine.parse_query("_*").unwrap();
-        assert!(engine.is_safe(&safe_q));
-        assert!(engine.plan(&safe_q).unwrap().is_safe());
-        // `go` exactly once is unsafe: deeper recursions insert more
-        // `go` edges on every entry-to-exit path... but single-symbol
-        // queries are planned via the index regardless.
-        let go_q = engine.parse_query("go").unwrap();
-        let plan = engine.plan(&go_q).unwrap();
-        assert!(!plan.is_safe());
+        crate::general::all_pairs(plan, self.spec, run, index, l1, l2)
     }
 }

@@ -1,0 +1,107 @@
+//! The unified error type of the query API.
+//!
+//! Every layer's failure mode converts into [`RpqError`], so callers
+//! of [`crate::Session`] (and of the CLI built on it) handle exactly
+//! one error enum instead of the parse/plan/grammar/derivation/IO
+//! types the individual crates expose.
+
+use crate::plan::PlanError;
+use rpq_automata::ParseError;
+use rpq_grammar::ValidationError;
+use rpq_labeling::DeriveError;
+use std::fmt;
+
+/// Any failure produced by the query API.
+#[derive(Debug)]
+pub enum RpqError {
+    /// The query text failed to parse against the tag alphabet.
+    Parse(ParseError),
+    /// Plan compilation failed on structural grounds (an *unsafe*
+    /// query is not an error — the planner decomposes it).
+    Plan(PlanError),
+    /// A specification failed validation.
+    Grammar(ValidationError),
+    /// Run derivation failed, or a run did not match its specification.
+    Run(DeriveError),
+    /// An I/O failure (loading or persisting specs and runs).
+    Io {
+        /// What was being done when the failure occurred.
+        context: String,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// Invalid input that is not attributable to a lower layer
+    /// (unknown CLI flags, bad node names, malformed JSON, …).
+    Invalid(String),
+}
+
+impl RpqError {
+    /// An [`RpqError::Io`] with context.
+    pub fn io(context: impl Into<String>, source: std::io::Error) -> RpqError {
+        RpqError::Io {
+            context: context.into(),
+            source,
+        }
+    }
+
+    /// An [`RpqError::Invalid`] from a message.
+    pub fn invalid(message: impl Into<String>) -> RpqError {
+        RpqError::Invalid(message.into())
+    }
+}
+
+impl fmt::Display for RpqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RpqError::Parse(e) => write!(f, "query parse error: {e}"),
+            RpqError::Plan(e) => write!(f, "planning failed: {e}"),
+            RpqError::Grammar(e) => write!(f, "invalid specification: {e}"),
+            RpqError::Run(e) => write!(f, "run derivation failed: {e}"),
+            RpqError::Io { context, source } => write!(f, "{context}: {source}"),
+            RpqError::Invalid(message) => f.write_str(message),
+        }
+    }
+}
+
+impl std::error::Error for RpqError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RpqError::Parse(e) => Some(e),
+            RpqError::Plan(e) => Some(e),
+            RpqError::Grammar(e) => Some(e),
+            RpqError::Run(e) => Some(e),
+            RpqError::Io { source, .. } => Some(source),
+            RpqError::Invalid(_) => None,
+        }
+    }
+}
+
+impl From<ParseError> for RpqError {
+    fn from(e: ParseError) -> RpqError {
+        RpqError::Parse(e)
+    }
+}
+
+impl From<PlanError> for RpqError {
+    fn from(e: PlanError) -> RpqError {
+        RpqError::Plan(e)
+    }
+}
+
+impl From<ValidationError> for RpqError {
+    fn from(e: ValidationError) -> RpqError {
+        RpqError::Grammar(e)
+    }
+}
+
+impl From<DeriveError> for RpqError {
+    fn from(e: DeriveError) -> RpqError {
+        RpqError::Run(e)
+    }
+}
+
+impl From<std::io::Error> for RpqError {
+    fn from(e: std::io::Error) -> RpqError {
+        RpqError::io("I/O error", e)
+    }
+}

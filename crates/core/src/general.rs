@@ -17,13 +17,43 @@ use rpq_labeling::{NodeId, Run};
 use rpq_relalg::{compose, transitive_closure, NodePairSet, Relation, TagIndex};
 
 /// How safe subqueries inside a decomposed plan are evaluated.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SubqueryPolicy {
     /// Always use the label-based all-pairs merge (the paper's optRPL).
     AlwaysLabels,
     /// Let the cost model pick label-based vs relational per subquery
     /// (the cost-based optimizer the paper's conclusion sketches).
     CostBased,
+    /// Never use labels: evaluate the whole query with relational
+    /// joins and fixpoints, exactly as baseline G1 would. Useful as a
+    /// CLI-selectable referee and for measuring what the labels buy.
+    AlwaysRelational,
+}
+
+impl SubqueryPolicy {
+    /// CLI names of the valid policies.
+    pub const NAMES: [&'static str; 3] = ["cost", "memo", "naive"];
+
+    /// Parse a CLI policy name (`cost` → cost-based, `memo` →
+    /// label-based memo, `naive` → pure relational).
+    pub fn from_cli_name(name: &str) -> Option<SubqueryPolicy> {
+        match name {
+            "cost" => Some(SubqueryPolicy::CostBased),
+            "memo" => Some(SubqueryPolicy::AlwaysLabels),
+            "naive" => Some(SubqueryPolicy::AlwaysRelational),
+            _ => None,
+        }
+    }
+
+    /// The CLI name of this policy (inverse of
+    /// [`SubqueryPolicy::from_cli_name`]).
+    pub fn cli_name(self) -> &'static str {
+        match self {
+            SubqueryPolicy::CostBased => "cost",
+            SubqueryPolicy::AlwaysLabels => "memo",
+            SubqueryPolicy::AlwaysRelational => "naive",
+        }
+    }
 }
 
 /// A compiled plan for an arbitrary regular path query.
@@ -46,6 +76,14 @@ impl QueryPlan {
         match self {
             QueryPlan::Safe(_) => 1,
             QueryPlan::Composite(node, _) => node.count_safe(),
+        }
+    }
+
+    /// The underlying safe plan, when the whole query is safe.
+    pub fn as_safe(&self) -> Option<&SafeQueryPlan> {
+        match self {
+            QueryPlan::Safe(p) => Some(p),
+            QueryPlan::Composite(..) => None,
         }
     }
 }
@@ -108,9 +146,38 @@ pub fn plan_query_with(
     if !spec.is_strictly_linear() {
         return Err(PlanError::NotStrictlyLinear);
     }
+    // The naive policy skips safety analysis entirely: the whole query
+    // is lowered to joins/fixpoints (the G1 evaluation shape).
+    if policy == SubqueryPolicy::AlwaysRelational {
+        return Ok(QueryPlan::Composite(relational_node(regex), policy));
+    }
+    plan_query_with_dfa(
+        spec,
+        regex,
+        policy,
+        compile_minimal_dfa(regex, spec.n_tags()),
+    )
+}
+
+/// [`plan_query_with`] when the caller already compiled the query's
+/// minimal DFA (it is the dominant planning cost; `Session::prepare`
+/// compiles it once for plan statistics and hands it in here).
+///
+/// `policy` must not be [`SubqueryPolicy::AlwaysRelational`] — that
+/// path never needs a DFA; use [`plan_query_with`].
+pub fn plan_query_with_dfa(
+    spec: &Specification,
+    regex: &Regex,
+    policy: SubqueryPolicy,
+    dfa: rpq_automata::Dfa,
+) -> Result<QueryPlan, PlanError> {
+    debug_assert_ne!(policy, SubqueryPolicy::AlwaysRelational);
+    if !spec.is_strictly_linear() {
+        return Err(PlanError::NotStrictlyLinear);
+    }
     // Leaf expressions are cheaper via the index even when safe.
     if !is_leaf(regex) {
-        match try_safe(spec, regex) {
+        match SafeQueryPlan::compile(spec, dfa) {
             Ok(plan) => return Ok(QueryPlan::Safe(plan)),
             Err(PlanError::Unsafe { .. }) => {}
             Err(e) => return Err(e),
@@ -119,7 +186,9 @@ pub fn plan_query_with(
     Ok(QueryPlan::Composite(plan_node(spec, regex)?, policy))
 }
 
-fn is_leaf(re: &Regex) -> bool {
+/// Is the expression a leaf (answered from the tag index rather than a
+/// compiled plan, even when safe)?
+pub(crate) fn is_leaf(re: &Regex) -> bool {
     matches!(
         re,
         Regex::Empty | Regex::Epsilon | Regex::Sym(_) | Regex::Wildcard
@@ -165,10 +234,7 @@ fn plan_node(spec: &Specification, regex: &Regex) -> Result<PlanNode, PlanError>
 /// be unsafe as a whole while `A B` is safe, and evaluating `A B` with
 /// one label-based subquery instead of two halves both the subquery
 /// count and the join fan-in.
-fn plan_concat_segments(
-    spec: &Specification,
-    parts: &[Regex],
-) -> Result<Vec<PlanNode>, PlanError> {
+fn plan_concat_segments(spec: &Specification, parts: &[Regex]) -> Result<Vec<PlanNode>, PlanError> {
     let mut nodes = Vec::new();
     let mut i = 0;
     while i < parts.len() {
@@ -214,6 +280,11 @@ pub fn eval_node(
 ) -> Relation {
     match node {
         PlanNode::SafeEval(plan, regex) => {
+            // Naive plans contain no SafeEval nodes, but stay total in
+            // case one is composed by hand.
+            if policy == SubqueryPolicy::AlwaysRelational {
+                return eval_node(&relational_node(regex), spec, run, index, universe, policy);
+            }
             // Cost-based evaluator choice (the optimizer the paper's
             // conclusion sketches): the label-based merge touches every
             // reachable candidate pair over the universe, so when the
@@ -233,8 +304,7 @@ pub fn eval_node(
             // safe evaluator emits; strip them back out into the
             // symbolic identity so downstream composition stays sparse.
             if plan.accepts_epsilon() {
-                let non_reflexive: NodePairSet =
-                    pairs.iter().filter(|(u, v)| u != v).collect();
+                let non_reflexive: NodePairSet = pairs.iter().filter(|(u, v)| u != v).collect();
                 Relation {
                     pairs: non_reflexive,
                     identity: true,
@@ -263,7 +333,17 @@ pub fn eval_node(
             let model = crate::cost::CostModel::new(index, run.n_nodes());
             let sizes: Vec<f64> = children.iter().map(|c| model.estimate(c)).collect();
             let order = model.chain_order(&sizes);
-            eval_chain(children, &order, 0, children.len() - 1, spec, run, index, universe, policy)
+            eval_chain(
+                children,
+                &order,
+                0,
+                children.len() - 1,
+                spec,
+                run,
+                index,
+                universe,
+                policy,
+            )
         }
         PlanNode::Alt(children) => {
             let mut rel = Relation::empty();
@@ -334,7 +414,17 @@ fn eval_chain(
     if left.pairs.is_empty() && !left.identity {
         return Relation::empty();
     }
-    let right = eval_chain(children, order, k + 1, j, spec, run, index, universe, policy);
+    let right = eval_chain(
+        children,
+        order,
+        k + 1,
+        j,
+        spec,
+        run,
+        index,
+        universe,
+        policy,
+    );
     compose(&left, &right)
 }
 
@@ -479,7 +569,11 @@ mod tests {
         // Even when forced through the composite path, the answer agrees
         // with the label-based evaluator.
         let spec = fig2();
-        let run = RunBuilder::new(&spec).seed(3).target_edges(120).build().unwrap();
+        let run = RunBuilder::new(&spec)
+            .seed(3)
+            .target_edges(120)
+            .build()
+            .unwrap();
         let index = TagIndex::build(&run, spec.n_tags());
         let all: Vec<NodeId> = run.node_ids().collect();
 
@@ -487,27 +581,27 @@ mod tests {
         let safe = plan_query(&spec, &regex).unwrap();
         let forced = QueryPlan::Composite(
             PlanNode::Concat(vec![
-            PlanNode::SafeEval(
-                Box::new(
-                    SafeQueryPlan::compile(
-                        &spec,
-                        compile_minimal_dfa(&q(&spec, "_*"), spec.n_tags()),
-                    )
-                    .unwrap(),
+                PlanNode::SafeEval(
+                    Box::new(
+                        SafeQueryPlan::compile(
+                            &spec,
+                            compile_minimal_dfa(&q(&spec, "_*"), spec.n_tags()),
+                        )
+                        .unwrap(),
+                    ),
+                    q(&spec, "_*"),
                 ),
-                q(&spec, "_*"),
-            ),
-            PlanNode::Sym(spec.tag_by_name("e").unwrap()),
-            PlanNode::SafeEval(
-                Box::new(
-                    SafeQueryPlan::compile(
-                        &spec,
-                        compile_minimal_dfa(&q(&spec, "_*"), spec.n_tags()),
-                    )
-                    .unwrap(),
+                PlanNode::Sym(spec.tag_by_name("e").unwrap()),
+                PlanNode::SafeEval(
+                    Box::new(
+                        SafeQueryPlan::compile(
+                            &spec,
+                            compile_minimal_dfa(&q(&spec, "_*"), spec.n_tags()),
+                        )
+                        .unwrap(),
+                    ),
+                    q(&spec, "_*"),
                 ),
-                q(&spec, "_*"),
-            ),
             ]),
             SubqueryPolicy::AlwaysLabels,
         );
@@ -567,7 +661,11 @@ mod tests {
         assert_eq!(plan.n_safe_subqueries(), 2);
 
         // Correctness against a product-BFS referee.
-        let run = RunBuilder::new(&spec).seed(5).target_edges(150).build().unwrap();
+        let run = RunBuilder::new(&spec)
+            .seed(5)
+            .target_edges(150)
+            .build()
+            .unwrap();
         let index = TagIndex::build(&run, spec.n_tags());
         let all: Vec<NodeId> = run.node_ids().collect();
         let got = all_pairs(&plan, &spec, &run, &index, &all, &all);
@@ -577,12 +675,7 @@ mod tests {
 
     /// Tiny product-BFS referee (inline to avoid a dev-dependency cycle
     /// with rpq-baselines).
-    fn bfs_referee(
-        spec: &Specification,
-        run: &Run,
-        regex: &Regex,
-        all: &[NodeId],
-    ) -> NodePairSet {
+    fn bfs_referee(spec: &Specification, run: &Run, regex: &Regex, all: &[NodeId]) -> NodePairSet {
         let dfa = compile_minimal_dfa(regex, spec.n_tags());
         let mut acc_mask = 0u64;
         for (state, &is_acc) in dfa.accepting().iter().enumerate() {
@@ -623,7 +716,11 @@ mod tests {
         // Long unsafe chains go through the matrix-chain association;
         // the result must be identical to naive left-to-right folding.
         let spec = fig2();
-        let run = RunBuilder::new(&spec).seed(9).target_edges(200).build().unwrap();
+        let run = RunBuilder::new(&spec)
+            .seed(9)
+            .target_edges(200)
+            .build()
+            .unwrap();
         let index = TagIndex::build(&run, spec.n_tags());
         let all: Vec<NodeId> = run.node_ids().collect();
         let regex = q(&spec, "_* a _* a _* d _*");
@@ -636,7 +733,11 @@ mod tests {
     #[test]
     fn empty_and_epsilon_plans() {
         let spec = fig2();
-        let run = RunBuilder::new(&spec).seed(1).target_edges(40).build().unwrap();
+        let run = RunBuilder::new(&spec)
+            .seed(1)
+            .target_edges(40)
+            .build()
+            .unwrap();
         let index = TagIndex::build(&run, spec.n_tags());
         let all: Vec<NodeId> = run.node_ids().collect();
 

@@ -18,20 +18,29 @@
 //! 6. **decompose** unsafe queries into maximal safe subtrees composed
 //!    relationally ([`general`], Section IV-B).
 //!
-//! [`RpqEngine`] is the high-level entry point.
+//! [`Session`] is the high-level entry point: it owns the
+//! specification, caches compiled plans ([`PreparedQuery`]) and per-run
+//! tag indexes, and answers [`QueryRequest`]s with [`QueryOutcome`]s.
+//! Every failure mode surfaces as the single [`RpqError`] enum. The
+//! old [`RpqEngine`] facade is deprecated and delegates here.
 
 pub mod allpairs;
 pub mod cost;
 pub mod engine;
+pub mod error;
 pub mod general;
 pub mod matrix;
 pub mod plan;
 pub mod portgraph;
+pub mod request;
 pub mod safety;
+pub mod session;
 
 pub use allpairs::{all_pairs_filtered, all_pairs_nested, all_pairs_reachability};
 pub use cost::{ChainOrder, CostModel};
+#[allow(deprecated)]
 pub use engine::RpqEngine;
+pub use error::RpqError;
 pub use general::{
     all_pairs, eval_node, pairwise, plan_query, plan_query_with, relational_node, PlanNode,
     QueryPlan, SubqueryPolicy,
@@ -39,4 +48,6 @@ pub use general::{
 pub use matrix::StateMatrix;
 pub use plan::{PlanError, SafeQueryPlan};
 pub use portgraph::BodyMatrices;
+pub use request::{EvalMeta, IndexCacheUse, PlanKind, QueryOutcome, QueryRequest, QueryResult};
 pub use safety::{check_safety, SafetyOutcome};
+pub use session::{PlanStats, PreparedQuery, Session, SessionStats};

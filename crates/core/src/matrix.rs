@@ -289,10 +289,7 @@ mod tests {
             }
             assert_eq!(m.col_mul(col), expect_col);
             // Associativity spot check: (row ⋅ M) ∩ col = row ∩ (M ⋅ col).
-            assert_eq!(
-                m.row_mul(row) & col != 0,
-                row & m.col_mul(col) != 0
-            );
+            assert_eq!(m.row_mul(row) & col != 0, row & m.col_mul(col) != 0);
         }
     }
 

@@ -196,7 +196,6 @@ impl CyclePlan {
         }
         row
     }
-
 }
 
 /// `P^q` from a binary power table (powers of one matrix commute, so
@@ -811,10 +810,7 @@ mod tests {
     #[test]
     fn unsafe_query_is_rejected_at_compile() {
         let spec = fig2();
-        let re = parse("_* a _*", &mut |n| {
-            spec.tag_by_name(n).map(|t| Symbol(t.0))
-        })
-        .unwrap();
+        let re = parse("_* a _*", &mut |n| spec.tag_by_name(n).map(|t| Symbol(t.0))).unwrap();
         let dfa = compile_minimal_dfa(&re, spec.n_tags());
         match SafeQueryPlan::compile(&spec, dfa) {
             Err(PlanError::Unsafe { .. }) => {}
@@ -943,7 +939,11 @@ mod tests {
         let eu = &lu.entries()[cp..];
         let ev = &lv.entries()[cp..];
         if let (
-            LabelEntry::Rec { cycle, start_phase, idx: a },
+            LabelEntry::Rec {
+                cycle,
+                start_phase,
+                idx: a,
+            },
             LabelEntry::Rec { idx: b, .. },
         ) = (eu[0], ev[0])
         {
@@ -968,7 +968,11 @@ mod tests {
         let eu2 = &lu2.entries()[cp2..];
         let ev2 = &lv2.entries()[cp2..];
         if let (
-            LabelEntry::Rec { cycle, start_phase, idx: a },
+            LabelEntry::Rec {
+                cycle,
+                start_phase,
+                idx: a,
+            },
             LabelEntry::Rec { idx: b, .. },
         ) = (eu2[0], ev2[0])
         {

@@ -49,8 +49,7 @@ impl BodyMatrices {
         let lambdas: Vec<StateMatrix> = body.nodes().iter().map(|&m| lambda_of(m)).collect();
 
         // Edge transition matrices, shared per distinct tag on demand.
-        let edge_matrix =
-            |tag: rpq_grammar::Tag| StateMatrix::from_dfa_symbol(dfa, Symbol(tag.0));
+        let edge_matrix = |tag: rpq_grammar::Tag| StateMatrix::from_dfa_symbol(dfa, Symbol(tag.0));
 
         // between[i][j] over increasing j (nodes are topologically
         // ordered, so all edges go forward).

@@ -1,0 +1,657 @@
+//! The session-oriented prepared-query API.
+//!
+//! The paper's economics are *compile once, evaluate many*: a query is
+//! compiled against the specification (safety check, query-intersected
+//! grammar, decomposition) and then answered over many runs with
+//! constant-time pairwise decoding — the access pattern of the stored
+//! indexes in Section VII. [`Session`] makes that the shape of the API:
+//!
+//! * a `Session` owns an `Arc<`[`Specification`]`>` and two caches — a
+//!   **plan cache** keyed by the normalized regex (plus subquery
+//!   policy), and a **per-run [`TagIndex`] cache** keyed by run
+//!   identity — so repeated queries never recompile and repeated runs
+//!   never re-index;
+//! * [`Session::prepare`] returns a [`PreparedQuery`], a cheaply
+//!   cloneable handle bundling the parsed regex, the compiled
+//!   [`QueryPlan`], its safety verdict and plan statistics;
+//! * [`Session::evaluate`] answers a [`QueryRequest`] with a
+//!   [`QueryOutcome`] carrying the result and evaluation metadata.
+//!
+//! ```
+//! use rpq_core::{QueryRequest, Session};
+//! use rpq_grammar::SpecificationBuilder;
+//! use rpq_labeling::RunBuilder;
+//!
+//! let mut b = SpecificationBuilder::new();
+//! b.atomic("t");
+//! b.composite("S");
+//! b.production("S", |w| {
+//!     let x = w.node("t");
+//!     let s = w.node("S");
+//!     let y = w.node("t");
+//!     w.edge_named(x, s, "down");
+//!     w.edge_named(s, y, "up");
+//! });
+//! b.production("S", |w| { w.node("t"); });
+//! b.start("S");
+//! let spec = b.build().unwrap();
+//!
+//! let session = Session::from_spec(spec);
+//! let query = session.prepare("_* down _* up _*").unwrap();
+//! let run = RunBuilder::new(session.spec()).seed(1).target_edges(64).build().unwrap();
+//! let outcome = session.evaluate(
+//!     &query,
+//!     &run,
+//!     &QueryRequest::pairwise(run.entry(), run.exit()),
+//! );
+//! assert_eq!(outcome.as_bool(), Some(true));
+//!
+//! // Preparing the same query again (any spelling) hits the plan cache.
+//! let again = session.prepare("_*  down  _*  up  _*").unwrap();
+//! assert_eq!(session.stats().plan_hits, 1);
+//! assert_eq!(session.stats().plan_misses, 1);
+//! assert_eq!(again.source(), query.source());
+//! ```
+
+use crate::error::RpqError;
+use crate::general::{self, QueryPlan, SubqueryPolicy};
+use crate::plan::SafeQueryPlan;
+use crate::request::{EvalMeta, IndexCacheUse, PlanKind, QueryOutcome, QueryRequest, QueryResult};
+use rpq_automata::{compile_minimal_dfa, parse, Regex, Symbol};
+use rpq_grammar::Specification;
+use rpq_labeling::{NodeId, Run};
+use rpq_relalg::{NodePairSet, TagIndex};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Compile-time statistics of a prepared query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanStats {
+    /// States of the query's minimal DFA.
+    pub dfa_states: usize,
+    /// Number of label-evaluated safe subqueries (1 for safe plans).
+    pub n_safe_subqueries: usize,
+    /// The subquery-evaluation policy the plan was compiled with.
+    pub policy: SubqueryPolicy,
+    /// Safe or composite evaluation strategy.
+    pub kind: PlanKind,
+    /// The Definition-13 safety verdict (see [`PreparedQuery::is_safe`]).
+    pub safe: bool,
+}
+
+struct PreparedInner {
+    /// The specification the plan was compiled against; evaluation
+    /// asserts it matches the session's.
+    spec: Arc<Specification>,
+    source: String,
+    regex: Regex,
+    plan: QueryPlan,
+    stats: PlanStats,
+}
+
+/// A compiled query handle, cheap to clone and detached from the
+/// session's lifetime.
+///
+/// Produced by [`Session::prepare`]; reusing one across runs (or
+/// cloning it into other threads of work) never recompiles the plan.
+#[derive(Clone)]
+pub struct PreparedQuery {
+    inner: Arc<PreparedInner>,
+}
+
+impl PreparedQuery {
+    /// The query text as given to [`Session::prepare`] (normalized
+    /// queries prepared from different spellings keep the first
+    /// spelling seen).
+    pub fn source(&self) -> &str {
+        &self.inner.source
+    }
+
+    /// The parsed regex.
+    pub fn regex(&self) -> &Regex {
+        &self.inner.regex
+    }
+
+    /// The compiled plan.
+    pub fn plan(&self) -> &QueryPlan {
+        &self.inner.plan
+    }
+
+    /// Is the query safe for the specification (Definition 13)?
+    ///
+    /// This is the *semantic* safety verdict, independent of how the
+    /// plan evaluates: it stays `true` for a safe query prepared under
+    /// [`SubqueryPolicy::AlwaysRelational`] (whose plan is composite by
+    /// construction) and for safe single-symbol leaves (which are
+    /// answered from the tag index regardless). Use
+    /// [`PlanStats::kind`] for the evaluation strategy.
+    pub fn is_safe(&self) -> bool {
+        self.inner.stats.safe
+    }
+
+    /// Compile-time statistics.
+    pub fn stats(&self) -> &PlanStats {
+        &self.inner.stats
+    }
+
+    /// The underlying safe plan, when the whole query is safe —
+    /// for direct access to the label decoder (`pairwise`, λ
+    /// matrices) without going through [`Session::evaluate`].
+    pub fn safe_plan(&self) -> Option<&SafeQueryPlan> {
+        self.inner.plan.as_safe()
+    }
+}
+
+impl std::fmt::Debug for PreparedQuery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreparedQuery")
+            .field("source", &self.inner.source)
+            .field("stats", &self.inner.stats)
+            .finish()
+    }
+}
+
+/// Cache counters of a [`Session`] (monotonic, snapshot via
+/// [`Session::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionStats {
+    /// Queries served from the plan cache.
+    pub plan_hits: u64,
+    /// Queries compiled anew.
+    pub plan_misses: u64,
+    /// Evaluations that found their run's tag index cached.
+    pub index_hits: u64,
+    /// Evaluations that had to build a tag index.
+    pub index_misses: u64,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct PlanKey {
+    /// Normalized regex rendering — parsing runs the AST smart
+    /// constructors, so differently-spelled equivalent queries share
+    /// one entry.
+    canon: String,
+    policy: SubqueryPolicy,
+}
+
+/// A query session bound to one workflow specification.
+///
+/// Sessions are `Send + Sync`: the specification is shared behind an
+/// `Arc` and both caches sit behind mutexes, so one session can serve
+/// queries from many threads (the architectural requirement for the
+/// service-style deployments the roadmap targets).
+pub struct Session {
+    spec: Arc<Specification>,
+    plans: Mutex<HashMap<PlanKey, PreparedQuery>>,
+    indexes: Mutex<HashMap<RunKey, Arc<TagIndex>>>,
+    plan_hits: AtomicU64,
+    plan_misses: AtomicU64,
+    index_hits: AtomicU64,
+    index_misses: AtomicU64,
+}
+
+/// Run identity for the index cache: the run's 128-bit structural
+/// fingerprint ([`Run::fingerprint`], computed once per run and cached
+/// on it) plus its node/edge counts as an extra collision guard, so
+/// re-deserialized copies of the same run share a cache entry.
+/// The fingerprint is not collision-resistant against an adversary;
+/// services ingesting untrusted runs should key caches by an external
+/// run id instead.
+type RunKey = (u64, u64, u64, u64);
+
+fn run_key(run: &Run) -> RunKey {
+    let (a, b) = run.fingerprint();
+    (a, b, run.n_nodes() as u64, run.n_edges() as u64)
+}
+
+impl Session {
+    /// Open a session over a shared specification.
+    pub fn new(spec: Arc<Specification>) -> Session {
+        Session {
+            spec,
+            plans: Mutex::new(HashMap::new()),
+            indexes: Mutex::new(HashMap::new()),
+            plan_hits: AtomicU64::new(0),
+            plan_misses: AtomicU64::new(0),
+            index_hits: AtomicU64::new(0),
+            index_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Open a session, taking ownership of the specification.
+    pub fn from_spec(spec: Specification) -> Session {
+        Session::new(Arc::new(spec))
+    }
+
+    /// The specification this session queries.
+    pub fn spec(&self) -> &Specification {
+        &self.spec
+    }
+
+    /// A shared handle to the specification.
+    pub fn spec_arc(&self) -> Arc<Specification> {
+        Arc::clone(&self.spec)
+    }
+
+    /// Cache counters so far.
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            plan_hits: self.plan_hits.load(Ordering::Relaxed),
+            plan_misses: self.plan_misses.load(Ordering::Relaxed),
+            index_hits: self.index_hits.load(Ordering::Relaxed),
+            index_misses: self.index_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Parse query text, resolving tag names against the specification.
+    pub fn parse(&self, text: &str) -> Result<Regex, RpqError> {
+        Ok(parse(text, &mut |name| {
+            self.spec.tag_by_name(name).map(|t| Symbol(t.0))
+        })?)
+    }
+
+    /// Prepare a query with the default (cost-based) subquery policy.
+    pub fn prepare(&self, text: &str) -> Result<PreparedQuery, RpqError> {
+        self.prepare_with(text, SubqueryPolicy::CostBased)
+    }
+
+    /// Prepare a query with an explicit subquery-evaluation policy.
+    pub fn prepare_with(
+        &self,
+        text: &str,
+        policy: SubqueryPolicy,
+    ) -> Result<PreparedQuery, RpqError> {
+        let regex = self.parse(text)?;
+        self.prepare_cached(|| text.to_owned(), &regex, policy)
+    }
+
+    /// Prepare an already-parsed regex (default policy).
+    pub fn prepare_regex(&self, regex: &Regex) -> Result<PreparedQuery, RpqError> {
+        self.prepare_regex_with(regex, SubqueryPolicy::CostBased)
+    }
+
+    /// Prepare an already-parsed regex with an explicit policy.
+    pub fn prepare_regex_with(
+        &self,
+        regex: &Regex,
+        policy: SubqueryPolicy,
+    ) -> Result<PreparedQuery, RpqError> {
+        let source = || {
+            regex
+                .display_with(&|s| self.spec.tag_name(rpq_grammar::Tag(s.0)).to_owned())
+                .to_string()
+        };
+        self.prepare_cached(source, regex, policy)
+    }
+
+    /// `source` is rendered only on a cache miss.
+    fn prepare_cached(
+        &self,
+        source: impl FnOnce() -> String,
+        regex: &Regex,
+        policy: SubqueryPolicy,
+    ) -> Result<PreparedQuery, RpqError> {
+        let key = PlanKey {
+            canon: format!("{regex:?}"),
+            policy,
+        };
+        if let Some(prepared) = self.plans.lock().expect("plan cache lock").get(&key) {
+            self.plan_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(prepared.clone());
+        }
+        // Compile outside the lock: planning can be expensive and must
+        // not serialize concurrent sessions' unrelated queries. The
+        // minimal DFA is the dominant cost — compile it once and share
+        // it between the planner, the stats and the safety verdict.
+        let dfa = compile_minimal_dfa(regex, self.spec.n_tags());
+        let dfa_states = dfa.n_states();
+        let plan = match policy {
+            // The naive policy plans without safety analysis.
+            SubqueryPolicy::AlwaysRelational => {
+                general::plan_query_with(&self.spec, regex, policy)?
+            }
+            _ => general::plan_query_with_dfa(&self.spec, regex, policy, dfa.clone())?,
+        };
+        // Definition-13 safety is a property of the query, not of the
+        // chosen plan: a non-leaf plan under a label-aware policy
+        // settles it, but naive plans (always composite) and index-
+        // answered leaves need an explicit probe.
+        let safe = match &plan {
+            QueryPlan::Safe(_) => true,
+            QueryPlan::Composite(..)
+                if policy == SubqueryPolicy::AlwaysRelational || general::is_leaf(regex) =>
+            {
+                SafeQueryPlan::compile(&self.spec, dfa).is_ok()
+            }
+            QueryPlan::Composite(..) => false,
+        };
+        let stats = PlanStats {
+            dfa_states,
+            n_safe_subqueries: plan.n_safe_subqueries(),
+            policy,
+            kind: if plan.is_safe() {
+                PlanKind::Safe
+            } else {
+                PlanKind::Composite
+            },
+            safe,
+        };
+        let prepared = PreparedQuery {
+            inner: Arc::new(PreparedInner {
+                spec: Arc::clone(&self.spec),
+                source: source(),
+                regex: regex.clone(),
+                plan,
+                stats,
+            }),
+        };
+        // This call compiled, so it counts as a miss even if a racing
+        // thread inserted the same key first (the first entry is kept
+        // so clones stay identity-shared); hits + misses therefore
+        // always equals the number of prepare calls.
+        self.plan_misses.fetch_add(1, Ordering::Relaxed);
+        let mut plans = self.plans.lock().expect("plan cache lock");
+        let entry = plans.entry(key).or_insert(prepared);
+        Ok(entry.clone())
+    }
+
+    /// Is `regex` safe w.r.t. the specification (Definition 13)?
+    pub fn is_safe(&self, regex: &Regex) -> bool {
+        self.plan_safe(regex).is_ok()
+    }
+
+    /// Compile strictly as a safe plan, erroring when decomposition
+    /// would be needed.
+    pub fn plan_safe(&self, regex: &Regex) -> Result<SafeQueryPlan, RpqError> {
+        Ok(SafeQueryPlan::compile(
+            &self.spec,
+            compile_minimal_dfa(regex, self.spec.n_tags()),
+        )?)
+    }
+
+    /// The cached per-run tag index, building it on first sight of the
+    /// run. Returns the index and whether the cache hit.
+    pub fn index_for(&self, run: &Run) -> (Arc<TagIndex>, IndexCacheUse) {
+        let key = run_key(run);
+        if let Some(index) = self.indexes.lock().expect("index cache lock").get(&key) {
+            self.index_hits.fetch_add(1, Ordering::Relaxed);
+            return (Arc::clone(index), IndexCacheUse::Hit);
+        }
+        let built = Arc::new(TagIndex::build(run, self.spec.n_tags()));
+        // As with plans: this call built an index, so it reports (and
+        // counts) a miss even when it loses an insert race.
+        self.index_misses.fetch_add(1, Ordering::Relaxed);
+        let mut indexes = self.indexes.lock().expect("index cache lock");
+        let entry = indexes.entry(key).or_insert(built);
+        (Arc::clone(entry), IndexCacheUse::Miss)
+    }
+
+    /// Evict cached per-run indexes (e.g. after discarding a batch of
+    /// runs); prepared plans are kept.
+    pub fn clear_run_cache(&self) {
+        self.indexes.lock().expect("index cache lock").clear();
+    }
+
+    /// Answer `request` for `query` over `run`.
+    ///
+    /// Safe plans never touch the tag index; composite plans fetch it
+    /// from the per-run cache (building it at most once per run).
+    pub fn evaluate(
+        &self,
+        query: &PreparedQuery,
+        run: &Run,
+        request: &QueryRequest,
+    ) -> QueryOutcome {
+        self.assert_owns(query);
+        let plan = &query.inner.plan;
+        let kind = query.inner.stats.kind;
+        // Composite evaluation needs the per-run index; safe plans
+        // decode labels only.
+        let (index, index_cache) = match plan {
+            QueryPlan::Safe(_) => (None, IndexCacheUse::NotNeeded),
+            QueryPlan::Composite(..) => {
+                let (index, usage) = self.index_for(run);
+                (Some(index), usage)
+            }
+        };
+        let index = index.as_deref();
+
+        let (result, nodes_touched) = match request {
+            QueryRequest::Pairwise(u, v) => {
+                let hit = match (plan, index) {
+                    (QueryPlan::Safe(p), _) => p.pairwise(run, *u, *v),
+                    (QueryPlan::Composite(..), Some(idx)) => {
+                        general::pairwise(plan, &self.spec, run, idx, *u, *v)
+                    }
+                    (QueryPlan::Composite(..), None) => unreachable!("index fetched above"),
+                };
+                (QueryResult::Bool(hit), 2)
+            }
+            QueryRequest::AllPairs(l1, l2) => {
+                let pairs = self.all_pairs_inner(plan, run, index, l1, l2);
+                (QueryResult::Pairs(pairs), l1.len() + l2.len())
+            }
+            QueryRequest::SourceStar(u) => {
+                let all: Vec<NodeId> = run.node_ids().collect();
+                let touched = all.len() + 1;
+                let pairs = self.all_pairs_inner(plan, run, index, &[*u], &all);
+                (QueryResult::Pairs(pairs), touched)
+            }
+            QueryRequest::TargetStar(v) => {
+                let all: Vec<NodeId> = run.node_ids().collect();
+                let touched = all.len() + 1;
+                let pairs = self.all_pairs_inner(plan, run, index, &all, &[*v]);
+                (QueryResult::Pairs(pairs), touched)
+            }
+            QueryRequest::Reachable(u) => {
+                let all: Vec<NodeId> = run.node_ids().collect();
+                let touched = all.len() + 1;
+                let pairs = self.all_pairs_inner(plan, run, index, &[*u], &all);
+                let nodes: Vec<NodeId> = pairs.iter().map(|(_, v)| v).collect();
+                (QueryResult::Nodes(nodes), touched)
+            }
+        };
+        QueryOutcome {
+            result,
+            meta: EvalMeta {
+                plan_kind: kind,
+                index_cache,
+                nodes_touched,
+            },
+        }
+    }
+
+    fn all_pairs_inner(
+        &self,
+        plan: &QueryPlan,
+        run: &Run,
+        index: Option<&TagIndex>,
+        l1: &[NodeId],
+        l2: &[NodeId],
+    ) -> NodePairSet {
+        match (plan, index) {
+            (QueryPlan::Safe(p), _) => {
+                crate::allpairs::all_pairs_filtered(p, &self.spec, run, l1, l2)
+            }
+            (QueryPlan::Composite(..), Some(idx)) => {
+                general::all_pairs(plan, &self.spec, run, idx, l1, l2)
+            }
+            (QueryPlan::Composite(..), None) => unreachable!("index fetched above"),
+        }
+    }
+
+    /// Convenience: pairwise verdict.
+    pub fn pairwise(&self, query: &PreparedQuery, run: &Run, u: NodeId, v: NodeId) -> bool {
+        self.evaluate(query, run, &QueryRequest::Pairwise(u, v))
+            .as_bool()
+            .expect("pairwise outcome")
+    }
+
+    /// Convenience: all-pairs result set.
+    pub fn all_pairs(
+        &self,
+        query: &PreparedQuery,
+        run: &Run,
+        l1: &[NodeId],
+        l2: &[NodeId],
+    ) -> NodePairSet {
+        self.assert_owns(query);
+        // Borrowed-slice fast path: skips the Vec copies a
+        // `QueryRequest::AllPairs` would require.
+        let index = match &query.inner.plan {
+            QueryPlan::Safe(_) => None,
+            QueryPlan::Composite(..) => Some(self.index_for(run).0),
+        };
+        self.all_pairs_inner(&query.inner.plan, run, index.as_deref(), l1, l2)
+    }
+
+    /// A prepared query carries λ matrices and tag ids compiled for
+    /// one specification; evaluating it against a session over a
+    /// different one would silently decode garbage. Identical-content
+    /// specifications behind different `Arc`s are accepted (the
+    /// equality check only runs when the pointers differ).
+    fn assert_owns(&self, query: &PreparedQuery) {
+        assert!(
+            Arc::ptr_eq(&self.spec, &query.inner.spec) || *self.spec == *query.inner.spec,
+            "PreparedQuery {:?} was prepared against a different specification \
+             than this session's; re-prepare it on this session",
+            query.source(),
+        );
+    }
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("spec_size", &self.spec.size())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpq_grammar::SpecificationBuilder;
+    use rpq_labeling::RunBuilder;
+
+    fn spec() -> Specification {
+        let mut b = SpecificationBuilder::new();
+        b.atomic("t");
+        b.atomic("u");
+        b.composite("S");
+        b.production("S", |w| {
+            let x = w.node("t");
+            let s = w.node("S");
+            let y = w.node("u");
+            w.edge_named(x, s, "go");
+            w.edge_named(s, y, "done");
+        });
+        b.production("S", |w| {
+            let x = w.node("t");
+            let y = w.node("u");
+            w.edge_named(x, y, "base");
+        });
+        b.start("S");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn prepare_twice_hits_the_plan_cache() {
+        let session = Session::from_spec(spec());
+        let q1 = session.prepare("go+ base _*").unwrap();
+        let q2 = session.prepare("go+  base  _*").unwrap(); // different spelling
+        assert_eq!(session.stats().plan_misses, 1);
+        assert_eq!(session.stats().plan_hits, 1);
+        // Same underlying plan object.
+        assert!(Arc::ptr_eq(&q1.inner, &q2.inner));
+        // A different policy is a different cache entry.
+        session
+            .prepare_with("go+ base _*", SubqueryPolicy::AlwaysLabels)
+            .unwrap();
+        assert_eq!(session.stats().plan_misses, 2);
+    }
+
+    #[test]
+    fn index_is_built_once_per_run() {
+        let session = Session::from_spec(spec());
+        let run = RunBuilder::new(session.spec())
+            .seed(2)
+            .target_edges(60)
+            .build()
+            .unwrap();
+        // Single-symbol queries are composite (index-answered) leaves.
+        let q_go = session.prepare("go").unwrap();
+        let q_base = session.prepare("base").unwrap();
+        let all: Vec<NodeId> = run.node_ids().collect();
+        let o1 = session.evaluate(
+            &q_go,
+            &run,
+            &QueryRequest::all_pairs(all.clone(), all.clone()),
+        );
+        assert_eq!(o1.meta.index_cache, IndexCacheUse::Miss);
+        let o2 = session.evaluate(&q_base, &run, &QueryRequest::all_pairs(all.clone(), all));
+        assert_eq!(o2.meta.index_cache, IndexCacheUse::Hit);
+        assert_eq!(session.stats().index_misses, 1);
+        assert_eq!(session.stats().index_hits, 1);
+    }
+
+    #[test]
+    fn safe_plans_skip_the_index() {
+        let session = Session::from_spec(spec());
+        let run = RunBuilder::new(session.spec())
+            .seed(3)
+            .target_edges(60)
+            .build()
+            .unwrap();
+        let q = session.prepare("_*").unwrap();
+        assert!(q.is_safe());
+        let outcome = session.evaluate(&q, &run, &QueryRequest::pairwise(run.entry(), run.exit()));
+        assert_eq!(outcome.as_bool(), Some(true));
+        assert_eq!(outcome.meta.index_cache, IndexCacheUse::NotNeeded);
+        assert_eq!(outcome.meta.plan_kind, PlanKind::Safe);
+        assert_eq!(session.stats().index_misses, 0);
+    }
+
+    #[test]
+    fn star_and_reachable_agree() {
+        let session = Session::from_spec(spec());
+        let run = RunBuilder::new(session.spec())
+            .seed(5)
+            .target_edges(80)
+            .build()
+            .unwrap();
+        let q = session.prepare("go+").unwrap();
+        let entry = run.entry();
+        let star = session.evaluate(&q, &run, &QueryRequest::source_star(entry));
+        let reach = session.evaluate(&q, &run, &QueryRequest::reachable(entry));
+        let star_targets: Vec<NodeId> = star.as_pairs().unwrap().iter().map(|(_, v)| v).collect();
+        assert_eq!(reach.as_nodes().unwrap(), star_targets.as_slice());
+
+        // Target star is the transpose selection.
+        let exit = run.exit();
+        let tstar = session.evaluate(&q, &run, &QueryRequest::target_star(exit));
+        for (u, v) in tstar.as_pairs().unwrap().iter() {
+            assert_eq!(v, exit);
+            assert!(session.pairwise(&q, &run, u, v));
+        }
+    }
+
+    #[test]
+    fn prepared_queries_outlive_their_borrow_sites() {
+        // The handle is detached: usable after the preparing scope ends
+        // and across clones.
+        let session = Session::from_spec(spec());
+        let q = {
+            let q = session.prepare("_* done").unwrap();
+            q.clone()
+        };
+        let run = RunBuilder::new(session.spec())
+            .seed(7)
+            .target_edges(40)
+            .build()
+            .unwrap();
+        assert!(session.pairwise(&q, &run, run.entry(), run.exit()));
+    }
+}

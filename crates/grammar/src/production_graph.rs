@@ -215,10 +215,7 @@ impl RecursionInfo {
         for ms in members.iter() {
             let single = ms.len() == 1;
             let v0 = ms[0];
-            let has_self_loop = pg
-                .edges_from(ModuleId(v0))
-                .iter()
-                .any(|e| e.to.0 == v0);
+            let has_self_loop = pg.edges_from(ModuleId(v0)).iter().any(|e| e.to.0 == v0);
             if single && !has_self_loop {
                 continue; // trivial component
             }

@@ -236,8 +236,7 @@ impl Specification {
 
     /// Cached recursion analysis (cycles, phases, strict linearity).
     pub fn recursion(&self) -> &RecursionInfo {
-        self.recursion
-            .get_or_init(|| RecursionInfo::analyze(self))
+        self.recursion.get_or_init(|| RecursionInfo::analyze(self))
     }
 
     /// Is the specification strictly linear-recursive (Definition 6)?

@@ -83,10 +83,16 @@ impl fmt::Display for ValidationError {
                 write!(f, "production #{production} body is not acyclic")
             }
             ValidationError::NotSingleSource { production, count } => {
-                write!(f, "production #{production} body has {count} sources, need exactly 1")
+                write!(
+                    f,
+                    "production #{production} body has {count} sources, need exactly 1"
+                )
             }
             ValidationError::NotSingleSink { production, count } => {
-                write!(f, "production #{production} body has {count} sinks, need exactly 1")
+                write!(
+                    f,
+                    "production #{production} body has {count} sinks, need exactly 1"
+                )
             }
             ValidationError::DuplicateParallelEdge { production } => {
                 write!(

@@ -229,8 +229,7 @@ impl ProductionPolicy for UniformRandom {
         module: ModuleId,
         ctx: &PolicyContext<'_>,
     ) -> ProductionId {
-        if ctx.estimated_edges >= ctx.target_edges
-            || ctx.expansions > 64 * ctx.target_edges + 4096
+        if ctx.estimated_edges >= ctx.target_edges || ctx.expansions > 64 * ctx.target_edges + 4096
         {
             return ctx.min_sizes.minimal_production(module);
         }
@@ -487,11 +486,7 @@ impl<'a> Engine<'a> {
 
     /// Label and recursion context for a *fresh* (non-continuation)
     /// execution of `module` at tree position `position_label`.
-    fn fresh_execution(
-        &self,
-        module: ModuleId,
-        position_label: Label,
-    ) -> (Label, Option<RecCtx>) {
+    fn fresh_execution(&self, module: ModuleId, position_label: Label) -> (Label, Option<RecCtx>) {
         match self.spec.recursion().cycle_of_module(module) {
             Some((cycle, phase)) => {
                 let exec = position_label.child(LabelEntry::Rec {
@@ -783,9 +778,7 @@ mod tests {
         // W3 and W4 contribute 1 each.
         assert_eq!(run.n_edges(), 10);
         let n = |name: &str| run.node_by_name(&spec, name).unwrap();
-        let has_edge = |s: &str, d: &str| {
-            run.out_edges(n(s)).iter().any(|&(to, _)| to == n(d))
-        };
+        let has_edge = |s: &str, d: &str| run.out_edges(n(s)).iter().any(|&(to, _)| to == n(d));
         // The A branch: c feeds A's expansion a:1 a:2 e:1 e:2 d:2 d:1.
         assert!(has_edge("c:1", "a:1"));
         assert!(has_edge("a:1", "a:2"));
@@ -850,12 +843,24 @@ mod tests {
         b.start("S");
         let spec = b.build().unwrap();
 
-        let r1 = RunBuilder::new(&spec).seed(11).target_edges(300).build().unwrap();
-        let r2 = RunBuilder::new(&spec).seed(11).target_edges(300).build().unwrap();
+        let r1 = RunBuilder::new(&spec)
+            .seed(11)
+            .target_edges(300)
+            .build()
+            .unwrap();
+        let r2 = RunBuilder::new(&spec)
+            .seed(11)
+            .target_edges(300)
+            .build()
+            .unwrap();
         assert_eq!(r1.n_nodes(), r2.n_nodes());
         assert_eq!(r1.edges(), r2.edges());
         let differs = (12..20u64).any(|s| {
-            let r3 = RunBuilder::new(&spec).seed(s).target_edges(300).build().unwrap();
+            let r3 = RunBuilder::new(&spec)
+                .seed(s)
+                .target_edges(300)
+                .build()
+                .unwrap();
             r1.n_nodes() != r3.n_nodes() || r1.edges() != r3.edges()
         });
         assert!(differs, "eight different seeds all produced identical runs");
@@ -889,7 +894,11 @@ mod tests {
     #[test]
     fn document_order_is_label_order() {
         let spec = fig2();
-        let run = RunBuilder::new(&spec).seed(5).target_edges(200).build().unwrap();
+        let run = RunBuilder::new(&spec)
+            .seed(5)
+            .target_edges(200)
+            .build()
+            .unwrap();
         let order = run.nodes_in_document_order();
         for w in order.windows(2) {
             assert!(run.label(w[0]) < run.label(w[1]));
@@ -899,7 +908,11 @@ mod tests {
     #[test]
     fn labels_are_unique() {
         let spec = fig2();
-        let run = RunBuilder::new(&spec).seed(9).target_edges(500).build().unwrap();
+        let run = RunBuilder::new(&spec)
+            .seed(9)
+            .target_edges(500)
+            .build()
+            .unwrap();
         let mut labels: Vec<&Label> = run.node_ids().map(|id| run.label(id)).collect();
         let before = labels.len();
         labels.sort();

@@ -93,16 +93,14 @@ impl fmt::Display for LabelEntry {
 pub struct Label(Arc<[LabelEntry]>);
 
 impl Serialize for Label {
-    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        self.0.as_ref().serialize(serializer)
+    fn to_value(&self) -> serde::Value {
+        self.0.as_ref().to_value()
     }
 }
 
-impl<'de> Deserialize<'de> for Label {
-    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        Ok(Label::from_entries(Vec::<LabelEntry>::deserialize(
-            deserializer,
-        )?))
+impl Deserialize for Label {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(Label::from_entries(Vec::<LabelEntry>::from_value(value)?))
     }
 }
 

@@ -56,7 +56,9 @@ impl ListTree {
             }
             // Longest common prefix with the previous label.
             let mut lcp = 0;
-            while lcp < prev_entries.len() && lcp < entries.len() && prev_entries[lcp] == entries[lcp]
+            while lcp < prev_entries.len()
+                && lcp < entries.len()
+                && prev_entries[lcp] == entries[lcp]
             {
                 lcp += 1;
             }
@@ -161,7 +163,11 @@ mod tests {
     #[test]
     fn full_list_tree_has_all_leaves_in_order() {
         let spec = recursive_spec();
-        let run = RunBuilder::new(&spec).seed(1).target_edges(100).build().unwrap();
+        let run = RunBuilder::new(&spec)
+            .seed(1)
+            .target_edges(100)
+            .build()
+            .unwrap();
         let all: Vec<NodeId> = run.node_ids().collect();
         let tree = ListTree::build(&run, &all);
         assert_eq!(tree.n_leaves(), run.n_nodes());
@@ -172,7 +178,11 @@ mod tests {
     #[test]
     fn subset_tree_projects() {
         let spec = recursive_spec();
-        let run = RunBuilder::new(&spec).seed(2).target_edges(60).build().unwrap();
+        let run = RunBuilder::new(&spec)
+            .seed(2)
+            .target_edges(60)
+            .build()
+            .unwrap();
         let t_mod = spec.module_by_name("t").unwrap();
         let subset = run.nodes_of_module(t_mod);
         let tree = ListTree::build(&run, &subset);
@@ -187,7 +197,11 @@ mod tests {
     #[test]
     fn duplicates_are_collapsed() {
         let spec = recursive_spec();
-        let run = RunBuilder::new(&spec).seed(3).target_edges(40).build().unwrap();
+        let run = RunBuilder::new(&spec)
+            .seed(3)
+            .target_edges(40)
+            .build()
+            .unwrap();
         let id = run.entry();
         let tree = ListTree::build(&run, &[id, id, id]);
         assert_eq!(tree.n_leaves(), 1);
@@ -196,7 +210,11 @@ mod tests {
     #[test]
     fn leaf_counts_are_consistent() {
         let spec = recursive_spec();
-        let run = RunBuilder::new(&spec).seed(4).target_edges(80).build().unwrap();
+        let run = RunBuilder::new(&spec)
+            .seed(4)
+            .target_edges(80)
+            .build()
+            .unwrap();
         let all: Vec<NodeId> = run.node_ids().collect();
         let tree = ListTree::build(&run, &all);
         for i in 0..tree.n_nodes() as u32 {
@@ -211,7 +229,11 @@ mod tests {
     #[test]
     fn empty_list_gives_empty_tree() {
         let spec = recursive_spec();
-        let run = RunBuilder::new(&spec).seed(5).target_edges(20).build().unwrap();
+        let run = RunBuilder::new(&spec)
+            .seed(5)
+            .target_edges(20)
+            .build()
+            .unwrap();
         let tree = ListTree::build(&run, &[]);
         assert_eq!(tree.n_leaves(), 0);
         assert_eq!(tree.n_nodes(), 1);

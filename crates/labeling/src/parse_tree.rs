@@ -198,7 +198,11 @@ mod tests {
     #[test]
     fn leaves_in_document_order_match_label_sort() {
         let spec = fig2();
-        let run = RunBuilder::new(&spec).seed(4).target_edges(400).build().unwrap();
+        let run = RunBuilder::new(&spec)
+            .seed(4)
+            .target_edges(400)
+            .build()
+            .unwrap();
         let tree = ParseTree::from_run(&run);
         assert_eq!(tree.leaves(), run.nodes_in_document_order());
     }

@@ -58,6 +58,9 @@ pub struct Run {
     inc: Vec<Vec<(NodeId, Tag)>>,
     entry: NodeId,
     exit: NodeId,
+    /// Lazily computed structural fingerprint (see [`Run::fingerprint`]).
+    #[serde(skip)]
+    fingerprint: std::sync::OnceLock<(u64, u64)>,
 }
 
 impl Run {
@@ -90,7 +93,37 @@ impl Run {
             inc,
             entry,
             exit,
+            fingerprint: std::sync::OnceLock::new(),
         }
+    }
+
+    /// A 128-bit structural fingerprint over size, entry/exit and every
+    /// edge, computed once and cached. Re-deserialized copies of the
+    /// same run produce the same fingerprint, so it serves as a cheap
+    /// run identity for caches (e.g. the session's per-run tag index).
+    pub fn fingerprint(&self) -> (u64, u64) {
+        *self.fingerprint.get_or_init(|| {
+            fn mix(h: &mut u64, v: u64) {
+                *h ^= v;
+                *h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            let mut a: u64 = 0xcbf2_9ce4_8422_2325;
+            let mut b: u64 = 0x6c62_272e_07bb_0142;
+            for h in [&mut a, &mut b] {
+                mix(h, self.nodes.len() as u64);
+                mix(h, self.edges.len() as u64);
+                mix(h, u64::from(self.entry.0));
+                mix(h, u64::from(self.exit.0));
+            }
+            for e in &self.edges {
+                mix(&mut a, (u64::from(e.src.0) << 32) | u64::from(e.dst.0));
+                mix(
+                    &mut b,
+                    (u64::from(e.tag.0) << 32) | u64::from(e.src.0 ^ e.dst.0),
+                );
+            }
+            (a, b)
+        })
     }
 
     /// Number of nodes.
@@ -247,7 +280,12 @@ impl Run {
                 }
             }
             for e in entries {
-                if let crate::label::LabelEntry::Rec { cycle, start_phase, idx } = *e {
+                if let crate::label::LabelEntry::Rec {
+                    cycle,
+                    start_phase,
+                    idx,
+                } = *e
+                {
                     let Some(c) = rec.cycles.get(cycle as usize) else {
                         return Err(format!("node {id:?}: cycle {cycle} out of range"));
                     };

@@ -68,10 +68,18 @@ mod tests {
         let spec = b.build().unwrap();
 
         let small = RunStats::measure(
-            &RunBuilder::new(&spec).seed(1).target_edges(100).build().unwrap(),
+            &RunBuilder::new(&spec)
+                .seed(1)
+                .target_edges(100)
+                .build()
+                .unwrap(),
         );
         let large = RunStats::measure(
-            &RunBuilder::new(&spec).seed(1).target_edges(10_000).build().unwrap(),
+            &RunBuilder::new(&spec)
+                .seed(1)
+                .target_edges(10_000)
+                .build()
+                .unwrap(),
         );
         // A 100x larger run must not have 100x larger labels; varint
         // recursion indices keep growth logarithmic.

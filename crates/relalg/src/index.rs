@@ -90,7 +90,11 @@ mod tests {
         });
         b.start("S");
         let spec = b.build().unwrap();
-        let run = RunBuilder::new(&spec).seed(1).target_edges(50).build().unwrap();
+        let run = RunBuilder::new(&spec)
+            .seed(1)
+            .target_edges(50)
+            .build()
+            .unwrap();
         let idx = TagIndex::build(&run, spec.n_tags());
 
         let total: usize = (0..spec.n_tags()).map(|t| idx.count(Tag(t as u32))).sum();

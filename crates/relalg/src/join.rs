@@ -122,10 +122,7 @@ mod tests {
     fn closure_of_chain() {
         let chain = pairs(&[(0, 1), (1, 2), (2, 3)]);
         let tc = transitive_closure(&chain);
-        assert_eq!(
-            tc,
-            pairs(&[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
-        );
+        assert_eq!(tc, pairs(&[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]));
     }
 
     #[test]

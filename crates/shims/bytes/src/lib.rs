@@ -1,0 +1,116 @@
+//! Offline stand-in for `bytes`.
+//!
+//! [`Bytes`]/[`BytesMut`] are thin wrappers over `Vec<u8>` — none of
+//! the real crate's refcounted zero-copy slicing is needed here, only
+//! the byte-buffer API the label codec uses: `with_capacity`,
+//! `put_u8`, `freeze`, plus [`Buf`] cursor reads over `&[u8]`.
+
+use std::ops::Deref;
+
+/// An immutable byte buffer.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Bytes(Vec<u8>);
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// A growable byte buffer.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut(Vec::new())
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(capacity: usize) -> BytesMut {
+        BytesMut(Vec::with_capacity(capacity))
+    }
+
+    /// Freeze into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes(self.0)
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Is the buffer empty?
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// Cursor-style reads.
+pub trait Buf {
+    /// Any bytes left?
+    fn has_remaining(&self) -> bool;
+    /// Pop the next byte (panics when exhausted, as the real crate does).
+    fn get_u8(&mut self) -> u8;
+}
+
+impl Buf for &[u8] {
+    fn has_remaining(&self) -> bool {
+        !self.is_empty()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let (first, rest) = self.split_first().expect("buffer exhausted");
+        *self = rest;
+        *first
+    }
+}
+
+/// Buffer writes.
+pub trait BufMut {
+    /// Append one byte.
+    fn put_u8(&mut self, byte: u8);
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, byte: u8) {
+        self.0.push(byte);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_freeze_read_round_trip() {
+        let mut buf = BytesMut::with_capacity(4);
+        for b in [1u8, 2, 3] {
+            buf.put_u8(b);
+        }
+        assert_eq!(buf.len(), 3);
+        let frozen = buf.freeze();
+        let mut cursor: &[u8] = &frozen;
+        let mut out = Vec::new();
+        while cursor.has_remaining() {
+            out.push(cursor.get_u8());
+        }
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,171 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements just enough of the criterion 0.5 API for the workspace's
+//! bench targets (`harness = false`) to compile and produce useful
+//! numbers: benchmark groups, `bench_function` / `bench_with_input`,
+//! `BenchmarkId`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros. Instead of criterion's statistical
+//! machinery it reports the best and average wall time over a small,
+//! configurable number of samples.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        run_benchmark(&id.into().0, 10, f);
+    }
+}
+
+/// A named benchmark within a group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter` id.
+    pub fn new(name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId(s.to_owned())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId(s)
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time a closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let id = id.into();
+        run_benchmark(&format!("{}/{}", self.name, id.0), self.sample_size, f);
+    }
+
+    /// Time a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; calls [`Bencher::iter`] to run the
+/// measured routine.
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measure `routine`, retaining per-sample wall times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up invocation, then the timed samples.
+        black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed().as_secs_f64());
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_size,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{label:<48} (no samples)");
+        return;
+    }
+    let best = b.samples.iter().copied().fold(f64::INFINITY, f64::min);
+    let avg = b.samples.iter().sum::<f64>() / b.samples.len() as f64;
+    println!(
+        "{label:<48} best {}  avg {}  ({} samples)",
+        fmt_secs(best),
+        fmt_secs(avg),
+        b.samples.len()
+    );
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s < 1e-6 {
+        format!("{:7.2}ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:7.2}us", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:7.2}ms", s * 1e3)
+    } else {
+        format!("{s:7.2}s ")
+    }
+}
+
+/// Declare a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the bench-target `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

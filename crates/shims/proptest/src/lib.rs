@@ -1,0 +1,409 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Provides the subset of the proptest API the workspace's property
+//! tests use: the [`Strategy`] trait with `prop_map` /
+//! `prop_filter_map` / `prop_recursive` combinators, range and tuple
+//! strategies, [`Just`], `prop_oneof!`, `prop::collection::vec`, the
+//! [`ProptestConfig`] knob for case counts, and the `proptest!` /
+//! `prop_assert!` / `prop_assert_eq!` macros.
+//!
+//! Unlike real proptest there is **no shrinking** — a failing case
+//! panics with the sampled inputs Debug-printed by the assertion
+//! message. Generation is deterministic per test (the RNG is seeded
+//! from the test function's name), so failures reproduce exactly.
+
+use std::rc::Rc;
+
+/// Deterministic generator state (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded construction.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    /// Deterministic per-test seed from the test name (FNV-1a).
+    pub fn deterministic(name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng::new(h)
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw below `n` (`n > 0`).
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+}
+
+/// Per-`proptest!` configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per test.
+    pub cases: u32,
+    /// Cap on filtered-out samples before the test aborts.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig {
+            cases: 64,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// A value generator. `sample` returns `None` when the drawn value was
+/// rejected by a filter; the harness redraws.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draw one value (or a rejection).
+    fn sample(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Map generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Filter and map in one step; `None` rejects the sample.
+    fn prop_filter_map<O, F>(self, _reason: &'static str, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<O>,
+    {
+        FilterMap { inner: self, f }
+    }
+
+    /// Recursive strategies: `f` builds a composite from an inner
+    /// strategy; nesting is bounded by `levels`. The remaining two
+    /// parameters (target size, expected branch factor) are accepted
+    /// for signature compatibility and ignored.
+    fn prop_recursive<S, F>(
+        self,
+        levels: u32,
+        _target_size: u32,
+        _expected_branch: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+    {
+        let leaf = self.boxed();
+        let mut composite = leaf.clone();
+        for _ in 0..levels {
+            let inner = OneOf::new(vec![leaf.clone(), composite]).boxed();
+            composite = f(inner).boxed();
+        }
+        OneOf::new(vec![leaf, composite]).boxed()
+    }
+
+    /// Type-erase (cheaply cloneable).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// A cheaply-cloneable type-erased strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> Option<T> {
+        self.0.sample(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> Option<O> {
+        self.inner.sample(rng).map(&self.f)
+    }
+}
+
+/// [`Strategy::prop_filter_map`] adapter.
+pub struct FilterMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> Option<O>> Strategy for FilterMap<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> Option<O> {
+        self.inner.sample(rng).and_then(&self.f)
+    }
+}
+
+/// Uniform choice among type-erased alternatives (`prop_oneof!`).
+pub struct OneOf<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> OneOf<T> {
+    /// Build from the alternatives (must be non-empty).
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> OneOf<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { arms }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> Option<T> {
+        let arm = rng.below(self.arms.len() as u64) as usize;
+        self.arms[arm].sample(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> Option<$t> {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128 - self.start as u128) as u64;
+                Some(self.start + rng.below(span) as $t)
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> Option<$t> {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as u128 - start as u128 + 1) as u64;
+                Some(start + rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                Some(($(self.$idx.sample(rng)?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7)
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// `Vec` strategy with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    /// Vectors of `element` values with length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+            let n = self.len.clone().sample(rng)?;
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// The glob-imported prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_oneof, proptest, BoxedStrategy, Just, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Assert within a property (no shrinking: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Assert equality within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Property-test harness macro: each `fn name(arg in strategy, ...)`
+/// becomes a `#[test]` running `ProptestConfig::cases` sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@harness ($config) $($rest)*);
+    };
+    (@harness ($config:expr)) => {};
+    (@harness ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $config;
+            let mut __rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+            let mut __accepted: u32 = 0;
+            let mut __rejected: u32 = 0;
+            while __accepted < __config.cases {
+                $(
+                    let $arg = {
+                        let __strategy = $strategy;
+                        match $crate::Strategy::sample(&__strategy, &mut __rng) {
+                            Some(value) => value,
+                            None => {
+                                __rejected += 1;
+                                assert!(
+                                    __rejected <= __config.max_global_rejects,
+                                    "proptest shim: too many rejected samples in {}",
+                                    stringify!($name),
+                                );
+                                continue;
+                            }
+                        }
+                    };
+                )+
+                __accepted += 1;
+                $body
+            }
+        }
+        $crate::proptest!(@harness ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@harness ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    fn small_even() -> impl Strategy<Value = u32> {
+        (0u32..100).prop_filter_map("even", |n| if n % 2 == 0 { Some(n) } else { None })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 3usize..=7, b in 10u64..20) {
+            prop_assert!((3..=7).contains(&a));
+            prop_assert!((10..20).contains(&b));
+        }
+
+        #[test]
+        fn filter_map_filters(n in small_even()) {
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn oneof_and_vec(v in prop::collection::vec(prop_oneof![Just(1u8), Just(2u8)], 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            prop_assert!(v.iter().all(|&x| x == 1 || x == 2));
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf(u32),
+            Node(Vec<Tree>),
+        }
+        impl Tree {
+            fn depth(&self) -> usize {
+                match self {
+                    Tree::Leaf(n) => usize::from(*n < 10),
+                    Tree::Node(children) => 1 + children.iter().map(Tree::depth).max().unwrap_or(0),
+                }
+            }
+        }
+        let strategy = (0u32..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 24, 4, |inner| {
+                prop::collection::vec(inner, 1..4).prop_map(Tree::Node)
+            });
+        let mut rng = super::TestRng::new(42);
+        for _ in 0..200 {
+            let t = strategy.sample(&mut rng).expect("no filters");
+            assert!(t.depth() <= 5, "depth bound violated: {t:?}");
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Offline stand-in for `rand` (0.8-style API surface).
+//!
+//! The workspace only needs seeded, reproducible pseudo-randomness for
+//! workload generation — no cryptographic or statistical guarantees.
+//! [`rngs::SmallRng`] is a SplitMix64 generator; [`Rng::gen_range`]
+//! supports half-open and inclusive integer ranges, [`Rng::gen_bool`]
+//! Bernoulli draws, and [`seq::SliceRandom::shuffle`] Fisher–Yates.
+//!
+//! Determinism note: streams differ from the real `rand` crate's
+//! `SmallRng`, which is fine — every consumer seeds explicitly and only
+//! relies on reproducibility, not on specific sequences.
+
+/// Low-level entropy source.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Construct deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling helpers, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample uniformly from an integer range (`a..b` or `a..=b`).
+    ///
+    /// As in rand 0.8, the element type is an independent parameter so
+    /// inference can flow from how the result is used, not just from
+    /// the range literal's default type.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        // 53 uniform mantissa bits, as the real crate does.
+        let x = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        x < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Element types [`Rng::gen_range`] can sample.
+pub trait SampleUniform: Sized {
+    /// Uniform draw from `[start, end)` or `[start, end]`.
+    fn sample_between<R: RngCore>(rng: &mut R, start: Self, end: Self, inclusive: bool) -> Self;
+}
+
+/// Range types [`Rng::gen_range`] accepts.
+pub trait SampleRange<T> {
+    /// Draw one value.
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_between(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd + Copy> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "gen_range: empty range");
+        T::sample_between(rng, start, end, true)
+    }
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore>(
+                rng: &mut R,
+                start: Self,
+                end: Self,
+                inclusive: bool,
+            ) -> Self {
+                let span =
+                    (end as i128 - start as i128 + i128::from(inclusive)) as u128;
+                if span == 0 || span > u128::from(u64::MAX) {
+                    // Only reachable for the full u64/i64 domain.
+                    return (start as i128).wrapping_add(rng.next_u64() as i128) as $t;
+                }
+                // Modulo bias is irrelevant for workload generation.
+                (start as i128 + (rng.next_u64() % span as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, seedable generator (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> SmallRng {
+            SmallRng { state: seed }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea, Flood 2014).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// Alias: the workspace never needs a cryptographically secure
+    /// generator, so `StdRng` shares the `SmallRng` engine.
+    pub type StdRng = SmallRng;
+}
+
+/// Slice helpers.
+pub mod seq {
+    use super::RngCore;
+
+    /// Shuffling for slices.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn reproducible_and_in_range() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let x = a.gen_range(0..10usize);
+            assert_eq!(x, b.gen_range(0..10usize));
+            assert!(x < 10);
+            let y = a.gen_range(3..=5u32);
+            assert_eq!(y, b.gen_range(3..=5u32));
+            assert!((3..=5).contains(&y));
+        }
+    }
+
+    #[test]
+    fn bool_probability_endpoints() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(!(0..64).any(|_| rng.gen_bool(0.0)));
+        assert!((0..64).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut v: Vec<usize> = (0..50).collect();
+        let mut rng = SmallRng::seed_from_u64(3);
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "a 50-element shuffle should move something");
+    }
+}

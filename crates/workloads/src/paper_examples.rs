@@ -287,7 +287,11 @@ mod tests {
     #[test]
     fn multi_phase_runs_derive() {
         for spec in [two_phase_cycle_spec(), three_phase_cycle_spec()] {
-            let run = RunBuilder::new(&spec).seed(1).target_edges(200).build().unwrap();
+            let run = RunBuilder::new(&spec)
+                .seed(1)
+                .target_edges(200)
+                .build()
+                .unwrap();
             assert!(run.n_edges() >= 200);
             assert!(run.is_acyclic());
         }

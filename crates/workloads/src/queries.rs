@@ -150,7 +150,11 @@ mod tests {
     fn selectivity_steering_picks_from_extremes() {
         use rpq_labeling::RunBuilder;
         let spec = fig2_spec();
-        let run = RunBuilder::new(&spec).seed(1).target_edges(400).build().unwrap();
+        let run = RunBuilder::new(&spec)
+            .seed(1)
+            .target_edges(400)
+            .build()
+            .unwrap();
         let index = TagIndex::build(&run, spec.n_tags());
         let mut g = QueryGen::new(&spec, 3);
         let high = g.ifq_by_selectivity(1, &index, true);

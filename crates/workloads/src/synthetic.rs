@@ -171,14 +171,19 @@ pub fn generate(params: &SynthParams) -> SynthesizedSpec {
         // separated queries (see DESIGN.md).
         let local_pool: Vec<String> = (0..3).map(|k| format!("cyc{ci}_{k}")).collect();
         let gen_body = |rng: &mut SmallRng,
-                            b: &mut SpecificationBuilder,
-                            include: Option<&str>,
-                            rec: Option<(&str, &str)>| {
-            let min = params.body_nodes.0.max(
-                1 + usize::from(include.is_some()) + usize::from(rec.is_some()) * 2,
-            );
+                        b: &mut SpecificationBuilder,
+                        include: Option<&str>,
+                        rec: Option<(&str, &str)>| {
+            let min = params
+                .body_nodes
+                .0
+                .max(1 + usize::from(include.is_some()) + usize::from(rec.is_some()) * 2);
             let len = rng.gen_range(min..=params.body_nodes.1.max(min));
-            let pool = if rec.is_some() { &local_pool } else { &tag_pool };
+            let pool = if rec.is_some() {
+                &local_pool
+            } else {
+                &tag_pool
+            };
             emit_production(
                 b,
                 &composites[ci],
@@ -204,8 +209,7 @@ pub fn generate(params: &SynthParams) -> SynthesizedSpec {
                     let partner_name = composites[partner(ci)].clone();
                     gen_body(&mut rng, &mut b, None, Some((&partner_name, &chain_tag)));
                 }
-                if r == Role::Plain && rng.gen_range(0..1000) < params.alt_production_per_mille
-                {
+                if r == Role::Plain && rng.gen_range(0..1000) < params.alt_production_per_mille {
                     gen_body(&mut rng, &mut b, must_include, None);
                 }
             }
@@ -302,9 +306,7 @@ fn emit_production(
                         let is_chain_dup = i == 0 && k == p;
                         if !crosses
                             && !is_chain_dup
-                            && rng.gen_bool(
-                                (extra_edge_prob / (1.0 + (k - i) as f64)).min(1.0),
-                            )
+                            && rng.gen_bool((extra_edge_prob / (1.0 + (k - i) as f64)).min(1.0))
                         {
                             let t = format!("{}x", tag(rng));
                             w.edge_named(handles[i], handles[k], &t);
@@ -360,7 +362,11 @@ mod tests {
             };
             let s = generate(&params);
             assert!(s.spec.is_strictly_linear(), "seed {seed}");
-            assert_eq!(s.spec.recursion().cycles.len(), params.n_self_cycles, "seed {seed}");
+            assert_eq!(
+                s.spec.recursion().cycles.len(),
+                params.n_self_cycles,
+                "seed {seed}"
+            );
             assert_eq!(s.cycle_tags.len(), params.n_self_cycles);
         }
     }

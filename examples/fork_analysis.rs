@@ -10,38 +10,38 @@
 //! ```
 
 use rpq::baselines::G1;
-use rpq::core::{all_pairs_filtered, RpqEngine};
+use rpq::core::all_pairs_filtered;
 use rpq::prelude::*;
 use rpq::workloads::paper_examples::fork_spec;
 use std::time::Instant;
 
 fn main() {
-    let spec = fork_spec();
-    let engine = RpqEngine::new(&spec);
-    let star = engine.parse_query("fork*").unwrap();
-    println!("query fork*  (safe: {})\n", engine.is_safe(&star));
+    let session = Session::from_spec(fork_spec());
+    // Prepared once here; evaluated over every run size below.
+    let star = session.prepare("fork*").unwrap();
+    println!("query fork*  (safe: {})\n", star.is_safe());
     println!(
         "{:>10} {:>9} {:>12} {:>12} {:>8}",
         "run edges", "matches", "G1 fixpoint", "optRPL", "speedup"
     );
 
     for target in [250usize, 1000, 4000] {
-        let run = rpq::workloads::runs::simulate_fork(&spec, 0, target, 7).unwrap();
-        let index = engine.index(&run);
+        let run = rpq::workloads::runs::simulate_fork(session.spec(), 0, target, 7).unwrap();
+        let (index, _) = session.index_for(&run);
         let all: Vec<NodeId> = run.node_ids().collect();
 
         // Baseline G1: materialize the fork relation and iterate the
         // fixpoint until no new pairs appear.
         let g1 = G1::new(&index);
         let t0 = Instant::now();
-        let baseline = g1.all_pairs(&star, &all, &all);
+        let baseline = g1.all_pairs(star.regex(), &all, &all);
         let t_g1 = t0.elapsed();
 
         // Our approach: the star is safe, so Algorithm 2 merges the
         // label tries and decodes candidates in constant time each.
-        let plan = engine.plan_safe(&star).unwrap();
+        let plan = star.safe_plan().expect("fork* is safe");
         let t0 = Instant::now();
-        let ours = all_pairs_filtered(&plan, &spec, &run, &all, &all);
+        let ours = all_pairs_filtered(plan, session.spec(), &run, &all, &all);
         let t_rpl = t0.elapsed();
 
         assert_eq!(baseline, ours, "evaluators must agree");

@@ -21,7 +21,13 @@ use rpq::prelude::*;
 fn build_spec() -> Specification {
     let mut b = SpecificationBuilder::new();
     for m in [
-        "ingest", "prep", "align1", "align2", "summarize", "archive", "publish",
+        "ingest",
+        "prep",
+        "align1",
+        "align2",
+        "summarize",
+        "archive",
+        "publish",
     ] {
         b.atomic(m);
     }
@@ -81,18 +87,15 @@ fn main() {
         run.n_edges()
     );
 
-    let engine = RpqEngine::new(&spec);
+    let session = Session::from_spec(spec.clone());
 
     // The introduction's query, adapted to the spec's tag alphabet: each
     // analysis round contributes `(a1|a2) feed`.
-    let audit = engine
-        .parse_query("x ((a1|a2) feed)+ draft s _* p")
-        .unwrap();
-    let plan = engine.plan(&audit).unwrap();
+    let audit = session.prepare("x ((a1|a2) feed)+ draft s _* p").unwrap();
     println!(
         "audit query: x ((a1|a2) feed)+ draft s _* p   (safe: {}, safe subqueries: {})",
-        plan.is_safe(),
-        plan.n_safe_subqueries()
+        audit.is_safe(),
+        audit.stats().n_safe_subqueries
     );
 
     let sources: Vec<NodeId> = run
@@ -106,7 +109,7 @@ fn main() {
         .map(|(id, _)| id)
         .collect();
 
-    let matches = engine.all_pairs(&plan, &run, &sources, &sinks);
+    let matches = session.all_pairs(&audit, &run, &sources, &sinks);
     println!(
         "audited lineages from {} ingest(s) to {} publication(s): {} match",
         sources.len(),
@@ -123,9 +126,9 @@ fn main() {
 
     // Negative control: an audit requiring technique a1 in *every*
     // round. A run whose analysis ever switched to a2 must not match.
-    let strict = engine.parse_query("x (a1 feed)+ draft s _* p").unwrap();
-    let strict_plan = engine.plan(&strict).unwrap();
-    let strict_matches = engine.all_pairs(&strict_plan, &run, &sources, &sinks);
+    // The per-run tag index built for the first audit is reused here.
+    let strict = session.prepare("x (a1 feed)+ draft s _* p").unwrap();
+    let strict_matches = session.all_pairs(&strict, &run, &sources, &sinks);
     let a2 = spec.tag_by_name("a2").unwrap();
     let used_a2 = run.edges().iter().any(|e| e.tag == a2);
     println!(

@@ -1,5 +1,5 @@
 //! Quickstart: build the paper's Fig. 2 workflow, derive its Fig. 2b
-//! run, and evaluate the worked example queries.
+//! run, and evaluate the worked example queries through a `Session`.
 //!
 //! ```text
 //! cargo run --example quickstart
@@ -20,44 +20,46 @@ fn main() {
     let run = paper_examples::fig2_run(&spec);
     println!("run: {} nodes, {} edges", run.n_nodes(), run.n_edges());
     for (id, node) in run.nodes() {
-        println!(
-            "  {:>4}  ψV = {}",
-            run.node_name(&spec, id),
-            node.label
-        );
+        println!("  {:>4}  ψV = {}", run.node_name(&spec, id), node.label);
     }
 
-    let engine = RpqEngine::new(&spec);
+    // A session compiles each query once and caches the plan; the
+    // prepared handles stay valid for every future run.
+    let session = Session::from_spec(spec);
 
     // R3 = ⎵* e ⎵* — "a path that passes through an e-tagged edge".
     // Safe w.r.t. the specification (Example 3.4), so it compiles to a
     // label-decoding plan with constant-time pairwise answers.
-    let r3 = engine.parse_query("_* e _*").unwrap();
-    let plan = engine.plan(&r3).unwrap();
-    println!("\nR3 = _* e _*  (safe: {})", plan.is_safe());
+    let r3 = session.prepare("_* e _*").unwrap();
+    println!("\nR3 = _* e _*  (safe: {})", r3.is_safe());
     for (u, v) in [("c:1", "b:1"), ("c:1", "b:3"), ("d:2", "b:1")] {
-        let un = run.node_by_name(&spec, u).unwrap();
-        let vn = run.node_by_name(&spec, v).unwrap();
-        println!("  {u} -R3-> {v} : {}", engine.pairwise(&plan, &run, un, vn));
+        let un = run.node_by_name(session.spec(), u).unwrap();
+        let vn = run.node_by_name(session.spec(), v).unwrap();
+        let outcome = session.evaluate(&r3, &run, &QueryRequest::pairwise(un, vn));
+        println!("  {u} -R3-> {v} : {}", outcome.as_bool().unwrap());
     }
 
     // ⎵* a ⎵* is *unsafe* for this specification (Section III-C): the
     // planner decomposes it into safe parts plus an index lookup.
-    let r4 = engine.parse_query("_* a _*").unwrap();
-    let plan4 = engine.plan(&r4).unwrap();
+    let r4 = session.prepare("_* a _*").unwrap();
     println!(
         "\nR4 = _* a _*  (safe: {}, safe subqueries: {})",
-        plan4.is_safe(),
-        plan4.n_safe_subqueries()
+        r4.is_safe(),
+        r4.stats().n_safe_subqueries
     );
     let all: Vec<NodeId> = run.node_ids().collect();
-    let result = engine.all_pairs(&plan4, &run, &all, &all);
+    let outcome = session.evaluate(&r4, &run, &QueryRequest::all_pairs(all.clone(), all));
+    let result = outcome.as_pairs().unwrap();
     println!("  all-pairs matches: {}", result.len());
     for (u, v) in result.iter().take(5) {
         println!(
             "    {} -> {}",
-            run.node_name(&spec, u),
-            run.node_name(&spec, v)
+            run.node_name(session.spec(), u),
+            run.node_name(session.spec(), v)
         );
     }
+
+    // The session cached the tag index it built for R4's evaluation;
+    // any further composite query on this run reuses it.
+    println!("\nsession stats: {:?}", session.stats());
 }

@@ -12,14 +12,13 @@
 //! cargo run --example safety_explorer
 //! ```
 
-use rpq::core::RpqEngine;
 use rpq::prelude::*;
 use rpq::workloads::{bioaid_like, QueryGen};
 
 fn main() {
     let real = bioaid_like();
     let spec = &real.spec;
-    let engine = RpqEngine::new(spec);
+    let session = Session::from_spec(spec.clone());
     println!(
         "specification: {} (size {}, {} productions, {} cycles)\n",
         real.name,
@@ -38,7 +37,7 @@ fn main() {
         let q = qg.random_query(5);
         n_total += 1;
         let display = q.display_with(&namer).to_string();
-        if engine.is_safe(&q) {
+        if session.is_safe(&q) {
             n_safe += 1;
             if safe_examples.len() < 5 {
                 safe_examples.push(display);
@@ -61,7 +60,7 @@ fn main() {
     // Show a λ matrix: how executions of the first recursive module
     // transform the states of a safe query's DFA.
     let star = qg.kleene_star(&real.cycle_tags[0]).unwrap();
-    let plan = engine.plan_safe(&star).unwrap();
+    let plan = session.plan_safe(&star).unwrap();
     let cycle_module = spec.recursion().cycles[0].edges[0].from;
     println!(
         "\nλ({}) for the safe query {}*:",

@@ -6,45 +6,28 @@
 //! * `simulate <SPEC> --edges N [--seed S] [--fork CYCLE] [--out FILE]`
 //!   — derive a labeled run and optionally persist it as JSON;
 //! * `query <SPEC> <QUERY> [--run FILE | --edges N --seed S]
-//!   [--from NODE] [--to NODE] [--limit K]` — plan and evaluate a
-//!   regular path query (pairwise when both endpoints are given,
-//!   all-pairs otherwise);
+//!   [--from NODE] [--to NODE] [--limit K] [--policy P]` — prepare and
+//!   evaluate a regular path query through a [`Session`] (pairwise when
+//!   both endpoints are given, source/target star when one is, all-pairs
+//!   otherwise);
 //! * `stats (--run FILE | <SPEC> --edges N)` — run/label statistics.
 //!
 //! `<SPEC>` is `fig2`, `fork`, `bioaid`, `qblast`, or a path to a JSON
-//! specification produced by serde.
+//! specification produced by serde. `--policy` selects the subquery
+//! evaluation policy: `cost` (cost-based, the default), `memo`
+//! (always label-based) or `naive` (pure relational joins).
+//!
+//! Every failure surfaces as [`RpqError`] — the CLI has no error type
+//! of its own.
 
-use rpq_core::RpqEngine;
+use rpq_core::{QueryRequest, RpqError, Session, SubqueryPolicy};
 use rpq_grammar::Specification;
 use rpq_labeling::{Run, RunBuilder, RunStats};
 use std::fmt::Write as _;
 
-/// CLI failure: message for the user plus a suggested exit code.
-#[derive(Debug)]
-pub struct CliError {
-    /// Human-readable message.
-    pub message: String,
-}
-
-impl CliError {
-    fn new(message: impl Into<String>) -> CliError {
-        CliError {
-            message: message.into(),
-        }
-    }
-}
-
-impl std::fmt::Display for CliError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.message)
-    }
-}
-
-impl std::error::Error for CliError {}
-
 /// Entry point: interpret `args` (without the program name) and return
 /// the output text.
-pub fn run_cli(args: &[String]) -> Result<String, CliError> {
+pub fn run_cli(args: &[String]) -> Result<String, RpqError> {
     let mut it = args.iter();
     match it.next().map(String::as_str) {
         Some("spec") => cmd_spec(&args[1..]),
@@ -52,7 +35,7 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
         Some("query") => cmd_query(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("help") | None => Ok(USAGE.to_owned()),
-        Some(other) => Err(CliError::new(format!(
+        Some(other) => Err(RpqError::invalid(format!(
             "unknown subcommand {other:?}\n{USAGE}"
         ))),
     }
@@ -65,15 +48,16 @@ USAGE:
   rpq spec <SPEC>
   rpq simulate <SPEC> --edges N [--seed S] [--fork CYCLE] [--out FILE]
   rpq query <SPEC> <QUERY> [--run FILE | --edges N --seed S]
-            [--from NODE] [--to NODE] [--limit K]
+            [--from NODE] [--to NODE] [--limit K] [--policy P]
   rpq stats (--run FILE | <SPEC> --edges N [--seed S])
 
-SPEC: fig2 | fork | bioaid | qblast | path to a JSON specification
-NODE: module:occurrence, e.g. a:2
+SPEC:   fig2 | fork | bioaid | qblast | path to a JSON specification
+NODE:   module:occurrence, e.g. a:2
+POLICY: cost (default) | memo | naive
 ";
 
 /// Resolve a spec argument.
-pub fn load_spec(arg: &str) -> Result<Specification, CliError> {
+pub fn load_spec(arg: &str) -> Result<Specification, RpqError> {
     match arg {
         "fig2" => Ok(rpq_workloads::paper_examples::fig2_spec()),
         "fork" => Ok(rpq_workloads::paper_examples::fork_spec()),
@@ -81,20 +65,23 @@ pub fn load_spec(arg: &str) -> Result<Specification, CliError> {
         "qblast" => Ok(rpq_workloads::qblast_like().spec),
         path => {
             let text = std::fs::read_to_string(path)
-                .map_err(|e| CliError::new(format!("cannot read spec {path:?}: {e}")))?;
+                .map_err(|e| RpqError::io(format!("cannot read spec {path:?}"), e))?;
             serde_json::from_str(&text)
-                .map_err(|e| CliError::new(format!("cannot parse spec {path:?}: {e}")))
+                .map_err(|e| RpqError::invalid(format!("cannot parse spec {path:?}: {e}")))
         }
     }
 }
 
-fn load_run(path: &str, spec: &Specification) -> Result<Run, CliError> {
+fn load_run(path: &str, spec: &Specification) -> Result<Run, RpqError> {
     let text = std::fs::read_to_string(path)
-        .map_err(|e| CliError::new(format!("cannot read run {path:?}: {e}")))?;
+        .map_err(|e| RpqError::io(format!("cannot read run {path:?}"), e))?;
     let run: Run = serde_json::from_str(&text)
-        .map_err(|e| CliError::new(format!("cannot parse run {path:?}: {e}")))?;
-    run.validate_against(spec)
-        .map_err(|e| CliError::new(format!("run {path:?} does not match the specification: {e}")))?;
+        .map_err(|e| RpqError::invalid(format!("cannot parse run {path:?}: {e}")))?;
+    run.validate_against(spec).map_err(|e| {
+        RpqError::invalid(format!(
+            "run {path:?} does not match the specification: {e}"
+        ))
+    })?;
     Ok(run)
 }
 
@@ -102,7 +89,7 @@ fn load_run(path: &str, spec: &Specification) -> Result<Run, CliError> {
 type ParsedArgs<'a> = (Vec<&'a str>, Vec<(&'a str, &'a str)>);
 
 /// Parse `--key value` options; returns (positional, options).
-fn split_args(args: &[String]) -> Result<ParsedArgs<'_>, CliError> {
+fn split_args(args: &[String]) -> Result<ParsedArgs<'_>, RpqError> {
     let mut positional = Vec::new();
     let mut options = Vec::new();
     let mut i = 0;
@@ -110,7 +97,7 @@ fn split_args(args: &[String]) -> Result<ParsedArgs<'_>, CliError> {
         if let Some(key) = args[i].strip_prefix("--") {
             let value = args
                 .get(i + 1)
-                .ok_or_else(|| CliError::new(format!("--{key} needs a value")))?;
+                .ok_or_else(|| RpqError::invalid(format!("--{key} needs a value")))?;
             options.push((key, value.as_str()));
             i += 2;
         } else {
@@ -125,31 +112,40 @@ fn opt<'a>(options: &[(&str, &'a str)], key: &str) -> Option<&'a str> {
     options.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
 }
 
-fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, CliError> {
+fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, RpqError> {
     s.parse()
-        .map_err(|_| CliError::new(format!("invalid {what}: {s:?}")))
+        .map_err(|_| RpqError::invalid(format!("invalid {what}: {s:?}")))
 }
 
-fn cmd_spec(args: &[String]) -> Result<String, CliError> {
+fn parse_policy(options: &[(&str, &str)]) -> Result<SubqueryPolicy, RpqError> {
+    match opt(options, "policy") {
+        None => Ok(SubqueryPolicy::CostBased),
+        Some(name) => SubqueryPolicy::from_cli_name(name).ok_or_else(|| {
+            RpqError::invalid(format!(
+                "invalid --policy {name:?}: valid policies are {}",
+                SubqueryPolicy::NAMES.join(", ")
+            ))
+        }),
+    }
+}
+
+fn cmd_spec(args: &[String]) -> Result<String, RpqError> {
     let (positional, _) = split_args(args)?;
     let name = positional
         .first()
-        .ok_or_else(|| CliError::new("spec: missing <SPEC>"))?;
+        .ok_or_else(|| RpqError::invalid("spec: missing <SPEC>"))?;
     let spec = load_spec(name)?;
     Ok(rpq_grammar::display::SpecDisplay(&spec).to_string())
 }
 
-fn simulate_run(
-    spec: &Specification,
-    options: &[(&str, &str)],
-) -> Result<Run, CliError> {
+fn simulate_run(spec: &Specification, options: &[(&str, &str)]) -> Result<Run, RpqError> {
     let edges: usize = parse_num(opt(options, "edges").unwrap_or("200"), "--edges")?;
     let seed: u64 = parse_num(opt(options, "seed").unwrap_or("0"), "--seed")?;
     let builder = RunBuilder::new(spec).seed(seed).target_edges(edges);
     let builder = if let Some(fork) = opt(options, "fork") {
         let cycle: usize = parse_num(fork, "--fork")?;
         if cycle >= spec.recursion().cycles.len() {
-            return Err(CliError::new(format!(
+            return Err(RpqError::invalid(format!(
                 "--fork {cycle}: specification has {} cycle(s)",
                 spec.recursion().cycles.len()
             )));
@@ -168,16 +164,14 @@ fn simulate_run(
     } else {
         builder
     };
-    builder
-        .build()
-        .map_err(|e| CliError::new(format!("derivation failed: {e}")))
+    Ok(builder.build()?)
 }
 
-fn cmd_simulate(args: &[String]) -> Result<String, CliError> {
+fn cmd_simulate(args: &[String]) -> Result<String, RpqError> {
     let (positional, options) = split_args(args)?;
     let name = positional
         .first()
-        .ok_or_else(|| CliError::new("simulate: missing <SPEC>"))?;
+        .ok_or_else(|| RpqError::invalid("simulate: missing <SPEC>"))?;
     let spec = load_spec(name)?;
     let run = simulate_run(&spec, &options)?;
     let stats = RunStats::measure(&run);
@@ -190,72 +184,76 @@ fn cmd_simulate(args: &[String]) -> Result<String, CliError> {
     .expect("write to string");
     if let Some(path) = opt(&options, "out") {
         let json = serde_json::to_string(&run)
-            .map_err(|e| CliError::new(format!("serialize failed: {e}")))?;
+            .map_err(|e| RpqError::invalid(format!("serialize failed: {e}")))?;
         std::fs::write(path, json)
-            .map_err(|e| CliError::new(format!("cannot write {path:?}: {e}")))?;
+            .map_err(|e| RpqError::io(format!("cannot write {path:?}"), e))?;
         writeln!(out, "saved to {path}").expect("write to string");
     }
     Ok(out)
 }
 
-fn cmd_query(args: &[String]) -> Result<String, CliError> {
+fn cmd_query(args: &[String]) -> Result<String, RpqError> {
     let (positional, options) = split_args(args)?;
     let spec_name = positional
         .first()
-        .ok_or_else(|| CliError::new("query: missing <SPEC>"))?;
+        .ok_or_else(|| RpqError::invalid("query: missing <SPEC>"))?;
     let query_text = positional
         .get(1)
-        .ok_or_else(|| CliError::new("query: missing <QUERY>"))?;
+        .ok_or_else(|| RpqError::invalid("query: missing <QUERY>"))?;
     let spec = load_spec(spec_name)?;
     let run = match opt(&options, "run") {
         Some(path) => load_run(path, &spec)?,
         None => simulate_run(&spec, &options)?,
     };
-    let engine = RpqEngine::new(&spec);
-    let regex = engine
-        .parse_query(query_text)
-        .map_err(|e| CliError::new(format!("query parse error: {e}")))?;
-    let plan = engine
-        .plan(&regex)
-        .map_err(|e| CliError::new(format!("planning failed: {e}")))?;
+    let policy = parse_policy(&options)?;
+    let session = Session::from_spec(spec);
+    let query = session.prepare_with(query_text, policy)?;
 
     let mut out = String::new();
     writeln!(
         out,
-        "query: {query_text}\nsafe: {} (safe subqueries: {})",
-        plan.is_safe(),
-        plan.n_safe_subqueries()
+        "query: {query_text}\nsafe: {} (safe subqueries: {}, DFA states: {}, policy: {})",
+        query.is_safe(),
+        query.stats().n_safe_subqueries,
+        query.stats().dfa_states,
+        query.stats().policy.cli_name(),
     )
     .expect("write to string");
 
-    let resolve = |name: &str| -> Result<rpq_labeling::NodeId, CliError> {
-        run.node_by_name(&spec, name)
-            .ok_or_else(|| CliError::new(format!("no node named {name:?} in the run")))
+    let resolve = |name: &str| -> Result<rpq_labeling::NodeId, RpqError> {
+        run.node_by_name(session.spec(), name)
+            .ok_or_else(|| RpqError::invalid(format!("no node named {name:?} in the run")))
     };
     match (opt(&options, "from"), opt(&options, "to")) {
         (Some(f), Some(t)) => {
             let (u, v) = (resolve(f)?, resolve(t)?);
-            writeln!(out, "{f} -R-> {t} : {}", engine.pairwise(&plan, &run, u, v))
-                .expect("write to string");
+            let outcome = session.evaluate(&query, &run, &QueryRequest::pairwise(u, v));
+            writeln!(
+                out,
+                "{f} -R-> {t} : {}",
+                outcome.as_bool().expect("pairwise")
+            )
+            .expect("write to string");
         }
         (from, to) => {
-            let l1: Vec<rpq_labeling::NodeId> = match from {
-                Some(f) => vec![resolve(f)?],
-                None => run.node_ids().collect(),
-            };
-            let l2: Vec<rpq_labeling::NodeId> = match to {
-                Some(t) => vec![resolve(t)?],
-                None => run.node_ids().collect(),
+            let request = match (from, to) {
+                (Some(f), None) => QueryRequest::source_star(resolve(f)?),
+                (None, Some(t)) => QueryRequest::target_star(resolve(t)?),
+                _ => {
+                    let all: Vec<rpq_labeling::NodeId> = run.node_ids().collect();
+                    QueryRequest::all_pairs(all.clone(), all)
+                }
             };
             let limit: usize = parse_num(opt(&options, "limit").unwrap_or("20"), "--limit")?;
-            let result = engine.all_pairs(&plan, &run, &l1, &l2);
+            let outcome = session.evaluate(&query, &run, &request);
+            let result = outcome.as_pairs().expect("pair-producing request");
             writeln!(out, "matches: {}", result.len()).expect("write to string");
             for (u, v) in result.iter().take(limit) {
                 writeln!(
                     out,
                     "  {} -> {}",
-                    run.node_name(&spec, u),
-                    run.node_name(&spec, v)
+                    run.node_name(session.spec(), u),
+                    run.node_name(session.spec(), v)
                 )
                 .expect("write to string");
             }
@@ -268,29 +266,36 @@ fn cmd_query(args: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
-fn cmd_stats(args: &[String]) -> Result<String, CliError> {
+fn cmd_stats(args: &[String]) -> Result<String, RpqError> {
     let (positional, options) = split_args(args)?;
     let run = match (opt(&options, "run"), positional.first()) {
         (Some(path), Some(name)) => load_run(path, &load_spec(name)?)?,
         (Some(path), None) => {
             // No spec to validate against: parse-only load.
             let text = std::fs::read_to_string(path)
-                .map_err(|e| CliError::new(format!("cannot read run {path:?}: {e}")))?;
+                .map_err(|e| RpqError::io(format!("cannot read run {path:?}"), e))?;
             serde_json::from_str(&text)
-                .map_err(|e| CliError::new(format!("cannot parse run {path:?}: {e}")))?
+                .map_err(|e| RpqError::invalid(format!("cannot parse run {path:?}: {e}")))?
         }
         (None, Some(name)) => {
             let spec = load_spec(name)?;
             simulate_run(&spec, &options)?
         }
         (None, None) => {
-            return Err(CliError::new("stats: need --run FILE or <SPEC> --edges N"));
+            return Err(RpqError::invalid(
+                "stats: need --run FILE or <SPEC> --edges N",
+            ));
         }
     };
     let s = RunStats::measure(&run);
     Ok(format!(
         "nodes: {}\nedges: {}\nparse-tree depth: {}\nlabel bytes: total {} / avg {:.1} / max {}\n",
-        s.n_nodes, s.n_edges, s.tree_depth, s.label_bytes_total, s.label_bytes_avg, s.label_bytes_max
+        s.n_nodes,
+        s.n_edges,
+        s.tree_depth,
+        s.label_bytes_total,
+        s.label_bytes_avg,
+        s.label_bytes_max
     ))
 }
 
@@ -298,7 +303,7 @@ fn cmd_stats(args: &[String]) -> Result<String, CliError> {
 mod tests {
     use super::*;
 
-    fn run(args: &[&str]) -> Result<String, CliError> {
+    fn run(args: &[&str]) -> Result<String, RpqError> {
         let owned: Vec<String> = args.iter().map(|s| (*s).to_owned()).collect();
         run_cli(&owned)
     }
@@ -344,6 +349,10 @@ mod tests {
         .unwrap();
         assert!(out.contains("c:1 -R-> b:1 : true"));
 
+        // Source star from a named node.
+        let out = run(&["query", "fig2", "_*", "--run", run_path, "--from", "c:1"]).unwrap();
+        assert!(out.contains("matches:"));
+
         // Stats over the same file.
         let out = run(&["stats", "--run", run_path]).unwrap();
         assert!(out.contains("parse-tree depth"));
@@ -356,6 +365,33 @@ mod tests {
     }
 
     #[test]
+    fn policies_are_selectable_and_agree() {
+        let mut outputs = Vec::new();
+        for policy in ["cost", "memo", "naive"] {
+            let out = run(&[
+                "query", "fig2", "_* a _*", "--edges", "80", "--seed", "3", "--policy", policy,
+            ])
+            .unwrap();
+            let matches = out
+                .lines()
+                .find(|l| l.starts_with("matches:"))
+                .expect("matches line")
+                .to_owned();
+            outputs.push(matches);
+        }
+        // All three policies answer identically.
+        assert_eq!(outputs[0], outputs[1]);
+        assert_eq!(outputs[0], outputs[2]);
+
+        let err = run(&["query", "fig2", "_*", "--policy", "fastest"]).unwrap_err();
+        let message = err.to_string();
+        assert!(
+            message.contains("cost") && message.contains("memo") && message.contains("naive"),
+            "error must list valid policies: {message}"
+        );
+    }
+
+    #[test]
     fn mismatched_run_and_spec_are_rejected() {
         let dir = std::env::temp_dir().join("rpq_cli_mismatch");
         std::fs::create_dir_all(&dir).unwrap();
@@ -363,20 +399,35 @@ mod tests {
         let run_path = run_path.to_str().unwrap();
         run(&["simulate", "bioaid", "--edges", "60", "--out", run_path]).unwrap();
         let err = run(&["query", "fig2", "_*", "--run", run_path]).unwrap_err();
-        assert!(err.message.contains("does not match"), "{}", err.message);
+        assert!(err.to_string().contains("does not match"), "{err}");
     }
 
     #[test]
     fn bad_inputs_are_reported() {
         assert!(run(&["query", "fig2", "((("]).is_err());
-        assert!(run(&["query", "fig2", "_*", "--from", "zz:9", "--to", "b:1"])
-            .unwrap_err()
-            .message
-            .contains("no node named"));
+        assert!(
+            run(&["query", "fig2", "_*", "--from", "zz:9", "--to", "b:1"])
+                .unwrap_err()
+                .to_string()
+                .contains("no node named")
+        );
         assert!(run(&["simulate", "fig2", "--edges", "NaN"]).is_err());
         assert!(run(&["simulate", "fig2", "--fork", "7"])
             .unwrap_err()
-            .message
+            .to_string()
             .contains("cycle"));
+    }
+
+    #[test]
+    fn error_variants_round_trip_through_display() {
+        // Parse errors surface as RpqError::Parse...
+        let err = run(&["query", "fig2", "((("]).unwrap_err();
+        assert!(matches!(err, RpqError::Parse(_)), "{err:?}");
+        // ...I/O errors as RpqError::Io with context...
+        let err = run(&["spec", "/definitely/not/here.json"]).unwrap_err();
+        assert!(matches!(err, RpqError::Io { .. }), "{err:?}");
+        // ...and usage problems as RpqError::Invalid.
+        let err = run(&["stats"]).unwrap_err();
+        assert!(matches!(err, RpqError::Invalid(_)), "{err:?}");
     }
 }

@@ -20,6 +20,19 @@
 //! * [`workloads`] — synthetic specifications matching the paper's
 //!   datasets, run simulation and query generators.
 //!
+//! ## The session API
+//!
+//! Queries are asked through a [`Session`](rpq_core::Session), the
+//! paper's *compile once, evaluate many* economics made explicit:
+//! [`Session::prepare`](rpq_core::Session::prepare) compiles a query
+//! (safety check, query-intersected grammar, decomposition) into a
+//! reusable [`PreparedQuery`](rpq_core::PreparedQuery), and
+//! [`Session::evaluate`](rpq_core::Session::evaluate) answers
+//! [`QueryRequest`](rpq_core::QueryRequest)s over any number of runs.
+//! The session caches compiled plans (by normalized regex) and per-run
+//! tag indexes, so neither is ever rebuilt. Every failure mode is the
+//! single [`RpqError`](rpq_core::RpqError) enum.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -31,15 +44,18 @@
 //! // Derive a labeled run (a provenance DAG).
 //! let run = RunBuilder::new(&spec).seed(42).target_edges(64).build().unwrap();
 //!
-//! // Parse the paper's query R3 = ⎵* e ⎵* and evaluate it.
-//! let engine = RpqEngine::new(&spec);
-//! let r3 = engine.parse_query("_* e _*").unwrap();
-//! let plan = engine.plan(&r3).unwrap();
-//! assert!(plan.is_safe());
+//! // Open a session and prepare the paper's query R3 = ⎵* e ⎵*.
+//! let session = Session::from_spec(spec);
+//! let r3 = session.prepare("_* e _*").unwrap();
+//! assert!(r3.is_safe());
 //!
+//! // Evaluate: all pairs over the whole run.
 //! let nodes: Vec<_> = run.node_ids().collect();
-//! let result = engine.all_pairs(&plan, &run, &nodes, &nodes);
-//! assert!(!result.is_empty());
+//! let outcome = session.evaluate(&r3, &run, &QueryRequest::all_pairs(nodes.clone(), nodes));
+//! assert!(!outcome.is_empty());
+//!
+//! // Pairwise answers decode two labels in constant time.
+//! assert!(session.pairwise(&r3, &run, run.entry(), run.exit()));
 //! ```
 
 pub mod cli;
@@ -56,7 +72,10 @@ pub use rpq_workloads as workloads;
 /// Convenience re-exports for the most common entry points.
 pub mod prelude {
     pub use rpq_automata::{Regex, Symbol};
-    pub use rpq_core::{QueryPlan, RpqEngine, SafeQueryPlan, SubqueryPolicy};
+    pub use rpq_core::{
+        PlanKind, PlanStats, PreparedQuery, QueryOutcome, QueryPlan, QueryRequest, QueryResult,
+        RpqError, SafeQueryPlan, Session, SessionStats, SubqueryPolicy,
+    };
     pub use rpq_grammar::{ModuleId, ProductionId, Specification, SpecificationBuilder, Tag};
     pub use rpq_labeling::{NodeId, Run, RunBuilder};
     pub use rpq_relalg::{NodePairSet, TagIndex};

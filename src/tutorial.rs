@@ -84,8 +84,10 @@
 //! ## 3. Safety decides the evaluation strategy
 //!
 //! A query is *safe* when every module's executions agree on the DFA
-//! state transitions between input and output. Safe queries get
-//! label-only plans; unsafe ones are decomposed:
+//! state transitions between input and output. Queries are prepared
+//! through a [`Session`](rpq_core::Session) — compiled once, cached by
+//! normalized regex, evaluated many times. Safe queries get label-only
+//! plans; unsafe ones are decomposed:
 //!
 //! ```
 //! # use rpq::prelude::*;
@@ -103,20 +105,22 @@
 //! # b.production("Loop", |w| { w.node("clean"); });
 //! # b.start("Pipeline");
 //! # let spec = b.build().unwrap();
-//! let engine = RpqEngine::new(&spec);
+//! let session = Session::from_spec(spec);
 //!
 //! // Every run crosses raw exactly once: ⎵* raw ⎵* is safe.
-//! let safe = engine.parse_query("_* raw _*").unwrap();
-//! assert!(engine.is_safe(&safe));
+//! let safe = session.prepare("_* raw _*").unwrap();
+//! assert!(safe.is_safe());
 //!
 //! // Whether a path crosses `pass` depends on the loop count chosen at
 //! // run time: ⎵* pass ⎵* is unsafe (the paper's Section III-C
 //! // situation), so the planner decomposes it.
-//! let unsafe_q = engine.parse_query("_* pass _*").unwrap();
-//! assert!(!engine.is_safe(&unsafe_q));
-//! let plan = engine.plan(&unsafe_q).unwrap();
-//! assert!(!plan.is_safe());
-//! assert!(plan.n_safe_subqueries() >= 1);
+//! let unsafe_q = session.prepare("_* pass _*").unwrap();
+//! assert!(!unsafe_q.is_safe());
+//! assert!(unsafe_q.stats().n_safe_subqueries >= 1);
+//!
+//! // Preparing either query again is a cache hit, not a recompile.
+//! session.prepare("_* raw _*").unwrap();
+//! assert_eq!(session.stats().plan_hits, 1);
 //! ```
 //!
 //! ## 4. Evaluation
@@ -141,28 +145,40 @@
 //! # b.production("Loop", |w| { w.node("clean"); });
 //! # b.start("Pipeline");
 //! # let spec = b.build().unwrap();
-//! # let engine = RpqEngine::new(&spec);
-//! let run = RunBuilder::new(&spec).seed(2).target_edges(128).build().unwrap();
+//! # let session = Session::from_spec(spec);
+//! let run = RunBuilder::new(session.spec()).seed(2).target_edges(128).build().unwrap();
 //!
 //! // pass+ : chains of loop iterations.
-//! let q = engine.parse_query("pass+").unwrap();
-//! let plan = engine.plan(&q).unwrap();
+//! let q = session.prepare("pass+").unwrap();
 //! let all: Vec<NodeId> = run.node_ids().collect();
-//! let pairs = engine.all_pairs(&plan, &run, &all, &all);
+//! let outcome = session.evaluate(&q, &run, &QueryRequest::all_pairs(all.clone(), all));
+//! let pairs = outcome.as_pairs().unwrap();
 //! assert!(!pairs.is_empty());
 //!
 //! // Every result is confirmed by the run's actual edges.
-//! let pass = spec.tag_by_name("pass").unwrap();
+//! let pass = session.spec().tag_by_name("pass").unwrap();
 //! for (u, v) in pairs.iter().take(5) {
 //!     assert_ne!(u, v);
 //!     let _ = (u, v, pass);
 //! }
+//!
+//! // Evaluation metadata records the strategy that ran, and a second
+//! // evaluation over the same run reuses the cached tag index.
+//! assert_eq!(outcome.meta.plan_kind, q.stats().kind);
+//! let again = session.evaluate(&q, &run, &QueryRequest::pairwise(run.entry(), run.exit()));
+//! use rpq::core::IndexCacheUse;
+//! assert!(matches!(
+//!     again.meta.index_cache,
+//!     IndexCacheUse::Hit | IndexCacheUse::NotNeeded
+//! ));
 //! ```
 //!
 //! ## 5. Where to go next
 //!
+//! * [`crate::core::session`] — the session API: plan cache, per-run
+//!   index cache, [`QueryRequest`](rpq_core::QueryRequest) modes;
 //! * [`crate::core::safety`] — the λ-matrix fixpoint behind
-//!   [`RpqEngine::is_safe`](rpq_core::RpqEngine::is_safe);
+//!   [`Session::is_safe`](rpq_core::Session::is_safe);
 //! * [`crate::core::plan`] — the decoder and its bridge factorization;
 //! * [`crate::core::cost`] — the cost model steering decomposed plans;
 //! * `crates/bench` — every figure of the paper as a benchmark;

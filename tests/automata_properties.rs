@@ -1,9 +1,7 @@
 //! Property tests for the automata substrate.
 
 use proptest::prelude::*;
-use rpq_automata::{
-    analysis, compile_minimal_dfa, minimize, parse, Dfa, Nfa, Regex, Symbol,
-};
+use rpq_automata::{analysis, compile_minimal_dfa, minimize, parse, Dfa, Nfa, Regex, Symbol};
 
 const N_SYMS: usize = 3;
 

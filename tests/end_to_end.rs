@@ -10,34 +10,35 @@ use rpq_workloads::{bioaid_like, paper_examples, qblast_like};
 fn fig2_full_pipeline() {
     let spec = paper_examples::fig2_spec();
     let run = paper_examples::fig2_run(&spec);
-    let engine = RpqEngine::new(&spec);
+    let session = Session::from_spec(spec);
 
     // The paper's safe query R3.
-    let r3 = engine.parse_query("_* e _*").unwrap();
-    assert!(engine.is_safe(&r3));
-    let plan = engine.plan(&r3).unwrap();
-    assert!(plan.is_safe());
+    let r3 = session.prepare("_* e _*").unwrap();
+    assert!(r3.is_safe());
 
-    let n = |s: &str| run.node_by_name(&spec, s).unwrap();
-    assert!(engine.pairwise(&plan, &run, n("c:1"), n("b:1")));
-    assert!(!engine.pairwise(&plan, &run, n("c:1"), n("b:3")));
+    let n = |s: &str| run.node_by_name(session.spec(), s).unwrap();
+    assert!(session.pairwise(&r3, &run, n("c:1"), n("b:1")));
+    assert!(!session.pairwise(&r3, &run, n("c:1"), n("b:3")));
 
     // The paper's unsafe query decomposes and still answers correctly.
-    let r4 = engine.parse_query("_* a _*").unwrap();
-    assert!(!engine.is_safe(&r4));
-    let plan4 = engine.plan(&r4).unwrap();
-    assert!(!plan4.is_safe());
-    assert!(engine.pairwise(&plan4, &run, n("c:1"), n("e:2")));
-    assert!(!engine.pairwise(&plan4, &run, n("e:1"), n("b:1")));
+    let r4 = session.prepare("_* a _*").unwrap();
+    assert!(!r4.is_safe());
+    assert!(session.pairwise(&r4, &run, n("c:1"), n("e:2")));
+    assert!(!session.pairwise(&r4, &run, n("e:1"), n("b:1")));
 }
 
 #[test]
 fn realistic_specs_answer_queries_consistently() {
     for realistic in [bioaid_like(), qblast_like()] {
-        let spec = &realistic.spec;
-        let engine = RpqEngine::new(spec);
-        let run = RunBuilder::new(spec).seed(5).target_edges(800).build().unwrap();
-        let index = engine.index(&run);
+        let name = realistic.name;
+        let session = Session::from_spec(realistic.spec);
+        let spec = session.spec();
+        let run = RunBuilder::new(spec)
+            .seed(5)
+            .target_edges(800)
+            .build()
+            .unwrap();
+        let (index, _) = session.index_for(&run);
         let nodes = rpq_workloads::runs::sample_nodes(&run, 60, 11);
 
         let mut qg = rpq_workloads::QueryGen::new(spec, 3);
@@ -47,9 +48,9 @@ fn realistic_specs_answer_queries_consistently() {
             let referee = Referee::new(&run, &dfa);
             let expected = referee.all_pairs(&nodes, &nodes);
 
-            let plan = engine.plan(&q).unwrap();
-            let got = engine.all_pairs_indexed(&plan, &run, &index, &nodes, &nodes);
-            assert_eq!(got, expected, "{} ifq k={k}", realistic.name);
+            let plan = session.prepare_regex(&q).unwrap();
+            let got = session.all_pairs(&plan, &run, &nodes, &nodes);
+            assert_eq!(got, expected, "{name} ifq k={k}");
 
             // Baselines agree too.
             let g1 = G1::new(&index);
@@ -60,24 +61,31 @@ fn realistic_specs_answer_queries_consistently() {
             let syms = rpq_baselines::ifq_symbols(&q).expect("IFQ shape");
             assert_eq!(g3.all_pairs(&syms, &nodes, &nodes), expected);
         }
+        // Four queries were evaluated over a single run: the tag index
+        // was built by `index_for` above and only ever reused after.
+        assert_eq!(session.stats().index_misses, 1, "{name}");
     }
 }
 
 #[test]
 fn s1_and_s2_agree_on_realistic_specs() {
     let realistic = bioaid_like();
-    let spec = &realistic.spec;
-    let engine = RpqEngine::new(spec);
-    let run = RunBuilder::new(spec).seed(2).target_edges(600).build().unwrap();
+    let session = Session::from_spec(realistic.spec);
+    let spec = session.spec();
+    let run = RunBuilder::new(spec)
+        .seed(2)
+        .target_edges(600)
+        .build()
+        .unwrap();
     let l1 = rpq_workloads::runs::sample_nodes(&run, 80, 1);
     let l2 = rpq_workloads::runs::sample_nodes(&run, 80, 2);
 
     // Reachability is always safe; compare S1, S2 and the pure
     // reachability merge.
-    let q = engine.parse_query("_*").unwrap();
-    let plan = engine.plan_safe(&q).unwrap();
-    let s1 = all_pairs_nested(&plan, &run, &l1, &l2);
-    let s2 = all_pairs_filtered(&plan, spec, &run, &l1, &l2);
+    let q = session.prepare("_*").unwrap();
+    let plan = q.safe_plan().expect("reachability is safe");
+    let s1 = all_pairs_nested(plan, &run, &l1, &l2);
+    let s2 = all_pairs_filtered(plan, spec, &run, &l1, &l2);
     let reach = all_pairs_reachability(spec, &run, &l1, &l2);
     assert_eq!(s1, s2);
     assert_eq!(s1, reach);
@@ -85,17 +93,14 @@ fn s1_and_s2_agree_on_realistic_specs() {
 
 #[test]
 fn kleene_star_over_fork_recursion() {
-    let spec = paper_examples::fork_spec();
-    let engine = RpqEngine::new(&spec);
-    let run = rpq_workloads::runs::simulate_fork(&spec, 0, 500, 3).unwrap();
-    let index = engine.index(&run);
+    let session = Session::from_spec(paper_examples::fork_spec());
+    let run = rpq_workloads::runs::simulate_fork(session.spec(), 0, 500, 3).unwrap();
 
-    let q = engine.parse_query("fork*").unwrap();
-    let plan = engine.plan(&q).unwrap();
+    let q = session.prepare("fork*").unwrap();
     let all: Vec<NodeId> = run.node_ids().collect();
-    let got = engine.all_pairs_indexed(&plan, &run, &index, &all, &all);
+    let got = session.all_pairs(&q, &run, &all, &all);
 
-    let dfa = rpq_automata::compile_minimal_dfa(&q, spec.n_tags());
+    let dfa = rpq_automata::compile_minimal_dfa(q.regex(), session.spec().n_tags());
     let referee = Referee::new(&run, &dfa);
     assert_eq!(got, referee.all_pairs(&all, &all));
     // The fork chain produces a quadratic-ish number of matches — the
@@ -115,9 +120,8 @@ fn serde_round_trip_spec_and_run() {
     assert_eq!(run.n_nodes(), run2.n_nodes());
     assert_eq!(run.edges(), run2.edges());
     // Labels survive the round trip and still decode.
-    let engine = RpqEngine::new(&spec2);
-    let q = engine.parse_query("_* e _*").unwrap();
-    let plan = engine.plan(&q).unwrap();
-    let n = |s: &str| run2.node_by_name(&spec2, s).unwrap();
-    assert!(engine.pairwise(&plan, &run2, n("c:1"), n("b:1")));
+    let session = Session::from_spec(spec2);
+    let q = session.prepare("_* e _*").unwrap();
+    let n = |s: &str| run2.node_by_name(session.spec(), s).unwrap();
+    assert!(session.pairwise(&q, &run2, n("c:1"), n("b:1")));
 }

@@ -52,12 +52,15 @@ fn check_subrun_interfaces(run: &Run) {
     for (id, node) in run.nodes() {
         let entries = node.label.entries();
         for depth in 0..entries.len() {
-            let ends_at_rec = depth > 0
-                && matches!(entries[depth - 1], rpq_labeling::LabelEntry::Rec { .. });
+            let ends_at_rec =
+                depth > 0 && matches!(entries[depth - 1], rpq_labeling::LabelEntry::Rec { .. });
             if ends_at_rec {
                 continue;
             }
-            groups.entry(entries[..depth].to_vec()).or_default().push(id);
+            groups
+                .entry(entries[..depth].to_vec())
+                .or_default()
+                .push(id);
         }
     }
     for (prefix, members) in groups {
@@ -65,10 +68,7 @@ fn check_subrun_interfaces(run: &Run) {
         let mut entries = 0usize;
         let mut exits = 0usize;
         for &m in &members {
-            let has_external_in = run
-                .in_edges(m)
-                .iter()
-                .any(|(src, _)| !set.contains(src))
+            let has_external_in = run.in_edges(m).iter().any(|(src, _)| !set.contains(src))
                 || run.in_edges(m).is_empty();
             let has_internal_in = run.in_edges(m).iter().any(|(src, _)| set.contains(src));
             if has_external_in {
@@ -78,10 +78,7 @@ fn check_subrun_interfaces(run: &Run) {
                 );
                 entries += 1;
             }
-            let has_external_out = run
-                .out_edges(m)
-                .iter()
-                .any(|(dst, _)| !set.contains(dst))
+            let has_external_out = run.out_edges(m).iter().any(|(dst, _)| !set.contains(dst))
                 || run.out_edges(m).is_empty();
             let has_internal_out = run.out_edges(m).iter().any(|(dst, _)| set.contains(dst));
             if has_external_out {

@@ -3,13 +3,13 @@
 
 use rpq_automata::compile_minimal_dfa;
 use rpq_baselines::Referee;
-use rpq_core::{all_pairs_filtered, RpqEngine};
+use rpq_core::{all_pairs_filtered, Session};
 use rpq_labeling::{NodeId, RunBuilder};
 use rpq_workloads::paper_examples::{three_phase_cycle_spec, two_phase_cycle_spec};
 use rpq_workloads::QueryGen;
 
 fn check_spec_against_referee(spec: &rpq_grammar::Specification, run_target: usize) {
-    let engine = RpqEngine::new(spec);
+    let session = Session::from_spec(spec.clone());
     for run_seed in [1u64, 2, 3] {
         let run = RunBuilder::new(spec)
             .seed(run_seed)
@@ -30,7 +30,7 @@ fn check_spec_against_referee(spec: &rpq_grammar::Specification, run_target: usi
         let mut n_safe = 0;
         for i in 0..24 {
             let q = if i < 4 { qg.ifq(i) } else { qg.random_query(4) };
-            let Ok(plan) = engine.plan_safe(&q) else {
+            let Ok(plan) = session.plan_safe(&q) else {
                 continue;
             };
             n_safe += 1;
@@ -72,12 +72,16 @@ fn very_deep_single_cycle() {
     // A single self-cycle unfolded thousands of times: the decoder must
     // jump over the chain with matrix powers, and still be exact.
     let spec = rpq_workloads::paper_examples::fig2_spec();
-    let engine = RpqEngine::new(&spec);
-    let run = RunBuilder::new(&spec).seed(9).target_edges(6000).build().unwrap();
+    let session = Session::from_spec(spec.clone());
+    let run = RunBuilder::new(&spec)
+        .seed(9)
+        .target_edges(6000)
+        .build()
+        .unwrap();
 
-    let q = engine.parse_query("_* e _*").unwrap();
-    let plan = engine.plan_safe(&q).unwrap();
-    let dfa = compile_minimal_dfa(&q, spec.n_tags());
+    let q = session.prepare("_* e _*").unwrap();
+    let plan = q.safe_plan().expect("R3 is safe for Fig. 2");
+    let dfa = compile_minimal_dfa(q.regex(), spec.n_tags());
     let referee = Referee::new(&run, &dfa);
 
     let doc = run.nodes_in_document_order();

@@ -10,7 +10,7 @@
 use proptest::prelude::*;
 use rpq_automata::compile_minimal_dfa;
 use rpq_baselines::{ifq_symbols, Referee, G1, G2, G3};
-use rpq_core::{all_pairs_filtered, all_pairs_nested, RpqEngine};
+use rpq_core::{all_pairs_filtered, all_pairs_nested, Session};
 use rpq_labeling::{NodeId, RunBuilder, UniformRandom};
 use rpq_relalg::TagIndex;
 use rpq_workloads::{synthetic, QueryGen, SynthParams};
@@ -18,13 +18,13 @@ use rpq_workloads::{synthetic, QueryGen, SynthParams};
 /// Strategy: small synthetic spec parameters.
 fn spec_params() -> impl Strategy<Value = SynthParams> {
     (
-        2usize..=5,   // composites
-        4usize..=10,  // atomics
-        0usize..=2,   // self cycles
-        0usize..=1,   // two cycles
-        3usize..=5,   // min body
-        0u64..5000,   // seed
-        0u32..=500,   // alt productions per mille
+        2usize..=5,  // composites
+        4usize..=10, // atomics
+        0usize..=2,  // self cycles
+        0usize..=1,  // two cycles
+        3usize..=5,  // min body
+        0u64..5000,  // seed
+        0u32..=500,  // alt productions per mille
     )
         .prop_filter_map(
             "recursion block must leave a start module",
@@ -69,8 +69,7 @@ proptest! {
             .target_edges(target)
             .build()
             .unwrap();
-        let engine = RpqEngine::new(spec);
-        let index = engine.index(&run);
+        let session = Session::from_spec(spec.clone());
         let all: Vec<NodeId> = run.node_ids().collect();
 
         let mut qg = QueryGen::new(spec, query_seed);
@@ -82,8 +81,8 @@ proptest! {
             }
             let referee = Referee::new(&run, &dfa);
             let expected = referee.all_pairs(&all, &all);
-            let plan = engine.plan(&q).unwrap();
-            let got = engine.all_pairs_indexed(&plan, &run, &index, &all, &all);
+            let plan = session.prepare_regex(&q).unwrap();
+            let got = session.all_pairs(&plan, &run, &all, &all);
             prop_assert_eq!(&got, &expected, "query {:?} safe={}", q, plan.is_safe());
         }
     }
@@ -103,14 +102,14 @@ proptest! {
             .target_edges(80)
             .build()
             .unwrap();
-        let engine = RpqEngine::new(spec);
+        let session = Session::from_spec(spec.clone());
         let all: Vec<NodeId> = run.node_ids().collect();
 
         let mut qg = QueryGen::new(spec, query_seed);
         let mut checked = 0;
         for _ in 0..12 {
             let q = qg.random_query(4);
-            let Ok(plan) = engine.plan_safe(&q) else { continue };
+            let Ok(plan) = session.plan_safe(&q) else { continue };
             checked += 1;
             let dfa = compile_minimal_dfa(&q, spec.n_tags());
             let referee = Referee::new(&run, &dfa);

@@ -3,13 +3,13 @@
 //! stand-ins must reproduce that, and the benchmark workloads rely on
 //! specific query classes being safe.
 
-use rpq_core::RpqEngine;
+use rpq_core::Session;
 use rpq_workloads::{bioaid_like, qblast_like, QueryGen};
 
 #[test]
 fn pool_tag_ifqs_are_safe_on_realistic_specs() {
     for real in [bioaid_like(), qblast_like()] {
-        let engine = RpqEngine::new(&real.spec);
+        let session = Session::from_spec(real.spec.clone());
         let mut qg = QueryGen::new(&real.spec, 17);
         for k in 0..=6usize {
             for i in 0..6 {
@@ -17,7 +17,7 @@ fn pool_tag_ifqs_are_safe_on_realistic_specs() {
                 // them are safe by construction.
                 let q = qg.ifq_over(&real.pool_tags, k);
                 assert!(
-                    engine.is_safe(&q),
+                    session.is_safe(&q),
                     "{}: pool IFQ k={k} #{i} unsafe",
                     real.name
                 );
@@ -28,7 +28,7 @@ fn pool_tag_ifqs_are_safe_on_realistic_specs() {
         let mut n_safe = 0;
         let total = 40;
         for _ in 0..total {
-            if engine.is_safe(&qg.ifq(3)) {
+            if session.is_safe(&qg.ifq(3)) {
                 n_safe += 1;
             }
         }
@@ -45,11 +45,11 @@ fn cycle_chain_star_is_safe() {
     // The Kleene-star workload a* (a = first cycle's chain tag) must be
     // safe so that RPL/optRPL evaluate it from labels (Fig. 13g/13h).
     for real in [bioaid_like(), qblast_like()] {
-        let engine = RpqEngine::new(&real.spec);
+        let session = Session::from_spec(real.spec.clone());
         let qg = QueryGen::new(&real.spec, 0);
         let q = qg.kleene_star(&real.cycle_tags[0]).expect("tag exists");
         assert!(
-            engine.is_safe(&q),
+            session.is_safe(&q),
             "{}: {}* should be safe",
             real.name,
             real.cycle_tags[0]
@@ -61,13 +61,13 @@ fn cycle_chain_star_is_safe() {
 fn most_random_queries_are_safe() {
     // Section V-E: "We observed that most of the queries are safe."
     for real in [bioaid_like(), qblast_like()] {
-        let engine = RpqEngine::new(&real.spec);
+        let session = Session::from_spec(real.spec.clone());
         let mut qg = QueryGen::new(&real.spec, 23);
         let mut n_safe = 0;
         let total = 60;
         for _ in 0..total {
             let q = qg.random_query(5);
-            if engine.is_safe(&q) {
+            if session.is_safe(&q) {
                 n_safe += 1;
             }
         }

@@ -1,0 +1,286 @@
+//! Coverage for the session-oriented prepared-query API: cache
+//! behavior, cross-run reuse, the unified error enum, and the
+//! star/reachable selection modes cross-checked against the
+//! brute-force product-construction referee.
+
+use rpq::prelude::*;
+use rpq_automata::compile_minimal_dfa;
+use rpq_baselines::Referee;
+use rpq_core::{IndexCacheUse, QueryRequest, RpqError};
+use rpq_labeling::RunBuilder;
+use rpq_workloads::paper_examples;
+
+#[test]
+fn plan_cache_counts_hits_and_misses() {
+    let session = Session::from_spec(paper_examples::fig2_spec());
+    assert_eq!(session.stats(), SessionStats::default());
+
+    let first = session.prepare("_* e _*").unwrap();
+    assert_eq!(session.stats().plan_misses, 1);
+    assert_eq!(session.stats().plan_hits, 0);
+
+    // Same query, different whitespace: the normalized regex is the key.
+    let second = session.prepare("_*   e   _*").unwrap();
+    assert_eq!(session.stats().plan_misses, 1);
+    assert_eq!(session.stats().plan_hits, 1);
+    assert_eq!(first.source(), second.source());
+
+    // A genuinely different query misses.
+    session.prepare("_* a _*").unwrap();
+    assert_eq!(session.stats().plan_misses, 2);
+
+    // A different policy for the same text is a distinct plan.
+    session
+        .prepare_with("_* e _*", SubqueryPolicy::AlwaysLabels)
+        .unwrap();
+    assert_eq!(session.stats().plan_misses, 3);
+    assert_eq!(session.stats().plan_hits, 1);
+}
+
+#[test]
+fn prepared_query_reuses_across_runs_without_recompiling() {
+    let session = Session::from_spec(paper_examples::fig2_spec());
+    let query = session.prepare("_* e _*").unwrap();
+    assert!(query.is_safe());
+
+    for seed in [1u64, 2, 3] {
+        let run = RunBuilder::new(session.spec())
+            .seed(seed)
+            .target_edges(120)
+            .build()
+            .unwrap();
+        let outcome = session.evaluate(
+            &query,
+            &run,
+            &QueryRequest::pairwise(run.entry(), run.exit()),
+        );
+        // Fig. 2 runs always cross an `e` edge on the entry→exit path
+        // only when W3 fired on that path; just require a verdict and
+        // cross-check it against the referee.
+        let dfa = compile_minimal_dfa(query.regex(), session.spec().n_tags());
+        let referee = Referee::new(&run, &dfa);
+        assert_eq!(
+            outcome.as_bool().unwrap(),
+            referee.pairwise(run.entry(), run.exit()),
+            "seed {seed}"
+        );
+    }
+    // Three distinct runs, one compile.
+    assert_eq!(session.stats().plan_misses, 1);
+    assert_eq!(session.stats().plan_hits, 0);
+}
+
+#[test]
+fn tag_index_is_built_once_per_run_across_queries() {
+    let session = Session::from_spec(paper_examples::fig2_spec());
+    let run = paper_examples::fig2_run(session.spec());
+    let all: Vec<NodeId> = run.node_ids().collect();
+
+    // Two *different* composite queries on the same run: the first
+    // evaluation builds the index, the second reuses it.
+    let q1 = session.prepare("_* a _*").unwrap();
+    let q2 = session.prepare("_* d _*").unwrap();
+    assert!(!q1.is_safe() && !q2.is_safe());
+
+    let o1 = session.evaluate(
+        &q1,
+        &run,
+        &QueryRequest::all_pairs(all.clone(), all.clone()),
+    );
+    assert_eq!(o1.meta.index_cache, IndexCacheUse::Miss);
+    let o2 = session.evaluate(
+        &q2,
+        &run,
+        &QueryRequest::all_pairs(all.clone(), all.clone()),
+    );
+    assert_eq!(o2.meta.index_cache, IndexCacheUse::Hit);
+    assert_eq!(session.stats().index_misses, 1);
+    assert_eq!(session.stats().index_hits, 1);
+
+    // A different run is a different cache entry...
+    let other = RunBuilder::new(session.spec())
+        .seed(8)
+        .target_edges(90)
+        .build()
+        .unwrap();
+    let o3 = session.evaluate(&q1, &other, &QueryRequest::all_pairs(all.clone(), all));
+    assert_eq!(o3.meta.index_cache, IndexCacheUse::Miss);
+    assert_eq!(session.stats().index_misses, 2);
+
+    // ...while a re-deserialized copy of the first run shares its entry
+    // (identity is structural, not by address).
+    let copy: rpq_labeling::Run =
+        serde_json::from_str(&serde_json::to_string(&run).unwrap()).unwrap();
+    let (_, usage) = session.index_for(&copy);
+    assert_eq!(usage, IndexCacheUse::Hit);
+}
+
+#[test]
+fn safe_queries_never_touch_the_index() {
+    let session = Session::from_spec(paper_examples::fig2_spec());
+    let run = paper_examples::fig2_run(session.spec());
+    let q = session.prepare("_* e _*").unwrap();
+    assert!(q.is_safe());
+    let all: Vec<NodeId> = run.node_ids().collect();
+    let outcome = session.evaluate(&q, &run, &QueryRequest::all_pairs(all.clone(), all));
+    assert_eq!(outcome.meta.index_cache, IndexCacheUse::NotNeeded);
+    assert_eq!(session.stats().index_misses, 0);
+    assert_eq!(session.stats().index_hits, 0);
+}
+
+#[test]
+fn rpq_error_converts_from_every_layer() {
+    let session = Session::from_spec(paper_examples::fig2_spec());
+
+    // Parse layer.
+    let err = session.prepare("(((").unwrap_err();
+    assert!(matches!(err, RpqError::Parse(_)), "{err:?}");
+    assert!(err.to_string().contains("parse"), "{err}");
+    assert!(std::error::Error::source(&err).is_some());
+
+    // Plan layer: strictly-safe compilation of an unsafe query.
+    let unsafe_q = session.parse("_* a _*").unwrap();
+    let err = session.plan_safe(&unsafe_q).unwrap_err();
+    assert!(matches!(err, RpqError::Plan(_)), "{err:?}");
+    assert!(err.to_string().contains("unsafe"), "{err}");
+
+    // Grammar layer: an invalid specification converts with `?`.
+    fn build_bad_spec() -> Result<Specification, RpqError> {
+        let mut b = SpecificationBuilder::new();
+        b.composite("S");
+        // No production for the start module: validation refuses.
+        b.start("S");
+        Ok(b.build()?)
+    }
+    let err = build_bad_spec().unwrap_err();
+    assert!(matches!(err, RpqError::Grammar(_)), "{err:?}");
+
+    // Run layer: derivation refuses non-strictly-linear recursion.
+    fn derive_bad_run() -> Result<rpq_labeling::Run, RpqError> {
+        let mut b = SpecificationBuilder::new();
+        b.atomic("t");
+        b.composite("S");
+        // Two recursive productions for one module: cycles share S.
+        b.production("S", |w| {
+            let x = w.node("t");
+            let s = w.node("S");
+            w.edge_named(x, s, "p");
+        });
+        b.production("S", |w| {
+            let s = w.node("S");
+            let y = w.node("t");
+            w.edge_named(s, y, "q");
+        });
+        b.production("S", |w| {
+            w.node("t");
+        });
+        b.start("S");
+        let spec = b.build().map_err(RpqError::from)?;
+        Ok(RunBuilder::new(&spec).seed(1).target_edges(30).build()?)
+    }
+    let err = derive_bad_run().unwrap_err();
+    assert!(matches!(err, RpqError::Run(_)), "{err:?}");
+
+    // I/O layer.
+    let io = std::fs::read_to_string("/definitely/not/a/file.json").unwrap_err();
+    let err = RpqError::from(io);
+    assert!(matches!(err, RpqError::Io { .. }), "{err:?}");
+}
+
+#[test]
+fn star_and_reachable_match_the_referee() {
+    for (spec, queries) in [
+        (
+            paper_examples::fig2_spec(),
+            vec!["_* e _*", "_* a _*", "a+"],
+        ),
+        (paper_examples::fork_spec(), vec!["fork*"]),
+    ] {
+        let session = Session::from_spec(spec);
+        let run = RunBuilder::new(session.spec())
+            .seed(4)
+            .target_edges(150)
+            .build()
+            .unwrap();
+        let all: Vec<NodeId> = run.node_ids().collect();
+
+        for text in queries {
+            let query = session.prepare(text).unwrap();
+            let dfa = compile_minimal_dfa(query.regex(), session.spec().n_tags());
+            let referee = Referee::new(&run, &dfa);
+
+            // Probe several sources/targets including entry and exit.
+            let probes: Vec<NodeId> = all.iter().step_by(all.len() / 8 + 1).copied().collect();
+            for &node in probes.iter().chain([run.entry(), run.exit()].iter()) {
+                let expected_from = referee.all_pairs(&[node], &all);
+                let star = session.evaluate(&query, &run, &QueryRequest::source_star(node));
+                assert_eq!(
+                    star.as_pairs().unwrap(),
+                    &expected_from,
+                    "{text}: source star of {node:?}"
+                );
+
+                let reach = session.evaluate(&query, &run, &QueryRequest::reachable(node));
+                let expected_nodes: Vec<NodeId> = expected_from.iter().map(|(_, v)| v).collect();
+                assert_eq!(
+                    reach.as_nodes().unwrap(),
+                    expected_nodes.as_slice(),
+                    "{text}: reachable from {node:?}"
+                );
+
+                let expected_to = referee.all_pairs(&all, &[node]);
+                let tstar = session.evaluate(&query, &run, &QueryRequest::target_star(node));
+                assert_eq!(
+                    tstar.as_pairs().unwrap(),
+                    &expected_to,
+                    "{text}: target star of {node:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn naive_policy_agrees_with_cost_and_memo() {
+    let session = Session::from_spec(paper_examples::fig2_spec());
+    let run = paper_examples::fig2_run(session.spec());
+    let all: Vec<NodeId> = run.node_ids().collect();
+
+    for text in ["_* a _*", "_* e _* a _*", "a+", "_* e _*"] {
+        let mut results = Vec::new();
+        for policy in [
+            SubqueryPolicy::CostBased,
+            SubqueryPolicy::AlwaysLabels,
+            SubqueryPolicy::AlwaysRelational,
+        ] {
+            let q = session.prepare_with(text, policy).unwrap();
+            results.push(session.all_pairs(&q, &run, &all, &all));
+        }
+        assert_eq!(results[0], results[1], "{text}: cost vs memo");
+        assert_eq!(results[0], results[2], "{text}: cost vs naive");
+    }
+}
+
+#[test]
+fn semantic_safety_is_policy_independent() {
+    let session = Session::from_spec(paper_examples::fig2_spec());
+
+    // R3 is safe (Definition 13); the naive policy plans it
+    // relationally but must not change the verdict.
+    let naive = session
+        .prepare_with("_* e _*", SubqueryPolicy::AlwaysRelational)
+        .unwrap();
+    assert!(naive.is_safe(), "R3 stays safe under the naive policy");
+    assert_eq!(naive.stats().kind, PlanKind::Composite);
+
+    let unsafe_naive = session
+        .prepare_with("_* a _*", SubqueryPolicy::AlwaysRelational)
+        .unwrap();
+    assert!(!unsafe_naive.is_safe());
+
+    // A safe single-symbol leaf is index-answered (composite plan) yet
+    // semantically safe: `b` appears on every entry→exit path of Fig. 2.
+    let leaf = session.prepare("b").unwrap();
+    assert_eq!(leaf.stats().kind, PlanKind::Composite);
+    assert_eq!(leaf.is_safe(), session.is_safe(leaf.regex()));
+}

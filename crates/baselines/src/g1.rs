@@ -11,7 +11,7 @@
 use rpq_automata::Regex;
 use rpq_grammar::Tag;
 use rpq_labeling::{NodeId, Run};
-use rpq_relalg::{compose, transitive_closure, NodePairSet, Relation, TagIndex};
+use rpq_relalg::{compose_in, transitive_closure_in, NodePairSet, Relation, TagIndex};
 
 /// G1 evaluator bound to one run (through its tag index).
 pub struct G1<'a> {
@@ -24,20 +24,25 @@ impl<'a> G1<'a> {
         G1 { index }
     }
 
-    /// Evaluate a regex bottom-up to its full relation.
+    /// Evaluate a regex bottom-up to its full relation. Joins and
+    /// fixpoints dispatch through the kernel-aware relalg operators
+    /// (the run's node count — stored on the index — bounds the
+    /// bitset universe), so G1 benefits from the bit-parallel kernel
+    /// exactly as the decomposed evaluator's unsafe remainders do.
     pub fn eval(&self, regex: &Regex) -> Relation {
+        let n_nodes = self.index.n_nodes();
         match regex {
             Regex::Empty => Relation::empty(),
             Regex::Epsilon => Relation::epsilon(),
             Regex::Sym(s) => Relation::from_pairs(self.index.edges(Tag(s.0)).clone()),
-            Regex::Wildcard => Relation::from_pairs(self.index.all_edges()),
+            Regex::Wildcard => Relation::from_pairs(self.index.all_edges().clone()),
             Regex::Concat(parts) => {
                 let mut rel = self.eval(&parts[0]);
                 for p in &parts[1..] {
                     if rel.pairs.is_empty() && !rel.identity {
                         return Relation::empty();
                     }
-                    rel = compose(&rel, &self.eval(p));
+                    rel = compose_in(&rel, &self.eval(p), n_nodes);
                 }
                 rel
             }
@@ -51,14 +56,14 @@ impl<'a> G1<'a> {
             Regex::Star(inner) => {
                 let base = self.eval(inner);
                 Relation {
-                    pairs: transitive_closure(&base.pairs),
+                    pairs: transitive_closure_in(&base.pairs, n_nodes),
                     identity: true,
                 }
             }
             Regex::Plus(inner) => {
                 let base = self.eval(inner);
                 Relation {
-                    pairs: transitive_closure(&base.pairs),
+                    pairs: transitive_closure_in(&base.pairs, n_nodes),
                     identity: base.identity,
                 }
             }
@@ -72,24 +77,11 @@ impl<'a> G1<'a> {
         }
     }
 
-    /// All-pairs over `l1 × l2`.
+    /// All-pairs over `l1 × l2`: one merge pass over the sorted
+    /// relation ([`Relation::select_pairs`]) instead of an
+    /// `|l1|·|l2|` membership product.
     pub fn all_pairs(&self, regex: &Regex, l1: &[NodeId], l2: &[NodeId]) -> NodePairSet {
-        let rel = self.eval(regex);
-        let mut l2s = l2.to_vec();
-        l2s.sort_unstable();
-        l2s.dedup();
-        let mut l1s = l1.to_vec();
-        l1s.sort_unstable();
-        l1s.dedup();
-        let mut out = Vec::new();
-        for &u in &l1s {
-            for &v in &l2s {
-                if rel.contains(u, v) {
-                    out.push((u, v));
-                }
-            }
-        }
-        NodePairSet::from_pairs(out)
+        self.eval(regex).select_pairs(l1, l2)
     }
 
     /// Pairwise query (evaluates the whole relation — G1 has no better

@@ -45,9 +45,8 @@ impl<'a> G2<'a> {
 
         let mut out: Vec<(NodeId, NodeId)> = Vec::new();
         if dfa.accepts_epsilon() {
-            let set2: std::collections::HashSet<NodeId> = l2s.iter().copied().collect();
             for &u in &l1s {
-                if set2.contains(&u) {
+                if l2s.binary_search(&u).is_ok() {
                     out.push((u, u));
                 }
             }
@@ -81,8 +80,8 @@ impl<'a> G2<'a> {
         l2: &[NodeId],
         out: &mut Vec<(NodeId, NodeId)>,
     ) {
-        let l1set: std::collections::HashSet<NodeId> = l1.iter().copied().collect();
-        let l2set: std::collections::HashSet<NodeId> = l2.iter().copied().collect();
+        // l1/l2 arrive sorted and deduplicated: candidate membership is
+        // a binary search, not a per-call hash set.
         let accepting = accepting_mask(dfa);
 
         for (x, y) in self.index.edges(Tag(rare.0)).iter() {
@@ -91,13 +90,13 @@ impl<'a> G2<'a> {
                 let q2 = dfa.next(q1, rare);
                 // Backward: sources u ∈ l1 with a path u → x driving the
                 // DFA from start to q1.
-                let sources = backward_sources(self.run, dfa, x, q1, &l1set);
+                let sources = backward_sources(self.run, dfa, x, q1, l1);
                 if sources.is_empty() {
                     continue;
                 }
                 // Forward: targets v ∈ l2 with a path y → v driving the
                 // DFA from q2 to acceptance.
-                let targets = forward_targets(self.run, dfa, y, q2, accepting, &l2set);
+                let targets = forward_targets(self.run, dfa, y, q2, accepting, l2);
                 for &u in &sources {
                     for &v in &targets {
                         out.push((u, v));
@@ -145,14 +144,14 @@ fn forward(run: &Run, dfa: &Dfa, u: NodeId) -> Vec<u64> {
     masks
 }
 
-/// Nodes `u ∈ candidates` that can reach `(x, q1)` starting from
-/// `(u, start)` — computed by a backward product search.
+/// Nodes `u ∈ candidates` (sorted) that can reach `(x, q1)` starting
+/// from `(u, start)` — computed by a backward product search.
 fn backward_sources(
     run: &Run,
     dfa: &Dfa,
     x: NodeId,
     q1: u32,
-    candidates: &std::collections::HashSet<NodeId>,
+    candidates: &[NodeId],
 ) -> Vec<NodeId> {
     let mut masks = vec![0u64; run.n_nodes()];
     masks[x.index()] |= 1 << q1;
@@ -175,14 +174,15 @@ fn backward_sources(
         .collect()
 }
 
-/// Nodes `v ∈ candidates` reachable from `(y, q2)` at an accepting state.
+/// Nodes `v ∈ candidates` (sorted) reachable from `(y, q2)` at an
+/// accepting state.
 fn forward_targets(
     run: &Run,
     dfa: &Dfa,
     y: NodeId,
     q2: u32,
     accepting: u64,
-    candidates: &std::collections::HashSet<NodeId>,
+    candidates: &[NodeId],
 ) -> Vec<NodeId> {
     let mut masks = vec![0u64; run.n_nodes()];
     masks[y.index()] |= 1 << q2;

@@ -100,16 +100,29 @@ impl<'a> G3<'a> {
         frontier.sort_unstable();
         frontier.dedup();
 
-        // Chain through the remaining symbols.
+        // Chain through the remaining symbols. Many frontier entries
+        // share their mid node, so probe the reachability labels once
+        // per distinct mid instead of once per (entry, edge).
         for s in &symbols[1..] {
             let edges = self.index.edges(Tag(s.0));
+            if edges.is_empty() {
+                return NodePairSet::new();
+            }
+            let mids = distinct_seconds(&frontier);
+            let hops: Vec<Vec<NodeId>> = mids
+                .iter()
+                .map(|&yi| {
+                    edges
+                        .iter()
+                        .filter(|&(x, _)| self.reach_eq(yi, x))
+                        .map(|(_, y)| y)
+                        .collect()
+                })
+                .collect();
             let mut next = Vec::new();
             for &(u, yi) in &frontier {
-                for (x, y) in edges.iter() {
-                    if self.reach_eq(yi, x) {
-                        next.push((u, y));
-                    }
-                }
+                let slot = mids.binary_search(&yi).expect("mid collected above");
+                next.extend(hops[slot].iter().map(|&y| (u, y)));
             }
             next.sort_unstable();
             next.dedup();
@@ -119,14 +132,21 @@ impl<'a> G3<'a> {
             }
         }
 
-        // Final stage: join to targets.
+        // Final stage: join to targets, again once per distinct end.
+        let ends = distinct_seconds(&frontier);
+        let closures: Vec<Vec<NodeId>> = ends
+            .iter()
+            .map(|&yk| {
+                l2s.iter()
+                    .copied()
+                    .filter(|&v| self.reach_eq(yk, v))
+                    .collect()
+            })
+            .collect();
         let mut out = Vec::new();
         for &(u, yk) in &frontier {
-            for &v in &l2s {
-                if self.reach_eq(yk, v) {
-                    out.push((u, v));
-                }
-            }
+            let slot = ends.binary_search(&yk).expect("end collected above");
+            out.extend(closures[slot].iter().map(|&v| (u, v)));
         }
         NodePairSet::from_pairs(out)
     }
@@ -164,6 +184,14 @@ impl<'a> G3<'a> {
         }
         frontier.iter().any(|&yk| self.reach_eq(yk, v))
     }
+}
+
+/// The sorted distinct second components of a sorted pair list.
+fn distinct_seconds(pairs: &[(NodeId, NodeId)]) -> Vec<NodeId> {
+    let mut out: Vec<NodeId> = pairs.iter().map(|&(_, y)| y).collect();
+    out.sort_unstable();
+    out.dedup();
+    out
 }
 
 #[cfg(test)]

@@ -1,0 +1,37 @@
+//! Pairs-vs-bits kernel micro-benchmarks: transitive closure and
+//! composition across run sizes (the Criterion face of
+//! `rpq_bench::kernelbench`; `repro -- relalg` records the same
+//! workloads into `BENCH_relalg.json`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rpq_bench::kernelbench::{layered_relation, random_relation};
+use rpq_relalg::{
+    compose_pairs_bits, compose_pairs_kernel, transitive_closure_bits, transitive_closure_pairs,
+};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("relalg_kernel");
+    group.sample_size(10);
+    for &n in &[128usize, 512, 2048] {
+        let base = layered_relation(n, (n / 16).max(2), 2, 0xC105 + n as u64);
+        group.bench_function(BenchmarkId::new("closure_pairs", n), |b| {
+            b.iter(|| std::hint::black_box(transitive_closure_pairs(&base)))
+        });
+        group.bench_function(BenchmarkId::new("closure_bits", n), |b| {
+            b.iter(|| std::hint::black_box(transitive_closure_bits(&base, n)))
+        });
+
+        let a = random_relation(n, 4 * n, 0xA11CE + n as u64);
+        let bb = random_relation(n, 4 * n, 0xB0B + n as u64);
+        group.bench_function(BenchmarkId::new("compose_pairs", n), |b| {
+            b.iter(|| std::hint::black_box(compose_pairs_kernel(&a, &bb)))
+        });
+        group.bench_function(BenchmarkId::new("compose_bits", n), |b| {
+            b.iter(|| std::hint::black_box(compose_pairs_bits(&a, &bb, n)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -64,4 +64,16 @@ fn main() {
     if want("fig15b") {
         println!("{}", experiments::fig15(&Dataset::qblast(), scale).render());
     }
+    if want("relalg") {
+        // Not a paper figure: the pairs-vs-bits kernel A/B of
+        // rpq-relalg, recorded as the repo's perf baseline.
+        let path = "BENCH_relalg.json";
+        match rpq_bench::kernelbench::run_and_record(scale == Scale::Full, path) {
+            Ok(table) => {
+                println!("{}", table.render());
+                println!("baseline written to {path}\n");
+            }
+            Err(e) => eprintln!("cannot write {path}: {e}"),
+        }
+    }
 }

@@ -1,0 +1,249 @@
+//! A/B measurement of the `rpq-relalg` kernels: sorted-pair/hash vs
+//! CSR + blocked-bitset, on transitive closure and composition.
+//!
+//! This is the source of `BENCH_relalg.json`, the recorded perf
+//! baseline the roadmap asks for: the `repro` binary (figure name
+//! `relalg`) prints the table and writes the JSON next to the working
+//! directory; `cargo bench -p rpq-bench --bench relalg_kernel` runs the
+//! same workloads under Criterion.
+
+use crate::timing::{fmt_secs, time_avg_secs, Table};
+use rpq_labeling::NodeId;
+use rpq_relalg::{
+    compose_pairs_bits, compose_pairs_kernel, transitive_closure_bits, transitive_closure_pairs,
+    NodePairSet,
+};
+
+/// SplitMix64 — deterministic workload generation without a rand dep.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A layered DAG over `n_nodes` nodes (`width` nodes per layer, each
+/// wired to `fanout` random nodes of the next layer) — the shape of
+/// fork-heavy provenance runs, whose closures are deep and dense.
+pub fn layered_relation(n_nodes: usize, width: usize, fanout: usize, seed: u64) -> NodePairSet {
+    let mut rng = seed;
+    let mut pairs = Vec::new();
+    let layers = n_nodes.div_ceil(width);
+    for layer in 0..layers.saturating_sub(1) {
+        let base = layer * width;
+        let next_base = (layer + 1) * width;
+        let next_width = width.min(n_nodes.saturating_sub(next_base));
+        if next_width == 0 {
+            break;
+        }
+        for u in base..(base + width).min(n_nodes) {
+            for _ in 0..fanout {
+                let v = next_base + (splitmix(&mut rng) as usize % next_width);
+                pairs.push((NodeId(u as u32), NodeId(v as u32)));
+            }
+        }
+    }
+    NodePairSet::from_pairs(pairs)
+}
+
+/// A uniformly random relation with `n_pairs` pairs over `n_nodes`.
+pub fn random_relation(n_nodes: usize, n_pairs: usize, seed: u64) -> NodePairSet {
+    let mut rng = seed;
+    let pairs = (0..n_pairs)
+        .map(|_| {
+            let u = splitmix(&mut rng) as usize % n_nodes;
+            let v = splitmix(&mut rng) as usize % n_nodes;
+            (NodeId(u as u32), NodeId(v as u32))
+        })
+        .collect();
+    NodePairSet::from_pairs(pairs)
+}
+
+/// One pairs-vs-bits timing.
+#[derive(Debug, Clone)]
+pub struct KernelMeasurement {
+    /// `transitive_closure` or `compose`.
+    pub op: &'static str,
+    /// Universe size.
+    pub n_nodes: usize,
+    /// Input pair count (left operand for compose).
+    pub n_pairs: usize,
+    /// Output pair count (both kernels agree; cross-checked).
+    pub out_pairs: usize,
+    /// Pair-kernel seconds per call.
+    pub pairs_secs: f64,
+    /// Bit-kernel seconds per call.
+    pub bits_secs: f64,
+}
+
+impl KernelMeasurement {
+    /// How many times faster the bit kernel ran.
+    pub fn speedup(&self) -> f64 {
+        self.pairs_secs / self.bits_secs.max(1e-12)
+    }
+}
+
+/// Run the kernel sweep. `full` widens the size range and the rep
+/// count (the `repro` default); quick mode still covers the ≥ 512-node
+/// sizes the acceptance bar measures.
+pub fn measure(full: bool) -> Vec<KernelMeasurement> {
+    let sizes: &[usize] = if full {
+        &[128, 512, 1024, 2048, 4096]
+    } else {
+        &[128, 512, 1024]
+    };
+    let reps = if full { 5 } else { 3 };
+    let mut out = Vec::new();
+
+    for &n in sizes {
+        // Closure over a fork-shaped layered DAG (width n/16, fanout 2).
+        let base = layered_relation(n, (n / 16).max(2), 2, 0xC105 + n as u64);
+        let referee = transitive_closure_pairs(&base);
+        let bits_result = transitive_closure_bits(&base, n);
+        assert_eq!(referee, bits_result, "kernels disagree on closure");
+        let pairs_secs = time_avg_secs(
+            || {
+                std::hint::black_box(transitive_closure_pairs(&base));
+            },
+            reps,
+        );
+        let bits_secs = time_avg_secs(
+            || {
+                std::hint::black_box(transitive_closure_bits(&base, n));
+            },
+            reps,
+        );
+        out.push(KernelMeasurement {
+            op: "transitive_closure",
+            n_nodes: n,
+            n_pairs: base.len(),
+            out_pairs: referee.len(),
+            pairs_secs,
+            bits_secs,
+        });
+
+        // Composition of two random relations of 4n pairs each.
+        let a = random_relation(n, 4 * n, 0xA11CE + n as u64);
+        let b = random_relation(n, 4 * n, 0xB0B + n as u64);
+        let referee = compose_pairs_kernel(&a, &b);
+        assert_eq!(
+            referee,
+            compose_pairs_bits(&a, &b, n),
+            "kernels disagree on compose"
+        );
+        let pairs_secs = time_avg_secs(
+            || {
+                std::hint::black_box(compose_pairs_kernel(&a, &b));
+            },
+            reps,
+        );
+        let bits_secs = time_avg_secs(
+            || {
+                std::hint::black_box(compose_pairs_bits(&a, &b, n));
+            },
+            reps,
+        );
+        out.push(KernelMeasurement {
+            op: "compose",
+            n_nodes: n,
+            n_pairs: a.len(),
+            out_pairs: referee.len(),
+            pairs_secs,
+            bits_secs,
+        });
+    }
+    out
+}
+
+/// Paper-style table of a sweep.
+pub fn table(measurements: &[KernelMeasurement]) -> Table {
+    let mut table = Table::new(
+        "relalg kernel A/B: pairs vs blocked bitsets",
+        &[
+            "op",
+            "nodes",
+            "in pairs",
+            "out pairs",
+            "pairs",
+            "bits",
+            "speedup",
+        ],
+    );
+    for m in measurements {
+        table.row(vec![
+            m.op.to_owned(),
+            format!("{}", m.n_nodes),
+            format!("{}", m.n_pairs),
+            format!("{}", m.out_pairs),
+            fmt_secs(m.pairs_secs),
+            fmt_secs(m.bits_secs),
+            format!("{:.1}x", m.speedup()),
+        ]);
+    }
+    table
+}
+
+/// The JSON baseline record (`BENCH_relalg.json`).
+pub fn to_json(measurements: &[KernelMeasurement]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"relalg_kernel\",\n  \"results\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"op\": \"{}\", \"n_nodes\": {}, \"n_pairs\": {}, \"out_pairs\": {}, \
+             \"pairs_secs\": {:.9}, \"bits_secs\": {:.9}, \"speedup\": {:.3}}}{}\n",
+            m.op,
+            m.n_nodes,
+            m.n_pairs,
+            m.out_pairs,
+            m.pairs_secs,
+            m.bits_secs,
+            m.speedup(),
+            if i + 1 < measurements.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Write the sweep to `path` and return the rendered table.
+pub fn run_and_record(full: bool, path: &str) -> std::io::Result<Table> {
+    let measurements = measure(full);
+    std::fs::write(path, to_json(&measurements))?;
+    Ok(table(&measurements))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic_and_bounded() {
+        let a = layered_relation(256, 16, 2, 7);
+        assert_eq!(a, layered_relation(256, 16, 2, 7));
+        assert!(a.iter().all(|(u, v)| u.index() < 256 && v.index() < 256));
+        let r = random_relation(100, 300, 7);
+        assert!(r.iter().all(|(u, v)| u.index() < 100 && v.index() < 100));
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn json_is_well_formed() {
+        let m = vec![
+            KernelMeasurement {
+                op: "compose",
+                n_nodes: 10,
+                n_pairs: 3,
+                out_pairs: 2,
+                pairs_secs: 1e-6,
+                bits_secs: 5e-7,
+            };
+            2
+        ];
+        let json = to_json(&m);
+        assert!(json.contains("\"speedup\": 2.000"));
+        // Balanced braces/brackets and a trailing-comma-free list.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(!json.contains(",\n  ]"));
+    }
+}

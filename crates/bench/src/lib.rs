@@ -18,6 +18,7 @@
 
 pub mod datasets;
 pub mod experiments;
+pub mod kernelbench;
 pub mod timing;
 
 pub use datasets::Dataset;

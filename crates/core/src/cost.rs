@@ -18,6 +18,16 @@
 use crate::general::PlanNode;
 use rpq_relalg::TagIndex;
 
+/// Modeled semi-naive rounds factor of the pair-kernel fixpoint: each
+/// closure pair is hashed, pushed, and re-sorted into the result.
+pub const PAIR_CLOSURE_FACTOR: f64 = 4.0;
+
+/// Modeled cost of one blocked-bitset word OR relative to one hashed
+/// pair touch: words are branch-free, sequential, and discover up to
+/// 64 pairs at once (see `rpq_relalg::kernel::HASH_OP_COST`).
+pub const WORD_VS_PAIR_DISCOUNT: f64 =
+    rpq_relalg::kernel::WORD_OP_COST / rpq_relalg::kernel::HASH_OP_COST;
+
 /// Cardinality estimator over one run.
 #[derive(Debug, Clone)]
 pub struct CostModel {
@@ -111,12 +121,38 @@ impl CostModel {
                 children.iter().map(|c| self.work_estimate(c)).sum::<f64>() + self.estimate(node)
             }
             PlanNode::Star(inner) | PlanNode::Plus(inner) => {
-                // Semi-naive closure work ~ result size × rounds; the
-                // closure estimate already folds in the expansion, so
-                // charge a small constant factor on top.
-                self.work_estimate(inner) + 4.0 * self.closure_estimate(self.estimate(inner))
+                self.work_estimate(inner) + self.closure_op_work(self.estimate(inner))
             }
             PlanNode::Optional(inner) => self.work_estimate(inner) + self.estimate(inner),
+        }
+    }
+
+    /// Work (in equivalent pair touches) of one transitive-closure
+    /// operator over a base relation of estimated size `base_est`.
+    ///
+    /// The pair kernel pays [`PAIR_CLOSURE_FACTOR`] per closure pair
+    /// (hash + re-sort); the bit kernel pays one `⌈n/64⌉`-word row OR
+    /// per closure pair plus the pair↔bitset conversions, each word
+    /// discounted by [`WORD_VS_PAIR_DISCOUNT`]. The dispatcher in
+    /// `rpq_relalg::kernel` picks the cheaper kernel at evaluation
+    /// time, so the model charges the minimum of the two under auto
+    /// mode — and the forced kernel's cost under an override, keeping
+    /// the cost-based policy honest in `--kernel` A/B runs.
+    pub fn closure_op_work(&self, base_est: f64) -> f64 {
+        let closure = self.closure_estimate(base_est);
+        let pair_work = PAIR_CLOSURE_FACTOR * closure;
+        if !rpq_relalg::kernel::bits_representable(self.n_nodes as usize) {
+            return pair_work;
+        }
+        let wpr = (self.n_nodes / 64.0).ceil().max(1.0);
+        let bit_work = WORD_VS_PAIR_DISCOUNT * wpr * (closure + 3.0 * self.n_nodes);
+        // Under a forced mode, charge the kernel that will actually
+        // run — the auto minimum would mislead the policy choice in
+        // `--kernel pairs` A/B runs.
+        match rpq_relalg::kernel_mode() {
+            rpq_relalg::KernelMode::ForcePairs => pair_work,
+            rpq_relalg::KernelMode::ForceBits => bit_work,
+            rpq_relalg::KernelMode::Auto => pair_work.min(bit_work),
         }
     }
 

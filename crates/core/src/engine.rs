@@ -7,7 +7,11 @@
 //! / [`crate::QueryRequest`]) replaces it with *compile once, evaluate
 //! many* semantics and shared caches; this type remains only as a thin
 //! deprecated shim over the same planner and evaluators, preserving
-//! the original per-call cost model (no hidden caches, no clones).
+//! the original per-call cost model (no hidden caches, no clones —
+//! in particular, no per-run CSR arena: composite evaluation through
+//! this shim still dispatches to the kernel-aware join/fixpoint
+//! operators of `rpq-relalg`, but rebuilds adjacency from pair sets
+//! on every call where a session would reuse its cached `CsrIndex`).
 
 #![allow(deprecated)]
 

@@ -14,7 +14,10 @@ use crate::plan::{PlanError, SafeQueryPlan};
 use rpq_automata::{compile_minimal_dfa, Regex};
 use rpq_grammar::{Specification, Tag};
 use rpq_labeling::{NodeId, Run};
-use rpq_relalg::{compose, transitive_closure, NodePairSet, Relation, TagIndex};
+use rpq_relalg::{
+    compose_in, transitive_closure_csr, transitive_closure_in, CsrIndex, NodePairSet, Relation,
+    TagIndex,
+};
 
 /// How safe subqueries inside a decomposed plan are evaluated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -269,21 +272,38 @@ fn plan_concat_segments(spec: &Specification, parts: &[Regex]) -> Result<Vec<Pla
     Ok(nodes)
 }
 
+/// Everything a composite-plan evaluation ranges over: the compiled
+/// context (specification), the run with its cached indexes, and the
+/// evaluation policy. Bundling these keeps the recursive evaluators'
+/// signatures flat and lets sessions hand down their cached
+/// [`CsrIndex`] arena without widening every call site.
+#[derive(Clone, Copy)]
+pub struct EvalCtx<'a> {
+    /// The workflow specification the plan was compiled against.
+    pub spec: &'a Specification,
+    /// The run under query.
+    pub run: &'a Run,
+    /// The run's per-tag inverted index.
+    pub index: &'a TagIndex,
+    /// The run's CSR adjacency arena, when the caller has one cached
+    /// (sessions do); closures over index leaves then skip the
+    /// pair→CSR conversion.
+    pub csr: Option<&'a CsrIndex>,
+    /// The candidate universe for safe subqueries.
+    pub universe: &'a [NodeId],
+    /// The subquery-evaluation policy.
+    pub policy: SubqueryPolicy,
+}
+
 /// Evaluate a composite plan node to a relation over the run.
-pub fn eval_node(
-    node: &PlanNode,
-    spec: &Specification,
-    run: &Run,
-    index: &TagIndex,
-    universe: &[NodeId],
-    policy: SubqueryPolicy,
-) -> Relation {
+pub fn eval_node(node: &PlanNode, ctx: &EvalCtx<'_>) -> Relation {
+    let n_nodes = ctx.run.n_nodes();
     match node {
         PlanNode::SafeEval(plan, regex) => {
             // Naive plans contain no SafeEval nodes, but stay total in
             // case one is composed by hand.
-            if policy == SubqueryPolicy::AlwaysRelational {
-                return eval_node(&relational_node(regex), spec, run, index, universe, policy);
+            if ctx.policy == SubqueryPolicy::AlwaysRelational {
+                return eval_node(&relational_node(regex), ctx);
             }
             // Cost-based evaluator choice (the optimizer the paper's
             // conclusion sketches): the label-based merge touches every
@@ -291,15 +311,15 @@ pub fn eval_node(
             // subquery's relational work estimate is far below that,
             // plain joins win — e.g. a selective symbol chain on a large
             // run.
-            if policy == SubqueryPolicy::CostBased {
-                let model = crate::cost::CostModel::new(index, run.n_nodes());
+            if ctx.policy == SubqueryPolicy::CostBased {
+                let model = crate::cost::CostModel::new(ctx.index, n_nodes);
                 let rel_node = relational_node(regex);
-                let n = run.n_nodes() as f64;
+                let n = n_nodes as f64;
                 if model.work_estimate(&rel_node) < n * n / 16.0 {
-                    return eval_node(&rel_node, spec, run, index, universe, policy);
+                    return eval_node(&rel_node, ctx);
                 }
             }
-            let pairs = all_pairs_filtered(plan, spec, run, universe, universe);
+            let pairs = all_pairs_filtered(plan, ctx.spec, ctx.run, ctx.universe, ctx.universe);
             // ε acceptance is already reflected in the self pairs the
             // safe evaluator emits; strip them back out into the
             // symbolic identity so downstream composition stays sparse.
@@ -313,65 +333,120 @@ pub fn eval_node(
                 Relation::from_pairs(pairs)
             }
         }
-        PlanNode::Sym(tag) => Relation::from_pairs(index.edges(*tag).clone()),
-        PlanNode::Wildcard => Relation::from_pairs(index.all_edges()),
+        PlanNode::Sym(tag) => Relation::from_pairs(ctx.index.edges(*tag).clone()),
+        PlanNode::Wildcard => Relation::from_pairs(ctx.index.all_edges().clone()),
         PlanNode::Epsilon => Relation::epsilon(),
         PlanNode::Empty => Relation::empty(),
         PlanNode::Concat(children) => {
             if children.len() <= 2 {
-                let mut rel = eval_node(&children[0], spec, run, index, universe, policy);
+                let mut rel = eval_node(&children[0], ctx);
                 for c in &children[1..] {
                     if rel.pairs.is_empty() && !rel.identity {
                         return Relation::empty();
                     }
-                    rel = compose(&rel, &eval_node(c, spec, run, index, universe, policy));
+                    rel = compose_in(&rel, &eval_node(c, ctx), n_nodes);
                 }
                 return rel;
             }
             // Associate the chain by estimated intermediate sizes (the
             // paper's cost-model future work; see `cost`).
-            let model = crate::cost::CostModel::new(index, run.n_nodes());
+            let model = crate::cost::CostModel::new(ctx.index, n_nodes);
             let sizes: Vec<f64> = children.iter().map(|c| model.estimate(c)).collect();
             let order = model.chain_order(&sizes);
-            eval_chain(
-                children,
-                &order,
-                0,
-                children.len() - 1,
-                spec,
-                run,
-                index,
-                universe,
-                policy,
-            )
+            eval_chain(children, &order, 0, children.len() - 1, ctx)
         }
         PlanNode::Alt(children) => {
             let mut rel = Relation::empty();
             for c in children {
-                rel = rel.union(&eval_node(c, spec, run, index, universe, policy));
+                rel = rel.union(&eval_node(c, ctx));
             }
             rel
         }
-        PlanNode::Star(inner) => {
-            let base = eval_node(inner, spec, run, index, universe, policy);
-            Relation {
-                pairs: transitive_closure(&base.pairs),
-                identity: true,
-            }
-        }
+        PlanNode::Star(inner) => Relation {
+            pairs: closure_of(inner, ctx),
+            identity: true,
+        },
         PlanNode::Plus(inner) => {
-            let base = eval_node(inner, spec, run, index, universe, policy);
-            Relation {
-                pairs: transitive_closure(&base.pairs),
-                identity: base.identity,
+            // Index leaves never carry identity, so the CSR shortcut in
+            // `closure_of` preserves Plus semantics; for general inner
+            // nodes the identity of the base must survive.
+            match inner.as_ref() {
+                PlanNode::Sym(_) | PlanNode::Wildcard => Relation {
+                    pairs: closure_of(inner, ctx),
+                    identity: false,
+                },
+                _ => {
+                    let base = eval_node(inner, ctx);
+                    Relation {
+                        pairs: transitive_closure_in(&base.pairs, n_nodes),
+                        identity: base.identity,
+                    }
+                }
             }
         }
         PlanNode::Optional(inner) => {
-            let base = eval_node(inner, spec, run, index, universe, policy);
+            let base = eval_node(inner, ctx);
             Relation {
                 pairs: base.pairs,
                 identity: true,
             }
+        }
+    }
+}
+
+/// Does the plan contain a Kleene closure over a bare index leaf — the
+/// only construct that reads a cached [`CsrIndex`]? Sessions skip
+/// building the arena for plans that can never consume it. Safe
+/// subtrees count when the policy may lower them to relational form at
+/// evaluation time (the cost-based fallback), since the lowered shape
+/// can contain leaf closures of its own.
+pub fn plan_uses_csr(plan: &QueryPlan) -> bool {
+    match plan {
+        QueryPlan::Safe(_) => false,
+        QueryPlan::Composite(node, policy) => node_uses_csr(node, *policy),
+    }
+}
+
+fn node_uses_csr(node: &PlanNode, policy: SubqueryPolicy) -> bool {
+    match node {
+        PlanNode::SafeEval(_, regex) => {
+            policy != SubqueryPolicy::AlwaysLabels && regex_uses_csr(regex)
+        }
+        PlanNode::Star(inner) | PlanNode::Plus(inner) => {
+            matches!(inner.as_ref(), PlanNode::Sym(_) | PlanNode::Wildcard)
+                || node_uses_csr(inner, policy)
+        }
+        PlanNode::Optional(inner) => node_uses_csr(inner, policy),
+        PlanNode::Concat(cs) | PlanNode::Alt(cs) => cs.iter().any(|c| node_uses_csr(c, policy)),
+        _ => false,
+    }
+}
+
+/// Would the relational lowering of `re` contain a closure over an
+/// index leaf? Mirrors [`relational_node`] without building the tree.
+fn regex_uses_csr(re: &Regex) -> bool {
+    match re {
+        Regex::Star(inner) | Regex::Plus(inner) => {
+            matches!(inner.as_ref(), Regex::Sym(_) | Regex::Wildcard) || regex_uses_csr(inner)
+        }
+        Regex::Optional(inner) => regex_uses_csr(inner),
+        Regex::Concat(ps) | Regex::Alt(ps) => ps.iter().any(regex_uses_csr),
+        _ => false,
+    }
+}
+
+/// The transitive closure of a plan node's relation. Closures over
+/// bare index leaves (`a*`, `⎵*` remainders) run straight off the
+/// session's cached CSR arena when one is available — the headline
+/// fixpoint path — and fall back to evaluating the node and closing
+/// its pair set otherwise.
+fn closure_of(inner: &PlanNode, ctx: &EvalCtx<'_>) -> NodePairSet {
+    match (inner, ctx.csr) {
+        (PlanNode::Sym(tag), Some(csr)) => transitive_closure_csr(csr.csr(*tag)),
+        (PlanNode::Wildcard, Some(csr)) => transitive_closure_csr(csr.all()),
+        _ => {
+            let base = eval_node(inner, ctx);
+            transitive_closure_in(&base.pairs, ctx.run.n_nodes())
         }
     }
 }
@@ -394,38 +469,23 @@ pub fn relational_node(regex: &Regex) -> PlanNode {
 
 /// Evaluate a concatenation segment `i..=j` in the association order the
 /// cost model chose.
-#[allow(clippy::too_many_arguments)]
 fn eval_chain(
     children: &[PlanNode],
     order: &crate::cost::ChainOrder,
     i: usize,
     j: usize,
-    spec: &Specification,
-    run: &Run,
-    index: &TagIndex,
-    universe: &[NodeId],
-    policy: SubqueryPolicy,
+    ctx: &EvalCtx<'_>,
 ) -> Relation {
     if i == j {
-        return eval_node(&children[i], spec, run, index, universe, policy);
+        return eval_node(&children[i], ctx);
     }
     let k = order.split_of(i, j);
-    let left = eval_chain(children, order, i, k, spec, run, index, universe, policy);
+    let left = eval_chain(children, order, i, k, ctx);
     if left.pairs.is_empty() && !left.identity {
         return Relation::empty();
     }
-    let right = eval_chain(
-        children,
-        order,
-        k + 1,
-        j,
-        spec,
-        run,
-        index,
-        universe,
-        policy,
-    );
-    compose(&left, &right)
+    let right = eval_chain(children, order, k + 1, j, ctx);
+    compose_in(&left, &right, ctx.run.n_nodes())
 }
 
 /// Evaluate a full query plan as an all-pairs query over `l1 × l2`.
@@ -437,23 +497,33 @@ pub fn all_pairs(
     l1: &[NodeId],
     l2: &[NodeId],
 ) -> NodePairSet {
+    all_pairs_csr(plan, spec, run, index, None, l1, l2)
+}
+
+/// [`all_pairs`] with an optional cached CSR arena (the session entry
+/// point).
+pub fn all_pairs_csr(
+    plan: &QueryPlan,
+    spec: &Specification,
+    run: &Run,
+    index: &TagIndex,
+    csr: Option<&CsrIndex>,
+    l1: &[NodeId],
+    l2: &[NodeId],
+) -> NodePairSet {
     match plan {
         QueryPlan::Safe(p) => all_pairs_filtered(p, spec, run, l1, l2),
         QueryPlan::Composite(node, policy) => {
             let universe: Vec<NodeId> = run.node_ids().collect();
-            let rel = eval_node(node, spec, run, index, &universe, *policy);
-            let mut l2sorted = l2.to_vec();
-            l2sorted.sort_unstable();
-            l2sorted.dedup();
-            let mut out = Vec::new();
-            for &u in l1 {
-                for &v in &l2sorted {
-                    if rel.contains(u, v) {
-                        out.push((u, v));
-                    }
-                }
-            }
-            NodePairSet::from_pairs(out)
+            let ctx = EvalCtx {
+                spec,
+                run,
+                index,
+                csr,
+                universe: &universe,
+                policy: *policy,
+            };
+            eval_node(node, &ctx).select_pairs(l1, l2)
         }
     }
 }
@@ -467,11 +537,33 @@ pub fn pairwise(
     u: NodeId,
     v: NodeId,
 ) -> bool {
+    pairwise_csr(plan, spec, run, index, None, u, v)
+}
+
+/// [`pairwise`] with an optional cached CSR arena (the session entry
+/// point).
+pub fn pairwise_csr(
+    plan: &QueryPlan,
+    spec: &Specification,
+    run: &Run,
+    index: &TagIndex,
+    csr: Option<&CsrIndex>,
+    u: NodeId,
+    v: NodeId,
+) -> bool {
     match plan {
         QueryPlan::Safe(p) => p.pairwise(run, u, v),
         QueryPlan::Composite(node, policy) => {
             let universe: Vec<NodeId> = run.node_ids().collect();
-            eval_node(node, spec, run, index, &universe, *policy).contains(u, v)
+            let ctx = EvalCtx {
+                spec,
+                run,
+                index,
+                csr,
+                universe: &universe,
+                policy: *policy,
+            };
+            eval_node(node, &ctx).contains(u, v)
         }
     }
 }

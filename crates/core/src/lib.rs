@@ -42,8 +42,8 @@ pub use cost::{ChainOrder, CostModel};
 pub use engine::RpqEngine;
 pub use error::RpqError;
 pub use general::{
-    all_pairs, eval_node, pairwise, plan_query, plan_query_with, relational_node, PlanNode,
-    QueryPlan, SubqueryPolicy,
+    all_pairs, all_pairs_csr, eval_node, pairwise, pairwise_csr, plan_query, plan_query_with,
+    relational_node, EvalCtx, PlanNode, QueryPlan, SubqueryPolicy,
 };
 pub use matrix::StateMatrix;
 pub use plan::{PlanError, SafeQueryPlan};

@@ -78,6 +78,11 @@ pub struct EvalMeta {
     pub plan_kind: PlanKind,
     /// Per-run tag-index cache interaction.
     pub index_cache: IndexCacheUse,
+    /// The relational kernel mode in force during the evaluation
+    /// (`auto` dispatches per operator on density; `pairs`/`bits` are
+    /// the A/B overrides — see `rpq_relalg::kernel`). Safe plans never
+    /// touch the relational kernels regardless.
+    pub kernel: rpq_relalg::KernelMode,
     /// Candidate nodes the request ranged over (2 for pairwise,
     /// `|l1| + |l2|` for list modes).
     pub nodes_touched: usize,

@@ -60,7 +60,7 @@ use crate::request::{EvalMeta, IndexCacheUse, PlanKind, QueryOutcome, QueryReque
 use rpq_automata::{compile_minimal_dfa, parse, Regex, Symbol};
 use rpq_grammar::Specification;
 use rpq_labeling::{NodeId, Run};
-use rpq_relalg::{NodePairSet, TagIndex};
+use rpq_relalg::{CsrIndex, NodePairSet, TagIndex};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -164,6 +164,10 @@ pub struct SessionStats {
     pub index_hits: u64,
     /// Evaluations that had to build a tag index.
     pub index_misses: u64,
+    /// Evaluations that found their run's CSR arena cached.
+    pub csr_hits: u64,
+    /// Evaluations that had to build a CSR arena.
+    pub csr_misses: u64,
 }
 
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -185,10 +189,16 @@ pub struct Session {
     spec: Arc<Specification>,
     plans: Mutex<HashMap<PlanKey, PreparedQuery>>,
     indexes: Mutex<HashMap<RunKey, Arc<TagIndex>>>,
+    /// CSR adjacency arenas (per-tag + wildcard), cached per run beside
+    /// the tag indexes: composite evaluations feed them to the
+    /// bit-parallel join/fixpoint kernel of `rpq-relalg`.
+    csrs: Mutex<HashMap<RunKey, Arc<CsrIndex>>>,
     plan_hits: AtomicU64,
     plan_misses: AtomicU64,
     index_hits: AtomicU64,
     index_misses: AtomicU64,
+    csr_hits: AtomicU64,
+    csr_misses: AtomicU64,
 }
 
 /// Run identity for the index cache: the run's 128-bit structural
@@ -212,10 +222,13 @@ impl Session {
             spec,
             plans: Mutex::new(HashMap::new()),
             indexes: Mutex::new(HashMap::new()),
+            csrs: Mutex::new(HashMap::new()),
             plan_hits: AtomicU64::new(0),
             plan_misses: AtomicU64::new(0),
             index_hits: AtomicU64::new(0),
             index_misses: AtomicU64::new(0),
+            csr_hits: AtomicU64::new(0),
+            csr_misses: AtomicU64::new(0),
         }
     }
 
@@ -241,6 +254,8 @@ impl Session {
             plan_misses: self.plan_misses.load(Ordering::Relaxed),
             index_hits: self.index_hits.load(Ordering::Relaxed),
             index_misses: self.index_misses.load(Ordering::Relaxed),
+            csr_hits: self.csr_hits.load(Ordering::Relaxed),
+            csr_misses: self.csr_misses.load(Ordering::Relaxed),
         }
     }
 
@@ -387,10 +402,66 @@ impl Session {
         (Arc::clone(entry), IndexCacheUse::Miss)
     }
 
-    /// Evict cached per-run indexes (e.g. after discarding a batch of
-    /// runs); prepared plans are kept.
+    /// The cached per-run CSR adjacency arena, building it (and the tag
+    /// index it derives from) on first sight of the run. Returns the
+    /// arena and whether the cache hit.
+    pub fn csr_for(&self, run: &Run) -> (Arc<CsrIndex>, IndexCacheUse) {
+        let key = run_key(run);
+        if let Some(csr) = self.csrs.lock().expect("csr cache lock").get(&key) {
+            self.csr_hits.fetch_add(1, Ordering::Relaxed);
+            return (Arc::clone(csr), IndexCacheUse::Hit);
+        }
+        let (index, _) = self.index_for(run);
+        self.csr_build(key, &index)
+    }
+
+    /// [`Session::csr_for`] when the caller already fetched the run's
+    /// tag index — avoids a second index-cache interaction (and a
+    /// second hit in the counters) per evaluation.
+    fn csr_with(&self, run: &Run, index: &TagIndex) -> (Arc<CsrIndex>, IndexCacheUse) {
+        let key = run_key(run);
+        if let Some(csr) = self.csrs.lock().expect("csr cache lock").get(&key) {
+            self.csr_hits.fetch_add(1, Ordering::Relaxed);
+            return (Arc::clone(csr), IndexCacheUse::Hit);
+        }
+        self.csr_build(key, index)
+    }
+
+    /// The cached CSR arena when `plan` can consume it (it contains a
+    /// closure over an index leaf) and the kernel dispatch can take the
+    /// bit path for this run; `None` otherwise — forced-pairs A/B runs,
+    /// closure-free plans and universes past the bit-kernel memory
+    /// guard never pay the arena build.
+    fn csr_if_useful(
+        &self,
+        run: &Run,
+        index: &TagIndex,
+        plan: &QueryPlan,
+    ) -> Option<Arc<CsrIndex>> {
+        if rpq_relalg::kernel_mode() == rpq_relalg::KernelMode::ForcePairs
+            || !rpq_relalg::kernel::bits_representable(run.n_nodes())
+            || !general::plan_uses_csr(plan)
+        {
+            return None;
+        }
+        Some(self.csr_with(run, index).0)
+    }
+
+    fn csr_build(&self, key: RunKey, index: &TagIndex) -> (Arc<CsrIndex>, IndexCacheUse) {
+        let built = Arc::new(CsrIndex::build(index));
+        // As with plans and indexes: this call built an arena, so it
+        // reports (and counts) a miss even when it loses an insert race.
+        self.csr_misses.fetch_add(1, Ordering::Relaxed);
+        let mut csrs = self.csrs.lock().expect("csr cache lock");
+        let entry = csrs.entry(key).or_insert(built);
+        (Arc::clone(entry), IndexCacheUse::Miss)
+    }
+
+    /// Evict cached per-run indexes and CSR arenas (e.g. after
+    /// discarding a batch of runs); prepared plans are kept.
     pub fn clear_run_cache(&self) {
         self.indexes.lock().expect("index cache lock").clear();
+        self.csrs.lock().expect("csr cache lock").clear();
     }
 
     /// Answer `request` for `query` over `run`.
@@ -407,47 +478,51 @@ impl Session {
         let plan = &query.inner.plan;
         let kind = query.inner.stats.kind;
         // Composite evaluation needs the per-run index; safe plans
-        // decode labels only.
-        let (index, index_cache) = match plan {
-            QueryPlan::Safe(_) => (None, IndexCacheUse::NotNeeded),
+        // decode labels only. The CSR arena rides along only when the
+        // plan actually closes over an index leaf and the kernel mode
+        // allows the bit path — never pay the build for dead weight.
+        let (index, csr, index_cache) = match plan {
+            QueryPlan::Safe(_) => (None, None, IndexCacheUse::NotNeeded),
             QueryPlan::Composite(..) => {
                 let (index, usage) = self.index_for(run);
-                (Some(index), usage)
+                let csr = self.csr_if_useful(run, &index, plan);
+                (Some(index), csr, usage)
             }
         };
         let index = index.as_deref();
+        let csr = csr.as_deref();
 
         let (result, nodes_touched) = match request {
             QueryRequest::Pairwise(u, v) => {
                 let hit = match (plan, index) {
                     (QueryPlan::Safe(p), _) => p.pairwise(run, *u, *v),
                     (QueryPlan::Composite(..), Some(idx)) => {
-                        general::pairwise(plan, &self.spec, run, idx, *u, *v)
+                        general::pairwise_csr(plan, &self.spec, run, idx, csr, *u, *v)
                     }
                     (QueryPlan::Composite(..), None) => unreachable!("index fetched above"),
                 };
                 (QueryResult::Bool(hit), 2)
             }
             QueryRequest::AllPairs(l1, l2) => {
-                let pairs = self.all_pairs_inner(plan, run, index, l1, l2);
+                let pairs = self.all_pairs_inner(plan, run, index, csr, l1, l2);
                 (QueryResult::Pairs(pairs), l1.len() + l2.len())
             }
             QueryRequest::SourceStar(u) => {
                 let all: Vec<NodeId> = run.node_ids().collect();
                 let touched = all.len() + 1;
-                let pairs = self.all_pairs_inner(plan, run, index, &[*u], &all);
+                let pairs = self.all_pairs_inner(plan, run, index, csr, &[*u], &all);
                 (QueryResult::Pairs(pairs), touched)
             }
             QueryRequest::TargetStar(v) => {
                 let all: Vec<NodeId> = run.node_ids().collect();
                 let touched = all.len() + 1;
-                let pairs = self.all_pairs_inner(plan, run, index, &all, &[*v]);
+                let pairs = self.all_pairs_inner(plan, run, index, csr, &all, &[*v]);
                 (QueryResult::Pairs(pairs), touched)
             }
             QueryRequest::Reachable(u) => {
                 let all: Vec<NodeId> = run.node_ids().collect();
                 let touched = all.len() + 1;
-                let pairs = self.all_pairs_inner(plan, run, index, &[*u], &all);
+                let pairs = self.all_pairs_inner(plan, run, index, csr, &[*u], &all);
                 let nodes: Vec<NodeId> = pairs.iter().map(|(_, v)| v).collect();
                 (QueryResult::Nodes(nodes), touched)
             }
@@ -457,6 +532,7 @@ impl Session {
             meta: EvalMeta {
                 plan_kind: kind,
                 index_cache,
+                kernel: rpq_relalg::kernel_mode(),
                 nodes_touched,
             },
         }
@@ -467,6 +543,7 @@ impl Session {
         plan: &QueryPlan,
         run: &Run,
         index: Option<&TagIndex>,
+        csr: Option<&CsrIndex>,
         l1: &[NodeId],
         l2: &[NodeId],
     ) -> NodePairSet {
@@ -475,7 +552,7 @@ impl Session {
                 crate::allpairs::all_pairs_filtered(p, &self.spec, run, l1, l2)
             }
             (QueryPlan::Composite(..), Some(idx)) => {
-                general::all_pairs(plan, &self.spec, run, idx, l1, l2)
+                general::all_pairs_csr(plan, &self.spec, run, idx, csr, l1, l2)
             }
             (QueryPlan::Composite(..), None) => unreachable!("index fetched above"),
         }
@@ -499,11 +576,22 @@ impl Session {
         self.assert_owns(query);
         // Borrowed-slice fast path: skips the Vec copies a
         // `QueryRequest::AllPairs` would require.
-        let index = match &query.inner.plan {
-            QueryPlan::Safe(_) => None,
-            QueryPlan::Composite(..) => Some(self.index_for(run).0),
+        let (index, csr) = match &query.inner.plan {
+            QueryPlan::Safe(_) => (None, None),
+            QueryPlan::Composite(..) => {
+                let index = self.index_for(run).0;
+                let csr = self.csr_if_useful(run, &index, &query.inner.plan);
+                (Some(index), csr)
+            }
         };
-        self.all_pairs_inner(&query.inner.plan, run, index.as_deref(), l1, l2)
+        self.all_pairs_inner(
+            &query.inner.plan,
+            run,
+            index.as_deref(),
+            csr.as_deref(),
+            l1,
+            l2,
+        )
     }
 
     /// A prepared query carries λ matrices and tag ids compiled for
@@ -595,6 +683,35 @@ mod tests {
         assert_eq!(o2.meta.index_cache, IndexCacheUse::Hit);
         assert_eq!(session.stats().index_misses, 1);
         assert_eq!(session.stats().index_hits, 1);
+        // Leaf plans have no closure, so no CSR arena was built.
+        assert_eq!(session.stats().csr_misses, 0);
+    }
+
+    #[test]
+    fn csr_arena_is_built_once_and_only_for_closure_plans() {
+        let session = Session::from_spec(spec());
+        let run = RunBuilder::new(session.spec())
+            .seed(4)
+            .target_edges(60)
+            .build()
+            .unwrap();
+        // A relationally-planned star closes over an index leaf: the
+        // arena is built on first evaluation, cached on the second.
+        let q = session
+            .prepare_with("go+", SubqueryPolicy::AlwaysRelational)
+            .unwrap();
+        let entry = run.entry();
+        session.evaluate(&q, &run, &QueryRequest::source_star(entry));
+        assert_eq!(session.stats().csr_misses, 1);
+        session.evaluate(&q, &run, &QueryRequest::source_star(entry));
+        assert_eq!(session.stats().csr_hits, 1);
+        assert_eq!(session.stats().csr_misses, 1);
+        // One index interaction per evaluation, not two.
+        assert_eq!(session.stats().index_misses + session.stats().index_hits, 2);
+        // Eviction drops the arena with the index.
+        session.clear_run_cache();
+        session.evaluate(&q, &run, &QueryRequest::source_star(entry));
+        assert_eq!(session.stats().csr_misses, 2);
     }
 
     #[test]

@@ -1,0 +1,331 @@
+//! Blocked-bitset relations: the bit-parallel join/fixpoint kernel.
+//!
+//! Run nodes are dense `u32`s, so a node-pair relation over an
+//! `n`-node run is an `n × n` boolean matrix — the same shape the
+//! 64-state `StateMatrix` of `rpq-core` exploits for DFA relations
+//! (PAPER.md §III-C), scaled past 64 columns by blocking each row into
+//! `⌈n/64⌉` `u64` words. Composition becomes word-wise row ORs and the
+//! semi-naive Kleene fixpoint becomes `next = Δ ∘ base; new = next & !seen`
+//! on whole words, eliminating the per-pair hashing and per-round `Vec`
+//! churn of the pair-based operators.
+//!
+//! [`BitRelation`] is an internal kernel type: [`NodePairSet`] stays the
+//! public boundary, with cheap [`BitRelation::from_pairs`] /
+//! [`BitRelation::to_pairs`] converters at the edges.
+
+use crate::csr::CsrRelation;
+use crate::relation::NodePairSet;
+use rpq_labeling::NodeId;
+
+/// A dense boolean relation over `n` nodes, one blocked bitset row per
+/// source node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitRelation {
+    n_nodes: usize,
+    /// Words per row: `⌈n_nodes/64⌉`.
+    words_per_row: usize,
+    /// Row-major `n_nodes × words_per_row` words.
+    words: Vec<u64>,
+}
+
+impl BitRelation {
+    /// The empty relation over `n_nodes` nodes.
+    pub fn new(n_nodes: usize) -> BitRelation {
+        let words_per_row = n_nodes.div_ceil(64);
+        BitRelation {
+            n_nodes,
+            words_per_row,
+            words: vec![0; n_nodes * words_per_row],
+        }
+    }
+
+    /// Build from a pair set. `n_nodes` must bound every node id
+    /// (checked in debug builds).
+    pub fn from_pairs(pairs: &NodePairSet, n_nodes: usize) -> BitRelation {
+        let mut bits = BitRelation::new(n_nodes);
+        for (u, v) in pairs.iter() {
+            bits.set(u, v);
+        }
+        bits
+    }
+
+    /// Build from a CSR adjacency (the cached per-`(run, tag)` arena).
+    pub fn from_csr(csr: &CsrRelation) -> BitRelation {
+        let n = csr.n_nodes();
+        let mut bits = BitRelation::new(n);
+        for u in 0..n as u32 {
+            let row = bits.row_index(u as usize);
+            for &v in csr.neighbors_raw(u) {
+                bits.words[row + (v as usize >> 6)] |= 1 << (v & 63);
+            }
+        }
+        bits
+    }
+
+    /// Number of nodes in the universe (row/column count).
+    #[inline]
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Words per blocked row.
+    #[inline]
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    #[inline]
+    fn row_index(&self, u: usize) -> usize {
+        u * self.words_per_row
+    }
+
+    /// The blocked bitset row of source `u`.
+    #[inline]
+    pub fn row(&self, u: usize) -> &[u64] {
+        &self.words[self.row_index(u)..self.row_index(u) + self.words_per_row]
+    }
+
+    /// Add `(u, v)`.
+    #[inline]
+    pub fn set(&mut self, u: NodeId, v: NodeId) {
+        debug_assert!(u.index() < self.n_nodes && v.index() < self.n_nodes);
+        let start = self.row_index(u.index());
+        self.words[start + (v.index() >> 6)] |= 1 << (v.index() & 63);
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, u: NodeId, v: NodeId) -> bool {
+        if u.index() >= self.n_nodes || v.index() >= self.n_nodes {
+            return false;
+        }
+        let start = self.row_index(u.index());
+        self.words[start + (v.index() >> 6)] >> (v.index() & 63) & 1 == 1
+    }
+
+    /// Number of pairs (popcount over all rows).
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Is the relation empty?
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Word-wise union, in place. Returns whether `self` changed.
+    pub fn union_in_place(&mut self, other: &BitRelation) -> bool {
+        debug_assert_eq!(self.n_nodes, other.n_nodes);
+        let mut changed = false;
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            let next = *a | b;
+            changed |= next != *a;
+            *a = next;
+        }
+        changed
+    }
+
+    /// Word-wise union.
+    pub fn union(&self, other: &BitRelation) -> BitRelation {
+        let mut out = self.clone();
+        out.union_in_place(other);
+        out
+    }
+
+    /// Word-wise difference `self ∖ other`.
+    pub fn difference(&self, other: &BitRelation) -> BitRelation {
+        debug_assert_eq!(self.n_nodes, other.n_nodes);
+        let mut out = self.clone();
+        for (a, &b) in out.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+        out
+    }
+
+    /// Composition `{(u, w) | (u, v) ∈ self, (v, w) ∈ other}`: for each
+    /// set bit `v` of a row, OR in `other`'s row of `v` — the blocked
+    /// analogue of boolean matrix multiplication.
+    pub fn compose(&self, other: &BitRelation) -> BitRelation {
+        debug_assert_eq!(self.n_nodes, other.n_nodes);
+        let mut out = BitRelation::new(self.n_nodes);
+        for u in 0..self.n_nodes {
+            let out_start = out.row_index(u);
+            for (block, &word) in self.row(u).iter().enumerate() {
+                let mut bits = word;
+                while bits != 0 {
+                    let v = (block << 6) + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let other_start = other.row_index(v);
+                    for k in 0..self.words_per_row {
+                        out.words[out_start + k] |= other.words[other_start + k];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Composition with a CSR left operand: iterate the sparse adjacency
+    /// lists instead of scanning row words — the join kernel for sparse
+    /// `A ∘ dense B`.
+    pub fn compose_csr(a: &CsrRelation, b: &BitRelation) -> BitRelation {
+        debug_assert_eq!(a.n_nodes(), b.n_nodes);
+        let mut out = BitRelation::new(b.n_nodes);
+        for u in 0..a.n_nodes() as u32 {
+            let out_start = out.row_index(u as usize);
+            for &v in a.neighbors_raw(u) {
+                let b_start = b.row_index(v as usize);
+                for k in 0..b.words_per_row {
+                    out.words[out_start + k] |= b.words[b_start + k];
+                }
+            }
+        }
+        out
+    }
+
+    /// Transitive closure (Kleene plus) of `self`, semi-naive and fully
+    /// word-wise: per round, each non-empty delta row is extended by one
+    /// base step (`next = ⋃_{v ∈ Δ[u]} base[v]`) and only the genuinely
+    /// new bits (`new = next & !seen`) survive into the next delta.
+    /// Every pair enters a delta row exactly once, so total work is
+    /// `O(|closure| · n/64)` words — the classic bit-parallel bound,
+    /// with no per-pair hashing and no per-round re-sorting.
+    pub fn transitive_closure(&self) -> BitRelation {
+        let n = self.n_nodes;
+        let wpr = self.words_per_row;
+        let mut seen = self.clone();
+        let mut delta = self.clone();
+        let mut next = vec![0u64; wpr];
+        // Worklist of rows whose delta is non-empty: per-round cost is
+        // proportional to the rows still growing, not to n (deep sparse
+        // graphs would otherwise pay an n-row zero-scan per round).
+        let mut active: Vec<usize> = (0..n)
+            .filter(|&u| {
+                let start = u * wpr;
+                delta.words[start..start + wpr].iter().any(|&w| w != 0)
+            })
+            .collect();
+        while !active.is_empty() {
+            let mut still_active = Vec::with_capacity(active.len());
+            for &u in &active {
+                let d_start = delta.row_index(u);
+                next.fill(0);
+                for block in 0..wpr {
+                    let mut bits = delta.words[d_start + block];
+                    while bits != 0 {
+                        let v = (block << 6) + bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        let base = self.row_index(v);
+                        for (nw, &bw) in next.iter_mut().zip(&self.words[base..base + wpr]) {
+                            *nw |= bw;
+                        }
+                    }
+                }
+                // new = next & !seen; seen |= new; delta[u] = new.
+                let s_start = seen.row_index(u);
+                let mut row_grew = false;
+                for (k, &nx) in next.iter().enumerate() {
+                    let new = nx & !seen.words[s_start + k];
+                    seen.words[s_start + k] |= new;
+                    delta.words[d_start + k] = new;
+                    row_grew |= new != 0;
+                }
+                if row_grew {
+                    still_active.push(u);
+                }
+            }
+            active = still_active;
+        }
+        seen
+    }
+
+    /// Iterate the pairs in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        (0..self.n_nodes).flat_map(move |u| {
+            self.row(u).iter().enumerate().flat_map(move |(block, &w)| {
+                BitIter(w).map(move |b| (NodeId(u as u32), NodeId(((block << 6) + b) as u32)))
+            })
+        })
+    }
+
+    /// Materialize back into the boundary pair-set type (already sorted
+    /// by construction — no sort, no dedup).
+    pub fn to_pairs(&self) -> NodePairSet {
+        NodePairSet::from_sorted_unique(self.iter().collect())
+    }
+}
+
+/// Iterator over the set bit positions of one word.
+struct BitIter(u64);
+
+impl Iterator for BitIter {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            return None;
+        }
+        let b = self.0.trailing_zeros() as usize;
+        self.0 &= self.0 - 1;
+        Some(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn pairs(ps: &[(u32, u32)]) -> NodePairSet {
+        NodePairSet::from_pairs(ps.iter().map(|&(a, b)| (n(a), n(b))).collect())
+    }
+
+    #[test]
+    fn roundtrip_pairs() {
+        let p = pairs(&[(0, 1), (2, 70), (70, 0), (100, 100)]);
+        let bits = BitRelation::from_pairs(&p, 101);
+        assert_eq!(bits.len(), 4);
+        assert!(bits.contains(n(2), n(70)));
+        assert!(!bits.contains(n(70), n(2)));
+        assert_eq!(bits.to_pairs(), p);
+    }
+
+    #[test]
+    fn word_ops_match_set_semantics() {
+        let a = BitRelation::from_pairs(&pairs(&[(0, 1), (1, 2)]), 80);
+        let b = BitRelation::from_pairs(&pairs(&[(1, 2), (2, 79)]), 80);
+        assert_eq!(a.union(&b).to_pairs(), pairs(&[(0, 1), (1, 2), (2, 79)]));
+        assert_eq!(a.difference(&b).to_pairs(), pairs(&[(0, 1)]));
+        assert_eq!(a.compose(&b).to_pairs(), pairs(&[(0, 2), (1, 79)]));
+    }
+
+    #[test]
+    fn closure_of_long_chain_crosses_word_blocks() {
+        let chain: Vec<(u32, u32)> = (0..200).map(|i| (i, i + 1)).collect();
+        let bits = BitRelation::from_pairs(&pairs(&chain), 201);
+        let tc = bits.transitive_closure();
+        assert_eq!(tc.len(), 201 * 200 / 2);
+        assert!(tc.contains(n(0), n(200)));
+        assert!(!tc.contains(n(200), n(0)));
+    }
+
+    #[test]
+    fn closure_handles_cycles() {
+        let bits = BitRelation::from_pairs(&pairs(&[(0, 1), (1, 0)]), 2);
+        assert_eq!(
+            bits.transitive_closure().to_pairs(),
+            pairs(&[(0, 0), (0, 1), (1, 0), (1, 1)])
+        );
+    }
+
+    #[test]
+    fn empty_relation_closure_is_empty() {
+        let bits = BitRelation::new(64);
+        assert!(bits.transitive_closure().is_empty());
+        assert!(bits.to_pairs().is_empty());
+    }
+}

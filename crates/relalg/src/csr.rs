@@ -1,0 +1,225 @@
+//! CSR adjacency arenas: flat, cache-friendly neighbor lists.
+//!
+//! A [`CsrRelation`] stores a node-pair relation as two flat arrays
+//! (`offsets` + `targets`), forward and transposed — the arena layout
+//! used by rustfst-style libraries for dense-id graphs. Built once per
+//! `(run, tag)` and cached in the session (see [`CsrIndex`]), it feeds
+//! the bit-parallel kernel of [`crate::bits`]: sparse neighbor
+//! iteration on one side of a join, blocked bitset rows on the other.
+
+use crate::index::TagIndex;
+use crate::relation::NodePairSet;
+use rpq_grammar::Tag;
+use rpq_labeling::NodeId;
+
+/// A relation in compressed-sparse-row form, forward and transposed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrRelation {
+    n_nodes: u32,
+    /// `targets[offsets[u]..offsets[u+1]]`: successors of `u`, sorted.
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+    /// Transpose: `rev_targets[rev_offsets[v]..rev_offsets[v+1]]` are
+    /// the predecessors of `v`, sorted.
+    rev_offsets: Vec<u32>,
+    rev_targets: Vec<u32>,
+}
+
+impl CsrRelation {
+    /// Build from a sorted, deduplicated pair set over `n_nodes` nodes.
+    /// One counting pass per direction — no hashing, no re-sorting.
+    pub fn from_pairs(pairs: &NodePairSet, n_nodes: usize) -> CsrRelation {
+        let n = n_nodes as u32;
+        debug_assert!(pairs.iter().all(|(u, v)| u.0 < n && v.0 < n));
+        let m = pairs.len();
+
+        // Forward: pairs are sorted by source, so targets is one copy.
+        let mut offsets = vec![0u32; n_nodes + 1];
+        let mut targets = Vec::with_capacity(m);
+        for (u, v) in pairs.iter() {
+            offsets[u.index() + 1] += 1;
+            targets.push(v.0);
+        }
+        for i in 0..n_nodes {
+            offsets[i + 1] += offsets[i];
+        }
+
+        // Transpose: counting sort by target keeps each predecessor
+        // list sorted (pairs arrive in source order).
+        let mut rev_offsets = vec![0u32; n_nodes + 1];
+        for (_, v) in pairs.iter() {
+            rev_offsets[v.index() + 1] += 1;
+        }
+        for i in 0..n_nodes {
+            rev_offsets[i + 1] += rev_offsets[i];
+        }
+        let mut cursor = rev_offsets.clone();
+        let mut rev_targets = vec![0u32; m];
+        for (u, v) in pairs.iter() {
+            let slot = cursor[v.index()];
+            rev_targets[slot as usize] = u.0;
+            cursor[v.index()] += 1;
+        }
+
+        CsrRelation {
+            n_nodes: n,
+            offsets,
+            targets,
+            rev_offsets,
+            rev_targets,
+        }
+    }
+
+    /// Number of nodes in the universe.
+    #[inline]
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes as usize
+    }
+
+    /// Number of pairs.
+    #[inline]
+    pub fn n_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Is the relation empty?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty()
+    }
+
+    /// Successors of `u` as raw dense ids, sorted.
+    #[inline]
+    pub fn neighbors_raw(&self, u: u32) -> &[u32] {
+        &self.targets[self.offsets[u as usize] as usize..self.offsets[u as usize + 1] as usize]
+    }
+
+    /// Predecessors of `v` as raw dense ids, sorted.
+    #[inline]
+    pub fn predecessors_raw(&self, v: u32) -> &[u32] {
+        &self.rev_targets
+            [self.rev_offsets[v as usize] as usize..self.rev_offsets[v as usize + 1] as usize]
+    }
+
+    /// Out-degree of `u`.
+    #[inline]
+    pub fn out_degree(&self, u: NodeId) -> usize {
+        self.neighbors_raw(u.0).len()
+    }
+
+    /// Membership test (binary search in the successor list).
+    pub fn contains(&self, u: NodeId, v: NodeId) -> bool {
+        u.0 < self.n_nodes && self.neighbors_raw(u.0).binary_search(&v.0).is_ok()
+    }
+
+    /// Materialize back into the boundary pair-set type (sorted by
+    /// construction).
+    pub fn to_pairs(&self) -> NodePairSet {
+        let mut out = Vec::with_capacity(self.n_edges());
+        for u in 0..self.n_nodes {
+            for &v in self.neighbors_raw(u) {
+                out.push((NodeId(u), NodeId(v)));
+            }
+        }
+        NodePairSet::from_sorted_unique(out)
+    }
+}
+
+/// The per-run CSR arena: one [`CsrRelation`] per edge tag plus the
+/// wildcard relation, mirroring [`TagIndex`] in CSR form. Sessions
+/// cache one per run beside the tag index so repeated composite
+/// evaluations never rebuild adjacency (see `rpq-core`'s `Session`).
+#[derive(Debug, Clone)]
+pub struct CsrIndex {
+    n_nodes: usize,
+    per_tag: Vec<CsrRelation>,
+    all: CsrRelation,
+}
+
+impl CsrIndex {
+    /// Build from a tag index (which already holds the sorted per-tag
+    /// pair lists and the one-pass wildcard relation).
+    pub fn build(index: &TagIndex) -> CsrIndex {
+        let n_nodes = index.n_nodes();
+        CsrIndex {
+            n_nodes,
+            per_tag: (0..index.n_tags())
+                .map(|t| CsrRelation::from_pairs(index.edges(Tag(t as u32)), n_nodes))
+                .collect(),
+            all: CsrRelation::from_pairs(index.all_edges(), n_nodes),
+        }
+    }
+
+    /// Number of nodes in the run.
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// The CSR adjacency of one tag's edges.
+    pub fn csr(&self, tag: Tag) -> &CsrRelation {
+        &self.per_tag[tag.index()]
+    }
+
+    /// The CSR adjacency of all edges (the wildcard relation).
+    pub fn all(&self) -> &CsrRelation {
+        &self.all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn pairs(ps: &[(u32, u32)]) -> NodePairSet {
+        NodePairSet::from_pairs(ps.iter().map(|&(a, b)| (n(a), n(b))).collect())
+    }
+
+    #[test]
+    fn empty_relation() {
+        let csr = CsrRelation::from_pairs(&NodePairSet::new(), 5);
+        assert_eq!(csr.n_nodes(), 5);
+        assert_eq!(csr.n_edges(), 0);
+        assert!(csr.is_empty());
+        assert!(csr.neighbors_raw(3).is_empty());
+        assert!(csr.predecessors_raw(0).is_empty());
+        assert!(csr.to_pairs().is_empty());
+    }
+
+    #[test]
+    fn self_loops_round_trip() {
+        let p = pairs(&[(0, 0), (2, 2), (2, 3)]);
+        let csr = CsrRelation::from_pairs(&p, 4);
+        assert_eq!(csr.neighbors_raw(2), &[2, 3]);
+        assert_eq!(csr.predecessors_raw(2), &[2]);
+        assert!(csr.contains(n(0), n(0)));
+        assert!(!csr.contains(n(0), n(1)));
+        assert_eq!(csr.to_pairs(), p);
+    }
+
+    #[test]
+    fn multi_edges_collapse_via_pair_set_dedup() {
+        // Runs can carry parallel same-tag edges; the pair-set boundary
+        // dedups them, so CSR rows hold each target once.
+        let p = pairs(&[(1, 2), (1, 2), (1, 0)]);
+        let csr = CsrRelation::from_pairs(&p, 3);
+        assert_eq!(csr.n_edges(), 2);
+        assert_eq!(csr.neighbors_raw(1), &[0, 2]);
+        assert_eq!(csr.predecessors_raw(2), &[1]);
+    }
+
+    #[test]
+    fn forward_and_transpose_agree() {
+        let p = pairs(&[(0, 3), (1, 3), (2, 0), (3, 1), (3, 2)]);
+        let csr = CsrRelation::from_pairs(&p, 4);
+        for (u, v) in p.iter() {
+            assert!(csr.neighbors_raw(u.0).contains(&v.0));
+            assert!(csr.predecessors_raw(v.0).contains(&u.0));
+        }
+        assert_eq!(csr.out_degree(n(3)), 2);
+        assert_eq!(csr.to_pairs(), p);
+    }
+}

@@ -14,17 +14,28 @@ use rpq_labeling::{NodeId, Run};
 pub struct TagIndex {
     /// `per_tag[t]`: sorted pairs connected by a `t`-tagged edge.
     per_tag: Vec<NodePairSet>,
+    /// All edges regardless of tag, built once at construction (the
+    /// wildcard relation used to repeat an `O(|Γ|)` sorted-union sweep
+    /// per call).
+    all: NodePairSet,
+    /// Node count of the indexed run — the universe bound the kernel
+    /// dispatch and the CSR/bitset builders need.
+    n_nodes: usize,
 }
 
 impl TagIndex {
     /// Build the index for a run over a `n_tags`-tag alphabet.
     pub fn build(run: &Run, n_tags: usize) -> TagIndex {
         let mut buckets: Vec<Vec<(NodeId, NodeId)>> = vec![Vec::new(); n_tags];
+        let mut all: Vec<(NodeId, NodeId)> = Vec::with_capacity(run.n_edges());
         for e in run.edges() {
             buckets[e.tag.index()].push((e.src, e.dst));
+            all.push((e.src, e.dst));
         }
         TagIndex {
             per_tag: buckets.into_iter().map(NodePairSet::from_pairs).collect(),
+            all: NodePairSet::from_pairs(all),
+            n_nodes: run.n_nodes(),
         }
     }
 
@@ -38,13 +49,16 @@ impl TagIndex {
         self.per_tag[tag.index()].len()
     }
 
-    /// All edges regardless of tag (the wildcard relation).
-    pub fn all_edges(&self) -> NodePairSet {
-        let mut out = NodePairSet::new();
-        for s in &self.per_tag {
-            out = out.union(s);
-        }
-        out
+    /// All edges regardless of tag (the wildcard relation), cached at
+    /// build time — one pass over the run instead of `O(|Γ|)` sorted
+    /// unions per call.
+    pub fn all_edges(&self) -> &NodePairSet {
+        &self.all
+    }
+
+    /// Node count of the indexed run.
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
     }
 
     /// The tag with the fewest (but non-zero) matching edges among
@@ -100,6 +114,14 @@ mod tests {
         let total: usize = (0..spec.n_tags()).map(|t| idx.count(Tag(t as u32))).sum();
         assert_eq!(total, run.n_edges());
         assert_eq!(idx.all_edges().len(), run.n_edges());
+        assert_eq!(idx.n_nodes(), run.n_nodes());
+
+        // The cached wildcard relation equals the per-tag union referee.
+        let mut referee = NodePairSet::new();
+        for t in 0..spec.n_tags() {
+            referee = referee.union(idx.edges(Tag(t as u32)));
+        }
+        assert_eq!(idx.all_edges(), &referee);
 
         // "base" appears exactly once (one base-case firing).
         let base = spec.tag_by_name("base").unwrap();

@@ -5,14 +5,26 @@
 //! approach uses them only for the *unsafe remainder* of a decomposed
 //! query — which is exactly why it wins on queries whose safe parts are
 //! lowly selective.
+//!
+//! Every operator exists in two kernels (see [`crate::kernel`]): the
+//! original sorted-pair/hash implementation (`*_pairs`, kept as the
+//! referee and the sparse fast path) and the blocked-bitset kernel of
+//! [`crate::bits`]. The `*_in` entry points take the universe size and
+//! dispatch per call on density; the parameterless wrappers infer the
+//! universe from the operand ids for callers without a run at hand.
 
+use crate::bits::BitRelation;
+use crate::csr::CsrRelation;
+use crate::kernel::{choose_closure, choose_compose, Kernel};
 use crate::relation::{NodePairSet, Relation};
 use rpq_labeling::NodeId;
 use std::collections::HashMap;
 
-/// Composition of pair sets: `{(u, w) | (u, v) ∈ a, (v, w) ∈ b}`
-/// (hash join on the shared middle node).
-pub fn compose_pairs(a: &NodePairSet, b: &NodePairSet) -> NodePairSet {
+/// Composition of pair sets with the **pair kernel**: `{(u, w) |
+/// (u, v) ∈ a, (v, w) ∈ b}` as a hash join on the shared middle node.
+/// Kept verbatim as the referee the bit kernel is property-tested
+/// against, and as the dispatch target for sparse operands.
+pub fn compose_pairs_kernel(a: &NodePairSet, b: &NodePairSet) -> NodePairSet {
     // Index b by source.
     let mut by_src: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
     for (v, w) in b.iter() {
@@ -27,10 +39,38 @@ pub fn compose_pairs(a: &NodePairSet, b: &NodePairSet) -> NodePairSet {
     NodePairSet::from_pairs(out)
 }
 
-/// Composition of relations, respecting symbolic identity:
-/// `(a ∪ id?) ∘ (b ∪ id?)`.
-pub fn compose(a: &Relation, b: &Relation) -> Relation {
-    let mut pairs = compose_pairs(&a.pairs, &b.pairs);
+/// Composition of pair sets with the **bit kernel**: the left operand
+/// iterates as CSR adjacency, the right as blocked bitset rows, and
+/// every `(u, v)` of `a` contributes one word-wise row OR.
+pub fn compose_pairs_bits(a: &NodePairSet, b: &NodePairSet, n_nodes: usize) -> NodePairSet {
+    let csr = CsrRelation::from_pairs(a, n_nodes);
+    let bits = BitRelation::from_pairs(b, n_nodes);
+    BitRelation::compose_csr(&csr, &bits).to_pairs()
+}
+
+/// Composition of pair sets over an `n_nodes` universe, dispatching on
+/// density (or the `RPQ_RELALG_KERNEL` override).
+pub fn compose_pairs_in(a: &NodePairSet, b: &NodePairSet, n_nodes: usize) -> NodePairSet {
+    if a.is_empty() || b.is_empty() {
+        return NodePairSet::new();
+    }
+    match choose_compose(n_nodes, a.len(), b.len()) {
+        Kernel::Bits => compose_pairs_bits(a, b, n_nodes),
+        Kernel::Pairs => compose_pairs_kernel(a, b),
+    }
+}
+
+/// Composition of pair sets (kernel-dispatched; universe inferred from
+/// the operand ids). Prefer [`compose_pairs_in`] when the run size is
+/// at hand.
+pub fn compose_pairs(a: &NodePairSet, b: &NodePairSet) -> NodePairSet {
+    compose_pairs_in(a, b, a.universe_bound().max(b.universe_bound()))
+}
+
+/// Composition of relations over an `n_nodes` universe, respecting
+/// symbolic identity: `(a ∪ id?) ∘ (b ∪ id?)`.
+pub fn compose_in(a: &Relation, b: &Relation, n_nodes: usize) -> Relation {
+    let mut pairs = compose_pairs_in(&a.pairs, &b.pairs, n_nodes);
     if a.identity {
         pairs = pairs.union(&b.pairs);
     }
@@ -43,12 +83,18 @@ pub fn compose(a: &Relation, b: &Relation) -> Relation {
     }
 }
 
-/// Transitive closure (Kleene plus) of a pair set, computed semi-naively:
-/// `Δ₀ = R; Δᵢ₊₁ = (Δᵢ ∘ R) ∖ total`. This is the fixpoint loop whose
-/// unknown round count makes Kleene-star queries expensive for the
-/// baselines (Section V-A: "Since it is unknown how many rounds it takes
-/// to reach a fixpoint, the performance can be very bad").
-pub fn transitive_closure(r: &NodePairSet) -> NodePairSet {
+/// Composition of relations (universe inferred from the operand ids).
+pub fn compose(a: &Relation, b: &Relation) -> Relation {
+    compose_in(a, b, a.pairs.universe_bound().max(b.pairs.universe_bound()))
+}
+
+/// Transitive closure (Kleene plus) with the **pair kernel**, computed
+/// semi-naively: `Δ₀ = R; Δᵢ₊₁ = (Δᵢ ∘ R) ∖ total`. This is the
+/// fixpoint loop whose unknown round count makes Kleene-star queries
+/// expensive for the baselines (Section V-A: "Since it is unknown how
+/// many rounds it takes to reach a fixpoint, the performance can be
+/// very bad"). Kept verbatim as the referee for the bit kernel.
+pub fn transitive_closure_pairs(r: &NodePairSet) -> NodePairSet {
     // Successor index of the base relation.
     let mut succ: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
     for (u, v) in r.iter() {
@@ -78,7 +124,59 @@ pub fn transitive_closure(r: &NodePairSet) -> NodePairSet {
     NodePairSet::from_pairs(acc)
 }
 
-/// Kleene star as a relation: `r* = r⁺ ∪ id`.
+/// Transitive closure with the **bit kernel**: word-wise semi-naive
+/// rounds over blocked bitset rows (see
+/// [`BitRelation::transitive_closure`]).
+pub fn transitive_closure_bits(r: &NodePairSet, n_nodes: usize) -> NodePairSet {
+    BitRelation::from_pairs(r, n_nodes)
+        .transitive_closure()
+        .to_pairs()
+}
+
+/// Transitive closure over an `n_nodes` universe, dispatching on
+/// density (or the `RPQ_RELALG_KERNEL` override).
+pub fn transitive_closure_in(r: &NodePairSet, n_nodes: usize) -> NodePairSet {
+    // A 0/1-pair base is its own closure; don't let a forced bits
+    // mode allocate n×⌈n/64⌉ matrices for it.
+    if r.len() < 2 {
+        return r.clone();
+    }
+    match choose_closure(n_nodes, r.len()) {
+        Kernel::Bits => transitive_closure_bits(r, n_nodes),
+        Kernel::Pairs => transitive_closure_pairs(r),
+    }
+}
+
+/// Transitive closure (kernel-dispatched; universe inferred from the
+/// operand ids). Prefer [`transitive_closure_in`] when the run size is
+/// at hand.
+pub fn transitive_closure(r: &NodePairSet) -> NodePairSet {
+    transitive_closure_in(r, r.universe_bound())
+}
+
+/// Transitive closure straight off a cached CSR arena (the session's
+/// per-`(run, tag)` adjacency): skips the pair→CSR conversion the
+/// other entry points pay.
+pub fn transitive_closure_csr(base: &CsrRelation) -> NodePairSet {
+    if base.n_edges() < 2 {
+        return base.to_pairs();
+    }
+    match choose_closure(base.n_nodes(), base.n_edges()) {
+        Kernel::Bits => BitRelation::from_csr(base).transitive_closure().to_pairs(),
+        Kernel::Pairs => transitive_closure_pairs(&base.to_pairs()),
+    }
+}
+
+/// Kleene star as a relation over an `n_nodes` universe:
+/// `r* = r⁺ ∪ id`.
+pub fn star_in(r: &NodePairSet, n_nodes: usize) -> Relation {
+    Relation {
+        pairs: transitive_closure_in(r, n_nodes),
+        identity: true,
+    }
+}
+
+/// Kleene star (universe inferred from the operand ids).
 pub fn star(r: &NodePairSet) -> Relation {
     Relation {
         pairs: transitive_closure(r),
@@ -104,6 +202,9 @@ mod tests {
         let b = pairs(&[(1, 5), (2, 6)]);
         let c = compose_pairs(&a, &b);
         assert_eq!(c, pairs(&[(0, 5), (1, 6)]));
+        // Both kernels agree.
+        assert_eq!(compose_pairs_kernel(&a, &b), c);
+        assert_eq!(compose_pairs_bits(&a, &b, 7), c);
     }
 
     #[test]
@@ -121,8 +222,14 @@ mod tests {
     #[test]
     fn closure_of_chain() {
         let chain = pairs(&[(0, 1), (1, 2), (2, 3)]);
-        let tc = transitive_closure(&chain);
-        assert_eq!(tc, pairs(&[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]));
+        let expected = pairs(&[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        assert_eq!(transitive_closure(&chain), expected);
+        assert_eq!(transitive_closure_pairs(&chain), expected);
+        assert_eq!(transitive_closure_bits(&chain, 4), expected);
+        assert_eq!(
+            transitive_closure_csr(&CsrRelation::from_pairs(&chain, 4)),
+            expected
+        );
     }
 
     #[test]
@@ -137,6 +244,7 @@ mod tests {
     #[test]
     fn closure_of_empty_is_empty() {
         assert!(transitive_closure(&NodePairSet::new()).is_empty());
+        assert!(transitive_closure_bits(&NodePairSet::new(), 8).is_empty());
     }
 
     #[test]
@@ -151,7 +259,8 @@ mod tests {
         // Relations produced by sub-queries can cycle even on DAG runs
         // (e.g. different path endpoints); the fixpoint must still stop.
         let cyc = pairs(&[(0, 1), (1, 0)]);
-        let tc = transitive_closure(&cyc);
-        assert_eq!(tc, pairs(&[(0, 0), (0, 1), (1, 0), (1, 1)]));
+        let expected = pairs(&[(0, 0), (0, 1), (1, 0), (1, 1)]);
+        assert_eq!(transitive_closure_pairs(&cyc), expected);
+        assert_eq!(transitive_closure_bits(&cyc, 2), expected);
     }
 }

@@ -1,0 +1,224 @@
+//! Kernel selection: pair-based vs bit-parallel operators.
+//!
+//! Every dispatching operator in [`crate::join`] picks a kernel per
+//! call from a density heuristic, overridable for A/B measurement via
+//! the `RPQ_RELALG_KERNEL` environment variable (read once) or
+//! [`set_kernel_mode`] (the CLI's `--kernel` flag):
+//!
+//! * `bits` — always use the blocked-bitset kernel (when the universe
+//!   fits the memory guard);
+//! * `pairs` — always use the sorted-pair/hash kernel;
+//! * `auto` — the default density-based choice.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Which kernel family executes a relational operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Kernel {
+    /// Sorted `Vec<(NodeId, NodeId)>` + hash joins (the seed kernel).
+    Pairs,
+    /// CSR adjacency + blocked `u64` bitset rows.
+    Bits,
+}
+
+/// Kernel override mode, settable per process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelMode {
+    /// Density-based per-operator choice (default).
+    Auto,
+    /// Force the pair kernel everywhere.
+    ForcePairs,
+    /// Force the bit kernel wherever the memory guard allows.
+    ForceBits,
+}
+
+impl KernelMode {
+    /// Parse a mode name (`auto` / `pairs` / `bits`), as accepted by
+    /// both the env var and the CLI flag.
+    pub fn from_name(name: &str) -> Option<KernelMode> {
+        match name {
+            "auto" => Some(KernelMode::Auto),
+            "pairs" => Some(KernelMode::ForcePairs),
+            "bits" => Some(KernelMode::ForceBits),
+            _ => None,
+        }
+    }
+
+    /// The canonical name (inverse of [`KernelMode::from_name`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelMode::Auto => "auto",
+            KernelMode::ForcePairs => "pairs",
+            KernelMode::ForceBits => "bits",
+        }
+    }
+}
+
+/// Universes larger than this never use the bit kernel: three `n × n/64`
+/// matrices (seen, delta, base) at `n = 2¹⁶` would already cost 1.5 GiB.
+pub const MAX_BITS_NODES: usize = 1 << 14;
+
+/// Modeled cost of one hashed pair operation (insert/probe) relative to
+/// one `u64` word operation — hashing, branching and cache misses make
+/// a pair touch an order of magnitude dearer than a word OR.
+pub const HASH_OP_COST: f64 = 12.0;
+
+/// Modeled cost of touching one `u64` word in the bit kernel.
+pub const WORD_OP_COST: f64 = 1.0;
+
+const MODE_UNSET: u8 = 0;
+const MODE_AUTO: u8 = 1;
+const MODE_PAIRS: u8 = 2;
+const MODE_BITS: u8 = 3;
+
+/// Process-wide mode: runtime override wins, else the env var, else auto.
+static MODE: AtomicU8 = AtomicU8::new(MODE_UNSET);
+
+fn mode_from_env() -> KernelMode {
+    std::env::var("RPQ_RELALG_KERNEL")
+        .ok()
+        .and_then(|v| KernelMode::from_name(v.trim()))
+        .unwrap_or(KernelMode::Auto)
+}
+
+/// The kernel mode in force for this process.
+pub fn kernel_mode() -> KernelMode {
+    match MODE.load(Ordering::Relaxed) {
+        MODE_AUTO => KernelMode::Auto,
+        MODE_PAIRS => KernelMode::ForcePairs,
+        MODE_BITS => KernelMode::ForceBits,
+        _ => {
+            let mode = mode_from_env();
+            set_kernel_mode(mode);
+            mode
+        }
+    }
+}
+
+/// Override the kernel mode (the CLI `--kernel` flag; also used by the
+/// A/B bench harness).
+pub fn set_kernel_mode(mode: KernelMode) {
+    let raw = match mode {
+        KernelMode::Auto => MODE_AUTO,
+        KernelMode::ForcePairs => MODE_PAIRS,
+        KernelMode::ForceBits => MODE_BITS,
+    };
+    MODE.store(raw, Ordering::Relaxed);
+}
+
+/// Can the bit kernel represent an `n_nodes` universe at all?
+#[inline]
+pub fn bits_representable(n_nodes: usize) -> bool {
+    n_nodes > 0 && n_nodes <= MAX_BITS_NODES
+}
+
+fn resolve(auto_choice: Kernel, n_nodes: usize) -> Kernel {
+    if !bits_representable(n_nodes) {
+        return Kernel::Pairs;
+    }
+    match kernel_mode() {
+        KernelMode::Auto => auto_choice,
+        KernelMode::ForcePairs => Kernel::Pairs,
+        KernelMode::ForceBits => Kernel::Bits,
+    }
+}
+
+/// Kernel choice for a composition `A ∘ B` over `n_nodes` nodes.
+///
+/// Bit cost: every pair of `A` ORs one row (`⌈n/64⌉` words) plus the
+/// pair↔bit conversions (≈ 3 row-scans). Pair cost: hash-index `B`,
+/// probe per pair of `A`, materialize and sort the estimated output
+/// `|A|·|B|/n`. The crossover makes tiny sparse joins stay on pairs
+/// while anything dense enough to matter runs word-parallel.
+pub fn choose_compose(n_nodes: usize, a_len: usize, b_len: usize) -> Kernel {
+    let n = n_nodes as f64;
+    let wpr = (n_nodes.div_ceil(64)) as f64;
+    let est_out = if n_nodes == 0 {
+        0.0
+    } else {
+        (a_len as f64) * (b_len as f64) / n
+    };
+    let bits_cost = WORD_OP_COST * wpr * (a_len as f64 + 3.0 * n);
+    let pairs_cost =
+        HASH_OP_COST * (a_len as f64 + b_len as f64 + est_out) + est_out * est_out.max(2.0).log2();
+    let auto = if bits_cost < pairs_cost {
+        Kernel::Bits
+    } else {
+        Kernel::Pairs
+    };
+    resolve(auto, n_nodes)
+}
+
+/// Kernel choice for a transitive closure over `n_nodes` nodes.
+///
+/// Each closure pair costs one hashed insert (plus successor pushes) in
+/// the pair kernel versus one `⌈n/64⌉`-word row OR in the bit kernel —
+/// but the bit kernel's ORs discover up to 64 pairs at once and never
+/// re-sort, so whenever the closure is big enough to amortize the
+/// `n × ⌈n/64⌉` matrix allocations the bit kernel wins (measured well
+/// below 512 nodes on non-trivial bases; see `BENCH_relalg.json`).
+/// The guard below keeps near-empty closures on huge universes — where
+/// the pair fixpoint finishes in microseconds — off the dense path.
+pub fn choose_closure(n_nodes: usize, base_len: usize) -> Kernel {
+    // Closure-size estimate matching `rpq-core`'s cost model: √n
+    // expansion, capped at all pairs.
+    let n = n_nodes as f64;
+    let est_closure = ((base_len as f64) * n.max(1.0).sqrt()).min(n * n);
+    let auto = if base_len >= 2 && est_closure * 4.0 >= n {
+        Kernel::Bits
+    } else {
+        // 0/1-pair bases terminate immediately, and closures expected
+        // to stay below ~n/4 pairs never amortize the matrix zeroing.
+        Kernel::Pairs
+    };
+    resolve(auto, n_nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_names_round_trip() {
+        for mode in [
+            KernelMode::Auto,
+            KernelMode::ForcePairs,
+            KernelMode::ForceBits,
+        ] {
+            assert_eq!(KernelMode::from_name(mode.name()), Some(mode));
+        }
+        assert_eq!(KernelMode::from_name("fastest"), None);
+    }
+
+    #[test]
+    fn overrides_and_guards() {
+        // Single test mutating the process-wide mode (avoids races with
+        // parallel tests in this binary).
+        let before = kernel_mode();
+
+        set_kernel_mode(KernelMode::ForcePairs);
+        assert_eq!(choose_closure(1024, 5000), Kernel::Pairs);
+        assert_eq!(choose_compose(1024, 5000, 5000), Kernel::Pairs);
+
+        set_kernel_mode(KernelMode::ForceBits);
+        assert_eq!(choose_closure(1024, 5000), Kernel::Bits);
+        assert_eq!(choose_compose(1024, 2, 2), Kernel::Bits);
+        // The memory guard beats the override.
+        assert_eq!(choose_closure(MAX_BITS_NODES + 1, 5000), Kernel::Pairs);
+
+        set_kernel_mode(KernelMode::Auto);
+        // Dense closures go word-parallel; trivial bases stay on pairs,
+        // as do near-empty closures on huge universes (the matrix
+        // allocation would dominate).
+        assert_eq!(choose_closure(1024, 5000), Kernel::Bits);
+        assert_eq!(choose_closure(1024, 1), Kernel::Pairs);
+        assert_eq!(choose_closure(10_000, 2), Kernel::Pairs);
+        assert_eq!(choose_closure(10_000, 5000), Kernel::Bits);
+        // Tiny sparse joins on big universes stay on pairs; dense ones
+        // flip to bits.
+        assert_eq!(choose_compose(10_000, 3, 3), Kernel::Pairs);
+        assert_eq!(choose_compose(512, 4000, 4000), Kernel::Bits);
+
+        set_kernel_mode(before);
+    }
+}

@@ -8,19 +8,35 @@
 //! "some path whose tag string matches the subexpression leads from `u`
 //! to `v`". This crate provides:
 //!
-//! * [`NodePairSet`] — a sorted, deduplicated pair set;
+//! * [`NodePairSet`] — a sorted, deduplicated pair set, the public
+//!   boundary type;
 //! * [`Relation`] — a pair set plus a symbolic identity flag, so `ε` and
 //!   `e*` never materialize the quadratic identity relation;
 //! * composition ([`compose`]), union, and the semi-naive Kleene fixpoint
-//!   ([`transitive_closure`]);
+//!   ([`transitive_closure`]) — each in **two kernels**: the original
+//!   sorted-pair/hash implementation and a bit-parallel one built from
+//!   [`CsrRelation`] adjacency arenas and [`BitRelation`] blocked-bitset
+//!   rows, dispatched per operator on density (override with
+//!   `RPQ_RELALG_KERNEL={auto,bits,pairs}` or [`set_kernel_mode`]);
 //! * [`TagIndex`] — the per-edge-tag inverted index the paper stores on
 //!   disk for baseline G3 ("an index maps an edge tag γ ∈ Γ to a list of
-//!   node pairs that are connected by an edge tagged γ").
+//!   node pairs that are connected by an edge tagged γ"), plus
+//!   [`CsrIndex`], its CSR mirror cached per run by `rpq-core` sessions.
 
+pub mod bits;
+pub mod csr;
 pub mod index;
 pub mod join;
+pub mod kernel;
 pub mod relation;
 
+pub use bits::BitRelation;
+pub use csr::{CsrIndex, CsrRelation};
 pub use index::TagIndex;
-pub use join::{compose, compose_pairs, transitive_closure};
+pub use join::{
+    compose, compose_in, compose_pairs, compose_pairs_bits, compose_pairs_in, compose_pairs_kernel,
+    star, star_in, transitive_closure, transitive_closure_bits, transitive_closure_csr,
+    transitive_closure_in, transitive_closure_pairs,
+};
+pub use kernel::{kernel_mode, set_kernel_mode, Kernel, KernelMode};
 pub use relation::{NodePairSet, Relation};

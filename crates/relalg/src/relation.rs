@@ -21,6 +21,35 @@ impl NodePairSet {
         NodePairSet { pairs }
     }
 
+    /// Build from pairs already sorted and deduplicated (checked in
+    /// debug builds) — the no-cost boundary for kernel outputs that are
+    /// sorted by construction (bitset row scans, CSR traversals).
+    pub fn from_sorted_unique(pairs: Vec<(NodeId, NodeId)>) -> NodePairSet {
+        debug_assert!(pairs.windows(2).all(|w| w[0] < w[1]));
+        NodePairSet { pairs }
+    }
+
+    /// One past the largest node id mentioned (0 for the empty set) —
+    /// the tightest universe the bit kernel must represent when the
+    /// caller has no run at hand.
+    pub fn universe_bound(&self) -> usize {
+        self.pairs
+            .iter()
+            .map(|&(u, v)| u.index().max(v.index()) + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Convert to a blocked-bitset relation over `n_nodes` nodes.
+    pub fn to_bits(&self, n_nodes: usize) -> crate::bits::BitRelation {
+        crate::bits::BitRelation::from_pairs(self, n_nodes)
+    }
+
+    /// Materialize a blocked-bitset relation (sorted by construction).
+    pub fn from_bits(bits: &crate::bits::BitRelation) -> NodePairSet {
+        bits.to_pairs()
+    }
+
     /// Number of pairs.
     pub fn len(&self) -> usize {
         self.pairs.len()
@@ -72,30 +101,72 @@ impl NodePairSet {
         NodePairSet { pairs: out }
     }
 
-    /// Restrict to pairs whose source is in `sources` (sorted input).
+    /// Restrict to pairs whose source is in `sources`.
+    ///
+    /// Pairs are already sorted by source, so this is a two-pointer
+    /// merge — no per-call hash set (sorts a local copy of `sources`
+    /// only when the caller passes it unsorted).
     pub fn filter_sources(&self, sources: &[NodeId]) -> NodePairSet {
-        let set: std::collections::HashSet<NodeId> = sources.iter().copied().collect();
-        NodePairSet {
-            pairs: self
-                .pairs
-                .iter()
-                .copied()
-                .filter(|(u, _)| set.contains(u))
-                .collect(),
+        let mut out = Vec::new();
+        with_sorted(sources, |sorted| {
+            self.retain_sources_into(sorted, &mut out);
+        });
+        NodePairSet { pairs: out }
+    }
+
+    /// Restrict to pairs whose target is in `targets` (binary search
+    /// per pair against the sorted target list — pairs are not sorted
+    /// by target, so no merge is possible).
+    pub fn filter_targets(&self, targets: &[NodeId]) -> NodePairSet {
+        let mut out = Vec::new();
+        with_sorted(targets, |sorted| {
+            self.retain_targets_into(sorted, &mut out);
+        });
+        NodePairSet { pairs: out }
+    }
+
+    /// No-allocation variant of [`NodePairSet::filter_sources`] for hot
+    /// loops: appends the matching pairs (still sorted) to `out`.
+    /// `sources` must be sorted (checked in debug builds).
+    pub fn retain_sources_into(&self, sources: &[NodeId], out: &mut Vec<(NodeId, NodeId)>) {
+        debug_assert!(sources.windows(2).all(|w| w[0] <= w[1]));
+        let mut k = 0;
+        for &(u, v) in &self.pairs {
+            while k < sources.len() && sources[k] < u {
+                k += 1;
+            }
+            if k == sources.len() {
+                break;
+            }
+            if sources[k] == u {
+                out.push((u, v));
+            }
         }
     }
 
-    /// Restrict to pairs whose target is in `targets`.
-    pub fn filter_targets(&self, targets: &[NodeId]) -> NodePairSet {
-        let set: std::collections::HashSet<NodeId> = targets.iter().copied().collect();
-        NodePairSet {
-            pairs: self
-                .pairs
+    /// No-allocation variant of [`NodePairSet::filter_targets`]:
+    /// appends the matching pairs (still sorted) to `out`. `targets`
+    /// must be sorted (checked in debug builds).
+    pub fn retain_targets_into(&self, targets: &[NodeId], out: &mut Vec<(NodeId, NodeId)>) {
+        debug_assert!(targets.windows(2).all(|w| w[0] <= w[1]));
+        out.extend(
+            self.pairs
                 .iter()
                 .copied()
-                .filter(|(_, v)| set.contains(v))
-                .collect(),
-        }
+                .filter(|(_, v)| targets.binary_search(v).is_ok()),
+        );
+    }
+}
+
+/// Run `f` with a sorted view of `nodes`, copying only when the caller
+/// passed them unsorted.
+fn with_sorted(nodes: &[NodeId], f: impl FnOnce(&[NodeId])) {
+    if nodes.is_sorted() {
+        f(nodes);
+    } else {
+        let mut sorted = nodes.to_vec();
+        sorted.sort_unstable();
+        f(&sorted);
     }
 }
 
@@ -151,6 +222,34 @@ impl Relation {
         (self.identity && u == v) || self.pairs.contains(u, v)
     }
 
+    /// The relation restricted to `l1 × l2` (lists may arrive unsorted
+    /// and with duplicates): one merge pass over the sorted pairs plus
+    /// a binary-search target filter, with the symbolic identity
+    /// contributing `(u, u)` for every `u ∈ l1 ∩ l2` — the shared
+    /// finale of every all-pairs evaluator over a composite relation.
+    pub fn select_pairs(&self, l1: &[NodeId], l2: &[NodeId]) -> NodePairSet {
+        let mut l1s = l1.to_vec();
+        l1s.sort_unstable();
+        l1s.dedup();
+        let mut l2s = l2.to_vec();
+        l2s.sort_unstable();
+        l2s.dedup();
+        let mut matched = Vec::new();
+        self.pairs.retain_sources_into(&l1s, &mut matched);
+        let mut out: Vec<(NodeId, NodeId)> = matched
+            .into_iter()
+            .filter(|(_, v)| l2s.binary_search(v).is_ok())
+            .collect();
+        if self.identity {
+            for &u in &l1s {
+                if l2s.binary_search(&u).is_ok() {
+                    out.push((u, u));
+                }
+            }
+        }
+        NodePairSet::from_pairs(out)
+    }
+
     /// Materialize against an explicit universe (for final answers whose
     /// endpoints are restricted to given lists anyway).
     pub fn materialize(&self, universe: &[NodeId]) -> NodePairSet {
@@ -195,6 +294,45 @@ mod tests {
         assert_eq!(s.filter_sources(&[n(0)]).len(), 2);
         assert_eq!(s.filter_targets(&[n(3)]).len(), 2);
         assert_eq!(s.filter_sources(&[]).len(), 0);
+        // Unsorted and duplicated inputs behave like sets.
+        assert_eq!(s.filter_sources(&[n(2), n(0), n(2)]).len(), 3);
+        assert_eq!(s.filter_targets(&[n(3), n(1), n(3)]).len(), 3);
+    }
+
+    #[test]
+    fn retain_into_appends_sorted_matches() {
+        let s = NodePairSet::from_pairs(vec![(n(0), n(1)), (n(2), n(3)), (n(5), n(0))]);
+        let mut out = Vec::new();
+        s.retain_sources_into(&[n(0), n(5)], &mut out);
+        assert_eq!(out, vec![(n(0), n(1)), (n(5), n(0))]);
+        out.clear();
+        s.retain_targets_into(&[n(0), n(3)], &mut out);
+        assert_eq!(out, vec![(n(2), n(3)), (n(5), n(0))]);
+    }
+
+    #[test]
+    fn select_pairs_restricts_and_adds_identity() {
+        let r = Relation {
+            pairs: NodePairSet::from_pairs(vec![(n(0), n(1)), (n(2), n(3)), (n(5), n(0))]),
+            identity: true,
+        };
+        // Unsorted, duplicated lists; (2,2) comes from the identity,
+        // (2,3) from the pairs — self-loop dedup is the boundary's job.
+        let s = r.select_pairs(&[n(2), n(0), n(2)], &[n(3), n(1), n(2)]);
+        assert_eq!(s.as_slice(), &[(n(0), n(1)), (n(2), n(2)), (n(2), n(3))]);
+        let no_id = Relation {
+            pairs: r.pairs.clone(),
+            identity: false,
+        };
+        assert_eq!(no_id.select_pairs(&[n(2)], &[n(2), n(3)]).len(), 1);
+    }
+
+    #[test]
+    fn bits_round_trip_and_universe_bound() {
+        let s = NodePairSet::from_pairs(vec![(n(0), n(70)), (n(3), n(2))]);
+        assert_eq!(s.universe_bound(), 71);
+        assert_eq!(NodePairSet::from_bits(&s.to_bits(71)), s);
+        assert_eq!(NodePairSet::new().universe_bound(), 0);
     }
 
     #[test]

@@ -1,0 +1,74 @@
+//! Property tests: the bit-parallel kernel agrees exactly with the
+//! pair-based referee operators on random relations.
+//!
+//! The referee is the seed implementation (`compose_pairs_kernel`,
+//! `transitive_closure_pairs`) kept verbatim in `join.rs`; the subject
+//! is every bit-kernel entry point plus the density-dispatched `*_in`
+//! operators (which must agree with both, whichever kernel they pick).
+
+use proptest::prelude::*;
+use rpq_labeling::NodeId;
+use rpq_relalg::{
+    compose_pairs_bits, compose_pairs_in, compose_pairs_kernel, transitive_closure_bits,
+    transitive_closure_in, transitive_closure_pairs, BitRelation, CsrRelation, NodePairSet,
+};
+
+/// Random relation over a universe of `n` nodes: up to `max_pairs`
+/// arbitrary (possibly duplicate, possibly self-loop) pairs.
+fn relation(n: u32, max_pairs: usize) -> impl Strategy<Value = NodePairSet> {
+    prop::collection::vec((0..n, 0..n), 0..max_pairs).prop_map(|raw| {
+        NodePairSet::from_pairs(
+            raw.into_iter()
+                .map(|(u, v)| (NodeId(u), NodeId(v)))
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn compose_kernels_agree(
+        a in relation(90, 120),
+        b in relation(90, 120),
+    ) {
+        let referee = compose_pairs_kernel(&a, &b);
+        prop_assert_eq!(&compose_pairs_bits(&a, &b, 90), &referee);
+        prop_assert_eq!(&compose_pairs_in(&a, &b, 90), &referee);
+    }
+
+    #[test]
+    fn closure_kernels_agree(r in relation(70, 100)) {
+        let referee = transitive_closure_pairs(&r);
+        prop_assert_eq!(&transitive_closure_bits(&r, 70), &referee);
+        prop_assert_eq!(&transitive_closure_in(&r, 70), &referee);
+        // Closure off the CSR arena takes a different construction path.
+        let csr = CsrRelation::from_pairs(&r, 70);
+        prop_assert_eq!(&rpq_relalg::transitive_closure_csr(&csr), &referee);
+    }
+
+    #[test]
+    fn union_and_difference_agree(
+        a in relation(80, 100),
+        b in relation(80, 100),
+    ) {
+        let ab = BitRelation::from_pairs(&a, 80);
+        let bb = BitRelation::from_pairs(&b, 80);
+        // Pair-set referee for union; filter referee for difference.
+        prop_assert_eq!(&ab.union(&bb).to_pairs(), &a.union(&b));
+        let diff_referee: NodePairSet =
+            a.iter().filter(|&(u, v)| !b.contains(u, v)).collect();
+        prop_assert_eq!(&ab.difference(&bb).to_pairs(), &diff_referee);
+    }
+
+    #[test]
+    fn csr_and_bits_round_trip(r in relation(100, 150)) {
+        prop_assert_eq!(&CsrRelation::from_pairs(&r, 100).to_pairs(), &r);
+        prop_assert_eq!(&r.to_bits(100).to_pairs(), &r);
+        prop_assert_eq!(
+            &BitRelation::from_csr(&CsrRelation::from_pairs(&r, 100)).to_pairs(),
+            &r
+        );
+    }
+}

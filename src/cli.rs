@@ -15,7 +15,10 @@
 //! `<SPEC>` is `fig2`, `fork`, `bioaid`, `qblast`, or a path to a JSON
 //! specification produced by serde. `--policy` selects the subquery
 //! evaluation policy: `cost` (cost-based, the default), `memo`
-//! (always label-based) or `naive` (pure relational joins).
+//! (always label-based) or `naive` (pure relational joins). `--kernel`
+//! selects the relational kernel for joins/fixpoints: `auto`
+//! (density-based, the default), `bits` (blocked bitsets) or `pairs`
+//! (sorted pairs + hash joins) — the A/B switch of `rpq-relalg`.
 //!
 //! Every failure surfaces as [`RpqError`] — the CLI has no error type
 //! of its own.
@@ -48,12 +51,13 @@ USAGE:
   rpq spec <SPEC>
   rpq simulate <SPEC> --edges N [--seed S] [--fork CYCLE] [--out FILE]
   rpq query <SPEC> <QUERY> [--run FILE | --edges N --seed S]
-            [--from NODE] [--to NODE] [--limit K] [--policy P]
+            [--from NODE] [--to NODE] [--limit K] [--policy P] [--kernel K]
   rpq stats (--run FILE | <SPEC> --edges N [--seed S])
 
 SPEC:   fig2 | fork | bioaid | qblast | path to a JSON specification
 NODE:   module:occurrence, e.g. a:2
 POLICY: cost (default) | memo | naive
+KERNEL: auto (default) | bits | pairs
 ";
 
 /// Resolve a spec argument.
@@ -127,6 +131,21 @@ fn parse_policy(options: &[(&str, &str)]) -> Result<SubqueryPolicy, RpqError> {
             ))
         }),
     }
+}
+
+/// Apply `--kernel`, overriding the process-wide relational kernel
+/// dispatch (and any `RPQ_RELALG_KERNEL` setting) for this invocation.
+fn apply_kernel(options: &[(&str, &str)]) -> Result<rpq_relalg::KernelMode, RpqError> {
+    let mode = match opt(options, "kernel") {
+        None => rpq_relalg::kernel_mode(),
+        Some(name) => rpq_relalg::KernelMode::from_name(name).ok_or_else(|| {
+            RpqError::invalid(format!(
+                "invalid --kernel {name:?}: valid kernels are auto, bits, pairs"
+            ))
+        })?,
+    };
+    rpq_relalg::set_kernel_mode(mode);
+    Ok(mode)
 }
 
 fn cmd_spec(args: &[String]) -> Result<String, RpqError> {
@@ -206,17 +225,19 @@ fn cmd_query(args: &[String]) -> Result<String, RpqError> {
         None => simulate_run(&spec, &options)?,
     };
     let policy = parse_policy(&options)?;
+    let kernel = apply_kernel(&options)?;
     let session = Session::from_spec(spec);
     let query = session.prepare_with(query_text, policy)?;
 
     let mut out = String::new();
     writeln!(
         out,
-        "query: {query_text}\nsafe: {} (safe subqueries: {}, DFA states: {}, policy: {})",
+        "query: {query_text}\nsafe: {} (safe subqueries: {}, DFA states: {}, policy: {}, kernel: {})",
         query.is_safe(),
         query.stats().n_safe_subqueries,
         query.stats().dfa_states,
         query.stats().policy.cli_name(),
+        kernel.name(),
     )
     .expect("write to string");
 
@@ -389,6 +410,31 @@ mod tests {
             message.contains("cost") && message.contains("memo") && message.contains("naive"),
             "error must list valid policies: {message}"
         );
+    }
+
+    #[test]
+    fn kernels_are_selectable_and_agree() {
+        let mut outputs = Vec::new();
+        for kernel in ["bits", "pairs", "auto"] {
+            let out = run(&[
+                "query", "fig2", "_* a _*", "--edges", "80", "--seed", "3", "--policy", "naive",
+                "--kernel", kernel,
+            ])
+            .unwrap();
+            assert!(out.contains(&format!("kernel: {kernel}")), "{out}");
+            let matches = out
+                .lines()
+                .find(|l| l.starts_with("matches:"))
+                .expect("matches line")
+                .to_owned();
+            outputs.push(matches);
+        }
+        // Both kernels (and the dispatcher) answer identically.
+        assert_eq!(outputs[0], outputs[1]);
+        assert_eq!(outputs[0], outputs[2]);
+
+        let err = run(&["query", "fig2", "_*", "--kernel", "quantum"]).unwrap_err();
+        assert!(err.to_string().contains("bits"), "{err}");
     }
 
     #[test]

@@ -76,4 +76,16 @@ fn main() {
             Err(e) => eprintln!("cannot write {path}: {e}"),
         }
     }
+    if want("batch") {
+        // Not a paper figure either: the run-store batch executor —
+        // sequential vs parallel fan-out and cold vs warm store.
+        let path = "BENCH_batch.json";
+        match rpq_bench::batchbench::run_and_record(scale == Scale::Full, path) {
+            Ok(table) => {
+                println!("{}", table.render());
+                println!("baseline written to {path}\n");
+            }
+            Err(e) => eprintln!("cannot write {path}: {e}"),
+        }
+    }
 }

@@ -16,6 +16,7 @@
 //! **optRPL** = Algorithm 2 tree merge with reachability filtering
 //! (Option S2); **G1/G2/G3** = the baselines of Section IV-B.
 
+pub mod batchbench;
 pub mod datasets;
 pub mod experiments;
 pub mod kernelbench;

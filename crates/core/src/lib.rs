@@ -25,6 +25,7 @@
 //! old [`RpqEngine`] facade is deprecated and delegates here.
 
 pub mod allpairs;
+pub mod batch;
 pub mod cost;
 pub mod engine;
 pub mod error;
@@ -37,6 +38,7 @@ pub mod safety;
 pub mod session;
 
 pub use allpairs::{all_pairs_filtered, all_pairs_nested, all_pairs_reachability};
+pub use batch::{BatchItem, BatchOptions, BatchOutcome, RunRef, RunSource};
 pub use cost::{ChainOrder, CostModel};
 #[allow(deprecated)]
 pub use engine::RpqEngine;

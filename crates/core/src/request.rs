@@ -14,6 +14,11 @@ use rpq_relalg::NodePairSet;
 pub enum QueryRequest {
     /// Does a matching path lead from the first node to the second?
     Pairwise(NodeId, NodeId),
+    /// Does a matching path lead from the run's unique entry to its
+    /// unique exit? Run-relative, so one request is meaningful across
+    /// a whole corpus — the batch executor's natural mode (node ids
+    /// differ per run; entry/exit always exist).
+    EntryExit,
     /// All matching pairs of `l1 × l2` (Algorithm 2 for safe plans).
     AllPairs(Vec<NodeId>, Vec<NodeId>),
     /// All matching pairs `(u, v)` for the fixed source `u`.
@@ -28,6 +33,11 @@ impl QueryRequest {
     /// [`QueryRequest::Pairwise`] from endpoints.
     pub fn pairwise(u: NodeId, v: NodeId) -> QueryRequest {
         QueryRequest::Pairwise(u, v)
+    }
+
+    /// [`QueryRequest::EntryExit`] — the run-relative pairwise mode.
+    pub fn entry_exit() -> QueryRequest {
+        QueryRequest::EntryExit
     }
 
     /// [`QueryRequest::AllPairs`] from node lists.

@@ -168,6 +168,104 @@ pub struct SessionStats {
     pub csr_hits: u64,
     /// Evaluations that had to build a CSR arena.
     pub csr_misses: u64,
+    /// Tag indexes dropped by the LRU bound
+    /// ([`Session::with_cache_capacity`]).
+    pub index_evictions: u64,
+    /// CSR arenas dropped by the LRU bound.
+    pub csr_evictions: u64,
+}
+
+impl SessionStats {
+    /// The counter movement since an `earlier` snapshot — per-batch /
+    /// per-request deltas out of the monotonic totals.
+    pub fn since(self, earlier: SessionStats) -> SessionStats {
+        SessionStats {
+            plan_hits: self.plan_hits - earlier.plan_hits,
+            plan_misses: self.plan_misses - earlier.plan_misses,
+            index_hits: self.index_hits - earlier.index_hits,
+            index_misses: self.index_misses - earlier.index_misses,
+            csr_hits: self.csr_hits - earlier.csr_hits,
+            csr_misses: self.csr_misses - earlier.csr_misses,
+            index_evictions: self.index_evictions - earlier.index_evictions,
+            csr_evictions: self.csr_evictions - earlier.csr_evictions,
+        }
+    }
+}
+
+/// A size-bounded least-recently-used map over [`RunKey`]s.
+///
+/// Both per-run caches (tag indexes and CSR arenas) sit behind one of
+/// these: every get or insert stamps the entry with a logical tick, and
+/// inserts past the capacity drop the stalest entries. The default
+/// capacity is unbounded, matching the pre-LRU behavior; long-lived
+/// sessions over large run corpora bound it via
+/// [`Session::with_cache_capacity`].
+struct LruMap<V> {
+    entries: HashMap<RunKey, (V, u64)>,
+    tick: u64,
+    capacity: usize,
+}
+
+impl<V: Clone> LruMap<V> {
+    fn new() -> LruMap<V> {
+        LruMap {
+            entries: HashMap::new(),
+            tick: 0,
+            capacity: usize::MAX,
+        }
+    }
+
+    fn get(&mut self, key: &RunKey) -> Option<V> {
+        let tick = self.tick + 1;
+        let (value, last_used) = self.entries.get_mut(key)?;
+        self.tick = tick;
+        *last_used = tick;
+        Some(value.clone())
+    }
+
+    /// Insert, keeping any entry already present for `key` (so racing
+    /// builders converge on one shared value), then trim to capacity.
+    /// Returns the retained value and the number of evicted entries.
+    fn insert_or_keep(&mut self, key: RunKey, value: V) -> (V, u64) {
+        self.tick += 1;
+        let entry = self.entries.entry(key).or_insert((value, self.tick));
+        entry.1 = self.tick;
+        let kept = entry.0.clone();
+        (kept, self.trim())
+    }
+
+    /// Evict least-recently-used entries until the map fits the
+    /// capacity; returns how many were dropped. The victim search is
+    /// an O(len) min-scan per eviction — deliberate: capacities are
+    /// working-set sized (tens to thousands), where the scan beats a
+    /// heap's bookkeeping; revisit if capacities ever reach 10⁵+.
+    fn trim(&mut self) -> u64 {
+        let mut evicted = 0;
+        while self.entries.len() > self.capacity {
+            let stalest = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, last_used))| *last_used)
+                .map(|(key, _)| *key)
+                .expect("len > capacity >= 0 implies non-empty");
+            self.entries.remove(&stalest);
+            evicted += 1;
+        }
+        evicted
+    }
+
+    fn set_capacity(&mut self, capacity: usize) -> u64 {
+        self.capacity = capacity;
+        self.trim()
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    fn contains(&self, key: &RunKey) -> bool {
+        self.entries.contains_key(key)
+    }
 }
 
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -188,17 +286,19 @@ struct PlanKey {
 pub struct Session {
     spec: Arc<Specification>,
     plans: Mutex<HashMap<PlanKey, PreparedQuery>>,
-    indexes: Mutex<HashMap<RunKey, Arc<TagIndex>>>,
+    indexes: Mutex<LruMap<Arc<TagIndex>>>,
     /// CSR adjacency arenas (per-tag + wildcard), cached per run beside
     /// the tag indexes: composite evaluations feed them to the
     /// bit-parallel join/fixpoint kernel of `rpq-relalg`.
-    csrs: Mutex<HashMap<RunKey, Arc<CsrIndex>>>,
+    csrs: Mutex<LruMap<Arc<CsrIndex>>>,
     plan_hits: AtomicU64,
     plan_misses: AtomicU64,
     index_hits: AtomicU64,
     index_misses: AtomicU64,
     csr_hits: AtomicU64,
     csr_misses: AtomicU64,
+    index_evictions: AtomicU64,
+    csr_evictions: AtomicU64,
 }
 
 /// Run identity for the index cache: the run's 128-bit structural
@@ -221,20 +321,48 @@ impl Session {
         Session {
             spec,
             plans: Mutex::new(HashMap::new()),
-            indexes: Mutex::new(HashMap::new()),
-            csrs: Mutex::new(HashMap::new()),
+            indexes: Mutex::new(LruMap::new()),
+            csrs: Mutex::new(LruMap::new()),
             plan_hits: AtomicU64::new(0),
             plan_misses: AtomicU64::new(0),
             index_hits: AtomicU64::new(0),
             index_misses: AtomicU64::new(0),
             csr_hits: AtomicU64::new(0),
             csr_misses: AtomicU64::new(0),
+            index_evictions: AtomicU64::new(0),
+            csr_evictions: AtomicU64::new(0),
         }
     }
 
     /// Open a session, taking ownership of the specification.
     pub fn from_spec(spec: Specification) -> Session {
         Session::new(Arc::new(spec))
+    }
+
+    /// Bound each per-run cache (tag indexes and CSR arenas) to at most
+    /// `capacity` runs, evicting least-recently-used entries beyond it.
+    ///
+    /// Long-lived sessions iterating large corpora (batch executors,
+    /// services) use this so memory stays proportional to the working
+    /// set instead of the corpus; evictions are counted in
+    /// [`SessionStats::index_evictions`] / [`SessionStats::csr_evictions`].
+    /// A capacity of 0 disables retention entirely (every evaluation
+    /// rebuilds or reloads its indexes). Prepared plans are unaffected —
+    /// they are small and keyed by query, not by run.
+    pub fn with_cache_capacity(self, capacity: usize) -> Session {
+        let evicted = self
+            .indexes
+            .lock()
+            .expect("index cache lock")
+            .set_capacity(capacity);
+        self.index_evictions.fetch_add(evicted, Ordering::Relaxed);
+        let evicted = self
+            .csrs
+            .lock()
+            .expect("csr cache lock")
+            .set_capacity(capacity);
+        self.csr_evictions.fetch_add(evicted, Ordering::Relaxed);
+        self
     }
 
     /// The specification this session queries.
@@ -256,6 +384,8 @@ impl Session {
             index_misses: self.index_misses.load(Ordering::Relaxed),
             csr_hits: self.csr_hits.load(Ordering::Relaxed),
             csr_misses: self.csr_misses.load(Ordering::Relaxed),
+            index_evictions: self.index_evictions.load(Ordering::Relaxed),
+            csr_evictions: self.csr_evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -391,15 +521,53 @@ impl Session {
         let key = run_key(run);
         if let Some(index) = self.indexes.lock().expect("index cache lock").get(&key) {
             self.index_hits.fetch_add(1, Ordering::Relaxed);
-            return (Arc::clone(index), IndexCacheUse::Hit);
+            return (index, IndexCacheUse::Hit);
         }
         let built = Arc::new(TagIndex::build(run, self.spec.n_tags()));
         // As with plans: this call built an index, so it reports (and
         // counts) a miss even when it loses an insert race.
         self.index_misses.fetch_add(1, Ordering::Relaxed);
-        let mut indexes = self.indexes.lock().expect("index cache lock");
-        let entry = indexes.entry(key).or_insert(built);
-        (Arc::clone(entry), IndexCacheUse::Miss)
+        let (kept, evicted) = self
+            .indexes
+            .lock()
+            .expect("index cache lock")
+            .insert_or_keep(key, built);
+        self.index_evictions.fetch_add(evicted, Ordering::Relaxed);
+        (kept, IndexCacheUse::Miss)
+    }
+
+    /// Adopt externally built per-run artifacts — typically decoded
+    /// from a persistent run store — into the session caches, so the
+    /// next evaluation over `run` hits instead of rebuilding. Entries
+    /// already cached for the run are kept (the adopted copies are
+    /// dropped); neither path touches the hit/miss counters, though
+    /// LRU evictions triggered by the insert are counted as usual.
+    pub fn seed_run_cache(&self, run: &Run, index: Arc<TagIndex>, csr: Option<Arc<CsrIndex>>) {
+        let key = run_key(run);
+        let (_, evicted) = self
+            .indexes
+            .lock()
+            .expect("index cache lock")
+            .insert_or_keep(key, index);
+        self.index_evictions.fetch_add(evicted, Ordering::Relaxed);
+        if let Some(csr) = csr {
+            let (_, evicted) = self
+                .csrs
+                .lock()
+                .expect("csr cache lock")
+                .insert_or_keep(key, csr);
+            self.csr_evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    /// Is `run`'s tag index currently cached? Batch executors use this
+    /// to skip redundant warm-artifact loads; it does not bump LRU
+    /// recency or any counter.
+    pub fn run_is_cached(&self, run: &Run) -> bool {
+        self.indexes
+            .lock()
+            .expect("index cache lock")
+            .contains(&run_key(run))
     }
 
     /// The cached per-run CSR adjacency arena, building it (and the tag
@@ -409,7 +577,7 @@ impl Session {
         let key = run_key(run);
         if let Some(csr) = self.csrs.lock().expect("csr cache lock").get(&key) {
             self.csr_hits.fetch_add(1, Ordering::Relaxed);
-            return (Arc::clone(csr), IndexCacheUse::Hit);
+            return (csr, IndexCacheUse::Hit);
         }
         let (index, _) = self.index_for(run);
         self.csr_build(key, &index)
@@ -422,7 +590,7 @@ impl Session {
         let key = run_key(run);
         if let Some(csr) = self.csrs.lock().expect("csr cache lock").get(&key) {
             self.csr_hits.fetch_add(1, Ordering::Relaxed);
-            return (Arc::clone(csr), IndexCacheUse::Hit);
+            return (csr, IndexCacheUse::Hit);
         }
         self.csr_build(key, index)
     }
@@ -452,9 +620,13 @@ impl Session {
         // As with plans and indexes: this call built an arena, so it
         // reports (and counts) a miss even when it loses an insert race.
         self.csr_misses.fetch_add(1, Ordering::Relaxed);
-        let mut csrs = self.csrs.lock().expect("csr cache lock");
-        let entry = csrs.entry(key).or_insert(built);
-        (Arc::clone(entry), IndexCacheUse::Miss)
+        let (kept, evicted) = self
+            .csrs
+            .lock()
+            .expect("csr cache lock")
+            .insert_or_keep(key, built);
+        self.csr_evictions.fetch_add(evicted, Ordering::Relaxed);
+        (kept, IndexCacheUse::Miss)
     }
 
     /// Evict cached per-run indexes and CSR arenas (e.g. after
@@ -493,11 +665,15 @@ impl Session {
         let csr = csr.as_deref();
 
         let (result, nodes_touched) = match request {
-            QueryRequest::Pairwise(u, v) => {
+            QueryRequest::Pairwise(..) | QueryRequest::EntryExit => {
+                let (u, v) = match request {
+                    QueryRequest::Pairwise(u, v) => (*u, *v),
+                    _ => (run.entry(), run.exit()),
+                };
                 let hit = match (plan, index) {
-                    (QueryPlan::Safe(p), _) => p.pairwise(run, *u, *v),
+                    (QueryPlan::Safe(p), _) => p.pairwise(run, u, v),
                     (QueryPlan::Composite(..), Some(idx)) => {
-                        general::pairwise_csr(plan, &self.spec, run, idx, csr, *u, *v)
+                        general::pairwise_csr(plan, &self.spec, run, idx, csr, u, v)
                     }
                     (QueryPlan::Composite(..), None) => unreachable!("index fetched above"),
                 };

@@ -8,9 +8,10 @@
 //! iteration on one side of a join, blocked bitset rows on the other.
 
 use crate::index::TagIndex;
-use crate::relation::NodePairSet;
+use crate::relation::{pack_u32s, unpack_u32s, NodePairSet};
 use rpq_grammar::Tag;
 use rpq_labeling::NodeId;
+use serde::{Deserialize, Serialize};
 
 /// A relation in compressed-sparse-row form, forward and transposed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -112,6 +113,30 @@ impl CsrRelation {
         u.0 < self.n_nodes && self.neighbors_raw(u.0).binary_search(&v.0).is_ok()
     }
 
+    /// Structural invariants hold: offset arrays are monotonic,
+    /// cover exactly the target arrays, every id is in-universe, and
+    /// each adjacency row is sorted and duplicate-free. `from_pairs`
+    /// guarantees all of this; deserialized arenas (whose bytes bypass
+    /// the constructor) must be checked before the kernels index into
+    /// them. Linear in nodes + edges.
+    pub fn is_well_formed(&self) -> bool {
+        let n = self.n_nodes as usize;
+        let dir_ok = |offsets: &[u32], targets: &[u32]| {
+            offsets.len() == n + 1
+                && offsets[0] == 0
+                && *offsets.last().expect("n + 1 > 0") as usize == targets.len()
+                && offsets.windows(2).all(|w| w[0] <= w[1])
+                && targets.iter().all(|&t| t < self.n_nodes)
+                && (0..n).all(|u| {
+                    let row = &targets[offsets[u] as usize..offsets[u + 1] as usize];
+                    row.windows(2).all(|w| w[0] < w[1])
+                })
+        };
+        dir_ok(&self.offsets, &self.targets)
+            && dir_ok(&self.rev_offsets, &self.rev_targets)
+            && self.targets.len() == self.rev_targets.len()
+    }
+
     /// Materialize back into the boundary pair-set type (sorted by
     /// construction).
     pub fn to_pairs(&self) -> NodePairSet {
@@ -125,11 +150,54 @@ impl CsrRelation {
     }
 }
 
+// Persistence: the four index arrays are packed byte buffers, so a
+// run store decodes an arena at memcpy speed instead of paying an
+// enum construction per integer (which measured *slower* than
+// rebuilding the arena from its run). Deserialized arenas bypass
+// `from_pairs`, so loaders must gate on [`CsrRelation::is_well_formed`]
+// before any kernel indexes into them.
+impl Serialize for CsrRelation {
+    fn to_value(&self) -> serde::Value {
+        let arr = |v: &[u32]| pack_u32s(v.len(), v.iter().copied());
+        serde::Value::Map(vec![
+            (
+                "n_nodes".to_owned(),
+                serde::Value::UInt(self.n_nodes.into()),
+            ),
+            ("offsets".to_owned(), arr(&self.offsets)),
+            ("targets".to_owned(), arr(&self.targets)),
+            ("rev_offsets".to_owned(), arr(&self.rev_offsets)),
+            ("rev_targets".to_owned(), arr(&self.rev_targets)),
+        ])
+    }
+}
+
+impl Deserialize for CsrRelation {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        let field = |name: &str| {
+            value
+                .get_field(name)
+                .ok_or_else(|| serde::DeError::missing("CsrRelation", name))
+        };
+        Ok(CsrRelation {
+            n_nodes: u32::from_value(field("n_nodes")?)?,
+            offsets: unpack_u32s(field("offsets")?)?,
+            targets: unpack_u32s(field("targets")?)?,
+            rev_offsets: unpack_u32s(field("rev_offsets")?)?,
+            rev_targets: unpack_u32s(field("rev_targets")?)?,
+        })
+    }
+}
+
 /// The per-run CSR arena: one [`CsrRelation`] per edge tag plus the
 /// wildcard relation, mirroring [`TagIndex`] in CSR form. Sessions
 /// cache one per run beside the tag index so repeated composite
 /// evaluations never rebuild adjacency (see `rpq-core`'s `Session`).
-#[derive(Debug, Clone)]
+///
+/// Serializable for the same reason as [`TagIndex`]: run stores
+/// persist the arena beside the run so a restarted process evaluates
+/// off warm adjacency instead of rebuilding it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CsrIndex {
     n_nodes: usize,
     per_tag: Vec<CsrRelation>,
@@ -163,6 +231,18 @@ impl CsrIndex {
     /// The CSR adjacency of all edges (the wildcard relation).
     pub fn all(&self) -> &CsrRelation {
         &self.all
+    }
+
+    /// Every contained relation is well-formed for a `n_tags`-tag
+    /// alphabet over this universe (see [`CsrRelation::is_well_formed`]
+    /// — the load-time guard for deserialized arenas).
+    pub fn is_well_formed(&self, n_tags: usize) -> bool {
+        self.per_tag.len() == n_tags
+            && self
+                .per_tag
+                .iter()
+                .chain(std::iter::once(&self.all))
+                .all(|r| r.n_nodes() == self.n_nodes && r.is_well_formed())
     }
 }
 
@@ -209,6 +289,27 @@ mod tests {
         assert_eq!(csr.n_edges(), 2);
         assert_eq!(csr.neighbors_raw(1), &[0, 2]);
         assert_eq!(csr.predecessors_raw(2), &[1]);
+    }
+
+    #[test]
+    fn serde_round_trip_and_well_formedness() {
+        let p = pairs(&[(0, 3), (1, 3), (2, 0), (3, 1), (3, 2)]);
+        let csr = CsrRelation::from_pairs(&p, 4);
+        assert!(csr.is_well_formed());
+        let back =
+            <CsrRelation as serde::Deserialize>::from_value(&serde::Serialize::to_value(&csr))
+                .unwrap();
+        assert_eq!(back, csr);
+        assert!(back.is_well_formed());
+
+        // A tampered arena (out-of-universe target) is rejected by the
+        // load-time guard instead of panicking inside a kernel.
+        let mut bad = csr.clone();
+        bad.targets[0] = 99;
+        assert!(!bad.is_well_formed());
+        let mut bad = csr.clone();
+        bad.offsets[2] = 7;
+        assert!(!bad.is_well_formed());
     }
 
     #[test]

@@ -8,9 +8,14 @@
 use crate::relation::NodePairSet;
 use rpq_grammar::Tag;
 use rpq_labeling::{NodeId, Run};
+use serde::{Deserialize, Serialize};
 
 /// Inverted index from edge tags to edge endpoint pairs.
-#[derive(Debug, Clone)]
+///
+/// Serializable so run stores can persist it next to the run it
+/// indexes and reload it warm after a restart (`rpq-store`); the
+/// pair-set invariants are re-established on deserialization.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TagIndex {
     /// `per_tag[t]`: sorted pairs connected by a `t`-tagged edge.
     per_tag: Vec<NodePairSet>,
@@ -77,6 +82,23 @@ impl TagIndex {
     pub fn n_tags(&self) -> usize {
         self.per_tag.len()
     }
+
+    /// Shape checks for deserialized indexes: the tag alphabet matches,
+    /// every endpoint is inside the declared universe, and the cached
+    /// wildcard relation is at least as large as the largest per-tag
+    /// relation (sortedness is already re-established on decode).
+    /// Linear in the number of indexed pairs.
+    pub fn is_well_formed(&self, n_tags: usize) -> bool {
+        let in_universe = |s: &NodePairSet| {
+            s.iter()
+                .all(|(u, v)| u.index() < self.n_nodes && v.index() < self.n_nodes)
+        };
+        self.per_tag.len() == n_tags
+            && in_universe(&self.all)
+            && self.per_tag.iter().all(in_universe)
+            && self.per_tag.iter().map(NodePairSet::len).sum::<usize>() >= self.all.len()
+            && self.per_tag.iter().all(|s| s.len() <= self.all.len())
+    }
 }
 
 #[cfg(test)]
@@ -130,6 +152,38 @@ mod tests {
         // The rarest among {fwd, base} is base.
         let fwd = spec.tag_by_name("fwd").unwrap();
         assert_eq!(idx.rarest(&[fwd, base]), Some(base));
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_the_index() {
+        let mut b = SpecificationBuilder::new();
+        b.atomic("t");
+        b.composite("S");
+        b.production("S", |w| {
+            let x = w.node("t");
+            let s = w.node("S");
+            let y = w.node("t");
+            w.edge_named(x, s, "fwd");
+            w.edge_named(s, y, "bwd");
+        });
+        b.production("S", |w| {
+            let x = w.node("t");
+            let y = w.node("t");
+            w.edge_named(x, y, "base");
+        });
+        b.start("S");
+        let spec = b.build().unwrap();
+        let run = RunBuilder::new(&spec)
+            .seed(9)
+            .target_edges(60)
+            .build()
+            .unwrap();
+        let idx = TagIndex::build(&run, spec.n_tags());
+        let back = <TagIndex as serde::Deserialize>::from_value(&serde::Serialize::to_value(&idx))
+            .unwrap();
+        assert_eq!(back, idx);
+        assert!(back.is_well_formed(spec.n_tags()));
+        assert!(!back.is_well_formed(spec.n_tags() + 1));
     }
 
     #[test]

@@ -52,6 +52,27 @@ impl KernelMode {
             KernelMode::ForceBits => "bits",
         }
     }
+
+    /// Validate a raw `RPQ_RELALG_KERNEL` environment value.
+    ///
+    /// Unset is handled by the caller; an empty (or all-whitespace)
+    /// value means "no preference" and resolves to `auto`. Anything
+    /// else must be a recognized mode name — unrecognized values
+    /// return an error naming the valid choices instead of being
+    /// silently coerced (the env reader warns and falls back to
+    /// `auto`; CLIs can surface the message as a hard error).
+    pub fn from_env_value(raw: &str) -> Result<KernelMode, String> {
+        let trimmed = raw.trim();
+        if trimmed.is_empty() {
+            return Ok(KernelMode::Auto);
+        }
+        KernelMode::from_name(trimmed).ok_or_else(|| {
+            format!(
+                "unrecognized RPQ_RELALG_KERNEL value {trimmed:?}: \
+                 valid values are auto, bits, pairs"
+            )
+        })
+    }
 }
 
 /// Universes larger than this never use the bit kernel: three `n × n/64`
@@ -75,10 +96,16 @@ const MODE_BITS: u8 = 3;
 static MODE: AtomicU8 = AtomicU8::new(MODE_UNSET);
 
 fn mode_from_env() -> KernelMode {
-    std::env::var("RPQ_RELALG_KERNEL")
-        .ok()
-        .and_then(|v| KernelMode::from_name(v.trim()))
-        .unwrap_or(KernelMode::Auto)
+    match std::env::var("RPQ_RELALG_KERNEL") {
+        Err(_) => KernelMode::Auto,
+        Ok(raw) => KernelMode::from_env_value(&raw).unwrap_or_else(|message| {
+            // The first kernel dispatch is a poor place to abort the
+            // process, so warn once (the mode is cached after this
+            // read) and run with the default dispatch.
+            eprintln!("warning: {message}; falling back to `auto`");
+            KernelMode::Auto
+        }),
+    }
 }
 
 /// The kernel mode in force for this process.
@@ -188,6 +215,34 @@ mod tests {
             assert_eq!(KernelMode::from_name(mode.name()), Some(mode));
         }
         assert_eq!(KernelMode::from_name("fastest"), None);
+    }
+
+    #[test]
+    fn env_values_are_validated() {
+        // Valid names (whitespace-tolerant) parse to their mode.
+        assert_eq!(
+            KernelMode::from_env_value("bits"),
+            Ok(KernelMode::ForceBits)
+        );
+        assert_eq!(
+            KernelMode::from_env_value("  pairs\n"),
+            Ok(KernelMode::ForcePairs)
+        );
+        assert_eq!(KernelMode::from_env_value("auto"), Ok(KernelMode::Auto));
+        // Empty / whitespace means "no preference".
+        assert_eq!(KernelMode::from_env_value(""), Ok(KernelMode::Auto));
+        assert_eq!(KernelMode::from_env_value("   "), Ok(KernelMode::Auto));
+        // Anything else is an explicit error naming the valid values —
+        // never a silent coercion.
+        for bad in ["quantum", "BITS", "bits,pairs", "1"] {
+            let err = KernelMode::from_env_value(bad).unwrap_err();
+            assert!(err.contains("RPQ_RELALG_KERNEL"), "{err}");
+            assert!(
+                err.contains("auto") && err.contains("bits") && err.contains("pairs"),
+                "error must name the valid values: {err}"
+            );
+            assert!(err.contains(bad.trim()), "{err}");
+        }
     }
 
     #[test]

@@ -32,6 +32,14 @@ pub enum Value {
     Float(f64),
     /// A string.
     Str(String),
+    /// A packed byte buffer — the data model's escape hatch for
+    /// integer-dense payloads (index arrays, adjacency arenas) whose
+    /// element-wise [`Value::Seq`] form costs an enum per number on
+    /// both ends. Binary codecs store it verbatim; JSON renders it as
+    /// an array of byte values for display only (a JSON parse returns
+    /// a `Seq`, which bytes-consuming types reject rather than
+    /// mis-decode element-wise).
+    Bytes(Vec<u8>),
     /// An ordered sequence.
     Seq(Vec<Value>),
     /// An ordered string-keyed map (struct fields, enum payloads).
@@ -63,6 +71,7 @@ impl Value {
             Value::UInt(_) | Value::Int(_) => "integer",
             Value::Float(_) => "float",
             Value::Str(_) => "string",
+            Value::Bytes(_) => "bytes",
             Value::Seq(_) => "sequence",
             Value::Map(_) => "map",
         }

@@ -1,7 +1,7 @@
 //! Offline stand-in for `serde_derive`.
 //!
 //! Generates impls of the shim `serde::Serialize` / `serde::Deserialize`
-//! traits (a [`Value`]-tree data model rather than serde's streaming
+//! traits (a `serde::Value`-tree data model rather than serde's streaming
 //! one). Because `syn`/`quote` are unavailable offline, the input token
 //! stream is parsed by hand into a small shape description, and the
 //! impls are rendered as strings.

@@ -68,6 +68,20 @@ fn write_value(out: &mut String, value: &Value) {
             }
         }
         Value::Str(s) => write_string(out, s),
+        Value::Bytes(bytes) => {
+            // JSON has no binary type: render as an array of numbers,
+            // for display only. (Parsing returns a Seq of UInts, which
+            // bytes-consuming types reject — packed payloads round-trip
+            // through the binary codec, not JSON.)
+            out.push('[');
+            for (i, b) in bytes.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&b.to_string());
+            }
+            out.push(']');
+        }
         Value::Seq(items) => {
             out.push('[');
             for (i, item) in items.iter().enumerate() {

@@ -1,0 +1,470 @@
+//! Compact binary codec over the serde shim's [`Value`] data model.
+//!
+//! The run store persists runs and their derived indexes as binary
+//! files rather than JSON: a 2K-edge run's JSON rendering repeats every
+//! struct field name per edge, while this codec interns strings on
+//! first sight (later occurrences are one- or two-byte table
+//! references) and LEB128-encodes every integer. Encoded sizes land at
+//! roughly a quarter of the JSON text for typical runs, and decoding
+//! does no UTF-8 re-validation of repeated keys.
+//!
+//! Format: a 5-byte header (magic `RPQB` + version), then one value,
+//! recursively:
+//!
+//! | tag  | payload                                             |
+//! |------|-----------------------------------------------------|
+//! | 0x00 | null                                                |
+//! | 0x01 | false                                               |
+//! | 0x02 | true                                                |
+//! | 0x03 | unsigned int — varint                               |
+//! | 0x04 | signed int — zigzag varint                          |
+//! | 0x05 | float — 8 bytes little-endian IEEE 754              |
+//! | 0x06 | string literal — varint length + UTF-8, interned    |
+//! | 0x07 | string back-reference — varint intern-table index   |
+//! | 0x08 | sequence — varint count + values                    |
+//! | 0x09 | map — varint count + (string, value) pairs          |
+//! | 0x0a | byte buffer — varint length + raw bytes             |
+//!
+//! Both sides maintain the intern table implicitly: every literal
+//! string (tag 0x06), wherever it appears, is appended; tag 0x07
+//! refers to it by table position. Map keys use the same two string
+//! forms, without a value tag of their own.
+
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::collections::HashMap;
+use std::fmt;
+
+/// File magic (`RPQB`) + format version.
+const MAGIC: [u8; 4] = *b"RPQB";
+const VERSION: u8 = 1;
+
+const TAG_NULL: u8 = 0x00;
+const TAG_FALSE: u8 = 0x01;
+const TAG_TRUE: u8 = 0x02;
+const TAG_UINT: u8 = 0x03;
+const TAG_INT: u8 = 0x04;
+const TAG_FLOAT: u8 = 0x05;
+const TAG_STR: u8 = 0x06;
+const TAG_STR_REF: u8 = 0x07;
+const TAG_SEQ: u8 = 0x08;
+const TAG_MAP: u8 = 0x09;
+const TAG_BYTES: u8 = 0x0a;
+
+/// A decode failure (truncated, corrupt or version-mismatched bytes).
+#[derive(Debug, Clone)]
+pub struct CodecError(String);
+
+impl CodecError {
+    fn new(message: impl Into<String>) -> CodecError {
+        CodecError(message.into())
+    }
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl From<DeError> for CodecError {
+    fn from(e: DeError) -> CodecError {
+        CodecError(e.0)
+    }
+}
+
+/// Encode any serializable value to the binary format.
+pub fn to_bytes<T: Serialize + ?Sized>(value: &T) -> Vec<u8> {
+    let mut enc = Encoder {
+        out: Vec::with_capacity(256),
+        interned: HashMap::new(),
+    };
+    enc.out.extend_from_slice(&MAGIC);
+    enc.out.push(VERSION);
+    enc.value(&value.to_value());
+    enc.out
+}
+
+/// Decode a value encoded by [`to_bytes`].
+pub fn from_bytes<T: Deserialize>(bytes: &[u8]) -> Result<T, CodecError> {
+    let mut dec = Decoder {
+        bytes,
+        pos: 0,
+        table: Vec::new(),
+    };
+    if bytes.len() < 5 || bytes[..4] != MAGIC {
+        return Err(CodecError::new("not an rpq binary file (bad magic)"));
+    }
+    if bytes[4] != VERSION {
+        return Err(CodecError::new(format!(
+            "unsupported rpq binary version {} (this build reads {VERSION})",
+            bytes[4]
+        )));
+    }
+    dec.pos = 5;
+    let value = dec.value()?;
+    if dec.pos != dec.bytes.len() {
+        return Err(CodecError::new(format!(
+            "trailing bytes at offset {}",
+            dec.pos
+        )));
+    }
+    Ok(T::from_value(&value)?)
+}
+
+// ---------------------------------------------------------------------
+// Encoder.
+// ---------------------------------------------------------------------
+
+struct Encoder {
+    out: Vec<u8>,
+    interned: HashMap<String, u64>,
+}
+
+impl Encoder {
+    fn value(&mut self, value: &Value) {
+        match value {
+            Value::Null => self.out.push(TAG_NULL),
+            Value::Bool(false) => self.out.push(TAG_FALSE),
+            Value::Bool(true) => self.out.push(TAG_TRUE),
+            Value::UInt(n) => {
+                self.out.push(TAG_UINT);
+                put_varint(&mut self.out, *n);
+            }
+            Value::Int(n) => {
+                self.out.push(TAG_INT);
+                put_varint(&mut self.out, zigzag(*n));
+            }
+            Value::Float(x) => {
+                self.out.push(TAG_FLOAT);
+                self.out.extend_from_slice(&x.to_le_bytes());
+            }
+            Value::Str(s) => self.string(s),
+            Value::Bytes(bytes) => {
+                self.out.push(TAG_BYTES);
+                put_varint(&mut self.out, bytes.len() as u64);
+                self.out.extend_from_slice(bytes);
+            }
+            Value::Seq(items) => {
+                self.out.push(TAG_SEQ);
+                put_varint(&mut self.out, items.len() as u64);
+                for item in items {
+                    self.value(item);
+                }
+            }
+            Value::Map(entries) => {
+                self.out.push(TAG_MAP);
+                put_varint(&mut self.out, entries.len() as u64);
+                for (key, item) in entries {
+                    self.string(key);
+                    self.value(item);
+                }
+            }
+        }
+    }
+
+    fn string(&mut self, s: &str) {
+        if let Some(&index) = self.interned.get(s) {
+            self.out.push(TAG_STR_REF);
+            put_varint(&mut self.out, index);
+            return;
+        }
+        let index = self.interned.len() as u64;
+        self.interned.insert(s.to_owned(), index);
+        self.out.push(TAG_STR);
+        put_varint(&mut self.out, s.len() as u64);
+        self.out.extend_from_slice(s.as_bytes());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Decoder.
+// ---------------------------------------------------------------------
+
+struct Decoder<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    table: Vec<String>,
+}
+
+impl Decoder<'_> {
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn byte(&mut self) -> Result<u8, CodecError> {
+        let b = *self
+            .bytes
+            .get(self.pos)
+            .ok_or_else(|| CodecError::new("unexpected end of input"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn varint(&mut self) -> Result<u64, CodecError> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let b = self.byte()?;
+            let payload = u64::from(b & 0x7f);
+            // The 10th byte carries only u64 bit 63: any higher payload
+            // bit (or an 11th byte) must error, not silently truncate
+            // to a plausible wrong value.
+            if shift >= 64 || (shift == 63 && payload > 1) {
+                return Err(CodecError::new("varint overflows u64"));
+            }
+            v |= payload << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    /// A count prefix sanity-checked against the remaining bytes (each
+    /// element takes at least one), so a corrupt prefix cannot drive a
+    /// multi-gigabyte allocation.
+    fn count(&mut self, per_element: usize) -> Result<usize, CodecError> {
+        let n = self.varint()?;
+        let limit = (self.remaining() / per_element.max(1)) as u64;
+        if n > limit {
+            return Err(CodecError::new(format!(
+                "count {n} exceeds remaining input"
+            )));
+        }
+        Ok(n as usize)
+    }
+
+    fn value(&mut self) -> Result<Value, CodecError> {
+        match self.byte()? {
+            TAG_NULL => Ok(Value::Null),
+            TAG_FALSE => Ok(Value::Bool(false)),
+            TAG_TRUE => Ok(Value::Bool(true)),
+            TAG_UINT => Ok(Value::UInt(self.varint()?)),
+            TAG_INT => Ok(Value::Int(unzigzag(self.varint()?))),
+            TAG_FLOAT => {
+                if self.remaining() < 8 {
+                    return Err(CodecError::new("truncated float"));
+                }
+                let mut raw = [0u8; 8];
+                raw.copy_from_slice(&self.bytes[self.pos..self.pos + 8]);
+                self.pos += 8;
+                Ok(Value::Float(f64::from_le_bytes(raw)))
+            }
+            TAG_STR | TAG_STR_REF => {
+                // Re-dispatch through the shared string reader.
+                self.pos -= 1;
+                self.string().map(Value::Str)
+            }
+            TAG_BYTES => {
+                let len = self.count(1)?;
+                let bytes = self.bytes[self.pos..self.pos + len].to_vec();
+                self.pos += len;
+                Ok(Value::Bytes(bytes))
+            }
+            TAG_SEQ => {
+                let n = self.count(1)?;
+                let mut items = Vec::with_capacity(n);
+                for _ in 0..n {
+                    items.push(self.value()?);
+                }
+                Ok(Value::Seq(items))
+            }
+            TAG_MAP => {
+                let n = self.count(2)?;
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let key = self.string()?;
+                    entries.push((key, self.value()?));
+                }
+                Ok(Value::Map(entries))
+            }
+            other => Err(CodecError::new(format!(
+                "unknown value tag {other:#04x} at offset {}",
+                self.pos - 1
+            ))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, CodecError> {
+        match self.byte()? {
+            TAG_STR => {
+                let len = self.count(1)?;
+                let raw = &self.bytes[self.pos..self.pos + len];
+                let s = std::str::from_utf8(raw)
+                    .map_err(|_| CodecError::new("string is not UTF-8"))?
+                    .to_owned();
+                self.pos += len;
+                self.table.push(s.clone());
+                Ok(s)
+            }
+            TAG_STR_REF => {
+                let index = self.varint()? as usize;
+                self.table.get(index).cloned().ok_or_else(|| {
+                    CodecError::new(format!("string back-reference {index} out of range"))
+                })
+            }
+            other => Err(CodecError::new(format!(
+                "expected string, found tag {other:#04x}"
+            ))),
+        }
+    }
+}
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(value: Value) {
+        let mut enc = Encoder {
+            out: Vec::new(),
+            interned: HashMap::new(),
+        };
+        enc.out.extend_from_slice(&MAGIC);
+        enc.out.push(VERSION);
+        enc.value(&value);
+        let bytes = enc.out;
+        let mut dec = Decoder {
+            bytes: &bytes,
+            pos: 5,
+            table: Vec::new(),
+        };
+        let back = dec.value().unwrap();
+        assert_eq!(dec.pos, bytes.len());
+        assert_eq!(back, value);
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(Value::Null);
+        round_trip(Value::Bool(true));
+        round_trip(Value::Bool(false));
+        for n in [0u64, 1, 127, 128, 300, u64::MAX] {
+            round_trip(Value::UInt(n));
+        }
+        for n in [0i64, -1, 1, -300, i64::MIN, i64::MAX] {
+            round_trip(Value::Int(n));
+        }
+        for x in [0.0f64, -1.5, 1e300, f64::MIN_POSITIVE] {
+            round_trip(Value::Float(x));
+        }
+        round_trip(Value::Str("héllo \"wörld\"\n".to_owned()));
+        round_trip(Value::Bytes(vec![]));
+        round_trip(Value::Bytes((0..=255).collect()));
+    }
+
+    #[test]
+    fn structures_round_trip_with_interning() {
+        let edge = |s: u64, d: u64| {
+            Value::Map(vec![
+                ("src".to_owned(), Value::UInt(s)),
+                ("dst".to_owned(), Value::UInt(d)),
+                ("tag".to_owned(), Value::UInt(0)),
+            ])
+        };
+        let many: Vec<Value> = (0..200).map(|i| edge(i, i + 1)).collect();
+        let value = Value::Map(vec![
+            ("edges".to_owned(), Value::Seq(many)),
+            ("name".to_owned(), Value::Str("edges".to_owned())),
+        ]);
+        let bytes = to_bytes_of(&value);
+        // 200 edges × 3 field names: interning keeps the field names
+        // from being re-encoded (4-byte literal each) every time.
+        // "src"/"dst"/"tag" appear literally once each.
+        let text = String::from_utf8_lossy(&bytes);
+        assert_eq!(text.matches("src").count(), 1);
+        assert_eq!(text.matches("dst").count(), 1);
+        round_trip(value);
+    }
+
+    fn to_bytes_of(value: &Value) -> Vec<u8> {
+        let mut enc = Encoder {
+            out: Vec::new(),
+            interned: HashMap::new(),
+        };
+        enc.out.extend_from_slice(&MAGIC);
+        enc.out.push(VERSION);
+        enc.value(value);
+        enc.out
+    }
+
+    #[test]
+    fn header_and_corruption_are_rejected() {
+        let good = to_bytes(&42u64);
+        assert!(from_bytes::<u64>(&good).is_ok());
+        // Bad magic.
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(from_bytes::<u64>(&bad).is_err());
+        // Bad version.
+        let mut bad = good.clone();
+        bad[4] = 99;
+        assert!(from_bytes::<u64>(&bad).is_err());
+        // Truncation at every prefix must error, never panic.
+        for cut in 0..good.len() {
+            assert!(from_bytes::<u64>(&good[..cut]).is_err(), "cut at {cut}");
+        }
+        // Trailing garbage.
+        let mut bad = good;
+        bad.push(0);
+        assert!(from_bytes::<u64>(&bad).is_err());
+        // A count prefix that promises more elements than bytes remain.
+        let mut huge = Vec::new();
+        huge.extend_from_slice(&MAGIC);
+        huge.push(VERSION);
+        huge.push(TAG_SEQ);
+        put_varint(&mut huge, u64::MAX / 2);
+        assert!(from_bytes::<Vec<u64>>(&huge).is_err());
+        // An overlong varint must error, not truncate: ten continuation
+        // bytes put the final payload past u64 bit 63.
+        let mut overlong = Vec::new();
+        overlong.extend_from_slice(&MAGIC);
+        overlong.push(VERSION);
+        overlong.push(TAG_UINT);
+        overlong.extend_from_slice(&[0xff; 9]);
+        overlong.push(0x7e); // bits 1–6 of the 10th byte don't fit
+        assert!(from_bytes::<u64>(&overlong).is_err());
+        // The canonical u64::MAX encoding (10th byte = 0x01) is fine.
+        let max = to_bytes(&u64::MAX);
+        assert_eq!(from_bytes::<u64>(&max).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn zigzag_is_its_own_inverse() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        // Small magnitudes stay small encodings.
+        assert!(zigzag(-1) < 8);
+        assert!(zigzag(3) < 8);
+    }
+
+    #[test]
+    fn typed_round_trip_through_the_public_api() {
+        let value: Vec<(u32, String)> = vec![(1, "a".into()), (2, "a".into()), (3, "b".into())];
+        let bytes = to_bytes(&value);
+        let back: Vec<(u32, String)> = from_bytes(&bytes).unwrap();
+        assert_eq!(back, value);
+    }
+}

@@ -1,0 +1,860 @@
+#![warn(missing_docs)]
+
+//! A persistent multi-run provenance store.
+//!
+//! The paper's headline workload is *stored-index* evaluation: a
+//! compiled query served against many workflow runs whose inverted
+//! indexes were built ahead of time (Section V-A "for each run, an
+//! index maps an edge tag γ to a list of node pairs"). [`RunStore`]
+//! makes that a durable subsystem instead of a per-process cache:
+//!
+//! * **Catalog** — runs are ingested from generators or files,
+//!   deduplicated by their structural fingerprint, and persisted under
+//!   a store directory ([`RunStore::ingest`]);
+//! * **Artifacts** — each run's derived [`TagIndex`] and [`CsrIndex`]
+//!   are persisted beside it (lazily on first use, or eagerly via
+//!   [`RunStore::materialize_artifacts`]) with a compact binary codec
+//!   ([`codec`]), so a restarted process reloads warm indexes instead
+//!   of rebuilding them;
+//! * **Batch execution** — a store is a
+//!   [`RunSource`]: `Session::evaluate_batch`
+//!   fans one prepared query across the whole corpus on a thread pool,
+//!   seeding the session's caches with the store's warm artifacts.
+//!
+//! Directory layout (all paths relative to the store root):
+//!
+//! ```text
+//! spec.json          the workflow specification (JSON, human-readable)
+//! catalog.json       run catalog: ids, fingerprints, sizes
+//! runs/run-<id>.bin  each ingested run (binary codec)
+//! index/tag-<id>.bin persisted TagIndex artifact
+//! index/csr-<id>.bin persisted CsrIndex artifact
+//! ```
+//!
+//! Counters ([`RunStore::stats`]) distinguish *reloads* (artifact
+//! decoded from disk — the warm path) from *rebuilds* (artifact
+//! re-derived from the run because no valid file existed — the cold
+//! path); `repro -- batch` records the cold/warm gap in
+//! `BENCH_batch.json`.
+
+pub mod codec;
+
+use rpq_core::{RpqError, RunRef, RunSource};
+use rpq_grammar::Specification;
+use rpq_labeling::Run;
+use rpq_relalg::{CsrIndex, TagIndex};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Identity of a run inside one store (stable across reopenings).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RunId(pub u64);
+
+impl std::fmt::Display for RunId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// The outcome of one [`RunStore::ingest`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ingested {
+    /// The id of the run inside the store (pre-existing when deduped).
+    pub id: RunId,
+    /// `true` when the run's fingerprint matched an already-stored run
+    /// and nothing was written.
+    pub deduplicated: bool,
+}
+
+/// Monotonic counters of a [`RunStore`] (snapshot via
+/// [`RunStore::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Runs written by `ingest`.
+    pub ingested: u64,
+    /// Ingest calls answered by fingerprint deduplication.
+    pub deduplicated: u64,
+    /// Runs decoded from disk (cold reads; cached thereafter).
+    pub run_loads: u64,
+    /// Tag indexes decoded from persisted artifacts (the warm path).
+    pub tag_reloads: u64,
+    /// CSR arenas decoded from persisted artifacts (the warm path).
+    pub csr_reloads: u64,
+    /// Tag indexes re-derived from their run (no valid artifact — the
+    /// cold path; the rebuilt artifact is persisted for next time).
+    pub tag_rebuilds: u64,
+    /// CSR arenas re-derived likewise.
+    pub csr_rebuilds: u64,
+}
+
+impl StoreStats {
+    /// Counter movement since an `earlier` snapshot.
+    pub fn since(self, earlier: StoreStats) -> StoreStats {
+        StoreStats {
+            ingested: self.ingested - earlier.ingested,
+            deduplicated: self.deduplicated - earlier.deduplicated,
+            run_loads: self.run_loads - earlier.run_loads,
+            tag_reloads: self.tag_reloads - earlier.tag_reloads,
+            csr_reloads: self.csr_reloads - earlier.csr_reloads,
+            tag_rebuilds: self.tag_rebuilds - earlier.tag_rebuilds,
+            csr_rebuilds: self.csr_rebuilds - earlier.csr_rebuilds,
+        }
+    }
+}
+
+/// One catalog row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CatalogEntry {
+    id: u64,
+    fp_hi: u64,
+    fp_lo: u64,
+    n_nodes: u64,
+    n_edges: u64,
+}
+
+/// The persisted catalog (`catalog.json`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Catalog {
+    version: u32,
+    next_id: u64,
+    entries: Vec<CatalogEntry>,
+}
+
+const CATALOG_VERSION: u32 = 1;
+
+/// Fingerprint key for deduplication — same composition as the
+/// session's run-cache key (fingerprint + sizes as collision guard).
+type FpKey = (u64, u64, u64, u64);
+
+/// A run's cached artifact pair: its tag index and CSR arena.
+type ArtifactPair = (Arc<TagIndex>, Arc<CsrIndex>);
+
+fn fp_key(run: &Run) -> FpKey {
+    let (hi, lo) = run.fingerprint();
+    (hi, lo, run.n_nodes() as u64, run.n_edges() as u64)
+}
+
+struct CatalogState {
+    catalog: Catalog,
+    by_fingerprint: HashMap<FpKey, RunId>,
+}
+
+/// A size-bounded LRU over the store's in-memory caches, mirroring the
+/// session's per-run cache bound: without it, `--cache` would bound
+/// the session while the store quietly retained every run and artifact
+/// pair for the whole corpus. Unbounded by default. Eviction scans for
+/// the minimum tick — O(len) per eviction, fine for the capacities a
+/// working set wants (tens to thousands); a heap would pay off only
+/// far beyond that.
+struct BoundedCache<V> {
+    entries: HashMap<RunId, (V, u64)>,
+    tick: u64,
+    capacity: usize,
+}
+
+impl<V: Clone> BoundedCache<V> {
+    fn new() -> BoundedCache<V> {
+        BoundedCache {
+            entries: HashMap::new(),
+            tick: 0,
+            capacity: usize::MAX,
+        }
+    }
+
+    fn get(&mut self, id: &RunId) -> Option<V> {
+        let tick = self.tick + 1;
+        let (value, last_used) = self.entries.get_mut(id)?;
+        self.tick = tick;
+        *last_used = tick;
+        Some(value.clone())
+    }
+
+    /// Insert (keeping any racing entry) and trim to capacity.
+    fn insert_or_keep(&mut self, id: RunId, value: V) -> V {
+        self.tick += 1;
+        let entry = self.entries.entry(id).or_insert((value, self.tick));
+        entry.1 = self.tick;
+        let kept = entry.0.clone();
+        self.trim();
+        kept
+    }
+
+    fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity;
+        self.trim();
+    }
+
+    fn trim(&mut self) {
+        while self.entries.len() > self.capacity {
+            let stalest = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, last_used))| *last_used)
+                .map(|(id, _)| *id)
+                .expect("len > capacity >= 0 implies non-empty");
+            self.entries.remove(&stalest);
+        }
+    }
+}
+
+/// A directory-backed catalog of runs and their derived artifacts.
+///
+/// The store is `Send + Sync`: the catalog and both in-memory caches
+/// sit behind mutexes, so a batch executor's worker threads can load
+/// runs and artifacts concurrently.
+pub struct RunStore {
+    dir: PathBuf,
+    spec: Arc<Specification>,
+    state: Mutex<CatalogState>,
+    runs: Mutex<BoundedCache<Arc<Run>>>,
+    artifacts: Mutex<BoundedCache<ArtifactPair>>,
+    ingested: AtomicU64,
+    deduplicated: AtomicU64,
+    run_loads: AtomicU64,
+    tag_reloads: AtomicU64,
+    csr_reloads: AtomicU64,
+    tag_rebuilds: AtomicU64,
+    csr_rebuilds: AtomicU64,
+}
+
+impl RunStore {
+    // -- opening -------------------------------------------------------
+
+    /// Create a new store at `dir` (created if absent) for `spec`.
+    /// Fails if the directory already holds a store.
+    pub fn create(dir: impl Into<PathBuf>, spec: Arc<Specification>) -> Result<RunStore, RpqError> {
+        let dir = dir.into();
+        if dir.join("catalog.json").exists() {
+            return Err(RpqError::invalid(format!(
+                "directory {dir:?} already holds a run store; use open"
+            )));
+        }
+        for sub in ["runs", "index"] {
+            std::fs::create_dir_all(dir.join(sub))
+                .map_err(|e| RpqError::io(format!("cannot create store directory {dir:?}"), e))?;
+        }
+        let spec_json = serde_json::to_string(spec.as_ref())
+            .map_err(|e| RpqError::invalid(format!("cannot serialize specification: {e}")))?;
+        write_atomic(&dir.join("spec.json"), spec_json.as_bytes())?;
+        let store = RunStore::assemble(
+            dir,
+            spec,
+            Catalog {
+                version: CATALOG_VERSION,
+                next_id: 0,
+                entries: Vec::new(),
+            },
+        );
+        store.persist_catalog(&store.state.lock().expect("catalog lock").catalog)?;
+        Ok(store)
+    }
+
+    /// Open an existing store, loading its specification and catalog.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<RunStore, RpqError> {
+        let dir = dir.into();
+        let spec_text = std::fs::read_to_string(dir.join("spec.json"))
+            .map_err(|e| RpqError::io(format!("cannot read {dir:?}/spec.json"), e))?;
+        let spec: Specification = serde_json::from_str(&spec_text)
+            .map_err(|e| RpqError::invalid(format!("corrupt spec.json in {dir:?}: {e}")))?;
+        let catalog_text = std::fs::read_to_string(dir.join("catalog.json"))
+            .map_err(|e| RpqError::io(format!("cannot read {dir:?}/catalog.json"), e))?;
+        let catalog: Catalog = serde_json::from_str(&catalog_text)
+            .map_err(|e| RpqError::invalid(format!("corrupt catalog.json in {dir:?}: {e}")))?;
+        if catalog.version != CATALOG_VERSION {
+            return Err(RpqError::invalid(format!(
+                "store {dir:?} has catalog version {} (this build reads {CATALOG_VERSION})",
+                catalog.version
+            )));
+        }
+        Ok(RunStore::assemble(dir, Arc::new(spec), catalog))
+    }
+
+    /// Open the store at `dir` when one exists (verifying it was built
+    /// for `spec`), create it otherwise.
+    pub fn open_or_create(
+        dir: impl Into<PathBuf>,
+        spec: Arc<Specification>,
+    ) -> Result<RunStore, RpqError> {
+        let dir = dir.into();
+        if dir.join("catalog.json").exists() {
+            let store = RunStore::open(&dir)?;
+            if *store.spec != *spec {
+                return Err(RpqError::invalid(format!(
+                    "store {dir:?} was built for a different specification"
+                )));
+            }
+            Ok(store)
+        } else {
+            RunStore::create(dir, spec)
+        }
+    }
+
+    /// Bound the in-memory run and artifact caches to at most
+    /// `capacity` runs each (LRU). Pairs with
+    /// `Session::with_cache_capacity`: bounding only the session would
+    /// leave this store retaining the whole corpus anyway. Persisted
+    /// files are unaffected — evicted entries reload from disk.
+    pub fn with_cache_capacity(self, capacity: usize) -> RunStore {
+        self.runs
+            .lock()
+            .expect("run cache lock")
+            .set_capacity(capacity);
+        self.artifacts
+            .lock()
+            .expect("artifact cache lock")
+            .set_capacity(capacity);
+        self
+    }
+
+    fn assemble(dir: PathBuf, spec: Arc<Specification>, catalog: Catalog) -> RunStore {
+        let by_fingerprint = catalog
+            .entries
+            .iter()
+            .map(|e| ((e.fp_hi, e.fp_lo, e.n_nodes, e.n_edges), RunId(e.id)))
+            .collect();
+        RunStore {
+            dir,
+            spec,
+            state: Mutex::new(CatalogState {
+                catalog,
+                by_fingerprint,
+            }),
+            runs: Mutex::new(BoundedCache::new()),
+            artifacts: Mutex::new(BoundedCache::new()),
+            ingested: AtomicU64::new(0),
+            deduplicated: AtomicU64::new(0),
+            run_loads: AtomicU64::new(0),
+            tag_reloads: AtomicU64::new(0),
+            csr_reloads: AtomicU64::new(0),
+            tag_rebuilds: AtomicU64::new(0),
+            csr_rebuilds: AtomicU64::new(0),
+        }
+    }
+
+    // -- accessors -----------------------------------------------------
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The specification every stored run derives from.
+    pub fn spec(&self) -> &Specification {
+        &self.spec
+    }
+
+    /// A shared handle to the specification — open sessions over it so
+    /// prepared queries and stored runs always agree.
+    pub fn spec_arc(&self) -> Arc<Specification> {
+        Arc::clone(&self.spec)
+    }
+
+    /// Number of stored runs.
+    pub fn len(&self) -> usize {
+        self.state
+            .lock()
+            .expect("catalog lock")
+            .catalog
+            .entries
+            .len()
+    }
+
+    /// Is the store empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Ids of all stored runs, in catalog (ingestion) order.
+    pub fn ids(&self) -> Vec<RunId> {
+        self.state
+            .lock()
+            .expect("catalog lock")
+            .catalog
+            .entries
+            .iter()
+            .map(|e| RunId(e.id))
+            .collect()
+    }
+
+    /// The id at catalog position `i` — the allocation-free lookup the
+    /// batch executor uses per run (a full [`RunStore::ids`] snapshot
+    /// per run would make an `n`-run batch quadratic).
+    pub fn id_at(&self, i: usize) -> Option<RunId> {
+        self.state
+            .lock()
+            .expect("catalog lock")
+            .catalog
+            .entries
+            .get(i)
+            .map(|e| RunId(e.id))
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            ingested: self.ingested.load(Ordering::Relaxed),
+            deduplicated: self.deduplicated.load(Ordering::Relaxed),
+            run_loads: self.run_loads.load(Ordering::Relaxed),
+            tag_reloads: self.tag_reloads.load(Ordering::Relaxed),
+            csr_reloads: self.csr_reloads.load(Ordering::Relaxed),
+            tag_rebuilds: self.tag_rebuilds.load(Ordering::Relaxed),
+            csr_rebuilds: self.csr_rebuilds.load(Ordering::Relaxed),
+        }
+    }
+
+    // -- ingestion -----------------------------------------------------
+
+    /// Ingest one run: validate it against the store's specification,
+    /// deduplicate by structural fingerprint, and persist it. Artifacts
+    /// are *not* built here — they materialize on first use (or all at
+    /// once via [`RunStore::materialize_artifacts`]), so ingestion
+    /// stays cheap.
+    pub fn ingest(&self, run: &Run) -> Result<Ingested, RpqError> {
+        run.validate_against(&self.spec)
+            .map_err(|e| RpqError::invalid(format!("run does not match the store spec: {e}")))?;
+        let key = fp_key(run);
+        // The catalog lock is held across the file writes: ingestion is
+        // rare next to queries, and serializing it keeps the
+        // id-assignment / catalog-write pair atomic without a journal.
+        let mut state = self.state.lock().expect("catalog lock");
+        if let Some(&id) = state.by_fingerprint.get(&key) {
+            self.deduplicated.fetch_add(1, Ordering::Relaxed);
+            return Ok(Ingested {
+                id,
+                deduplicated: true,
+            });
+        }
+        let id = RunId(state.catalog.next_id);
+        write_atomic(&self.run_path(id), &codec::to_bytes(run))?;
+        state.catalog.next_id += 1;
+        state.catalog.entries.push(CatalogEntry {
+            id: id.0,
+            fp_hi: key.0,
+            fp_lo: key.1,
+            n_nodes: key.2,
+            n_edges: key.3,
+        });
+        state.by_fingerprint.insert(key, id);
+        if let Err(e) = self.persist_catalog(&state.catalog) {
+            // Keep memory and disk consistent: a run whose catalog row
+            // never landed must not look ingested (a later retry would
+            // dedupe against a row that does not exist on disk). The
+            // already-written run file is a harmless orphan.
+            state.catalog.entries.pop();
+            state.by_fingerprint.remove(&key);
+            state.catalog.next_id -= 1;
+            return Err(e);
+        }
+        drop(state);
+        self.ingested.fetch_add(1, Ordering::Relaxed);
+        self.runs
+            .lock()
+            .expect("run cache lock")
+            .insert_or_keep(id, Arc::new(run.clone()));
+        Ok(Ingested {
+            id,
+            deduplicated: false,
+        })
+    }
+
+    /// Ingest a run serialized as JSON (e.g. by `rpq simulate --out`).
+    pub fn ingest_json_file(&self, path: impl AsRef<Path>) -> Result<Ingested, RpqError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| RpqError::io(format!("cannot read run {path:?}"), e))?;
+        let run: Run = serde_json::from_str(&text)
+            .map_err(|e| RpqError::invalid(format!("cannot parse run {path:?}: {e}")))?;
+        self.ingest(&run)
+    }
+
+    /// Build and persist the artifacts of every run that lacks them —
+    /// shipping the store warm instead of paying rebuilds at first
+    /// query. Returns how many runs were materialized.
+    pub fn materialize_artifacts(&self) -> Result<usize, RpqError> {
+        let mut materialized = 0;
+        for id in self.ids() {
+            if self.tag_path(id).exists() && self.csr_path(id).exists() {
+                continue;
+            }
+            let (tag, csr) = self.artifacts(id)?;
+            // artifacts() persists only when it rebuilt; a pair served
+            // from the in-memory cache leaves missing files missing,
+            // and "materialized" must mean "on disk".
+            if !self.tag_path(id).exists() {
+                write_atomic(&self.tag_path(id), &codec::to_bytes(tag.as_ref()))?;
+            }
+            if !self.csr_path(id).exists() {
+                write_atomic(&self.csr_path(id), &codec::to_bytes(csr.as_ref()))?;
+            }
+            materialized += 1;
+        }
+        Ok(materialized)
+    }
+
+    // -- loading -------------------------------------------------------
+
+    /// The stored run with `id`, decoded at most once per process.
+    pub fn run(&self, id: RunId) -> Result<Arc<Run>, RpqError> {
+        if let Some(run) = self.runs.lock().expect("run cache lock").get(&id) {
+            return Ok(run);
+        }
+        let path = self.run_path(id);
+        let bytes = std::fs::read(&path)
+            .map_err(|e| RpqError::io(format!("cannot read stored run {path:?}"), e))?;
+        let run: Run = codec::from_bytes(&bytes)
+            .map_err(|e| RpqError::invalid(format!("corrupt stored run {path:?}: {e}")))?;
+        run.validate_against(&self.spec).map_err(|e| {
+            RpqError::invalid(format!(
+                "stored run {path:?} does not match the store spec: {e}"
+            ))
+        })?;
+        self.run_loads.fetch_add(1, Ordering::Relaxed);
+        Ok(self
+            .runs
+            .lock()
+            .expect("run cache lock")
+            .insert_or_keep(id, Arc::new(run)))
+    }
+
+    /// The catalog dimensions of `id` — the (n_nodes, n_edges) the
+    /// run was ingested with, used to bind artifact files to *their*
+    /// run.
+    fn catalog_dims(&self, id: RunId) -> Result<(usize, usize), RpqError> {
+        let state = self.state.lock().expect("catalog lock");
+        state
+            .catalog
+            .entries
+            .iter()
+            .find(|e| e.id == id.0)
+            .map(|e| (e.n_nodes as usize, e.n_edges as usize))
+            .ok_or_else(|| RpqError::invalid(format!("no run {id} in this store")))
+    }
+
+    /// The run's derived artifacts — decoded from their persisted files
+    /// when present, well-formed *and* matching the run's cataloged
+    /// dimensions (counted as *reloads*), re-derived from the run and
+    /// persisted otherwise (counted as *rebuilds*). The dimension check
+    /// matters: a well-formed artifact belonging to a *different* run
+    /// (a mis-restored backup, a copied file) must fall back to rebuild
+    /// rather than silently answer for the wrong graph.
+    pub fn artifacts(&self, id: RunId) -> Result<ArtifactPair, RpqError> {
+        if let Some(pair) = self.artifacts.lock().expect("artifact cache lock").get(&id) {
+            return Ok(pair);
+        }
+        let n_tags = self.spec.n_tags();
+        let (n_nodes, n_edges) = self.catalog_dims(id)?;
+
+        let tag = match self.decode_artifact::<TagIndex>(&self.tag_path(id)) {
+            // Pair-set dedup of parallel same-tag edges means the
+            // indexed pair count may undershoot the run's edge count,
+            // never exceed it.
+            Some(index)
+                if index.is_well_formed(n_tags)
+                    && index.n_nodes() == n_nodes
+                    && index.all_edges().len() <= n_edges =>
+            {
+                self.tag_reloads.fetch_add(1, Ordering::Relaxed);
+                Arc::new(index)
+            }
+            _ => {
+                let run = self.run(id)?;
+                let index = TagIndex::build(&run, n_tags);
+                write_atomic(&self.tag_path(id), &codec::to_bytes(&index))?;
+                self.tag_rebuilds.fetch_add(1, Ordering::Relaxed);
+                Arc::new(index)
+            }
+        };
+
+        let csr = match self.decode_artifact::<CsrIndex>(&self.csr_path(id)) {
+            Some(csr)
+                if csr.is_well_formed(n_tags)
+                    && csr.n_nodes() == tag.n_nodes()
+                    && csr.all().n_edges() == tag.all_edges().len() =>
+            {
+                self.csr_reloads.fetch_add(1, Ordering::Relaxed);
+                Arc::new(csr)
+            }
+            _ => {
+                let csr = CsrIndex::build(&tag);
+                write_atomic(&self.csr_path(id), &codec::to_bytes(&csr))?;
+                self.csr_rebuilds.fetch_add(1, Ordering::Relaxed);
+                Arc::new(csr)
+            }
+        };
+
+        Ok(self
+            .artifacts
+            .lock()
+            .expect("artifact cache lock")
+            .insert_or_keep(id, (tag, csr)))
+    }
+
+    /// Decode one artifact file; any failure (missing, truncated,
+    /// tampered) falls back to `None` so the caller rebuilds.
+    fn decode_artifact<T: serde::Deserialize>(&self, path: &Path) -> Option<T> {
+        let bytes = std::fs::read(path).ok()?;
+        codec::from_bytes(&bytes).ok()
+    }
+
+    // -- paths & persistence -------------------------------------------
+
+    fn run_path(&self, id: RunId) -> PathBuf {
+        self.dir.join("runs").join(format!("run-{}.bin", id.0))
+    }
+
+    fn tag_path(&self, id: RunId) -> PathBuf {
+        self.dir.join("index").join(format!("tag-{}.bin", id.0))
+    }
+
+    fn csr_path(&self, id: RunId) -> PathBuf {
+        self.dir.join("index").join(format!("csr-{}.bin", id.0))
+    }
+
+    fn persist_catalog(&self, catalog: &Catalog) -> Result<(), RpqError> {
+        let json = serde_json::to_string(catalog)
+            .map_err(|e| RpqError::invalid(format!("cannot serialize catalog: {e}")))?;
+        write_atomic(&self.dir.join("catalog.json"), json.as_bytes())
+    }
+}
+
+/// Write-then-rename so readers never observe a torn file: the catalog
+/// is rewritten on every ingest, and run/artifact binaries must either
+/// fully exist or not at all (a half-written artifact would just be
+/// rebuilt, but a half-written catalog would lose the store).
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), RpqError> {
+    // Unique per process *and* per call: two threads re-persisting the
+    // same artifact must not interleave writes into one tmp file and
+    // rename torn bytes into place.
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let tmp = path.with_extension(format!(
+        "tmp.{}.{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::write(&tmp, bytes).map_err(|e| RpqError::io(format!("cannot write {tmp:?}"), e))?;
+    std::fs::rename(&tmp, path)
+        .map_err(|e| RpqError::io(format!("cannot move {tmp:?} into place"), e))
+}
+
+impl RunSource for RunStore {
+    fn n_runs(&self) -> usize {
+        self.len()
+    }
+
+    fn run(&self, i: usize) -> Result<RunRef<'_>, RpqError> {
+        let id = self.id_at(i).ok_or_else(|| {
+            RpqError::invalid(format!(
+                "run #{i} out of range for a {}-run store",
+                self.len()
+            ))
+        })?;
+        RunStore::run(self, id).map(RunRef::Shared)
+    }
+
+    fn warm_artifacts(&self, i: usize) -> Option<(Arc<TagIndex>, Arc<CsrIndex>)> {
+        self.artifacts(self.id_at(i)?).ok()
+    }
+}
+
+impl std::fmt::Debug for RunStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunStore")
+            .field("dir", &self.dir)
+            .field("runs", &self.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpq_labeling::RunBuilder;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("rpq_store_unit")
+            .join(format!("{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn spec() -> Specification {
+        rpq_workloads::paper_examples::fig2_spec()
+    }
+
+    fn run_of(spec: &Specification, seed: u64) -> Run {
+        // Distinct target sizes per seed: small grammars can derive
+        // structurally identical runs from different seeds at one
+        // size, which would (correctly) deduplicate.
+        RunBuilder::new(spec)
+            .seed(seed)
+            .target_edges(60 + 15 * seed as usize)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn ingest_dedupes_by_fingerprint_and_survives_reopen() {
+        let dir = temp_dir("dedupe");
+        let spec = Arc::new(spec());
+        let store = RunStore::create(&dir, Arc::clone(&spec)).unwrap();
+        let a = run_of(&spec, 1);
+        let b = run_of(&spec, 2);
+
+        let ia = store.ingest(&a).unwrap();
+        let ib = store.ingest(&b).unwrap();
+        assert!(!ia.deduplicated && !ib.deduplicated);
+        assert_ne!(ia.id, ib.id);
+        // Same structure again → deduplicated onto the same id, even
+        // through a serialization round-trip.
+        let a_copy: Run = serde_json::from_str(&serde_json::to_string(&a).unwrap()).unwrap();
+        let again = store.ingest(&a_copy).unwrap();
+        assert!(again.deduplicated);
+        assert_eq!(again.id, ia.id);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.stats().ingested, 2);
+        assert_eq!(store.stats().deduplicated, 1);
+
+        // Reopen: catalog, dedupe map and run bytes all persist.
+        drop(store);
+        let store = RunStore::open(&dir).unwrap();
+        assert_eq!(store.len(), 2);
+        assert!(store.ingest(&a).unwrap().deduplicated);
+        let loaded = store.run(ia.id).unwrap();
+        assert_eq!(loaded.n_edges(), a.n_edges());
+        assert_eq!(loaded.fingerprint(), a.fingerprint());
+        assert_eq!(store.stats().run_loads, 1);
+        // Loaded once, cached thereafter.
+        store.run(ia.id).unwrap();
+        assert_eq!(store.stats().run_loads, 1);
+    }
+
+    #[test]
+    fn artifacts_rebuild_cold_and_reload_warm() {
+        let dir = temp_dir("artifacts");
+        let spec = Arc::new(spec());
+        let store = RunStore::create(&dir, Arc::clone(&spec)).unwrap();
+        let id = store.ingest(&run_of(&spec, 3)).unwrap().id;
+
+        // Cold: no artifact files yet → rebuilt (and persisted).
+        let (tag1, csr1) = store.artifacts(id).unwrap();
+        assert_eq!(store.stats().tag_rebuilds, 1);
+        assert_eq!(store.stats().tag_reloads, 0);
+        assert!(store.tag_path(id).exists() && store.csr_path(id).exists());
+        // Second call in-process: cache, no new counters.
+        store.artifacts(id).unwrap();
+        assert_eq!(store.stats().tag_rebuilds, 1);
+
+        // Warm: a fresh store instance decodes the persisted files.
+        let reopened = RunStore::open(&dir).unwrap();
+        let (tag2, csr2) = reopened.artifacts(id).unwrap();
+        assert_eq!(reopened.stats().tag_reloads, 1);
+        assert_eq!(reopened.stats().csr_reloads, 1);
+        assert_eq!(reopened.stats().tag_rebuilds, 0);
+        assert_eq!(reopened.stats().csr_rebuilds, 0);
+        assert_eq!(*tag2, *tag1);
+        assert_eq!(*csr2, *csr1);
+
+        // Tampered artifact: falls back to rebuild instead of erroring.
+        std::fs::write(reopened.tag_path(id), b"garbage").unwrap();
+        let tampered = RunStore::open(&dir).unwrap();
+        tampered.artifacts(id).unwrap();
+        assert_eq!(tampered.stats().tag_rebuilds, 1);
+        assert_eq!(tampered.stats().csr_reloads, 1);
+    }
+
+    #[test]
+    fn materialize_makes_every_artifact_warm() {
+        let dir = temp_dir("materialize");
+        let spec = Arc::new(spec());
+        let store = RunStore::create(&dir, Arc::clone(&spec)).unwrap();
+        for seed in 10..14 {
+            store.ingest(&run_of(&spec, seed)).unwrap();
+        }
+        assert_eq!(store.materialize_artifacts().unwrap(), 4);
+        assert_eq!(store.materialize_artifacts().unwrap(), 0);
+        let reopened = RunStore::open(&dir).unwrap();
+        for id in reopened.ids() {
+            reopened.artifacts(id).unwrap();
+        }
+        assert_eq!(reopened.stats().tag_reloads, 4);
+        assert_eq!(reopened.stats().csr_reloads, 4);
+        assert_eq!(
+            reopened.stats().tag_rebuilds + reopened.stats().csr_rebuilds,
+            0
+        );
+    }
+
+    #[test]
+    fn bounded_caches_refetch_evicted_entries_from_disk() {
+        let dir = temp_dir("bounded");
+        let spec = Arc::new(spec());
+        let store = RunStore::create(&dir, Arc::clone(&spec))
+            .unwrap()
+            .with_cache_capacity(1);
+        let ids: Vec<RunId> = (30..34)
+            .map(|seed| store.ingest(&run_of(&spec, seed)).unwrap().id)
+            .collect();
+        // Touch every run and artifact pair; the 1-entry caches force
+        // disk reads beyond the first sighting, not unbounded growth.
+        for &id in &ids {
+            store.run(id).unwrap();
+            store.artifacts(id).unwrap();
+        }
+        for &id in &ids {
+            store.run(id).unwrap();
+        }
+        // 4 ingests kept only 1 cached; 3 of the first sweep's loads
+        // were evicted by the time the second sweep re-read them.
+        assert!(store.stats().run_loads >= 3, "{:?}", store.stats());
+        // Evicted artifact pairs reload from their persisted files.
+        let before = store.stats();
+        store.artifacts(ids[0]).unwrap();
+        let delta = store.stats().since(before);
+        assert_eq!(delta.tag_reloads, 1);
+        assert_eq!(delta.tag_rebuilds, 0);
+    }
+
+    #[test]
+    fn materialize_persists_even_when_the_pair_is_cached_in_memory() {
+        let dir = temp_dir("rematerialize");
+        let spec = Arc::new(spec());
+        let store = RunStore::create(&dir, Arc::clone(&spec)).unwrap();
+        let id = store.ingest(&run_of(&spec, 40)).unwrap().id;
+        store.artifacts(id).unwrap(); // built, persisted, cached
+        std::fs::remove_file(store.tag_path(id)).unwrap();
+        std::fs::remove_file(store.csr_path(id)).unwrap();
+        // The cached pair must be written back out, not just counted.
+        assert_eq!(store.materialize_artifacts().unwrap(), 1);
+        assert!(store.tag_path(id).exists() && store.csr_path(id).exists());
+        let reopened = RunStore::open(&dir).unwrap();
+        reopened.artifacts(id).unwrap();
+        assert_eq!(reopened.stats().tag_reloads, 1);
+        assert_eq!(reopened.stats().tag_rebuilds, 0);
+    }
+
+    #[test]
+    fn wrong_spec_and_wrong_runs_are_rejected() {
+        let dir = temp_dir("wrongspec");
+        let fig2 = Arc::new(spec());
+        let store = RunStore::create(&dir, Arc::clone(&fig2)).unwrap();
+        // A run of a different specification fails validation.
+        let fork = rpq_workloads::paper_examples::fork_spec();
+        let foreign = RunBuilder::new(&fork)
+            .seed(1)
+            .target_edges(60)
+            .build()
+            .unwrap();
+        assert!(store.ingest(&foreign).is_err());
+        // Reopening under a different spec is refused.
+        drop(store);
+        assert!(RunStore::open_or_create(&dir, Arc::new(fork)).is_err());
+        assert!(RunStore::open_or_create(&dir, fig2).is_ok());
+        // Creating over an existing store is refused.
+        assert!(RunStore::create(&dir, Arc::new(spec())).is_err());
+    }
+}

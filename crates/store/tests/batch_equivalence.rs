@@ -1,0 +1,137 @@
+//! Property tests pinning the batch executor to the sequential
+//! referee: for any corpus, any request mode and any thread count,
+//! `Session::evaluate_batch` answers exactly what per-run
+//! `Session::evaluate` answers — through an in-memory source and
+//! through a persisted store alike.
+
+use proptest::prelude::*;
+use rpq_core::{BatchOptions, QueryRequest, Session};
+use rpq_labeling::Run;
+use rpq_store::RunStore;
+use rpq_workloads::paper_examples;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The paper's Fig. 2 queries spanning safe, composite and star plans.
+const QUERIES: &[&str] = &["_* e _*", "_* a _*", "a+", "b", "_* d _* a _*"];
+
+fn scratch_dir() -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join("rpq_store_prop").join(format!(
+        "{}_{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A corpus of 1–4 distinct-size runs (distinct sizes guarantee
+/// distinct fingerprints even on this small grammar).
+fn corpus_strategy() -> impl Strategy<Value = Vec<Run>> {
+    (1usize..5, 0u64..1000).prop_map(|(n_runs, seed)| {
+        let spec = paper_examples::fig2_spec();
+        (0..n_runs)
+            .map(|i| {
+                rpq_labeling::RunBuilder::new(&spec)
+                    .seed(seed + i as u64)
+                    .target_edges(40 + 25 * i)
+                    .build()
+                    .expect("fig2 derives")
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn batch_equals_sequential_for_any_thread_count(
+        runs in corpus_strategy(),
+        threads in 1usize..9,
+        query_index in 0usize..QUERIES.len(),
+    ) {
+        let query_text = QUERIES[query_index];
+        let request = QueryRequest::entry_exit();
+
+        // Sequential referee on its own session.
+        let referee = Session::from_spec(paper_examples::fig2_spec());
+        let referee_query = referee.prepare(query_text).unwrap();
+        let expected: Vec<bool> = runs
+            .iter()
+            .map(|run| {
+                referee
+                    .evaluate(&referee_query, run, &request)
+                    .as_bool()
+                    .expect("entry-exit is pairwise")
+            })
+            .collect();
+
+        // Batch over the in-memory source.
+        let session = Session::from_spec(paper_examples::fig2_spec());
+        let query = session.prepare(query_text).unwrap();
+        let outcome = session.evaluate_batch(
+            &query,
+            runs.as_slice(),
+            &request,
+            &BatchOptions::threads(threads),
+        );
+        prop_assert_eq!(outcome.items.len(), runs.len());
+        for (item, expected) in outcome.items.iter().zip(&expected) {
+            let got = item.outcome.as_ref().expect("in-memory source").as_bool();
+            prop_assert_eq!(got, Some(*expected), "{} on run {}", query_text, item.index);
+        }
+
+        // Batch through a persisted store: identical again, and the
+        // warm artifacts mean the session never built an index itself.
+        let dir = scratch_dir();
+        let store = RunStore::create(&dir, session.spec_arc()).unwrap();
+        for run in &runs {
+            prop_assert!(!store.ingest(run).unwrap().deduplicated);
+        }
+        let store_session = Session::new(store.spec_arc());
+        let store_query = store_session.prepare(query_text).unwrap();
+        let outcome = store_session.evaluate_batch(
+            &store_query,
+            &store,
+            &request,
+            &BatchOptions::threads(threads),
+        );
+        for (item, expected) in outcome.items.iter().zip(&expected) {
+            let got = item.outcome.as_ref().expect("store source").as_bool();
+            prop_assert_eq!(got, Some(*expected), "store: {}", query_text);
+        }
+        prop_assert_eq!(outcome.stats.index_misses, 0,
+            "store artifacts must pre-empt session index builds");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn batch_star_requests_agree_with_sequential(
+        runs in corpus_strategy(),
+        threads in 1usize..5,
+    ) {
+        // A node id present in every corpus run (entry is always 0's
+        // id only by construction order — use the smallest universe).
+        let min_nodes = runs.iter().map(Run::n_nodes).min().unwrap();
+        let probe = rpq_labeling::NodeId((min_nodes as u32) / 2);
+        let request = QueryRequest::source_star(probe);
+
+        let referee = Session::from_spec(paper_examples::fig2_spec());
+        let referee_query = referee.prepare("a+").unwrap();
+        let session = Session::from_spec(paper_examples::fig2_spec());
+        let query = session.prepare("a+").unwrap();
+        let outcome = session.evaluate_batch(
+            &query,
+            runs.as_slice(),
+            &request,
+            &BatchOptions::threads(threads),
+        );
+        for item in &outcome.items {
+            let got = item.outcome.as_ref().expect("in-memory source");
+            let fresh = referee.evaluate(&referee_query, &runs[item.index], &request);
+            prop_assert_eq!(&got.result, &fresh.result, "run {}", item.index);
+        }
+    }
+}

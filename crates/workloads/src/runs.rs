@@ -36,6 +36,27 @@ pub fn simulate_fork(
         .build()
 }
 
+/// Simulate a corpus of `n_runs` structurally distinct runs for store
+/// ingestion and batch benchmarks.
+///
+/// Seeds vary per run *and* target sizes ramp in small strides (from
+/// `target_edges` up to roughly `1.5 × target_edges`): small grammars
+/// can derive structurally identical runs from different seeds at one
+/// target size, and identical structure would (correctly) deduplicate
+/// away inside a `RunStore` — the ramp guarantees distinct
+/// fingerprints without changing the corpus's size class.
+pub fn corpus(
+    spec: &Specification,
+    n_runs: usize,
+    target_edges: usize,
+    seed: u64,
+) -> Result<Vec<Run>, DeriveError> {
+    let stride = (target_edges / (2 * n_runs.max(1))).max(4);
+    (0..n_runs)
+        .map(|i| simulate(spec, target_edges + i * stride, seed + i as u64))
+        .collect()
+}
+
 /// Sample `n` node ids deterministically (stride sampling) — benchmark
 /// input lists.
 pub fn sample_nodes(run: &Run, n: usize, seed: u64) -> Vec<rpq_labeling::NodeId> {
@@ -67,6 +88,18 @@ mod tests {
         let fork = spec.tag_by_name("fork").unwrap();
         let n_fork = run.edges().iter().filter(|e| e.tag == fork).count();
         assert!(n_fork >= 80, "only {n_fork} fork edges");
+    }
+
+    #[test]
+    fn corpus_runs_are_structurally_distinct() {
+        let spec = fig2_spec();
+        let runs = corpus(&spec, 8, 100, 5).unwrap();
+        assert_eq!(runs.len(), 8);
+        let mut fingerprints: Vec<_> = runs.iter().map(|r| r.fingerprint()).collect();
+        fingerprints.sort_unstable();
+        fingerprints.dedup();
+        assert_eq!(fingerprints.len(), 8, "corpus runs must not collide");
+        assert_eq!(corpus(&spec, 0, 100, 5).unwrap().len(), 0);
     }
 
     #[test]

@@ -10,7 +10,15 @@
 //!   evaluate a regular path query through a [`Session`] (pairwise when
 //!   both endpoints are given, source/target star when one is, all-pairs
 //!   otherwise);
-//! * `stats (--run FILE | <SPEC> --edges N)` — run/label statistics.
+//! * `stats (--run FILE | <SPEC> --edges N)` — run/label statistics;
+//! * `store <SPEC> --dir DIR [--ingest N] [--edges M] [--seed S]
+//!   [--add FILE]` — create or extend a persistent [`RunStore`]:
+//!   ingest simulated runs and/or a JSON run file, deduplicate by
+//!   fingerprint, and materialize warm index artifacts;
+//! * `batch <QUERY> --store DIR [--threads N] [--cache C] [--policy P]
+//!   [--kernel K]` — prepare `<QUERY>` once and evaluate it
+//!   entry→exit over every stored run on a thread pool, reporting
+//!   per-run verdicts plus store/session cache counters.
 //!
 //! `<SPEC>` is `fig2`, `fork`, `bioaid`, `qblast`, or a path to a JSON
 //! specification produced by serde. `--policy` selects the subquery
@@ -23,10 +31,12 @@
 //! Every failure surfaces as [`RpqError`] — the CLI has no error type
 //! of its own.
 
-use rpq_core::{QueryRequest, RpqError, Session, SubqueryPolicy};
+use rpq_core::{BatchOptions, QueryRequest, RpqError, Session, SubqueryPolicy};
 use rpq_grammar::Specification;
 use rpq_labeling::{Run, RunBuilder, RunStats};
+use rpq_store::RunStore;
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 /// Entry point: interpret `args` (without the program name) and return
 /// the output text.
@@ -37,6 +47,8 @@ pub fn run_cli(args: &[String]) -> Result<String, RpqError> {
         Some("simulate") => cmd_simulate(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
+        Some("store") => cmd_store(&args[1..]),
+        Some("batch") => cmd_batch(&args[1..]),
         Some("help") | None => Ok(USAGE.to_owned()),
         Some(other) => Err(RpqError::invalid(format!(
             "unknown subcommand {other:?}\n{USAGE}"
@@ -53,6 +65,8 @@ USAGE:
   rpq query <SPEC> <QUERY> [--run FILE | --edges N --seed S]
             [--from NODE] [--to NODE] [--limit K] [--policy P] [--kernel K]
   rpq stats (--run FILE | <SPEC> --edges N [--seed S])
+  rpq store <SPEC> --dir DIR [--ingest N] [--edges M] [--seed S] [--add FILE]
+  rpq batch <QUERY> --store DIR [--threads N] [--cache C] [--policy P] [--kernel K]
 
 SPEC:   fig2 | fork | bioaid | qblast | path to a JSON specification
 NODE:   module:occurrence, e.g. a:2
@@ -320,6 +334,159 @@ fn cmd_stats(args: &[String]) -> Result<String, RpqError> {
     ))
 }
 
+fn cmd_store(args: &[String]) -> Result<String, RpqError> {
+    let (positional, options) = split_args(args)?;
+    let spec_name = positional
+        .first()
+        .ok_or_else(|| RpqError::invalid("store: missing <SPEC>"))?;
+    let dir = opt(&options, "dir").ok_or_else(|| RpqError::invalid("store: --dir DIR required"))?;
+    let spec = load_spec(spec_name)?;
+    let store = RunStore::open_or_create(dir, Arc::new(spec))?;
+
+    let mut out = String::new();
+    if let Some(n) = opt(&options, "ingest") {
+        let n: usize = parse_num(n, "--ingest")?;
+        let edges: usize = parse_num(opt(&options, "edges").unwrap_or("200"), "--edges")?;
+        let seed: u64 = parse_num(opt(&options, "seed").unwrap_or("0"), "--seed")?;
+        let mut fresh = 0;
+        let mut deduped = 0;
+        for run in rpq_workloads::runs::corpus(store.spec(), n, edges, seed)? {
+            if store.ingest(&run)?.deduplicated {
+                deduped += 1;
+            } else {
+                fresh += 1;
+            }
+        }
+        writeln!(
+            out,
+            "ingested {fresh} simulated run(s) (~{edges} edges, seed {seed}), {deduped} deduplicated"
+        )
+        .expect("write to string");
+    }
+    if let Some(path) = opt(&options, "add") {
+        let ingested = store.ingest_json_file(path)?;
+        writeln!(
+            out,
+            "added {path} as {}{}",
+            ingested.id,
+            if ingested.deduplicated {
+                " (deduplicated)"
+            } else {
+                ""
+            }
+        )
+        .expect("write to string");
+    }
+    // Ship the store warm: every run gets persisted index artifacts so
+    // the next process (or `rpq batch`) reloads instead of rebuilding.
+    let materialized = store.materialize_artifacts()?;
+    if materialized > 0 {
+        writeln!(
+            out,
+            "materialized index artifacts for {materialized} run(s)"
+        )
+        .expect("write to string");
+    }
+    writeln!(out, "store {dir}: {} run(s), spec {spec_name}", store.len())
+        .expect("write to string");
+    Ok(out)
+}
+
+fn cmd_batch(args: &[String]) -> Result<String, RpqError> {
+    let (positional, options) = split_args(args)?;
+    let query_text = positional
+        .first()
+        .ok_or_else(|| RpqError::invalid("batch: missing <QUERY>"))?;
+    let dir =
+        opt(&options, "store").ok_or_else(|| RpqError::invalid("batch: --store DIR required"))?;
+    let store = RunStore::open(dir)?;
+    if store.is_empty() {
+        return Err(RpqError::invalid(format!(
+            "store {dir} holds no runs; ingest some with `rpq store ... --ingest N`"
+        )));
+    }
+    let threads: usize = parse_num(opt(&options, "threads").unwrap_or("0"), "--threads")?;
+    let policy = parse_policy(&options)?;
+    let kernel = apply_kernel(&options)?;
+    // The session shares the store's specification, so prepared plans
+    // and stored runs always agree. `--cache` bounds both the
+    // session's per-run index caches and the store's in-memory
+    // run/artifact caches — bounding only one side would leave the
+    // other retaining the full corpus.
+    let session = Session::new(store.spec_arc());
+    let (store, session) = match opt(&options, "cache") {
+        Some(c) => {
+            let capacity = parse_num(c, "--cache")?;
+            (
+                store.with_cache_capacity(capacity),
+                session.with_cache_capacity(capacity),
+            )
+        }
+        None => (store, session),
+    };
+    let query = session.prepare_with(query_text, policy)?;
+    let outcome = session.evaluate_batch(
+        &query,
+        &store,
+        &QueryRequest::entry_exit(),
+        &BatchOptions::threads(threads),
+    );
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "batch: {query_text} entry→exit over {} run(s) ({} thread(s), policy: {}, kernel: {})",
+        outcome.items.len(),
+        outcome.threads,
+        query.stats().policy.cli_name(),
+        kernel.name(),
+    )
+    .expect("write to string");
+    let mut matched = 0usize;
+    let ids = store.ids();
+    for (i, item) in outcome.items.iter().enumerate() {
+        let id = ids[i];
+        match &item.outcome {
+            Ok(o) => {
+                let hit = o.as_bool().expect("entry-exit is pairwise");
+                matched += usize::from(hit);
+                let edges = store.run(id).map(|r| r.n_edges()).unwrap_or(0);
+                writeln!(out, "  {id}  ({edges} edges)  {hit}").expect("write to string");
+            }
+            Err(e) => writeln!(out, "  {id}  error: {e}").expect("write to string"),
+        }
+    }
+    let store_stats = store.stats();
+    let batch_stats = outcome.stats;
+    writeln!(
+        out,
+        "matched {matched}/{} in {:.1} ms wall",
+        outcome.items.len(),
+        outcome.wall_secs * 1e3
+    )
+    .expect("write to string");
+    writeln!(
+        out,
+        "store: tag reloads {}, csr reloads {}, tag rebuilds {}, csr rebuilds {}",
+        store_stats.tag_reloads,
+        store_stats.csr_reloads,
+        store_stats.tag_rebuilds,
+        store_stats.csr_rebuilds
+    )
+    .expect("write to string");
+    writeln!(
+        out,
+        "session: index hits {}, misses {}; csr hits {}, misses {}; evictions {}",
+        batch_stats.index_hits,
+        batch_stats.index_misses,
+        batch_stats.csr_hits,
+        batch_stats.csr_misses,
+        batch_stats.index_evictions + batch_stats.csr_evictions
+    )
+    .expect("write to string");
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -435,6 +602,78 @@ mod tests {
 
         let err = run(&["query", "fig2", "_*", "--kernel", "quantum"]).unwrap_err();
         assert!(err.to_string().contains("bits"), "{err}");
+    }
+
+    #[test]
+    fn store_and_batch_round_trip() {
+        let dir = std::env::temp_dir()
+            .join("rpq_cli_store")
+            .join(std::process::id().to_string());
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir = dir.to_str().unwrap().to_owned();
+
+        // Create a store with 4 simulated runs (artifacts materialized).
+        let out = run(&[
+            "store", "fig2", "--dir", &dir, "--ingest", "4", "--edges", "80", "--seed", "7",
+        ])
+        .unwrap();
+        assert!(out.contains("ingested 4 simulated run(s)"), "{out}");
+        assert!(out.contains("materialized index artifacts for 4"), "{out}");
+        assert!(out.contains("4 run(s)"), "{out}");
+
+        // Re-running the same ingest deduplicates everything.
+        let out = run(&[
+            "store", "fig2", "--dir", &dir, "--ingest", "4", "--edges", "80", "--seed", "7",
+        ])
+        .unwrap();
+        assert!(out.contains("ingested 0 simulated run(s)"), "{out}");
+        assert!(out.contains("4 deduplicated"), "{out}");
+
+        // Adding a JSON run file ingests it too.
+        let run_file = format!("{dir}/extra.json");
+        run(&[
+            "simulate", "fig2", "--edges", "500", "--seed", "9", "--out", &run_file,
+        ])
+        .unwrap();
+        let out = run(&["store", "fig2", "--dir", &dir, "--add", &run_file]).unwrap();
+        assert!(out.contains("added"), "{out}");
+        assert!(out.contains("5 run(s)"), "{out}");
+
+        // A safe query decodes labels only: the batch never touches
+        // the store's artifacts (no reloads, no rebuilds).
+        let out = run(&["batch", "_* e _*", "--store", &dir, "--threads", "2"]).unwrap();
+        assert!(out.contains("over 5 run(s)"), "{out}");
+        assert!(out.contains("matched"), "{out}");
+        assert!(out.contains("tag reloads 0"), "{out}");
+        assert!(out.contains("tag rebuilds 0"), "{out}");
+
+        // A composite query (with a bounded cache) consumes the warm
+        // store: reload counters move, rebuilds stay at zero.
+        let out = run(&[
+            "batch",
+            "_* a _*",
+            "--store",
+            &dir,
+            "--threads",
+            "4",
+            "--cache",
+            "2",
+            "--policy",
+            "naive",
+        ])
+        .unwrap();
+        assert!(out.contains("policy: naive"), "{out}");
+        assert!(out.contains("tag reloads 5"), "{out}");
+        assert!(out.contains("tag rebuilds 0"), "{out}");
+
+        // Usage errors.
+        assert!(run(&["batch", "_*"]).is_err());
+        assert!(run(&["store", "fig2"]).is_err());
+        let err = run(&["batch", "_*", "--store", "/nonexistent-store"]).unwrap_err();
+        assert!(matches!(err, RpqError::Io { .. }), "{err:?}");
+        // A store built for one spec refuses another.
+        let err = run(&["store", "fork", "--dir", &dir]).unwrap_err();
+        assert!(err.to_string().contains("different specification"), "{err}");
     }
 
     #[test]

@@ -19,6 +19,10 @@
 //! * [`baselines`] — the baselines G1, G2, G3 and a brute-force referee.
 //! * [`workloads`] — synthetic specifications matching the paper's
 //!   datasets, run simulation and query generators.
+//! * [`store`] — the persistent multi-run store: run catalog with
+//!   fingerprint deduplication, binary-coded runs and warm
+//!   tag-index/CSR artifacts, feeding
+//!   [`Session::evaluate_batch`](rpq_core::Session::evaluate_batch).
 //!
 //! ## The session API
 //!
@@ -67,16 +71,19 @@ pub use rpq_core as core;
 pub use rpq_grammar as grammar;
 pub use rpq_labeling as labeling;
 pub use rpq_relalg as relalg;
+pub use rpq_store as store;
 pub use rpq_workloads as workloads;
 
 /// Convenience re-exports for the most common entry points.
 pub mod prelude {
     pub use rpq_automata::{Regex, Symbol};
     pub use rpq_core::{
-        PlanKind, PlanStats, PreparedQuery, QueryOutcome, QueryPlan, QueryRequest, QueryResult,
-        RpqError, SafeQueryPlan, Session, SessionStats, SubqueryPolicy,
+        BatchOptions, BatchOutcome, PlanKind, PlanStats, PreparedQuery, QueryOutcome, QueryPlan,
+        QueryRequest, QueryResult, RpqError, RunSource, SafeQueryPlan, Session, SessionStats,
+        SubqueryPolicy,
     };
     pub use rpq_grammar::{ModuleId, ProductionId, Specification, SpecificationBuilder, Tag};
     pub use rpq_labeling::{NodeId, Run, RunBuilder};
     pub use rpq_relalg::{NodePairSet, TagIndex};
+    pub use rpq_store::{RunId, RunStore, StoreStats};
 }

@@ -116,6 +116,69 @@ fn tag_index_is_built_once_per_run_across_queries() {
 }
 
 #[test]
+fn clear_run_cache_forgets_indexes_but_keeps_plans() {
+    let session = Session::from_spec(paper_examples::fig2_spec());
+    let run = paper_examples::fig2_run(session.spec());
+    let all: Vec<NodeId> = run.node_ids().collect();
+    let q = session.prepare("_* a _*").unwrap();
+
+    session.evaluate(&q, &run, &QueryRequest::all_pairs(all.clone(), all.clone()));
+    assert_eq!(session.stats().index_misses, 1);
+
+    // Eviction drops the per-run tag index *and* CSR arena...
+    session.clear_run_cache();
+    let outcome = session.evaluate(&q, &run, &QueryRequest::all_pairs(all.clone(), all));
+    assert_eq!(outcome.meta.index_cache, IndexCacheUse::Miss);
+    assert_eq!(session.stats().index_misses, 2);
+
+    // ...but compiled plans survive: preparing the same query again is
+    // still a cache hit.
+    session.prepare("_* a _*").unwrap();
+    assert_eq!(session.stats().plan_hits, 1);
+    assert_eq!(session.stats().plan_misses, 1);
+    // Manual eviction is not an LRU eviction: counters stay at zero.
+    assert_eq!(session.stats().index_evictions, 0);
+    assert_eq!(session.stats().csr_evictions, 0);
+}
+
+#[test]
+fn lru_capacity_evicts_least_recently_used_runs() {
+    // Capacity 2: the third distinct run evicts the least recently
+    // used of the first two.
+    let session = Session::from_spec(paper_examples::fig2_spec()).with_cache_capacity(2);
+    let q = session.prepare("_* a _*").unwrap();
+    let runs: Vec<_> = (0..3)
+        .map(|i| {
+            RunBuilder::new(session.spec())
+                .seed(20 + i)
+                .target_edges(60 + 25 * i as usize)
+                .build()
+                .unwrap()
+        })
+        .collect();
+    let all: Vec<NodeId> = runs[0].node_ids().collect();
+    let probe = |run| {
+        session
+            .evaluate(&q, run, &QueryRequest::all_pairs(all.clone(), all.clone()))
+            .meta
+            .index_cache
+    };
+
+    assert_eq!(probe(&runs[0]), IndexCacheUse::Miss);
+    assert_eq!(probe(&runs[1]), IndexCacheUse::Miss);
+    // Touch run 0 so run 1 becomes the LRU victim.
+    assert_eq!(probe(&runs[0]), IndexCacheUse::Hit);
+    assert_eq!(probe(&runs[2]), IndexCacheUse::Miss);
+    assert!(session.stats().index_evictions >= 1);
+    assert!(!session.run_is_cached(&runs[1]), "LRU victim evicted");
+    assert!(session.run_is_cached(&runs[0]), "recently-used run kept");
+    assert!(session.run_is_cached(&runs[2]));
+    // The victim re-enters as a miss; the survivor still hits.
+    assert_eq!(probe(&runs[1]), IndexCacheUse::Miss);
+    assert_eq!(probe(&runs[2]), IndexCacheUse::Hit);
+}
+
+#[test]
 fn safe_queries_never_touch_the_index() {
     let session = Session::from_spec(paper_examples::fig2_spec());
     let run = paper_examples::fig2_run(session.spec());

@@ -88,4 +88,16 @@ fn main() {
             Err(e) => eprintln!("cannot write {path}: {e}"),
         }
     }
+    if want("serve") {
+        // The network layer: open- and closed-loop load over loopback
+        // against `rpq-serve`, swept across worker counts.
+        let path = "BENCH_serve.json";
+        match rpq_bench::servebench::run_and_record(scale == Scale::Full, path) {
+            Ok(table) => {
+                println!("{}", table.render());
+                println!("baseline written to {path}\n");
+            }
+            Err(e) => eprintln!("cannot write {path}: {e}"),
+        }
+    }
 }

@@ -20,6 +20,7 @@ pub mod batchbench;
 pub mod datasets;
 pub mod experiments;
 pub mod kernelbench;
+pub mod servebench;
 pub mod timing;
 
 pub use datasets::Dataset;

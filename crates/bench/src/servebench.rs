@@ -1,0 +1,426 @@
+//! Loopback load generation against `rpq-serve`: the source of
+//! `BENCH_serve.json`.
+//!
+//! For each worker count, a fresh server is bound on an ephemeral
+//! loopback port over the same warm store and driven two ways:
+//!
+//! * **closed loop** — one connection per client thread, each issuing
+//!   requests back-to-back: measures the service's saturated
+//!   throughput and the latency it sustains at full pipeline depth;
+//! * **open loop** — up to 4 connections issue requests on a fixed
+//!   arrival schedule at ~30% of the closed-loop throughput (capped at
+//!   2k/s), with latency measured from the *scheduled* send time:
+//!   queueing delay from a lagging server shows up in the tail instead
+//!   of silently slowing the offered load (the coordinated-omission
+//!   trap).
+//!
+//! The request mix is entry→exit evaluations of one index-answered
+//! query over runs chosen round-robin — cheap per request, so the
+//! sweep measures the serving machinery (framing, admission, shared
+//! session contention) rather than raw evaluation.  Quantiles are
+//! exact (sorted samples), not histogram estimates.
+
+use crate::timing::Table;
+use rpq_serve::protocol::{QuerySpec, RunAddr, WireMode, WireRequest, WireResponse};
+use rpq_serve::{ServeClient, ServeConfig, Server};
+use rpq_store::RunStore;
+use rpq_workloads::{bioaid_like, runs};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Latency/throughput aggregate of one load loop.
+#[derive(Debug, Clone)]
+pub struct LoopStats {
+    /// `"closed"` or `"open"`.
+    pub loop_kind: &'static str,
+    /// Client threads (= connections).
+    pub clients: usize,
+    /// Offered arrival rate (requests/s); 0 for closed loops.
+    pub offered_rps: f64,
+    /// Requests completed successfully.
+    pub requests: u64,
+    /// Requests that failed (transport or server error).
+    pub errors: u64,
+    /// Wall-clock seconds of the loop.
+    pub wall_secs: f64,
+    /// Achieved throughput (successful requests / wall).
+    pub throughput_rps: f64,
+    /// Median latency, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: f64,
+    /// Worst observed latency, microseconds.
+    pub max_us: f64,
+}
+
+/// One worker-count sweep point: the same store served with `workers`
+/// in-flight slots, driven closed- then open-loop.
+#[derive(Debug, Clone)]
+pub struct LoadPoint {
+    /// Server worker threads.
+    pub workers: usize,
+    /// Saturated (closed-loop) measurement.
+    pub closed: LoopStats,
+    /// Paced (open-loop) measurement.
+    pub open: LoopStats,
+}
+
+/// The full measurement.
+#[derive(Debug, Clone)]
+pub struct ServeMeasurement {
+    /// Corpus size (runs).
+    pub n_runs: usize,
+    /// Smallest target edge count in the corpus.
+    pub target_edges: usize,
+    /// The query every request evaluates (entry→exit).
+    pub query: String,
+    /// CPUs the host exposed while measuring.
+    pub available_parallelism: usize,
+    /// Requests per client in the closed loop.
+    pub requests_per_client: usize,
+    /// The sweep.
+    pub points: Vec<LoadPoint>,
+}
+
+fn scratch_dir() -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("rpq_bench_serve")
+        .join(std::process::id().to_string());
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn quantile_us(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+fn aggregate(
+    loop_kind: &'static str,
+    clients: usize,
+    offered_rps: f64,
+    mut latencies_us: Vec<f64>,
+    errors: u64,
+    wall_secs: f64,
+) -> LoopStats {
+    latencies_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let requests = latencies_us.len() as u64;
+    LoopStats {
+        loop_kind,
+        clients,
+        offered_rps,
+        requests,
+        errors,
+        wall_secs,
+        throughput_rps: requests as f64 / wall_secs.max(1e-9),
+        p50_us: quantile_us(&latencies_us, 0.50),
+        p99_us: quantile_us(&latencies_us, 0.99),
+        max_us: latencies_us.last().copied().unwrap_or(0.0),
+    }
+}
+
+/// One request against the server; returns the client-observed latency.
+fn issue(client: &mut ServeClient, query: &str, run_index: u64, since: Instant) -> Result<f64, ()> {
+    let request = WireRequest::Query(QuerySpec {
+        query: query.to_owned(),
+        policy: String::new(),
+        run: RunAddr::Index(run_index),
+        mode: WireMode::EntryExit,
+    });
+    match client.request(&request) {
+        Ok(WireResponse::Outcome(_)) => Ok(since.elapsed().as_secs_f64() * 1e6),
+        _ => Err(()),
+    }
+}
+
+/// Closed loop: `clients` threads, each its own connection, requests
+/// back-to-back.
+fn closed_loop(
+    addr: std::net::SocketAddr,
+    query: &str,
+    n_runs: usize,
+    clients: usize,
+    per_client: usize,
+) -> LoopStats {
+    let started = Instant::now();
+    let all: Vec<Vec<f64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut client = ServeClient::connect_with_retry(addr, Duration::from_secs(5))
+                        .expect("bench client connects");
+                    let mut latencies = Vec::with_capacity(per_client);
+                    for i in 0..per_client {
+                        let t0 = Instant::now();
+                        if let Ok(us) = issue(&mut client, query, ((c + i) % n_runs) as u64, t0) {
+                            latencies.push(us);
+                        }
+                    }
+                    latencies
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("bench client"))
+            .collect()
+    });
+    let wall = started.elapsed().as_secs_f64();
+    let latencies: Vec<f64> = all.iter().flatten().copied().collect();
+    let errors = (clients * per_client) as u64 - latencies.len() as u64;
+    aggregate("closed", clients, 0.0, latencies, errors, wall)
+}
+
+/// Open loop at a fixed offered rate: client `c` owns the arrivals
+/// `i·clients + c`, each scheduled at `t₀ + arrival/rate`; latency runs
+/// from the *schedule*, so server lag accumulates into the tail.
+fn open_loop(
+    addr: std::net::SocketAddr,
+    query: &str,
+    n_runs: usize,
+    clients: usize,
+    offered_rps: f64,
+    duration: Duration,
+) -> LoopStats {
+    let per_client = ((offered_rps * duration.as_secs_f64()) / clients as f64).max(1.0) as usize;
+    let started = Instant::now();
+    let all: Vec<(Vec<f64>, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut client = ServeClient::connect_with_retry(addr, Duration::from_secs(5))
+                        .expect("bench client connects");
+                    let mut latencies = Vec::with_capacity(per_client);
+                    let mut errors = 0u64;
+                    let t0 = Instant::now();
+                    for i in 0..per_client {
+                        let arrival = (i * clients + c) as f64 / offered_rps;
+                        let scheduled = Duration::from_secs_f64(arrival);
+                        if let Some(wait) = scheduled.checked_sub(t0.elapsed()) {
+                            std::thread::sleep(wait);
+                        }
+                        // Latency from the scheduled arrival, not the
+                        // (possibly late) actual send.
+                        let since = t0 + scheduled;
+                        match issue(&mut client, query, ((c + i) % n_runs) as u64, since) {
+                            Ok(us) => latencies.push(us),
+                            Err(()) => errors += 1,
+                        }
+                    }
+                    (latencies, errors)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("bench client"))
+            .collect()
+    });
+    let wall = started.elapsed().as_secs_f64();
+    let latencies: Vec<f64> = all.iter().flat_map(|(l, _)| l.iter().copied()).collect();
+    let errors = all.iter().map(|(_, e)| *e).sum();
+    aggregate("open", clients, offered_rps, latencies, errors, wall)
+}
+
+/// Run the sweep. `full` widens the corpus, client counts and request
+/// budget; quick mode keeps CI fast.
+pub fn measure(full: bool) -> ServeMeasurement {
+    let (n_runs, target_edges, per_client, worker_counts): (usize, usize, usize, &[usize]) = if full
+    {
+        (12, 800, 500, &[1, 2, 4, 8])
+    } else {
+        (6, 300, 120, &[1, 2, 4])
+    };
+    let real = bioaid_like();
+    let spec = Arc::new(real.spec.clone());
+    // An index-answered single-symbol query: evaluation is a warm
+    // lookup, so the sweep stresses the serving machinery.
+    let query = real.pool_tags[0].clone();
+
+    let dir = scratch_dir();
+    {
+        let store = RunStore::create(&dir, Arc::clone(&spec)).expect("create scratch store");
+        for run in runs::corpus(&spec, n_runs, target_edges, 0x5E12).expect("bioaid derives") {
+            store.ingest(&run).expect("ingest corpus run");
+        }
+        store
+            .materialize_artifacts()
+            .expect("materialize artifacts");
+        assert_eq!(store.len(), n_runs, "corpus must not self-deduplicate");
+    }
+
+    let mut points = Vec::new();
+    for &workers in worker_counts {
+        let store = RunStore::open(&dir).expect("reopen scratch store");
+        let server = Server::bind(
+            store,
+            &ServeConfig {
+                workers,
+                queue: 256,
+                ..ServeConfig::default()
+            },
+        )
+        .expect("bind loopback server");
+        server.warm().expect("warm artifacts");
+        let addr = server.local_addr().expect("bound address");
+        let handle = server.shutdown_handle();
+        let serving = std::thread::spawn(move || server.run(None));
+
+        // One connection per worker: the protocol is request/response
+        // over persistent connections and workers are the in-flight
+        // bound, so extra connections would serialize whole sessions
+        // behind the queue instead of adding pipeline depth.
+        let clients = workers;
+        let closed = closed_loop(addr, &query, n_runs, clients, per_client);
+        // Pace the open loop at ~30% of what the closed loop achieved,
+        // capped at 2k/s over at most 4 connections: below saturation,
+        // so the tail reflects jitter rather than meltdown — and within
+        // what timer-driven client threads can actually offer when they
+        // share the CPUs with the server (each wakeup pays a runqueue
+        // delay, so an oversubscribed generator melts its own schedule
+        // long before the server is the bottleneck).
+        let open_clients = clients.min(4);
+        let offered = (closed.throughput_rps * 0.3).clamp(50.0, 2_000.0);
+        let open = open_loop(
+            addr,
+            &query,
+            n_runs,
+            open_clients,
+            offered,
+            Duration::from_millis(if full { 2000 } else { 800 }),
+        );
+        handle.shutdown();
+        serving.join().expect("server thread");
+        points.push(LoadPoint {
+            workers,
+            closed,
+            open,
+        });
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+    ServeMeasurement {
+        n_runs,
+        target_edges,
+        query,
+        available_parallelism: std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1),
+        requests_per_client: per_client,
+        points,
+    }
+}
+
+/// Paper-style table of a measurement.
+pub fn table(m: &ServeMeasurement) -> Table {
+    let mut table = Table::new(
+        &format!(
+            "serve loopback: {} runs (≥{} edges), query {:?}, {} CPU(s)",
+            m.n_runs, m.target_edges, m.query, m.available_parallelism
+        ),
+        &["workers", "loop", "rps", "p50", "p99", "errors"],
+    );
+    for point in &m.points {
+        for leg in [&point.closed, &point.open] {
+            table.row(vec![
+                format!("{}", point.workers),
+                if leg.loop_kind == "open" {
+                    format!("open@{:.0}/s", leg.offered_rps)
+                } else {
+                    leg.loop_kind.to_owned()
+                },
+                format!("{:.0}", leg.throughput_rps),
+                format!("{:.0} µs", leg.p50_us),
+                format!("{:.0} µs", leg.p99_us),
+                format!("{}", leg.errors),
+            ]);
+        }
+    }
+    table
+}
+
+fn leg_json(leg: &LoopStats) -> String {
+    format!(
+        "{{\"loop\": \"{}\", \"clients\": {}, \"offered_rps\": {:.1}, \
+         \"requests\": {}, \"errors\": {}, \"wall_secs\": {:.6}, \
+         \"throughput_rps\": {:.1}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \
+         \"max_us\": {:.1}}}",
+        leg.loop_kind,
+        leg.clients,
+        leg.offered_rps,
+        leg.requests,
+        leg.errors,
+        leg.wall_secs,
+        leg.throughput_rps,
+        leg.p50_us,
+        leg.p99_us,
+        leg.max_us,
+    )
+}
+
+/// The JSON baseline record (`BENCH_serve.json`).
+pub fn to_json(m: &ServeMeasurement) -> String {
+    let mut out = String::from("{\n  \"bench\": \"serve_loopback\",\n");
+    out.push_str(&format!(
+        "  \"dataset\": \"bioaid\",\n  \"n_runs\": {},\n  \"target_edges\": {},\n  \
+         \"query\": \"{}\",\n  \"requests_per_client\": {},\n  \
+         \"available_parallelism\": {},\n",
+        m.n_runs, m.target_edges, m.query, m.requests_per_client, m.available_parallelism
+    ));
+    out.push_str(
+        "  \"note\": \"closed loop saturates the worker pool; the open loop offers ~30% of \
+         the measured closed throughput (capped at 2k/s over at most 4 connections) with \
+         latency clocked from scheduled arrivals. Worker scaling is bounded by \
+         available_parallelism — on a 1-CPU host expect parity-or-worse across worker \
+         counts (more workers only add contention) and scheduling-delay-dominated open-\
+         loop tails; rerun `repro -- serve` on multicore hardware for the real curve.\",\n",
+    );
+    out.push_str("  \"points\": [\n");
+    for (i, point) in m.points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workers\": {}, \"closed\": {}, \"open\": {}}}{}\n",
+            point.workers,
+            leg_json(&point.closed),
+            leg_json(&point.open),
+            if i + 1 < m.points.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Write the sweep to `path` and return the rendered table.
+pub fn run_and_record(full: bool, path: &str) -> std::io::Result<Table> {
+    let m = measure(full);
+    std::fs::write(path, to_json(&m))?;
+    Ok(table(&m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_measurement_produces_sound_numbers() {
+        let m = measure(false);
+        assert_eq!(m.points.len(), 3);
+        for point in &m.points {
+            for leg in [&point.closed, &point.open] {
+                assert!(leg.requests > 0, "{leg:?}");
+                assert_eq!(leg.errors, 0, "{leg:?}");
+                assert!(leg.throughput_rps > 0.0, "{leg:?}");
+                assert!(leg.p50_us > 0.0 && leg.p50_us <= leg.p99_us, "{leg:?}");
+                assert!(leg.p99_us <= leg.max_us, "{leg:?}");
+            }
+            assert!(point.open.offered_rps > 0.0);
+        }
+        let json = to_json(&m);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"p99_us\""));
+        assert!(table(&m).render().contains("closed"));
+    }
+}

@@ -523,7 +523,10 @@ pub fn all_pairs_csr(
                 universe: &universe,
                 policy: *policy,
             };
-            eval_node(node, &ctx).select_pairs(l1, l2)
+            // Kernel-dispatched endpoint selection: the dense closures
+            // relational plans end in AND a target mask into each bit
+            // row instead of probing per pair.
+            eval_node(node, &ctx).select_pairs_in(l1, l2, run.n_nodes())
         }
     }
 }

@@ -239,6 +239,46 @@ impl BitRelation {
         seen
     }
 
+    /// Restrict to `sources × targets` without materializing the
+    /// unselected pairs: the target list becomes one blocked mask that
+    /// is ANDed into each selected source row as it is scanned, so a
+    /// dense relation pays `⌈n/64⌉` word-ANDs per source instead of a
+    /// per-pair membership probe (the ROADMAP's "bit-parallel endpoint
+    /// selection" follow-up to the PR 2 kernel). Lists may arrive
+    /// unsorted and with duplicates; out-of-range ids select nothing.
+    pub fn select_pairs(&self, sources: &[NodeId], targets: &[NodeId]) -> NodePairSet {
+        let mut mask = vec![0u64; self.words_per_row];
+        for &v in targets {
+            if v.index() < self.n_nodes {
+                mask[v.index() >> 6] |= 1 << (v.index() & 63);
+            }
+        }
+        let mut srcs: Vec<usize> = sources
+            .iter()
+            .map(|u| u.index())
+            .filter(|&u| u < self.n_nodes)
+            .collect();
+        srcs.sort_unstable();
+        srcs.dedup();
+        let mut out = Vec::new();
+        for u in srcs {
+            let start = self.row_index(u);
+            for (block, (&row_word, &mask_word)) in self.words[start..start + self.words_per_row]
+                .iter()
+                .zip(&mask)
+                .enumerate()
+            {
+                let word = row_word & mask_word;
+                out.extend(
+                    BitIter(word).map(|b| (NodeId(u as u32), NodeId(((block << 6) + b) as u32))),
+                );
+            }
+        }
+        // Sources were visited in increasing order and each row scans
+        // left to right, so the output is sorted and duplicate-free.
+        NodePairSet::from_sorted_unique(out)
+    }
+
     /// Iterate the pairs in sorted order.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
         (0..self.n_nodes).flat_map(move |u| {
@@ -320,6 +360,20 @@ mod tests {
             bits.transitive_closure().to_pairs(),
             pairs(&[(0, 0), (0, 1), (1, 0), (1, 1)])
         );
+    }
+
+    #[test]
+    fn select_pairs_masks_rows() {
+        let p = pairs(&[(0, 1), (0, 70), (2, 70), (70, 0), (3, 3)]);
+        let bits = BitRelation::from_pairs(&p, 80);
+        // Unsorted, duplicated lists; out-of-range ids are ignored.
+        let sel = bits.select_pairs(
+            &[n(2), n(0), n(2), n(3), n(999)],
+            &[n(70), n(3), n(70), n(999)],
+        );
+        assert_eq!(sel, pairs(&[(0, 70), (2, 70), (3, 3)]));
+        assert!(bits.select_pairs(&[], &[n(70)]).is_empty());
+        assert!(bits.select_pairs(&[n(0)], &[]).is_empty());
     }
 
     #[test]

@@ -15,7 +15,7 @@
 
 use crate::bits::BitRelation;
 use crate::csr::CsrRelation;
-use crate::kernel::{choose_closure, choose_compose, Kernel};
+use crate::kernel::{choose_closure, choose_compose, choose_select, Kernel};
 use crate::relation::{NodePairSet, Relation};
 use rpq_labeling::NodeId;
 use std::collections::HashMap;
@@ -164,6 +164,56 @@ pub fn transitive_closure_csr(base: &CsrRelation) -> NodePairSet {
     match choose_closure(base.n_nodes(), base.n_edges()) {
         Kernel::Bits => BitRelation::from_csr(base).transitive_closure().to_pairs(),
         Kernel::Pairs => transitive_closure_pairs(&base.to_pairs()),
+    }
+}
+
+/// Endpoint selection `r ↾ l1 × l2` with the **pair kernel**: one
+/// sorted merge over the pairs for the source restriction, then a
+/// binary-search probe per matched pair for the target restriction.
+/// Kept as the referee the bit-parallel selection is property-tested
+/// against. Lists may arrive unsorted and with duplicates.
+pub fn select_pairs_kernel(r: &NodePairSet, l1: &[NodeId], l2: &[NodeId]) -> NodePairSet {
+    let mut l1s = l1.to_vec();
+    l1s.sort_unstable();
+    l1s.dedup();
+    let mut l2s = l2.to_vec();
+    l2s.sort_unstable();
+    l2s.dedup();
+    let mut matched = Vec::new();
+    r.retain_sources_into(&l1s, &mut matched);
+    matched.retain(|(_, v)| l2s.binary_search(v).is_ok());
+    NodePairSet::from_sorted_unique(matched)
+}
+
+/// Endpoint selection with the **bit kernel**: the relation becomes
+/// blocked bitset rows and the target list one blocked mask ANDed into
+/// each selected source row before any pair materializes (see
+/// [`BitRelation::select_pairs`]).
+pub fn select_pairs_bits(
+    r: &NodePairSet,
+    l1: &[NodeId],
+    l2: &[NodeId],
+    n_nodes: usize,
+) -> NodePairSet {
+    BitRelation::from_pairs(r, n_nodes).select_pairs(l1, l2)
+}
+
+/// Endpoint selection over an `n_nodes` universe, dispatching on
+/// density (or the `RPQ_RELALG_KERNEL` override). As with the other
+/// `_in` entry points, `n_nodes` must bound every node id of `r`;
+/// list entries at or past it simply never match.
+pub fn select_pairs_in(
+    r: &NodePairSet,
+    l1: &[NodeId],
+    l2: &[NodeId],
+    n_nodes: usize,
+) -> NodePairSet {
+    if r.is_empty() || l1.is_empty() || l2.is_empty() {
+        return NodePairSet::new();
+    }
+    match choose_select(n_nodes, r.len(), l1.len(), l2.len()) {
+        Kernel::Bits => select_pairs_bits(r, l1, l2, n_nodes),
+        Kernel::Pairs => select_pairs_kernel(r, l1, l2),
     }
 }
 

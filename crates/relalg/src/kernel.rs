@@ -201,6 +201,36 @@ pub fn choose_closure(n_nodes: usize, base_len: usize) -> Kernel {
     resolve(auto, n_nodes)
 }
 
+/// Kernel choice for an endpoint selection `R ↾ l1 × l2` over
+/// `n_nodes` nodes.
+///
+/// Pair cost: one merge over the relation plus a binary-search target
+/// probe per source-matched pair. Bit cost: convert the relation to
+/// blocked rows (`n·⌈n/64⌉` words zeroed + one set per pair), build the
+/// target mask, then AND `⌈n/64⌉` words per selected source. The bit
+/// path only amortizes its matrix when the relation is dense and the
+/// source list broad — exactly the `all_pairs` finale over a closure.
+pub fn choose_select(n_nodes: usize, rel_len: usize, n_sources: usize, n_targets: usize) -> Kernel {
+    let n = n_nodes as f64;
+    let wpr = (n_nodes.div_ceil(64)) as f64;
+    // Source-matched pairs ≈ rel_len · |l1|/n, each paying a log|l2|
+    // probe; hashing-free, but branchy and cache-hostile.
+    let matched = if n_nodes == 0 {
+        0.0
+    } else {
+        (rel_len as f64) * (n_sources as f64).min(n) / n
+    };
+    let pairs_cost =
+        HASH_OP_COST * 0.5 * (rel_len as f64 + matched * (n_targets.max(2) as f64).log2());
+    let bits_cost = WORD_OP_COST * ((n + n_sources as f64) * wpr + rel_len as f64);
+    let auto = if bits_cost < pairs_cost {
+        Kernel::Bits
+    } else {
+        Kernel::Pairs
+    };
+    resolve(auto, n_nodes)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -273,6 +303,12 @@ mod tests {
         // flip to bits.
         assert_eq!(choose_compose(10_000, 3, 3), Kernel::Pairs);
         assert_eq!(choose_compose(512, 4000, 4000), Kernel::Bits);
+        // Selections: a dense closure selected over broad lists goes
+        // word-parallel; a sparse relation or narrow lists stay on
+        // pairs (the matrix conversion would dominate).
+        assert_eq!(choose_select(512, 100_000, 512, 512), Kernel::Bits);
+        assert_eq!(choose_select(512, 40, 512, 512), Kernel::Pairs);
+        assert_eq!(choose_select(10_000, 500, 2, 2), Kernel::Pairs);
 
         set_kernel_mode(before);
     }

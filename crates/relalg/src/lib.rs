@@ -35,8 +35,9 @@ pub use csr::{CsrIndex, CsrRelation};
 pub use index::TagIndex;
 pub use join::{
     compose, compose_in, compose_pairs, compose_pairs_bits, compose_pairs_in, compose_pairs_kernel,
-    star, star_in, transitive_closure, transitive_closure_bits, transitive_closure_csr,
-    transitive_closure_in, transitive_closure_pairs,
+    select_pairs_bits, select_pairs_in, select_pairs_kernel, star, star_in, transitive_closure,
+    transitive_closure_bits, transitive_closure_csr, transitive_closure_in,
+    transitive_closure_pairs,
 };
 pub use kernel::{kernel_mode, set_kernel_mode, Kernel, KernelMode};
 pub use relation::{NodePairSet, Relation};

@@ -288,31 +288,55 @@ impl Relation {
     }
 
     /// The relation restricted to `l1 × l2` (lists may arrive unsorted
-    /// and with duplicates): one merge pass over the sorted pairs plus
-    /// a binary-search target filter, with the symbolic identity
-    /// contributing `(u, u)` for every `u ∈ l1 ∩ l2` — the shared
-    /// finale of every all-pairs evaluator over a composite relation.
+    /// and with duplicates): the pair-kernel selection
+    /// ([`crate::join::select_pairs_kernel`]), with the symbolic
+    /// identity contributing `(u, u)` for every `u ∈ l1 ∩ l2` — the
+    /// shared finale of every all-pairs evaluator over a composite
+    /// relation. [`Relation::select_pairs_in`] is the kernel-dispatched
+    /// variant for callers that know the universe size.
     pub fn select_pairs(&self, l1: &[NodeId], l2: &[NodeId]) -> NodePairSet {
+        self.graft_identity(
+            crate::join::select_pairs_kernel(&self.pairs, l1, l2),
+            l1,
+            l2,
+        )
+    }
+
+    /// Kernel-dispatched [`Relation::select_pairs`] over an `n_nodes`
+    /// universe: dense relations AND a blocked target mask into each
+    /// selected source row before materializing
+    /// ([`crate::join::select_pairs_in`]), sparse ones take the sorted
+    /// merge. The symbolic identity contributes `(u, u)` for every
+    /// `u ∈ l1 ∩ l2` either way.
+    pub fn select_pairs_in(&self, l1: &[NodeId], l2: &[NodeId], n_nodes: usize) -> NodePairSet {
+        self.graft_identity(
+            crate::join::select_pairs_in(&self.pairs, l1, l2, n_nodes),
+            l1,
+            l2,
+        )
+    }
+
+    /// Add the symbolic identity's `(u, u)` for every `u ∈ l1 ∩ l2` to
+    /// an already-selected pair set (no-op for identity-free
+    /// relations). The identity pairs come out of the sorted
+    /// intersection already ordered, so this is a linear merge with
+    /// `selected` — never a re-sort of the (possibly large) selection.
+    fn graft_identity(&self, selected: NodePairSet, l1: &[NodeId], l2: &[NodeId]) -> NodePairSet {
+        if !self.identity {
+            return selected;
+        }
         let mut l1s = l1.to_vec();
         l1s.sort_unstable();
         l1s.dedup();
         let mut l2s = l2.to_vec();
         l2s.sort_unstable();
         l2s.dedup();
-        let mut matched = Vec::new();
-        self.pairs.retain_sources_into(&l1s, &mut matched);
-        let mut out: Vec<(NodeId, NodeId)> = matched
-            .into_iter()
-            .filter(|(_, v)| l2s.binary_search(v).is_ok())
+        let id_pairs: Vec<(NodeId, NodeId)> = l1s
+            .iter()
+            .filter(|u| l2s.binary_search(u).is_ok())
+            .map(|&u| (u, u))
             .collect();
-        if self.identity {
-            for &u in &l1s {
-                if l2s.binary_search(&u).is_ok() {
-                    out.push((u, u));
-                }
-            }
-        }
-        NodePairSet::from_pairs(out)
+        selected.union(&NodePairSet::from_sorted_unique(id_pairs))
     }
 
     /// Materialize against an explicit universe (for final answers whose

@@ -9,8 +9,9 @@
 use proptest::prelude::*;
 use rpq_labeling::NodeId;
 use rpq_relalg::{
-    compose_pairs_bits, compose_pairs_in, compose_pairs_kernel, transitive_closure_bits,
-    transitive_closure_in, transitive_closure_pairs, BitRelation, CsrRelation, NodePairSet,
+    compose_pairs_bits, compose_pairs_in, compose_pairs_kernel, select_pairs_bits, select_pairs_in,
+    select_pairs_kernel, transitive_closure_bits, transitive_closure_in, transitive_closure_pairs,
+    BitRelation, CsrRelation, NodePairSet,
 };
 
 /// Random relation over a universe of `n` nodes: up to `max_pairs`
@@ -60,6 +61,27 @@ proptest! {
         let diff_referee: NodePairSet =
             a.iter().filter(|&(u, v)| !b.contains(u, v)).collect();
         prop_assert_eq!(&ab.difference(&bb).to_pairs(), &diff_referee);
+    }
+
+    #[test]
+    fn endpoint_selection_kernels_agree(
+        r in relation(90, 400),
+        l1 in prop::collection::vec(0..90u32, 0..60),
+        l2 in prop::collection::vec(0..90u32, 0..60),
+    ) {
+        let l1: Vec<NodeId> = l1.into_iter().map(NodeId).collect();
+        let l2: Vec<NodeId> = l2.into_iter().map(NodeId).collect();
+        // The pair-kernel referee, written out longhand.
+        let mut l2s = l2.clone();
+        l2s.sort_unstable();
+        let referee: NodePairSet = r
+            .iter()
+            .filter(|(u, v)| l1.contains(u) && l2s.binary_search(v).is_ok())
+            .collect();
+        prop_assert_eq!(&select_pairs_kernel(&r, &l1, &l2), &referee);
+        prop_assert_eq!(&select_pairs_bits(&r, &l1, &l2, 90), &referee);
+        prop_assert_eq!(&select_pairs_in(&r, &l1, &l2, 90), &referee);
+        prop_assert_eq!(&r.to_bits(90).select_pairs(&l1, &l2), &referee);
     }
 
     #[test]

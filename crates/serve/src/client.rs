@@ -1,0 +1,113 @@
+//! `ServeClient`: the library-side counterpart of the server.
+//!
+//! One client owns one TCP connection and issues any number of
+//! requests over it (the protocol is strictly request/response, so a
+//! connection is also the unit of serialization — open one client per
+//! concurrent stream of work; they are cheap).
+
+use crate::protocol::{
+    self, QuerySpec, WireOutcome, WireRequest, WireResponse, WireRunInfo, WireStatsReply,
+};
+use rpq_core::RpqError;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A blocking client for the `rpq-serve` protocol.
+pub struct ServeClient {
+    stream: TcpStream,
+}
+
+impl ServeClient {
+    /// Connect to a server.
+    pub fn connect(addr: impl ToSocketAddrs + std::fmt::Debug) -> Result<ServeClient, RpqError> {
+        let stream = TcpStream::connect(&addr)
+            .map_err(|e| RpqError::io(format!("cannot connect to {addr:?}"), e))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| RpqError::io("cannot set TCP_NODELAY", e))?;
+        Ok(ServeClient { stream })
+    }
+
+    /// Like [`ServeClient::connect`], retrying for up to `timeout`
+    /// while the server is still binding — the race every loopback
+    /// harness (benches, smoke tests) otherwise loses.
+    pub fn connect_with_retry(
+        addr: impl ToSocketAddrs + std::fmt::Debug + Clone,
+        timeout: Duration,
+    ) -> Result<ServeClient, RpqError> {
+        let started = std::time::Instant::now();
+        loop {
+            match ServeClient::connect(addr.clone()) {
+                Ok(client) => return Ok(client),
+                Err(e) if started.elapsed() >= timeout => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+    }
+
+    /// Issue one raw request and read its response. The caller sees
+    /// every response variant, including [`WireResponse::Overloaded`]
+    /// and [`WireResponse::Error`] — load generators count those.
+    pub fn request(&mut self, request: &WireRequest) -> Result<WireResponse, RpqError> {
+        protocol::write_message(&mut self.stream, request)?;
+        protocol::read_message(&mut self.stream)?.ok_or_else(|| {
+            RpqError::invalid("server closed the connection before responding".to_owned())
+        })
+    }
+
+    /// Evaluate one query; protocol-level refusals surface as
+    /// [`RpqError`].
+    pub fn query(&mut self, spec: QuerySpec) -> Result<WireOutcome, RpqError> {
+        match self.request(&WireRequest::Query(spec))? {
+            WireResponse::Outcome(outcome) => Ok(outcome),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Snapshot the server's counters.
+    pub fn stats(&mut self) -> Result<WireStatsReply, RpqError> {
+        match self.request(&WireRequest::Stats)? {
+            WireResponse::Stats(stats) => Ok(stats),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// List the stored runs.
+    pub fn runs(&mut self) -> Result<Vec<WireRunInfo>, RpqError> {
+        match self.request(&WireRequest::ListRuns)? {
+            WireResponse::Runs(runs) => Ok(runs),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), RpqError> {
+        match self.request(&WireRequest::Ping)? {
+            WireResponse::Pong => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Ask the server to drain and stop.
+    pub fn shutdown_server(&mut self) -> Result<(), RpqError> {
+        match self.request(&WireRequest::Shutdown)? {
+            WireResponse::ShuttingDown => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+}
+
+/// Map an off-script response (overload, server-side error, wrong
+/// variant) into the unified error enum.
+fn unexpected(response: WireResponse) -> RpqError {
+    match response {
+        WireResponse::Overloaded { queue } => RpqError::invalid(format!(
+            "server overloaded (waiting queue of {queue} is full); retry with backoff"
+        )),
+        WireResponse::Error { kind, message } => {
+            RpqError::invalid(format!("server rejected the request ({kind}): {message}"))
+        }
+        WireResponse::ShuttingDown => RpqError::invalid("server is shutting down".to_owned()),
+        other => RpqError::invalid(format!("unexpected server response: {other:?}")),
+    }
+}

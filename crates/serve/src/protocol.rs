@@ -1,0 +1,562 @@
+//! The wire protocol: length-prefixed frames of binary-coded messages.
+//!
+//! Every message travels as one frame:
+//!
+//! ```text
+//! +------+---------+------------+------------------------+
+//! | RPQN | version | length u32 | payload (length bytes) |
+//! +------+---------+------------+------------------------+
+//!   4 B      1 B     LE, capped    rpq_store::codec bytes
+//! ```
+//!
+//! The payload reuses the run store's binary codec
+//! ([`rpq_store::codec`]) — magic/version header, string interning,
+//! varints, allocation-capped decode — so the service speaks the same
+//! dialect the store persists, and every decode failure is a clean
+//! error rather than a panic or an unbounded allocation. The frame
+//! length is capped at [`MAX_FRAME`] on both sides: a corrupt or
+//! hostile length prefix can never drive a multi-gigabyte read.
+//!
+//! Requests address runs **by store fingerprint** ([`RunAddr`]): the
+//! 128-bit structural fingerprint is stable across store rebuilds and
+//! process restarts, where catalog positions are not. (Positional
+//! addressing is still offered for load generators sweeping a corpus.)
+
+use rpq_core::{IndexCacheUse, PlanKind, QueryOutcome, QueryRequest, QueryResult, RpqError};
+use rpq_labeling::{NodeId, Run};
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+
+/// Frame magic: `RPQN` ("rpq network").
+pub const MAGIC: [u8; 4] = *b"RPQN";
+
+/// Protocol version; bumped on any wire-incompatible change.
+pub const VERSION: u8 = 1;
+
+/// Hard cap on one frame's payload (64 MiB) — bounds the allocation a
+/// length prefix can demand before a single payload byte is read.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// How a request names the run it queries.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunAddr {
+    /// The run's 128-bit structural fingerprint (`hi`, `lo`) — the
+    /// stable address ([`rpq_store::RunStore::find_by_fingerprint`]).
+    Fingerprint(u64, u64),
+    /// Catalog position (ingestion order) — convenient for load
+    /// generators; unstable across removals.
+    Index(u64),
+}
+
+/// The evaluation mode, mirroring [`QueryRequest`] with wire-friendly
+/// node ids (raw `u32` indexes into the run).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WireMode {
+    /// Pairwise verdict between two nodes.
+    Pairwise(u32, u32),
+    /// Pairwise verdict from the run's entry to its exit.
+    EntryExit,
+    /// All matching pairs of `l1 × l2`.
+    AllPairs(Vec<u32>, Vec<u32>),
+    /// All matching pairs over the whole node universe — expanded
+    /// server-side, so no id lists ship on the wire (an explicit
+    /// `AllPairs(0..n, 0..n)` would otherwise grow linearly with the
+    /// run and needs a round trip just to learn `n`).
+    AllPairsFull,
+    /// All matching pairs from a fixed source.
+    SourceStar(u32),
+    /// All matching pairs into a fixed target.
+    TargetStar(u32),
+    /// Nodes reachable from a fixed source along a matching path.
+    Reachable(u32),
+}
+
+impl WireMode {
+    /// Lower to a [`QueryRequest`], validating every node id against
+    /// the run (out-of-range ids would panic deep inside evaluation).
+    pub fn to_request(&self, run: &Run) -> Result<QueryRequest, RpqError> {
+        let n = run.n_nodes() as u32;
+        let check = |id: u32| -> Result<NodeId, RpqError> {
+            if id < n {
+                Ok(NodeId(id))
+            } else {
+                Err(RpqError::invalid(format!(
+                    "node id {id} out of range for a {n}-node run"
+                )))
+            }
+        };
+        let check_all = |ids: &[u32]| -> Result<Vec<NodeId>, RpqError> {
+            ids.iter().map(|&id| check(id)).collect()
+        };
+        Ok(match self {
+            WireMode::Pairwise(u, v) => QueryRequest::Pairwise(check(*u)?, check(*v)?),
+            WireMode::EntryExit => QueryRequest::EntryExit,
+            WireMode::AllPairs(l1, l2) => QueryRequest::AllPairs(check_all(l1)?, check_all(l2)?),
+            WireMode::AllPairsFull => {
+                let all: Vec<NodeId> = run.node_ids().collect();
+                QueryRequest::AllPairs(all.clone(), all)
+            }
+            WireMode::SourceStar(u) => QueryRequest::SourceStar(check(*u)?),
+            WireMode::TargetStar(v) => QueryRequest::TargetStar(check(*v)?),
+            WireMode::Reachable(u) => QueryRequest::Reachable(check(*u)?),
+        })
+    }
+}
+
+/// One query to evaluate.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuerySpec {
+    /// The regular path query text (server-side parsed and plan-cached).
+    pub query: String,
+    /// Subquery policy by CLI name (`cost` / `memo` / `naive`); empty
+    /// means the server's default.
+    pub policy: String,
+    /// Which stored run to evaluate over.
+    pub run: RunAddr,
+    /// The evaluation mode.
+    pub mode: WireMode,
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WireRequest {
+    /// Evaluate a query.
+    Query(QuerySpec),
+    /// Snapshot the server's session/store/service counters.
+    Stats,
+    /// List the stored runs (ids, fingerprints, sizes).
+    ListRuns,
+    /// Liveness probe.
+    Ping,
+    /// Ask the server to stop accepting and drain.
+    Shutdown,
+}
+
+/// A query result on the wire, mirroring [`QueryResult`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WireResult {
+    /// Pairwise verdict.
+    Bool(bool),
+    /// Matching pairs, sorted.
+    Pairs(Vec<(u32, u32)>),
+    /// Matching nodes (reachability), sorted.
+    Nodes(Vec<u32>),
+}
+
+impl WireResult {
+    /// Convert an in-process result for the wire.
+    pub fn from_result(result: &QueryResult) -> WireResult {
+        match result {
+            QueryResult::Bool(b) => WireResult::Bool(*b),
+            QueryResult::Pairs(pairs) => {
+                WireResult::Pairs(pairs.iter().map(|(u, v)| (u.0, v.0)).collect())
+            }
+            QueryResult::Nodes(nodes) => WireResult::Nodes(nodes.iter().map(|n| n.0).collect()),
+        }
+    }
+
+    /// Number of matches (1/0 for verdicts).
+    pub fn len(&self) -> usize {
+        match self {
+            WireResult::Bool(b) => usize::from(*b),
+            WireResult::Pairs(pairs) => pairs.len(),
+            WireResult::Nodes(nodes) => nodes.len(),
+        }
+    }
+
+    /// Did the query match nothing?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A query outcome on the wire: the result plus the per-request
+/// [`rpq_core::EvalMeta`] and server-side timing.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireOutcome {
+    /// The result payload.
+    pub result: WireResult,
+    /// `safe` or `composite` — which plan strategy ran.
+    pub plan_kind: String,
+    /// `hit` / `miss` / `none` — the per-run index-cache interaction.
+    pub index_cache: String,
+    /// Relational kernel mode in force (`auto` / `bits` / `pairs`).
+    pub kernel: String,
+    /// Candidate nodes the request ranged over.
+    pub nodes_touched: u64,
+    /// Server-side evaluation time in microseconds (excludes transport).
+    pub micros: u64,
+}
+
+impl WireOutcome {
+    /// Package an in-process outcome for the wire.
+    pub fn from_outcome(outcome: &QueryOutcome, micros: u64) -> WireOutcome {
+        WireOutcome {
+            result: WireResult::from_result(&outcome.result),
+            plan_kind: match outcome.meta.plan_kind {
+                PlanKind::Safe => "safe",
+                PlanKind::Composite => "composite",
+            }
+            .to_owned(),
+            index_cache: match outcome.meta.index_cache {
+                IndexCacheUse::NotNeeded => "none",
+                IndexCacheUse::Hit => "hit",
+                IndexCacheUse::Miss => "miss",
+            }
+            .to_owned(),
+            kernel: outcome.meta.kernel.name().to_owned(),
+            nodes_touched: outcome.meta.nodes_touched as u64,
+            micros,
+        }
+    }
+}
+
+/// One stored run, as listed by [`WireRequest::ListRuns`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireRunInfo {
+    /// Store id.
+    pub id: u64,
+    /// Fingerprint high half.
+    pub fp_hi: u64,
+    /// Fingerprint low half.
+    pub fp_lo: u64,
+    /// Node count.
+    pub n_nodes: u64,
+    /// Edge count.
+    pub n_edges: u64,
+}
+
+/// Counter snapshot of [`WireRequest::Stats`]: the session's cache
+/// movement, the store's reload/rebuild counters and the service's own
+/// admission numbers, flattened for the wire.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireStatsReply {
+    /// Plan-cache hits ([`rpq_core::SessionStats`]).
+    pub plan_hits: u64,
+    /// Plan-cache misses.
+    pub plan_misses: u64,
+    /// Tag-index cache hits.
+    pub index_hits: u64,
+    /// Tag-index cache misses.
+    pub index_misses: u64,
+    /// CSR-arena cache hits.
+    pub csr_hits: u64,
+    /// CSR-arena cache misses.
+    pub csr_misses: u64,
+    /// Tag indexes + CSR arenas dropped by the session LRU bound.
+    pub session_evictions: u64,
+    /// Runs in the store's catalog.
+    pub store_runs: u64,
+    /// Artifacts decoded from disk ([`rpq_store::StoreStats`]).
+    pub tag_reloads: u64,
+    /// CSR artifacts decoded from disk.
+    pub csr_reloads: u64,
+    /// Artifacts re-derived from their runs.
+    pub tag_rebuilds: u64,
+    /// CSR artifacts re-derived.
+    pub csr_rebuilds: u64,
+    /// Connections the service accepted.
+    pub accepted: u64,
+    /// Requests served (all verbs).
+    pub requests: u64,
+    /// Connections refused with [`WireResponse::Overloaded`].
+    pub overloaded: u64,
+    /// Requests answered with [`WireResponse::Error`].
+    pub request_errors: u64,
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WireResponse {
+    /// A query's outcome.
+    Outcome(WireOutcome),
+    /// The counter snapshot.
+    Stats(WireStatsReply),
+    /// The run inventory.
+    Runs(Vec<WireRunInfo>),
+    /// Liveness reply.
+    Pong,
+    /// Admission control refused the connection: the waiting queue is
+    /// full. The connection closes after this response — retry with
+    /// backoff. Carries the queue bound that was hit.
+    Overloaded {
+        /// The configured waiting-connection bound.
+        queue: u64,
+    },
+    /// The server acknowledged [`WireRequest::Shutdown`] and is
+    /// draining.
+    ShuttingDown,
+    /// The request failed; the connection stays usable.
+    Error {
+        /// Stable error class (`parse` / `plan` / `grammar` / `run` /
+        /// `io` / `invalid`).
+        kind: String,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// The stable error class of an [`RpqError`], as sent in
+/// [`WireResponse::Error`].
+pub fn error_kind(e: &RpqError) -> &'static str {
+    match e {
+        RpqError::Parse(_) => "parse",
+        RpqError::Plan(_) => "plan",
+        RpqError::Grammar(_) => "grammar",
+        RpqError::Run(_) => "run",
+        RpqError::Io { .. } => "io",
+        RpqError::Invalid(_) => "invalid",
+    }
+}
+
+// ---------------------------------------------------------------------
+// Framing.
+// ---------------------------------------------------------------------
+
+/// Encode `value` into one frame. The [`MAX_FRAME`] cap is enforced on
+/// this side too: an oversized payload is an `Invalid` error *before*
+/// any byte is written (otherwise the peer's cap check would kill the
+/// connection after all the work was done — and a payload past `u32`
+/// would silently truncate the length prefix into garbage framing).
+pub fn encode_frame<T: Serialize>(value: &T) -> Result<Vec<u8>, RpqError> {
+    let payload = rpq_store::codec::to_bytes(value);
+    if payload.len() > MAX_FRAME {
+        return Err(RpqError::invalid(format!(
+            "message of {} bytes exceeds the {MAX_FRAME}-byte frame cap; \
+             narrow the request (e.g. select fewer endpoints)",
+            payload.len()
+        )));
+    }
+    let mut frame = Vec::with_capacity(9 + payload.len());
+    frame.extend_from_slice(&MAGIC);
+    frame.push(VERSION);
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    Ok(frame)
+}
+
+/// Write `value` as one frame. An [`RpqError::Invalid`] means the
+/// message was too large and *nothing was written* — the connection is
+/// still in sync and the caller may substitute a smaller message (the
+/// server sends an error response instead of an oversized outcome).
+pub fn write_message<T: Serialize>(w: &mut impl Write, value: &T) -> Result<(), RpqError> {
+    let frame = encode_frame(value)?;
+    w.write_all(&frame)
+        .and_then(|()| w.flush())
+        .map_err(|e| RpqError::io("cannot write protocol frame", e))
+}
+
+/// Read one frame and decode its payload. Returns `Ok(None)` on a
+/// clean end of stream (the peer closed between frames); a stream that
+/// ends *inside* a frame is an error.
+pub fn read_message<T: Deserialize>(r: &mut impl Read) -> Result<Option<T>, RpqError> {
+    let mut header = [0u8; 9];
+    match read_exact_or_eof(r, &mut header)? {
+        ReadState::CleanEof => return Ok(None),
+        ReadState::Filled => {}
+    }
+    decode_after_header(r, &header)
+}
+
+/// Validate a 9-byte frame header and return the payload length it
+/// announces (already checked against [`MAX_FRAME`]).
+pub(crate) fn frame_len(header: &[u8; 9]) -> Result<usize, RpqError> {
+    if header[..4] != MAGIC {
+        return Err(RpqError::invalid(
+            "not an rpq protocol frame (bad magic)".to_owned(),
+        ));
+    }
+    if header[4] != VERSION {
+        return Err(RpqError::invalid(format!(
+            "unsupported protocol version {} (this build speaks {VERSION})",
+            header[4]
+        )));
+    }
+    let len = u32::from_le_bytes([header[5], header[6], header[7], header[8]]) as usize;
+    if len > MAX_FRAME {
+        return Err(RpqError::invalid(format!(
+            "frame of {len} bytes exceeds the {MAX_FRAME}-byte cap"
+        )));
+    }
+    Ok(len)
+}
+
+/// Decode one frame's payload bytes.
+pub(crate) fn decode_payload<T: Deserialize>(payload: &[u8]) -> Result<T, RpqError> {
+    rpq_store::codec::from_bytes(payload)
+        .map_err(|e| RpqError::invalid(format!("corrupt protocol payload: {e}")))
+}
+
+/// Shared tail of [`read_message`] and the server's interruptible
+/// reader: validate a 9-byte header and decode the payload it announces.
+pub(crate) fn decode_after_header<T: Deserialize>(
+    r: &mut impl Read,
+    header: &[u8; 9],
+) -> Result<Option<T>, RpqError> {
+    let len = frame_len(header)?;
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)
+        .map_err(|e| RpqError::io("truncated protocol frame", e))?;
+    Ok(Some(decode_payload(&payload)?))
+}
+
+pub(crate) enum ReadState {
+    CleanEof,
+    Filled,
+}
+
+/// `read_exact`, except a stream that ends before the *first* byte is
+/// a clean EOF rather than an error.
+pub(crate) fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> Result<ReadState, RpqError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(ReadState::CleanEof),
+            Ok(0) => {
+                return Err(RpqError::invalid(format!(
+                    "stream ended {filled} bytes into a frame header"
+                )))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(RpqError::io("cannot read protocol frame", e)),
+        }
+    }
+    Ok(ReadState::Filled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Serialize + Deserialize + PartialEq + std::fmt::Debug>(value: T) {
+        let frame = encode_frame(&value).unwrap();
+        let mut cursor = &frame[..];
+        let back: T = read_message(&mut cursor).unwrap().unwrap();
+        assert_eq!(back, value);
+        assert!(cursor.is_empty());
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip(WireRequest::Ping);
+        round_trip(WireRequest::Stats);
+        round_trip(WireRequest::ListRuns);
+        round_trip(WireRequest::Shutdown);
+        for mode in [
+            WireMode::Pairwise(3, 9),
+            WireMode::EntryExit,
+            WireMode::AllPairs(vec![0, 1, 2], vec![2, 1]),
+            WireMode::AllPairsFull,
+            WireMode::SourceStar(0),
+            WireMode::TargetStar(7),
+            WireMode::Reachable(1),
+        ] {
+            round_trip(WireRequest::Query(QuerySpec {
+                query: "_* a _*".to_owned(),
+                policy: "cost".to_owned(),
+                run: RunAddr::Fingerprint(0xdead, 0xbeef),
+                mode,
+            }));
+        }
+        round_trip(WireRequest::Query(QuerySpec {
+            query: "a+".to_owned(),
+            policy: String::new(),
+            run: RunAddr::Index(2),
+            mode: WireMode::EntryExit,
+        }));
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        round_trip(WireResponse::Pong);
+        round_trip(WireResponse::ShuttingDown);
+        round_trip(WireResponse::Overloaded { queue: 64 });
+        round_trip(WireResponse::Error {
+            kind: "parse".to_owned(),
+            message: "unbalanced".to_owned(),
+        });
+        round_trip(WireResponse::Runs(vec![WireRunInfo {
+            id: 1,
+            fp_hi: 2,
+            fp_lo: 3,
+            n_nodes: 4,
+            n_edges: 5,
+        }]));
+        round_trip(WireResponse::Stats(WireStatsReply {
+            plan_hits: 1,
+            requests: 9,
+            ..WireStatsReply::default()
+        }));
+        for result in [
+            WireResult::Bool(true),
+            WireResult::Pairs(vec![(0, 1), (2, 3)]),
+            WireResult::Nodes(vec![5, 6]),
+        ] {
+            round_trip(WireResponse::Outcome(WireOutcome {
+                result,
+                plan_kind: "safe".to_owned(),
+                index_cache: "none".to_owned(),
+                kernel: "auto".to_owned(),
+                nodes_touched: 2,
+                micros: 17,
+            }));
+        }
+    }
+
+    #[test]
+    fn corrupt_frames_are_rejected_not_panicked() {
+        let good = encode_frame(&WireRequest::Ping).unwrap();
+        // Clean EOF before any byte.
+        assert!(read_message::<WireRequest>(&mut &[][..]).unwrap().is_none());
+        // Truncation at every prefix errors (except length 0 = clean EOF).
+        for cut in 1..good.len() {
+            assert!(
+                read_message::<WireRequest>(&mut &good[..cut]).is_err(),
+                "cut at {cut}"
+            );
+        }
+        // Bad magic.
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(read_message::<WireRequest>(&mut &bad[..]).is_err());
+        // Bad version.
+        let mut bad = good.clone();
+        bad[4] = 99;
+        assert!(read_message::<WireRequest>(&mut &bad[..]).is_err());
+        // A length prefix past the cap is refused before any allocation.
+        let mut bad = good.clone();
+        bad[5..9].copy_from_slice(&(u32::MAX).to_le_bytes());
+        assert!(read_message::<WireRequest>(&mut &bad[..]).is_err());
+        // Garbage payload of the advertised length.
+        let mut bad = good;
+        for b in bad.iter_mut().skip(9) {
+            *b = 0xFF;
+        }
+        assert!(read_message::<WireRequest>(&mut &bad[..]).is_err());
+    }
+
+    #[test]
+    fn oversized_messages_are_refused_before_any_byte_is_written() {
+        // A payload past MAX_FRAME must error cleanly with nothing on
+        // the wire — the peer's connection stays in sync.
+        let huge = "x".repeat(MAX_FRAME + 1024);
+        let mut sink = Vec::new();
+        let err = write_message(&mut sink, &huge).unwrap_err();
+        assert!(matches!(err, RpqError::Invalid(_)), "{err:?}");
+        assert!(err.to_string().contains("frame cap"), "{err}");
+        assert!(sink.is_empty(), "nothing may be written on refusal");
+    }
+
+    #[test]
+    fn error_kinds_are_stable() {
+        assert_eq!(error_kind(&RpqError::invalid("x")), "invalid");
+        assert_eq!(
+            error_kind(&RpqError::io(
+                "x",
+                std::io::Error::new(std::io::ErrorKind::NotFound, "y")
+            )),
+            "io"
+        );
+    }
+}

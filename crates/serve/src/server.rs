@@ -1,0 +1,575 @@
+//! The query server: accept loop, bounded worker pool, admission
+//! control.
+//!
+//! One [`Server`] owns one shared [`Session`] and one [`RunStore`]:
+//! the session's plan and per-run caches are `Send + Sync`, so every
+//! worker thread evaluates straight off the same warm state — the
+//! paper's *compile once, evaluate many* economics stretched across a
+//! socket. Concurrency is a hand-rolled pool in the style of
+//! `rpq_core`'s batch executor (`std::thread::scope` + shared queue),
+//! not an async runtime: connections are few and CPU-bound evaluation
+//! dominates, so thread-per-worker with a bounded waiting room is both
+//! simpler and measurably sufficient (see `BENCH_serve.json`).
+//!
+//! **Admission control.** At most `workers` connections are in flight;
+//! up to `queue` more wait in the accept queue. A connection beyond
+//! that is answered with one [`WireResponse::Overloaded`] frame and
+//! closed — a graceful refusal the client can see and back off from,
+//! never a silently dropped socket.
+//!
+//! **Shutdown.** The accept loop stops when the shutdown flag rises —
+//! via [`ShutdownHandle::shutdown`], the protocol's
+//! [`WireRequest::Shutdown`] verb, or a SIGTERM/SIGINT flag installed
+//! by the CLI ([`crate::signals`]). Workers finish the request in
+//! flight, drain the waiting queue, and the server returns its final
+//! [`ServeReport`].
+
+use crate::protocol::{
+    self, error_kind, QuerySpec, RunAddr, WireOutcome, WireRequest, WireResponse, WireRunInfo,
+    WireStatsReply,
+};
+use rpq_core::{RpqError, Session, SubqueryPolicy};
+use rpq_store::RunStore;
+use std::collections::VecDeque;
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Server configuration (the CLI's `rpq serve` flags).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads = max in-flight connections; 0 means one per
+    /// available CPU.
+    pub workers: usize,
+    /// Waiting-connection bound beyond the in-flight workers;
+    /// connections past it receive [`WireResponse::Overloaded`].
+    pub queue: usize,
+    /// LRU bound for the session and store caches (`None` = unbounded).
+    pub cache: Option<usize>,
+    /// Default subquery policy for requests that don't name one.
+    pub policy: SubqueryPolicy,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 0,
+            queue: 64,
+            cache: None,
+            policy: SubqueryPolicy::CostBased,
+        }
+    }
+}
+
+/// Monotonic service counters, shared with the stats verb.
+#[derive(Default)]
+struct Counters {
+    accepted: AtomicU64,
+    requests: AtomicU64,
+    overloaded: AtomicU64,
+    request_errors: AtomicU64,
+}
+
+/// What the server did over its lifetime, returned by [`Server::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeReport {
+    /// Connections accepted.
+    pub accepted: u64,
+    /// Requests served (all verbs).
+    pub requests: u64,
+    /// Connections refused by admission control.
+    pub overloaded: u64,
+    /// Requests answered with an error response.
+    pub request_errors: u64,
+}
+
+/// A clonable handle that stops a running server from another thread.
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    flag: Arc<AtomicBool>,
+}
+
+impl ShutdownHandle {
+    /// Ask the server to stop accepting and drain.
+    pub fn shutdown(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Has shutdown been requested?
+    pub fn is_shutdown(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// Result of one patient read: the buffer was filled, or the
+/// connection is done (peer EOF / shutdown while idle).
+enum ReadOutcome {
+    Filled,
+    Done,
+}
+
+/// The bounded waiting room between the accept loop and the workers.
+struct ConnQueue {
+    state: Mutex<(VecDeque<TcpStream>, bool)>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl ConnQueue {
+    fn new(capacity: usize) -> ConnQueue {
+        ConnQueue {
+            state: Mutex::new((VecDeque::new(), false)),
+            ready: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Admit a connection, or hand it back when the room is full.
+    fn push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut state = self.state.lock().expect("conn queue lock");
+        if state.0.len() >= self.capacity {
+            return Err(stream);
+        }
+        state.0.push_back(stream);
+        drop(state);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Next waiting connection; blocks, and returns `None` once the
+    /// queue is closed *and* drained.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut state = self.state.lock().expect("conn queue lock");
+        loop {
+            if let Some(stream) = state.0.pop_front() {
+                return Some(stream);
+            }
+            if state.1 {
+                return None;
+            }
+            state = self.ready.wait(state).expect("conn queue wait");
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().expect("conn queue lock").1 = true;
+        self.ready.notify_all();
+    }
+}
+
+/// A bound TCP query service over one warm run store.
+pub struct Server {
+    listener: TcpListener,
+    store: Arc<RunStore>,
+    session: Arc<Session>,
+    workers: usize,
+    queue_cap: usize,
+    cache: Option<usize>,
+    policy: SubqueryPolicy,
+    shutdown: Arc<AtomicBool>,
+    counters: Arc<Counters>,
+}
+
+impl Server {
+    /// Bind the listener and assemble the shared session. The session
+    /// shares the store's specification, so prepared plans and stored
+    /// runs always agree; `config.cache` bounds both the session's
+    /// per-run caches and the store's in-memory caches (bounding one
+    /// side only would leave the other retaining the full corpus).
+    pub fn bind(store: RunStore, config: &ServeConfig) -> Result<Server, RpqError> {
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| RpqError::io(format!("cannot bind {}", config.addr), e))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| RpqError::io("cannot set the listener non-blocking", e))?;
+        let session = Session::new(store.spec_arc());
+        let (store, session) = match config.cache {
+            Some(capacity) => (
+                store.with_cache_capacity(capacity),
+                session.with_cache_capacity(capacity),
+            ),
+            None => (store, session),
+        };
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        } else {
+            config.workers
+        };
+        Ok(Server {
+            listener,
+            store: Arc::new(store),
+            session: Arc::new(session),
+            workers,
+            queue_cap: config.queue.max(1),
+            cache: config.cache,
+            policy: config.policy,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            counters: Arc::new(Counters::default()),
+        })
+    }
+
+    /// The bound address (read the ephemeral port here).
+    pub fn local_addr(&self) -> Result<SocketAddr, RpqError> {
+        self.listener
+            .local_addr()
+            .map_err(|e| RpqError::io("cannot read the bound address", e))
+    }
+
+    /// Worker threads the server will run.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// A handle that stops this server from another thread.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            flag: Arc::clone(&self.shutdown),
+        }
+    }
+
+    /// Seed the session caches with stored runs' persisted artifacts
+    /// (building and persisting any that are missing), so the first
+    /// query of each warmed run hits instead of rebuilding. When the
+    /// caches are LRU-bounded, only the *newest* `cache` runs are
+    /// warmed — seeding more would decode artifacts straight into
+    /// eviction. Returns the number of runs warmed.
+    pub fn warm(&self) -> Result<usize, RpqError> {
+        let ids = self.store.ids();
+        let keep = self.cache.unwrap_or(usize::MAX).min(ids.len());
+        let mut warmed = 0;
+        for &id in &ids[ids.len() - keep..] {
+            let run = self.store.run(id)?;
+            let (tag, csr) = self.store.artifacts(id)?;
+            self.session.seed_run_cache(&run, tag, Some(csr));
+            warmed += 1;
+        }
+        Ok(warmed)
+    }
+
+    /// Serve until shutdown (handle, protocol verb, or the optional
+    /// `external` flag — the CLI passes its SIGTERM/SIGINT flag here).
+    /// Blocks the calling thread; workers run scoped inside.
+    pub fn run(self, external: Option<&AtomicBool>) -> ServeReport {
+        let queue = ConnQueue::new(self.queue_cap);
+        std::thread::scope(|scope| {
+            for _ in 0..self.workers {
+                scope.spawn(|| {
+                    while let Some(stream) = queue.pop() {
+                        self.serve_connection(stream);
+                    }
+                });
+            }
+
+            // Accept loop: non-blocking accept polled against the
+            // shutdown flags, so SIGTERM is noticed within ~10 ms.
+            loop {
+                if external.is_some_and(|f| f.load(Ordering::Relaxed)) {
+                    // Propagate: workers draining idle keep-alive
+                    // connections poll only the internal flag, and they
+                    // must see the external (SIGTERM) one too or the
+                    // scope would never join.
+                    self.shutdown.store(true, Ordering::Relaxed);
+                }
+                if self.shutdown.load(Ordering::Relaxed) {
+                    break;
+                }
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        self.counters.accepted.fetch_add(1, Ordering::Relaxed);
+                        if let Err(rejected) = queue.push(stream) {
+                            self.counters.overloaded.fetch_add(1, Ordering::Relaxed);
+                            self.refuse(rejected);
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        // Transient accept failure (e.g. aborted
+                        // handshake): back off briefly and keep serving.
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                }
+            }
+            queue.close();
+        });
+        ServeReport {
+            accepted: self.counters.accepted.load(Ordering::Relaxed),
+            requests: self.counters.requests.load(Ordering::Relaxed),
+            overloaded: self.counters.overloaded.load(Ordering::Relaxed),
+            request_errors: self.counters.request_errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Graceful refusal: one Overloaded frame, then close. Bounded
+    /// write timeout so a dead peer cannot wedge the accept loop.
+    fn refuse(&self, mut stream: TcpStream) {
+        let _ = stream.set_nonblocking(false);
+        let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+        if protocol::write_message(
+            &mut stream,
+            &WireResponse::Overloaded {
+                queue: self.queue_cap as u64,
+            },
+        )
+        .is_err()
+        {
+            return;
+        }
+        // The client may already have written a request; closing with
+        // those bytes unread would turn the close into a TCP RST, which
+        // on some stacks discards the Overloaded frame before the
+        // client reads it. Signal end-of-responses, then briefly drain
+        // the read side so the refusal survives in order.
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+        let mut sink = [0u8; 4096];
+        for _ in 0..16 {
+            match stream.read(&mut sink) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {}
+            }
+        }
+    }
+
+    /// Serve every request on one connection until the peer closes, a
+    /// transport error occurs, or shutdown drains it.
+    fn serve_connection(&self, mut stream: TcpStream) {
+        let _ = stream.set_nonblocking(false);
+        // Short read timeout: between requests the worker wakes to
+        // check the shutdown flag instead of blocking forever on an
+        // idle keep-alive connection.
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+        let _ = stream.set_nodelay(true);
+        loop {
+            // Checked between requests too: a continuously busy
+            // connection never hits the idle read path, and must still
+            // drain (request in flight finished, response written).
+            if self.shutdown.load(Ordering::Relaxed) {
+                return;
+            }
+            let request = match self.read_request(&mut stream) {
+                Ok(Some(request)) => request,
+                // Peer closed, or shutdown drained the idle connection.
+                Ok(None) => return,
+                Err(e) => {
+                    // Malformed frame: report once, then drop the
+                    // connection (framing is lost).
+                    let _ = protocol::write_message(
+                        &mut stream,
+                        &WireResponse::Error {
+                            kind: error_kind(&e).to_owned(),
+                            message: e.to_string(),
+                        },
+                    );
+                    return;
+                }
+            };
+            self.counters.requests.fetch_add(1, Ordering::Relaxed);
+            let (response, stop) = self.handle(request);
+            match protocol::write_message(&mut stream, &response) {
+                Ok(()) => {}
+                // An Invalid write error means the response exceeded
+                // the frame cap and nothing hit the wire: the
+                // connection is still in sync, so substitute an error
+                // response the client can act on.
+                Err(e @ RpqError::Invalid(_)) => {
+                    self.counters.request_errors.fetch_add(1, Ordering::Relaxed);
+                    let substitute = WireResponse::Error {
+                        kind: error_kind(&e).to_owned(),
+                        message: e.to_string(),
+                    };
+                    if protocol::write_message(&mut stream, &substitute).is_err() {
+                        return;
+                    }
+                }
+                Err(_) => return,
+            }
+            if stop {
+                return;
+            }
+        }
+    }
+
+    /// Read one request, waking on the read timeout to poll the
+    /// shutdown flag. `Ok(None)` means the connection is done (peer
+    /// EOF, or shutdown while idle).
+    fn read_request(&self, stream: &mut TcpStream) -> Result<Option<WireRequest>, RpqError> {
+        let mut header = [0u8; 9];
+        // Patient header read: timeouts between requests are idleness,
+        // not errors — but once a frame has started, a peer that stalls
+        // past the deadline is cut off.
+        let mut in_frame = false;
+        match self.read_patient(stream, &mut header, &mut in_frame)? {
+            ReadOutcome::Done => return Ok(None),
+            ReadOutcome::Filled => {}
+        }
+        let len = protocol::frame_len(&header)?;
+        let mut payload = vec![0u8; len];
+        match self.read_patient(stream, &mut payload, &mut in_frame)? {
+            ReadOutcome::Done => Err(RpqError::invalid(
+                "stream ended inside a frame payload".to_owned(),
+            )),
+            ReadOutcome::Filled => Ok(Some(protocol::decode_payload(&payload)?)),
+        }
+    }
+
+    /// Fill `buf`, retrying read timeouts. Before any byte of the
+    /// frame has arrived (`*in_frame` false), a timeout just polls the
+    /// shutdown flag; once inside a frame, stalls past 30 s are cut
+    /// off. EOF before the first byte reports `Done`.
+    fn read_patient(
+        &self,
+        stream: &mut TcpStream,
+        buf: &mut [u8],
+        in_frame: &mut bool,
+    ) -> Result<ReadOutcome, RpqError> {
+        let deadline = Duration::from_secs(30);
+        let mut filled = 0;
+        let mut stall_started: Option<Instant> = None;
+        while filled < buf.len() {
+            match stream.read(&mut buf[filled..]) {
+                Ok(0) if !*in_frame && filled == 0 => return Ok(ReadOutcome::Done),
+                Ok(0) => {
+                    return Err(RpqError::invalid(
+                        "stream ended inside a protocol frame".to_owned(),
+                    ))
+                }
+                Ok(n) => {
+                    filled += n;
+                    *in_frame = true;
+                    stall_started = None;
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    if !*in_frame && filled == 0 {
+                        // Idle between frames: drain on shutdown.
+                        if self.shutdown.load(Ordering::Relaxed) {
+                            return Ok(ReadOutcome::Done);
+                        }
+                        continue;
+                    }
+                    let t0 = *stall_started.get_or_insert_with(Instant::now);
+                    if t0.elapsed() > deadline {
+                        return Err(RpqError::invalid(
+                            "peer stalled mid-frame past the 30s deadline".to_owned(),
+                        ));
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(RpqError::io("cannot read request frame", e)),
+            }
+        }
+        Ok(ReadOutcome::Filled)
+    }
+
+    /// Dispatch one request; the bool asks the connection loop to stop.
+    fn handle(&self, request: WireRequest) -> (WireResponse, bool) {
+        match request {
+            WireRequest::Ping => (WireResponse::Pong, false),
+            WireRequest::ListRuns => (
+                WireResponse::Runs(
+                    self.store
+                        .metas()
+                        .iter()
+                        .map(|m| WireRunInfo {
+                            id: m.id.0,
+                            fp_hi: m.fp_hi,
+                            fp_lo: m.fp_lo,
+                            n_nodes: m.n_nodes,
+                            n_edges: m.n_edges,
+                        })
+                        .collect(),
+                ),
+                false,
+            ),
+            WireRequest::Stats => (WireResponse::Stats(self.stats()), false),
+            WireRequest::Shutdown => {
+                self.shutdown.store(true, Ordering::Relaxed);
+                (WireResponse::ShuttingDown, true)
+            }
+            WireRequest::Query(spec) => match self.evaluate(&spec) {
+                Ok(outcome) => (WireResponse::Outcome(outcome), false),
+                Err(e) => {
+                    self.counters.request_errors.fetch_add(1, Ordering::Relaxed);
+                    (
+                        WireResponse::Error {
+                            kind: error_kind(&e).to_owned(),
+                            message: e.to_string(),
+                        },
+                        false,
+                    )
+                }
+            },
+        }
+    }
+
+    /// Evaluate one query request against the shared session.
+    fn evaluate(&self, spec: &QuerySpec) -> Result<WireOutcome, RpqError> {
+        let policy = if spec.policy.is_empty() {
+            self.policy
+        } else {
+            SubqueryPolicy::from_cli_name(&spec.policy).ok_or_else(|| {
+                RpqError::invalid(format!(
+                    "invalid policy {:?}: valid policies are {}",
+                    spec.policy,
+                    SubqueryPolicy::NAMES.join(", ")
+                ))
+            })?
+        };
+        let id = match spec.run {
+            RunAddr::Fingerprint(hi, lo) => {
+                self.store.find_by_fingerprint(hi, lo).ok_or_else(|| {
+                    RpqError::invalid(format!("no stored run has fingerprint {hi:016x}{lo:016x}"))
+                })?
+            }
+            RunAddr::Index(i) => self.store.id_at(i as usize).ok_or_else(|| {
+                RpqError::invalid(format!(
+                    "run #{i} out of range for a {}-run store",
+                    self.store.len()
+                ))
+            })?,
+        };
+        let run = self.store.run(id)?;
+        let request = spec.mode.to_request(&run)?;
+        let query = self.session.prepare_with(&spec.query, policy)?;
+        let started = Instant::now();
+        let outcome = self.session.evaluate(&query, &run, &request);
+        let micros = started.elapsed().as_micros() as u64;
+        Ok(WireOutcome::from_outcome(&outcome, micros))
+    }
+
+    /// The stats verb's snapshot.
+    fn stats(&self) -> WireStatsReply {
+        let session = self.session.stats();
+        let store = self.store.stats();
+        WireStatsReply {
+            plan_hits: session.plan_hits,
+            plan_misses: session.plan_misses,
+            index_hits: session.index_hits,
+            index_misses: session.index_misses,
+            csr_hits: session.csr_hits,
+            csr_misses: session.csr_misses,
+            session_evictions: session.index_evictions + session.csr_evictions,
+            store_runs: self.store.len() as u64,
+            tag_reloads: store.tag_reloads,
+            csr_reloads: store.csr_reloads,
+            tag_rebuilds: store.tag_rebuilds,
+            csr_rebuilds: store.csr_rebuilds,
+            accepted: self.counters.accepted.load(Ordering::Relaxed),
+            requests: self.counters.requests.load(Ordering::Relaxed),
+            overloaded: self.counters.overloaded.load(Ordering::Relaxed),
+            request_errors: self.counters.request_errors.load(Ordering::Relaxed),
+        }
+    }
+}

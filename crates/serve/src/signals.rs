@@ -1,0 +1,57 @@
+//! SIGTERM/SIGINT → an `AtomicBool`, with no libc crate.
+//!
+//! The accept loop polls a flag every ~10 ms; all a signal needs to do
+//! is raise it. `std` links the platform C library anyway, so the one
+//! symbol required (`signal(2)`) is declared directly — storing to a
+//! static `AtomicBool` is async-signal-safe, and nothing else happens
+//! in the handler.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// The process-wide termination flag the installed handlers raise.
+static TERMINATION: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+extern "C" fn raise_flag(_signum: i32) {
+    TERMINATION.store(true, Ordering::Relaxed);
+}
+
+/// Install SIGTERM and SIGINT handlers that raise a process-wide flag,
+/// and return that flag for `Server::run` to poll. Idempotent; on
+/// non-unix targets the flag is returned uninstalled (ctrl-c then
+/// terminates the process the default way).
+pub fn install_termination_flag() -> &'static AtomicBool {
+    #[cfg(unix)]
+    {
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGINT, raise_flag as *const () as usize);
+            signal(SIGTERM, raise_flag as *const () as usize);
+        }
+    }
+    &TERMINATION
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_raised_signal_sets_the_flag() {
+        let flag = install_termination_flag();
+        assert!(!flag.load(Ordering::Relaxed));
+        extern "C" {
+            fn raise(signum: i32) -> i32;
+        }
+        unsafe {
+            raise(15);
+        }
+        assert!(flag.load(Ordering::Relaxed));
+        // Reset for any other test in this process.
+        TERMINATION.store(false, Ordering::Relaxed);
+    }
+}

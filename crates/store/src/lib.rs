@@ -88,6 +88,10 @@ pub struct StoreStats {
     pub tag_rebuilds: u64,
     /// CSR arenas re-derived likewise.
     pub csr_rebuilds: u64,
+    /// Runs evicted from the catalog by [`RunStore::remove_run`].
+    pub removed: u64,
+    /// Stray files deleted by [`RunStore::prune_orphans`].
+    pub orphans_pruned: u64,
 }
 
 impl StoreStats {
@@ -101,6 +105,8 @@ impl StoreStats {
             csr_reloads: self.csr_reloads - earlier.csr_reloads,
             tag_rebuilds: self.tag_rebuilds - earlier.tag_rebuilds,
             csr_rebuilds: self.csr_rebuilds - earlier.csr_rebuilds,
+            removed: self.removed - earlier.removed,
+            orphans_pruned: self.orphans_pruned - earlier.orphans_pruned,
         }
     }
 }
@@ -187,6 +193,10 @@ impl<V: Clone> BoundedCache<V> {
         self.trim();
     }
 
+    fn remove(&mut self, id: &RunId) {
+        self.entries.remove(id);
+    }
+
     fn trim(&mut self) {
         while self.entries.len() > self.capacity {
             let stalest = self
@@ -218,6 +228,24 @@ pub struct RunStore {
     csr_reloads: AtomicU64,
     tag_rebuilds: AtomicU64,
     csr_rebuilds: AtomicU64,
+    removed: AtomicU64,
+    orphans_pruned: AtomicU64,
+}
+
+/// One run's catalog row, as exposed to clients ([`RunStore::metas`]):
+/// how a query service addresses stored runs by fingerprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunMeta {
+    /// The run's id inside this store.
+    pub id: RunId,
+    /// High half of the structural fingerprint.
+    pub fp_hi: u64,
+    /// Low half of the structural fingerprint.
+    pub fp_lo: u64,
+    /// Node count at ingestion.
+    pub n_nodes: u64,
+    /// Edge count at ingestion.
+    pub n_edges: u64,
 }
 
 impl RunStore {
@@ -331,6 +359,8 @@ impl RunStore {
             csr_reloads: AtomicU64::new(0),
             tag_rebuilds: AtomicU64::new(0),
             csr_rebuilds: AtomicU64::new(0),
+            removed: AtomicU64::new(0),
+            orphans_pruned: AtomicU64::new(0),
         }
     }
 
@@ -392,6 +422,41 @@ impl RunStore {
             .map(|e| RunId(e.id))
     }
 
+    /// Catalog rows of every stored run, in ingestion order — the
+    /// inventory a query service hands to clients so they can address
+    /// runs by fingerprint.
+    pub fn metas(&self) -> Vec<RunMeta> {
+        self.state
+            .lock()
+            .expect("catalog lock")
+            .catalog
+            .entries
+            .iter()
+            .map(|e| RunMeta {
+                id: RunId(e.id),
+                fp_hi: e.fp_hi,
+                fp_lo: e.fp_lo,
+                n_nodes: e.n_nodes,
+                n_edges: e.n_edges,
+            })
+            .collect()
+    }
+
+    /// Resolve a run by its structural fingerprint (the sizes stored
+    /// beside it disambiguate nothing here: two runs sharing 128
+    /// fingerprint bits *and* differing in size would have collided at
+    /// ingestion already).
+    pub fn find_by_fingerprint(&self, fp_hi: u64, fp_lo: u64) -> Option<RunId> {
+        self.state
+            .lock()
+            .expect("catalog lock")
+            .catalog
+            .entries
+            .iter()
+            .find(|e| e.fp_hi == fp_hi && e.fp_lo == fp_lo)
+            .map(|e| RunId(e.id))
+    }
+
     /// Counter snapshot.
     pub fn stats(&self) -> StoreStats {
         StoreStats {
@@ -402,6 +467,8 @@ impl RunStore {
             csr_reloads: self.csr_reloads.load(Ordering::Relaxed),
             tag_rebuilds: self.tag_rebuilds.load(Ordering::Relaxed),
             csr_rebuilds: self.csr_rebuilds.load(Ordering::Relaxed),
+            removed: self.removed.load(Ordering::Relaxed),
+            orphans_pruned: self.orphans_pruned.load(Ordering::Relaxed),
         }
     }
 
@@ -492,6 +559,136 @@ impl RunStore {
             materialized += 1;
         }
         Ok(materialized)
+    }
+
+    // -- garbage collection --------------------------------------------
+
+    /// Evict the run with the given structural fingerprint from the
+    /// store: its catalog row is dropped (and the shrunken catalog
+    /// persisted) before any file is touched, so a crash mid-removal
+    /// leaves orphaned binaries — cleaned by [`RunStore::prune_orphans`]
+    /// — never a catalog row pointing at deleted bytes. If persisting
+    /// the shrunken catalog fails, the in-memory state rolls back and
+    /// the store is unchanged. Returns the evicted id, or `None` when
+    /// no stored run has that fingerprint.
+    pub fn remove_run(&self, fingerprint: (u64, u64)) -> Result<Option<RunId>, RpqError> {
+        let (fp_hi, fp_lo) = fingerprint;
+        let mut state = self.state.lock().expect("catalog lock");
+        let Some(position) = state
+            .catalog
+            .entries
+            .iter()
+            .position(|e| e.fp_hi == fp_hi && e.fp_lo == fp_lo)
+        else {
+            return Ok(None);
+        };
+        let entry = state.catalog.entries.remove(position);
+        let id = RunId(entry.id);
+        let key = (entry.fp_hi, entry.fp_lo, entry.n_nodes, entry.n_edges);
+        state.by_fingerprint.remove(&key);
+        if let Err(e) = self.persist_catalog(&state.catalog) {
+            // Roll back: a run whose catalog row is still on disk must
+            // stay addressable (and deduplicable) in memory too.
+            state.catalog.entries.insert(position, entry);
+            state.by_fingerprint.insert(key, id);
+            return Err(e);
+        }
+        drop(state);
+        self.runs.lock().expect("run cache lock").remove(&id);
+        self.artifacts
+            .lock()
+            .expect("artifact cache lock")
+            .remove(&id);
+        // File deletion is best-effort: the catalog no longer references
+        // them, so a failed unlink merely leaves an orphan for the next
+        // prune pass.
+        for path in [self.run_path(id), self.tag_path(id), self.csr_path(id)] {
+            let _ = std::fs::remove_file(path);
+        }
+        self.removed.fetch_add(1, Ordering::Relaxed);
+        Ok(Some(id))
+    }
+
+    /// [`RunStore::remove_run`] addressed by store id instead of
+    /// fingerprint.
+    pub fn remove_run_by_id(&self, id: RunId) -> Result<bool, RpqError> {
+        let fingerprint = {
+            let state = self.state.lock().expect("catalog lock");
+            state
+                .catalog
+                .entries
+                .iter()
+                .find(|e| e.id == id.0)
+                .map(|e| (e.fp_hi, e.fp_lo))
+        };
+        match fingerprint {
+            Some(fp) => Ok(self.remove_run(fp)?.is_some()),
+            None => Ok(false),
+        }
+    }
+
+    /// Delete every file under `runs/` and `index/` that no catalog row
+    /// references: leftovers of interrupted removals, tmp files of
+    /// crashed atomic writes, artifacts of runs evicted while their
+    /// unlink failed. Returns how many files were deleted. The catalog
+    /// itself is never touched.
+    pub fn prune_orphans(&self) -> Result<usize, RpqError> {
+        // The catalog lock is held across the whole scan-and-delete:
+        // ingestion also serializes on it, so a run being ingested
+        // concurrently can never be mistaken for an orphan off a stale
+        // id snapshot. GC is rare; blocking ingest for its duration is
+        // the cheap end of that trade.
+        let state = self.state.lock().expect("catalog lock");
+        let live: std::collections::HashSet<u64> =
+            state.catalog.entries.iter().map(|e| e.id).collect();
+        let expected = |sub: &str, name: &str| -> bool {
+            let stem = if sub == "runs" {
+                name.strip_prefix("run-")
+            } else {
+                name.strip_prefix("tag-")
+                    .or_else(|| name.strip_prefix("csr-"))
+            };
+            stem.and_then(|s| s.strip_suffix(".bin"))
+                .and_then(|s| s.parse::<u64>().ok())
+                .is_some_and(|id| live.contains(&id))
+        };
+        // Artifact writes happen outside the catalog lock, so a *young*
+        // tmp file may be a live run's artifact persist in flight —
+        // deleting it would fail that writer's rename. Old tmp files
+        // are crash leftovers and safe to reap.
+        let tmp_grace = std::time::Duration::from_secs(60);
+        let is_fresh_tmp = |entry: &std::fs::DirEntry, name: &str| -> bool {
+            name.contains(".tmp.")
+                && entry
+                    .metadata()
+                    .and_then(|m| m.modified())
+                    .ok()
+                    .and_then(|t| t.elapsed().ok())
+                    .is_some_and(|age| age < tmp_grace)
+        };
+        let mut pruned = 0;
+        for sub in ["runs", "index"] {
+            let dir = self.dir.join(sub);
+            let entries = std::fs::read_dir(&dir)
+                .map_err(|e| RpqError::io(format!("cannot list store directory {dir:?}"), e))?;
+            for entry in entries {
+                let entry =
+                    entry.map_err(|e| RpqError::io(format!("cannot list {dir:?} entry"), e))?;
+                let name = entry.file_name();
+                let name = name.to_string_lossy();
+                if expected(sub, &name) || is_fresh_tmp(&entry, &name) {
+                    continue;
+                }
+                std::fs::remove_file(entry.path()).map_err(|e| {
+                    RpqError::io(format!("cannot delete orphan {:?}", entry.path()), e)
+                })?;
+                pruned += 1;
+            }
+        }
+        drop(state);
+        self.orphans_pruned
+            .fetch_add(pruned as u64, Ordering::Relaxed);
+        Ok(pruned)
     }
 
     // -- loading -------------------------------------------------------
@@ -835,6 +1032,126 @@ mod tests {
         reopened.artifacts(id).unwrap();
         assert_eq!(reopened.stats().tag_reloads, 1);
         assert_eq!(reopened.stats().tag_rebuilds, 0);
+    }
+
+    #[test]
+    fn remove_run_evicts_catalog_row_and_files() {
+        let dir = temp_dir("remove");
+        let spec = Arc::new(spec());
+        let store = RunStore::create(&dir, Arc::clone(&spec)).unwrap();
+        let victim = run_of(&spec, 50);
+        let keeper = run_of(&spec, 51);
+        let victim_id = store.ingest(&victim).unwrap().id;
+        let keeper_id = store.ingest(&keeper).unwrap().id;
+        store.materialize_artifacts().unwrap();
+        assert!(store.tag_path(victim_id).exists());
+
+        // Unknown fingerprints are a no-op, not an error.
+        assert_eq!(store.remove_run((1, 2)).unwrap(), None);
+
+        let fp = victim.fingerprint();
+        assert_eq!(store.find_by_fingerprint(fp.0, fp.1), Some(victim_id));
+        assert_eq!(store.remove_run(fp).unwrap(), Some(victim_id));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.stats().removed, 1);
+        assert!(store.find_by_fingerprint(fp.0, fp.1).is_none());
+        assert!(!store.run_path(victim_id).exists());
+        assert!(!store.tag_path(victim_id).exists());
+        assert!(!store.csr_path(victim_id).exists());
+        assert!(store.run(victim_id).is_err());
+        // The survivor is untouched, and re-ingesting the victim is a
+        // fresh ingest (its dedupe row is gone) under a new id.
+        store.run(keeper_id).unwrap();
+        let again = store.ingest(&victim).unwrap();
+        assert!(!again.deduplicated);
+        assert_ne!(again.id, victim_id);
+
+        // The removal survives reopening.
+        store.remove_run(victim.fingerprint()).unwrap();
+        drop(store);
+        let reopened = RunStore::open(&dir).unwrap();
+        assert_eq!(reopened.len(), 1);
+        assert_eq!(reopened.ids(), vec![keeper_id]);
+    }
+
+    #[test]
+    fn remove_run_rolls_back_when_the_catalog_cannot_persist() {
+        let dir = temp_dir("remove_rollback");
+        let spec = Arc::new(spec());
+        let store = RunStore::create(&dir, Arc::clone(&spec)).unwrap();
+        let run = run_of(&spec, 60);
+        let id = store.ingest(&run).unwrap().id;
+
+        // Make the catalog unpersistable: a directory squatting on its
+        // path defeats the write-then-rename (rename onto a directory
+        // fails), which permission bits would not under root.
+        let catalog_path = dir.join("catalog.json");
+        let saved = std::fs::read(&catalog_path).unwrap();
+        std::fs::remove_file(&catalog_path).unwrap();
+        std::fs::create_dir(&catalog_path).unwrap();
+        assert!(store.remove_run(run.fingerprint()).is_err());
+
+        // Rolled back: still cataloged, still addressable, still deduped.
+        assert_eq!(store.len(), 1);
+        assert_eq!(
+            store.find_by_fingerprint(run.fingerprint().0, run.fingerprint().1),
+            Some(id)
+        );
+        assert!(store.ingest(&run).unwrap().deduplicated);
+        assert!(store.run_path(id).exists());
+
+        // Restore the catalog file: the removal now goes through.
+        std::fs::remove_dir(&catalog_path).unwrap();
+        std::fs::write(&catalog_path, saved).unwrap();
+        assert_eq!(store.remove_run(run.fingerprint()).unwrap(), Some(id));
+        assert_eq!(store.len(), 0);
+    }
+
+    #[test]
+    fn prune_orphans_deletes_only_uncataloged_files() {
+        let dir = temp_dir("prune");
+        let spec = Arc::new(spec());
+        let store = RunStore::create(&dir, Arc::clone(&spec)).unwrap();
+        let id = store.ingest(&run_of(&spec, 70)).unwrap().id;
+        store.materialize_artifacts().unwrap();
+
+        // Plant orphans: artifacts of a never-cataloged run, a fresh
+        // tmp file (a possibly in-flight atomic write), and an
+        // unparseable name.
+        std::fs::write(dir.join("runs").join("run-999.bin"), b"x").unwrap();
+        std::fs::write(dir.join("index").join("tag-999.bin"), b"x").unwrap();
+        std::fs::write(dir.join("index").join("csr-1.tmp.123.0"), b"x").unwrap();
+        std::fs::write(dir.join("runs").join("notes.txt"), b"x").unwrap();
+
+        // The fresh tmp file is within the in-flight grace period and
+        // must be left alone (it could be a live artifact persist).
+        assert_eq!(store.prune_orphans().unwrap(), 3);
+        assert_eq!(store.stats().orphans_pruned, 3);
+        assert!(dir.join("index").join("csr-1.tmp.123.0").exists());
+        // Live files survive and stay warm.
+        assert!(store.run_path(id).exists());
+        assert!(store.tag_path(id).exists());
+        assert!(store.csr_path(id).exists());
+        let reopened = RunStore::open(&dir).unwrap();
+        reopened.artifacts(id).unwrap();
+        assert_eq!(reopened.stats().tag_reloads, 1);
+        // A second pass finds nothing new (the tmp file is still young).
+        assert_eq!(store.prune_orphans().unwrap(), 0);
+    }
+
+    #[test]
+    fn metas_expose_fingerprints() {
+        let dir = temp_dir("metas");
+        let spec = Arc::new(spec());
+        let store = RunStore::create(&dir, Arc::clone(&spec)).unwrap();
+        let a = run_of(&spec, 80);
+        let id = store.ingest(&a).unwrap().id;
+        let metas = store.metas();
+        assert_eq!(metas.len(), 1);
+        assert_eq!(metas[0].id, id);
+        assert_eq!((metas[0].fp_hi, metas[0].fp_lo), a.fingerprint());
+        assert_eq!(metas[0].n_nodes as usize, a.n_nodes());
+        assert_eq!(metas[0].n_edges as usize, a.n_edges());
     }
 
     #[test]

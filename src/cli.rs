@@ -18,7 +18,13 @@
 //! * `batch <QUERY> --store DIR [--threads N] [--cache C] [--policy P]
 //!   [--kernel K]` — prepare `<QUERY>` once and evaluate it
 //!   entry→exit over every stored run on a thread pool, reporting
-//!   per-run verdicts plus store/session cache counters.
+//!   per-run verdicts plus store/session cache counters;
+//! * `serve <SPEC> --store DIR [--addr A] [--workers N] [--queue Q]
+//!   [--cache C] [--policy P] [--kernel K]` — serve the store over TCP
+//!   (`rpq-serve`): one shared warm session, a bounded worker pool,
+//!   graceful overload refusals, clean SIGTERM/ctrl-c shutdown;
+//! * `request <VERB> --addr HOST:PORT ...` — the client side: `query`
+//!   (every evaluation mode), `stats`, `runs`, `ping`, `shutdown`.
 //!
 //! `<SPEC>` is `fig2`, `fork`, `bioaid`, `qblast`, or a path to a JSON
 //! specification produced by serde. `--policy` selects the subquery
@@ -34,6 +40,8 @@
 use rpq_core::{BatchOptions, QueryRequest, RpqError, Session, SubqueryPolicy};
 use rpq_grammar::Specification;
 use rpq_labeling::{Run, RunBuilder, RunStats};
+use rpq_serve::protocol::{QuerySpec, RunAddr, WireMode, WireResult};
+use rpq_serve::{ServeClient, ServeConfig, Server};
 use rpq_store::RunStore;
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -49,6 +57,8 @@ pub fn run_cli(args: &[String]) -> Result<String, RpqError> {
         Some("stats") => cmd_stats(&args[1..]),
         Some("store") => cmd_store(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("request") => cmd_request(&args[1..]),
         Some("help") | None => Ok(USAGE.to_owned()),
         Some(other) => Err(RpqError::invalid(format!(
             "unknown subcommand {other:?}\n{USAGE}"
@@ -66,12 +76,19 @@ USAGE:
             [--from NODE] [--to NODE] [--limit K] [--policy P] [--kernel K]
   rpq stats (--run FILE | <SPEC> --edges N [--seed S])
   rpq store <SPEC> --dir DIR [--ingest N] [--edges M] [--seed S] [--add FILE]
+            [--remove FP|rID] [--gc]
   rpq batch <QUERY> --store DIR [--threads N] [--cache C] [--policy P] [--kernel K]
+  rpq serve <SPEC> --store DIR [--addr HOST:PORT] [--workers N] [--queue Q]
+            [--cache C] [--policy P] [--kernel K]
+  rpq request query <QUERY> --addr HOST:PORT [--index I | --fp HEX]
+            [--mode MODE] [--from U] [--to V] [--policy P] [--limit K]
+  rpq request (stats | runs | ping | shutdown) --addr HOST:PORT
 
 SPEC:   fig2 | fork | bioaid | qblast | path to a JSON specification
-NODE:   module:occurrence, e.g. a:2
+NODE:   module:occurrence, e.g. a:2 (numeric node indexes for `request`)
 POLICY: cost (default) | memo | naive
 KERNEL: auto (default) | bits | pairs
+MODE:   pairwise | entry-exit | all-pairs | source-star | target-star | reachable
 ";
 
 /// Resolve a spec argument.
@@ -106,13 +123,22 @@ fn load_run(path: &str, spec: &Specification) -> Result<Run, RpqError> {
 /// Positional arguments and `--key value` options of one subcommand.
 type ParsedArgs<'a> = (Vec<&'a str>, Vec<(&'a str, &'a str)>);
 
-/// Parse `--key value` options; returns (positional, options).
+/// Options that are bare flags (no value token follows them).
+const BOOL_FLAGS: [&str; 1] = ["gc"];
+
+/// Parse `--key value` options; returns (positional, options). Keys
+/// listed in [`BOOL_FLAGS`] consume no value and parse as `"true"`.
 fn split_args(args: &[String]) -> Result<ParsedArgs<'_>, RpqError> {
     let mut positional = Vec::new();
     let mut options = Vec::new();
     let mut i = 0;
     while i < args.len() {
         if let Some(key) = args[i].strip_prefix("--") {
+            if BOOL_FLAGS.contains(&key) {
+                options.push((key, "true"));
+                i += 1;
+                continue;
+            }
             let value = args
                 .get(i + 1)
                 .ok_or_else(|| RpqError::invalid(format!("--{key} needs a value")))?;
@@ -160,6 +186,31 @@ fn apply_kernel(options: &[(&str, &str)]) -> Result<rpq_relalg::KernelMode, RpqE
     };
     rpq_relalg::set_kernel_mode(mode);
     Ok(mode)
+}
+
+/// Open an existing run store for querying (`batch` / `serve`),
+/// turning every failure mode — missing directory, missing or corrupt
+/// catalog — into one clear [`RpqError::Io`] naming the directory and
+/// the remedy, instead of a panic or a bare lower-layer message.
+fn open_store(dir: &str) -> Result<RunStore, RpqError> {
+    let catalog = std::path::Path::new(dir).join("catalog.json");
+    if !catalog.exists() {
+        return Err(RpqError::io(
+            format!("cannot open run store at {dir}"),
+            std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                "no catalog.json there — create the store first with \
+                 `rpq store <SPEC> --dir DIR --ingest N`",
+            ),
+        ));
+    }
+    RunStore::open(dir).map_err(|e| match e {
+        io @ RpqError::Io { .. } => io,
+        other => RpqError::io(
+            format!("cannot open run store at {dir}"),
+            std::io::Error::new(std::io::ErrorKind::InvalidData, other.to_string()),
+        ),
+    })
 }
 
 fn cmd_spec(args: &[String]) -> Result<String, RpqError> {
@@ -377,6 +428,29 @@ fn cmd_store(args: &[String]) -> Result<String, RpqError> {
         )
         .expect("write to string");
     }
+    if let Some(target) = opt(&options, "remove") {
+        let removed = if let Some(id) = target.strip_prefix('r') {
+            let id: u64 = parse_num(id, "--remove run id")?;
+            store.remove_run_by_id(rpq_store::RunId(id))?
+        } else {
+            let fp = parse_fingerprint(target)?;
+            store.remove_run(fp)?.is_some()
+        };
+        writeln!(
+            out,
+            "{}",
+            if removed {
+                format!("removed {target}")
+            } else {
+                format!("no stored run matches {target}")
+            }
+        )
+        .expect("write to string");
+    }
+    if opt(&options, "gc").is_some() {
+        let pruned = store.prune_orphans()?;
+        writeln!(out, "gc: pruned {pruned} orphaned file(s)").expect("write to string");
+    }
     // Ship the store warm: every run gets persisted index artifacts so
     // the next process (or `rpq batch`) reloads instead of rebuilding.
     let materialized = store.materialize_artifacts()?;
@@ -399,7 +473,7 @@ fn cmd_batch(args: &[String]) -> Result<String, RpqError> {
         .ok_or_else(|| RpqError::invalid("batch: missing <QUERY>"))?;
     let dir =
         opt(&options, "store").ok_or_else(|| RpqError::invalid("batch: --store DIR required"))?;
-    let store = RunStore::open(dir)?;
+    let store = open_store(dir)?;
     if store.is_empty() {
         return Err(RpqError::invalid(format!(
             "store {dir} holds no runs; ingest some with `rpq store ... --ingest N`"
@@ -484,6 +558,243 @@ fn cmd_batch(args: &[String]) -> Result<String, RpqError> {
         batch_stats.index_evictions + batch_stats.csr_evictions
     )
     .expect("write to string");
+    Ok(out)
+}
+
+/// Parse a 32-hex-digit run fingerprint (`hi` then `lo`, as printed by
+/// `rpq request runs`).
+fn parse_fingerprint(s: &str) -> Result<(u64, u64), RpqError> {
+    if s.len() != 32 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return Err(RpqError::invalid(format!(
+            "invalid fingerprint {s:?}: expected 32 hex digits (or r<ID> for a store id)"
+        )));
+    }
+    let hi = u64::from_str_radix(&s[..16], 16).expect("validated hex");
+    let lo = u64::from_str_radix(&s[16..], 16).expect("validated hex");
+    Ok((hi, lo))
+}
+
+fn cmd_serve(args: &[String]) -> Result<String, RpqError> {
+    let (positional, options) = split_args(args)?;
+    let spec_name = positional
+        .first()
+        .ok_or_else(|| RpqError::invalid("serve: missing <SPEC>"))?;
+    let dir =
+        opt(&options, "store").ok_or_else(|| RpqError::invalid("serve: --store DIR required"))?;
+    let spec = load_spec(spec_name)?;
+    let store = open_store(dir)?;
+    if *store.spec() != spec {
+        return Err(RpqError::invalid(format!(
+            "store {dir} was built for a different specification than {spec_name}"
+        )));
+    }
+    if store.is_empty() {
+        return Err(RpqError::invalid(format!(
+            "store {dir} holds no runs; ingest some with `rpq store ... --ingest N`"
+        )));
+    }
+    let kernel = apply_kernel(&options)?;
+    let config = ServeConfig {
+        addr: opt(&options, "addr").unwrap_or("127.0.0.1:0").to_owned(),
+        workers: parse_num(opt(&options, "workers").unwrap_or("0"), "--workers")?,
+        queue: parse_num(opt(&options, "queue").unwrap_or("64"), "--queue")?,
+        cache: match opt(&options, "cache") {
+            Some(c) => Some(parse_num(c, "--cache")?),
+            None => None,
+        },
+        policy: parse_policy(&options)?,
+    };
+    let server = Server::bind(store, &config)?;
+    let warmed = server.warm()?;
+    let addr = server.local_addr()?;
+    // Announced immediately (run_cli's return value only prints after
+    // shutdown): harnesses scrape this line for the ephemeral port.
+    println!(
+        "rpq-serve listening on {addr} ({} worker(s), queue {}, {warmed} run(s) warm, \
+         policy {}, kernel {})",
+        server.workers(),
+        config.queue,
+        config.policy.cli_name(),
+        kernel.name(),
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    let report = server.run(Some(rpq_serve::signals::install_termination_flag()));
+    Ok(format!(
+        "shutdown: served {} request(s) over {} connection(s), {} overloaded, {} error(s)\n",
+        report.requests, report.accepted, report.overloaded, report.request_errors
+    ))
+}
+
+fn cmd_request(args: &[String]) -> Result<String, RpqError> {
+    let (positional, options) = split_args(args)?;
+    let verb = positional.first().ok_or_else(|| {
+        RpqError::invalid("request: missing verb (query | stats | runs | ping | shutdown)")
+    })?;
+    if !["ping", "shutdown", "runs", "stats", "query"].contains(verb) {
+        return Err(RpqError::invalid(format!(
+            "unknown request verb {verb:?} (query | stats | runs | ping | shutdown)"
+        )));
+    }
+    let addr = opt(&options, "addr")
+        .ok_or_else(|| RpqError::invalid("request: --addr HOST:PORT required"))?;
+    let mut client = ServeClient::connect(addr)?;
+    match *verb {
+        "ping" => {
+            client.ping()?;
+            Ok(format!("pong from {addr}\n"))
+        }
+        "shutdown" => {
+            client.shutdown_server()?;
+            Ok(format!("server at {addr} acknowledged shutdown\n"))
+        }
+        "runs" => {
+            let runs = client.runs()?;
+            let mut out = String::new();
+            writeln!(out, "{} stored run(s) at {addr}:", runs.len()).expect("write to string");
+            for r in runs {
+                writeln!(
+                    out,
+                    "  r{}  fp {:016x}{:016x}  {} node(s), {} edge(s)",
+                    r.id, r.fp_hi, r.fp_lo, r.n_nodes, r.n_edges
+                )
+                .expect("write to string");
+            }
+            Ok(out)
+        }
+        "stats" => {
+            let s = client.stats()?;
+            Ok(format!(
+                "server {addr}: {} run(s) stored\n\
+                 service: {} connection(s), {} request(s), {} overloaded, {} error(s)\n\
+                 session: plan {}h/{}m, index {}h/{}m, csr {}h/{}m, {} eviction(s)\n\
+                 store:   tag reloads {}, csr reloads {}, tag rebuilds {}, csr rebuilds {}\n",
+                s.store_runs,
+                s.accepted,
+                s.requests,
+                s.overloaded,
+                s.request_errors,
+                s.plan_hits,
+                s.plan_misses,
+                s.index_hits,
+                s.index_misses,
+                s.csr_hits,
+                s.csr_misses,
+                s.session_evictions,
+                s.tag_reloads,
+                s.csr_reloads,
+                s.tag_rebuilds,
+                s.csr_rebuilds,
+            ))
+        }
+        "query" => {
+            let query = positional
+                .get(1)
+                .ok_or_else(|| RpqError::invalid("request query: missing <QUERY>"))?;
+            cmd_request_query(&mut client, addr, query, &options)
+        }
+        _ => unreachable!("verb validated above"),
+    }
+}
+
+fn cmd_request_query(
+    client: &mut ServeClient,
+    addr: &str,
+    query: &str,
+    options: &[(&str, &str)],
+) -> Result<String, RpqError> {
+    let run = match (opt(options, "fp"), opt(options, "index")) {
+        (Some(fp), None) => {
+            let (hi, lo) = parse_fingerprint(fp)?;
+            RunAddr::Fingerprint(hi, lo)
+        }
+        (None, index) => RunAddr::Index(parse_num(index.unwrap_or("0"), "--index")?),
+        (Some(_), Some(_)) => {
+            return Err(RpqError::invalid(
+                "request query: --fp and --index are mutually exclusive",
+            ))
+        }
+    };
+    let from = match opt(options, "from") {
+        Some(s) => Some(parse_num::<u32>(s, "--from node index")?),
+        None => None,
+    };
+    let to = match opt(options, "to") {
+        Some(s) => Some(parse_num::<u32>(s, "--to node index")?),
+        None => None,
+    };
+    let need = |side: Option<u32>, flag: &str, mode: &str| {
+        side.ok_or_else(|| RpqError::invalid(format!("request query --mode {mode} needs {flag}")))
+    };
+    let mode = match opt(options, "mode") {
+        // Inferred mode mirrors `rpq query`: both endpoints → pairwise,
+        // one → the star selection, none → entry→exit.
+        None => match (from, to) {
+            (Some(u), Some(v)) => WireMode::Pairwise(u, v),
+            (Some(u), None) => WireMode::SourceStar(u),
+            (None, Some(v)) => WireMode::TargetStar(v),
+            (None, None) => WireMode::EntryExit,
+        },
+        Some("pairwise") => WireMode::Pairwise(
+            need(from, "--from", "pairwise")?,
+            need(to, "--to", "pairwise")?,
+        ),
+        Some("entry-exit") => WireMode::EntryExit,
+        Some("source-star") => WireMode::SourceStar(need(from, "--from", "source-star")?),
+        Some("target-star") => WireMode::TargetStar(need(to, "--to", "target-star")?),
+        Some("reachable") => WireMode::Reachable(need(from, "--from", "reachable")?),
+        // The node universe lives server-side; the symbolic mode ships
+        // no id lists and needs no inventory round trip.
+        Some("all-pairs") => WireMode::AllPairsFull,
+        Some(other) => {
+            return Err(RpqError::invalid(format!(
+                "invalid --mode {other:?} (pairwise | entry-exit | all-pairs | source-star | \
+                 target-star | reachable)"
+            )))
+        }
+    };
+    let outcome = client.query(QuerySpec {
+        query: query.to_owned(),
+        policy: opt(options, "policy").unwrap_or("").to_owned(),
+        run,
+        mode,
+    })?;
+    let limit: usize = parse_num(opt(options, "limit").unwrap_or("10"), "--limit")?;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "query: {query} @ {addr}\nplan: {}, index cache: {}, kernel: {}, \
+         {} node(s) touched, {} µs server-side",
+        outcome.plan_kind,
+        outcome.index_cache,
+        outcome.kernel,
+        outcome.nodes_touched,
+        outcome.micros
+    )
+    .expect("write to string");
+    match &outcome.result {
+        WireResult::Bool(hit) => writeln!(out, "verdict: {hit}").expect("write to string"),
+        WireResult::Pairs(pairs) => {
+            writeln!(out, "matches: {}", pairs.len()).expect("write to string");
+            for (u, v) in pairs.iter().take(limit) {
+                writeln!(out, "  {u} -> {v}").expect("write to string");
+            }
+            if pairs.len() > limit {
+                writeln!(out, "  … {} more (raise --limit)", pairs.len() - limit)
+                    .expect("write to string");
+            }
+        }
+        WireResult::Nodes(nodes) => {
+            writeln!(out, "reachable: {}", nodes.len()).expect("write to string");
+            for n in nodes.iter().take(limit) {
+                writeln!(out, "  {n}").expect("write to string");
+            }
+            if nodes.len() > limit {
+                writeln!(out, "  … {} more (raise --limit)", nodes.len() - limit)
+                    .expect("write to string");
+            }
+        }
+    }
     Ok(out)
 }
 
@@ -674,6 +985,164 @@ mod tests {
         // A store built for one spec refuses another.
         let err = run(&["store", "fork", "--dir", &dir]).unwrap_err();
         assert!(err.to_string().contains("different specification"), "{err}");
+    }
+
+    #[test]
+    fn store_gc_and_remove_flags_work() {
+        let dir = std::env::temp_dir()
+            .join("rpq_cli_gc")
+            .join(std::process::id().to_string());
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_s = dir.to_str().unwrap().to_owned();
+        run(&[
+            "store", "fig2", "--dir", &dir_s, "--ingest", "3", "--edges", "70", "--seed", "2",
+        ])
+        .unwrap();
+
+        // Remove by store id.
+        let out = run(&["store", "fig2", "--dir", &dir_s, "--remove", "r1"]).unwrap();
+        assert!(out.contains("removed r1"), "{out}");
+        assert!(out.contains("2 run(s)"), "{out}");
+        // Removing it again reports the miss without failing.
+        let out = run(&["store", "fig2", "--dir", &dir_s, "--remove", "r1"]).unwrap();
+        assert!(out.contains("no stored run matches r1"), "{out}");
+
+        // Plant an orphan; --gc prunes it and live artifacts survive.
+        std::fs::write(dir.join("index").join("tag-77.bin"), b"junk").unwrap();
+        let out = run(&["store", "fig2", "--dir", &dir_s, "--gc"]).unwrap();
+        assert!(out.contains("pruned 1 orphaned file(s)"), "{out}");
+        let out = run(&["batch", "_* e _*", "--store", &dir_s]).unwrap();
+        assert!(out.contains("over 2 run(s)"), "{out}");
+
+        // Bad --remove arguments are clear errors.
+        let err = run(&["store", "fig2", "--dir", &dir_s, "--remove", "zz"]).unwrap_err();
+        assert!(err.to_string().contains("32 hex digits"), "{err}");
+    }
+
+    #[test]
+    fn missing_or_corrupt_stores_are_clear_io_errors() {
+        // Missing directory: batch and serve both say what to do.
+        for args in [
+            vec!["batch", "_*", "--store", "/nonexistent-store"],
+            vec!["serve", "fig2", "--store", "/nonexistent-store"],
+        ] {
+            let err = run(&args).unwrap_err();
+            assert!(matches!(err, RpqError::Io { .. }), "{err:?}");
+            let message = err.to_string();
+            assert!(message.contains("cannot open run store"), "{message}");
+            assert!(message.contains("rpq store"), "{message}");
+        }
+
+        // Corrupt catalog: still RpqError::Io, still naming the store.
+        let dir = std::env::temp_dir()
+            .join("rpq_cli_corrupt")
+            .join(std::process::id().to_string());
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("catalog.json"), b"{not json").unwrap();
+        std::fs::write(dir.join("spec.json"), b"{}").unwrap();
+        let dir_s = dir.to_str().unwrap();
+        for args in [
+            vec!["batch", "_*", "--store", dir_s],
+            vec!["serve", "fig2", "--store", dir_s],
+        ] {
+            let err = run(&args).unwrap_err();
+            assert!(matches!(err, RpqError::Io { .. }), "{err:?}");
+            assert!(err.to_string().contains("cannot open run store"), "{err}");
+        }
+    }
+
+    #[test]
+    fn request_verbs_round_trip_against_a_live_server() {
+        let dir = std::env::temp_dir()
+            .join("rpq_cli_serve")
+            .join(std::process::id().to_string());
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_s = dir.to_str().unwrap().to_owned();
+        run(&[
+            "store", "fig2", "--dir", &dir_s, "--ingest", "2", "--edges", "70", "--seed", "5",
+        ])
+        .unwrap();
+
+        // Bind in-process (the CLI path through `rpq serve` blocks; the
+        // smoke test in CI covers the spawned-process flavor).
+        let store = RunStore::open(&dir_s).unwrap();
+        let server = Server::bind(store, &ServeConfig::default()).unwrap();
+        server.warm().unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let serving = std::thread::spawn(move || server.run(None));
+
+        assert!(run(&["request", "ping", "--addr", &addr])
+            .unwrap()
+            .contains("pong"));
+
+        let runs_out = run(&["request", "runs", "--addr", &addr]).unwrap();
+        assert!(runs_out.contains("2 stored run(s)"), "{runs_out}");
+        let fp = runs_out
+            .lines()
+            .find(|l| l.trim_start().starts_with("r0"))
+            .and_then(|l| l.split_whitespace().nth(2))
+            .expect("fingerprint column")
+            .to_owned();
+        assert_eq!(fp.len(), 32, "{runs_out}");
+
+        // Every evaluation mode, through the CLI client.
+        let out = run(&["request", "query", "_* e _*", "--addr", &addr]).unwrap();
+        assert!(out.contains("verdict:"), "{out}");
+        let out = run(&[
+            "request", "query", "_*", "--addr", &addr, "--from", "0", "--to", "1",
+        ])
+        .unwrap();
+        assert!(out.contains("verdict:"), "{out}");
+        let out = run(&["request", "query", "_*", "--addr", &addr, "--from", "0"]).unwrap();
+        assert!(out.contains("matches:"), "{out}");
+        let out = run(&["request", "query", "_*", "--addr", &addr, "--to", "0"]).unwrap();
+        assert!(out.contains("matches:"), "{out}");
+        let out = run(&[
+            "request",
+            "query",
+            "_* a _*",
+            "--addr",
+            &addr,
+            "--mode",
+            "all-pairs",
+            "--fp",
+            &fp,
+        ])
+        .unwrap();
+        assert!(out.contains("matches:"), "{out}");
+        let out = run(&[
+            "request",
+            "query",
+            "_*",
+            "--addr",
+            &addr,
+            "--mode",
+            "reachable",
+            "--from",
+            "0",
+        ])
+        .unwrap();
+        assert!(out.contains("reachable:"), "{out}");
+
+        // Server-side failures surface as errors, not hangs.
+        let err = run(&["request", "query", "(((", "--addr", &addr]).unwrap_err();
+        assert!(err.to_string().contains("parse"), "{err}");
+
+        let stats = run(&["request", "stats", "--addr", &addr]).unwrap();
+        assert!(stats.contains("2 run(s) stored"), "{stats}");
+        assert!(stats.contains("request(s)"), "{stats}");
+
+        let out = run(&["request", "shutdown", "--addr", &addr]).unwrap();
+        assert!(out.contains("acknowledged shutdown"), "{out}");
+        let report = serving.join().unwrap();
+        assert!(report.requests >= 10, "{report:?}");
+
+        // Usage errors.
+        assert!(run(&["request", "query", "_*"]).is_err()); // no --addr
+        let err = run(&["request", "teleport", "--addr", &addr]).unwrap_err();
+        assert!(err.to_string().contains("unknown request verb"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -23,6 +23,10 @@
 //!   fingerprint deduplication, binary-coded runs and warm
 //!   tag-index/CSR artifacts, feeding
 //!   [`Session::evaluate_batch`](rpq_core::Session::evaluate_batch).
+//! * [`serve`] — the network layer: a concurrent TCP query service
+//!   over a warm store ([`Server`](rpq_serve::Server)), its binary
+//!   protocol, and the [`ServeClient`](rpq_serve::ServeClient) it is
+//!   queried with.
 //!
 //! ## The session API
 //!
@@ -71,6 +75,7 @@ pub use rpq_core as core;
 pub use rpq_grammar as grammar;
 pub use rpq_labeling as labeling;
 pub use rpq_relalg as relalg;
+pub use rpq_serve as serve;
 pub use rpq_store as store;
 pub use rpq_workloads as workloads;
 
@@ -85,5 +90,6 @@ pub mod prelude {
     pub use rpq_grammar::{ModuleId, ProductionId, Specification, SpecificationBuilder, Tag};
     pub use rpq_labeling::{NodeId, Run, RunBuilder};
     pub use rpq_relalg::{NodePairSet, TagIndex};
+    pub use rpq_serve::{ServeClient, ServeConfig, Server};
     pub use rpq_store::{RunId, RunStore, StoreStats};
 }

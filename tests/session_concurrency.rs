@@ -1,0 +1,181 @@
+//! Hammer one shared `Session` from many threads and prove the
+//! service-grade claims the serve layer leans on:
+//!
+//! * every concurrent outcome equals single-threaded evaluation on a
+//!   private referee session — under mixed queries (safe, index leaf,
+//!   decomposed composite, relational closure), mixed request modes,
+//!   LRU evictions mid-flight and hostile `clear_run_cache` calls;
+//! * the cache counters stay consistent: hits + misses always equals
+//!   the number of cache interactions, with no drops or double counts
+//!   lost to races.
+
+use rpq::prelude::*;
+use rpq_core::QueryResult;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+const QUERIES: [(&str, &str); 4] = [
+    // (query, policy): one safe plan, one index-answered leaf, one
+    // decomposed composite, one pure-relational closure.
+    ("_* e _*", "cost"),
+    ("a", "cost"),
+    ("_* a _*", "cost"),
+    ("a+", "naive"),
+];
+
+const THREADS: usize = 8;
+const ITERS: usize = 48;
+const N_RUNS: usize = 6;
+
+fn spec() -> rpq::grammar::Specification {
+    rpq::workloads::paper_examples::fig2_spec()
+}
+
+fn corpus() -> Vec<Run> {
+    let spec = spec();
+    (0..N_RUNS)
+        .map(|i| {
+            RunBuilder::new(&spec)
+                .seed(i as u64 + 11)
+                .target_edges(60 + 20 * i)
+                .build()
+                .unwrap()
+        })
+        .collect()
+}
+
+fn policy_of(name: &str) -> SubqueryPolicy {
+    match name {
+        "naive" => SubqueryPolicy::AlwaysRelational,
+        _ => SubqueryPolicy::CostBased,
+    }
+}
+
+/// The deterministic work item of thread `t`, iteration `i`.
+fn schedule(t: usize, i: usize, runs: &[Run]) -> (usize, usize, QueryRequest) {
+    let q = (t * 31 + i * 7) % QUERIES.len();
+    let r = (t * 13 + i * 5) % runs.len();
+    let run = &runs[r];
+    let request = match (t + i) % 3 {
+        0 => QueryRequest::entry_exit(),
+        1 => QueryRequest::source_star(run.entry()),
+        _ => QueryRequest::pairwise(run.entry(), run.exit()),
+    };
+    (q, r, request)
+}
+
+#[test]
+fn concurrent_outcomes_equal_single_threaded_evaluation() {
+    let runs = corpus();
+
+    // Referee: a private session, evaluated single-threaded.
+    let referee = Session::from_spec(spec());
+    let expected: Vec<Vec<QueryResult>> = (0..THREADS)
+        .map(|t| {
+            (0..ITERS)
+                .map(|i| {
+                    let (q, r, request) = schedule(t, i, &runs);
+                    let (text, policy) = QUERIES[q];
+                    let prepared = referee.prepare_with(text, policy_of(policy)).unwrap();
+                    referee.evaluate(&prepared, &runs[r], &request).result
+                })
+                .collect()
+        })
+        .collect();
+
+    // Subject: one shared session, tight LRU bound (capacity 2 against
+    // 6 runs guarantees evictions while queries are in flight), plus a
+    // thread that periodically wipes the run caches outright.
+    let session = Session::from_spec(spec()).with_cache_capacity(2);
+    let composite_evals = AtomicUsize::new(0);
+    let prepare_calls = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let session = &session;
+            let runs = &runs;
+            let expected = &expected;
+            let composite_evals = &composite_evals;
+            let prepare_calls = &prepare_calls;
+            scope.spawn(move || {
+                for (i, want) in expected[t].iter().enumerate() {
+                    let (q, r, request) = schedule(t, i, runs);
+                    let (text, policy) = QUERIES[q];
+                    // Preparing inside the loop exercises the plan
+                    // cache under contention.
+                    let prepared = session.prepare_with(text, policy_of(policy)).unwrap();
+                    prepare_calls.fetch_add(1, Ordering::Relaxed);
+                    if prepared.stats().kind == PlanKind::Composite {
+                        composite_evals.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let outcome = session.evaluate(&prepared, &runs[r], &request);
+                    assert_eq!(
+                        &outcome.result, want,
+                        "thread {t}, iteration {i}: query {text:?} over run {r} diverged"
+                    );
+                    // Hostile cache traffic mid-flight.
+                    if t == 0 && i % 12 == 11 {
+                        session.clear_run_cache();
+                    }
+                }
+            });
+        }
+    });
+
+    let stats = session.stats();
+    // Plan-cache accounting: every prepare call is exactly one hit or
+    // one miss (racing compilers each count their own miss), and at
+    // least one compilation happened per distinct (query, policy) key.
+    assert_eq!(
+        stats.plan_hits + stats.plan_misses,
+        prepare_calls.load(Ordering::Relaxed) as u64
+    );
+    assert!(stats.plan_misses >= QUERIES.len() as u64, "{stats:?}");
+
+    // Index accounting: every composite evaluation interacts with the
+    // per-run index cache exactly once; safe plans never touch it.
+    assert_eq!(
+        stats.index_hits + stats.index_misses,
+        composite_evals.load(Ordering::Relaxed) as u64,
+        "{stats:?}"
+    );
+    // CSR arenas are fetched at most once per composite evaluation.
+    assert!(stats.csr_hits + stats.csr_misses <= stats.index_hits + stats.index_misses);
+    // The tight LRU bound plus clear_run_cache forced rebuilding: with
+    // 6 distinct runs through a 2-entry cache there must be evictions,
+    // and strictly more misses than the 6 cold builds.
+    assert!(stats.index_evictions > 0, "{stats:?}");
+    assert!(stats.index_misses > N_RUNS as u64, "{stats:?}");
+}
+
+#[test]
+fn batch_executor_agrees_with_itself_under_eviction_pressure() {
+    // The batch path exercises seed_run_cache + evaluate concurrently;
+    // under a 1-entry cache its results must not change.
+    let runs = corpus();
+    let roomy = Session::from_spec(spec());
+    let tight = Session::from_spec(spec()).with_cache_capacity(1);
+    let request = QueryRequest::entry_exit();
+    for (text, policy) in QUERIES {
+        let q_roomy = roomy.prepare_with(text, policy_of(policy)).unwrap();
+        let q_tight = tight.prepare_with(text, policy_of(policy)).unwrap();
+        let a = roomy.evaluate_batch(
+            &q_roomy,
+            runs.as_slice(),
+            &request,
+            &BatchOptions::threads(1),
+        );
+        let b = tight.evaluate_batch(
+            &q_tight,
+            runs.as_slice(),
+            &request,
+            &BatchOptions::threads(6),
+        );
+        for (x, y) in a.items.iter().zip(&b.items) {
+            assert_eq!(
+                x.outcome.as_ref().unwrap().result,
+                y.outcome.as_ref().unwrap().result,
+                "query {text:?}"
+            );
+        }
+    }
+    assert!(tight.stats().index_evictions > 0);
+}

@@ -1,5 +1,5 @@
-//! Pairs-vs-bits kernel micro-benchmarks: transitive closure and
-//! composition across run sizes (the Criterion face of
+//! Pairs-vs-bits-vs-scc kernel micro-benchmarks: transitive closure
+//! and composition across run sizes (the Criterion face of
 //! `rpq_bench::kernelbench`; `repro -- relalg` records the same
 //! workloads into `BENCH_relalg.json`).
 
@@ -7,7 +7,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rpq_bench::kernelbench::{layered_relation, random_relation};
 use rpq_relalg::{
     compose_pairs_bits, compose_pairs_kernel, transitive_closure_bits, transitive_closure_pairs,
+    transitive_closure_scc,
 };
+use rpq_workloads::runs::deep_chain_relation;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("relalg_kernel");
@@ -19,6 +21,17 @@ fn bench(c: &mut Criterion) {
         });
         group.bench_function(BenchmarkId::new("closure_bits", n), |b| {
             b.iter(|| std::hint::black_box(transitive_closure_bits(&base, n)))
+        });
+        group.bench_function(BenchmarkId::new("closure_scc", n), |b| {
+            b.iter(|| std::hint::black_box(transitive_closure_scc(&base, n)))
+        });
+
+        let chain = deep_chain_relation(n, 0xDC + n as u64);
+        group.bench_function(BenchmarkId::new("chain_closure_bits", n), |b| {
+            b.iter(|| std::hint::black_box(transitive_closure_bits(&chain, n)))
+        });
+        group.bench_function(BenchmarkId::new("chain_closure_scc", n), |b| {
+            b.iter(|| std::hint::black_box(transitive_closure_scc(&chain, n)))
         });
 
         let a = random_relation(n, 4 * n, 0xA11CE + n as u64);

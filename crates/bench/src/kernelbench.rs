@@ -1,91 +1,126 @@
-//! A/B measurement of the `rpq-relalg` kernels: sorted-pair/hash vs
-//! CSR + blocked-bitset, on transitive closure and composition.
+//! A/B/C measurement of the `rpq-relalg` kernels: sorted-pair/hash vs
+//! CSR + blocked-bitset vs Tarjan condensation, on transitive closure
+//! (all three) and composition (the two join kernels).
 //!
 //! This is the source of `BENCH_relalg.json`, the recorded perf
 //! baseline the roadmap asks for: the `repro` binary (figure name
 //! `relalg`) prints the table and writes the JSON next to the working
 //! directory; `cargo bench -p rpq-bench --bench relalg_kernel` runs the
 //! same workloads under Criterion.
+//!
+//! Closure workloads cover the shapes that separate the kernels:
+//! **deep chains** (maximal semi-naive round counts — condensation's
+//! best case), **wide layered DAGs** (fork-heavy provenance runs,
+//! deep *and* dense closures) and **cyclic cores** (the paper's
+//! workflow regime: a DAG run with one loop). The generators live in
+//! `rpq_workloads::runs` and are shared with the three-way closure
+//! proptests.
 
 use crate::timing::{fmt_secs, time_avg_secs, Table};
-use rpq_labeling::NodeId;
 use rpq_relalg::{
     compose_pairs_bits, compose_pairs_kernel, transitive_closure_bits, transitive_closure_pairs,
-    NodePairSet,
+    transitive_closure_scc, NodePairSet,
 };
-
-/// SplitMix64 — deterministic workload generation without a rand dep.
-fn splitmix(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+use rpq_workloads::runs::{cyclic_core_relation, deep_chain_relation, wide_dag_relation};
 
 /// A layered DAG over `n_nodes` nodes (`width` nodes per layer, each
-/// wired to `fanout` random nodes of the next layer) — the shape of
-/// fork-heavy provenance runs, whose closures are deep and dense.
+/// wired to `fanout` random nodes of the next layer) — kept as a thin
+/// alias over the shared workloads generator for the Criterion bench.
 pub fn layered_relation(n_nodes: usize, width: usize, fanout: usize, seed: u64) -> NodePairSet {
-    let mut rng = seed;
-    let mut pairs = Vec::new();
-    let layers = n_nodes.div_ceil(width);
-    for layer in 0..layers.saturating_sub(1) {
-        let base = layer * width;
-        let next_base = (layer + 1) * width;
-        let next_width = width.min(n_nodes.saturating_sub(next_base));
-        if next_width == 0 {
-            break;
-        }
-        for u in base..(base + width).min(n_nodes) {
-            for _ in 0..fanout {
-                let v = next_base + (splitmix(&mut rng) as usize % next_width);
-                pairs.push((NodeId(u as u32), NodeId(v as u32)));
-            }
-        }
-    }
-    NodePairSet::from_pairs(pairs)
+    wide_dag_relation(n_nodes, width, fanout, seed)
 }
 
-/// A uniformly random relation with `n_pairs` pairs over `n_nodes`.
+/// A uniformly random relation with `n_pairs` pairs over `n_nodes` —
+/// alias over the shared workloads generator, like [`layered_relation`].
 pub fn random_relation(n_nodes: usize, n_pairs: usize, seed: u64) -> NodePairSet {
-    let mut rng = seed;
-    let pairs = (0..n_pairs)
-        .map(|_| {
-            let u = splitmix(&mut rng) as usize % n_nodes;
-            let v = splitmix(&mut rng) as usize % n_nodes;
-            (NodeId(u as u32), NodeId(v as u32))
-        })
-        .collect();
-    NodePairSet::from_pairs(pairs)
+    rpq_workloads::runs::random_relation(n_nodes, n_pairs, seed)
 }
 
-/// One pairs-vs-bits timing.
+/// One kernel A/B/C timing.
 #[derive(Debug, Clone)]
 pub struct KernelMeasurement {
     /// `transitive_closure` or `compose`.
     pub op: &'static str,
+    /// Workload shape (`deep_chain` / `layered` / `cyclic_core` /
+    /// `random`).
+    pub workload: &'static str,
     /// Universe size.
     pub n_nodes: usize,
     /// Input pair count (left operand for compose).
     pub n_pairs: usize,
-    /// Output pair count (both kernels agree; cross-checked).
+    /// Output pair count (all kernels agree; cross-checked).
     pub out_pairs: usize,
     /// Pair-kernel seconds per call.
     pub pairs_secs: f64,
     /// Bit-kernel seconds per call.
     pub bits_secs: f64,
+    /// Condensation-kernel seconds per call (closure ops only).
+    pub scc_secs: Option<f64>,
 }
 
 impl KernelMeasurement {
-    /// How many times faster the bit kernel ran.
+    /// How many times faster the bit kernel ran than the pair kernel.
     pub fn speedup(&self) -> f64 {
         self.pairs_secs / self.bits_secs.max(1e-12)
+    }
+
+    /// How many times faster the condensation pass ran than the
+    /// semi-naive bit closure (the scc acceptance metric).
+    pub fn scc_speedup_vs_bits(&self) -> Option<f64> {
+        self.scc_secs.map(|scc| self.bits_secs / scc.max(1e-12))
+    }
+}
+
+/// Time one closure workload through all three kernels.
+fn measure_closure(
+    workload: &'static str,
+    base: NodePairSet,
+    n: usize,
+    reps: usize,
+) -> KernelMeasurement {
+    let referee = transitive_closure_pairs(&base);
+    assert_eq!(
+        referee,
+        transitive_closure_bits(&base, n),
+        "kernels disagree on closure ({workload})"
+    );
+    assert_eq!(
+        referee,
+        transitive_closure_scc(&base, n),
+        "condensation disagrees on closure ({workload})"
+    );
+    let pairs_secs = time_avg_secs(
+        || {
+            std::hint::black_box(transitive_closure_pairs(&base));
+        },
+        reps,
+    );
+    let bits_secs = time_avg_secs(
+        || {
+            std::hint::black_box(transitive_closure_bits(&base, n));
+        },
+        reps,
+    );
+    let scc_secs = time_avg_secs(
+        || {
+            std::hint::black_box(transitive_closure_scc(&base, n));
+        },
+        reps,
+    );
+    KernelMeasurement {
+        op: "transitive_closure",
+        workload,
+        n_nodes: n,
+        n_pairs: base.len(),
+        out_pairs: referee.len(),
+        pairs_secs,
+        bits_secs,
+        scc_secs: Some(scc_secs),
     }
 }
 
 /// Run the kernel sweep. `full` widens the size range and the rep
-/// count (the `repro` default); quick mode still covers the ≥ 512-node
+/// count (the `repro` default); quick mode still covers the ≥ 1024-node
 /// sizes the acceptance bar measures.
 pub fn measure(full: bool) -> Vec<KernelMeasurement> {
     let sizes: &[usize] = if full {
@@ -98,32 +133,30 @@ pub fn measure(full: bool) -> Vec<KernelMeasurement> {
 
     for &n in sizes {
         // Closure over a fork-shaped layered DAG (width n/16, fanout 2).
-        let base = layered_relation(n, (n / 16).max(2), 2, 0xC105 + n as u64);
-        let referee = transitive_closure_pairs(&base);
-        let bits_result = transitive_closure_bits(&base, n);
-        assert_eq!(referee, bits_result, "kernels disagree on closure");
-        let pairs_secs = time_avg_secs(
-            || {
-                std::hint::black_box(transitive_closure_pairs(&base));
-            },
+        out.push(measure_closure(
+            "layered",
+            layered_relation(n, (n / 16).max(2), 2, 0xC105 + n as u64),
+            n,
             reps,
-        );
-        let bits_secs = time_avg_secs(
-            || {
-                std::hint::black_box(transitive_closure_bits(&base, n));
-            },
+        ));
+        // Closure over one deep chain: n-1 edges, n rounds, O(n²)
+        // closure pairs — the semi-naive worst case.
+        out.push(measure_closure(
+            "deep_chain",
+            deep_chain_relation(n, 0xDC + n as u64),
+            n,
             reps,
-        );
-        out.push(KernelMeasurement {
-            op: "transitive_closure",
-            n_nodes: n,
-            n_pairs: base.len(),
-            out_pairs: referee.len(),
-            pairs_secs,
-            bits_secs,
-        });
+        ));
+        // Closure over a chain with an n/8-node cyclic core mid-way.
+        out.push(measure_closure(
+            "cyclic_core",
+            cyclic_core_relation(n, (n / 8).max(2), 0xCC + n as u64),
+            n,
+            reps,
+        ));
 
-        // Composition of two random relations of 4n pairs each.
+        // Composition of two random relations of 4n pairs each (the
+        // join kernels; condensation does not apply).
         let a = random_relation(n, 4 * n, 0xA11CE + n as u64);
         let b = random_relation(n, 4 * n, 0xB0B + n as u64);
         let referee = compose_pairs_kernel(&a, &b);
@@ -146,11 +179,13 @@ pub fn measure(full: bool) -> Vec<KernelMeasurement> {
         );
         out.push(KernelMeasurement {
             op: "compose",
+            workload: "random",
             n_nodes: n,
             n_pairs: a.len(),
             out_pairs: referee.len(),
             pairs_secs,
             bits_secs,
+            scc_secs: None,
         });
     }
     out
@@ -159,26 +194,33 @@ pub fn measure(full: bool) -> Vec<KernelMeasurement> {
 /// Paper-style table of a sweep.
 pub fn table(measurements: &[KernelMeasurement]) -> Table {
     let mut table = Table::new(
-        "relalg kernel A/B: pairs vs blocked bitsets",
+        "relalg kernel A/B/C: pairs vs blocked bitsets vs condensation",
         &[
             "op",
+            "workload",
             "nodes",
             "in pairs",
             "out pairs",
             "pairs",
             "bits",
-            "speedup",
+            "scc",
+            "bits/pairs",
+            "scc/bits",
         ],
     );
     for m in measurements {
         table.row(vec![
             m.op.to_owned(),
+            m.workload.to_owned(),
             format!("{}", m.n_nodes),
             format!("{}", m.n_pairs),
             format!("{}", m.out_pairs),
             fmt_secs(m.pairs_secs),
             fmt_secs(m.bits_secs),
+            m.scc_secs.map_or_else(|| "—".to_owned(), fmt_secs),
             format!("{:.1}x", m.speedup()),
+            m.scc_speedup_vs_bits()
+                .map_or_else(|| "—".to_owned(), |s| format!("{s:.1}x")),
         ]);
     }
     table
@@ -188,16 +230,25 @@ pub fn table(measurements: &[KernelMeasurement]) -> Table {
 pub fn to_json(measurements: &[KernelMeasurement]) -> String {
     let mut out = String::from("{\n  \"bench\": \"relalg_kernel\",\n  \"results\": [\n");
     for (i, m) in measurements.iter().enumerate() {
+        let scc_fields = match (m.scc_secs, m.scc_speedup_vs_bits()) {
+            (Some(secs), Some(speedup)) => {
+                format!(", \"scc_secs\": {secs:.9}, \"scc_speedup_vs_bits\": {speedup:.3}")
+            }
+            _ => String::new(),
+        };
         out.push_str(&format!(
-            "    {{\"op\": \"{}\", \"n_nodes\": {}, \"n_pairs\": {}, \"out_pairs\": {}, \
-             \"pairs_secs\": {:.9}, \"bits_secs\": {:.9}, \"speedup\": {:.3}}}{}\n",
+            "    {{\"op\": \"{}\", \"workload\": \"{}\", \"n_nodes\": {}, \"n_pairs\": {}, \
+             \"out_pairs\": {}, \"pairs_secs\": {:.9}, \"bits_secs\": {:.9}, \
+             \"speedup\": {:.3}{}}}{}\n",
             m.op,
+            m.workload,
             m.n_nodes,
             m.n_pairs,
             m.out_pairs,
             m.pairs_secs,
             m.bits_secs,
             m.speedup(),
+            scc_fields,
             if i + 1 < measurements.len() { "," } else { "" },
         ));
     }
@@ -231,19 +282,45 @@ mod tests {
         let m = vec![
             KernelMeasurement {
                 op: "compose",
+                workload: "random",
                 n_nodes: 10,
                 n_pairs: 3,
                 out_pairs: 2,
                 pairs_secs: 1e-6,
                 bits_secs: 5e-7,
-            };
-            2
+                scc_secs: None,
+            },
+            KernelMeasurement {
+                op: "transitive_closure",
+                workload: "deep_chain",
+                n_nodes: 10,
+                n_pairs: 9,
+                out_pairs: 45,
+                pairs_secs: 1e-6,
+                bits_secs: 5e-7,
+                scc_secs: Some(1e-7),
+            },
         ];
         let json = to_json(&m);
         assert!(json.contains("\"speedup\": 2.000"));
+        assert!(json.contains("\"scc_speedup_vs_bits\": 5.000"));
+        assert!(json.contains("\"workload\": \"deep_chain\""));
+        // Compose rows carry no scc fields.
+        assert!(!json
+            .lines()
+            .any(|l| l.contains("compose") && l.contains("scc")));
         // Balanced braces/brackets and a trailing-comma-free list.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         assert!(!json.contains(",\n  ]"));
+    }
+
+    #[test]
+    fn quick_sweep_has_an_scc_leg_per_closure_workload() {
+        // Tiny smoke of the real measurement loop (reps=1, one size).
+        let m = measure_closure("deep_chain", deep_chain_relation(128, 1), 128, 1);
+        assert_eq!(m.out_pairs, 128 * 127 / 2);
+        assert!(m.scc_secs.is_some());
+        assert!(m.scc_speedup_vs_bits().unwrap() > 0.0);
     }
 }

@@ -133,9 +133,13 @@ impl CostModel {
     /// The pair kernel pays [`PAIR_CLOSURE_FACTOR`] per closure pair
     /// (hash + re-sort); the bit kernel pays one `⌈n/64⌉`-word row OR
     /// per closure pair plus the pair↔bitset conversions, each word
-    /// discounted by [`WORD_VS_PAIR_DISCOUNT`]. The dispatcher in
-    /// `rpq_relalg::kernel` picks the cheaper kernel at evaluation
-    /// time, so the model charges the minimum of the two under auto
+    /// discounted by [`WORD_VS_PAIR_DISCOUNT`]. The condensation kernel
+    /// pays per *base* pair instead of per closure pair — one row OR per
+    /// distinct condensation edge, plus the linear Tarjan walk and the
+    /// `n`-row output write — which is why it dominates on deep sparse
+    /// graphs whose closures dwarf their bases. The dispatcher in
+    /// `rpq_relalg::kernel` picks the cheapest strategy at evaluation
+    /// time, so the model charges the minimum of the three under auto
     /// mode — and the forced kernel's cost under an override, keeping
     /// the cost-based policy honest in `--kernel` A/B runs.
     pub fn closure_op_work(&self, base_est: f64) -> f64 {
@@ -146,13 +150,19 @@ impl CostModel {
         }
         let wpr = (self.n_nodes / 64.0).ceil().max(1.0);
         let bit_work = WORD_VS_PAIR_DISCOUNT * wpr * (closure + 3.0 * self.n_nodes);
+        // Condensation: row ORs bounded by the base's edges (distinct
+        // condensation edges never exceed them), the n-row output copy,
+        // and the Tarjan walk at roughly one pair touch per node+edge.
+        let scc_work = WORD_VS_PAIR_DISCOUNT * wpr * (base_est + 2.0 * self.n_nodes)
+            + 0.25 * (self.n_nodes + base_est);
         // Under a forced mode, charge the kernel that will actually
         // run — the auto minimum would mislead the policy choice in
         // `--kernel pairs` A/B runs.
         match rpq_relalg::kernel_mode() {
             rpq_relalg::KernelMode::ForcePairs => pair_work,
             rpq_relalg::KernelMode::ForceBits => bit_work,
-            rpq_relalg::KernelMode::Auto => pair_work.min(bit_work),
+            rpq_relalg::KernelMode::ForceScc => scc_work,
+            rpq_relalg::KernelMode::Auto => pair_work.min(bit_work).min(scc_work),
         }
     }
 

@@ -89,10 +89,15 @@ pub struct EvalMeta {
     /// Per-run tag-index cache interaction.
     pub index_cache: IndexCacheUse,
     /// The relational kernel mode in force during the evaluation
-    /// (`auto` dispatches per operator on density; `pairs`/`bits` are
-    /// the A/B overrides — see `rpq_relalg::kernel`). Safe plans never
-    /// touch the relational kernels regardless.
+    /// (`auto` dispatches per operator on density; `pairs`/`bits`/`scc`
+    /// are the A/B overrides — see `rpq_relalg::kernel`). Safe plans
+    /// never touch the relational kernels regardless.
     pub kernel: rpq_relalg::KernelMode,
+    /// Which closure algorithm(s) actually executed during this
+    /// evaluation — the mode above is intent, this is fact (e.g. `auto`
+    /// may have condensed one fixpoint and run another semi-naive).
+    /// All-zero for safe plans and closure-free composite plans.
+    pub closures: rpq_relalg::ClosureCounts,
     /// Candidate nodes the request ranged over (2 for pairwise,
     /// `|l1| + |l2|` for list modes).
     pub nodes_touched: usize,

@@ -664,6 +664,10 @@ impl Session {
         let index = index.as_deref();
         let csr = csr.as_deref();
 
+        // Evaluation is synchronous on this thread, so the thread-local
+        // closure counters bracket it exactly even under concurrency.
+        let closures_before = rpq_relalg::thread_closure_counts();
+
         let (result, nodes_touched) = match request {
             QueryRequest::Pairwise(..) | QueryRequest::EntryExit => {
                 let (u, v) = match request {
@@ -709,6 +713,7 @@ impl Session {
                 plan_kind: kind,
                 index_cache,
                 kernel: rpq_relalg::kernel_mode(),
+                closures: rpq_relalg::thread_closure_counts().since(closures_before),
                 nodes_touched,
             },
         }
@@ -863,8 +868,19 @@ mod tests {
         assert_eq!(session.stats().csr_misses, 0);
     }
 
+    /// Serializes tests that flip the process-wide kernel mode (they
+    /// would otherwise race each other's assertions; unrelated tests
+    /// only see outcome-equivalent kernels, so they are unaffected).
+    static KERNEL_MODE_LOCK: Mutex<()> = Mutex::new(());
+
     #[test]
     fn csr_arena_is_built_once_and_only_for_closure_plans() {
+        let _guard = KERNEL_MODE_LOCK.lock().expect("kernel mode lock");
+        // Pin the dispatch mode: under a forced-pairs environment (the
+        // CI kernel matrix) the arena would legitimately never be
+        // built, which is not what this test pins down.
+        let before = rpq_relalg::kernel_mode();
+        rpq_relalg::set_kernel_mode(rpq_relalg::KernelMode::Auto);
         let session = Session::from_spec(spec());
         let run = RunBuilder::new(session.spec())
             .seed(4)
@@ -888,6 +904,43 @@ mod tests {
         session.clear_run_cache();
         session.evaluate(&q, &run, &QueryRequest::source_star(entry));
         assert_eq!(session.stats().csr_misses, 2);
+        rpq_relalg::set_kernel_mode(before);
+    }
+
+    #[test]
+    fn closure_algorithms_surface_in_eval_meta() {
+        let _guard = KERNEL_MODE_LOCK.lock().expect("kernel mode lock");
+        let before = rpq_relalg::kernel_mode();
+        let session = Session::from_spec(spec());
+        let run = RunBuilder::new(session.spec())
+            .seed(6)
+            .target_edges(60)
+            .build()
+            .unwrap();
+        let q = session
+            .prepare_with("go+", SubqueryPolicy::AlwaysRelational)
+            .unwrap();
+        let entry = run.entry();
+        // Forced condensation: the one closure of `go+` runs scc and
+        // the meta says so.
+        rpq_relalg::set_kernel_mode(rpq_relalg::KernelMode::ForceScc);
+        let outcome = session.evaluate(&q, &run, &QueryRequest::source_star(entry));
+        assert_eq!(outcome.meta.kernel, rpq_relalg::KernelMode::ForceScc);
+        assert_eq!(outcome.meta.closures.scc, 1, "{:?}", outcome.meta.closures);
+        assert_eq!(outcome.meta.closures.total(), 1);
+        // Forced pairs: same query, same closure count, other column.
+        rpq_relalg::set_kernel_mode(rpq_relalg::KernelMode::ForcePairs);
+        let outcome = session.evaluate(&q, &run, &QueryRequest::source_star(entry));
+        assert_eq!(
+            outcome.meta.closures.pairs, 1,
+            "{:?}",
+            outcome.meta.closures
+        );
+        // Safe plans never touch the relational kernels.
+        let safe = session.prepare("_*").unwrap();
+        let outcome = session.evaluate(&safe, &run, &QueryRequest::entry_exit());
+        assert_eq!(outcome.meta.closures, rpq_relalg::ClosureCounts::default());
+        rpq_relalg::set_kernel_mode(before);
     }
 
     #[test]

@@ -85,6 +85,14 @@ impl BitRelation {
         &self.words[self.row_index(u)..self.row_index(u) + self.words_per_row]
     }
 
+    /// The mutable blocked bitset row of source `u` (the condensation
+    /// closure writes whole finished component rows at once).
+    #[inline]
+    pub(crate) fn row_mut(&mut self, u: usize) -> &mut [u64] {
+        let start = self.row_index(u);
+        &mut self.words[start..start + self.words_per_row]
+    }
+
     /// Add `(u, v)`.
     #[inline]
     pub fn set(&mut self, u: NodeId, v: NodeId) {

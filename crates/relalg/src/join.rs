@@ -15,7 +15,7 @@
 
 use crate::bits::BitRelation;
 use crate::csr::CsrRelation;
-use crate::kernel::{choose_closure, choose_compose, choose_select, Kernel};
+use crate::kernel::{choose_closure, choose_compose, choose_select, record_closure, Kernel};
 use crate::relation::{NodePairSet, Relation};
 use rpq_labeling::NodeId;
 use std::collections::HashMap;
@@ -55,7 +55,9 @@ pub fn compose_pairs_in(a: &NodePairSet, b: &NodePairSet, n_nodes: usize) -> Nod
         return NodePairSet::new();
     }
     match choose_compose(n_nodes, a.len(), b.len()) {
-        Kernel::Bits => compose_pairs_bits(a, b, n_nodes),
+        // SCC is closure-only; the chooser never returns it, but keep
+        // the match total on the word-parallel side.
+        Kernel::Bits | Kernel::Scc => compose_pairs_bits(a, b, n_nodes),
         Kernel::Pairs => compose_pairs_kernel(a, b),
     }
 }
@@ -133,6 +135,21 @@ pub fn transitive_closure_bits(r: &NodePairSet, n_nodes: usize) -> NodePairSet {
         .to_pairs()
 }
 
+/// Transitive closure with the **condensation kernel**: iterative
+/// Tarjan SCC, then one reverse-topological pass ORing component
+/// closure rows (see [`crate::scc`]). Cycles collapse to shared
+/// component rows instead of per-round delta unions, so word work
+/// scales with the *base* graph rather than the closure.
+pub fn transitive_closure_scc(r: &NodePairSet, n_nodes: usize) -> NodePairSet {
+    crate::scc::transitive_closure_scc(&CsrRelation::from_pairs(r, n_nodes)).to_pairs()
+}
+
+/// [`transitive_closure_scc`] straight off a CSR arena (no pair→CSR
+/// conversion — the Tarjan walk consumes the adjacency as-is).
+pub fn transitive_closure_scc_csr(base: &CsrRelation) -> NodePairSet {
+    crate::scc::transitive_closure_scc(base).to_pairs()
+}
+
 /// Transitive closure over an `n_nodes` universe, dispatching on
 /// density (or the `RPQ_RELALG_KERNEL` override).
 pub fn transitive_closure_in(r: &NodePairSet, n_nodes: usize) -> NodePairSet {
@@ -141,7 +158,10 @@ pub fn transitive_closure_in(r: &NodePairSet, n_nodes: usize) -> NodePairSet {
     if r.len() < 2 {
         return r.clone();
     }
-    match choose_closure(n_nodes, r.len()) {
+    let kernel = choose_closure(n_nodes, r.len());
+    record_closure(kernel);
+    match kernel {
+        Kernel::Scc => transitive_closure_scc(r, n_nodes),
         Kernel::Bits => transitive_closure_bits(r, n_nodes),
         Kernel::Pairs => transitive_closure_pairs(r),
     }
@@ -161,7 +181,10 @@ pub fn transitive_closure_csr(base: &CsrRelation) -> NodePairSet {
     if base.n_edges() < 2 {
         return base.to_pairs();
     }
-    match choose_closure(base.n_nodes(), base.n_edges()) {
+    let kernel = choose_closure(base.n_nodes(), base.n_edges());
+    record_closure(kernel);
+    match kernel {
+        Kernel::Scc => transitive_closure_scc_csr(base),
         Kernel::Bits => BitRelation::from_csr(base).transitive_closure().to_pairs(),
         Kernel::Pairs => transitive_closure_pairs(&base.to_pairs()),
     }
@@ -212,7 +235,8 @@ pub fn select_pairs_in(
         return NodePairSet::new();
     }
     match choose_select(n_nodes, r.len(), l1.len(), l2.len()) {
-        Kernel::Bits => select_pairs_bits(r, l1, l2, n_nodes),
+        // As in `compose_pairs_in`: the chooser never returns Scc.
+        Kernel::Bits | Kernel::Scc => select_pairs_bits(r, l1, l2, n_nodes),
         Kernel::Pairs => select_pairs_kernel(r, l1, l2),
     }
 }
@@ -276,8 +300,13 @@ mod tests {
         assert_eq!(transitive_closure(&chain), expected);
         assert_eq!(transitive_closure_pairs(&chain), expected);
         assert_eq!(transitive_closure_bits(&chain, 4), expected);
+        assert_eq!(transitive_closure_scc(&chain, 4), expected);
         assert_eq!(
             transitive_closure_csr(&CsrRelation::from_pairs(&chain, 4)),
+            expected
+        );
+        assert_eq!(
+            transitive_closure_scc_csr(&CsrRelation::from_pairs(&chain, 4)),
             expected
         );
     }
@@ -312,5 +341,6 @@ mod tests {
         let expected = pairs(&[(0, 0), (0, 1), (1, 0), (1, 1)]);
         assert_eq!(transitive_closure_pairs(&cyc), expected);
         assert_eq!(transitive_closure_bits(&cyc, 2), expected);
+        assert_eq!(transitive_closure_scc(&cyc, 2), expected);
     }
 }

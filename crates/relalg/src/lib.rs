@@ -12,12 +12,15 @@
 //!   boundary type;
 //! * [`Relation`] — a pair set plus a symbolic identity flag, so `ε` and
 //!   `e*` never materialize the quadratic identity relation;
-//! * composition ([`compose`]), union, and the semi-naive Kleene fixpoint
-//!   ([`transitive_closure`]) — each in **two kernels**: the original
+//! * composition ([`compose`]), union, and the Kleene fixpoint
+//!   ([`transitive_closure`]) — joins in **two kernels** (the original
 //!   sorted-pair/hash implementation and a bit-parallel one built from
 //!   [`CsrRelation`] adjacency arenas and [`BitRelation`] blocked-bitset
-//!   rows, dispatched per operator on density (override with
-//!   `RPQ_RELALG_KERNEL={auto,bits,pairs}` or [`set_kernel_mode`]);
+//!   rows) and transitive closure in **three** (those two plus the
+//!   condensation pass of [`scc`]: iterative Tarjan SCC + one
+//!   reverse-topological bit sweep), dispatched per operator on density
+//!   (override with `RPQ_RELALG_KERNEL={auto,bits,pairs,scc}` or
+//!   [`set_kernel_mode`]);
 //! * [`TagIndex`] — the per-edge-tag inverted index the paper stores on
 //!   disk for baseline G3 ("an index maps an edge tag γ ∈ Γ to a list of
 //!   node pairs that are connected by an edge tagged γ"), plus
@@ -29,6 +32,7 @@ pub mod index;
 pub mod join;
 pub mod kernel;
 pub mod relation;
+pub mod scc;
 
 pub use bits::BitRelation;
 pub use csr::{CsrIndex, CsrRelation};
@@ -37,7 +41,11 @@ pub use join::{
     compose, compose_in, compose_pairs, compose_pairs_bits, compose_pairs_in, compose_pairs_kernel,
     select_pairs_bits, select_pairs_in, select_pairs_kernel, star, star_in, transitive_closure,
     transitive_closure_bits, transitive_closure_csr, transitive_closure_in,
-    transitive_closure_pairs,
+    transitive_closure_pairs, transitive_closure_scc, transitive_closure_scc_csr,
 };
-pub use kernel::{kernel_mode, set_kernel_mode, Kernel, KernelMode};
+pub use kernel::{
+    closure_counts, kernel_mode, set_kernel_mode, thread_closure_counts, ClosureCounts, Kernel,
+    KernelMode,
+};
 pub use relation::{NodePairSet, Relation};
+pub use scc::Condensation;

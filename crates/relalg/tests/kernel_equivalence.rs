@@ -1,5 +1,9 @@
 //! Property tests: the bit-parallel kernel agrees exactly with the
-//! pair-based referee operators on random relations.
+//! pair-based referee operators on random relations, and all **three**
+//! closure kernels (pairs referee, semi-naive bits, Tarjan
+//! condensation) are byte-identical on every graph shape — random,
+//! DAG, cyclic, multi-SCC — both at the operator level and through the
+//! full `Session` composite pipeline.
 //!
 //! The referee is the seed implementation (`compose_pairs_kernel`,
 //! `transitive_closure_pairs`) kept verbatim in `join.rs`; the subject
@@ -11,7 +15,11 @@ use rpq_labeling::NodeId;
 use rpq_relalg::{
     compose_pairs_bits, compose_pairs_in, compose_pairs_kernel, select_pairs_bits, select_pairs_in,
     select_pairs_kernel, transitive_closure_bits, transitive_closure_in, transitive_closure_pairs,
-    BitRelation, CsrRelation, NodePairSet,
+    transitive_closure_scc, transitive_closure_scc_csr, BitRelation, Condensation, CsrRelation,
+    NodePairSet,
+};
+use rpq_workloads::runs::{
+    cyclic_core_relation, deep_chain_relation, multi_scc_relation, wide_dag_relation,
 };
 
 /// Random relation over a universe of `n` nodes: up to `max_pairs`
@@ -43,10 +51,66 @@ proptest! {
     fn closure_kernels_agree(r in relation(70, 100)) {
         let referee = transitive_closure_pairs(&r);
         prop_assert_eq!(&transitive_closure_bits(&r, 70), &referee);
+        prop_assert_eq!(&transitive_closure_scc(&r, 70), &referee);
         prop_assert_eq!(&transitive_closure_in(&r, 70), &referee);
         // Closure off the CSR arena takes a different construction path.
         let csr = CsrRelation::from_pairs(&r, 70);
         prop_assert_eq!(&rpq_relalg::transitive_closure_csr(&csr), &referee);
+        prop_assert_eq!(&transitive_closure_scc_csr(&csr), &referee);
+    }
+
+    // Three-way closure differential over structured corpora: the
+    // random-relation test above rarely produces long paths or large
+    // cycles, so each SCC-hostile shape gets its own generator —
+    // permuted deep chains (maximal semi-naive round counts), layered
+    // DAGs (dense closures), chains with a cyclic core (the paper's
+    // workflow regime) and multi-SCC tangles with self-loops.
+    #[test]
+    fn closure_kernels_agree_on_deep_chains(seed in 0u64..40, n in 2usize..120) {
+        let r = deep_chain_relation(n, seed);
+        let referee = transitive_closure_pairs(&r);
+        prop_assert_eq!(&transitive_closure_bits(&r, n), &referee);
+        prop_assert_eq!(&transitive_closure_scc(&r, n), &referee);
+        prop_assert_eq!(&transitive_closure_in(&r, n), &referee);
+    }
+
+    #[test]
+    fn closure_kernels_agree_on_wide_dags(
+        seed in 0u64..40,
+        width in 1usize..12,
+        fanout in 1usize..4,
+    ) {
+        let r = wide_dag_relation(90, width, fanout, seed);
+        let referee = transitive_closure_pairs(&r);
+        prop_assert_eq!(&transitive_closure_bits(&r, 90), &referee);
+        prop_assert_eq!(&transitive_closure_scc(&r, 90), &referee);
+    }
+
+    #[test]
+    fn closure_kernels_agree_on_cyclic_cores(
+        seed in 0u64..40,
+        n in 2usize..100,
+        core in 1usize..30,
+    ) {
+        let r = cyclic_core_relation(n, core.min(n), seed);
+        let referee = transitive_closure_pairs(&r);
+        prop_assert_eq!(&transitive_closure_bits(&r, n), &referee);
+        prop_assert_eq!(&transitive_closure_scc(&r, n), &referee);
+    }
+
+    #[test]
+    fn closure_kernels_agree_on_multi_scc_tangles(
+        seed in 0u64..60,
+        n_comps in 1usize..12,
+        extra in 0usize..60,
+    ) {
+        let r = multi_scc_relation(80, n_comps, extra, seed);
+        let referee = transitive_closure_pairs(&r);
+        prop_assert_eq!(&transitive_closure_bits(&r, 80), &referee);
+        prop_assert_eq!(&transitive_closure_scc(&r, 80), &referee);
+        // The condensation invariant the one-pass closure relies on.
+        let csr = CsrRelation::from_pairs(&r, 80);
+        prop_assert!(Condensation::of(&csr).is_reverse_topological(&csr));
     }
 
     #[test]
@@ -93,4 +157,106 @@ proptest! {
             &r
         );
     }
+}
+
+// ---------------------------------------------------------------------
+// Degenerate closure shapes, pinned three-way.
+// ---------------------------------------------------------------------
+
+fn pairs_of(ps: &[(u32, u32)]) -> NodePairSet {
+    NodePairSet::from_pairs(ps.iter().map(|&(a, b)| (NodeId(a), NodeId(b))).collect())
+}
+
+fn assert_three_way(r: &NodePairSet, n: usize) {
+    let referee = transitive_closure_pairs(r);
+    assert_eq!(transitive_closure_bits(r, n), referee);
+    assert_eq!(transitive_closure_scc(r, n), referee);
+    assert_eq!(transitive_closure_in(r, n), referee);
+}
+
+#[test]
+fn closure_of_empty_graph_is_empty_in_every_kernel() {
+    assert_three_way(&NodePairSet::new(), 0);
+    assert_three_way(&NodePairSet::new(), 64);
+}
+
+#[test]
+fn closure_of_one_giant_cycle_is_complete_in_every_kernel() {
+    let n = 130; // crosses word blocks
+    let mut edges: Vec<(u32, u32)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+    edges.push((n - 1, 0));
+    let r = pairs_of(&edges);
+    assert_three_way(&r, n as usize);
+    assert_eq!(
+        transitive_closure_scc(&r, n as usize).len(),
+        (n * n) as usize
+    );
+}
+
+#[test]
+fn closure_of_disconnected_components_in_every_kernel() {
+    // Two chains, one 3-cycle, one self-loop, isolated nodes.
+    let r = pairs_of(&[
+        (0, 1),
+        (1, 2),
+        (10, 11),
+        (20, 21),
+        (21, 22),
+        (22, 20),
+        (30, 30),
+    ]);
+    assert_three_way(&r, 40);
+}
+
+#[test]
+fn closure_of_self_loop_forest_in_every_kernel() {
+    let r = pairs_of(&[(0, 0), (3, 3), (7, 7), (63, 63), (64, 64)]);
+    assert_three_way(&r, 70);
+}
+
+// ---------------------------------------------------------------------
+// The full composite pipeline: `Session` all-pairs evaluations must be
+// identical under every forced kernel mode (the per-operator dispatch
+// is invisible in results, only in speed).
+// ---------------------------------------------------------------------
+
+#[test]
+fn session_composite_all_pairs_agrees_across_kernel_modes() {
+    use rpq_core::{QueryRequest, Session, SubqueryPolicy};
+
+    let before = rpq_relalg::kernel_mode();
+    let spec = rpq_workloads::paper_examples::fig2_spec();
+    let session = Session::from_spec(spec);
+    let run = rpq_workloads::runs::simulate(session.spec(), 180, 11).expect("derivable");
+    let all: Vec<NodeId> = run.node_ids().collect();
+
+    // Closure-heavy queries, planned relationally so the kernels run.
+    for query_text in ["_*", "_* a _*", "(a | e)+", "a* e a*"] {
+        let query = session
+            .prepare_with(query_text, SubqueryPolicy::AlwaysRelational)
+            .expect("prepares");
+        let mut outcomes = Vec::new();
+        for mode in [
+            rpq_relalg::KernelMode::ForcePairs,
+            rpq_relalg::KernelMode::ForceBits,
+            rpq_relalg::KernelMode::ForceScc,
+            rpq_relalg::KernelMode::Auto,
+        ] {
+            rpq_relalg::set_kernel_mode(mode);
+            let outcome = session.evaluate(
+                &query,
+                &run,
+                &QueryRequest::all_pairs(all.clone(), all.clone()),
+            );
+            outcomes.push((mode.name(), outcome.result));
+        }
+        for (name, result) in &outcomes[1..] {
+            assert_eq!(
+                result, &outcomes[0].1,
+                "{query_text}: {name} disagrees with {}",
+                outcomes[0].0
+            );
+        }
+    }
+    rpq_relalg::set_kernel_mode(before);
 }

@@ -31,7 +31,9 @@ use std::io::{Read, Write};
 pub const MAGIC: [u8; 4] = *b"RPQN";
 
 /// Protocol version; bumped on any wire-incompatible change.
-pub const VERSION: u8 = 1;
+/// (v2 added the closure-algorithm counters to [`WireOutcome`] and
+/// [`WireStatsReply`].)
+pub const VERSION: u8 = 2;
 
 /// Hard cap on one frame's payload (64 MiB) — bounds the allocation a
 /// length prefix can demand before a single payload byte is read.
@@ -180,8 +182,16 @@ pub struct WireOutcome {
     pub plan_kind: String,
     /// `hit` / `miss` / `none` — the per-run index-cache interaction.
     pub index_cache: String,
-    /// Relational kernel mode in force (`auto` / `bits` / `pairs`).
+    /// Relational kernel mode in force (`auto` / `bits` / `pairs` /
+    /// `scc`).
     pub kernel: String,
+    /// Transitive closures this evaluation ran through the semi-naive
+    /// pair fixpoint.
+    pub closure_pairs: u64,
+    /// Closures run through the blocked-bitset semi-naive fixpoint.
+    pub closure_bits: u64,
+    /// Closures run through the Tarjan condensation pass.
+    pub closure_scc: u64,
     /// Candidate nodes the request ranged over.
     pub nodes_touched: u64,
     /// Server-side evaluation time in microseconds (excludes transport).
@@ -205,6 +215,9 @@ impl WireOutcome {
             }
             .to_owned(),
             kernel: outcome.meta.kernel.name().to_owned(),
+            closure_pairs: outcome.meta.closures.pairs,
+            closure_bits: outcome.meta.closures.bits,
+            closure_scc: outcome.meta.closures.scc,
             nodes_touched: outcome.meta.nodes_touched as u64,
             micros,
         }
@@ -263,6 +276,13 @@ pub struct WireStatsReply {
     pub overloaded: u64,
     /// Requests answered with [`WireResponse::Error`].
     pub request_errors: u64,
+    /// Process-wide closures run by the semi-naive pair fixpoint
+    /// (`rpq_relalg::closure_counts`).
+    pub closures_pairs: u64,
+    /// Process-wide closures run by the blocked-bitset fixpoint.
+    pub closures_bits: u64,
+    /// Process-wide closures run by the Tarjan condensation pass.
+    pub closures_scc: u64,
 }
 
 /// A server response.
@@ -498,6 +518,9 @@ mod tests {
                 plan_kind: "safe".to_owned(),
                 index_cache: "none".to_owned(),
                 kernel: "auto".to_owned(),
+                closure_pairs: 0,
+                closure_bits: 1,
+                closure_scc: 2,
                 nodes_touched: 2,
                 micros: 17,
             }));

@@ -553,6 +553,7 @@ impl Server {
     fn stats(&self) -> WireStatsReply {
         let session = self.session.stats();
         let store = self.store.stats();
+        let closures = rpq_relalg::closure_counts();
         WireStatsReply {
             plan_hits: session.plan_hits,
             plan_misses: session.plan_misses,
@@ -570,6 +571,9 @@ impl Server {
             requests: self.counters.requests.load(Ordering::Relaxed),
             overloaded: self.counters.overloaded.load(Ordering::Relaxed),
             request_errors: self.counters.request_errors.load(Ordering::Relaxed),
+            closures_pairs: closures.pairs,
+            closures_bits: closures.bits,
+            closures_scc: closures.scc,
         }
     }
 }

@@ -1,0 +1,197 @@
+//! End-to-end smoke of the `rpq` binary's serve/request surface — the
+//! CI-only loopback smoke job, promoted into the test suite so plain
+//! `cargo test --workspace` covers it locally:
+//!
+//! 1. build a store with the CLI,
+//! 2. serve it on an ephemeral port,
+//! 3. run every request verb against the live server,
+//! 4. SIGTERM the server and assert a clean exit-0 drain with the
+//!    final report on stdout.
+
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader, Read};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// The workspace target directory (this file lives at
+/// `crates/serve/tests/`, two levels below the root).
+fn target_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("target")
+}
+
+/// Locate the built `rpq` binary. `cargo test --workspace` compiles
+/// every workspace target (including the facade's bin) before running
+/// any test, so the current profile's copy normally exists; running
+/// this suite in isolation (`cargo test -p rpq-serve`) falls back to a
+/// release build or, as a last resort, builds the binary.
+fn rpq_binary() -> PathBuf {
+    let target = target_dir();
+    let candidates = [target.join("debug/rpq"), target.join("release/rpq")];
+    // Prefer the freshest existing build.
+    let newest = candidates
+        .iter()
+        .filter(|p| p.exists())
+        .max_by_key(|p| p.metadata().and_then(|m| m.modified()).ok());
+    if let Some(path) = newest {
+        return path.clone();
+    }
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_owned());
+    let status = Command::new(cargo)
+        .args(["build", "--bin", "rpq"])
+        .status()
+        .expect("spawn cargo build --bin rpq");
+    assert!(status.success(), "cannot build the rpq binary");
+    target.join("debug/rpq")
+}
+
+fn run_ok(bin: &PathBuf, args: &[&str]) -> String {
+    let out = Command::new(bin)
+        .args(args)
+        .output()
+        .unwrap_or_else(|e| panic!("spawn {bin:?} {args:?}: {e}"));
+    assert!(
+        out.status.success(),
+        "rpq {args:?} failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// Kill the child on drop so a failing assertion can't leak a server.
+struct ChildGuard(Child);
+
+impl Drop for ChildGuard {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+#[test]
+fn serve_every_verb_and_sigterm_cleanly() {
+    let bin = rpq_binary();
+    let dir = std::env::temp_dir()
+        .join("rpq_cli_smoke")
+        .join(std::process::id().to_string());
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create store dir");
+    let store = dir.join("store");
+    let store = store.to_str().expect("utf-8 path");
+
+    // 1. Build the store (artifacts materialized, warm on open).
+    let out = run_ok(
+        &bin,
+        &[
+            "store", "fig2", "--dir", store, "--ingest", "3", "--edges", "80", "--seed", "7",
+        ],
+    );
+    assert!(out.contains("3 run(s)"), "{out}");
+
+    // 2. Serve on an ephemeral port; scrape the announced address.
+    let mut child = ChildGuard(
+        Command::new(&bin)
+            .args([
+                "serve",
+                "fig2",
+                "--store",
+                store,
+                "--addr",
+                "127.0.0.1:0",
+                "--workers",
+                "2",
+            ])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn rpq serve"),
+    );
+    let stdout = child.0.stdout.take().expect("piped stdout");
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read announce line");
+    assert!(line.contains("listening on"), "unexpected banner: {line}");
+    let addr = line
+        .split("listening on ")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .expect("address in banner")
+        .to_owned();
+
+    // 3. Every request verb against the live server.
+    let a = addr.as_str();
+    assert!(run_ok(&bin, &["request", "ping", "--addr", a]).contains("pong"));
+    let out = run_ok(&bin, &["request", "runs", "--addr", a]);
+    assert!(out.contains("3 stored run(s)"), "{out}");
+
+    // Every evaluation mode of the protocol.
+    let out = run_ok(&bin, &["request", "query", "_* e _*", "--addr", a]); // entry-exit
+    assert!(out.contains("verdict:"), "{out}");
+    let out = run_ok(
+        &bin,
+        &[
+            "request", "query", "_*", "--addr", a, "--from", "0", "--to", "1",
+        ],
+    );
+    assert!(out.contains("verdict:"), "{out}");
+    let out = run_ok(
+        &bin,
+        &["request", "query", "_*", "--addr", a, "--from", "0"],
+    );
+    assert!(out.contains("matches:"), "{out}"); // source-star
+    let out = run_ok(&bin, &["request", "query", "_*", "--addr", a, "--to", "0"]);
+    assert!(out.contains("matches:"), "{out}"); // target-star
+    let out = run_ok(
+        &bin,
+        &["request", "query", "_*", "--addr", a, "--mode", "all-pairs"],
+    );
+    assert!(out.contains("matches:"), "{out}");
+    let out = run_ok(
+        &bin,
+        &[
+            "request",
+            "query",
+            "_*",
+            "--addr",
+            a,
+            "--mode",
+            "reachable",
+            "--from",
+            "0",
+        ],
+    );
+    assert!(out.contains("reachable:"), "{out}");
+
+    let out = run_ok(&bin, &["request", "stats", "--addr", a]);
+    assert!(out.contains("3 run(s) stored"), "{out}");
+    assert!(out.contains("closures:"), "{out}");
+
+    // 4. SIGTERM → drain → exit 0 with the final report. std::process
+    // has no signal API and the workspace pulls no libc, so use the
+    // platform's `kill` utility (this test is unix-gated anyway).
+    let pid = child.0.id().to_string();
+    let status = Command::new("kill")
+        .args(["-TERM", &pid])
+        .status()
+        .expect("spawn kill -TERM");
+    assert!(status.success(), "kill -TERM failed");
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let exit = loop {
+        match child.0.try_wait().expect("try_wait") {
+            Some(status) => break status,
+            None if Instant::now() > deadline => panic!("server ignored SIGTERM for 30s"),
+            None => std::thread::sleep(Duration::from_millis(20)),
+        }
+    };
+    assert!(exit.success(), "server exited {exit:?} on SIGTERM");
+    let mut rest = String::new();
+    reader.read_to_string(&mut rest).expect("drain stdout");
+    assert!(rest.contains("shutdown: served"), "missing report: {rest}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,141 @@
+//! Decode-robustness fuzz: arbitrary, truncated and bit-flipped byte
+//! buffers fed to `rpq_store::codec::from_bytes` must fail cleanly —
+//! never panic, never allocate past the existing remaining-input caps.
+//!
+//! Three mutation families, each seeded from valid frames:
+//!
+//! * **arbitrary** — random buffers (almost surely bad magic): always
+//!   `Err`;
+//! * **truncated** — every strict prefix of a valid frame: always
+//!   `Err` (the decoder requires exactly one value covering the whole
+//!   buffer);
+//! * **bit-flipped** — one flipped bit in a valid frame: must not
+//!   panic; when the flip happens to decode (e.g. an integer payload
+//!   bit), the decoded value must re-encode and decode consistently.
+
+use proptest::prelude::*;
+use rpq_store::codec::{from_bytes, to_bytes};
+
+/// The valid seed corpus: one frame per interesting shape (scalars,
+/// strings with interning back-references, sequences, maps, packed
+/// byte buffers via the relalg types).
+fn seed_frames() -> Vec<Vec<u8>> {
+    use rpq_labeling::NodeId;
+    let pairs = rpq_relalg::NodePairSet::from_pairs(vec![
+        (NodeId(0), NodeId(1)),
+        (NodeId(1), NodeId(2)),
+        (NodeId(2), NodeId(0)),
+    ]);
+    vec![
+        to_bytes(&42u64),
+        to_bytes(&u64::MAX),
+        to_bytes(&(-7i64)),
+        to_bytes(&"interned strings — once each".to_owned()),
+        to_bytes(&vec![1u32, 2, 3, 4, 5]),
+        to_bytes(&vec![
+            (1u32, "a".to_owned()),
+            (2, "a".to_owned()),
+            (3, "b".to_owned()),
+        ]),
+        to_bytes(&pairs),
+        to_bytes(&rpq_relalg::CsrRelation::from_pairs(&pairs, 3)),
+    ]
+}
+
+/// Decoding must return *some* `Result` without panicking, for every
+/// target type we persist. Returns whether any target decoded.
+fn decode_all_targets(bytes: &[u8]) -> bool {
+    let mut any_ok = false;
+    any_ok |= from_bytes::<u64>(bytes).is_ok();
+    any_ok |= from_bytes::<i64>(bytes).is_ok();
+    any_ok |= from_bytes::<String>(bytes).is_ok();
+    any_ok |= from_bytes::<Vec<u32>>(bytes).is_ok();
+    any_ok |= from_bytes::<Vec<(u32, String)>>(bytes).is_ok();
+    any_ok |= from_bytes::<rpq_relalg::NodePairSet>(bytes).is_ok();
+    any_ok |= from_bytes::<rpq_relalg::CsrRelation>(bytes).is_ok();
+    any_ok
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    #[test]
+    fn arbitrary_buffers_error_cleanly(bytes in prop::collection::vec(0u8..=255, 0..200)) {
+        // A random buffer opening with the exact 5-byte header is a
+        // ~2^-40 event; anything else must be rejected at the header.
+        if bytes.len() < 5 || &bytes[..4] != b"RPQB" || bytes[4] != 1 {
+            prop_assert!(from_bytes::<u64>(&bytes).is_err());
+            prop_assert!(from_bytes::<rpq_relalg::CsrRelation>(&bytes).is_err());
+        }
+        // Header or not: no decode may panic.
+        decode_all_targets(&bytes);
+    }
+
+    #[test]
+    fn valid_headers_with_random_payloads_never_panic(
+        payload in prop::collection::vec(0u8..=255, 0..160),
+    ) {
+        let mut bytes = b"RPQB\x01".to_vec();
+        bytes.extend_from_slice(&payload);
+        decode_all_targets(&bytes);
+    }
+
+    #[test]
+    fn truncations_of_valid_frames_error(
+        frame_index in 0usize..8,
+        cut_seed in 0u64..10_000,
+    ) {
+        let frames = seed_frames();
+        let frame = &frames[frame_index % frames.len()];
+        let cut = (cut_seed as usize) % frame.len();
+        let prefix = &frame[..cut];
+        // Every strict prefix must be an error in every target type —
+        // the decoder demands one complete value covering the buffer.
+        prop_assert!(!decode_all_targets(prefix), "cut {cut} of {} decoded", frame.len());
+    }
+
+    #[test]
+    fn bit_flips_never_panic_and_stay_consistent(
+        frame_index in 0usize..8,
+        flip_seed in 0u64..100_000,
+    ) {
+        let frames = seed_frames();
+        let mut frame = frames[frame_index % frames.len()].clone();
+        let bit = (flip_seed as usize) % (frame.len() * 8);
+        frame[bit / 8] ^= 1 << (bit % 8);
+        // Must not panic; a flip that still decodes (payload integer
+        // bits can) must round-trip consistently.
+        if let Ok(v) = from_bytes::<u64>(&frame) {
+            let re = to_bytes(&v);
+            prop_assert_eq!(from_bytes::<u64>(&re).unwrap(), v);
+        }
+        if let Ok(pairs) = from_bytes::<rpq_relalg::NodePairSet>(&frame) {
+            let re = to_bytes(&pairs);
+            prop_assert_eq!(from_bytes::<rpq_relalg::NodePairSet>(&re).unwrap(), pairs);
+        }
+        decode_all_targets(&frame);
+    }
+
+    #[test]
+    fn corrupt_count_prefixes_cannot_drive_huge_allocations(
+        count in 0u64..u64::MAX,
+    ) {
+        // A sequence header promising `count` elements with no bytes
+        // behind it: the remaining-input cap must reject it without
+        // reserving `count` slots.
+        let mut bytes = b"RPQB\x01\x08".to_vec(); // TAG_SEQ
+        let mut v = count;
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                bytes.push(byte);
+                break;
+            }
+            bytes.push(byte | 0x80);
+        }
+        if count > 0 {
+            prop_assert!(from_bytes::<Vec<u64>>(&bytes).is_err());
+        }
+    }
+}

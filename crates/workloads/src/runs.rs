@@ -1,7 +1,11 @@
-//! Run-simulation conveniences shared by benches, examples and tests.
+//! Run-simulation conveniences shared by benches, examples and tests,
+//! plus deterministic **graph corpora** (deep chains, wide DAGs, cyclic
+//! cores, multi-SCC tangles) for the closure-kernel differential tests
+//! and the `repro -- relalg` scc bench leg.
 
 use rpq_grammar::Specification;
-use rpq_labeling::{DeriveError, ForkFocus, Run, RunBuilder};
+use rpq_labeling::{DeriveError, ForkFocus, NodeId, Run, RunBuilder};
+use rpq_relalg::NodePairSet;
 
 /// Simulate a run of roughly `target_edges` edges (the paper's random
 /// production firing).
@@ -69,6 +73,179 @@ pub fn sample_nodes(run: &Run, n: usize, seed: u64) -> Vec<rpq_labeling::NodeId>
     all
 }
 
+// ---------------------------------------------------------------------
+// Graph corpora: raw node-pair relations with controlled SCC structure.
+//
+// These are *relations*, not grammar-derived runs: the closure kernels
+// of `rpq-relalg` operate on arbitrary node-pair graphs (sub-query
+// results cycle even over DAG runs), so their differential tests need
+// shapes a workflow grammar cannot derive — giant cycles, multi-SCC
+// tangles, self-loop forests. All generators are deterministic per
+// seed and distinct across seeds (the analogue of `corpus`'s
+// fingerprint-distinctness guarantee, unit-tested below).
+// ---------------------------------------------------------------------
+
+/// SplitMix64 — deterministic without pulling the rand shim into every
+/// caller's seed plumbing.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A uniformly random relation with `n_pairs` pairs over `n_nodes`
+/// (duplicates collapse in the pair set) — the dense-join workload of
+/// the kernel benches.
+pub fn random_relation(n_nodes: usize, n_pairs: usize, seed: u64) -> NodePairSet {
+    let mut rng = seed;
+    let pairs = (0..n_pairs)
+        .map(|_| {
+            let u = splitmix(&mut rng) as usize % n_nodes;
+            let v = splitmix(&mut rng) as usize % n_nodes;
+            (NodeId(u as u32), NodeId(v as u32))
+        })
+        .collect();
+    NodePairSet::from_pairs(pairs)
+}
+
+/// A seeded permutation of `0..n` (Fisher–Yates), so structurally
+/// identical shapes land on different node ids per seed.
+fn permutation(n: usize, rng: &mut u64) -> Vec<u32> {
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    for i in (1..n).rev() {
+        let j = (splitmix(rng) % (i as u64 + 1)) as usize;
+        perm.swap(i, j);
+    }
+    perm
+}
+
+/// A single path through all `n_nodes` nodes (in seeded order): the
+/// worst case for the semi-naive closure — `n` rounds, `O(n²)` closure
+/// pairs — and the best case for condensation (`n` singleton
+/// components, one bit pass).
+pub fn deep_chain_relation(n_nodes: usize, seed: u64) -> NodePairSet {
+    let mut rng = seed ^ 0xDEE9;
+    let perm = permutation(n_nodes, &mut rng);
+    NodePairSet::from_pairs(
+        perm.windows(2)
+            .map(|w| (NodeId(w[0]), NodeId(w[1])))
+            .collect(),
+    )
+}
+
+/// A layered DAG: `width` nodes per layer, each wired to `fanout`
+/// random nodes of the next layer — the shape of fork-heavy provenance
+/// runs, whose closures are deep *and* dense.
+pub fn wide_dag_relation(n_nodes: usize, width: usize, fanout: usize, seed: u64) -> NodePairSet {
+    let width = width.max(1);
+    let mut rng = seed ^ 0xDA6;
+    let mut pairs = Vec::new();
+    let layers = n_nodes.div_ceil(width);
+    for layer in 0..layers.saturating_sub(1) {
+        let base = layer * width;
+        let next_base = (layer + 1) * width;
+        let next_width = width.min(n_nodes.saturating_sub(next_base));
+        if next_width == 0 {
+            break;
+        }
+        for u in base..(base + width).min(n_nodes) {
+            for _ in 0..fanout {
+                let v = next_base + (splitmix(&mut rng) as usize % next_width);
+                pairs.push((NodeId(u as u32), NodeId(v as u32)));
+            }
+        }
+    }
+    NodePairSet::from_pairs(pairs)
+}
+
+/// A DAG chain with one cyclic core of `core_size` nodes spliced into
+/// the middle — the paper's workflow regime (DAG-shaped runs with a
+/// small loop), where condensation collapses the core to one component
+/// row instead of discovering its `core²` pairs round by round.
+pub fn cyclic_core_relation(n_nodes: usize, core_size: usize, seed: u64) -> NodePairSet {
+    let mut rng = seed ^ 0xC0DE;
+    let perm = permutation(n_nodes, &mut rng);
+    let core_size = core_size.min(n_nodes);
+    let core_start = (n_nodes - core_size) / 2;
+    let mut pairs: Vec<(NodeId, NodeId)> = perm
+        .windows(2)
+        .map(|w| (NodeId(w[0]), NodeId(w[1])))
+        .collect();
+    if core_size > 1 {
+        // Close the core: its last chain node loops back to its first.
+        pairs.push((
+            NodeId(perm[core_start + core_size - 1]),
+            NodeId(perm[core_start]),
+        ));
+    } else if core_size == 1 && n_nodes > 0 {
+        pairs.push((NodeId(perm[core_start]), NodeId(perm[core_start])));
+    }
+    NodePairSet::from_pairs(pairs)
+}
+
+/// A tangle of `n_comps` disjoint cycles (sizes drawn per seed, some
+/// singletons with self-loops) connected by `extra_edges` random
+/// cross-component edges directed from later to earlier components —
+/// guaranteeing at least `n_comps` SCCs survive. The multi-SCC
+/// workload of the three-way closure proptests.
+pub fn multi_scc_relation(
+    n_nodes: usize,
+    n_comps: usize,
+    extra_edges: usize,
+    seed: u64,
+) -> NodePairSet {
+    let n_comps = n_comps.clamp(1, n_nodes.max(1));
+    let mut rng = seed ^ 0x5CC;
+    let perm = permutation(n_nodes, &mut rng);
+    // Random component boundaries: pick n_comps-1 distinct cut points.
+    let mut cuts: Vec<usize> = (1..n_nodes).collect();
+    for i in (1..cuts.len()).rev() {
+        let j = (splitmix(&mut rng) % (i as u64 + 1)) as usize;
+        cuts.swap(i, j);
+    }
+    let mut cuts: Vec<usize> = cuts.into_iter().take(n_comps - 1).collect();
+    cuts.push(0);
+    cuts.push(n_nodes);
+    cuts.sort_unstable();
+    cuts.dedup();
+
+    let mut pairs = Vec::new();
+    let comps: Vec<&[u32]> = cuts
+        .windows(2)
+        .map(|w| &perm[w[0]..w[1]])
+        .filter(|m| !m.is_empty())
+        .collect();
+    for members in &comps {
+        if members.len() == 1 {
+            // Singleton: a coin decides between a self-loop (cyclic
+            // component) and a bare node (acyclic singleton).
+            if splitmix(&mut rng).is_multiple_of(2) {
+                pairs.push((NodeId(members[0]), NodeId(members[0])));
+            }
+        } else {
+            // A ring through the members.
+            for w in members.windows(2) {
+                pairs.push((NodeId(w[0]), NodeId(w[1])));
+            }
+            pairs.push((NodeId(members[members.len() - 1]), NodeId(members[0])));
+        }
+    }
+    // Cross edges flow from higher component index to lower, so no new
+    // cycle can form across components.
+    if comps.len() > 1 {
+        for _ in 0..extra_edges {
+            let ci = 1 + (splitmix(&mut rng) as usize % (comps.len() - 1));
+            let cj = splitmix(&mut rng) as usize % ci;
+            let u = comps[ci][splitmix(&mut rng) as usize % comps[ci].len()];
+            let v = comps[cj][splitmix(&mut rng) as usize % comps[cj].len()];
+            pairs.push((NodeId(u), NodeId(v)));
+        }
+    }
+    NodePairSet::from_pairs(pairs)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,6 +277,63 @@ mod tests {
         fingerprints.dedup();
         assert_eq!(fingerprints.len(), 8, "corpus runs must not collide");
         assert_eq!(corpus(&spec, 0, 100, 5).unwrap().len(), 0);
+    }
+
+    type Generator = Box<dyn Fn(u64) -> NodePairSet>;
+
+    #[test]
+    fn graph_generators_are_deterministic_bounded_and_seed_distinct() {
+        let gens: Vec<(&str, Generator)> = vec![
+            ("chain", Box::new(|s| deep_chain_relation(97, s))),
+            ("dag", Box::new(|s| wide_dag_relation(97, 8, 2, s))),
+            ("core", Box::new(|s| cyclic_core_relation(97, 9, s))),
+            ("tangle", Box::new(|s| multi_scc_relation(97, 7, 30, s))),
+        ];
+        for (name, gen) in &gens {
+            // Deterministic per seed, bounded to the universe.
+            assert_eq!(gen(3), gen(3), "{name}");
+            assert!(
+                gen(3).iter().all(|(u, v)| u.index() < 97 && v.index() < 97),
+                "{name}"
+            );
+            assert!(!gen(3).is_empty(), "{name}");
+            // Distinct across seeds — the graph analogue of `corpus`'s
+            // fingerprint distinctness.
+            let mut seen: Vec<NodePairSet> = Vec::new();
+            for seed in 0..8 {
+                let g = gen(seed);
+                assert!(!seen.contains(&g), "{name}: seed {seed} collides");
+                seen.push(g);
+            }
+        }
+    }
+
+    #[test]
+    fn graph_generators_have_the_advertised_structure() {
+        // The chain is one path: n-1 edges, every out-degree ≤ 1.
+        let chain = deep_chain_relation(64, 1);
+        assert_eq!(chain.len(), 63);
+
+        // The cyclic core closes exactly one extra edge over the chain.
+        let core = cyclic_core_relation(64, 8, 1);
+        assert_eq!(core.len(), 64);
+
+        // The tangle honors its component floor: rings only reach
+        // backwards, so at least `n_comps` SCCs survive. Verify via the
+        // condensation itself.
+        let tangle = multi_scc_relation(80, 6, 25, 2);
+        let csr = rpq_relalg::CsrRelation::from_pairs(&tangle, 80);
+        let cond = rpq_relalg::Condensation::of(&csr);
+        assert!(cond.n_comps() >= 6, "{}", cond.n_comps());
+        assert!(cond.n_comps() < 80);
+        assert!(cond.is_reverse_topological(&csr));
+
+        // Degenerate sizes stay total.
+        assert!(deep_chain_relation(0, 1).is_empty());
+        assert!(deep_chain_relation(1, 1).is_empty());
+        assert_eq!(cyclic_core_relation(1, 1, 1).len(), 1); // one self-loop
+        assert!(multi_scc_relation(0, 3, 5, 1).is_empty());
+        assert!(!multi_scc_relation(1, 1, 0, 4).iter().any(|(u, v)| u != v));
     }
 
     #[test]

@@ -31,8 +31,9 @@
 //! evaluation policy: `cost` (cost-based, the default), `memo`
 //! (always label-based) or `naive` (pure relational joins). `--kernel`
 //! selects the relational kernel for joins/fixpoints: `auto`
-//! (density-based, the default), `bits` (blocked bitsets) or `pairs`
-//! (sorted pairs + hash joins) — the A/B switch of `rpq-relalg`.
+//! (density-based, the default), `bits` (blocked bitsets), `pairs`
+//! (sorted pairs + hash joins) or `scc` (Tarjan condensation for every
+//! transitive closure) — the A/B switch of `rpq-relalg`.
 //!
 //! Every failure surfaces as [`RpqError`] — the CLI has no error type
 //! of its own.
@@ -87,7 +88,7 @@ USAGE:
 SPEC:   fig2 | fork | bioaid | qblast | path to a JSON specification
 NODE:   module:occurrence, e.g. a:2 (numeric node indexes for `request`)
 POLICY: cost (default) | memo | naive
-KERNEL: auto (default) | bits | pairs
+KERNEL: auto (default) | bits | pairs | scc
 MODE:   pairwise | entry-exit | all-pairs | source-star | target-star | reachable
 ";
 
@@ -180,7 +181,7 @@ fn apply_kernel(options: &[(&str, &str)]) -> Result<rpq_relalg::KernelMode, RpqE
         None => rpq_relalg::kernel_mode(),
         Some(name) => rpq_relalg::KernelMode::from_name(name).ok_or_else(|| {
             RpqError::invalid(format!(
-                "invalid --kernel {name:?}: valid kernels are auto, bits, pairs"
+                "invalid --kernel {name:?}: valid kernels are auto, bits, pairs, scc"
             ))
         })?,
     };
@@ -306,6 +307,13 @@ fn cmd_query(args: &[String]) -> Result<String, RpqError> {
     )
     .expect("write to string");
 
+    // Which closure algorithm(s) actually ran (kernel mode is intent;
+    // this is fact) — printed only when the plan closed something.
+    let closure_note = |out: &mut String, closures: rpq_relalg::ClosureCounts| {
+        if closures.total() > 0 {
+            writeln!(out, "closures: {}", closures.summary()).expect("write to string");
+        }
+    };
     let resolve = |name: &str| -> Result<rpq_labeling::NodeId, RpqError> {
         run.node_by_name(session.spec(), name)
             .ok_or_else(|| RpqError::invalid(format!("no node named {name:?} in the run")))
@@ -320,6 +328,7 @@ fn cmd_query(args: &[String]) -> Result<String, RpqError> {
                 outcome.as_bool().expect("pairwise")
             )
             .expect("write to string");
+            closure_note(&mut out, outcome.meta.closures);
         }
         (from, to) => {
             let request = match (from, to) {
@@ -347,6 +356,7 @@ fn cmd_query(args: &[String]) -> Result<String, RpqError> {
                 writeln!(out, "  … {} more (raise --limit)", result.len() - limit)
                     .expect("write to string");
             }
+            closure_note(&mut out, outcome.meta.closures);
         }
     }
     Ok(out)
@@ -668,7 +678,8 @@ fn cmd_request(args: &[String]) -> Result<String, RpqError> {
                 "server {addr}: {} run(s) stored\n\
                  service: {} connection(s), {} request(s), {} overloaded, {} error(s)\n\
                  session: plan {}h/{}m, index {}h/{}m, csr {}h/{}m, {} eviction(s)\n\
-                 store:   tag reloads {}, csr reloads {}, tag rebuilds {}, csr rebuilds {}\n",
+                 store:   tag reloads {}, csr reloads {}, tag rebuilds {}, csr rebuilds {}\n\
+                 closures: pairs {}, bits {}, scc {}\n",
                 s.store_runs,
                 s.accepted,
                 s.requests,
@@ -685,6 +696,9 @@ fn cmd_request(args: &[String]) -> Result<String, RpqError> {
                 s.csr_reloads,
                 s.tag_rebuilds,
                 s.csr_rebuilds,
+                s.closures_pairs,
+                s.closures_bits,
+                s.closures_scc,
             ))
         }
         "query" => {
@@ -772,6 +786,14 @@ fn cmd_request_query(
         outcome.micros
     )
     .expect("write to string");
+    if outcome.closure_pairs + outcome.closure_bits + outcome.closure_scc > 0 {
+        writeln!(
+            out,
+            "closures: pairs:{} bits:{} scc:{}",
+            outcome.closure_pairs, outcome.closure_bits, outcome.closure_scc
+        )
+        .expect("write to string");
+    }
     match &outcome.result {
         WireResult::Bool(hit) => writeln!(out, "verdict: {hit}").expect("write to string"),
         WireResult::Pairs(pairs) => {
@@ -893,13 +915,28 @@ mod tests {
     #[test]
     fn kernels_are_selectable_and_agree() {
         let mut outputs = Vec::new();
-        for kernel in ["bits", "pairs", "auto"] {
+        for kernel in ["bits", "pairs", "scc", "auto"] {
             let out = run(&[
                 "query", "fig2", "_* a _*", "--edges", "80", "--seed", "3", "--policy", "naive",
                 "--kernel", kernel,
             ])
             .unwrap();
             assert!(out.contains(&format!("kernel: {kernel}")), "{out}");
+            // The naive plan closes over `_*`, so the executed closure
+            // algorithm surfaces; under a forced mode it matches the
+            // forced kernel.
+            let closures = out
+                .lines()
+                .find(|l| l.starts_with("closures:"))
+                .expect("closures line")
+                .to_owned();
+            if let "bits" | "pairs" | "scc" = kernel {
+                // The forced algorithm ran (nonzero) and no other did.
+                for other in ["pairs", "bits", "scc"] {
+                    let ran_none = closures.contains(&format!("{other}:0"));
+                    assert_eq!(ran_none, other != kernel, "{kernel}: {closures}");
+                }
+            }
             let matches = out
                 .lines()
                 .find(|l| l.starts_with("matches:"))
@@ -907,12 +944,15 @@ mod tests {
                 .to_owned();
             outputs.push(matches);
         }
-        // Both kernels (and the dispatcher) answer identically.
-        assert_eq!(outputs[0], outputs[1]);
-        assert_eq!(outputs[0], outputs[2]);
+        // Every kernel (and the dispatcher) answers identically.
+        assert!(outputs.iter().all(|o| o == &outputs[0]), "{outputs:?}");
 
         let err = run(&["query", "fig2", "_*", "--kernel", "quantum"]).unwrap_err();
-        assert!(err.to_string().contains("bits"), "{err}");
+        let message = err.to_string();
+        assert!(
+            message.contains("bits") && message.contains("scc"),
+            "{message}"
+        );
     }
 
     #[test]

@@ -88,6 +88,19 @@ fn main() {
             Err(e) => eprintln!("cannot write {path}: {e}"),
         }
     }
+    if want("ingest") {
+        // The live-ingestion layer: delta index maintenance vs a full
+        // rebuild on every append, at the store and at the closure
+        // kernel underneath.
+        let path = "BENCH_ingest.json";
+        match rpq_bench::ingestbench::run_and_record(scale == Scale::Full, path) {
+            Ok(table) => {
+                println!("{}", table.render());
+                println!("baseline written to {path}\n");
+            }
+            Err(e) => eprintln!("cannot write {path}: {e}"),
+        }
+    }
     if want("serve") {
         // The network layer: open- and closed-loop load over loopback
         // against `rpq-serve`, swept across worker counts.

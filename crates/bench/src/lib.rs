@@ -19,6 +19,7 @@
 pub mod batchbench;
 pub mod datasets;
 pub mod experiments;
+pub mod ingestbench;
 pub mod kernelbench;
 pub mod servebench;
 pub mod timing;

@@ -263,6 +263,10 @@ impl<V: Clone> LruMap<V> {
         self.entries.clear();
     }
 
+    fn remove(&mut self, key: &RunKey) -> bool {
+        self.entries.remove(key).is_some()
+    }
+
     fn contains(&self, key: &RunKey) -> bool {
         self.entries.contains_key(key)
     }
@@ -636,6 +640,20 @@ impl Session {
         self.csrs.lock().expect("csr cache lock").clear();
     }
 
+    /// Evict the cached artifacts of one run — fingerprint-level
+    /// invalidation for live ingestion: when a stored run grows, its
+    /// *old* fingerprint's entries are stale (the grown run keys
+    /// differently, so they would never be overwritten, only orphaned).
+    /// Pass the pre-growth run; returns whether anything was cached.
+    /// Pair with [`Session::seed_run_cache`] on the grown run to swap
+    /// the entries instead of merely dropping them.
+    pub fn invalidate_run(&self, run: &Run) -> bool {
+        let key = run_key(run);
+        let index_dropped = self.indexes.lock().expect("index cache lock").remove(&key);
+        let csr_dropped = self.csrs.lock().expect("csr cache lock").remove(&key);
+        index_dropped || csr_dropped
+    }
+
     /// Answer `request` for `query` over `run`.
     ///
     /// Safe plans never touch the tag index; composite plans fetch it
@@ -982,6 +1000,42 @@ mod tests {
             assert_eq!(v, exit);
             assert!(session.pairwise(&q, &run, u, v));
         }
+    }
+
+    #[test]
+    fn invalidate_run_evicts_only_that_run() {
+        let session = Session::from_spec(spec());
+        let run_a = RunBuilder::new(session.spec())
+            .seed(8)
+            .target_edges(40)
+            .build()
+            .unwrap();
+        let run_b = RunBuilder::new(session.spec())
+            .seed(9)
+            .target_edges(60)
+            .build()
+            .unwrap();
+        let q = session.prepare("go").unwrap();
+        let all_a: Vec<NodeId> = run_a.node_ids().collect();
+        let all_b: Vec<NodeId> = run_b.node_ids().collect();
+        session.evaluate(&q, &run_a, &QueryRequest::all_pairs(all_a.clone(), all_a));
+        session.evaluate(
+            &q,
+            &run_b,
+            &QueryRequest::all_pairs(all_b.clone(), all_b.clone()),
+        );
+        assert!(session.run_is_cached(&run_a));
+        assert!(session.run_is_cached(&run_b));
+
+        assert!(session.invalidate_run(&run_a));
+        assert!(!session.run_is_cached(&run_a));
+        assert!(session.run_is_cached(&run_b));
+        // Nothing left to drop for the same run.
+        assert!(!session.invalidate_run(&run_a));
+        // The survivor still answers from cache.
+        let misses = session.stats().index_misses;
+        session.evaluate(&q, &run_b, &QueryRequest::all_pairs(all_b.clone(), all_b));
+        assert_eq!(session.stats().index_misses, misses);
     }
 
     #[test]

@@ -38,5 +38,5 @@ pub use derive::{
 pub use label::{Label, LabelEntry};
 pub use list_tree::{ListTree, ListTreeNode};
 pub use parse_tree::ParseTree;
-pub use run::{NodeId, Run, RunEdge, RunNode};
+pub use run::{EventBatch, NodeId, Run, RunEdge, RunNode};
 pub use stats::RunStats;

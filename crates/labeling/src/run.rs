@@ -47,6 +47,26 @@ pub struct RunEdge {
     pub tag: Tag,
 }
 
+/// One batch of appended provenance events for a run open in streaming
+/// mode: `nodes` are appended densely after the run's existing nodes
+/// (the first one receives the next free [`NodeId`]), `edges` may
+/// connect any mix of old and new nodes. Applied via
+/// [`Run::apply_events`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventBatch {
+    /// Newly executed atomic modules, in id order.
+    pub nodes: Vec<RunNode>,
+    /// Newly observed data edges.
+    pub edges: Vec<RunEdge>,
+}
+
+impl EventBatch {
+    /// Does the batch carry no events at all?
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty() && self.edges.is_empty()
+    }
+}
+
 /// A fully derived, labeled run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Run {
@@ -95,6 +115,67 @@ impl Run {
             exit,
             fingerprint: std::sync::OnceLock::new(),
         }
+    }
+
+    /// Assemble a run from explicit nodes and edges under *relaxed*
+    /// entry/exit rules: the entry is the first node without incoming
+    /// edges and the exit the last node without outgoing ones, with no
+    /// uniqueness requirement. Derivation ([`crate::RunBuilder`])
+    /// guarantees a unique source and sink, but the id-prefix states a
+    /// *streaming* run passes through between event batches generally
+    /// have several of each — they are valid provenance graphs whose
+    /// derivation simply has not finished. Errors when `nodes` is
+    /// empty, an edge endpoint is out of range, or no source/sink
+    /// exists (the graph would be entered by a cycle).
+    pub fn assemble(nodes: Vec<RunNode>, edges: Vec<RunEdge>) -> Result<Run, String> {
+        if nodes.is_empty() {
+            return Err("a run needs at least one node".to_owned());
+        }
+        let n = nodes.len();
+        let mut out: Vec<Vec<(NodeId, Tag)>> = vec![Vec::new(); n];
+        let mut inc: Vec<Vec<(NodeId, Tag)>> = vec![Vec::new(); n];
+        for e in &edges {
+            if e.src.index() >= n || e.dst.index() >= n {
+                return Err(format!(
+                    "edge {} -> {} references a node outside the {n}-node run",
+                    e.src.0, e.dst.0
+                ));
+            }
+            out[e.src.index()].push((e.dst, e.tag));
+            inc[e.dst.index()].push((e.src, e.tag));
+        }
+        let entry = inc
+            .iter()
+            .position(|v| v.is_empty())
+            .map(|i| NodeId(i as u32))
+            .ok_or("run has no source node (every node has an incoming edge)")?;
+        let exit = out
+            .iter()
+            .rposition(|v| v.is_empty())
+            .map(|i| NodeId(i as u32))
+            .ok_or("run has no sink node (every node has an outgoing edge)")?;
+        Ok(Run {
+            nodes,
+            edges,
+            out,
+            inc,
+            entry,
+            exit,
+            fingerprint: std::sync::OnceLock::new(),
+        })
+    }
+
+    /// The run grown by one [`EventBatch`]: batch nodes take the next
+    /// free ids in order, batch edges land after the existing ones.
+    /// The result is re-assembled from scratch (adjacency, entry/exit,
+    /// fingerprint), so it is indistinguishable from a run whose full
+    /// node/edge lists arrived at once in the same order.
+    pub fn apply_events(&self, batch: &EventBatch) -> Result<Run, String> {
+        let mut nodes = self.nodes.clone();
+        nodes.extend(batch.nodes.iter().cloned());
+        let mut edges = self.edges.clone();
+        edges.extend(batch.edges.iter().copied());
+        Run::assemble(nodes, edges)
     }
 
     /// A 128-bit structural fingerprint over size, entry/exit and every

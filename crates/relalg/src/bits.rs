@@ -247,6 +247,137 @@ impl BitRelation {
         seen
     }
 
+    /// Relayout into a larger universe: same pairs, `n_nodes` rows of
+    /// `⌈n_nodes/64⌉` words. Streaming appends grow the node universe,
+    /// which changes the blocked-row stride — a plain word copy would
+    /// misalign every row past the first.
+    pub fn grow(&self, n_nodes: usize) -> BitRelation {
+        assert!(
+            n_nodes >= self.n_nodes,
+            "grow cannot shrink the universe ({} -> {n_nodes})",
+            self.n_nodes
+        );
+        let mut out = BitRelation::new(n_nodes);
+        let old_wpr = self.words_per_row;
+        for u in 0..self.n_nodes {
+            let src = self.row_index(u);
+            let dst = u * out.words_per_row;
+            out.words[dst..dst + old_wpr].copy_from_slice(&self.words[src..src + old_wpr]);
+        }
+        out
+    }
+
+    /// Extend a finished transitive closure by a batch of new edges
+    /// without refixpointing the whole graph: `self` is the closure of
+    /// some edge set `E`, `base` is the grown base `E ∪ Δ`, and `delta`
+    /// holds the new edges `Δ` (all three over the same universe —
+    /// [`BitRelation::grow`] first when nodes were added).
+    ///
+    /// The old closure does double duty. Seeding: a new edge `(u, v)`
+    /// can only create pairs `(x, y)` with `x ∈ {u} ∪ pred(u)` (read
+    /// off column `u` of the old closure) and `y ∈ {v} ∪ succ(v)` (row
+    /// `v`), so exactly those rows enter the delta worklist, pre-loaded
+    /// with the whole old reach of `v` in one OR. Propagation: the
+    /// semi-naive rounds step through `base[w] | closure_old[w]`, so a
+    /// round traverses an arbitrarily long stretch of *old* edges at
+    /// once and the round count is bounded by the number of Δ-edges on
+    /// a path, not the graph diameter. Rows never seeded or reached
+    /// stay untouched — the "delta rounds instead of a full refixpoint"
+    /// the streaming store relies on.
+    pub fn extend_closure(&self, base: &BitRelation, delta: &NodePairSet) -> BitRelation {
+        let n = base.n_nodes;
+        let wpr = base.words_per_row;
+        assert_eq!(self.n_nodes, n, "closure and base universes differ");
+        let mut seen = self.clone();
+        let mut dl = BitRelation::new(n);
+        let mut on_worklist = vec![false; n];
+        let mut active: Vec<usize> = Vec::new();
+
+        // Seed one step row per distinct Δ source: the union of {v} and
+        // the old closure rows of every new target v of u.
+        let mut step = vec![0u64; wpr];
+        let dpairs = delta.as_slice();
+        let mut i = 0;
+        while i < dpairs.len() {
+            let u = dpairs[i].0;
+            step.fill(0);
+            while i < dpairs.len() && dpairs[i].0 == u {
+                let v = dpairs[i].1.index();
+                step[v >> 6] |= 1 << (v & 63);
+                for (s, &w) in step.iter_mut().zip(self.row(v)) {
+                    *s |= w;
+                }
+                i += 1;
+            }
+            // Affected sources: u itself plus everything that already
+            // reached u (column u of the old closure).
+            let u_block = u.index() >> 6;
+            let u_bit = 1u64 << (u.index() & 63);
+            for (x, on_wl) in on_worklist.iter_mut().enumerate() {
+                let reaches_u = x == u.index() || self.words[x * wpr + u_block] & u_bit != 0;
+                if !reaches_u {
+                    continue;
+                }
+                let s_start = x * wpr;
+                let mut grew = false;
+                for (k, &sw) in step.iter().enumerate() {
+                    let new = sw & !seen.words[s_start + k];
+                    seen.words[s_start + k] |= new;
+                    dl.words[s_start + k] |= new;
+                    grew |= new != 0;
+                }
+                if grew && !*on_wl {
+                    *on_wl = true;
+                    active.push(x);
+                }
+            }
+        }
+
+        // Semi-naive rounds over the accelerated step relation
+        // `base[w] | closure_old[w]`: any pair it adds is a real path in
+        // `E ∪ Δ` (old-closure rows are Δ-free path bundles), and any
+        // new pair (x, y) is found — induction on the number of Δ-edges
+        // along a witnessing path: the prefix up to the first Δ-edge
+        // (u, v) puts x in the seeded set with v's old reach, and each
+        // later Δ-edge is crossed by one further round, the old-edge
+        // stretches between them collapsing into single closure-row ORs.
+        let mut next = vec![0u64; wpr];
+        while !active.is_empty() {
+            let mut still_active = Vec::with_capacity(active.len());
+            for &u in &active {
+                on_worklist[u] = false;
+                let d_start = u * wpr;
+                next.fill(0);
+                for block in 0..wpr {
+                    let mut bits = dl.words[d_start + block];
+                    while bits != 0 {
+                        let w = (block << 6) + bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        let b_start = w * wpr;
+                        let base_row = &base.words[b_start..b_start + wpr];
+                        let old_row = &self.words[b_start..b_start + wpr];
+                        for (nx, (&bw, &cw)) in next.iter_mut().zip(base_row.iter().zip(old_row)) {
+                            *nx |= bw | cw;
+                        }
+                    }
+                }
+                let s_start = u * wpr;
+                let mut row_grew = false;
+                for (k, &nx) in next.iter().enumerate() {
+                    let new = nx & !seen.words[s_start + k];
+                    seen.words[s_start + k] |= new;
+                    dl.words[d_start + k] = new;
+                    row_grew |= new != 0;
+                }
+                if row_grew {
+                    still_active.push(u);
+                }
+            }
+            active = still_active;
+        }
+        seen
+    }
+
     /// Restrict to `sources × targets` without materializing the
     /// unselected pairs: the target list becomes one blocked mask that
     /// is ANDed into each selected source row as it is scanned, so a
@@ -389,5 +520,59 @@ mod tests {
         let bits = BitRelation::new(64);
         assert!(bits.transitive_closure().is_empty());
         assert!(bits.to_pairs().is_empty());
+    }
+
+    #[test]
+    fn grow_preserves_pairs_across_the_stride_change() {
+        // 60 -> 130 nodes crosses a words-per-row boundary (1 -> 3).
+        let p = pairs(&[(0, 1), (2, 59), (59, 0)]);
+        let bits = BitRelation::from_pairs(&p, 60);
+        let grown = bits.grow(130);
+        assert_eq!(grown.n_nodes(), 130);
+        assert_eq!(grown.to_pairs(), p);
+        assert_eq!(bits.grow(60).to_pairs(), p);
+    }
+
+    #[test]
+    fn extend_closure_matches_refixpoint_on_chains_and_cycles() {
+        // Base chain 0→1→2→3, closed; append 3→4 (new node) and 4→0
+        // (creates a cycle through the whole chain).
+        let base_old = pairs(&[(0, 1), (1, 2), (2, 3)]);
+        let closure_old = BitRelation::from_pairs(&base_old, 4).transitive_closure();
+        let delta = pairs(&[(3, 4), (4, 0)]);
+        let base_new = BitRelation::from_pairs(&base_old.union(&delta), 5);
+        let extended = closure_old.grow(5).extend_closure(&base_new, &delta);
+        assert_eq!(
+            extended.to_pairs(),
+            base_new.transitive_closure().to_pairs()
+        );
+        // The cycle makes every pair reachable, including self-loops.
+        assert!(extended.contains(n(2), n(2)));
+        assert_eq!(extended.len(), 25);
+    }
+
+    #[test]
+    fn extend_closure_with_empty_delta_is_identity() {
+        let base = pairs(&[(0, 1), (1, 70), (70, 2)]);
+        let bits = BitRelation::from_pairs(&base, 80);
+        let closure = bits.transitive_closure();
+        let extended = closure.extend_closure(&bits, &NodePairSet::new());
+        assert_eq!(extended, closure);
+    }
+
+    #[test]
+    fn extend_closure_chains_multiple_new_edges_in_one_batch() {
+        // Two disjoint old chains bridged by two Δ edges in one batch:
+        // completeness needs a propagation round per Δ edge on the path.
+        let base_old = pairs(&[(0, 1), (1, 2), (10, 11), (11, 12)]);
+        let closure_old = BitRelation::from_pairs(&base_old, 20).transitive_closure();
+        let delta = pairs(&[(2, 10), (12, 15)]);
+        let base_new = BitRelation::from_pairs(&base_old.union(&delta), 20);
+        let extended = closure_old.extend_closure(&base_new, &delta);
+        assert_eq!(
+            extended.to_pairs(),
+            base_new.transitive_closure().to_pairs()
+        );
+        assert!(extended.contains(n(0), n(15)));
     }
 }

@@ -137,6 +137,21 @@ impl CsrRelation {
             && self.targets.len() == self.rev_targets.len()
     }
 
+    /// Grow the universe to `n_nodes` without touching the pairs: the
+    /// new trailing nodes have no edges, so both offset arrays extend
+    /// by repeating their final cumulative count — exactly what
+    /// [`CsrRelation::from_pairs`] would build for the same pair set
+    /// over the larger universe, so incrementally grown arenas stay
+    /// byte-identical to rebuilt ones.
+    pub(crate) fn pad_to(&mut self, n_nodes: usize) {
+        debug_assert!(n_nodes >= self.n_nodes());
+        let last = *self.offsets.last().expect("offsets are never empty");
+        self.offsets.resize(n_nodes + 1, last);
+        let rev_last = *self.rev_offsets.last().expect("offsets are never empty");
+        self.rev_offsets.resize(n_nodes + 1, rev_last);
+        self.n_nodes = n_nodes as u32;
+    }
+
     /// Materialize back into the boundary pair-set type (sorted by
     /// construction).
     pub fn to_pairs(&self) -> NodePairSet {
@@ -215,6 +230,30 @@ impl CsrIndex {
                 .map(|t| CsrRelation::from_pairs(index.edges(Tag(t as u32)), n_nodes))
                 .collect(),
             all: CsrRelation::from_pairs(index.all_edges(), n_nodes),
+        }
+    }
+
+    /// Refresh the arena after its [`TagIndex`] absorbed an append:
+    /// `touched` tags (as reported by `TagIndex::extend`) are rebuilt
+    /// from their merged pair lists — a counting pass over that tag's
+    /// edges only — while untouched tags merely pad their offset arrays
+    /// to the grown universe. The wildcard relation is rebuilt whenever
+    /// anything changed. Equal to `CsrIndex::build(index)` by
+    /// construction (both are pure functions of the pair sets).
+    pub fn extend(&mut self, index: &TagIndex, touched: &[Tag]) {
+        let n_nodes = index.n_nodes();
+        if n_nodes != self.n_nodes {
+            for rel in self.per_tag.iter_mut() {
+                rel.pad_to(n_nodes);
+            }
+            self.all.pad_to(n_nodes);
+            self.n_nodes = n_nodes;
+        }
+        for &t in touched {
+            self.per_tag[t.index()] = CsrRelation::from_pairs(index.edges(t), n_nodes);
+        }
+        if !touched.is_empty() {
+            self.all = CsrRelation::from_pairs(index.all_edges(), n_nodes);
         }
     }
 
@@ -310,6 +349,20 @@ mod tests {
         let mut bad = csr.clone();
         bad.offsets[2] = 7;
         assert!(!bad.is_well_formed());
+    }
+
+    #[test]
+    fn pad_to_matches_from_pairs_over_the_larger_universe() {
+        let p = pairs(&[(0, 3), (3, 1), (2, 2)]);
+        let mut padded = CsrRelation::from_pairs(&p, 4);
+        padded.pad_to(9);
+        assert_eq!(padded, CsrRelation::from_pairs(&p, 9));
+        assert!(padded.is_well_formed());
+        assert!(padded.neighbors_raw(8).is_empty());
+        // Padding to the current size is a no-op.
+        let mut same = CsrRelation::from_pairs(&p, 4);
+        same.pad_to(4);
+        assert_eq!(same, CsrRelation::from_pairs(&p, 4));
     }
 
     #[test]

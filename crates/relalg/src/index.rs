@@ -44,6 +44,40 @@ impl TagIndex {
         }
     }
 
+    /// Merge a batch of appended edges into the index in place,
+    /// growing the universe to `n_nodes`. Each touched tag's pair set
+    /// (and the wildcard set) is extended by a sorted linear merge, so
+    /// the result is *identical* to rebuilding from the grown run —
+    /// both are pure functions of the pair sets — at the cost of the
+    /// batch plus the touched tags, not the whole run. Returns the tags
+    /// whose pair sets actually changed (the ones whose CSR mirrors
+    /// must be refreshed); duplicate edges change nothing and report
+    /// nothing.
+    pub fn extend(&mut self, edges: &[(Tag, NodeId, NodeId)], n_nodes: usize) -> Vec<Tag> {
+        assert!(n_nodes >= self.n_nodes, "a run can only grow");
+        let mut by_tag: Vec<Vec<(NodeId, NodeId)>> = vec![Vec::new(); self.per_tag.len()];
+        let mut all_new: Vec<(NodeId, NodeId)> = Vec::with_capacity(edges.len());
+        for &(t, u, v) in edges {
+            debug_assert!(u.index() < n_nodes && v.index() < n_nodes);
+            by_tag[t.index()].push((u, v));
+            all_new.push((u, v));
+        }
+        let mut touched = Vec::new();
+        for (t, new_pairs) in by_tag.into_iter().enumerate() {
+            if new_pairs.is_empty() {
+                continue;
+            }
+            let merged = self.per_tag[t].union(&NodePairSet::from_pairs(new_pairs));
+            if merged.len() != self.per_tag[t].len() {
+                touched.push(Tag(t as u32));
+            }
+            self.per_tag[t] = merged;
+        }
+        self.all = self.all.union(&NodePairSet::from_pairs(all_new));
+        self.n_nodes = n_nodes;
+        touched
+    }
+
     /// Edges tagged `tag`.
     pub fn edges(&self, tag: Tag) -> &NodePairSet {
         &self.per_tag[tag.index()]
@@ -184,6 +218,66 @@ mod tests {
         assert_eq!(back, idx);
         assert!(back.is_well_formed(spec.n_tags()));
         assert!(!back.is_well_formed(spec.n_tags() + 1));
+    }
+
+    #[test]
+    fn extend_merges_new_edges_and_reports_touched_tags() {
+        let mut b = SpecificationBuilder::new();
+        b.atomic("t");
+        b.composite("S");
+        b.production("S", |w| {
+            let x = w.node("t");
+            let s = w.node("S");
+            let y = w.node("t");
+            w.edge_named(x, s, "fwd");
+            w.edge_named(s, y, "bwd");
+        });
+        b.production("S", |w| {
+            let x = w.node("t");
+            let y = w.node("t");
+            w.edge_named(x, y, "base");
+        });
+        b.start("S");
+        let spec = b.build().unwrap();
+        let run = RunBuilder::new(&spec)
+            .seed(4)
+            .target_edges(40)
+            .build()
+            .unwrap();
+        let mut idx = TagIndex::build(&run, spec.n_tags());
+        let before = idx.clone();
+        let fwd = spec.tag_by_name("fwd").unwrap();
+        let base = spec.tag_by_name("base").unwrap();
+        let n = run.n_nodes();
+
+        // Two genuinely new edges (one to a brand-new node) plus a
+        // duplicate of an existing pair.
+        let existing = idx.edges(fwd).iter().next().unwrap();
+        let new_edges = vec![
+            (fwd, NodeId(0), NodeId(n as u32)),
+            (base, NodeId(n as u32), NodeId(0)),
+            (fwd, existing.0, existing.1),
+        ];
+        let touched = idx.extend(&new_edges, n + 1);
+        assert_eq!(touched, vec![fwd, base]);
+        assert_eq!(idx.n_nodes(), n + 1);
+        assert_eq!(idx.edges(fwd).len(), before.edges(fwd).len() + 1);
+        assert!(idx.edges(fwd).contains(NodeId(0), NodeId(n as u32)));
+        assert!(idx.edges(base).contains(NodeId(n as u32), NodeId(0)));
+        assert_eq!(idx.all_edges().len(), before.all_edges().len() + 2);
+        assert!(idx.is_well_formed(spec.n_tags()));
+
+        // The CSR mirror refreshed via extend() equals a full rebuild.
+        let mut csr = crate::csr::CsrIndex::build(&before);
+        csr.extend(&idx, &touched);
+        assert_eq!(csr, crate::csr::CsrIndex::build(&idx));
+        assert!(csr.is_well_formed(spec.n_tags()));
+
+        // Re-applying only duplicates touches nothing and changes
+        // nothing.
+        let snapshot = idx.clone();
+        assert!(idx.extend(&new_edges[2..], n + 1).is_empty());
+        assert_eq!(idx, snapshot);
     }
 
     #[test]

@@ -148,6 +148,23 @@ proptest! {
         prop_assert_eq!(&r.to_bits(90).select_pairs(&l1, &l2), &referee);
     }
 
+    // Incremental closure maintenance (the live-ingestion delta path):
+    // growing an old closure to a larger universe and extending it with
+    // a random batch of new edges must be byte-identical to refixpointing
+    // the union from scratch — including when the delta bridges
+    // previously separate components or creates new cycles.
+    #[test]
+    fn extend_closure_matches_full_refixpoint(
+        base in relation(70, 90),
+        delta in relation(96, 40),
+    ) {
+        let old = BitRelation::from_pairs(&base, 70).transitive_closure();
+        let merged = base.union(&delta);
+        let merged_bits = BitRelation::from_pairs(&merged, 96);
+        let maintained = old.grow(96).extend_closure(&merged_bits, &delta);
+        prop_assert_eq!(&maintained, &merged_bits.transitive_closure());
+    }
+
     #[test]
     fn csr_and_bits_round_trip(r in relation(100, 150)) {
         prop_assert_eq!(&CsrRelation::from_pairs(&r, 100).to_pairs(), &r);

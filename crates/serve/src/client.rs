@@ -6,9 +6,11 @@
 //! concurrent stream of work; they are cheap).
 
 use crate::protocol::{
-    self, QuerySpec, WireOutcome, WireRequest, WireResponse, WireRunInfo, WireStatsReply,
+    self, QuerySpec, RunAddr, WireAppended, WireOutcome, WireRequest, WireResponse, WireResult,
+    WireRunInfo, WireStatsReply,
 };
 use rpq_core::RpqError;
+use rpq_labeling::EventBatch;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
@@ -94,6 +96,83 @@ impl ServeClient {
             WireResponse::ShuttingDown => Ok(()),
             other => Err(unexpected(other)),
         }
+    }
+
+    /// Append a batch of events to an open run.
+    pub fn append(&mut self, run: RunAddr, batch: EventBatch) -> Result<WireAppended, RpqError> {
+        match self.request(&WireRequest::Append { run, batch })? {
+            WireResponse::Appended(receipt) => Ok(receipt),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Stand a query up over an open run. Returns the growth sequence
+    /// the baseline was evaluated at and the current full answer; the
+    /// connection is now in push mode — drain it with
+    /// [`ServeClient::next_delta`] and leave it with
+    /// [`ServeClient::unsubscribe`].
+    pub fn subscribe(&mut self, spec: QuerySpec) -> Result<(u64, WireResult), RpqError> {
+        match self.request(&WireRequest::Subscribe(spec))? {
+            WireResponse::Subscribed { seq, initial } => Ok((seq, initial)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Wait up to `timeout` for the next pushed delta. `Ok(None)`
+    /// means the window passed quietly — the subscription is still
+    /// standing, call again.
+    pub fn next_delta(&mut self, timeout: Duration) -> Result<Option<(u64, WireResult)>, RpqError> {
+        self.stream
+            .set_read_timeout(Some(timeout))
+            .map_err(|e| RpqError::io("cannot set the read timeout", e))?;
+        let read = self.read_push();
+        let _ = self.stream.set_read_timeout(None);
+        match read? {
+            Some(WireResponse::Delta { seq, added }) => Ok(Some((seq, added))),
+            Some(other) => Err(unexpected(other)),
+            None => Ok(None),
+        }
+    }
+
+    /// Leave push mode: send `Unsubscribe`, then drain any deltas that
+    /// were already in flight until the server's `Unsubscribed`
+    /// acknowledgement arrives. The connection is back in
+    /// request/response mode afterwards.
+    pub fn unsubscribe(&mut self) -> Result<(), RpqError> {
+        protocol::write_message(&mut self.stream, &WireRequest::Unsubscribe)?;
+        loop {
+            match protocol::read_message(&mut self.stream)?.ok_or_else(|| {
+                RpqError::invalid("server closed the connection before responding".to_owned())
+            })? {
+                WireResponse::Unsubscribed => return Ok(()),
+                WireResponse::Delta { .. } => {}
+                other => return Err(unexpected(other)),
+            }
+        }
+    }
+
+    /// One timeout-tolerant push read: `Ok(None)` when the read window
+    /// passed with no frame started. Peeks before reading, so a quiet
+    /// window consumes nothing and cannot desync the framing.
+    fn read_push(&mut self) -> Result<Option<WireResponse>, RpqError> {
+        let mut probe = [0u8; 1];
+        match self.stream.peek(&mut probe) {
+            Ok(0) => {
+                return Err(RpqError::invalid(
+                    "server closed the connection mid-subscription".to_owned(),
+                ))
+            }
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut
+                    || e.kind() == std::io::ErrorKind::Interrupted =>
+            {
+                return Ok(None)
+            }
+            Err(e) => return Err(RpqError::io("cannot read pushed frame", e)),
+        }
+        protocol::read_message(&mut self.stream)
     }
 }
 

@@ -21,7 +21,11 @@
 //!   batch executor) with admission control: bounded waiting queue,
 //!   configurable max in-flight, graceful [`Overloaded`] refusals, a
 //!   stats verb snapshotting session/store/service counters, and clean
-//!   SIGTERM/ctrl-c shutdown;
+//!   SIGTERM/ctrl-c shutdown — plus the protocol-v3 live verbs:
+//!   `Append` grows an open run (the store maintains its indexes
+//!   incrementally, the session refreshes at fingerprint granularity)
+//!   and `Subscribe` stands a query up over it, pushing only *newly
+//!   derived* answers as appends land;
 //! * [`client`] — [`ServeClient`], the blocking library client the
 //!   CLI's `rpq request` verb and the `servebench` load generator are
 //!   built on.
@@ -75,7 +79,7 @@ pub mod signals;
 
 pub use client::ServeClient;
 pub use protocol::{
-    QuerySpec, RunAddr, WireMode, WireOutcome, WireRequest, WireResponse, WireResult, WireRunInfo,
-    WireStatsReply,
+    QuerySpec, RunAddr, WireAppended, WireMode, WireOutcome, WireRequest, WireResponse, WireResult,
+    WireRunInfo, WireStatsReply,
 };
 pub use server::{ServeConfig, ServeReport, Server, ShutdownHandle};

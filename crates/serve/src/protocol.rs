@@ -23,7 +23,7 @@
 //! addressing is still offered for load generators sweeping a corpus.)
 
 use rpq_core::{IndexCacheUse, PlanKind, QueryOutcome, QueryRequest, QueryResult, RpqError};
-use rpq_labeling::{NodeId, Run};
+use rpq_labeling::{EventBatch, NodeId, Run};
 use serde::{Deserialize, Serialize};
 use std::io::{Read, Write};
 
@@ -32,8 +32,11 @@ pub const MAGIC: [u8; 4] = *b"RPQN";
 
 /// Protocol version; bumped on any wire-incompatible change.
 /// (v2 added the closure-algorithm counters to [`WireOutcome`] and
-/// [`WireStatsReply`].)
-pub const VERSION: u8 = 2;
+/// [`WireStatsReply`]; v3 added the live-ingestion verbs —
+/// [`WireRequest::Append`], [`WireRequest::Subscribe`],
+/// [`WireRequest::Unsubscribe`] — and the store epoch / append
+/// counters in [`WireStatsReply`].)
+pub const VERSION: u8 = 3;
 
 /// Hard cap on one frame's payload (64 MiB) — bounds the allocation a
 /// length prefix can demand before a single payload byte is read.
@@ -132,6 +135,27 @@ pub enum WireRequest {
     Ping,
     /// Ask the server to stop accepting and drain.
     Shutdown,
+    /// Append a batch of new nodes/edges to an open run. The store
+    /// maintains the run's persisted indexes incrementally and the
+    /// server refreshes its session caches; the reply is
+    /// [`WireResponse::Appended`].
+    Append {
+        /// Which stored run to grow.
+        run: RunAddr,
+        /// The events to apply.
+        batch: EventBatch,
+    },
+    /// Stand a query up over an open run: the server replies
+    /// [`WireResponse::Subscribed`] with the current answer, then
+    /// pushes a [`WireResponse::Delta`] with *newly derived* answers
+    /// each time an append lands. The connection stays in push mode
+    /// until [`WireRequest::Unsubscribe`], disconnect, or server
+    /// shutdown.
+    Subscribe(QuerySpec),
+    /// Leave push mode; the server replies
+    /// [`WireResponse::Unsubscribed`] (after any in-flight deltas) and
+    /// the connection returns to request/response.
+    Unsubscribe,
 }
 
 /// A query result on the wire, mirroring [`QueryResult`].
@@ -224,6 +248,49 @@ impl WireOutcome {
     }
 }
 
+/// What an [`WireRequest::Append`] did, mirroring
+/// [`rpq_store::Appended`] with wire-flattened fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireAppended {
+    /// The open run's growth sequence number after this append.
+    pub seq: u64,
+    /// The store's catalog epoch after this append.
+    pub epoch: u64,
+    /// Nodes the batch added.
+    pub new_nodes: u64,
+    /// Edges the batch added (net of duplicates).
+    pub new_edges: u64,
+    /// `1` if the churn threshold forced a full index rebuild, `0` if
+    /// the delta maintenance path ran.
+    pub rebuilt: u64,
+    /// Total nodes after the append.
+    pub n_nodes: u64,
+    /// Total edges after the append.
+    pub n_edges: u64,
+    /// New structural fingerprint, high half — the run's stable
+    /// [`RunAddr::Fingerprint`] address changes on every append.
+    pub fp_hi: u64,
+    /// New structural fingerprint, low half.
+    pub fp_lo: u64,
+}
+
+impl WireAppended {
+    /// Package a store-level append receipt for the wire.
+    pub fn from_appended(a: &rpq_store::Appended) -> WireAppended {
+        WireAppended {
+            seq: a.seq,
+            epoch: a.epoch,
+            new_nodes: a.new_nodes as u64,
+            new_edges: a.new_edges as u64,
+            rebuilt: u64::from(a.rebuilt),
+            n_nodes: a.n_nodes as u64,
+            n_edges: a.n_edges as u64,
+            fp_hi: a.fingerprint.0,
+            fp_lo: a.fingerprint.1,
+        }
+    }
+}
+
 /// One stored run, as listed by [`WireRequest::ListRuns`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct WireRunInfo {
@@ -283,6 +350,16 @@ pub struct WireStatsReply {
     pub closures_bits: u64,
     /// Process-wide closures run by the Tarjan condensation pass.
     pub closures_scc: u64,
+    /// The store's catalog epoch — a monotonic counter bumped on every
+    /// catalog-visible mutation (ingest, append, remove, gc).
+    pub store_epoch: u64,
+    /// Append batches applied to open runs.
+    pub appends: u64,
+    /// Appends whose churn crossed the threshold and forced a full
+    /// index rebuild instead of delta maintenance.
+    pub append_rebuilds: u64,
+    /// Subscriptions the service accepted ([`WireRequest::Subscribe`]).
+    pub subscriptions: u64,
 }
 
 /// A server response.
@@ -306,6 +383,28 @@ pub enum WireResponse {
     /// The server acknowledged [`WireRequest::Shutdown`] and is
     /// draining.
     ShuttingDown,
+    /// An [`WireRequest::Append`] landed; carries the growth receipt.
+    Appended(WireAppended),
+    /// A subscription is standing; carries the open run's current
+    /// growth sequence and the query's *current* full answer (the
+    /// baseline every later [`WireResponse::Delta`] is relative to).
+    Subscribed {
+        /// Growth sequence the baseline was evaluated at.
+        seq: u64,
+        /// The current answer.
+        initial: WireResult,
+    },
+    /// Pushed to a subscriber after an append: only the answers that
+    /// are *new* since the previous push (for verdict modes, a
+    /// `Bool(true)` the first time the verdict flips to true).
+    Delta {
+        /// Growth sequence this delta was evaluated at.
+        seq: u64,
+        /// Newly derived answers only.
+        added: WireResult,
+    },
+    /// The server left push mode; request/response resumes.
+    Unsubscribed,
     /// The request failed; the connection stays usable.
     Error {
         /// Stable error class (`parse` / `plan` / `grammar` / `run` /
@@ -484,6 +583,63 @@ mod tests {
             policy: String::new(),
             run: RunAddr::Index(2),
             mode: WireMode::EntryExit,
+        }));
+    }
+
+    #[test]
+    fn streaming_verbs_round_trip() {
+        use rpq_grammar::Tag;
+        use rpq_labeling::RunEdge;
+
+        round_trip(WireRequest::Unsubscribe);
+        round_trip(WireRequest::Append {
+            run: RunAddr::Index(0),
+            batch: EventBatch::default(),
+        });
+        round_trip(WireRequest::Append {
+            run: RunAddr::Fingerprint(7, 9),
+            batch: EventBatch {
+                nodes: Vec::new(),
+                edges: vec![RunEdge {
+                    src: NodeId(0),
+                    dst: NodeId(3),
+                    tag: Tag(1),
+                }],
+            },
+        });
+        round_trip(WireRequest::Subscribe(QuerySpec {
+            query: "untrusted _* publish".to_owned(),
+            policy: String::new(),
+            run: RunAddr::Index(1),
+            mode: WireMode::EntryExit,
+        }));
+
+        round_trip(WireResponse::Appended(WireAppended {
+            seq: 3,
+            epoch: 12,
+            new_nodes: 2,
+            new_edges: 5,
+            rebuilt: 1,
+            n_nodes: 40,
+            n_edges: 95,
+            fp_hi: 0xfeed,
+            fp_lo: 0xf00d,
+        }));
+        round_trip(WireResponse::Subscribed {
+            seq: 0,
+            initial: WireResult::Pairs(vec![(0, 9)]),
+        });
+        round_trip(WireResponse::Delta {
+            seq: 4,
+            added: WireResult::Bool(true),
+        });
+        round_trip(WireResponse::Unsubscribed);
+        round_trip(WireResponse::Stats(WireStatsReply {
+            store_epoch: 8,
+            appends: 3,
+            append_rebuilds: 1,
+            subscriptions: 2,
+            ..WireStatsReply::default()
         }));
     }
 

@@ -25,12 +25,13 @@
 //! [`ServeReport`].
 
 use crate::protocol::{
-    self, error_kind, QuerySpec, RunAddr, WireOutcome, WireRequest, WireResponse, WireRunInfo,
-    WireStatsReply,
+    self, error_kind, QuerySpec, RunAddr, WireAppended, WireOutcome, WireRequest, WireResponse,
+    WireResult, WireRunInfo, WireStatsReply,
 };
-use rpq_core::{RpqError, Session, SubqueryPolicy};
-use rpq_store::RunStore;
-use std::collections::VecDeque;
+use rpq_core::{PreparedQuery, RpqError, Session, SubqueryPolicy};
+use rpq_labeling::EventBatch;
+use rpq_store::{OpenRun, RunId, RunStore};
+use std::collections::{HashMap, VecDeque};
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -52,6 +53,13 @@ pub struct ServeConfig {
     pub cache: Option<usize>,
     /// Default subquery policy for requests that don't name one.
     pub policy: SubqueryPolicy,
+    /// Idle keep-alive bound: a connection that sends no request for
+    /// this long is closed cleanly, releasing its worker. Distinct from
+    /// the 30 s mid-frame stall cutoff — that one polices a peer that
+    /// stops *inside* a frame; this one polices a peer that stops
+    /// *between* frames. Subscriptions are exempt (a quiet watcher is
+    /// the normal state).
+    pub idle_timeout: Duration,
 }
 
 impl Default for ServeConfig {
@@ -62,6 +70,7 @@ impl Default for ServeConfig {
             queue: 64,
             cache: None,
             policy: SubqueryPolicy::CostBased,
+            idle_timeout: Duration::from_secs(60),
         }
     }
 }
@@ -73,6 +82,7 @@ struct Counters {
     requests: AtomicU64,
     overloaded: AtomicU64,
     request_errors: AtomicU64,
+    subscriptions: AtomicU64,
 }
 
 /// What the server did over its lifetime, returned by [`Server::run`].
@@ -111,6 +121,24 @@ impl ShutdownHandle {
 enum ReadOutcome {
     Filled,
     Done,
+}
+
+/// How a subscription ended: back to request/response (clean
+/// `Unsubscribe`) or the connection is done (disconnect, shutdown
+/// drain, transport error).
+enum SubExit {
+    Resume,
+    Close,
+}
+
+/// One non-blocking peek at a subscribed connection's read side.
+enum SubPoll {
+    /// Nothing pending.
+    Quiet,
+    /// The peer closed.
+    Closed,
+    /// A complete request frame arrived.
+    Request(WireRequest),
 }
 
 /// The bounded waiting room between the accept loop and the workers.
@@ -171,8 +199,15 @@ pub struct Server {
     queue_cap: usize,
     cache: Option<usize>,
     policy: SubqueryPolicy,
+    idle_timeout: Duration,
     shutdown: Arc<AtomicBool>,
     counters: Arc<Counters>,
+    /// Runs held open for streaming: the store's own registry keeps
+    /// only weak handles, so the server pins each touched run's
+    /// [`OpenRun`] for its lifetime — growth sequence numbers stay
+    /// monotonic across requests, and appenders and subscribers on
+    /// different connections share one growth signal.
+    open_runs: Mutex<HashMap<RunId, Arc<OpenRun>>>,
 }
 
 impl Server {
@@ -210,8 +245,10 @@ impl Server {
             queue_cap: config.queue.max(1),
             cache: config.cache,
             policy: config.policy,
+            idle_timeout: config.idle_timeout,
             shutdown: Arc::new(AtomicBool::new(false)),
             counters: Arc::new(Counters::default()),
+            open_runs: Mutex::new(HashMap::new()),
         })
     }
 
@@ -374,6 +411,15 @@ impl Server {
                 }
             };
             self.counters.requests.fetch_add(1, Ordering::Relaxed);
+            // Subscribe flips the connection into push mode — it needs
+            // the stream itself, so it bypasses the one-shot dispatch.
+            let request = match request {
+                WireRequest::Subscribe(spec) => match self.serve_subscription(&mut stream, spec) {
+                    SubExit::Resume => continue,
+                    SubExit::Close => return,
+                },
+                other => other,
+            };
             let (response, stop) = self.handle(request);
             match protocol::write_message(&mut stream, &response) {
                 Ok(()) => {}
@@ -423,9 +469,10 @@ impl Server {
     }
 
     /// Fill `buf`, retrying read timeouts. Before any byte of the
-    /// frame has arrived (`*in_frame` false), a timeout just polls the
-    /// shutdown flag; once inside a frame, stalls past 30 s are cut
-    /// off. EOF before the first byte reports `Done`.
+    /// frame has arrived (`*in_frame` false), a timeout polls the
+    /// shutdown flag and the idle keep-alive bound; once inside a
+    /// frame, stalls past 30 s are cut off. EOF before the first byte
+    /// reports `Done`.
     fn read_patient(
         &self,
         stream: &mut TcpStream,
@@ -435,6 +482,7 @@ impl Server {
         let deadline = Duration::from_secs(30);
         let mut filled = 0;
         let mut stall_started: Option<Instant> = None;
+        let mut idle_started: Option<Instant> = None;
         while filled < buf.len() {
             match stream.read(&mut buf[filled..]) {
                 Ok(0) if !*in_frame && filled == 0 => return Ok(ReadOutcome::Done),
@@ -453,8 +501,15 @@ impl Server {
                         || e.kind() == std::io::ErrorKind::TimedOut =>
                 {
                     if !*in_frame && filled == 0 {
-                        // Idle between frames: drain on shutdown.
+                        // Idle between frames: drain on shutdown, and
+                        // close cleanly once the idle keep-alive bound
+                        // passes — an idle connection must not pin a
+                        // worker forever.
                         if self.shutdown.load(Ordering::Relaxed) {
+                            return Ok(ReadOutcome::Done);
+                        }
+                        let t0 = *idle_started.get_or_insert_with(Instant::now);
+                        if t0.elapsed() > self.idle_timeout {
                             return Ok(ReadOutcome::Done);
                         }
                         continue;
@@ -511,6 +566,32 @@ impl Server {
                     )
                 }
             },
+            WireRequest::Append { run, batch } => match self.append(&run, &batch) {
+                Ok(receipt) => (WireResponse::Appended(receipt), false),
+                Err(e) => {
+                    self.counters.request_errors.fetch_add(1, Ordering::Relaxed);
+                    (
+                        WireResponse::Error {
+                            kind: error_kind(&e).to_owned(),
+                            message: e.to_string(),
+                        },
+                        false,
+                    )
+                }
+            },
+            // Subscribe is intercepted by the connection loop; an
+            // Unsubscribe reaching plain dispatch has no subscription
+            // standing.
+            WireRequest::Subscribe(_) | WireRequest::Unsubscribe => {
+                self.counters.request_errors.fetch_add(1, Ordering::Relaxed);
+                (
+                    WireResponse::Error {
+                        kind: "invalid".to_owned(),
+                        message: "no subscription is standing on this connection".to_owned(),
+                    },
+                    false,
+                )
+            }
         }
     }
 
@@ -527,19 +608,7 @@ impl Server {
                 ))
             })?
         };
-        let id = match spec.run {
-            RunAddr::Fingerprint(hi, lo) => {
-                self.store.find_by_fingerprint(hi, lo).ok_or_else(|| {
-                    RpqError::invalid(format!("no stored run has fingerprint {hi:016x}{lo:016x}"))
-                })?
-            }
-            RunAddr::Index(i) => self.store.id_at(i as usize).ok_or_else(|| {
-                RpqError::invalid(format!(
-                    "run #{i} out of range for a {}-run store",
-                    self.store.len()
-                ))
-            })?,
-        };
+        let id = self.resolve(&spec.run)?;
         let run = self.store.run(id)?;
         let request = spec.mode.to_request(&run)?;
         let query = self.session.prepare_with(&spec.query, policy)?;
@@ -547,6 +616,236 @@ impl Server {
         let outcome = self.session.evaluate(&query, &run, &request);
         let micros = started.elapsed().as_micros() as u64;
         Ok(WireOutcome::from_outcome(&outcome, micros))
+    }
+
+    /// Open a run for streaming — or return the handle already held.
+    /// The first live verb on a run opens it; the handle then stays
+    /// pinned until the server stops.
+    fn open(&self, id: RunId) -> Result<Arc<OpenRun>, RpqError> {
+        let mut open_runs = self.open_runs.lock().expect("open-run table lock");
+        if let Some(open) = open_runs.get(&id) {
+            return Ok(Arc::clone(open));
+        }
+        let open = self.store.open_run(id)?;
+        open_runs.insert(id, Arc::clone(&open));
+        Ok(open)
+    }
+
+    /// Resolve a wire run address to a store id.
+    fn resolve(&self, addr: &RunAddr) -> Result<RunId, RpqError> {
+        match *addr {
+            RunAddr::Fingerprint(hi, lo) => {
+                self.store.find_by_fingerprint(hi, lo).ok_or_else(|| {
+                    RpqError::invalid(format!("no stored run has fingerprint {hi:016x}{lo:016x}"))
+                })
+            }
+            RunAddr::Index(i) => self.store.id_at(i as usize).ok_or_else(|| {
+                RpqError::invalid(format!(
+                    "run #{i} out of range for a {}-run store",
+                    self.store.len()
+                ))
+            }),
+        }
+    }
+
+    /// Apply an append batch to an open run, then refresh the shared
+    /// session at fingerprint granularity: the pre-growth run's cache
+    /// entries are invalidated (they are orphans — that fingerprint no
+    /// longer names a stored run) and the freshly maintained artifacts
+    /// are seeded under the grown fingerprint, so the next query over
+    /// the run hits warm instead of rebuilding.
+    fn append(&self, addr: &RunAddr, batch: &EventBatch) -> Result<WireAppended, RpqError> {
+        let id = self.resolve(addr)?;
+        let open = self.open(id)?;
+        let before = open.snapshot();
+        let receipt = open.append_events(batch)?;
+        if receipt.seq != before.seq {
+            let after = open.snapshot();
+            self.session.invalidate_run(&before.run);
+            self.session.seed_run_cache(
+                &after.run,
+                Arc::clone(&after.tag),
+                Some(Arc::clone(&after.csr)),
+            );
+        }
+        Ok(WireAppended::from_appended(&receipt))
+    }
+
+    /// Evaluate a standing query against one live snapshot.
+    fn eval_snapshot(
+        &self,
+        query: &PreparedQuery,
+        spec: &QuerySpec,
+        snap: &rpq_store::LiveSnapshot,
+    ) -> Result<WireResult, RpqError> {
+        let request = spec.mode.to_request(&snap.run)?;
+        let outcome = self.session.evaluate(query, &snap.run, &request);
+        Ok(WireResult::from_result(&outcome.result))
+    }
+
+    /// Run one subscription: evaluate the baseline, acknowledge with
+    /// [`WireResponse::Subscribed`], then alternate short socket polls
+    /// (to notice `Unsubscribe` / disconnect / shutdown) with waits on
+    /// the open run's growth signal, pushing a [`WireResponse::Delta`]
+    /// of *newly derived* answers after each append that changes the
+    /// result. The worker is released the moment the peer leaves.
+    fn serve_subscription(&self, stream: &mut TcpStream, spec: QuerySpec) -> SubExit {
+        // Stand the query up. Any setup failure is an ordinary error
+        // response and the connection stays in request/response mode.
+        let stood = (|| {
+            let policy = if spec.policy.is_empty() {
+                self.policy
+            } else {
+                SubqueryPolicy::from_cli_name(&spec.policy).ok_or_else(|| {
+                    RpqError::invalid(format!(
+                        "invalid policy {:?}: valid policies are {}",
+                        spec.policy,
+                        SubqueryPolicy::NAMES.join(", ")
+                    ))
+                })?
+            };
+            let id = self.resolve(&spec.run)?;
+            let open = self.open(id)?;
+            let query = self.session.prepare_with(&spec.query, policy)?;
+            Ok::<_, RpqError>((open, query))
+        })();
+        let (open, query) = match stood {
+            Ok(stood) => stood,
+            Err(e) => {
+                self.counters.request_errors.fetch_add(1, Ordering::Relaxed);
+                let report = WireResponse::Error {
+                    kind: error_kind(&e).to_owned(),
+                    message: e.to_string(),
+                };
+                return match protocol::write_message(stream, &report) {
+                    Ok(()) => SubExit::Resume,
+                    Err(_) => SubExit::Close,
+                };
+            }
+        };
+        let mut snap = open.snapshot();
+        let mut retained = match self.eval_snapshot(&query, &spec, &snap) {
+            Ok(result) => result,
+            Err(e) => {
+                self.counters.request_errors.fetch_add(1, Ordering::Relaxed);
+                let report = WireResponse::Error {
+                    kind: error_kind(&e).to_owned(),
+                    message: e.to_string(),
+                };
+                return match protocol::write_message(stream, &report) {
+                    Ok(()) => SubExit::Resume,
+                    Err(_) => SubExit::Close,
+                };
+            }
+        };
+        let ack = WireResponse::Subscribed {
+            seq: snap.seq,
+            initial: retained.clone(),
+        };
+        if protocol::write_message(stream, &ack).is_err() {
+            return SubExit::Close;
+        }
+        self.counters.subscriptions.fetch_add(1, Ordering::Relaxed);
+
+        // Push mode. A tighter read timeout keeps both halves of the
+        // poll/wait cycle responsive; the request/response timeout is
+        // restored on a clean unsubscribe.
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+        loop {
+            // SIGTERM/shutdown drains the subscriber: the worker is
+            // released and the scope can join.
+            if self.shutdown.load(Ordering::Relaxed) {
+                return SubExit::Close;
+            }
+            match self.poll_subscriber(stream) {
+                Ok(SubPoll::Quiet) => {}
+                Ok(SubPoll::Closed) => return SubExit::Close,
+                Ok(SubPoll::Request(WireRequest::Unsubscribe)) => {
+                    self.counters.requests.fetch_add(1, Ordering::Relaxed);
+                    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+                    return match protocol::write_message(stream, &WireResponse::Unsubscribed) {
+                        Ok(()) => SubExit::Resume,
+                        Err(_) => SubExit::Close,
+                    };
+                }
+                Ok(SubPoll::Request(_)) => {
+                    self.counters.requests.fetch_add(1, Ordering::Relaxed);
+                    self.counters.request_errors.fetch_add(1, Ordering::Relaxed);
+                    let report = WireResponse::Error {
+                        kind: "invalid".to_owned(),
+                        message: "connection is in push mode; send Unsubscribe first".to_owned(),
+                    };
+                    if protocol::write_message(stream, &report).is_err() {
+                        return SubExit::Close;
+                    }
+                }
+                // Malformed frame: framing is lost, drop the connection.
+                Err(_) => return SubExit::Close,
+            }
+            if let Some(next) = open.wait_newer(snap.seq, Duration::from_millis(150)) {
+                snap = next;
+                let now = match self.eval_snapshot(&query, &spec, &snap) {
+                    Ok(result) => result,
+                    Err(e) => {
+                        let report = WireResponse::Error {
+                            kind: error_kind(&e).to_owned(),
+                            message: e.to_string(),
+                        };
+                        let _ = protocol::write_message(stream, &report);
+                        return SubExit::Close;
+                    }
+                };
+                if let Some(added) = wire_added(&retained, &now) {
+                    let delta = WireResponse::Delta {
+                        seq: snap.seq,
+                        added,
+                    };
+                    if protocol::write_message(stream, &delta).is_err() {
+                        return SubExit::Close;
+                    }
+                }
+                retained = now;
+            }
+        }
+    }
+
+    /// One non-blocking peek at a subscribed connection: nothing
+    /// pending, a clean close, or a full request frame (read patiently
+    /// once its first byte has arrived — the 30 s mid-frame stall
+    /// deadline applies).
+    fn poll_subscriber(&self, stream: &mut TcpStream) -> Result<SubPoll, RpqError> {
+        let mut header = [0u8; 9];
+        let first = match stream.read(&mut header) {
+            Ok(0) => return Ok(SubPoll::Closed),
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut
+                    || e.kind() == std::io::ErrorKind::Interrupted =>
+            {
+                return Ok(SubPoll::Quiet)
+            }
+            Err(e) => return Err(RpqError::io("cannot read request frame", e)),
+        };
+        let mut in_frame = true;
+        if first < header.len() {
+            match self.read_patient(stream, &mut header[first..], &mut in_frame)? {
+                ReadOutcome::Done => {
+                    return Err(RpqError::invalid(
+                        "stream ended inside a frame header".to_owned(),
+                    ))
+                }
+                ReadOutcome::Filled => {}
+            }
+        }
+        let len = protocol::frame_len(&header)?;
+        let mut payload = vec![0u8; len];
+        match self.read_patient(stream, &mut payload, &mut in_frame)? {
+            ReadOutcome::Done => Err(RpqError::invalid(
+                "stream ended inside a frame payload".to_owned(),
+            )),
+            ReadOutcome::Filled => Ok(SubPoll::Request(protocol::decode_payload(&payload)?)),
+        }
     }
 
     /// The stats verb's snapshot.
@@ -574,6 +873,42 @@ impl Server {
             closures_pairs: closures.pairs,
             closures_bits: closures.bits,
             closures_scc: closures.scc,
+            store_epoch: store.epoch,
+            appends: store.appended,
+            append_rebuilds: store.append_rebuilds,
+            subscriptions: self.counters.subscriptions.load(Ordering::Relaxed),
         }
+    }
+}
+
+/// The answers in `now` that were not in `then` — what a
+/// [`WireResponse::Delta`] carries. Results only grow under appends
+/// (paths survive new edges), so set difference over the sorted wire
+/// vectors is exact; a verdict pushes once, on its `false → true`
+/// flip. `None` means nothing new (no frame goes out).
+fn wire_added(then: &WireResult, now: &WireResult) -> Option<WireResult> {
+    match (then, now) {
+        (WireResult::Bool(was), WireResult::Bool(is)) => {
+            (!was && *is).then_some(WireResult::Bool(true))
+        }
+        (WireResult::Pairs(old), WireResult::Pairs(new)) => {
+            let added: Vec<(u32, u32)> = new
+                .iter()
+                .filter(|p| old.binary_search(p).is_err())
+                .copied()
+                .collect();
+            (!added.is_empty()).then_some(WireResult::Pairs(added))
+        }
+        (WireResult::Nodes(old), WireResult::Nodes(new)) => {
+            let added: Vec<u32> = new
+                .iter()
+                .filter(|n| old.binary_search(n).is_err())
+                .copied()
+                .collect();
+            (!added.is_empty()).then_some(WireResult::Nodes(added))
+        }
+        // A shape change cannot happen for a fixed mode; push the full
+        // result rather than silently dropping it.
+        _ => Some(now.clone()),
     }
 }

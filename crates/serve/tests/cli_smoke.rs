@@ -72,6 +72,166 @@ impl Drop for ChildGuard {
     }
 }
 
+/// The live-provenance loop, end to end through the binary: a streamed
+/// simulation, an offline CLI append (`rpq store --open`), a served
+/// store, a standing `rpq watch` receiving a pushed delta from an
+/// over-the-wire `rpq request append`, and finally a SIGTERM drain
+/// with another subscriber still active.
+#[test]
+fn streaming_append_watch_and_sigterm_drain() {
+    let bin = rpq_binary();
+    let dir = std::env::temp_dir()
+        .join("rpq_cli_smoke_live")
+        .join(std::process::id().to_string());
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create dir");
+    let base = dir.join("run.json");
+    let base = base.to_str().expect("utf-8 path");
+    let store = dir.join("store");
+    let store = store.to_str().expect("utf-8 path");
+
+    // 1. Streamed simulation: base run + two replayable event batches.
+    let out = run_ok(
+        &bin,
+        &[
+            "simulate", "fig2", "--edges", "90", "--seed", "11", "--out", base, "--stream", "2",
+        ],
+    );
+    assert!(out.contains("streamed: base"), "{out}");
+    let events_1 = base.replace(".json", ".events-1.json");
+    let events_2 = base.replace(".json", ".events-2.json");
+
+    // 2. Ingest the base, then append batch 1 offline through the
+    // live path (indexes maintained, epoch bumped on disk).
+    run_ok(&bin, &["store", "fig2", "--dir", store, "--add", base]);
+    let out = run_ok(
+        &bin,
+        &[
+            "store", "fig2", "--dir", store, "--open", "r0", "--events", &events_1,
+        ],
+    );
+    assert!(out.contains("appended"), "{out}");
+
+    // 3. Serve the grown store.
+    let mut server = ChildGuard(
+        Command::new(&bin)
+            .args([
+                "serve",
+                "fig2",
+                "--store",
+                store,
+                "--addr",
+                "127.0.0.1:0",
+                "--workers",
+                "2",
+            ])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn rpq serve"),
+    );
+    let stdout = server.0.stdout.take().expect("piped stdout");
+    let mut server_out = BufReader::new(stdout);
+    let mut line = String::new();
+    server_out.read_line(&mut line).expect("read announce line");
+    let addr = line
+        .split("listening on ")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .expect("address in banner")
+        .to_owned();
+    let a = addr.as_str();
+
+    // 4. Stand a watch up (`_*` over all pairs grows on every append,
+    // so one delta is guaranteed), confirmed by its first line.
+    let mut watch = ChildGuard(
+        Command::new(&bin)
+            .args([
+                "watch",
+                "_*",
+                "--addr",
+                a,
+                "--mode",
+                "all-pairs",
+                "--max-deltas",
+                "1",
+            ])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn rpq watch"),
+    );
+    let watch_stdout = watch.0.stdout.take().expect("piped stdout");
+    let mut watch_out = BufReader::new(watch_stdout);
+    let mut line = String::new();
+    watch_out.read_line(&mut line).expect("read watch banner");
+    assert!(line.contains("watching"), "unexpected watch banner: {line}");
+
+    // 5. Append batch 2 over the wire; the watch receives the pushed
+    // delta and exits cleanly.
+    let out = run_ok(
+        &bin,
+        &[
+            "request", "append", "--addr", a, "--events", &events_2, "--index", "0",
+        ],
+    );
+    assert!(out.contains("appended"), "{out}");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let exit = loop {
+        match watch.0.try_wait().expect("try_wait watch") {
+            Some(status) => break status,
+            None if Instant::now() > deadline => panic!("watch never saw the delta"),
+            None => std::thread::sleep(Duration::from_millis(20)),
+        }
+    };
+    assert!(exit.success(), "watch exited {exit:?}");
+    let mut rest = String::new();
+    watch_out.read_to_string(&mut rest).expect("drain watch");
+    assert!(rest.contains("delta seq"), "no delta line: {rest}");
+    assert!(rest.contains("1 delta(s) received"), "{rest}");
+
+    // 6. SIGTERM the server while another subscriber is standing: the
+    // drain must still complete with exit 0.
+    let mut standing = ChildGuard(
+        Command::new(&bin)
+            .args(["watch", "_*", "--addr", a, "--mode", "all-pairs"])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn standing watch"),
+    );
+    let standing_stdout = standing.0.stdout.take().expect("piped stdout");
+    let mut standing_out = BufReader::new(standing_stdout);
+    let mut line = String::new();
+    standing_out
+        .read_line(&mut line)
+        .expect("read watch banner");
+    assert!(line.contains("watching"), "unexpected watch banner: {line}");
+
+    let pid = server.0.id().to_string();
+    let status = Command::new("kill")
+        .args(["-TERM", &pid])
+        .status()
+        .expect("spawn kill -TERM");
+    assert!(status.success(), "kill -TERM failed");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let exit = loop {
+        match server.0.try_wait().expect("try_wait server") {
+            Some(status) => break status,
+            None if Instant::now() > deadline => {
+                panic!("server ignored SIGTERM with a subscriber standing")
+            }
+            None => std::thread::sleep(Duration::from_millis(20)),
+        }
+    };
+    assert!(exit.success(), "server exited {exit:?} on SIGTERM");
+    let mut rest = String::new();
+    server_out.read_to_string(&mut rest).expect("drain server");
+    assert!(rest.contains("shutdown: served"), "missing report: {rest}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn serve_every_verb_and_sigterm_cleanly() {
     let bin = rpq_binary();

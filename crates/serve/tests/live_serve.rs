@@ -1,0 +1,367 @@
+//! The live-ingestion service contract: protocol-v3 `Append` grows a
+//! stored run with answers byte-identical to an in-process replay,
+//! `Subscribe` pushes *delta answers only* as appends land, the idle
+//! keep-alive timeout releases workers pinned by quiet connections
+//! (while leaving subscribers standing), and shutdown drains a
+//! connection that is mid-subscription.
+
+use rpq_core::Session;
+use rpq_labeling::{EventBatch, Run, RunBuilder};
+use rpq_serve::protocol::{QuerySpec, RunAddr, WireMode, WireResult};
+use rpq_serve::{ServeClient, ServeConfig, Server};
+use rpq_store::RunStore;
+use rpq_workloads::runs::event_stream;
+use std::collections::BTreeSet;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("rpq_live_serve_tests")
+        .join(format!("{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A private server over a store holding the base slice of a streamed
+/// run; returns everything a test needs to append and watch.
+struct Live {
+    dir: PathBuf,
+    addr: SocketAddr,
+    base: Run,
+    batches: Vec<EventBatch>,
+    full: Run,
+    referee: Session,
+}
+
+fn live(name: &str, seed: u64, target_edges: usize, n_batches: usize, config: ServeConfig) -> Live {
+    let dir = temp_dir(name);
+    let spec = Arc::new(rpq_workloads::paper_examples::fig2_spec());
+    let full = RunBuilder::new(&spec)
+        .seed(seed)
+        .target_edges(target_edges)
+        .build()
+        .unwrap();
+    let (base, batches) = event_stream(&full, n_batches).unwrap();
+    let store = RunStore::create(&dir, Arc::clone(&spec)).unwrap();
+    assert!(!store.ingest(&base).unwrap().deduplicated);
+    let server = Server::bind(store, &config).unwrap();
+    let addr = server.local_addr().unwrap();
+    std::thread::spawn(move || server.run(None));
+    Live {
+        dir,
+        addr,
+        base,
+        batches,
+        full,
+        referee: Session::new(spec),
+    }
+}
+
+fn connect(addr: SocketAddr) -> ServeClient {
+    ServeClient::connect_with_retry(addr, Duration::from_secs(5)).unwrap()
+}
+
+/// In-process evaluation of `(query, mode)` over an arbitrary run.
+fn referee(session: &Session, query: &str, run: &Run, mode: &WireMode) -> WireResult {
+    let prepared = session.prepare(query).unwrap();
+    let request = mode.to_request(run).unwrap();
+    WireResult::from_result(&session.evaluate(&prepared, run, &request).result)
+}
+
+fn pairs_of(result: &WireResult) -> BTreeSet<(u32, u32)> {
+    match result {
+        WireResult::Pairs(pairs) => pairs.iter().copied().collect(),
+        other => panic!("expected pairs, got {other:?}"),
+    }
+}
+
+#[test]
+fn append_over_the_wire_matches_in_process_replay() {
+    let fix = live(
+        "append",
+        7,
+        90,
+        4,
+        ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        },
+    );
+    let mut client = connect(fix.addr);
+
+    // Append every batch, alternating positional and fingerprint
+    // addressing (each receipt carries the *grown* fingerprint — the
+    // run's stable address changes under it on every append).
+    let mut replayed = fix.base.clone();
+    let mut addr = RunAddr::Index(0);
+    for (i, batch) in fix.batches.iter().enumerate() {
+        let receipt = client.append(addr, batch.clone()).unwrap();
+        replayed = replayed.apply_events(batch).unwrap();
+        assert_eq!(receipt.seq, i as u64 + 1);
+        // Ingest bumped the catalog epoch to 1; every append bumps on.
+        assert_eq!(receipt.epoch, i as u64 + 2);
+        assert_eq!(receipt.new_nodes, batch.nodes.len() as u64);
+        assert_eq!(receipt.n_nodes, replayed.n_nodes() as u64);
+        assert_eq!(receipt.n_edges, replayed.n_edges() as u64);
+        let (hi, lo) = replayed.fingerprint();
+        assert_eq!((receipt.fp_hi, receipt.fp_lo), (hi, lo));
+        addr = RunAddr::Fingerprint(receipt.fp_hi, receipt.fp_lo);
+    }
+    assert_eq!(replayed.n_nodes(), fix.full.n_nodes());
+
+    // Queries over the grown run are byte-identical to in-process
+    // evaluation over the replay.
+    for query in ["_* e _*", "a+", "_*"] {
+        let remote = client
+            .query(QuerySpec {
+                query: query.to_owned(),
+                policy: String::new(),
+                run: RunAddr::Index(0),
+                mode: WireMode::AllPairsFull,
+            })
+            .unwrap();
+        let local = referee(&fix.referee, query, &replayed, &WireMode::AllPairsFull);
+        assert_eq!(
+            rpq_store::codec::to_bytes(&remote.result),
+            rpq_store::codec::to_bytes(&local),
+            "{query}: wire result diverges from in-process replay"
+        );
+    }
+
+    // An empty batch is a clean no-op, not a mutation.
+    let before = client.stats().unwrap();
+    let noop = client
+        .append(RunAddr::Index(0), EventBatch::default())
+        .unwrap();
+    assert_eq!(noop.seq, fix.batches.len() as u64);
+    assert_eq!(noop.epoch, before.store_epoch);
+    let after = client.stats().unwrap();
+    assert_eq!(after.store_epoch, before.store_epoch);
+    assert_eq!(after.appends, fix.batches.len() as u64);
+
+    // A bad address is an error response; the connection survives.
+    assert!(client
+        .append(RunAddr::Index(99), EventBatch::default())
+        .is_err());
+    client.ping().unwrap();
+    let _ = std::fs::remove_dir_all(&fix.dir);
+}
+
+#[test]
+fn subscription_streams_delta_answers_only() {
+    let fix = live(
+        "subscribe",
+        11,
+        110,
+        5,
+        ServeConfig {
+            workers: 4,
+            ..ServeConfig::default()
+        },
+    );
+    let mut watcher = connect(fix.addr);
+    let (seq0, initial) = watcher
+        .subscribe(QuerySpec {
+            query: "_*".to_owned(),
+            policy: String::new(),
+            run: RunAddr::Index(0),
+            mode: WireMode::AllPairsFull,
+        })
+        .unwrap();
+    assert_eq!(seq0, 0);
+    let baseline = referee(&fix.referee, "_*", &fix.base, &WireMode::AllPairsFull);
+    assert_eq!(pairs_of(&initial), pairs_of(&baseline));
+
+    // A second client streams the batches in while the watcher stands.
+    let appender_addr = fix.addr;
+    let batches = fix.batches.clone();
+    let appender = std::thread::spawn(move || {
+        let mut client = connect(appender_addr);
+        for batch in &batches {
+            client.append(RunAddr::Index(0), batch.clone()).unwrap();
+            std::thread::sleep(Duration::from_millis(30));
+        }
+    });
+
+    // Drain pushes until the accumulated answer reaches the full run's.
+    // Every pushed pair must be *new* — deltas only, no re-sends.
+    let expected = pairs_of(&referee(
+        &fix.referee,
+        "_*",
+        &fix.full,
+        &WireMode::AllPairsFull,
+    ));
+    let mut accumulated = pairs_of(&initial);
+    assert!(accumulated.len() < expected.len(), "the stream must grow");
+    let mut last_seq = seq0;
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while accumulated != expected {
+        assert!(Instant::now() < deadline, "deltas never converged");
+        if let Some((seq, added)) = watcher.next_delta(Duration::from_millis(500)).unwrap() {
+            assert!(seq > last_seq, "push sequence must be monotone");
+            last_seq = seq;
+            for pair in pairs_of(&added) {
+                assert!(accumulated.insert(pair), "pair {pair:?} was re-pushed");
+            }
+        }
+    }
+    appender.join().unwrap();
+
+    // Unsubscribe returns the connection to request/response mode.
+    watcher.unsubscribe().unwrap();
+    watcher.ping().unwrap();
+    let stats = watcher.stats().unwrap();
+    assert!(stats.subscriptions >= 1);
+    assert_eq!(stats.appends, fix.batches.len() as u64);
+    let _ = std::fs::remove_dir_all(&fix.dir);
+}
+
+#[test]
+fn verdict_subscription_fires_when_reachability_appears() {
+    // The monitoring scenario: stand a verdict query up and get pushed
+    // a single `Bool(true)` the moment the property becomes reachable.
+    // Streamed slices place every edge in the earliest batch where both
+    // endpoints exist, so verdicts over *fixed* old nodes never flip —
+    // the entry→exit verdict does, because the exit moves as the run
+    // grows. Search a small candidate list for a query that is false on
+    // the base slice and true on the full run (deterministic: the run
+    // generator is seeded).
+    let fix = live(
+        "verdict",
+        13,
+        120,
+        3,
+        ServeConfig {
+            workers: 4,
+            ..ServeConfig::default()
+        },
+    );
+    let candidates = ["_* e _*", "_* e", "_* a", "_* e _* e _*", "a _*", "e _*"];
+    let flipping = candidates.iter().copied().find(|q| {
+        referee(&fix.referee, q, &fix.base, &WireMode::EntryExit) == WireResult::Bool(false)
+            && referee(&fix.referee, q, &fix.full, &WireMode::EntryExit) == WireResult::Bool(true)
+    });
+    let query = flipping.expect("no candidate query flips on this stream; re-seed the fixture");
+
+    let mut watcher = connect(fix.addr);
+    let (_, initial) = watcher
+        .subscribe(QuerySpec {
+            query: query.to_owned(),
+            policy: String::new(),
+            run: RunAddr::Index(0),
+            mode: WireMode::EntryExit,
+        })
+        .unwrap();
+    assert_eq!(initial, WireResult::Bool(false));
+
+    let mut appender = connect(fix.addr);
+    for batch in &fix.batches {
+        appender.append(RunAddr::Index(0), batch.clone()).unwrap();
+    }
+
+    // Exactly one push: the false→true flip. (A verdict that is already
+    // true never re-pushes — monotone growth cannot un-derive it.)
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let flipped = loop {
+        assert!(Instant::now() < deadline, "the verdict flip never arrived");
+        if let Some((_, added)) = watcher.next_delta(Duration::from_millis(500)).unwrap() {
+            break added;
+        }
+    };
+    assert_eq!(flipped, WireResult::Bool(true));
+    assert!(watcher
+        .next_delta(Duration::from_millis(400))
+        .unwrap()
+        .is_none());
+    watcher.unsubscribe().unwrap();
+    let _ = std::fs::remove_dir_all(&fix.dir);
+}
+
+#[test]
+fn idle_keepalive_closes_quiet_connections_but_not_subscribers() {
+    // Satellite regression: a connection that goes quiet between
+    // requests is closed after the configured idle bound (releasing its
+    // worker) — a standing subscription is quiet by design and must
+    // survive the same silence.
+    let fix = live(
+        "idle",
+        7,
+        90,
+        2,
+        ServeConfig {
+            workers: 2,
+            idle_timeout: Duration::from_millis(300),
+            ..ServeConfig::default()
+        },
+    );
+
+    // A quiet request/response connection is reaped...
+    let mut quiet = connect(fix.addr);
+    quiet.ping().unwrap();
+    std::thread::sleep(Duration::from_millis(900));
+    assert!(
+        quiet.ping().is_err(),
+        "the idle connection should have been closed"
+    );
+
+    // ...while a subscriber silent for the same stretch still stands
+    // and receives its delta.
+    let mut watcher = connect(fix.addr);
+    watcher
+        .subscribe(QuerySpec {
+            query: "_*".to_owned(),
+            policy: String::new(),
+            run: RunAddr::Index(0),
+            mode: WireMode::AllPairsFull,
+        })
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(900));
+    let mut appender = connect(fix.addr);
+    appender
+        .append(RunAddr::Index(0), fix.batches[0].clone())
+        .unwrap();
+    let pushed = watcher.next_delta(Duration::from_secs(10)).unwrap();
+    assert!(pushed.is_some(), "the subscriber was reaped while standing");
+    watcher.unsubscribe().unwrap();
+    let _ = std::fs::remove_dir_all(&fix.dir);
+}
+
+#[test]
+fn shutdown_drains_an_active_subscriber() {
+    // The SIGTERM path must not hang on a worker that is inside a
+    // subscription push loop rather than a read.
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let dir = temp_dir("drain_subscriber");
+    let spec = Arc::new(rpq_workloads::paper_examples::fig2_spec());
+    let full = RunBuilder::new(&spec)
+        .seed(7)
+        .target_edges(90)
+        .build()
+        .unwrap();
+    let (base, _) = event_stream(&full, 2).unwrap();
+    let store = RunStore::create(&dir, Arc::clone(&spec)).unwrap();
+    store.ingest(&base).unwrap();
+    let server = Server::bind(store, &ServeConfig::default()).unwrap();
+    let addr = server.local_addr().unwrap();
+    static FLAG: AtomicBool = AtomicBool::new(false);
+    let serving = std::thread::spawn(move || server.run(Some(&FLAG)));
+
+    let mut watcher = connect(addr);
+    watcher
+        .subscribe(QuerySpec {
+            query: "_*".to_owned(),
+            policy: String::new(),
+            run: RunAddr::Index(0),
+            mode: WireMode::EntryExit,
+        })
+        .unwrap();
+    FLAG.store(true, Ordering::Relaxed);
+    // run() must return despite the standing subscription.
+    let report = serving.join().unwrap();
+    assert!(report.requests >= 1);
+    FLAG.store(false, Ordering::Relaxed);
+    let _ = std::fs::remove_dir_all(&dir);
+}

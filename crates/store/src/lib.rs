@@ -19,7 +19,12 @@
 //! * **Batch execution** — a store is a
 //!   [`RunSource`]: `Session::evaluate_batch`
 //!   fans one prepared query across the whole corpus on a thread pool,
-//!   seeding the session's caches with the store's warm artifacts.
+//!   seeding the session's caches with the store's warm artifacts;
+//! * **Live ingestion** — a stored run opened for streaming
+//!   ([`RunStore::open_run`]) receives event batches whose persisted
+//!   artifacts are maintained *incrementally* rather than rebuilt
+//!   ([`live`]), with a monotonic catalog epoch exposing every
+//!   mutation to clients.
 //!
 //! Directory layout (all paths relative to the store root):
 //!
@@ -38,6 +43,9 @@
 //! `BENCH_batch.json`.
 
 pub mod codec;
+pub mod live;
+
+pub use live::{Appended, LiveSnapshot, OpenRun};
 
 use rpq_core::{RpqError, RunRef, RunSource};
 use rpq_grammar::Specification;
@@ -92,6 +100,16 @@ pub struct StoreStats {
     pub removed: u64,
     /// Stray files deleted by [`RunStore::prune_orphans`].
     pub orphans_pruned: u64,
+    /// Event batches applied to open runs ([`OpenRun::append_events`]).
+    pub appended: u64,
+    /// Appends whose churn exceeded the threshold, forcing a full
+    /// artifact rebuild instead of the incremental delta path.
+    pub append_rebuilds: u64,
+    /// The catalog epoch: a monotonic mutation counter bumped (and
+    /// persisted) on every catalog-visible change — ingest, append,
+    /// removal, orphan pruning. Clients cache against it: an unchanged
+    /// epoch guarantees an unchanged corpus.
+    pub epoch: u64,
 }
 
 impl StoreStats {
@@ -107,6 +125,11 @@ impl StoreStats {
             csr_rebuilds: self.csr_rebuilds - earlier.csr_rebuilds,
             removed: self.removed - earlier.removed,
             orphans_pruned: self.orphans_pruned - earlier.orphans_pruned,
+            appended: self.appended - earlier.appended,
+            append_rebuilds: self.append_rebuilds - earlier.append_rebuilds,
+            // The epoch is a level, not a rate, but it is monotonic, so
+            // the difference reads as "catalog mutations since".
+            epoch: self.epoch - earlier.epoch,
         }
     }
 }
@@ -126,10 +149,24 @@ struct CatalogEntry {
 struct Catalog {
     version: u32,
     next_id: u64,
+    /// Monotonic mutation counter; see [`StoreStats::epoch`]. Kept
+    /// before `entries` so version-1 catalogs (which lack it) can be
+    /// recognized and upgraded on open.
+    epoch: u64,
     entries: Vec<CatalogEntry>,
 }
 
-const CATALOG_VERSION: u32 = 1;
+/// The version-1 catalog shape, decoded as a fallback when a stored
+/// `catalog.json` predates the epoch field; upgraded in memory with
+/// `epoch = 0` and rewritten as version 2 on the next mutation.
+#[derive(Debug, Clone, Deserialize)]
+struct CatalogV1 {
+    version: u32,
+    next_id: u64,
+    entries: Vec<CatalogEntry>,
+}
+
+const CATALOG_VERSION: u32 = 2;
 
 /// Fingerprint key for deduplication — same composition as the
 /// session's run-cache key (fingerprint + sizes as collision guard).
@@ -221,6 +258,10 @@ pub struct RunStore {
     state: Mutex<CatalogState>,
     runs: Mutex<BoundedCache<Arc<Run>>>,
     artifacts: Mutex<BoundedCache<ArtifactPair>>,
+    /// Live handles of runs open for streaming appends, one per run:
+    /// reopening an already-open run must share its handle, or two
+    /// live states would race on the same files.
+    open_runs: Mutex<HashMap<RunId, std::sync::Weak<OpenRun>>>,
     ingested: AtomicU64,
     deduplicated: AtomicU64,
     run_loads: AtomicU64,
@@ -230,6 +271,8 @@ pub struct RunStore {
     csr_rebuilds: AtomicU64,
     removed: AtomicU64,
     orphans_pruned: AtomicU64,
+    appended: AtomicU64,
+    append_rebuilds: AtomicU64,
 }
 
 /// One run's catalog row, as exposed to clients ([`RunStore::metas`]):
@@ -273,6 +316,7 @@ impl RunStore {
             Catalog {
                 version: CATALOG_VERSION,
                 next_id: 0,
+                epoch: 0,
                 entries: Vec::new(),
             },
         );
@@ -289,14 +333,28 @@ impl RunStore {
             .map_err(|e| RpqError::invalid(format!("corrupt spec.json in {dir:?}: {e}")))?;
         let catalog_text = std::fs::read_to_string(dir.join("catalog.json"))
             .map_err(|e| RpqError::io(format!("cannot read {dir:?}/catalog.json"), e))?;
-        let catalog: Catalog = serde_json::from_str(&catalog_text)
-            .map_err(|e| RpqError::invalid(format!("corrupt catalog.json in {dir:?}: {e}")))?;
-        if catalog.version != CATALOG_VERSION {
+        // Current catalogs decode directly; version-1 catalogs lack the
+        // epoch field (the derive rejects missing fields) and take the
+        // fallback shape, upgrading in memory with epoch 0.
+        let mut catalog: Catalog = match serde_json::from_str(&catalog_text) {
+            Ok(catalog) => catalog,
+            Err(_) => serde_json::from_str(&catalog_text)
+                .map(|v1: CatalogV1| Catalog {
+                    version: v1.version,
+                    next_id: v1.next_id,
+                    epoch: 0,
+                    entries: v1.entries,
+                })
+                .map_err(|e| RpqError::invalid(format!("corrupt catalog.json in {dir:?}: {e}")))?,
+        };
+        if catalog.version == 0 || catalog.version > CATALOG_VERSION {
             return Err(RpqError::invalid(format!(
-                "store {dir:?} has catalog version {} (this build reads {CATALOG_VERSION})",
+                "store {dir:?} has catalog version {} (this build reads up to {CATALOG_VERSION})",
                 catalog.version
             )));
         }
+        // Persist as the current version from here on.
+        catalog.version = CATALOG_VERSION;
         Ok(RunStore::assemble(dir, Arc::new(spec), catalog))
     }
 
@@ -352,6 +410,7 @@ impl RunStore {
             }),
             runs: Mutex::new(BoundedCache::new()),
             artifacts: Mutex::new(BoundedCache::new()),
+            open_runs: Mutex::new(HashMap::new()),
             ingested: AtomicU64::new(0),
             deduplicated: AtomicU64::new(0),
             run_loads: AtomicU64::new(0),
@@ -361,6 +420,8 @@ impl RunStore {
             csr_rebuilds: AtomicU64::new(0),
             removed: AtomicU64::new(0),
             orphans_pruned: AtomicU64::new(0),
+            appended: AtomicU64::new(0),
+            append_rebuilds: AtomicU64::new(0),
         }
     }
 
@@ -457,6 +518,12 @@ impl RunStore {
             .map(|e| RunId(e.id))
     }
 
+    /// The current catalog epoch — bumped (and persisted) on every
+    /// catalog-visible mutation: ingest, append, removal, pruning.
+    pub fn epoch(&self) -> u64 {
+        self.state.lock().expect("catalog lock").catalog.epoch
+    }
+
     /// Counter snapshot.
     pub fn stats(&self) -> StoreStats {
         StoreStats {
@@ -469,6 +536,9 @@ impl RunStore {
             csr_rebuilds: self.csr_rebuilds.load(Ordering::Relaxed),
             removed: self.removed.load(Ordering::Relaxed),
             orphans_pruned: self.orphans_pruned.load(Ordering::Relaxed),
+            appended: self.appended.load(Ordering::Relaxed),
+            append_rebuilds: self.append_rebuilds.load(Ordering::Relaxed),
+            epoch: self.epoch(),
         }
     }
 
@@ -505,6 +575,7 @@ impl RunStore {
             n_edges: key.3,
         });
         state.by_fingerprint.insert(key, id);
+        state.catalog.epoch += 1;
         if let Err(e) = self.persist_catalog(&state.catalog) {
             // Keep memory and disk consistent: a run whose catalog row
             // never landed must not look ingested (a later retry would
@@ -513,6 +584,7 @@ impl RunStore {
             state.catalog.entries.pop();
             state.by_fingerprint.remove(&key);
             state.catalog.next_id -= 1;
+            state.catalog.epoch -= 1;
             return Err(e);
         }
         drop(state);
@@ -586,11 +658,13 @@ impl RunStore {
         let id = RunId(entry.id);
         let key = (entry.fp_hi, entry.fp_lo, entry.n_nodes, entry.n_edges);
         state.by_fingerprint.remove(&key);
+        state.catalog.epoch += 1;
         if let Err(e) = self.persist_catalog(&state.catalog) {
             // Roll back: a run whose catalog row is still on disk must
             // stay addressable (and deduplicable) in memory too.
             state.catalog.entries.insert(position, entry);
             state.by_fingerprint.insert(key, id);
+            state.catalog.epoch -= 1;
             return Err(e);
         }
         drop(state);
@@ -631,14 +705,15 @@ impl RunStore {
     /// references: leftovers of interrupted removals, tmp files of
     /// crashed atomic writes, artifacts of runs evicted while their
     /// unlink failed. Returns how many files were deleted. The catalog
-    /// itself is never touched.
+    /// rows are never touched; a pass that deleted anything bumps the
+    /// epoch (files under the store changed) and re-persists.
     pub fn prune_orphans(&self) -> Result<usize, RpqError> {
         // The catalog lock is held across the whole scan-and-delete:
         // ingestion also serializes on it, so a run being ingested
         // concurrently can never be mistaken for an orphan off a stale
         // id snapshot. GC is rare; blocking ingest for its duration is
         // the cheap end of that trade.
-        let state = self.state.lock().expect("catalog lock");
+        let mut state = self.state.lock().expect("catalog lock");
         let live: std::collections::HashSet<u64> =
             state.catalog.entries.iter().map(|e| e.id).collect();
         let expected = |sub: &str, name: &str| -> bool {
@@ -683,6 +758,13 @@ impl RunStore {
                     RpqError::io(format!("cannot delete orphan {:?}", entry.path()), e)
                 })?;
                 pruned += 1;
+            }
+        }
+        if pruned > 0 {
+            state.catalog.epoch += 1;
+            if let Err(e) = self.persist_catalog(&state.catalog) {
+                state.catalog.epoch -= 1;
+                return Err(e);
             }
         }
         drop(state);
@@ -1137,6 +1219,77 @@ mod tests {
         assert_eq!(reopened.stats().tag_reloads, 1);
         // A second pass finds nothing new (the tmp file is still young).
         assert_eq!(store.prune_orphans().unwrap(), 0);
+    }
+
+    #[test]
+    fn epoch_bumps_on_every_catalog_mutation_and_persists() {
+        let dir = temp_dir("epoch");
+        let spec = Arc::new(spec());
+        let store = RunStore::create(&dir, Arc::clone(&spec)).unwrap();
+        assert_eq!(store.epoch(), 0);
+        let a = run_of(&spec, 1);
+        store.ingest(&a).unwrap();
+        assert_eq!(store.epoch(), 1);
+        // Deduplicated ingests mutate nothing.
+        store.ingest(&a).unwrap();
+        assert_eq!(store.epoch(), 1);
+        store.ingest(&run_of(&spec, 2)).unwrap();
+        assert_eq!(store.epoch(), 2);
+        store.remove_run(a.fingerprint()).unwrap();
+        assert_eq!(store.epoch(), 3);
+        // Pruning bumps only when it actually deleted something.
+        assert_eq!(store.prune_orphans().unwrap(), 0);
+        assert_eq!(store.epoch(), 3);
+        std::fs::write(dir.join("runs").join("run-77.bin"), b"x").unwrap();
+        assert_eq!(store.prune_orphans().unwrap(), 1);
+        assert_eq!(store.epoch(), 4);
+        assert_eq!(store.stats().epoch, 4);
+
+        // The epoch is persisted, not recomputed.
+        drop(store);
+        let reopened = RunStore::open(&dir).unwrap();
+        assert_eq!(reopened.epoch(), 4);
+        reopened.ingest(&a).unwrap();
+        assert_eq!(reopened.epoch(), 5);
+    }
+
+    #[test]
+    fn version_1_catalogs_upgrade_on_open() {
+        let dir = temp_dir("catalog_v1");
+        let spec = Arc::new(spec());
+        let store = RunStore::create(&dir, Arc::clone(&spec)).unwrap();
+        let a = run_of(&spec, 1);
+        store.ingest(&a).unwrap();
+        drop(store);
+
+        // Rewrite catalog.json in the version-1 shape: no epoch field,
+        // version 1 — what a pre-epoch build would have left behind.
+        let path = dir.join("catalog.json");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let epoch_at = text.find("\"epoch\"").expect("v2 catalogs carry an epoch");
+        let comma = text[epoch_at..].find(',').expect("epoch is not last") + epoch_at;
+        let v1 = format!("{}{}", &text[..epoch_at], &text[comma + 1..])
+            .replace("\"version\":2", "\"version\":1");
+        std::fs::write(&path, v1).unwrap();
+
+        let upgraded = RunStore::open(&dir).unwrap();
+        assert_eq!(upgraded.epoch(), 0);
+        assert_eq!(upgraded.len(), 1);
+        assert!(upgraded.ingest(&a).unwrap().deduplicated);
+        // The first mutation persists the catalog as version 2 again.
+        upgraded.ingest(&run_of(&spec, 2)).unwrap();
+        assert_eq!(upgraded.epoch(), 1);
+        drop(upgraded);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"version\":2"), "{text}");
+        assert!(text.contains("\"epoch\":1"), "{text}");
+        let reopened = RunStore::open(&dir).unwrap();
+        assert_eq!(reopened.epoch(), 1);
+        assert_eq!(reopened.len(), 2);
+
+        // Catalogs from the future are refused, not misread.
+        std::fs::write(&path, text.replace("\"version\":2", "\"version\":9")).unwrap();
+        assert!(RunStore::open(&dir).is_err());
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! and the `repro -- relalg` scc bench leg.
 
 use rpq_grammar::Specification;
-use rpq_labeling::{DeriveError, ForkFocus, NodeId, Run, RunBuilder};
+use rpq_labeling::{DeriveError, EventBatch, ForkFocus, NodeId, Run, RunBuilder, RunEdge, RunNode};
 use rpq_relalg::NodePairSet;
 
 /// Simulate a run of roughly `target_edges` edges (the paper's random
@@ -59,6 +59,49 @@ pub fn corpus(
     (0..n_runs)
         .map(|i| simulate(spec, target_edges + i * stride, seed + i as u64))
         .collect()
+}
+
+/// Slice a finished run into a streaming arrival: a base prefix run
+/// plus `n_batches` [`EventBatch`]es that grow it back to the full run.
+///
+/// The cut points are node-id prefixes, so every intermediate state is
+/// the induced subgraph on a prefix of the final id space: node ids in
+/// the streamed run match the final run exactly, and each edge lands in
+/// the earliest batch where both its endpoints exist. Replaying the
+/// batches through `Run::apply_events` therefore reproduces the
+/// original node list and edge *set* (edge order differs — edges are
+/// grouped by arrival batch — so the structural fingerprint may too,
+/// but every derived index is a pure function of the pair sets and
+/// comes out identical). Errors only if some prefix has no source or
+/// sink, which cannot happen for derivation-produced DAGs.
+pub fn event_stream(run: &Run, n_batches: usize) -> Result<(Run, Vec<EventBatch>), String> {
+    let n = run.n_nodes();
+    let segments = n_batches + 1;
+    // Prefix node count after each segment: roughly equal slices, the
+    // base always keeping at least one node, monotone up to n.
+    let cuts: Vec<usize> = (1..=segments)
+        .map(|k| (n * k).div_ceil(segments).clamp(1, n.max(1)))
+        .collect();
+    let mut batch_edges: Vec<Vec<RunEdge>> = vec![Vec::new(); segments];
+    for &e in run.edges() {
+        let bound = e.src.index().max(e.dst.index());
+        // The first segment whose prefix contains both endpoints.
+        let k = cuts.partition_point(|&c| c <= bound);
+        batch_edges[k].push(e);
+    }
+    let node_at = |i: usize| run.node(NodeId(i as u32)).clone();
+    let base_nodes: Vec<RunNode> = (0..cuts[0]).map(node_at).collect();
+    let mut edges = batch_edges.into_iter();
+    let base = Run::assemble(base_nodes, edges.next().expect("segments >= 1"))?;
+    let batches = cuts
+        .windows(2)
+        .zip(edges)
+        .map(|(w, edges)| EventBatch {
+            nodes: (w[0]..w[1]).map(node_at).collect(),
+            edges,
+        })
+        .collect();
+    Ok((base, batches))
 }
 
 /// Sample `n` node ids deterministically (stride sampling) — benchmark
@@ -334,6 +377,41 @@ mod tests {
         assert_eq!(cyclic_core_relation(1, 1, 1).len(), 1); // one self-loop
         assert!(multi_scc_relation(0, 3, 5, 1).is_empty());
         assert!(!multi_scc_relation(1, 1, 0, 4).iter().any(|(u, v)| u != v));
+    }
+
+    #[test]
+    fn event_stream_replays_back_to_the_original_run() {
+        let spec = fig2_spec();
+        let run = simulate(&spec, 300, 7).unwrap();
+        for n_batches in [0, 1, 3, 10] {
+            let (base, batches) = event_stream(&run, n_batches).unwrap();
+            assert_eq!(batches.len(), n_batches);
+            assert!(base.n_nodes() >= 1);
+            let mut grown = base;
+            for batch in &batches {
+                let next = grown.apply_events(batch).unwrap();
+                assert!(next.n_nodes() >= grown.n_nodes());
+                assert!(next.n_edges() >= grown.n_edges());
+                grown = next;
+            }
+            // Same nodes in the same order, same edge set: every
+            // derived index is identical even though edge order (and
+            // hence the fingerprint) may differ.
+            assert_eq!(grown.n_nodes(), run.n_nodes());
+            assert_eq!(grown.n_edges(), run.n_edges());
+            for id in run.node_ids() {
+                assert_eq!(grown.node(id), run.node(id));
+            }
+            let idx_grown = rpq_relalg::TagIndex::build(&grown, spec.n_tags());
+            let idx_run = rpq_relalg::TagIndex::build(&run, spec.n_tags());
+            assert_eq!(idx_grown, idx_run);
+            assert!(grown.validate_against(&spec).is_ok());
+        }
+        // Deterministic: slicing twice yields the same stream.
+        let (a_base, a_batches) = event_stream(&run, 4).unwrap();
+        let (b_base, b_batches) = event_stream(&run, 4).unwrap();
+        assert_eq!(a_base.n_edges(), b_base.n_edges());
+        assert_eq!(a_batches, b_batches);
     }
 
     #[test]

@@ -3,8 +3,11 @@
 //! Subcommands:
 //!
 //! * `spec <SPEC>` — show a specification (productions, cycles, size);
-//! * `simulate <SPEC> --edges N [--seed S] [--fork CYCLE] [--out FILE]`
-//!   — derive a labeled run and optionally persist it as JSON;
+//! * `simulate <SPEC> --edges N [--seed S] [--fork CYCLE] [--out FILE]
+//!   [--stream B]` — derive a labeled run and optionally persist it as
+//!   JSON; `--stream B` splits the derivation into a base prefix plus
+//!   `B` event batches (written next to `--out`) for replay through
+//!   the live-ingestion path;
 //! * `query <SPEC> <QUERY> [--run FILE | --edges N --seed S]
 //!   [--from NODE] [--to NODE] [--limit K] [--policy P]` — prepare and
 //!   evaluate a regular path query through a [`Session`] (pairwise when
@@ -12,9 +15,12 @@
 //!   otherwise);
 //! * `stats (--run FILE | <SPEC> --edges N)` — run/label statistics;
 //! * `store <SPEC> --dir DIR [--ingest N] [--edges M] [--seed S]
-//!   [--add FILE]` — create or extend a persistent [`RunStore`]:
-//!   ingest simulated runs and/or a JSON run file, deduplicate by
-//!   fingerprint, and materialize warm index artifacts;
+//!   [--add FILE] [--open rID --events FILE]` — create or extend a
+//!   persistent [`RunStore`]: ingest simulated runs and/or a JSON run
+//!   file, deduplicate by fingerprint, and materialize warm index
+//!   artifacts; `--open rID --events FILE` appends an event batch to a
+//!   stored run through the live-ingestion path (indexes maintained
+//!   incrementally, catalog epoch bumped);
 //! * `batch <QUERY> --store DIR [--threads N] [--cache C] [--policy P]
 //!   [--kernel K]` — prepare `<QUERY>` once and evaluate it
 //!   entry→exit over every stored run on a thread pool, reporting
@@ -24,7 +30,14 @@
 //!   (`rpq-serve`): one shared warm session, a bounded worker pool,
 //!   graceful overload refusals, clean SIGTERM/ctrl-c shutdown;
 //! * `request <VERB> --addr HOST:PORT ...` — the client side: `query`
-//!   (every evaluation mode), `stats`, `runs`, `ping`, `shutdown`.
+//!   (every evaluation mode), `append` (grow an open run over the
+//!   wire), `stats`, `runs`, `ping`, `shutdown`;
+//! * `watch <QUERY> --addr HOST:PORT [--index I | --fp HEX]
+//!   [--mode MODE] [--max-deltas N]` — stand a query up over an open
+//!   run (protocol-v3 `Subscribe`) and print each pushed delta — only
+//!   *newly derived* answers — as appends land on the server; exits
+//!   after `--max-deltas N` pushes, on SIGTERM/ctrl-c, or when the
+//!   server goes away.
 //!
 //! `<SPEC>` is `fig2`, `fork`, `bioaid`, `qblast`, or a path to a JSON
 //! specification produced by serde. `--policy` selects the subquery
@@ -40,12 +53,13 @@
 
 use rpq_core::{BatchOptions, QueryRequest, RpqError, Session, SubqueryPolicy};
 use rpq_grammar::Specification;
-use rpq_labeling::{Run, RunBuilder, RunStats};
+use rpq_labeling::{EventBatch, Run, RunBuilder, RunStats};
 use rpq_serve::protocol::{QuerySpec, RunAddr, WireMode, WireResult};
 use rpq_serve::{ServeClient, ServeConfig, Server};
 use rpq_store::RunStore;
 use std::fmt::Write as _;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Entry point: interpret `args` (without the program name) and return
 /// the output text.
@@ -60,6 +74,7 @@ pub fn run_cli(args: &[String]) -> Result<String, RpqError> {
         Some("batch") => cmd_batch(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("request") => cmd_request(&args[1..]),
+        Some("watch") => cmd_watch(&args[1..]),
         Some("help") | None => Ok(USAGE.to_owned()),
         Some(other) => Err(RpqError::invalid(format!(
             "unknown subcommand {other:?}\n{USAGE}"
@@ -72,18 +87,21 @@ rpq — regular path queries on workflow provenance
 
 USAGE:
   rpq spec <SPEC>
-  rpq simulate <SPEC> --edges N [--seed S] [--fork CYCLE] [--out FILE]
+  rpq simulate <SPEC> --edges N [--seed S] [--fork CYCLE] [--out FILE] [--stream B]
   rpq query <SPEC> <QUERY> [--run FILE | --edges N --seed S]
             [--from NODE] [--to NODE] [--limit K] [--policy P] [--kernel K]
   rpq stats (--run FILE | <SPEC> --edges N [--seed S])
   rpq store <SPEC> --dir DIR [--ingest N] [--edges M] [--seed S] [--add FILE]
-            [--remove FP|rID] [--gc]
+            [--open rID --events FILE] [--remove FP|rID] [--gc]
   rpq batch <QUERY> --store DIR [--threads N] [--cache C] [--policy P] [--kernel K]
   rpq serve <SPEC> --store DIR [--addr HOST:PORT] [--workers N] [--queue Q]
-            [--cache C] [--policy P] [--kernel K]
+            [--cache C] [--policy P] [--kernel K] [--idle-timeout SECS]
   rpq request query <QUERY> --addr HOST:PORT [--index I | --fp HEX]
             [--mode MODE] [--from U] [--to V] [--policy P] [--limit K]
+  rpq request append --addr HOST:PORT --events FILE [--index I | --fp HEX]
   rpq request (stats | runs | ping | shutdown) --addr HOST:PORT
+  rpq watch <QUERY> --addr HOST:PORT [--index I | --fp HEX] [--mode MODE]
+            [--from U] [--to V] [--policy P] [--limit K] [--max-deltas N]
 
 SPEC:   fig2 | fork | bioaid | qblast | path to a JSON specification
 NODE:   module:occurrence, e.g. a:2 (numeric node indexes for `request`)
@@ -267,14 +285,67 @@ fn cmd_simulate(args: &[String]) -> Result<String, RpqError> {
         stats.n_nodes, stats.n_edges, stats.tree_depth, stats.label_bytes_avg
     )
     .expect("write to string");
+    if let Some(b) = opt(&options, "stream") {
+        // Split the derivation into a base prefix plus replayable event
+        // batches: the base goes to --out, batch k to
+        // `<out stem>.events-k.json`, ready for `rpq store --open
+        // --events` or `rpq request append`.
+        let n_batches: usize = parse_num(b, "--stream")?;
+        let path = opt(&options, "out")
+            .ok_or_else(|| RpqError::invalid("simulate: --stream needs --out FILE"))?;
+        let (base, batches) =
+            rpq_workloads::runs::event_stream(&run, n_batches).map_err(RpqError::invalid)?;
+        write_json(path, &base)?;
+        writeln!(
+            out,
+            "streamed: base {} node(s)/{} edge(s) saved to {path}",
+            base.n_nodes(),
+            base.n_edges()
+        )
+        .expect("write to string");
+        for (k, batch) in batches.iter().enumerate() {
+            let batch_path = events_path(path, k + 1);
+            write_json(&batch_path, batch)?;
+            writeln!(
+                out,
+                "  batch {}: {} node(s), {} edge(s) saved to {batch_path}",
+                k + 1,
+                batch.nodes.len(),
+                batch.edges.len()
+            )
+            .expect("write to string");
+        }
+        return Ok(out);
+    }
     if let Some(path) = opt(&options, "out") {
-        let json = serde_json::to_string(&run)
-            .map_err(|e| RpqError::invalid(format!("serialize failed: {e}")))?;
-        std::fs::write(path, json)
-            .map_err(|e| RpqError::io(format!("cannot write {path:?}"), e))?;
+        write_json(path, &run)?;
         writeln!(out, "saved to {path}").expect("write to string");
     }
     Ok(out)
+}
+
+/// Serialize `value` as JSON to `path`.
+fn write_json<T: serde::Serialize>(path: &str, value: &T) -> Result<(), RpqError> {
+    let json = serde_json::to_string(value)
+        .map_err(|e| RpqError::invalid(format!("serialize failed: {e}")))?;
+    std::fs::write(path, json).map_err(|e| RpqError::io(format!("cannot write {path:?}"), e))
+}
+
+/// Sibling path for event batch `k` of a streamed simulation:
+/// `run.json` → `run.events-k.json`.
+fn events_path(out: &str, k: usize) -> String {
+    match out.strip_suffix(".json") {
+        Some(stem) => format!("{stem}.events-{k}.json"),
+        None => format!("{out}.events-{k}"),
+    }
+}
+
+/// Parse an `EventBatch` JSON file (as written by `simulate --stream`).
+fn load_events(path: &str) -> Result<EventBatch, RpqError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| RpqError::io(format!("cannot read events {path:?}"), e))?;
+    serde_json::from_str(&text)
+        .map_err(|e| RpqError::invalid(format!("cannot parse events {path:?}: {e}")))
 }
 
 fn cmd_query(args: &[String]) -> Result<String, RpqError> {
@@ -402,7 +473,9 @@ fn cmd_store(args: &[String]) -> Result<String, RpqError> {
         .ok_or_else(|| RpqError::invalid("store: missing <SPEC>"))?;
     let dir = opt(&options, "dir").ok_or_else(|| RpqError::invalid("store: --dir DIR required"))?;
     let spec = load_spec(spec_name)?;
-    let store = RunStore::open_or_create(dir, Arc::new(spec))?;
+    // Arc'd because the live-append path (`--open`) hands out shared
+    // `OpenRun` handles; every other operation derefs through it.
+    let store = Arc::new(RunStore::open_or_create(dir, Arc::new(spec))?);
 
     let mut out = String::new();
     if let Some(n) = opt(&options, "ingest") {
@@ -437,6 +510,42 @@ fn cmd_store(args: &[String]) -> Result<String, RpqError> {
             }
         )
         .expect("write to string");
+    }
+    match (opt(&options, "open"), opt(&options, "events")) {
+        (Some(target), Some(path)) => {
+            let id = target
+                .strip_prefix('r')
+                .ok_or_else(|| RpqError::invalid(format!("--open {target:?}: expected r<ID>")))?;
+            let id: u64 = parse_num(id, "--open run id")?;
+            let batch = load_events(path)?;
+            let open = store.open_run(rpq_store::RunId(id))?;
+            let receipt = open.append_events(&batch)?;
+            writeln!(
+                out,
+                "appended {path} to {target}: seq {}, epoch {}, +{} node(s)/+{} edge(s) \
+                 ({}), now {} node(s)/{} edge(s), fp {:016x}{:016x}",
+                receipt.seq,
+                receipt.epoch,
+                receipt.new_nodes,
+                receipt.new_edges,
+                if receipt.rebuilt {
+                    "full rebuild"
+                } else {
+                    "delta maintenance"
+                },
+                receipt.n_nodes,
+                receipt.n_edges,
+                receipt.fingerprint.0,
+                receipt.fingerprint.1
+            )
+            .expect("write to string");
+        }
+        (None, None) => {}
+        _ => {
+            return Err(RpqError::invalid(
+                "store: --open rID and --events FILE go together",
+            ))
+        }
     }
     if let Some(target) = opt(&options, "remove") {
         let removed = if let Some(id) = target.strip_prefix('r') {
@@ -613,6 +722,10 @@ fn cmd_serve(args: &[String]) -> Result<String, RpqError> {
             None => None,
         },
         policy: parse_policy(&options)?,
+        idle_timeout: Duration::from_secs(parse_num(
+            opt(&options, "idle-timeout").unwrap_or("60"),
+            "--idle-timeout",
+        )?),
     };
     let server = Server::bind(store, &config)?;
     let warmed = server.warm()?;
@@ -639,11 +752,11 @@ fn cmd_serve(args: &[String]) -> Result<String, RpqError> {
 fn cmd_request(args: &[String]) -> Result<String, RpqError> {
     let (positional, options) = split_args(args)?;
     let verb = positional.first().ok_or_else(|| {
-        RpqError::invalid("request: missing verb (query | stats | runs | ping | shutdown)")
+        RpqError::invalid("request: missing verb (query | append | stats | runs | ping | shutdown)")
     })?;
-    if !["ping", "shutdown", "runs", "stats", "query"].contains(verb) {
+    if !["ping", "shutdown", "runs", "stats", "query", "append"].contains(verb) {
         return Err(RpqError::invalid(format!(
-            "unknown request verb {verb:?} (query | stats | runs | ping | shutdown)"
+            "unknown request verb {verb:?} (query | append | stats | runs | ping | shutdown)"
         )));
     }
     let addr = opt(&options, "addr")
@@ -679,6 +792,7 @@ fn cmd_request(args: &[String]) -> Result<String, RpqError> {
                  service: {} connection(s), {} request(s), {} overloaded, {} error(s)\n\
                  session: plan {}h/{}m, index {}h/{}m, csr {}h/{}m, {} eviction(s)\n\
                  store:   tag reloads {}, csr reloads {}, tag rebuilds {}, csr rebuilds {}\n\
+                 live:    epoch {}, {} append(s) ({} forced rebuild(s)), {} subscription(s)\n\
                  closures: pairs {}, bits {}, scc {}\n",
                 s.store_runs,
                 s.accepted,
@@ -696,6 +810,10 @@ fn cmd_request(args: &[String]) -> Result<String, RpqError> {
                 s.csr_reloads,
                 s.tag_rebuilds,
                 s.csr_rebuilds,
+                s.store_epoch,
+                s.appends,
+                s.append_rebuilds,
+                s.subscriptions,
                 s.closures_pairs,
                 s.closures_bits,
                 s.closures_scc,
@@ -707,28 +825,48 @@ fn cmd_request(args: &[String]) -> Result<String, RpqError> {
                 .ok_or_else(|| RpqError::invalid("request query: missing <QUERY>"))?;
             cmd_request_query(&mut client, addr, query, &options)
         }
+        "append" => {
+            let path = opt(&options, "events")
+                .ok_or_else(|| RpqError::invalid("request append: --events FILE required"))?;
+            let batch = load_events(path)?;
+            let run = parse_run_addr(&options)?;
+            let receipt = client.append(run, batch)?;
+            Ok(format!(
+                "appended {path} @ {addr}: seq {}, epoch {}, +{} node(s)/+{} edge(s) ({}), \
+                 now {} node(s)/{} edge(s), fp {:016x}{:016x}\n",
+                receipt.seq,
+                receipt.epoch,
+                receipt.new_nodes,
+                receipt.new_edges,
+                if receipt.rebuilt != 0 {
+                    "full rebuild"
+                } else {
+                    "delta maintenance"
+                },
+                receipt.n_nodes,
+                receipt.n_edges,
+                receipt.fp_hi,
+                receipt.fp_lo
+            ))
+        }
         _ => unreachable!("verb validated above"),
     }
 }
 
-fn cmd_request_query(
-    client: &mut ServeClient,
-    addr: &str,
-    query: &str,
-    options: &[(&str, &str)],
-) -> Result<String, RpqError> {
-    let run = match (opt(options, "fp"), opt(options, "index")) {
+/// Parse `--fp HEX | --index I` into a run address (index 0 default).
+fn parse_run_addr(options: &[(&str, &str)]) -> Result<RunAddr, RpqError> {
+    match (opt(options, "fp"), opt(options, "index")) {
         (Some(fp), None) => {
             let (hi, lo) = parse_fingerprint(fp)?;
-            RunAddr::Fingerprint(hi, lo)
+            Ok(RunAddr::Fingerprint(hi, lo))
         }
-        (None, index) => RunAddr::Index(parse_num(index.unwrap_or("0"), "--index")?),
-        (Some(_), Some(_)) => {
-            return Err(RpqError::invalid(
-                "request query: --fp and --index are mutually exclusive",
-            ))
-        }
-    };
+        (None, index) => Ok(RunAddr::Index(parse_num(index.unwrap_or("0"), "--index")?)),
+        (Some(_), Some(_)) => Err(RpqError::invalid("--fp and --index are mutually exclusive")),
+    }
+}
+
+/// Parse `--mode`/`--from`/`--to` into a wire evaluation mode.
+fn parse_wire_mode(options: &[(&str, &str)]) -> Result<WireMode, RpqError> {
     let from = match opt(options, "from") {
         Some(s) => Some(parse_num::<u32>(s, "--from node index")?),
         None => None,
@@ -738,40 +876,46 @@ fn cmd_request_query(
         None => None,
     };
     let need = |side: Option<u32>, flag: &str, mode: &str| {
-        side.ok_or_else(|| RpqError::invalid(format!("request query --mode {mode} needs {flag}")))
+        side.ok_or_else(|| RpqError::invalid(format!("--mode {mode} needs {flag}")))
     };
-    let mode = match opt(options, "mode") {
+    match opt(options, "mode") {
         // Inferred mode mirrors `rpq query`: both endpoints → pairwise,
         // one → the star selection, none → entry→exit.
-        None => match (from, to) {
+        None => Ok(match (from, to) {
             (Some(u), Some(v)) => WireMode::Pairwise(u, v),
             (Some(u), None) => WireMode::SourceStar(u),
             (None, Some(v)) => WireMode::TargetStar(v),
             (None, None) => WireMode::EntryExit,
-        },
-        Some("pairwise") => WireMode::Pairwise(
+        }),
+        Some("pairwise") => Ok(WireMode::Pairwise(
             need(from, "--from", "pairwise")?,
             need(to, "--to", "pairwise")?,
-        ),
-        Some("entry-exit") => WireMode::EntryExit,
-        Some("source-star") => WireMode::SourceStar(need(from, "--from", "source-star")?),
-        Some("target-star") => WireMode::TargetStar(need(to, "--to", "target-star")?),
-        Some("reachable") => WireMode::Reachable(need(from, "--from", "reachable")?),
+        )),
+        Some("entry-exit") => Ok(WireMode::EntryExit),
+        Some("source-star") => Ok(WireMode::SourceStar(need(from, "--from", "source-star")?)),
+        Some("target-star") => Ok(WireMode::TargetStar(need(to, "--to", "target-star")?)),
+        Some("reachable") => Ok(WireMode::Reachable(need(from, "--from", "reachable")?)),
         // The node universe lives server-side; the symbolic mode ships
         // no id lists and needs no inventory round trip.
-        Some("all-pairs") => WireMode::AllPairsFull,
-        Some(other) => {
-            return Err(RpqError::invalid(format!(
-                "invalid --mode {other:?} (pairwise | entry-exit | all-pairs | source-star | \
-                 target-star | reachable)"
-            )))
-        }
-    };
+        Some("all-pairs") => Ok(WireMode::AllPairsFull),
+        Some(other) => Err(RpqError::invalid(format!(
+            "invalid --mode {other:?} (pairwise | entry-exit | all-pairs | source-star | \
+             target-star | reachable)"
+        ))),
+    }
+}
+
+fn cmd_request_query(
+    client: &mut ServeClient,
+    addr: &str,
+    query: &str,
+    options: &[(&str, &str)],
+) -> Result<String, RpqError> {
     let outcome = client.query(QuerySpec {
         query: query.to_owned(),
         policy: opt(options, "policy").unwrap_or("").to_owned(),
-        run,
-        mode,
+        run: parse_run_addr(options)?,
+        mode: parse_wire_mode(options)?,
     })?;
     let limit: usize = parse_num(opt(options, "limit").unwrap_or("10"), "--limit")?;
     let mut out = String::new();
@@ -818,6 +962,97 @@ fn cmd_request_query(
         }
     }
     Ok(out)
+}
+
+fn cmd_watch(args: &[String]) -> Result<String, RpqError> {
+    let (positional, options) = split_args(args)?;
+    let query = positional
+        .first()
+        .ok_or_else(|| RpqError::invalid("watch: missing <QUERY>"))?;
+    let addr = opt(&options, "addr")
+        .ok_or_else(|| RpqError::invalid("watch: --addr HOST:PORT required"))?;
+    let limit: usize = parse_num(opt(&options, "limit").unwrap_or("10"), "--limit")?;
+    let max_deltas: u64 = match opt(&options, "max-deltas") {
+        Some(s) => parse_num(s, "--max-deltas")?,
+        None => u64::MAX,
+    };
+    let mut client = ServeClient::connect(addr)?;
+    let (seq, initial) = client.subscribe(QuerySpec {
+        query: (*query).to_owned(),
+        policy: opt(&options, "policy").unwrap_or("").to_owned(),
+        run: parse_run_addr(&options)?,
+        mode: parse_wire_mode(&options)?,
+    })?;
+    // Streaming output: each line prints (and flushes) as it happens —
+    // run_cli's return value only appears when the watch ends, and
+    // harnesses scrape the first line to know the watch is standing.
+    println!(
+        "watching {query} @ {addr} from seq {seq}; baseline {}",
+        summarize_result(&initial)
+    );
+    flush_stdout();
+    let stop = rpq_serve::signals::install_termination_flag();
+    let mut received: u64 = 0;
+    while received < max_deltas {
+        if stop.load(std::sync::atomic::Ordering::Relaxed) {
+            break;
+        }
+        if let Some((seq, added)) = client.next_delta(Duration::from_millis(300))? {
+            received += 1;
+            println!("delta seq {seq}: {}", render_added(&added, limit));
+            flush_stdout();
+        }
+    }
+    client.unsubscribe()?;
+    Ok(format!("watch: {received} delta(s) received\n"))
+}
+
+fn flush_stdout() {
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+}
+
+/// One-line shape of a full wire result (the subscription baseline).
+fn summarize_result(result: &WireResult) -> String {
+    match result {
+        WireResult::Bool(hit) => format!("verdict {hit}"),
+        WireResult::Pairs(pairs) => format!("{} pair(s)", pairs.len()),
+        WireResult::Nodes(nodes) => format!("{} node(s)", nodes.len()),
+    }
+}
+
+/// One-line rendering of a pushed delta (newly derived answers only).
+fn render_added(added: &WireResult, limit: usize) -> String {
+    let list = |shown: Vec<String>, total: usize| {
+        let mut s = shown.join(" ");
+        if total > limit {
+            write!(s, " … {} more (raise --limit)", total - limit).expect("write to string");
+        }
+        s
+    };
+    match added {
+        WireResult::Bool(hit) => format!("verdict flipped to {hit}"),
+        WireResult::Pairs(pairs) => format!(
+            "+{} pair(s): {}",
+            pairs.len(),
+            list(
+                pairs
+                    .iter()
+                    .take(limit)
+                    .map(|(u, v)| format!("{u}->{v}"))
+                    .collect(),
+                pairs.len()
+            )
+        ),
+        WireResult::Nodes(nodes) => format!(
+            "+{} node(s): {}",
+            nodes.len(),
+            list(
+                nodes.iter().take(limit).map(u32::to_string).collect(),
+                nodes.len()
+            )
+        ),
+    }
 }
 
 #[cfg(test)]
@@ -1182,6 +1417,129 @@ mod tests {
         assert!(run(&["request", "query", "_*"]).is_err()); // no --addr
         let err = run(&["request", "teleport", "--addr", &addr]).unwrap_err();
         assert!(err.to_string().contains("unknown request verb"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn simulate_stream_and_offline_append_round_trip() {
+        let dir = std::env::temp_dir()
+            .join("rpq_cli_stream")
+            .join(std::process::id().to_string());
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("run.json");
+        let base = base.to_str().unwrap().to_owned();
+        let store_dir = dir.join("store");
+        let store_dir = store_dir.to_str().unwrap().to_owned();
+
+        // Streamed simulation: base + 3 replayable event batches.
+        let out = run(&[
+            "simulate", "fig2", "--edges", "90", "--seed", "7", "--out", &base, "--stream", "3",
+        ])
+        .unwrap();
+        assert!(out.contains("streamed: base"), "{out}");
+        assert!(out.contains("batch 3:"), "{out}");
+        for k in 1..=3 {
+            let batch = load_events(&events_path(&base, k)).unwrap();
+            assert!(!batch.is_empty(), "batch {k} is empty");
+        }
+
+        // Ingest the base, then replay every batch through the
+        // live-append path. Each CLI invocation is a fresh process, so
+        // the open-handle seq restarts at 1; the persisted catalog
+        // epoch keeps climbing across invocations.
+        run(&["store", "fig2", "--dir", &store_dir, "--add", &base]).unwrap();
+        for k in 1..=3u64 {
+            let events = events_path(&base, k as usize);
+            let out = run(&[
+                "store", "fig2", "--dir", &store_dir, "--open", "r0", "--events", &events,
+            ])
+            .unwrap();
+            assert!(out.contains("appended"), "{out}");
+            assert!(out.contains(&format!("seq 1, epoch {}", k + 1)), "{out}");
+        }
+
+        // The grown run answers queries like any stored run.
+        let out = run(&["batch", "_* e _*", "--store", &store_dir]).unwrap();
+        assert!(out.contains("over 1 run(s)"), "{out}");
+
+        // Usage errors: the flags go together; the id must exist.
+        let err = run(&["store", "fig2", "--dir", &store_dir, "--open", "r0"]).unwrap_err();
+        assert!(err.to_string().contains("go together"), "{err}");
+        let events = events_path(&base, 1);
+        assert!(
+            run(&["store", "fig2", "--dir", &store_dir, "--open", "r9", "--events", &events,])
+                .is_err()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn watch_streams_deltas_from_live_appends() {
+        let dir = std::env::temp_dir()
+            .join("rpq_cli_watch")
+            .join(std::process::id().to_string());
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("run.json");
+        let base = base.to_str().unwrap().to_owned();
+        let store_dir = dir.join("store");
+        let store_dir = store_dir.to_str().unwrap().to_owned();
+        run(&[
+            "simulate", "fig2", "--edges", "90", "--seed", "5", "--out", &base, "--stream", "2",
+        ])
+        .unwrap();
+        run(&["store", "fig2", "--dir", &store_dir, "--add", &base]).unwrap();
+
+        // ≥2 workers: a standing subscriber pins one for its duration.
+        let store = RunStore::open(&store_dir).unwrap();
+        let config = ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        };
+        let server = Server::bind(store, &config).unwrap();
+        server.warm().unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let serving = std::thread::spawn(move || server.run(None));
+
+        // An appender lands both batches while the watch stands.
+        let batches: Vec<EventBatch> = (1..=2)
+            .map(|k| load_events(&events_path(&base, k)).unwrap())
+            .collect();
+        let append_addr = addr.clone();
+        let appender = std::thread::spawn(move || {
+            let mut client =
+                ServeClient::connect_with_retry(append_addr.as_str(), Duration::from_secs(5))
+                    .unwrap();
+            for batch in batches {
+                std::thread::sleep(Duration::from_millis(300));
+                client.append(RunAddr::Index(0), batch).unwrap();
+            }
+        });
+
+        // `_*` over all pairs grows on every append (each new node is
+        // reachable from itself), so the first delta is guaranteed.
+        let out = run(&[
+            "watch",
+            "_*",
+            "--addr",
+            &addr,
+            "--mode",
+            "all-pairs",
+            "--max-deltas",
+            "1",
+        ])
+        .unwrap();
+        assert!(out.contains("watch: 1 delta(s) received"), "{out}");
+        appender.join().unwrap();
+
+        let stats = run(&["request", "stats", "--addr", &addr]).unwrap();
+        assert!(stats.contains("2 append(s)"), "{stats}");
+        assert!(stats.contains("1 subscription(s)"), "{stats}");
+
+        run(&["request", "shutdown", "--addr", &addr]).unwrap();
+        serving.join().unwrap();
+        assert!(run(&["watch", "_*"]).is_err()); // no --addr
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,117 @@
+//! Section-wise maintenance of `BENCH_serve.json`.
+//!
+//! The file holds two independently refreshed measurements — the
+//! backend loopback sweep (`serve_loopback`, from `repro -- serve`)
+//! and the router-tier sweep (`router_fleet`, from `repro -- router`).
+//! The workspace's offline `serde_json` shim has no generic value
+//! type, so re-running one sweep preserves the other by extracting its
+//! section textually: every section is a balanced-brace object whose
+//! strings (all written by this crate) contain no braces.
+
+use std::io;
+use std::path::Path;
+
+/// Extract the balanced `{...}` object following `"key":` in `text`.
+fn extract_section(text: &str, key: &str) -> Option<String> {
+    let marker = format!("\"{key}\":");
+    let start = text.find(&marker)? + marker.len();
+    let open = start + text[start..].find('{')?;
+    let mut depth = 0usize;
+    for (i, c) in text[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(text[open..=open + i].to_owned());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Read `path` and pull out an existing section body, accepting both
+/// the combined layout and the legacy serve-only file (a bare
+/// `serve_loopback` document at top level).
+fn existing_section(text: &str, key: &str) -> Option<String> {
+    if let Some(body) = extract_section(text, key) {
+        return Some(body);
+    }
+    if key == "serve_loopback" && text.contains("\"bench\": \"serve_loopback\"") {
+        return Some(text.trim().to_owned());
+    }
+    None
+}
+
+/// Replace (or add) one section of the combined benchmark file,
+/// preserving the other section byte-for-byte.
+pub fn update_section(path: impl AsRef<Path>, key: &str, body: &str) -> io::Result<()> {
+    let text = std::fs::read_to_string(&path).unwrap_or_default();
+    let mut sections: Vec<(&str, String)> = Vec::new();
+    for k in ["serve_loopback", "router_fleet"] {
+        let section = if k == key {
+            Some(body.trim().to_owned())
+        } else {
+            existing_section(&text, k)
+        };
+        if let Some(section) = section {
+            sections.push((k, section));
+        }
+    }
+    let mut out = String::from("{\n  \"bench\": \"serve_and_router\",\n");
+    for (i, (k, section)) in sections.iter().enumerate() {
+        out.push_str(&format!("  \"{k}\": {section}"));
+        out.push_str(if i + 1 < sections.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("}\n");
+    std::fs::write(path, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("rpq_benchfile_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}_{}.json", std::process::id()))
+    }
+
+    #[test]
+    fn sections_survive_each_others_updates() {
+        let path = tmp("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        update_section(&path, "serve_loopback", "{\"a\": {\"b\": 1}}").unwrap();
+        update_section(&path, "router_fleet", "{\"c\": 2}").unwrap();
+        update_section(&path, "serve_loopback", "{\"a\": 3}").unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            extract_section(&text, "serve_loopback").as_deref(),
+            Some("{\"a\": 3}")
+        );
+        assert_eq!(
+            extract_section(&text, "router_fleet").as_deref(),
+            Some("{\"c\": 2}")
+        );
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn a_legacy_serve_only_file_is_adopted_as_a_section() {
+        let path = tmp("legacy");
+        std::fs::write(
+            &path,
+            "{\n  \"bench\": \"serve_loopback\",\n  \"points\": [{\"workers\": 1}]\n}\n",
+        )
+        .unwrap();
+        update_section(&path, "router_fleet", "{\"c\": 2}").unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let serve = extract_section(&text, "serve_loopback").unwrap();
+        assert!(serve.contains("\"points\""), "{serve}");
+        assert!(extract_section(&text, "router_fleet").is_some());
+        let _ = std::fs::remove_file(&path);
+    }
+}

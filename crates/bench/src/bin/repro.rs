@@ -113,4 +113,16 @@ fn main() {
             Err(e) => eprintln!("cannot write {path}: {e}"),
         }
     }
+    if want("router") {
+        // The routing tier: closed-loop load through `rpq-router`
+        // across shard counts, plus a kill-a-backend failover leg.
+        let path = "BENCH_serve.json";
+        match rpq_bench::routerbench::run_and_record(scale == Scale::Full, path) {
+            Ok(table) => {
+                println!("{}", table.render());
+                println!("baseline written to {path}\n");
+            }
+            Err(e) => eprintln!("cannot write {path}: {e}"),
+        }
+    }
 }

@@ -17,10 +17,12 @@
 //! (Option S2); **G1/G2/G3** = the baselines of Section IV-B.
 
 pub mod batchbench;
+pub mod benchfile;
 pub mod datasets;
 pub mod experiments;
 pub mod ingestbench;
 pub mod kernelbench;
+pub mod routerbench;
 pub mod servebench;
 pub mod timing;
 

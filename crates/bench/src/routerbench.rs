@@ -1,0 +1,509 @@
+//! Router-tier load generation: the `router_fleet` section of
+//! `BENCH_serve.json`.
+//!
+//! Two measurements, both loopback and in-process:
+//!
+//! * **shard sweep** — the same corpus served by 1/2/4 backends with a
+//!   router in front, driven closed-loop by a fixed client count:
+//!   throughput and tail latency of the extra tier as the fleet
+//!   scales (every backend holds the full corpus, so the sweep
+//!   isolates routing cost from data placement);
+//! * **failover leg** — a free-running closed loop against the widest
+//!   fleet while one backend is killed mid-run: latency and error
+//!   counts split into before / spike (the first second after the
+//!   kill, while failed attempts burn the per-attempt deadline and
+//!   the breaker ejects the corpse) / recovered (the rest).
+//!
+//! Requests address runs by fingerprint — the router's fast path; the
+//! positional path adds a fleet inventory scan per request and is not
+//! what a load balancer would be fed.
+
+use crate::servebench::{aggregate, LoopStats};
+use crate::timing::Table;
+use rpq_labeling::Run;
+use rpq_router::{Router, RouterConfig};
+use rpq_serve::protocol::{QuerySpec, RunAddr, WireMode, WireRequest, WireResponse};
+use rpq_serve::{RetryPolicy, ServeClient, ServeConfig, Server};
+use rpq_store::RunStore;
+use rpq_workloads::{bioaid_like, runs};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One shard-count sweep point.
+#[derive(Debug, Clone)]
+pub struct RouterPoint {
+    /// Backend count behind the router.
+    pub shards: usize,
+    /// Saturated closed-loop measurement through the router.
+    pub closed: LoopStats,
+}
+
+/// The kill-a-backend leg: one continuous closed loop, phase-split at
+/// the kill instant.
+#[derive(Debug, Clone)]
+pub struct FailoverLeg {
+    /// Backend count (the widest sweep point).
+    pub shards: usize,
+    /// Seconds into the loop the backend was killed.
+    pub kill_at_secs: f64,
+    /// Samples before the kill.
+    pub before: LoopStats,
+    /// The first second after the kill: failover spike.
+    pub spike: LoopStats,
+    /// The remainder: post-ejection recovery.
+    pub recovered: LoopStats,
+}
+
+/// The full router-tier measurement.
+#[derive(Debug, Clone)]
+pub struct RouterMeasurement {
+    /// Corpus size (runs).
+    pub n_runs: usize,
+    /// Smallest target edge count in the corpus.
+    pub target_edges: usize,
+    /// The query every request evaluates (entry→exit, by fingerprint).
+    pub query: String,
+    /// CPUs the host exposed while measuring.
+    pub available_parallelism: usize,
+    /// Requests per client in each closed sweep loop.
+    pub requests_per_client: usize,
+    /// Client threads (= connections) per loop.
+    pub clients: usize,
+    /// The shard sweep.
+    pub points: Vec<RouterPoint>,
+    /// The kill-a-backend leg.
+    pub failover: FailoverLeg,
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("rpq_bench_router")
+        .join(format!("{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A fleet of `shards` warm backends, each over the full corpus, with
+/// a router in front.
+struct Fleet {
+    router: std::net::SocketAddr,
+    router_handle: rpq_router::ShutdownHandle,
+    backend_handles: Vec<rpq_serve::ShutdownHandle>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+    dirs: Vec<PathBuf>,
+}
+
+impl Fleet {
+    fn start(
+        tag: &str,
+        shards: usize,
+        spec: &Arc<rpq_grammar::Specification>,
+        corpus: &[Run],
+    ) -> Fleet {
+        let mut backends = Vec::new();
+        let mut backend_handles = Vec::new();
+        let mut threads = Vec::new();
+        let mut dirs = Vec::new();
+        for b in 0..shards {
+            let dir = scratch_dir(&format!("{tag}_b{b}"));
+            let store = RunStore::create(&dir, Arc::clone(spec)).expect("create scratch store");
+            for run in corpus {
+                store.ingest(run).expect("ingest corpus run");
+            }
+            store
+                .materialize_artifacts()
+                .expect("materialize artifacts");
+            let server = Server::bind(
+                store,
+                &ServeConfig {
+                    workers: 2,
+                    queue: 256,
+                    ..ServeConfig::default()
+                },
+            )
+            .expect("bind backend");
+            server.warm().expect("warm artifacts");
+            backends.push(server.local_addr().expect("backend address"));
+            backend_handles.push(server.shutdown_handle());
+            threads.push(std::thread::spawn(move || {
+                server.run(None);
+            }));
+            dirs.push(dir);
+        }
+        let router = Router::bind(&RouterConfig {
+            backends,
+            replication: 2.min(shards),
+            workers: 4,
+            queue: 256,
+            deadline: Duration::from_secs(2),
+            retry: RetryPolicy::fixed(Duration::from_millis(2), Duration::from_millis(10)),
+            eject_after: 2,
+            cooldown: Duration::from_millis(300),
+            probe_interval: Duration::from_millis(100),
+            // Every backend already holds everything; the syncer would
+            // only add inventory-scan noise to the measurement.
+            sync_interval: None,
+            ..RouterConfig::default()
+        })
+        .expect("bind router");
+        let addr = router.local_addr().expect("router address");
+        let router_handle = router.shutdown_handle();
+        threads.push(std::thread::spawn(move || {
+            router.run(None);
+        }));
+        Fleet {
+            router: addr,
+            router_handle,
+            backend_handles,
+            threads,
+            dirs,
+        }
+    }
+
+    fn stop(mut self) {
+        self.router_handle.shutdown();
+        for handle in &self.backend_handles {
+            handle.shutdown();
+        }
+        for thread in self.threads.drain(..) {
+            thread.join().expect("fleet thread");
+        }
+        for dir in &self.dirs {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+}
+
+/// One fingerprint-addressed request; returns the observed latency.
+fn issue_fp(
+    client: &mut ServeClient,
+    query: &str,
+    fp: (u64, u64),
+    since: Instant,
+) -> Result<f64, ()> {
+    let request = WireRequest::Query(QuerySpec {
+        query: query.to_owned(),
+        policy: String::new(),
+        run: RunAddr::Fingerprint(fp.0, fp.1),
+        mode: WireMode::EntryExit,
+    });
+    match client.request(&request) {
+        Ok(WireResponse::Outcome(_)) => Ok(since.elapsed().as_secs_f64() * 1e6),
+        _ => Err(()),
+    }
+}
+
+/// Closed loop through the router: `clients` connections, requests
+/// back-to-back over the corpus round-robin.
+fn closed_loop(
+    addr: std::net::SocketAddr,
+    query: &str,
+    fps: &[(u64, u64)],
+    clients: usize,
+    per_client: usize,
+) -> LoopStats {
+    let started = Instant::now();
+    let all: Vec<Vec<f64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut client = ServeClient::connect_with_retry(addr, Duration::from_secs(5))
+                        .expect("bench client connects");
+                    let mut latencies = Vec::with_capacity(per_client);
+                    for i in 0..per_client {
+                        let t0 = Instant::now();
+                        if let Ok(us) = issue_fp(&mut client, query, fps[(c + i) % fps.len()], t0) {
+                            latencies.push(us);
+                        }
+                    }
+                    latencies
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("bench client"))
+            .collect()
+    });
+    let wall = started.elapsed().as_secs_f64();
+    let latencies: Vec<f64> = all.iter().flatten().copied().collect();
+    let errors = (clients * per_client) as u64 - latencies.len() as u64;
+    aggregate("closed", clients, 0.0, latencies, errors, wall)
+}
+
+/// The failover loop: free-running clients for `duration`, one backend
+/// killed at `kill_at`; each sample is (send-offset, latency, ok).
+fn failover_loop(
+    fleet: &Fleet,
+    query: &str,
+    fps: &[(u64, u64)],
+    clients: usize,
+    duration: Duration,
+    kill_at: Duration,
+    victim: usize,
+) -> (Vec<(f64, f64, bool)>, f64) {
+    let started = Instant::now();
+    let addr = fleet.router;
+    let victim_handle = &fleet.backend_handles[victim];
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut client = ServeClient::connect_with_retry(addr, Duration::from_secs(5))
+                        .expect("bench client connects");
+                    let mut samples = Vec::new();
+                    let mut i = 0usize;
+                    while started.elapsed() < duration {
+                        let at = started.elapsed().as_secs_f64();
+                        let t0 = Instant::now();
+                        let ok = issue_fp(&mut client, query, fps[(c + i) % fps.len()], t0);
+                        samples.push((
+                            at,
+                            ok.unwrap_or_else(|()| t0.elapsed().as_secs_f64() * 1e6),
+                            ok.is_ok(),
+                        ));
+                        i += 1;
+                    }
+                    samples
+                })
+            })
+            .collect();
+        std::thread::sleep(kill_at.saturating_sub(started.elapsed()));
+        let killed_at = started.elapsed().as_secs_f64();
+        victim_handle.shutdown();
+        let samples = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("bench client"))
+            .collect();
+        (samples, killed_at)
+    })
+}
+
+fn phase(
+    loop_kind: &'static str,
+    clients: usize,
+    samples: &[(f64, f64, bool)],
+    from: f64,
+    to: f64,
+    wall: f64,
+) -> LoopStats {
+    let in_phase: Vec<&(f64, f64, bool)> = samples
+        .iter()
+        .filter(|(at, _, _)| *at >= from && *at < to)
+        .collect();
+    let latencies: Vec<f64> = in_phase
+        .iter()
+        .filter(|(_, _, ok)| *ok)
+        .map(|(_, us, _)| *us)
+        .collect();
+    let errors = (in_phase.len() - latencies.len()) as u64;
+    aggregate(loop_kind, clients, 0.0, latencies, errors, wall)
+}
+
+/// Run the sweep. `full` widens the corpus, request budget and fleet.
+pub fn measure(full: bool) -> RouterMeasurement {
+    let (n_runs, target_edges, per_client, shard_counts, fail_secs): (
+        usize,
+        usize,
+        usize,
+        &[usize],
+        f64,
+    ) = if full {
+        (8, 400, 400, &[1, 2, 4], 3.0)
+    } else {
+        (4, 200, 100, &[1, 2], 1.2)
+    };
+    let clients = 4;
+    let real = bioaid_like();
+    let spec = Arc::new(real.spec.clone());
+    let query = real.pool_tags[0].clone();
+    let corpus = runs::corpus(&spec, n_runs, target_edges, 0x5E12).expect("bioaid derives");
+    let fps: Vec<(u64, u64)> = corpus.iter().map(|run| run.fingerprint()).collect();
+
+    let mut points = Vec::new();
+    for &shards in shard_counts {
+        let fleet = Fleet::start(&format!("s{shards}"), shards, &spec, &corpus);
+        let closed = closed_loop(fleet.router, &query, &fps, clients, per_client);
+        fleet.stop();
+        points.push(RouterPoint { shards, closed });
+    }
+
+    // Failover: the widest fleet, one backend killed mid-loop. With
+    // every backend holding the corpus and R=2, the router's retry
+    // path absorbs the kill; the spike window shows its price.
+    let shards = *shard_counts.last().expect("non-empty sweep");
+    let fleet = Fleet::start("failover", shards, &spec, &corpus);
+    let duration = Duration::from_secs_f64(fail_secs);
+    let kill_at = Duration::from_secs_f64(fail_secs * 0.4);
+    let (samples, killed_at) =
+        failover_loop(&fleet, &query, &fps, clients, duration, kill_at, shards - 1);
+    fleet.stop();
+    let spike_end = killed_at + 1.0;
+    let failover = FailoverLeg {
+        shards,
+        kill_at_secs: killed_at,
+        before: phase("before", clients, &samples, 0.0, killed_at, killed_at),
+        spike: phase(
+            "spike",
+            clients,
+            &samples,
+            killed_at,
+            spike_end,
+            (fail_secs - killed_at).min(1.0),
+        ),
+        recovered: phase(
+            "recovered",
+            clients,
+            &samples,
+            spike_end,
+            f64::INFINITY,
+            (fail_secs - spike_end).max(1e-9),
+        ),
+    };
+
+    RouterMeasurement {
+        n_runs,
+        target_edges,
+        query,
+        available_parallelism: std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1),
+        requests_per_client: per_client,
+        clients,
+        points,
+        failover,
+    }
+}
+
+/// Paper-style table of a measurement.
+pub fn table(m: &RouterMeasurement) -> Table {
+    let mut table = Table::new(
+        &format!(
+            "router fleet: {} runs (≥{} edges), query {:?}, {} client(s), {} CPU(s)",
+            m.n_runs, m.target_edges, m.query, m.clients, m.available_parallelism
+        ),
+        &["shards", "leg", "rps", "p50", "p99", "errors"],
+    );
+    for point in &m.points {
+        table.row(vec![
+            format!("{}", point.shards),
+            "closed".to_owned(),
+            format!("{:.0}", point.closed.throughput_rps),
+            format!("{:.0} µs", point.closed.p50_us),
+            format!("{:.0} µs", point.closed.p99_us),
+            format!("{}", point.closed.errors),
+        ]);
+    }
+    for leg in [&m.failover.before, &m.failover.spike, &m.failover.recovered] {
+        table.row(vec![
+            format!("{}", m.failover.shards),
+            format!("kill:{}", leg.loop_kind),
+            format!("{:.0}", leg.throughput_rps),
+            format!("{:.0} µs", leg.p50_us),
+            format!("{:.0} µs", leg.p99_us),
+            format!("{}", leg.errors),
+        ]);
+    }
+    table
+}
+
+fn leg_json(leg: &LoopStats) -> String {
+    format!(
+        "{{\"leg\": \"{}\", \"clients\": {}, \"requests\": {}, \"errors\": {}, \
+         \"throughput_rps\": {:.1}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"max_us\": {:.1}}}",
+        leg.loop_kind,
+        leg.clients,
+        leg.requests,
+        leg.errors,
+        leg.throughput_rps,
+        leg.p50_us,
+        leg.p99_us,
+        leg.max_us,
+    )
+}
+
+/// The JSON section body for `BENCH_serve.json`.
+pub fn to_json(m: &RouterMeasurement) -> String {
+    let mut out = String::from("{\n    \"bench\": \"router_fleet\",\n");
+    out.push_str(&format!(
+        "    \"dataset\": \"bioaid\",\n    \"n_runs\": {},\n    \"target_edges\": {},\n    \
+         \"query\": \"{}\",\n    \"requests_per_client\": {},\n    \"clients\": {},\n    \
+         \"available_parallelism\": {},\n",
+        m.n_runs,
+        m.target_edges,
+        m.query,
+        m.requests_per_client,
+        m.clients,
+        m.available_parallelism
+    ));
+    out.push_str(
+        "    \"note\": \"closed loops through the router, runs addressed by fingerprint, \
+         every backend holding the full corpus with R=2. The failover leg kills one backend \
+         mid-loop: the spike window is the first second after the kill, while failed \
+         attempts burn the per-attempt deadline until the breaker ejects the corpse; errors \
+         stay 0 because the router retries the surviving replica. Single-CPU hosts serialize \
+         router, backends and clients, so shard scaling reads as overhead there.\",\n",
+    );
+    out.push_str("    \"points\": [\n");
+    for (i, point) in m.points.iter().enumerate() {
+        out.push_str(&format!(
+            "      {{\"shards\": {}, \"closed\": {}}}{}\n",
+            point.shards,
+            leg_json(&point.closed),
+            if i + 1 < m.points.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("    ],\n");
+    out.push_str(&format!(
+        "    \"failover\": {{\"shards\": {}, \"kill_at_secs\": {:.3},\n      \
+         \"before\": {},\n      \"spike\": {},\n      \"recovered\": {}}}\n",
+        m.failover.shards,
+        m.failover.kill_at_secs,
+        leg_json(&m.failover.before),
+        leg_json(&m.failover.spike),
+        leg_json(&m.failover.recovered),
+    ));
+    out.push_str("  }");
+    out
+}
+
+/// Refresh the `router_fleet` section of the benchmark file at `path`
+/// (preserving the serve section) and return the rendered table.
+pub fn run_and_record(full: bool, path: &str) -> std::io::Result<Table> {
+    let m = measure(full);
+    crate::benchfile::update_section(path, "router_fleet", &to_json(&m))?;
+    Ok(table(&m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_measurement_produces_sound_numbers() {
+        let m = measure(false);
+        assert_eq!(m.points.len(), 2);
+        for point in &m.points {
+            assert!(point.closed.requests > 0, "{point:?}");
+            assert_eq!(point.closed.errors, 0, "{point:?}");
+            assert!(point.closed.p50_us > 0.0, "{point:?}");
+            assert!(point.closed.p50_us <= point.closed.p99_us, "{point:?}");
+        }
+        // The kill is absorbed: phases on both sides of it answered
+        // requests, and nothing surfaced as a client-visible error.
+        assert!(m.failover.before.requests > 0, "{:?}", m.failover);
+        assert!(m.failover.spike.requests + m.failover.recovered.requests > 0);
+        assert_eq!(m.failover.before.errors, 0, "{:?}", m.failover);
+        assert_eq!(
+            m.failover.spike.errors + m.failover.recovered.errors,
+            0,
+            "{:?}",
+            m.failover
+        );
+        let json = to_json(&m);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"failover\""));
+        assert!(table(&m).render().contains("kill:spike"));
+    }
+}

@@ -99,7 +99,7 @@ fn quantile_us(sorted: &[f64], q: f64) -> f64 {
     sorted[idx]
 }
 
-fn aggregate(
+pub(crate) fn aggregate(
     loop_kind: &'static str,
     clients: usize,
     offered_rps: f64,
@@ -393,10 +393,12 @@ pub fn to_json(m: &ServeMeasurement) -> String {
     out
 }
 
-/// Write the sweep to `path` and return the rendered table.
+/// Refresh the `serve_loopback` section of the benchmark file at
+/// `path` (preserving any router section) and return the rendered
+/// table.
 pub fn run_and_record(full: bool, path: &str) -> std::io::Result<Table> {
     let m = measure(full);
-    std::fs::write(path, to_json(&m))?;
+    crate::benchfile::update_section(path, "serve_loopback", &to_json(&m))?;
     Ok(table(&m))
 }
 

@@ -83,6 +83,19 @@ pub struct Run {
     fingerprint: std::sync::OnceLock<(u64, u64)>,
 }
 
+/// Structural equality: two runs are equal iff their event histories
+/// (nodes and edges, in order) are — the adjacency lists, entry/exit
+/// and fingerprint are all derived from those, and the lazily-filled
+/// fingerprint cell must not make a decoded copy compare unequal to
+/// its original.
+impl PartialEq for Run {
+    fn eq(&self, other: &Run) -> bool {
+        self.nodes == other.nodes && self.edges == other.edges
+    }
+}
+
+impl Eq for Run {}
+
 impl Run {
     /// Assemble a run from nodes and edges (crate-internal; use
     /// [`crate::RunBuilder`]).

@@ -1,0 +1,128 @@
+//! Per-backend health tracking: consecutive-failure ejection with
+//! half-open recovery.
+//!
+//! The state machine is the standard circuit breaker:
+//!
+//! ```text
+//!            k consecutive failures
+//!  Healthy ──────────────────────────▶ Ejected
+//!     ▲                                   │ cooldown elapses
+//!     │ success                           ▼
+//!     └──────────────────────────── HalfOpen
+//!                 failure ──▶ back to Ejected (cooldown restarts)
+//! ```
+//!
+//! Ejected backends are skipped by the routing fast path (no point
+//! burning a connect timeout on a corpse every request); half-open
+//! backends are probed again — by the prober thread and by real
+//! traffic when healthier replicas are exhausted — and one success
+//! readmits them.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// What the router may do with a backend right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Availability {
+    /// In good standing: first choice for routing.
+    Healthy,
+    /// Cooling off after ejection: do not route to it.
+    Ejected,
+    /// Cooldown elapsed: a trial request decides its fate.
+    HalfOpen,
+}
+
+/// One backend's breaker state.
+#[derive(Debug, Default)]
+struct BackendState {
+    consecutive_failures: u32,
+    ejected_at: Option<Instant>,
+}
+
+/// Health table for a fleet of backends, shared between the routing
+/// workers and the prober thread.
+#[derive(Debug)]
+pub struct HealthTable {
+    states: Vec<Mutex<BackendState>>,
+    eject_after: u32,
+    cooldown: Duration,
+}
+
+impl HealthTable {
+    /// A table of `backends` members, ejecting after `eject_after`
+    /// consecutive failures for `cooldown` per ejection.
+    pub fn new(backends: usize, eject_after: u32, cooldown: Duration) -> HealthTable {
+        HealthTable {
+            states: (0..backends).map(|_| Mutex::default()).collect(),
+            eject_after: eject_after.max(1),
+            cooldown,
+        }
+    }
+
+    /// The backend's current availability.
+    pub fn availability(&self, backend: usize) -> Availability {
+        let state = self.states[backend].lock().expect("health lock");
+        match state.ejected_at {
+            None => Availability::Healthy,
+            Some(at) if at.elapsed() >= self.cooldown => Availability::HalfOpen,
+            Some(_) => Availability::Ejected,
+        }
+    }
+
+    /// Record a successful probe or request: full readmission.
+    pub fn record_success(&self, backend: usize) {
+        let mut state = self.states[backend].lock().expect("health lock");
+        state.consecutive_failures = 0;
+        state.ejected_at = None;
+    }
+
+    /// Record a failed probe or request. An already-ejected (or
+    /// half-open) backend goes straight back to cooling; a healthy one
+    /// is ejected once the consecutive-failure threshold is met.
+    pub fn record_failure(&self, backend: usize) {
+        let mut state = self.states[backend].lock().expect("health lock");
+        state.consecutive_failures = state.consecutive_failures.saturating_add(1);
+        if state.ejected_at.is_some() || state.consecutive_failures >= self.eject_after {
+            state.ejected_at = Some(Instant::now());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ejection_needs_consecutive_failures_and_success_resets() {
+        let table = HealthTable::new(2, 3, Duration::from_secs(60));
+        table.record_failure(0);
+        table.record_failure(0);
+        assert_eq!(table.availability(0), Availability::Healthy);
+        // A success in between breaks the streak.
+        table.record_success(0);
+        table.record_failure(0);
+        table.record_failure(0);
+        assert_eq!(table.availability(0), Availability::Healthy);
+        table.record_failure(0);
+        assert_eq!(table.availability(0), Availability::Ejected);
+        // Backend 1 is untouched.
+        assert_eq!(table.availability(1), Availability::Healthy);
+    }
+
+    #[test]
+    fn cooldown_half_opens_and_the_trial_decides() {
+        let table = HealthTable::new(1, 1, Duration::from_millis(20));
+        table.record_failure(0);
+        assert_eq!(table.availability(0), Availability::Ejected);
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(table.availability(0), Availability::HalfOpen);
+        // A failed trial re-ejects immediately (no threshold to re-earn).
+        table.record_failure(0);
+        assert_eq!(table.availability(0), Availability::Ejected);
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(table.availability(0), Availability::HalfOpen);
+        // A successful trial readmits fully.
+        table.record_success(0);
+        assert_eq!(table.availability(0), Availability::Healthy);
+    }
+}

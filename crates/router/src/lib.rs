@@ -1,0 +1,1037 @@
+#![warn(missing_docs)]
+
+//! A fault-tolerant routing tier in front of a fleet of `rpq-serve`
+//! backends.
+//!
+//! One [`Router`] speaks the same wire protocol as the backends
+//! ([`rpq_serve::protocol`]) on its front side, and acts as a client
+//! on its back side. It places every run fingerprint on the fleet with
+//! a consistent-hash [`ring`](ring::HashRing) (R-way replication),
+//! health-checks the backends (ping probes, consecutive-failure
+//! ejection, half-open recovery — [`health`]), and on a backend
+//! failure transparently retries the next replica under the shared
+//! [`RetryPolicy`], so a single dead backend costs one failover, not a
+//! failed query. When *no* replica answers, the client receives a
+//! graceful [`WireResponse::Unavailable`] frame instead of a hang.
+//!
+//! A background sync loop keeps replication flowing: it watches each
+//! backend's catalog epoch (re-reading inventories only when the epoch
+//! moves) and copies any run missing from one of its ring-assigned
+//! replicas backend-to-backend with the protocol's
+//! [`FetchRun`](WireRequest::FetchRun) / [`PushRun`](WireRequest::PushRun)
+//! verbs. Runs are immutable, deduplicated by structural fingerprint,
+//! so the copy is idempotent and safe to race with queries.
+//!
+//! The router serves **query traffic** — `Query`, `ListRuns` (the
+//! merged fleet inventory), `Stats` (summed fleet counters), `Ping`,
+//! `Shutdown`. The live-ingestion verbs (`Append`, `Subscribe`) and
+//! the replication verbs are refused with a pointer to the backends:
+//! they are stateful per-connection or per-store, and a transparent
+//! proxy for them would have to forward growth signals it cannot
+//! fan out correctly.
+//!
+//! Stand up two backends and a router, then query through it:
+//!
+//! ```
+//! use rpq_router::{Router, RouterConfig};
+//! use rpq_serve::{protocol::*, ServeClient, ServeConfig, Server};
+//! use rpq_store::RunStore;
+//! use std::sync::Arc;
+//!
+//! let spec = Arc::new(rpq_workloads::paper_examples::fig2_spec());
+//! let run = rpq_labeling::RunBuilder::new(&spec)
+//!     .seed(1)
+//!     .target_edges(60)
+//!     .build()
+//!     .unwrap();
+//! let mut backends = Vec::new();
+//! let mut handles = Vec::new();
+//! let mut joins = Vec::new();
+//! let mut dirs = Vec::new();
+//! for i in 0..2 {
+//!     let dir = std::env::temp_dir().join(format!("rpq_router_doc_{}_{i}", std::process::id()));
+//!     let _ = std::fs::remove_dir_all(&dir);
+//!     let store = RunStore::create(&dir, Arc::clone(&spec)).unwrap();
+//!     store.ingest(&run).unwrap();
+//!     let server = Server::bind(store, &ServeConfig::default()).unwrap();
+//!     backends.push(server.local_addr().unwrap());
+//!     handles.push(server.shutdown_handle());
+//!     joins.push(std::thread::spawn(move || server.run(None)));
+//!     dirs.push(dir);
+//! }
+//!
+//! let config = RouterConfig {
+//!     backends,
+//!     ..RouterConfig::default()
+//! };
+//! let router = Router::bind(&config).unwrap();
+//! let addr = router.local_addr().unwrap();
+//! let handle = router.shutdown_handle();
+//! let routing = std::thread::spawn(move || router.run(None));
+//!
+//! // The router speaks the backend protocol: the ordinary client works.
+//! let mut client = ServeClient::connect(addr).unwrap();
+//! let outcome = client
+//!     .query(QuerySpec {
+//!         query: "_*".to_owned(),
+//!         policy: String::new(),
+//!         run: RunAddr::Index(0),
+//!         mode: WireMode::EntryExit,
+//!     })
+//!     .unwrap();
+//! assert_eq!(outcome.result, WireResult::Bool(true));
+//!
+//! handle.shutdown();
+//! routing.join().unwrap();
+//! for h in handles {
+//!     h.shutdown();
+//! }
+//! for j in joins {
+//!     j.join().unwrap();
+//! }
+//! # for dir in dirs { let _ = std::fs::remove_dir_all(&dir); }
+//! ```
+
+pub mod health;
+pub mod ring;
+
+use health::{Availability, HealthTable};
+use ring::HashRing;
+use rpq_core::RpqError;
+use rpq_serve::protocol::{
+    self, error_kind, QuerySpec, RunAddr, WireRequest, WireResponse, WireResult, WireRunInfo,
+    WireStatsReply,
+};
+use rpq_serve::{RetryPolicy, ServeClient, WireOutcome};
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Front-side read-timeout tick (shutdown poll cadence).
+const READ_TICK: Duration = Duration::from_millis(50);
+
+/// Router configuration (the CLI's `rpq router` flags).
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Bind address for the front side; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// The backend fleet, in ring order. The order is part of the
+    /// placement: every router in front of the same fleet must list
+    /// the backends identically.
+    pub backends: Vec<SocketAddr>,
+    /// Replication factor R: how many backends hold (and may answer
+    /// for) each run. Capped at the fleet size.
+    pub replication: usize,
+    /// Worker threads on the front side; 0 means one per CPU.
+    pub workers: usize,
+    /// Waiting-connection bound; connections past `workers + queue`
+    /// receive [`WireResponse::Overloaded`].
+    pub queue: usize,
+    /// Per-attempt deadline on the back side: connect, send and read
+    /// against one backend are each bounded by it, so a black-holed
+    /// backend costs one deadline, not a hang.
+    pub deadline: Duration,
+    /// Backoff between replica failovers (and the pacing the backends'
+    /// own clients share).
+    pub retry: RetryPolicy,
+    /// Consecutive failures before a backend is ejected.
+    pub eject_after: u32,
+    /// How long an ejected backend cools before a half-open trial.
+    pub cooldown: Duration,
+    /// Cadence of the background ping probe over the fleet.
+    pub probe_interval: Duration,
+    /// Cadence of the replication sync loop; `None` disables
+    /// replication (the router still fails over between whatever
+    /// replicas already hold each run).
+    pub sync_interval: Option<Duration>,
+    /// Result entries per streamed chunk on the front side, mirroring
+    /// [`rpq_serve::ServeConfig::chunk_entries`].
+    pub chunk_entries: usize,
+    /// Idle keep-alive bound for front-side connections.
+    pub idle_timeout: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> RouterConfig {
+        RouterConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            backends: Vec::new(),
+            replication: 2,
+            workers: 0,
+            queue: 64,
+            deadline: Duration::from_secs(5),
+            retry: RetryPolicy::default(),
+            eject_after: 3,
+            cooldown: Duration::from_millis(500),
+            probe_interval: Duration::from_millis(250),
+            sync_interval: Some(Duration::from_millis(500)),
+            chunk_entries: 65_536,
+            idle_timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+/// What the router did over its lifetime, returned by [`Router::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouterReport {
+    /// Front-side connections accepted.
+    pub accepted: u64,
+    /// Requests served (all verbs).
+    pub requests: u64,
+    /// Connections refused by admission control.
+    pub overloaded: u64,
+    /// Attempts that failed over to another replica (backend down,
+    /// overloaded, or missing the run).
+    pub failovers: u64,
+    /// Requests answered [`WireResponse::Unavailable`] — every replica
+    /// was down.
+    pub unavailable: u64,
+    /// Runs copied between backends by the replication sync loop.
+    pub synced_runs: u64,
+}
+
+/// Monotonic router counters.
+#[derive(Default)]
+struct Counters {
+    accepted: AtomicU64,
+    requests: AtomicU64,
+    overloaded: AtomicU64,
+    failovers: AtomicU64,
+    unavailable: AtomicU64,
+    synced_runs: AtomicU64,
+}
+
+/// A clonable handle that stops a running router from another thread.
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    flag: Arc<AtomicBool>,
+}
+
+impl ShutdownHandle {
+    /// Ask the router to stop accepting and drain.
+    pub fn shutdown(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Has shutdown been requested?
+    pub fn is_shutdown(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// The dispatch queue between the accept loop and the workers.
+struct ConnQueue {
+    state: Mutex<(VecDeque<TcpStream>, bool)>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl ConnQueue {
+    fn new(capacity: usize) -> ConnQueue {
+        ConnQueue {
+            state: Mutex::new((VecDeque::new(), false)),
+            ready: Condvar::new(),
+            capacity,
+        }
+    }
+
+    fn push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut state = self.state.lock().expect("conn queue lock");
+        if state.0.len() >= self.capacity {
+            return Err(stream);
+        }
+        state.0.push_back(stream);
+        drop(state);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    fn pop(&self) -> Option<TcpStream> {
+        let mut state = self.state.lock().expect("conn queue lock");
+        loop {
+            if let Some(stream) = state.0.pop_front() {
+                return Some(stream);
+            }
+            if state.1 {
+                return None;
+            }
+            state = self.ready.wait(state).expect("conn queue wait");
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().expect("conn queue lock").1 = true;
+        self.ready.notify_all();
+    }
+}
+
+/// Result of one patient front-side read.
+enum ReadOutcome {
+    Filled,
+    Done,
+}
+
+/// A bound routing tier over a fleet of backends.
+pub struct Router {
+    listener: TcpListener,
+    backends: Vec<SocketAddr>,
+    ring: HashRing,
+    health: HealthTable,
+    replication: usize,
+    workers: usize,
+    queue_cap: usize,
+    deadline: Duration,
+    retry: RetryPolicy,
+    probe_interval: Duration,
+    sync_interval: Option<Duration>,
+    chunk_entries: usize,
+    idle_timeout: Duration,
+    shutdown: Arc<AtomicBool>,
+    counters: Counters,
+}
+
+impl Router {
+    /// Bind the front listener and assemble the ring and health table.
+    pub fn bind(config: &RouterConfig) -> Result<Router, RpqError> {
+        if config.backends.is_empty() {
+            return Err(RpqError::invalid(
+                "a router needs at least one backend (--backend ADDR)".to_owned(),
+            ));
+        }
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| RpqError::io(format!("cannot bind {}", config.addr), e))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| RpqError::io("cannot set the listener non-blocking", e))?;
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        } else {
+            config.workers
+        };
+        Ok(Router {
+            listener,
+            ring: HashRing::new(config.backends.len()),
+            health: HealthTable::new(config.backends.len(), config.eject_after, config.cooldown),
+            backends: config.backends.clone(),
+            replication: config.replication.clamp(1, config.backends.len()),
+            workers,
+            queue_cap: config.queue.max(1),
+            deadline: config.deadline,
+            retry: config.retry,
+            probe_interval: config.probe_interval,
+            sync_interval: config.sync_interval,
+            chunk_entries: config.chunk_entries.max(1),
+            idle_timeout: config.idle_timeout,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            counters: Counters::default(),
+        })
+    }
+
+    /// The bound front address (read the ephemeral port here).
+    pub fn local_addr(&self) -> Result<SocketAddr, RpqError> {
+        self.listener
+            .local_addr()
+            .map_err(|e| RpqError::io("cannot read the bound address", e))
+    }
+
+    /// Worker threads the router will run.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// A handle that stops this router from another thread.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            flag: Arc::clone(&self.shutdown),
+        }
+    }
+
+    /// Route until shutdown (handle, protocol verb, or the optional
+    /// `external` flag — the CLI passes its SIGTERM/SIGINT flag here).
+    /// Blocks the calling thread; workers, prober and syncer run
+    /// scoped inside.
+    pub fn run(self, external: Option<&AtomicBool>) -> RouterReport {
+        let queue = ConnQueue::new(self.queue_cap);
+        std::thread::scope(|scope| {
+            for _ in 0..self.workers {
+                scope.spawn(|| {
+                    while let Some(stream) = queue.pop() {
+                        self.serve_connection(stream);
+                    }
+                });
+            }
+            scope.spawn(|| self.run_prober());
+            if self.sync_interval.is_some() {
+                scope.spawn(|| self.run_syncer());
+            }
+            loop {
+                if external.is_some_and(|f| f.load(Ordering::Relaxed)) {
+                    self.shutdown.store(true, Ordering::Relaxed);
+                }
+                if self.shutdown.load(Ordering::Relaxed) {
+                    break;
+                }
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        self.counters.accepted.fetch_add(1, Ordering::Relaxed);
+                        if let Err(rejected) = queue.push(stream) {
+                            self.counters.overloaded.fetch_add(1, Ordering::Relaxed);
+                            self.refuse(rejected);
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                }
+            }
+            queue.close();
+        });
+        RouterReport {
+            accepted: self.counters.accepted.load(Ordering::Relaxed),
+            requests: self.counters.requests.load(Ordering::Relaxed),
+            overloaded: self.counters.overloaded.load(Ordering::Relaxed),
+            failovers: self.counters.failovers.load(Ordering::Relaxed),
+            unavailable: self.counters.unavailable.load(Ordering::Relaxed),
+            synced_runs: self.counters.synced_runs.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Graceful refusal: one Overloaded frame, then close (mirrors the
+    /// backend server's refusal, RST-safe drain included).
+    fn refuse(&self, mut stream: TcpStream) {
+        let _ = stream.set_nonblocking(false);
+        let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+        if protocol::write_message(
+            &mut stream,
+            &WireResponse::Overloaded {
+                queue: self.queue_cap as u64,
+            },
+        )
+        .is_err()
+        {
+            return;
+        }
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+        let mut sink = [0u8; 4096];
+        for _ in 0..16 {
+            match stream.read(&mut sink) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {}
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Front side: one connection's request/response loop.
+    // -----------------------------------------------------------------
+
+    /// Serve requests on one front connection until the peer closes, a
+    /// transport error occurs, or shutdown drains it.
+    fn serve_connection(&self, mut stream: TcpStream) {
+        let _ = stream.set_nonblocking(false);
+        let _ = stream.set_read_timeout(Some(READ_TICK));
+        let _ = stream.set_write_timeout(Some(self.deadline));
+        let _ = stream.set_nodelay(true);
+        loop {
+            if self.shutdown.load(Ordering::Relaxed) {
+                return;
+            }
+            let request = match self.read_request(&mut stream) {
+                Ok(Some(request)) => request,
+                Ok(None) => return,
+                Err(e) => {
+                    let _ = protocol::write_message(
+                        &mut stream,
+                        &WireResponse::Error {
+                            kind: error_kind(&e).to_owned(),
+                            message: e.to_string(),
+                        },
+                    );
+                    return;
+                }
+            };
+            self.counters.requests.fetch_add(1, Ordering::Relaxed);
+            let (response, stop) = self.dispatch(request);
+            match self.write_response(&mut stream, &response) {
+                Ok(()) => {}
+                Err(e @ RpqError::Invalid(_)) => {
+                    let substitute = WireResponse::Error {
+                        kind: error_kind(&e).to_owned(),
+                        message: e.to_string(),
+                    };
+                    if protocol::write_message(&mut stream, &substitute).is_err() {
+                        return;
+                    }
+                }
+                Err(_) => return,
+            }
+            if stop {
+                return;
+            }
+        }
+    }
+
+    /// Read one request, waking on the read timeout to poll the
+    /// shutdown flag and the idle bound.
+    fn read_request(&self, stream: &mut TcpStream) -> Result<Option<WireRequest>, RpqError> {
+        let mut header = [0u8; 9];
+        let mut in_frame = false;
+        match self.read_patient(stream, &mut header, &mut in_frame)? {
+            ReadOutcome::Done => return Ok(None),
+            ReadOutcome::Filled => {}
+        }
+        let len = protocol::frame_len(&header)?;
+        let mut payload = vec![0u8; len];
+        match self.read_patient(stream, &mut payload, &mut in_frame)? {
+            ReadOutcome::Done => Err(RpqError::invalid(
+                "stream ended inside a frame payload".to_owned(),
+            )),
+            ReadOutcome::Filled => Ok(Some(protocol::decode_payload(&payload)?)),
+        }
+    }
+
+    /// Fill `buf`, retrying read timeouts: idle between frames up to
+    /// `idle_timeout`, stalls inside a frame up to `deadline`.
+    fn read_patient(
+        &self,
+        stream: &mut TcpStream,
+        buf: &mut [u8],
+        in_frame: &mut bool,
+    ) -> Result<ReadOutcome, RpqError> {
+        let mut filled = 0;
+        let mut stall_started: Option<Instant> = None;
+        let mut idle_started: Option<Instant> = None;
+        while filled < buf.len() {
+            match stream.read(&mut buf[filled..]) {
+                Ok(0) if !*in_frame && filled == 0 => return Ok(ReadOutcome::Done),
+                Ok(0) => {
+                    return Err(RpqError::invalid(
+                        "stream ended inside a protocol frame".to_owned(),
+                    ))
+                }
+                Ok(n) => {
+                    filled += n;
+                    *in_frame = true;
+                    stall_started = None;
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    if !*in_frame && filled == 0 {
+                        if self.shutdown.load(Ordering::Relaxed) {
+                            return Ok(ReadOutcome::Done);
+                        }
+                        let t0 = *idle_started.get_or_insert_with(Instant::now);
+                        if t0.elapsed() > self.idle_timeout {
+                            return Ok(ReadOutcome::Done);
+                        }
+                        continue;
+                    }
+                    let t0 = *stall_started.get_or_insert_with(Instant::now);
+                    if t0.elapsed() > self.deadline {
+                        return Err(RpqError::invalid(format!(
+                            "peer stalled mid-frame past the {:?} deadline",
+                            self.deadline
+                        )));
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(RpqError::io("cannot read request frame", e)),
+            }
+        }
+        Ok(ReadOutcome::Filled)
+    }
+
+    /// Write one response, chunking oversized outcomes like the
+    /// backend server does — the router reassembles backend streams
+    /// in full (so a mid-stream backend death can fail over to a clean
+    /// retry) and re-chunks on the way out.
+    fn write_response(
+        &self,
+        stream: &mut TcpStream,
+        response: &WireResponse,
+    ) -> Result<(), RpqError> {
+        if let WireResponse::Outcome(outcome) = response {
+            if outcome.result.len() > self.chunk_entries {
+                return self.write_streamed(stream, outcome);
+            }
+        }
+        protocol::write_message(stream, response)
+    }
+
+    /// The chunked response path (header + bounded `Chunk` frames).
+    fn write_streamed(
+        &self,
+        stream: &mut TcpStream,
+        outcome: &WireOutcome,
+    ) -> Result<(), RpqError> {
+        let header = WireOutcome {
+            result: outcome.result.empty_like(),
+            ..outcome.clone()
+        };
+        protocol::write_message(stream, &WireResponse::OutcomeStream(header))?;
+        let emit = |stream: &mut TcpStream, last: bool, part: WireResult| {
+            protocol::write_message(stream, &WireResponse::Chunk { last, part })
+        };
+        match &outcome.result {
+            WireResult::Pairs(pairs) => {
+                let slices = pairs.chunks(self.chunk_entries);
+                let n = slices.len();
+                for (i, slice) in slices.enumerate() {
+                    emit(stream, i + 1 == n, WireResult::Pairs(slice.to_vec()))?;
+                }
+            }
+            WireResult::Nodes(nodes) => {
+                let slices = nodes.chunks(self.chunk_entries);
+                let n = slices.len();
+                for (i, slice) in slices.enumerate() {
+                    emit(stream, i + 1 == n, WireResult::Nodes(slice.to_vec()))?;
+                }
+            }
+            WireResult::Bool(_) => emit(stream, true, outcome.result.clone())?,
+        }
+        Ok(())
+    }
+
+    // -----------------------------------------------------------------
+    // Dispatch.
+    // -----------------------------------------------------------------
+
+    /// Dispatch one front request; the bool asks the loop to stop.
+    fn dispatch(&self, request: WireRequest) -> (WireResponse, bool) {
+        match request {
+            // The router answers for its own liveness — a fleet whose
+            // backends are all down still pings (and reports
+            // Unavailable for real work).
+            WireRequest::Ping => (WireResponse::Pong, false),
+            WireRequest::Shutdown => {
+                self.shutdown.store(true, Ordering::Relaxed);
+                (WireResponse::ShuttingDown, true)
+            }
+            WireRequest::Stats => (self.fleet_stats(), false),
+            WireRequest::ListRuns => match self.inventory() {
+                Ok(merged) => (WireResponse::Runs(merged), false),
+                Err(message) => {
+                    self.counters.unavailable.fetch_add(1, Ordering::Relaxed);
+                    (WireResponse::Unavailable { message }, false)
+                }
+            },
+            WireRequest::Query(spec) => (self.route_query(spec), false),
+            // Stateful verbs are refused with a pointer, not proxied:
+            // appends and subscriptions bind to one backend's open-run
+            // growth signal, and replication verbs are the sync loop's
+            // internal traffic.
+            WireRequest::Append { .. }
+            | WireRequest::Subscribe(_)
+            | WireRequest::Unsubscribe
+            | WireRequest::FetchRun(_)
+            | WireRequest::PushRun { .. } => (
+                WireResponse::Error {
+                    kind: "invalid".to_owned(),
+                    message: "the router serves query traffic only \
+                              (Query/ListRuns/Stats/Ping/Shutdown); send live-ingestion \
+                              and replication verbs directly to a backend"
+                        .to_owned(),
+                },
+                false,
+            ),
+        }
+    }
+
+    /// A connected client against one backend, every I/O bounded by
+    /// the per-attempt deadline.
+    fn backend_client(&self, backend: usize) -> Result<ServeClient, RpqError> {
+        let mut client = ServeClient::connect_deadline(self.backends[backend], self.deadline)?;
+        client.set_io_timeout(Some(self.deadline))?;
+        Ok(client)
+    }
+
+    /// Route one query: resolve positional addressing against the
+    /// merged inventory, then try the run's replicas in
+    /// health-preferred ring order with backoff between failovers.
+    fn route_query(&self, mut spec: QuerySpec) -> WireResponse {
+        // Positional addresses are a router-local notion (each backend
+        // numbers its catalog differently) — always rewrite to the
+        // stable fingerprint before anything ships to a backend.
+        let (fp_hi, fp_lo) = match spec.run {
+            RunAddr::Fingerprint(hi, lo) => (hi, lo),
+            RunAddr::Index(i) => match self.inventory() {
+                Ok(merged) => match merged.get(i as usize) {
+                    Some(info) => {
+                        spec.run = RunAddr::Fingerprint(info.fp_hi, info.fp_lo);
+                        (info.fp_hi, info.fp_lo)
+                    }
+                    None => {
+                        return WireResponse::Error {
+                            kind: "invalid".to_owned(),
+                            message: format!(
+                                "run #{i} out of range for a {}-run fleet",
+                                merged.len()
+                            ),
+                        }
+                    }
+                },
+                Err(message) => {
+                    self.counters.unavailable.fetch_add(1, Ordering::Relaxed);
+                    return WireResponse::Unavailable { message };
+                }
+            },
+        };
+        let mut order = self.ring.replicas_for(fp_hi, fp_lo, self.replication);
+        // Health-preferred: healthy replicas first, half-open trials
+        // next, ejected corpses last-resort. The sort is stable, so
+        // ring preference breaks ties inside each class.
+        order.sort_by_key(|&b| match self.health.availability(b) {
+            Availability::Healthy => 0u8,
+            Availability::HalfOpen => 1,
+            Availability::Ejected => 2,
+        });
+        let request = WireRequest::Query(spec);
+        let salt = fp_hi ^ fp_lo.rotate_left(17);
+        for (attempt, &backend) in order.iter().enumerate() {
+            if attempt > 0 {
+                self.retry.pause((attempt - 1) as u32, salt);
+            }
+            match self.backend_client(backend).and_then(|mut c| {
+                let response = c.request(&request)?;
+                Ok(response)
+            }) {
+                Ok(response) => {
+                    if stale_replica(&response) {
+                        // The backend is alive but has not replicated
+                        // this run yet — its answer would be a false
+                        // "no such run". Count it healthy, fail over.
+                        self.health.record_success(backend);
+                        self.counters.failovers.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    if backpressure(&response) {
+                        // Alive but refusing (overloaded / draining):
+                        // not a health event, but another replica may
+                        // have room.
+                        self.counters.failovers.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    self.health.record_success(backend);
+                    return response;
+                }
+                Err(_) => {
+                    self.health.record_failure(backend);
+                    self.counters.failovers.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        self.counters.unavailable.fetch_add(1, Ordering::Relaxed);
+        WireResponse::Unavailable {
+            message: format!(
+                "no replica answered for run {fp_hi:016x}{fp_lo:016x} \
+                 ({} tried); the fleet may be down or still replicating",
+                order.len()
+            ),
+        }
+    }
+
+    /// The merged fleet inventory: the union of every reachable
+    /// backend's runs, deduplicated by fingerprint and sorted by it,
+    /// re-numbered with fleet-wide positional ids. `Err` carries the
+    /// Unavailable message when *no* backend answered.
+    fn inventory(&self) -> Result<Vec<WireRunInfo>, String> {
+        let mut merged: BTreeMap<(u64, u64), WireRunInfo> = BTreeMap::new();
+        let mut reached = 0;
+        for backend in 0..self.backends.len() {
+            if self.health.availability(backend) == Availability::Ejected {
+                continue;
+            }
+            match self.backend_client(backend).and_then(|mut c| c.runs()) {
+                Ok(runs) => {
+                    self.health.record_success(backend);
+                    reached += 1;
+                    for info in runs {
+                        merged.entry((info.fp_hi, info.fp_lo)).or_insert(info);
+                    }
+                }
+                Err(_) => self.health.record_failure(backend),
+            }
+        }
+        if reached == 0 {
+            return Err("no backend answered the inventory scan; the fleet is down".to_owned());
+        }
+        Ok(merged
+            .into_values()
+            .enumerate()
+            .map(|(i, mut info)| {
+                info.id = i as u64;
+                info
+            })
+            .collect())
+    }
+
+    /// Fleet-wide stats: every reachable backend's counters summed
+    /// field-wise. (Per-backend numbers — epochs in particular — come
+    /// from querying a backend directly.)
+    fn fleet_stats(&self) -> WireResponse {
+        let mut total = WireStatsReply::default();
+        let mut reached = 0;
+        for backend in 0..self.backends.len() {
+            if self.health.availability(backend) == Availability::Ejected {
+                continue;
+            }
+            match self.backend_client(backend).and_then(|mut c| c.stats()) {
+                Ok(stats) => {
+                    self.health.record_success(backend);
+                    reached += 1;
+                    add_stats(&mut total, &stats);
+                }
+                Err(_) => self.health.record_failure(backend),
+            }
+        }
+        if reached == 0 {
+            self.counters.unavailable.fetch_add(1, Ordering::Relaxed);
+            return WireResponse::Unavailable {
+                message: "no backend answered the stats scan; the fleet is down".to_owned(),
+            };
+        }
+        WireResponse::Stats(total)
+    }
+
+    // -----------------------------------------------------------------
+    // Background loops.
+    // -----------------------------------------------------------------
+
+    /// Sleep in shutdown-polling ticks; false once shutdown is up.
+    fn pace(&self, total: Duration) -> bool {
+        let started = Instant::now();
+        while started.elapsed() < total {
+            if self.shutdown.load(Ordering::Relaxed) {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(25).min(total));
+        }
+        !self.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// The prober: pings every backend that is not cooling off, so
+    /// failures are noticed before traffic hits them and half-open
+    /// backends get their recovery trial even when idle.
+    fn run_prober(&self) {
+        loop {
+            for backend in 0..self.backends.len() {
+                if self.shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                if self.health.availability(backend) == Availability::Ejected {
+                    continue;
+                }
+                match self.backend_client(backend).and_then(|mut c| c.ping()) {
+                    Ok(()) => self.health.record_success(backend),
+                    Err(_) => self.health.record_failure(backend),
+                }
+            }
+            if !self.pace(self.probe_interval) {
+                return;
+            }
+        }
+    }
+
+    /// The replication syncer: watch each backend's catalog epoch,
+    /// re-inventory only when it moves, and copy any run missing from
+    /// one of its ring-assigned replicas (FetchRun from a holder →
+    /// PushRun to the replica). Runs are immutable and fingerprint-
+    /// deduplicated, so every copy is idempotent.
+    fn run_syncer(&self) {
+        let interval = self.sync_interval.expect("syncer spawned without interval");
+        // Per-backend (epoch, inventory) cache — the epoch gate.
+        let mut cache: Vec<Option<(u64, Vec<WireRunInfo>)>> = vec![None; self.backends.len()];
+        loop {
+            if !self.pace(interval) {
+                return;
+            }
+            self.sync_once(&mut cache);
+        }
+    }
+
+    /// One replication round.
+    fn sync_once(&self, cache: &mut [Option<(u64, Vec<WireRunInfo>)>]) {
+        // Phase 1: snapshot each reachable backend's inventory, gated
+        // on its catalog epoch (unchanged epoch → cached inventory).
+        let mut view: Vec<Option<Vec<WireRunInfo>>> = vec![None; self.backends.len()];
+        for backend in 0..self.backends.len() {
+            if self.shutdown.load(Ordering::Relaxed) {
+                return;
+            }
+            if self.health.availability(backend) == Availability::Ejected {
+                continue;
+            }
+            let epoch = match self.backend_client(backend).and_then(|mut c| c.stats()) {
+                Ok(stats) => {
+                    self.health.record_success(backend);
+                    stats.store_epoch
+                }
+                Err(_) => {
+                    self.health.record_failure(backend);
+                    continue;
+                }
+            };
+            let inventory = match &cache[backend] {
+                Some((cached_epoch, inventory)) if *cached_epoch == epoch => inventory.clone(),
+                _ => match self.backend_client(backend).and_then(|mut c| c.runs()) {
+                    Ok(inventory) => {
+                        cache[backend] = Some((epoch, inventory.clone()));
+                        inventory
+                    }
+                    Err(_) => {
+                        self.health.record_failure(backend);
+                        continue;
+                    }
+                },
+            };
+            view[backend] = Some(inventory);
+        }
+        // Phase 2: for every known run, every reachable ring-assigned
+        // replica that lacks it gets a copy from a current holder.
+        let mut holders: BTreeMap<(u64, u64), Vec<usize>> = BTreeMap::new();
+        for (backend, inventory) in view.iter().enumerate() {
+            if let Some(inventory) = inventory {
+                for info in inventory {
+                    holders
+                        .entry((info.fp_hi, info.fp_lo))
+                        .or_default()
+                        .push(backend);
+                }
+            }
+        }
+        for (&(fp_hi, fp_lo), holding) in &holders {
+            for &replica in &self.ring.replicas_for(fp_hi, fp_lo, self.replication) {
+                if self.shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                if view[replica].is_none() || holding.contains(&replica) {
+                    continue;
+                }
+                let Some(&donor) = holding.first() else {
+                    continue;
+                };
+                let fetched = self
+                    .backend_client(donor)
+                    .and_then(|mut c| c.fetch_run(RunAddr::Fingerprint(fp_hi, fp_lo)));
+                let Ok((_donor_epoch, run)) = fetched else {
+                    continue;
+                };
+                if let Ok((_, deduplicated, _epoch)) = self
+                    .backend_client(replica)
+                    .and_then(|mut c| c.push_run(run))
+                {
+                    if !deduplicated {
+                        self.counters.synced_runs.fetch_add(1, Ordering::Relaxed);
+                    }
+                    // The replica's epoch moved: drop its cache entry
+                    // so the next round re-reads the inventory.
+                    cache[replica] = None;
+                }
+            }
+        }
+    }
+}
+
+/// Is this response a live backend telling us it does not hold the
+/// run? (The exact message `rpq-serve`'s resolver produces — a stale
+/// replica mid-replication, or a ring disagreement; either way another
+/// replica may hold it.)
+fn stale_replica(response: &WireResponse) -> bool {
+    matches!(
+        response,
+        WireResponse::Error { kind, message }
+            if kind == "invalid" && message.contains("no stored run has fingerprint")
+    )
+}
+
+/// Is this response a refusal worth failing over (the backend is
+/// alive, just not serving right now)?
+fn backpressure(response: &WireResponse) -> bool {
+    matches!(
+        response,
+        WireResponse::Overloaded { .. }
+            | WireResponse::ShuttingDown
+            | WireResponse::Unavailable { .. }
+    )
+}
+
+/// Sum two stats snapshots field-wise.
+fn add_stats(total: &mut WireStatsReply, s: &WireStatsReply) {
+    total.plan_hits += s.plan_hits;
+    total.plan_misses += s.plan_misses;
+    total.index_hits += s.index_hits;
+    total.index_misses += s.index_misses;
+    total.csr_hits += s.csr_hits;
+    total.csr_misses += s.csr_misses;
+    total.session_evictions += s.session_evictions;
+    total.store_runs += s.store_runs;
+    total.tag_reloads += s.tag_reloads;
+    total.csr_reloads += s.csr_reloads;
+    total.tag_rebuilds += s.tag_rebuilds;
+    total.csr_rebuilds += s.csr_rebuilds;
+    total.accepted += s.accepted;
+    total.requests += s.requests;
+    total.overloaded += s.overloaded;
+    total.request_errors += s.request_errors;
+    total.closures_pairs += s.closures_pairs;
+    total.closures_bits += s.closures_bits;
+    total.closures_scc += s.closures_scc;
+    total.store_epoch += s.store_epoch;
+    total.appends += s.appends;
+    total.append_rebuilds += s.append_rebuilds;
+    total.subscriptions += s.subscriptions;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stale_replica_detection_matches_the_server_wording() {
+        assert!(stale_replica(&WireResponse::Error {
+            kind: "invalid".to_owned(),
+            message: "no stored run has fingerprint 00000000000000010000000000000002".to_owned(),
+        }));
+        assert!(!stale_replica(&WireResponse::Error {
+            kind: "parse".to_owned(),
+            message: "no stored run has fingerprint 0".to_owned(),
+        }));
+        assert!(!stale_replica(&WireResponse::Pong));
+    }
+
+    #[test]
+    fn backpressure_covers_refusals_not_request_faults() {
+        assert!(backpressure(&WireResponse::Overloaded { queue: 4 }));
+        assert!(backpressure(&WireResponse::ShuttingDown));
+        assert!(backpressure(&WireResponse::Unavailable {
+            message: String::new()
+        }));
+        assert!(!backpressure(&WireResponse::Error {
+            kind: "parse".to_owned(),
+            message: "bad query".to_owned(),
+        }));
+        assert!(!backpressure(&WireResponse::Pong));
+    }
+
+    #[test]
+    fn bind_refuses_an_empty_fleet() {
+        let err = match Router::bind(&RouterConfig::default()) {
+            Ok(_) => panic!("an empty fleet must not bind"),
+            Err(e) => e,
+        };
+        assert!(err.to_string().contains("at least one backend"));
+    }
+}

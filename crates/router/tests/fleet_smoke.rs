@@ -1,0 +1,306 @@
+//! End-to-end smoke of an operated fleet, through the `rpq` binary:
+//! three served stores, a router in front, replication converging on
+//! its own, every request verb through the front door, a `kill -9`'d
+//! backend with a query in flight, and a SIGTERM drain with exit 0.
+
+#![cfg(unix)]
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::io::{BufRead, BufReader, Read};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn target_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("target")
+}
+
+/// Locate (or, in isolation, build) the `rpq` binary — same fallback
+/// ladder as the serve crate's CLI smoke.
+fn rpq_binary() -> PathBuf {
+    let target = target_dir();
+    let candidates = [target.join("debug/rpq"), target.join("release/rpq")];
+    let newest = candidates
+        .iter()
+        .filter(|p| p.exists())
+        .max_by_key(|p| p.metadata().and_then(|m| m.modified()).ok());
+    if let Some(path) = newest {
+        return path.clone();
+    }
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_owned());
+    let status = Command::new(cargo)
+        .args(["build", "--bin", "rpq"])
+        .status()
+        .expect("spawn cargo build --bin rpq");
+    assert!(status.success(), "cannot build the rpq binary");
+    target.join("debug/rpq")
+}
+
+fn run_ok(bin: &PathBuf, args: &[&str]) -> String {
+    let out = Command::new(bin)
+        .args(args)
+        .output()
+        .unwrap_or_else(|e| panic!("spawn {bin:?} {args:?}: {e}"));
+    assert!(
+        out.status.success(),
+        "rpq {args:?} failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// Kill the child on drop so a failing assertion can't leak a process.
+struct ChildGuard(Child);
+
+impl Drop for ChildGuard {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+/// Scrape the `listening on HOST:PORT` banner off a spawned server's
+/// or router's stdout.
+fn scrape_addr(child: &mut Child) -> (String, BufReader<std::process::ChildStdout>) {
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read announce line");
+    let addr = line
+        .split("listening on ")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .unwrap_or_else(|| panic!("no address in banner: {line}"))
+        .to_owned();
+    (addr, reader)
+}
+
+/// Fingerprints listed by `rpq request runs` against one address.
+fn fingerprints(bin: &PathBuf, addr: &str) -> BTreeSet<String> {
+    run_ok(bin, &["request", "runs", "--addr", addr])
+        .lines()
+        .filter_map(|line| {
+            line.split("fp ")
+                .nth(1)
+                .and_then(|rest| rest.split_whitespace().next())
+                .map(str::to_owned)
+        })
+        .collect()
+}
+
+fn wait_exit(child: &mut Child, what: &str) -> std::process::ExitStatus {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match child.try_wait().expect("try_wait") {
+            Some(status) => return status,
+            None if Instant::now() > deadline => panic!("{what} never exited"),
+            None => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+#[test]
+fn fleet_survives_a_kill_dash_nine_and_drains_on_sigterm() {
+    let bin = rpq_binary();
+    let dir = std::env::temp_dir()
+        .join("rpq_fleet_smoke")
+        .join(std::process::id().to_string());
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create dir");
+
+    // 1. Three stores, one distinct run each (distinct sizes so the
+    // structural fingerprints cannot collide).
+    let mut backends = Vec::new();
+    let mut readers = Vec::new();
+    for b in 0..3usize {
+        let store = dir.join(format!("store{b}"));
+        let store = store.to_str().expect("utf-8 path");
+        let edges = format!("{}", 70 + 20 * b);
+        let seed = format!("{}", b + 1);
+        run_ok(
+            &bin,
+            &[
+                "store", "fig2", "--dir", store, "--ingest", "1", "--edges", &edges, "--seed",
+                &seed,
+            ],
+        );
+        let mut child = ChildGuard(
+            Command::new(&bin)
+                .args([
+                    "serve",
+                    "fig2",
+                    "--store",
+                    store,
+                    "--addr",
+                    "127.0.0.1:0",
+                    "--workers",
+                    "2",
+                ])
+                .stdout(Stdio::piped())
+                .stderr(Stdio::piped())
+                .spawn()
+                .expect("spawn rpq serve"),
+        );
+        let (addr, reader) = scrape_addr(&mut child.0);
+        backends.push((addr, child));
+        readers.push(reader);
+    }
+
+    // 2. The router in front, replication 2, fast probe/sync cadences.
+    let mut router_args = vec![
+        "router".to_owned(),
+        "--addr".to_owned(),
+        "127.0.0.1:0".to_owned(),
+        "--replicas".to_owned(),
+        "2".to_owned(),
+        "--workers".to_owned(),
+        "2".to_owned(),
+        "--deadline-ms".to_owned(),
+        "1000".to_owned(),
+        "--probe-ms".to_owned(),
+        "50".to_owned(),
+        "--sync-ms".to_owned(),
+        "50".to_owned(),
+        "--cooldown-ms".to_owned(),
+        "200".to_owned(),
+    ];
+    for (addr, _) in &backends {
+        router_args.push("--backend".to_owned());
+        router_args.push(addr.clone());
+    }
+    let mut router = ChildGuard(
+        Command::new(&bin)
+            .args(&router_args)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn rpq router"),
+    );
+    let (front, mut router_out) = scrape_addr(&mut router.0);
+    let front = front.as_str();
+
+    // 3. The merged inventory shows all three runs; wait until the
+    // syncer has placed every run on at least two backends (any single
+    // backend is then expendable).
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let mut holders: BTreeMap<String, usize> = BTreeMap::new();
+        for (addr, _) in &backends {
+            for fp in fingerprints(&bin, addr) {
+                *holders.entry(fp).or_default() += 1;
+            }
+        }
+        if holders.len() == 3 && holders.values().all(|&n| n >= 2) {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "replication never converged: {holders:?}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert_eq!(fingerprints(&bin, front).len(), 3, "merged inventory");
+
+    // 4. Every request verb through the front door.
+    assert!(run_ok(&bin, &["request", "ping", "--addr", front]).contains("pong"));
+    assert!(run_ok(&bin, &["request", "runs", "--addr", front]).contains("3 stored run(s)"));
+    // Fleet stats sum the backends, so the run count is replicas
+    // held fleet-wide (≥ 2 per run after sync), not distinct runs.
+    let stats = run_ok(&bin, &["request", "stats", "--addr", front]);
+    assert!(stats.contains("run(s) stored"), "{stats}");
+    assert!(!stats.contains(" 0 run(s) stored"), "{stats}");
+    for run in ["0", "1", "2"] {
+        let out = run_ok(
+            &bin,
+            &[
+                "request", "query", "_* e _*", "--addr", front, "--index", run,
+            ],
+        );
+        assert!(out.contains("verdict:"), "{out}");
+    }
+    let out = run_ok(
+        &bin,
+        &[
+            "request",
+            "query",
+            "_*",
+            "--addr",
+            front,
+            "--mode",
+            "all-pairs",
+        ],
+    );
+    assert!(out.contains("matches:"), "{out}");
+    let out = run_ok(
+        &bin,
+        &[
+            "request",
+            "query",
+            "_*",
+            "--addr",
+            front,
+            "--mode",
+            "reachable",
+            "--from",
+            "0",
+        ],
+    );
+    assert!(out.contains("reachable:"), "{out}");
+
+    // 5. kill -9 one backend with a query in flight: the in-flight
+    // query and every follow-up must still answer through the fleet.
+    let mut inflight = Command::new(&bin)
+        .args([
+            "request",
+            "query",
+            "_* e _* a _*",
+            "--addr",
+            front,
+            "--mode",
+            "all-pairs",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn in-flight query");
+    let victim_pid = backends[1].1 .0.id().to_string();
+    let status = Command::new("kill")
+        .args(["-9", &victim_pid])
+        .status()
+        .expect("spawn kill -9");
+    assert!(status.success(), "kill -9 failed");
+    let exit = wait_exit(&mut inflight, "in-flight query");
+    assert!(exit.success(), "in-flight query failed: {exit:?}");
+    wait_exit(&mut backends[1].1 .0, "killed backend");
+
+    for run in ["0", "1", "2"] {
+        let out = run_ok(
+            &bin,
+            &[
+                "request", "query", "_* e _*", "--addr", front, "--index", run,
+            ],
+        );
+        assert!(
+            out.contains("verdict:"),
+            "backend loss broke run {run}: {out}"
+        );
+    }
+    assert!(run_ok(&bin, &["request", "runs", "--addr", front]).contains("3 stored run(s)"));
+
+    // 6. SIGTERM → drain → exit 0 with the routing report.
+    let status = Command::new("kill")
+        .args(["-TERM", &router.0.id().to_string()])
+        .status()
+        .expect("spawn kill -TERM");
+    assert!(status.success(), "kill -TERM failed");
+    let exit = wait_exit(&mut router.0, "router on SIGTERM");
+    assert!(exit.success(), "router exited {exit:?} on SIGTERM");
+    let mut rest = String::new();
+    router_out.read_to_string(&mut rest).expect("drain router");
+    assert!(rest.contains("shutdown: routed"), "missing report: {rest}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

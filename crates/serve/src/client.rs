@@ -9,10 +9,34 @@ use crate::protocol::{
     self, QuerySpec, RunAddr, WireAppended, WireOutcome, WireRequest, WireResponse, WireResult,
     WireRunInfo, WireStatsReply,
 };
+use crate::retry::RetryPolicy;
 use rpq_core::RpqError;
 use rpq_labeling::EventBatch;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
+
+/// Map a failed connect into an error that names the address and the
+/// remedy, not just the raw OS string — "connection refused" against a
+/// dead fleet should read like `open_store`'s "no catalog.json there".
+fn connect_error(addr: &dyn std::fmt::Debug, e: std::io::Error) -> RpqError {
+    use std::io::ErrorKind;
+    let remedy = match e.kind() {
+        ErrorKind::ConnectionRefused => {
+            Some("nothing is listening there — start it with `rpq serve` (or `rpq router`) first")
+        }
+        ErrorKind::TimedOut | ErrorKind::WouldBlock => {
+            Some("the host did not answer in time — check the address and that the service is up")
+        }
+        _ => None,
+    };
+    match remedy {
+        Some(remedy) => RpqError::io(
+            format!("cannot connect to {addr:?}"),
+            std::io::Error::new(e.kind(), format!("{e}; {remedy}")),
+        ),
+        None => RpqError::io(format!("cannot connect to {addr:?}"), e),
+    }
+}
 
 /// A blocking client for the `rpq-serve` protocol.
 pub struct ServeClient {
@@ -22,27 +46,61 @@ pub struct ServeClient {
 impl ServeClient {
     /// Connect to a server.
     pub fn connect(addr: impl ToSocketAddrs + std::fmt::Debug) -> Result<ServeClient, RpqError> {
-        let stream = TcpStream::connect(&addr)
-            .map_err(|e| RpqError::io(format!("cannot connect to {addr:?}"), e))?;
+        let stream = TcpStream::connect(&addr).map_err(|e| connect_error(&addr, e))?;
         stream
             .set_nodelay(true)
             .map_err(|e| RpqError::io("cannot set TCP_NODELAY", e))?;
         Ok(ServeClient { stream })
     }
 
+    /// Connect with a hard bound on the connect itself — the router's
+    /// probe path, where a black-holed backend must cost `deadline`,
+    /// not the OS connect timeout (minutes).
+    pub fn connect_deadline(addr: SocketAddr, deadline: Duration) -> Result<ServeClient, RpqError> {
+        let stream =
+            TcpStream::connect_timeout(&addr, deadline).map_err(|e| connect_error(&addr, e))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| RpqError::io("cannot set TCP_NODELAY", e))?;
+        Ok(ServeClient { stream })
+    }
+
+    /// Bound every subsequent read and write on this connection: a
+    /// stalled server surfaces as a timeout error instead of a hang.
+    /// `None` restores blocking mode.
+    pub fn set_io_timeout(&mut self, timeout: Option<Duration>) -> Result<(), RpqError> {
+        self.stream
+            .set_read_timeout(timeout)
+            .map_err(|e| RpqError::io("cannot set the read timeout", e))?;
+        self.stream
+            .set_write_timeout(timeout)
+            .map_err(|e| RpqError::io("cannot set the write timeout", e))
+    }
+
     /// Like [`ServeClient::connect`], retrying for up to `timeout`
     /// while the server is still binding — the race every loopback
-    /// harness (benches, smoke tests) otherwise loses.
+    /// harness (benches, smoke tests) otherwise loses. Attempts are
+    /// paced by the default [`RetryPolicy`] (capped exponential
+    /// backoff with deterministic jitter), the same policy the router
+    /// uses between replica failovers.
     pub fn connect_with_retry(
         addr: impl ToSocketAddrs + std::fmt::Debug + Clone,
         timeout: Duration,
     ) -> Result<ServeClient, RpqError> {
+        let policy = RetryPolicy::default();
         let started = std::time::Instant::now();
+        // Salt the jitter per process so harnesses that spawn many
+        // concurrent clients do not retry in lockstep.
+        let salt = u64::from(std::process::id());
+        let mut attempt = 0;
         loop {
             match ServeClient::connect(addr.clone()) {
                 Ok(client) => return Ok(client),
                 Err(e) if started.elapsed() >= timeout => return Err(e),
-                Err(_) => std::thread::sleep(Duration::from_millis(20)),
+                Err(_) => {
+                    policy.pause(attempt, salt);
+                    attempt += 1;
+                }
             }
         }
     }
@@ -50,11 +108,38 @@ impl ServeClient {
     /// Issue one raw request and read its response. The caller sees
     /// every response variant, including [`WireResponse::Overloaded`]
     /// and [`WireResponse::Error`] — load generators count those.
+    ///
+    /// Streamed outcomes are reassembled here: an
+    /// [`WireResponse::OutcomeStream`] header is followed by
+    /// [`WireResponse::Chunk`] frames which are absorbed back into one
+    /// [`WireResponse::Outcome`], so callers never see the chunking.
     pub fn request(&mut self, request: &WireRequest) -> Result<WireResponse, RpqError> {
         protocol::write_message(&mut self.stream, request)?;
-        protocol::read_message(&mut self.stream)?.ok_or_else(|| {
+        let response = protocol::read_message(&mut self.stream)?.ok_or_else(|| {
             RpqError::invalid("server closed the connection before responding".to_owned())
-        })
+        })?;
+        let mut outcome = match response {
+            WireResponse::OutcomeStream(header) => header,
+            other => return Ok(other),
+        };
+        loop {
+            let frame = protocol::read_message(&mut self.stream)?.ok_or_else(|| {
+                RpqError::invalid("server closed the connection mid-stream".to_owned())
+            })?;
+            match frame {
+                WireResponse::Chunk { last, part } => {
+                    outcome.result.absorb_chunk(part)?;
+                    if last {
+                        return Ok(WireResponse::Outcome(outcome));
+                    }
+                }
+                other => {
+                    return Err(RpqError::invalid(format!(
+                        "expected a result chunk mid-stream, got {other:?}"
+                    )))
+                }
+            }
+        }
     }
 
     /// Evaluate one query; protocol-level refusals surface as
@@ -94,6 +179,29 @@ impl ServeClient {
     pub fn shutdown_server(&mut self) -> Result<(), RpqError> {
         match self.request(&WireRequest::Shutdown)? {
             WireResponse::ShuttingDown => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Fetch one stored run wholesale, with the catalog epoch it was
+    /// read at — the replication pull the router's sync loop issues.
+    pub fn fetch_run(&mut self, run: RunAddr) -> Result<(u64, rpq_labeling::Run), RpqError> {
+        match self.request(&WireRequest::FetchRun(run))? {
+            WireResponse::RunData { epoch, run } => Ok((epoch, run)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Push one run into the server's store (deduplicated by
+    /// fingerprint), returning the stored id, whether it was already
+    /// there, and the catalog epoch after the write.
+    pub fn push_run(&mut self, run: rpq_labeling::Run) -> Result<(u64, bool, u64), RpqError> {
+        match self.request(&WireRequest::PushRun { run })? {
+            WireResponse::Pushed {
+                id,
+                deduplicated,
+                epoch,
+            } => Ok((id, deduplicated != 0, epoch)),
             other => Err(unexpected(other)),
         }
     }

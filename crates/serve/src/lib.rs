@@ -73,7 +73,9 @@
 //! ```
 
 pub mod client;
+pub mod faults;
 pub mod protocol;
+pub mod retry;
 pub mod server;
 pub mod signals;
 
@@ -82,4 +84,5 @@ pub use protocol::{
     QuerySpec, RunAddr, WireAppended, WireMode, WireOutcome, WireRequest, WireResponse, WireResult,
     WireRunInfo, WireStatsReply,
 };
+pub use retry::RetryPolicy;
 pub use server::{ServeConfig, ServeReport, Server, ShutdownHandle};

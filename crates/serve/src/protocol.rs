@@ -35,8 +35,12 @@ pub const MAGIC: [u8; 4] = *b"RPQN";
 /// [`WireStatsReply`]; v3 added the live-ingestion verbs —
 /// [`WireRequest::Append`], [`WireRequest::Subscribe`],
 /// [`WireRequest::Unsubscribe`] — and the store epoch / append
-/// counters in [`WireStatsReply`].)
-pub const VERSION: u8 = 3;
+/// counters in [`WireStatsReply`]; v4 added chunked streaming
+/// responses — [`WireResponse::OutcomeStream`] followed by
+/// [`WireResponse::Chunk`] frames — the replication verbs
+/// [`WireRequest::FetchRun`] / [`WireRequest::PushRun`], and the
+/// router's degraded [`WireResponse::Unavailable`] frame.)
+pub const VERSION: u8 = 4;
 
 /// Hard cap on one frame's payload (64 MiB) — bounds the allocation a
 /// length prefix can demand before a single payload byte is read.
@@ -156,6 +160,19 @@ pub enum WireRequest {
     /// [`WireResponse::Unsubscribed`] (after any in-flight deltas) and
     /// the connection returns to request/response.
     Unsubscribe,
+    /// Fetch a stored run's full event data — the replication verb a
+    /// peer (or the router's sync loop) uses to copy an immutable
+    /// artifact off this backend. The reply is
+    /// [`WireResponse::RunData`], stamped with the donor's catalog
+    /// epoch so the recipient can order what it heard.
+    FetchRun(RunAddr),
+    /// Ingest a run shipped from a peer — the receiving half of
+    /// replication. Deduplicated by structural fingerprint like any
+    /// other ingest; the reply is [`WireResponse::Pushed`].
+    PushRun {
+        /// The run to ingest.
+        run: Run,
+    },
 }
 
 /// A query result on the wire, mirroring [`QueryResult`].
@@ -193,6 +210,36 @@ impl WireResult {
     /// Did the query match nothing?
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// An empty result of the same kind — the placeholder a
+    /// [`WireResponse::OutcomeStream`] header carries while the real
+    /// matches follow in chunks. (For `Bool` the verdict itself is
+    /// carried: a one-bit result never streams.)
+    pub fn empty_like(&self) -> WireResult {
+        match self {
+            WireResult::Bool(b) => WireResult::Bool(*b),
+            WireResult::Pairs(_) => WireResult::Pairs(Vec::new()),
+            WireResult::Nodes(_) => WireResult::Nodes(Vec::new()),
+        }
+    }
+
+    /// Append one streamed chunk; kinds must match the header's.
+    /// Chunks arrive in order and pre-sorted, so concatenation
+    /// reproduces the unchunked result byte for byte.
+    pub fn absorb_chunk(&mut self, part: WireResult) -> Result<(), RpqError> {
+        match (self, part) {
+            (WireResult::Pairs(acc), WireResult::Pairs(part)) => acc.extend(part),
+            (WireResult::Nodes(acc), WireResult::Nodes(part)) => acc.extend(part),
+            (WireResult::Bool(acc), WireResult::Bool(part)) => *acc = *acc || part,
+            (header, part) => {
+                return Err(RpqError::invalid(format!(
+                    "streamed chunk kind does not match the outcome header \
+                     (header {header:?}, chunk {part:?})"
+                )))
+            }
+        }
+        Ok(())
     }
 }
 
@@ -405,6 +452,48 @@ pub enum WireResponse {
     },
     /// The server left push mode; request/response resumes.
     Unsubscribed,
+    /// Header of a chunked query outcome: the metadata of
+    /// [`WireResponse::Outcome`] whose `result` field is an *empty*
+    /// result of the correct kind; the actual matches follow in
+    /// [`WireResponse::Chunk`] frames. Servers switch to this shape
+    /// when one `Outcome` frame would be huge (`AllPairs` over a big
+    /// run) — many bounded frames instead of one 64 MiB frame.
+    OutcomeStream(WireOutcome),
+    /// One slice of a chunked outcome. The final slice has `last`
+    /// set; concatenating every `part` in arrival order reproduces the
+    /// unchunked result exactly (the parts are already globally
+    /// sorted).
+    Chunk {
+        /// Is this the final slice?
+        last: bool,
+        /// The matches in this slice.
+        part: WireResult,
+    },
+    /// The request could not be served by any replica — the router's
+    /// degraded answer when every backend holding the run is down,
+    /// distinct from [`WireResponse::Overloaded`] (retry soon) and
+    /// [`WireResponse::Error`] (the request itself is at fault).
+    Unavailable {
+        /// What was unreachable and why.
+        message: String,
+    },
+    /// A [`WireRequest::FetchRun`] reply: the run's full event data.
+    RunData {
+        /// The donor's catalog epoch when it served this copy.
+        epoch: u64,
+        /// The stored run.
+        run: Run,
+    },
+    /// A [`WireRequest::PushRun`] landed.
+    Pushed {
+        /// The id the run holds in the recipient's store.
+        id: u64,
+        /// `1` if the recipient already held this fingerprint, `0` if
+        /// the push grew its corpus.
+        deduplicated: u64,
+        /// The recipient's catalog epoch after the push.
+        epoch: u64,
+    },
     /// The request failed; the connection stays usable.
     Error {
         /// Stable error class (`parse` / `plan` / `grammar` / `run` /
@@ -478,8 +567,10 @@ pub fn read_message<T: Deserialize>(r: &mut impl Read) -> Result<Option<T>, RpqE
 }
 
 /// Validate a 9-byte frame header and return the payload length it
-/// announces (already checked against [`MAX_FRAME`]).
-pub(crate) fn frame_len(header: &[u8; 9]) -> Result<usize, RpqError> {
+/// announces (already checked against [`MAX_FRAME`]). Public for
+/// servers (this crate's and the router's) that interleave patient,
+/// timeout-polling reads with frame decoding.
+pub fn frame_len(header: &[u8; 9]) -> Result<usize, RpqError> {
     if header[..4] != MAGIC {
         return Err(RpqError::invalid(
             "not an rpq protocol frame (bad magic)".to_owned(),
@@ -501,7 +592,7 @@ pub(crate) fn frame_len(header: &[u8; 9]) -> Result<usize, RpqError> {
 }
 
 /// Decode one frame's payload bytes.
-pub(crate) fn decode_payload<T: Deserialize>(payload: &[u8]) -> Result<T, RpqError> {
+pub fn decode_payload<T: Deserialize>(payload: &[u8]) -> Result<T, RpqError> {
     rpq_store::codec::from_bytes(payload)
         .map_err(|e| RpqError::invalid(format!("corrupt protocol payload: {e}")))
 }
@@ -681,6 +772,63 @@ mod tests {
                 micros: 17,
             }));
         }
+    }
+
+    #[test]
+    fn v4_replication_and_streaming_frames_round_trip() {
+        round_trip(WireRequest::FetchRun(RunAddr::Fingerprint(0xabc, 0xdef)));
+        round_trip(WireRequest::FetchRun(RunAddr::Index(3)));
+        let run = rpq_labeling::RunBuilder::new(&rpq_workloads::paper_examples::fig2_spec())
+            .seed(5)
+            .target_edges(40)
+            .build()
+            .unwrap();
+        round_trip(WireRequest::PushRun { run: run.clone() });
+        round_trip(WireResponse::RunData { epoch: 12, run });
+        round_trip(WireResponse::Pushed {
+            id: 7,
+            deduplicated: 1,
+            epoch: 13,
+        });
+        round_trip(WireResponse::Unavailable {
+            message: "all 2 replicas of run 00ab..cd are down".to_owned(),
+        });
+        round_trip(WireResponse::OutcomeStream(WireOutcome {
+            result: WireResult::Pairs(Vec::new()),
+            plan_kind: "safe".to_owned(),
+            index_cache: "hit".to_owned(),
+            kernel: "auto".to_owned(),
+            closure_pairs: 0,
+            closure_bits: 0,
+            closure_scc: 0,
+            nodes_touched: 9,
+            micros: 4,
+        }));
+        round_trip(WireResponse::Chunk {
+            last: false,
+            part: WireResult::Pairs(vec![(0, 1), (0, 2)]),
+        });
+        round_trip(WireResponse::Chunk {
+            last: true,
+            part: WireResult::Nodes(vec![3, 4, 5]),
+        });
+    }
+
+    #[test]
+    fn chunks_reassemble_exactly() {
+        let mut acc = WireResult::Pairs(Vec::new());
+        acc.absorb_chunk(WireResult::Pairs(vec![(0, 1), (0, 2)]))
+            .unwrap();
+        acc.absorb_chunk(WireResult::Pairs(vec![(1, 2)])).unwrap();
+        assert_eq!(acc, WireResult::Pairs(vec![(0, 1), (0, 2), (1, 2)]));
+        // Kind mismatch is an error, not a silent drop.
+        assert!(acc.absorb_chunk(WireResult::Nodes(vec![9])).is_err());
+        // empty_like keeps the kind (and, for Bool, the verdict).
+        assert_eq!(
+            WireResult::Pairs(vec![(5, 6)]).empty_like(),
+            WireResult::Pairs(Vec::new())
+        );
+        assert_eq!(WireResult::Bool(true).empty_like(), WireResult::Bool(true));
     }
 
     #[test]

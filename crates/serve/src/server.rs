@@ -11,18 +11,36 @@
 //! dominates, so thread-per-worker with a bounded waiting room is both
 //! simpler and measurably sufficient (see `BENCH_serve.json`).
 //!
-//! **Admission control.** At most `workers` connections are in flight;
-//! up to `queue` more wait in the accept queue. A connection beyond
-//! that is answered with one [`WireResponse::Overloaded`] frame and
-//! closed — a graceful refusal the client can see and back off from,
-//! never a silently dropped socket.
+//! **Admission control.** At most `workers + queue` connections are
+//! live at once, tracked by a per-connection permit released on close.
+//! A connection beyond that is answered with one
+//! [`WireResponse::Overloaded`] frame and closed — a graceful refusal
+//! the client can see and back off from, never a silently dropped
+//! socket.
+//!
+//! **Readiness loop.** Idle keep-alive connections do not pin workers:
+//! a worker that sees no request for a short grace period *parks* the
+//! connection with a poller thread, which scans parked sockets with
+//! non-blocking peeks, closes the ones idle past `idle_timeout`, and
+//! hands a connection back to the worker queue the moment its next
+//! request's first byte arrives. Busy connections stay on their worker
+//! between requests, so closed-loop throughput is unchanged.
+//! Subscriptions still pin a worker — push mode is the documented
+//! exception.
+//!
+//! **Deadlines.** A peer that stalls *inside* a request frame, or that
+//! stops draining a response, is cut off after the configured
+//! [`ServeConfig::deadline`] — a slowloris cannot hold a worker past
+//! it. Outcomes whose result exceeds [`ServeConfig::chunk_entries`]
+//! stream as one [`WireResponse::OutcomeStream`] header plus bounded
+//! [`WireResponse::Chunk`] frames instead of one huge frame.
 //!
 //! **Shutdown.** The accept loop stops when the shutdown flag rises —
 //! via [`ShutdownHandle::shutdown`], the protocol's
 //! [`WireRequest::Shutdown`] verb, or a SIGTERM/SIGINT flag installed
 //! by the CLI ([`crate::signals`]). Workers finish the request in
-//! flight, drain the waiting queue, and the server returns its final
-//! [`ServeReport`].
+//! flight, drain the waiting queue, the poller drops parked
+//! connections, and the server returns its final [`ServeReport`].
 
 use crate::protocol::{
     self, error_kind, QuerySpec, RunAddr, WireAppended, WireOutcome, WireRequest, WireResponse,
@@ -34,9 +52,22 @@ use rpq_store::{OpenRun, RunId, RunStore};
 use std::collections::{HashMap, VecDeque};
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+/// Worker read-timeout tick: how often a blocked read wakes to poll
+/// the shutdown flag (and, between frames, the idle grace).
+const READ_TICK: Duration = Duration::from_millis(50);
+
+/// How long a worker waits between frames before parking the
+/// connection with the poller. Long enough that a closed-loop client
+/// issuing back-to-back requests never parks; short enough that an
+/// idle keep-alive releases its worker promptly.
+const IDLE_GRACE: Duration = Duration::from_millis(50);
+
+/// The poller's scan cadence over parked connections.
+const POLL_TICK: Duration = Duration::from_millis(5);
 
 /// Server configuration (the CLI's `rpq serve` flags).
 #[derive(Debug, Clone)]
@@ -54,12 +85,22 @@ pub struct ServeConfig {
     /// Default subquery policy for requests that don't name one.
     pub policy: SubqueryPolicy,
     /// Idle keep-alive bound: a connection that sends no request for
-    /// this long is closed cleanly, releasing its worker. Distinct from
-    /// the 30 s mid-frame stall cutoff — that one polices a peer that
-    /// stops *inside* a frame; this one polices a peer that stops
-    /// *between* frames. Subscriptions are exempt (a quiet watcher is
-    /// the normal state).
+    /// this long is closed cleanly. Idle connections are parked with
+    /// the readiness poller (they pin no worker); this bounds how long
+    /// one may stay parked. Distinct from `deadline` — that one
+    /// polices a peer that stops *inside* a frame; this one polices a
+    /// peer that stops *between* frames. Subscriptions are exempt (a
+    /// quiet watcher is the normal state).
     pub idle_timeout: Duration,
+    /// Per-request deadline: a peer that stalls mid-frame, or stops
+    /// draining a response, is cut off after this long. The bound a
+    /// fleet client can rely on — no request hangs past it.
+    pub deadline: Duration,
+    /// Result entries (pairs/nodes) per streamed chunk: an outcome
+    /// larger than this ships as an [`WireResponse::OutcomeStream`]
+    /// header plus `Chunk` frames of at most this many entries, so
+    /// `AllPairs` over a huge run never builds one 64 MiB frame.
+    pub chunk_entries: usize,
 }
 
 impl Default for ServeConfig {
@@ -71,6 +112,8 @@ impl Default for ServeConfig {
             cache: None,
             policy: SubqueryPolicy::CostBased,
             idle_timeout: Duration::from_secs(60),
+            deadline: Duration::from_secs(30),
+            chunk_entries: 65_536,
         }
     }
 }
@@ -116,11 +159,52 @@ impl ShutdownHandle {
     }
 }
 
-/// Result of one patient read: the buffer was filled, or the
-/// connection is done (peer EOF / shutdown while idle).
+/// Result of one patient read: the buffer was filled, the connection
+/// is done (peer EOF / shutdown while idle), or the idle grace passed
+/// between frames and the connection should be parked.
 enum ReadOutcome {
     Filled,
     Done,
+    Idle,
+}
+
+/// What one request-read produced for the connection loop.
+enum ReadReq {
+    Request(WireRequest),
+    Closed,
+    Idle,
+}
+
+/// One live-connection permit, counted against `workers + queue`.
+/// Dropping it (connection closed anywhere — worker, poller, queue
+/// drain) releases the slot.
+struct Permit {
+    live: Arc<AtomicUsize>,
+}
+
+impl Permit {
+    fn acquire(live: &Arc<AtomicUsize>) -> Permit {
+        live.fetch_add(1, Ordering::Relaxed);
+        Permit {
+            live: Arc::clone(live),
+        }
+    }
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        self.live.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// One admitted connection travelling between the accept loop, the
+/// worker pool and the readiness poller.
+struct Conn {
+    stream: TcpStream,
+    /// When the connection last went idle — the poller closes it once
+    /// this is `idle_timeout` ago.
+    idle_since: Instant,
+    _permit: Permit,
 }
 
 /// How a subscription ended: back to request/response (clean
@@ -141,9 +225,11 @@ enum SubPoll {
     Request(WireRequest),
 }
 
-/// The bounded waiting room between the accept loop and the workers.
+/// The dispatch queue between the accept loop / poller and the
+/// workers. Admission is enforced by [`Permit`]s, so the queue itself
+/// only needs to bound against that same `workers + queue` total.
 struct ConnQueue {
-    state: Mutex<(VecDeque<TcpStream>, bool)>,
+    state: Mutex<(VecDeque<Conn>, bool)>,
     ready: Condvar,
     capacity: usize,
 }
@@ -157,13 +243,15 @@ impl ConnQueue {
         }
     }
 
-    /// Admit a connection, or hand it back when the room is full.
-    fn push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+    /// Enqueue a connection for a worker, or hand it back when the
+    /// room is full (cannot happen while permits bound the live count,
+    /// but the queue stays safe on its own).
+    fn push(&self, conn: Conn) -> Result<(), Conn> {
         let mut state = self.state.lock().expect("conn queue lock");
         if state.0.len() >= self.capacity {
-            return Err(stream);
+            return Err(conn);
         }
-        state.0.push_back(stream);
+        state.0.push_back(conn);
         drop(state);
         self.ready.notify_one();
         Ok(())
@@ -171,11 +259,11 @@ impl ConnQueue {
 
     /// Next waiting connection; blocks, and returns `None` once the
     /// queue is closed *and* drained.
-    fn pop(&self) -> Option<TcpStream> {
+    fn pop(&self) -> Option<Conn> {
         let mut state = self.state.lock().expect("conn queue lock");
         loop {
-            if let Some(stream) = state.0.pop_front() {
-                return Some(stream);
+            if let Some(conn) = state.0.pop_front() {
+                return Some(conn);
             }
             if state.1 {
                 return None;
@@ -200,6 +288,8 @@ pub struct Server {
     cache: Option<usize>,
     policy: SubqueryPolicy,
     idle_timeout: Duration,
+    deadline: Duration,
+    chunk_entries: usize,
     shutdown: Arc<AtomicBool>,
     counters: Arc<Counters>,
     /// Runs held open for streaming: the store's own registry keeps
@@ -246,6 +336,8 @@ impl Server {
             cache: config.cache,
             policy: config.policy,
             idle_timeout: config.idle_timeout,
+            deadline: config.deadline,
+            chunk_entries: config.chunk_entries.max(1),
             shutdown: Arc::new(AtomicBool::new(false)),
             counters: Arc::new(Counters::default()),
             open_runs: Mutex::new(HashMap::new()),
@@ -294,24 +386,32 @@ impl Server {
     /// `external` flag — the CLI passes its SIGTERM/SIGINT flag here).
     /// Blocks the calling thread; workers run scoped inside.
     pub fn run(self, external: Option<&AtomicBool>) -> ServeReport {
-        let queue = ConnQueue::new(self.queue_cap);
+        let capacity = self.workers + self.queue_cap;
+        let queue = ConnQueue::new(capacity);
+        // Connections a worker set aside between requests, awaiting
+        // the poller's pickup.
+        let parked_inbox: Mutex<Vec<Conn>> = Mutex::new(Vec::new());
+        let live = Arc::new(AtomicUsize::new(0));
         std::thread::scope(|scope| {
             for _ in 0..self.workers {
                 scope.spawn(|| {
-                    while let Some(stream) = queue.pop() {
-                        self.serve_connection(stream);
+                    while let Some(conn) = queue.pop() {
+                        self.serve_connection(conn, &parked_inbox);
                     }
                 });
             }
+            // The readiness poller: watches parked idle connections so
+            // they pin no worker, and re-dispatches them on their next
+            // request's first byte.
+            scope.spawn(|| self.poll_parked(&queue, &parked_inbox));
 
             // Accept loop: non-blocking accept polled against the
             // shutdown flags, so SIGTERM is noticed within ~10 ms.
             loop {
                 if external.is_some_and(|f| f.load(Ordering::Relaxed)) {
-                    // Propagate: workers draining idle keep-alive
-                    // connections poll only the internal flag, and they
-                    // must see the external (SIGTERM) one too or the
-                    // scope would never join.
+                    // Propagate: workers and the poller poll only the
+                    // internal flag, and they must see the external
+                    // (SIGTERM) one too or the scope would never join.
                     self.shutdown.store(true, Ordering::Relaxed);
                 }
                 if self.shutdown.load(Ordering::Relaxed) {
@@ -320,9 +420,22 @@ impl Server {
                 match self.listener.accept() {
                     Ok((stream, _)) => {
                         self.counters.accepted.fetch_add(1, Ordering::Relaxed);
-                        if let Err(rejected) = queue.push(stream) {
+                        // Admission control: refuse past `workers +
+                        // queue` *live* connections (idle parked ones
+                        // included — each holds resources either way).
+                        if live.load(Ordering::Relaxed) >= capacity {
                             self.counters.overloaded.fetch_add(1, Ordering::Relaxed);
-                            self.refuse(rejected);
+                            self.refuse(stream);
+                            continue;
+                        }
+                        let conn = Conn {
+                            stream,
+                            idle_since: Instant::now(),
+                            _permit: Permit::acquire(&live),
+                        };
+                        if let Err(rejected) = queue.push(conn) {
+                            self.counters.overloaded.fetch_add(1, Ordering::Relaxed);
+                            self.refuse(rejected.stream);
                         }
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -377,15 +490,73 @@ impl Server {
         }
     }
 
-    /// Serve every request on one connection until the peer closes, a
-    /// transport error occurs, or shutdown drains it.
-    fn serve_connection(&self, mut stream: TcpStream) {
-        let _ = stream.set_nonblocking(false);
+    /// The readiness poller: owns every parked (idle keep-alive)
+    /// connection. Non-blocking peeks detect the next request's first
+    /// byte (→ back to the worker queue), a clean close (→ drop), or
+    /// continued silence (→ close once `idle_timeout` passes). On
+    /// shutdown the parked set is dropped, draining idle connections
+    /// without any worker involvement.
+    fn poll_parked(&self, queue: &ConnQueue, parked_inbox: &Mutex<Vec<Conn>>) {
+        let mut parked: Vec<Conn> = Vec::new();
+        loop {
+            if self.shutdown.load(Ordering::Relaxed) {
+                return;
+            }
+            parked.append(&mut parked_inbox.lock().expect("parked inbox lock"));
+            let mut i = 0;
+            while i < parked.len() {
+                let mut probe = [0u8; 1];
+                match parked[i].stream.peek(&mut probe) {
+                    // EOF: the peer left while parked.
+                    Ok(0) => {
+                        parked.swap_remove(i);
+                    }
+                    // A request has begun: back to blocking mode and
+                    // onto the worker queue. The byte was only peeked,
+                    // so the worker reads the frame from its start.
+                    Ok(_) => {
+                        let conn = parked.swap_remove(i);
+                        if conn.stream.set_nonblocking(false).is_ok() {
+                            // Queue overflow cannot happen (permits
+                            // bound live connections to its capacity);
+                            // if it somehow does, the push hands the
+                            // connection back and it is dropped.
+                            let _ = queue.push(conn);
+                        }
+                    }
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::Interrupted =>
+                    {
+                        if parked[i].idle_since.elapsed() > self.idle_timeout {
+                            parked.swap_remove(i);
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    Err(_) => {
+                        parked.swap_remove(i);
+                    }
+                }
+            }
+            std::thread::sleep(POLL_TICK);
+        }
+    }
+
+    /// Serve requests on one connection until the peer closes, a
+    /// transport error occurs, shutdown drains it, or it goes idle —
+    /// idle connections are parked with the poller so they pin no
+    /// worker.
+    fn serve_connection(&self, mut conn: Conn, parked_inbox: &Mutex<Vec<Conn>>) {
+        let _ = conn.stream.set_nonblocking(false);
         // Short read timeout: between requests the worker wakes to
-        // check the shutdown flag instead of blocking forever on an
-        // idle keep-alive connection.
-        let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
-        let _ = stream.set_nodelay(true);
+        // check the shutdown flag and the idle grace instead of
+        // blocking forever.
+        let _ = conn.stream.set_read_timeout(Some(READ_TICK));
+        // A peer that stops draining its response is cut off at the
+        // deadline, same as one that stalls sending its request.
+        let _ = conn.stream.set_write_timeout(Some(self.deadline));
+        let _ = conn.stream.set_nodelay(true);
         loop {
             // Checked between requests too: a continuously busy
             // connection never hits the idle read path, and must still
@@ -393,15 +564,24 @@ impl Server {
             if self.shutdown.load(Ordering::Relaxed) {
                 return;
             }
-            let request = match self.read_request(&mut stream) {
-                Ok(Some(request)) => request,
+            let request = match self.read_request(&mut conn.stream) {
+                Ok(ReadReq::Request(request)) => request,
                 // Peer closed, or shutdown drained the idle connection.
-                Ok(None) => return,
+                Ok(ReadReq::Closed) => return,
+                // Idle past the grace: park with the poller and free
+                // this worker for connections with work to do.
+                Ok(ReadReq::Idle) => {
+                    conn.idle_since = Instant::now() - IDLE_GRACE;
+                    if conn.stream.set_nonblocking(true).is_ok() {
+                        parked_inbox.lock().expect("parked inbox lock").push(conn);
+                    }
+                    return;
+                }
                 Err(e) => {
                     // Malformed frame: report once, then drop the
                     // connection (framing is lost).
                     let _ = protocol::write_message(
-                        &mut stream,
+                        &mut conn.stream,
                         &WireResponse::Error {
                             kind: error_kind(&e).to_owned(),
                             message: e.to_string(),
@@ -414,14 +594,16 @@ impl Server {
             // Subscribe flips the connection into push mode — it needs
             // the stream itself, so it bypasses the one-shot dispatch.
             let request = match request {
-                WireRequest::Subscribe(spec) => match self.serve_subscription(&mut stream, spec) {
-                    SubExit::Resume => continue,
-                    SubExit::Close => return,
-                },
+                WireRequest::Subscribe(spec) => {
+                    match self.serve_subscription(&mut conn.stream, spec) {
+                        SubExit::Resume => continue,
+                        SubExit::Close => return,
+                    }
+                }
                 other => other,
             };
             let (response, stop) = self.handle(request);
-            match protocol::write_message(&mut stream, &response) {
+            match self.write_response(&mut conn.stream, &response) {
                 Ok(()) => {}
                 // An Invalid write error means the response exceeded
                 // the frame cap and nothing hit the wire: the
@@ -433,7 +615,7 @@ impl Server {
                         kind: error_kind(&e).to_owned(),
                         message: e.to_string(),
                     };
-                    if protocol::write_message(&mut stream, &substitute).is_err() {
+                    if protocol::write_message(&mut conn.stream, &substitute).is_err() {
                         return;
                     }
                 }
@@ -445,41 +627,109 @@ impl Server {
         }
     }
 
+    /// Write one response, streaming oversized outcomes as an
+    /// [`WireResponse::OutcomeStream`] header plus bounded
+    /// [`WireResponse::Chunk`] frames.
+    fn write_response(
+        &self,
+        stream: &mut TcpStream,
+        response: &WireResponse,
+    ) -> Result<(), RpqError> {
+        if let WireResponse::Outcome(outcome) = response {
+            if outcome.result.len() > self.chunk_entries {
+                return self.write_streamed(stream, outcome);
+            }
+        }
+        protocol::write_message(stream, response)
+    }
+
+    /// The chunked response path: header first (metadata plus an empty
+    /// result of the right kind), then the matches in arrival-order
+    /// slices of at most `chunk_entries`, the final one flagged `last`.
+    fn write_streamed(
+        &self,
+        stream: &mut TcpStream,
+        outcome: &WireOutcome,
+    ) -> Result<(), RpqError> {
+        let header = WireOutcome {
+            result: outcome.result.empty_like(),
+            ..outcome.clone()
+        };
+        protocol::write_message(stream, &WireResponse::OutcomeStream(header))?;
+        match &outcome.result {
+            WireResult::Pairs(pairs) => {
+                let slices = pairs.chunks(self.chunk_entries);
+                let n = slices.len();
+                for (i, slice) in slices.enumerate() {
+                    let frame = WireResponse::Chunk {
+                        last: i + 1 == n,
+                        part: WireResult::Pairs(slice.to_vec()),
+                    };
+                    protocol::write_message(stream, &frame)?;
+                }
+            }
+            WireResult::Nodes(nodes) => {
+                let slices = nodes.chunks(self.chunk_entries);
+                let n = slices.len();
+                for (i, slice) in slices.enumerate() {
+                    let frame = WireResponse::Chunk {
+                        last: i + 1 == n,
+                        part: WireResult::Nodes(slice.to_vec()),
+                    };
+                    protocol::write_message(stream, &frame)?;
+                }
+            }
+            // A one-bit verdict can never exceed the chunk bound; the
+            // header already carried it, close the stream.
+            WireResult::Bool(_) => {
+                protocol::write_message(
+                    stream,
+                    &WireResponse::Chunk {
+                        last: true,
+                        part: outcome.result.clone(),
+                    },
+                )?;
+            }
+        }
+        Ok(())
+    }
+
     /// Read one request, waking on the read timeout to poll the
-    /// shutdown flag. `Ok(None)` means the connection is done (peer
-    /// EOF, or shutdown while idle).
-    fn read_request(&self, stream: &mut TcpStream) -> Result<Option<WireRequest>, RpqError> {
+    /// shutdown flag and the idle grace.
+    fn read_request(&self, stream: &mut TcpStream) -> Result<ReadReq, RpqError> {
         let mut header = [0u8; 9];
         // Patient header read: timeouts between requests are idleness,
         // not errors — but once a frame has started, a peer that stalls
         // past the deadline is cut off.
         let mut in_frame = false;
         match self.read_patient(stream, &mut header, &mut in_frame)? {
-            ReadOutcome::Done => return Ok(None),
+            ReadOutcome::Done => return Ok(ReadReq::Closed),
+            ReadOutcome::Idle => return Ok(ReadReq::Idle),
             ReadOutcome::Filled => {}
         }
         let len = protocol::frame_len(&header)?;
         let mut payload = vec![0u8; len];
         match self.read_patient(stream, &mut payload, &mut in_frame)? {
-            ReadOutcome::Done => Err(RpqError::invalid(
+            // `Idle` cannot surface here (`in_frame` is already set),
+            // and an EOF inside the payload is an error either way.
+            ReadOutcome::Done | ReadOutcome::Idle => Err(RpqError::invalid(
                 "stream ended inside a frame payload".to_owned(),
             )),
-            ReadOutcome::Filled => Ok(Some(protocol::decode_payload(&payload)?)),
+            ReadOutcome::Filled => Ok(ReadReq::Request(protocol::decode_payload(&payload)?)),
         }
     }
 
     /// Fill `buf`, retrying read timeouts. Before any byte of the
     /// frame has arrived (`*in_frame` false), a timeout polls the
-    /// shutdown flag and the idle keep-alive bound; once inside a
-    /// frame, stalls past 30 s are cut off. EOF before the first byte
-    /// reports `Done`.
+    /// shutdown flag and reports `Idle` once the parking grace passes;
+    /// once inside a frame, stalls past the configured deadline are
+    /// cut off. EOF before the first byte reports `Done`.
     fn read_patient(
         &self,
         stream: &mut TcpStream,
         buf: &mut [u8],
         in_frame: &mut bool,
     ) -> Result<ReadOutcome, RpqError> {
-        let deadline = Duration::from_secs(30);
         let mut filled = 0;
         let mut stall_started: Option<Instant> = None;
         let mut idle_started: Option<Instant> = None;
@@ -501,24 +751,24 @@ impl Server {
                         || e.kind() == std::io::ErrorKind::TimedOut =>
                 {
                     if !*in_frame && filled == 0 {
-                        // Idle between frames: drain on shutdown, and
-                        // close cleanly once the idle keep-alive bound
-                        // passes — an idle connection must not pin a
-                        // worker forever.
+                        // Idle between frames: drain on shutdown, park
+                        // once the grace passes — an idle connection
+                        // must not pin a worker.
                         if self.shutdown.load(Ordering::Relaxed) {
                             return Ok(ReadOutcome::Done);
                         }
                         let t0 = *idle_started.get_or_insert_with(Instant::now);
-                        if t0.elapsed() > self.idle_timeout {
-                            return Ok(ReadOutcome::Done);
+                        if t0.elapsed() >= IDLE_GRACE {
+                            return Ok(ReadOutcome::Idle);
                         }
                         continue;
                     }
                     let t0 = *stall_started.get_or_insert_with(Instant::now);
-                    if t0.elapsed() > deadline {
-                        return Err(RpqError::invalid(
-                            "peer stalled mid-frame past the 30s deadline".to_owned(),
-                        ));
+                    if t0.elapsed() > self.deadline {
+                        return Err(RpqError::invalid(format!(
+                            "peer stalled mid-frame past the {:?} deadline",
+                            self.deadline
+                        )));
                     }
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
@@ -568,6 +818,44 @@ impl Server {
             },
             WireRequest::Append { run, batch } => match self.append(&run, &batch) {
                 Ok(receipt) => (WireResponse::Appended(receipt), false),
+                Err(e) => {
+                    self.counters.request_errors.fetch_add(1, Ordering::Relaxed);
+                    (
+                        WireResponse::Error {
+                            kind: error_kind(&e).to_owned(),
+                            message: e.to_string(),
+                        },
+                        false,
+                    )
+                }
+            },
+            // Replication verbs: a peer (the router's sync loop, or a
+            // sibling backend) fetches a stored run wholesale or pushes
+            // one in. Both ride the ordinary dispatch path — the run
+            // travels as one codec payload, and `Pushed`/`RunData`
+            // carry the catalog epoch so the caller can gate on it.
+            WireRequest::FetchRun(addr) => match self.fetch_run(&addr) {
+                Ok(response) => (response, false),
+                Err(e) => {
+                    self.counters.request_errors.fetch_add(1, Ordering::Relaxed);
+                    (
+                        WireResponse::Error {
+                            kind: error_kind(&e).to_owned(),
+                            message: e.to_string(),
+                        },
+                        false,
+                    )
+                }
+            },
+            WireRequest::PushRun { run } => match self.store.ingest(&run) {
+                Ok(ingested) => (
+                    WireResponse::Pushed {
+                        id: ingested.id.0,
+                        deduplicated: u64::from(ingested.deduplicated),
+                        epoch: self.store.epoch(),
+                    },
+                    false,
+                ),
                 Err(e) => {
                     self.counters.request_errors.fetch_add(1, Ordering::Relaxed);
                     (
@@ -629,6 +917,16 @@ impl Server {
         let open = self.store.open_run(id)?;
         open_runs.insert(id, Arc::clone(&open));
         Ok(open)
+    }
+
+    /// Serve one run wholesale for replication.
+    fn fetch_run(&self, addr: &RunAddr) -> Result<WireResponse, RpqError> {
+        let id = self.resolve(addr)?;
+        let run = self.store.run(id)?;
+        Ok(WireResponse::RunData {
+            epoch: self.store.epoch(),
+            run: (*run).clone(),
+        })
     }
 
     /// Resolve a wire run address to a store id.
@@ -750,7 +1048,7 @@ impl Server {
         // Push mode. A tighter read timeout keeps both halves of the
         // poll/wait cycle responsive; the request/response timeout is
         // restored on a clean unsubscribe.
-        let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+        let _ = stream.set_read_timeout(Some(READ_TICK));
         loop {
             // SIGTERM/shutdown drains the subscriber: the worker is
             // released and the scope can join.
@@ -762,7 +1060,7 @@ impl Server {
                 Ok(SubPoll::Closed) => return SubExit::Close,
                 Ok(SubPoll::Request(WireRequest::Unsubscribe)) => {
                     self.counters.requests.fetch_add(1, Ordering::Relaxed);
-                    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+                    let _ = stream.set_read_timeout(Some(READ_TICK));
                     return match protocol::write_message(stream, &WireResponse::Unsubscribed) {
                         Ok(()) => SubExit::Resume,
                         Err(_) => SubExit::Close,
@@ -830,7 +1128,8 @@ impl Server {
         let mut in_frame = true;
         if first < header.len() {
             match self.read_patient(stream, &mut header[first..], &mut in_frame)? {
-                ReadOutcome::Done => {
+                // `Idle` cannot surface with `in_frame` already set.
+                ReadOutcome::Done | ReadOutcome::Idle => {
                     return Err(RpqError::invalid(
                         "stream ended inside a frame header".to_owned(),
                     ))
@@ -841,7 +1140,7 @@ impl Server {
         let len = protocol::frame_len(&header)?;
         let mut payload = vec![0u8; len];
         match self.read_patient(stream, &mut payload, &mut in_frame)? {
-            ReadOutcome::Done => Err(RpqError::invalid(
+            ReadOutcome::Done | ReadOutcome::Idle => Err(RpqError::invalid(
                 "stream ended inside a frame payload".to_owned(),
             )),
             ReadOutcome::Filled => Ok(SubPoll::Request(protocol::decode_payload(&payload)?)),

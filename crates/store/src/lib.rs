@@ -29,12 +29,21 @@
 //! Directory layout (all paths relative to the store root):
 //!
 //! ```text
-//! spec.json          the workflow specification (JSON, human-readable)
-//! catalog.json       run catalog: ids, fingerprints, sizes
-//! runs/run-<id>.bin  each ingested run (binary codec)
-//! index/tag-<id>.bin persisted TagIndex artifact
-//! index/csr-<id>.bin persisted CsrIndex artifact
+//! spec.json               the workflow specification (JSON, human-readable)
+//! catalog.json            catalog manifest: version, next id, epoch, shard bits
+//! catalog/shard-XX.json   catalog rows, sharded by fingerprint prefix
+//! runs/run-<id>.bin       each ingested run (binary codec)
+//! index/tag-<id>.bin      persisted TagIndex artifact
+//! index/csr-<id>.bin      persisted CsrIndex artifact
 //! ```
+//!
+//! The catalog rows shard across `catalog/shard-XX.json` by the top
+//! bits of each run's fingerprint, so one mutation rewrites one small
+//! shard instead of the whole corpus — a flat single-file catalog stops
+//! scaling well before the 10⁵-run corpora the serving fleet targets.
+//! Stores persisted by older builds (one monolithic `catalog.json`)
+//! open transparently and migrate to the sharded layout on their first
+//! mutation.
 //!
 //! Counters ([`RunStore::stats`]) distinguish *reloads* (artifact
 //! decoded from disk — the warm path) from *rebuilds* (artifact
@@ -144,21 +153,59 @@ struct CatalogEntry {
     n_edges: u64,
 }
 
-/// The persisted catalog (`catalog.json`).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// The in-memory catalog. Entries are kept in ascending-id order —
+/// ids are assigned monotonically and never reused, so that order is
+/// exactly ingestion order, which positional addressing
+/// ([`RunStore::id_at`]) depends on.
+#[derive(Debug, Clone)]
 struct Catalog {
-    version: u32,
     next_id: u64,
-    /// Monotonic mutation counter; see [`StoreStats::epoch`]. Kept
-    /// before `entries` so version-1 catalogs (which lack it) can be
-    /// recognized and upgraded on open.
+    /// Monotonic mutation counter; see [`StoreStats::epoch`].
     epoch: u64,
     entries: Vec<CatalogEntry>,
 }
 
-/// The version-1 catalog shape, decoded as a fallback when a stored
-/// `catalog.json` predates the epoch field; upgraded in memory with
-/// `epoch = 0` and rewritten as version 2 on the next mutation.
+/// The persisted catalog manifest (`catalog.json`, version 3): scalar
+/// state only. The rows live in `catalog/shard-XX.json`, selected by
+/// the top `shard_bits` bits of each run's `fp_hi`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CatalogManifest {
+    version: u32,
+    next_id: u64,
+    epoch: u64,
+    shard_bits: u32,
+}
+
+/// One shard file's payload. Every row carries the catalog epoch it
+/// was written at: an append that moves a run between shards (its
+/// fingerprint changes) writes the new shard *before* scrubbing the
+/// old one, so a crash between the two leaves the id in both — the
+/// loader keeps the higher stamp, which is always the newer row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CatalogShard {
+    entries: Vec<ShardEntry>,
+}
+
+/// One stamped shard row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ShardEntry {
+    stamp: u64,
+    entry: CatalogEntry,
+}
+
+/// The version-2 monolithic shape (`catalog.json` carrying the rows
+/// inline), decoded as a fallback and migrated to the sharded layout
+/// on the store's first persisted mutation.
+#[derive(Debug, Clone, Deserialize)]
+struct CatalogV2 {
+    version: u32,
+    next_id: u64,
+    epoch: u64,
+    entries: Vec<CatalogEntry>,
+}
+
+/// The version-1 shape: monolithic and lacking the epoch field too;
+/// upgraded in memory with `epoch = 0`.
 #[derive(Debug, Clone, Deserialize)]
 struct CatalogV1 {
     version: u32,
@@ -166,7 +213,29 @@ struct CatalogV1 {
     entries: Vec<CatalogEntry>,
 }
 
-const CATALOG_VERSION: u32 = 2;
+const CATALOG_VERSION: u32 = 3;
+
+/// Shard-count exponent for newly created (and migrated) stores:
+/// 2⁴ = 16 shard files.
+const SHARD_BITS: u32 = 4;
+
+/// Upper bound on the exponent accepted from a manifest — bounds the
+/// shard scan a corrupt `shard_bits` could otherwise demand.
+const MAX_SHARD_BITS: u32 = 8;
+
+/// Which catalog shard a fingerprint's row lives in.
+fn shard_of(fp_hi: u64, shard_bits: u32) -> usize {
+    if shard_bits == 0 {
+        0
+    } else {
+        (fp_hi >> (64 - shard_bits)) as usize
+    }
+}
+
+/// A shard file's name inside `catalog/`.
+fn shard_name(shard: usize) -> String {
+    format!("shard-{shard:02x}.json")
+}
 
 /// Fingerprint key for deduplication — same composition as the
 /// session's run-cache key (fingerprint + sizes as collision guard).
@@ -183,6 +252,11 @@ fn fp_key(run: &Run) -> FpKey {
 struct CatalogState {
     catalog: Catalog,
     by_fingerprint: HashMap<FpKey, RunId>,
+    /// Is the on-disk layout already the sharded v3 one? Stores opened
+    /// from a legacy monolithic `catalog.json` migrate wholesale on
+    /// their first persisted mutation.
+    sharded: bool,
+    shard_bits: u32,
 }
 
 /// A size-bounded LRU over the store's in-memory caches, mirroring the
@@ -303,7 +377,7 @@ impl RunStore {
                 "directory {dir:?} already holds a run store; use open"
             )));
         }
-        for sub in ["runs", "index"] {
+        for sub in ["runs", "index", "catalog"] {
             std::fs::create_dir_all(dir.join(sub))
                 .map_err(|e| RpqError::io(format!("cannot create store directory {dir:?}"), e))?;
         }
@@ -314,13 +388,17 @@ impl RunStore {
             dir,
             spec,
             Catalog {
-                version: CATALOG_VERSION,
                 next_id: 0,
                 epoch: 0,
                 entries: Vec::new(),
             },
+            true,
+            SHARD_BITS,
         );
-        store.persist_catalog(&store.state.lock().expect("catalog lock").catalog)?;
+        {
+            let mut state = store.state.lock().expect("catalog lock");
+            store.persist_catalog(&mut state, Some(&[]))?;
+        }
         Ok(store)
     }
 
@@ -333,29 +411,101 @@ impl RunStore {
             .map_err(|e| RpqError::invalid(format!("corrupt spec.json in {dir:?}: {e}")))?;
         let catalog_text = std::fs::read_to_string(dir.join("catalog.json"))
             .map_err(|e| RpqError::io(format!("cannot read {dir:?}/catalog.json"), e))?;
-        // Current catalogs decode directly; version-1 catalogs lack the
-        // epoch field (the derive rejects missing fields) and take the
-        // fallback shape, upgrading in memory with epoch 0.
-        let mut catalog: Catalog = match serde_json::from_str(&catalog_text) {
-            Ok(catalog) => catalog,
-            Err(_) => serde_json::from_str(&catalog_text)
-                .map(|v1: CatalogV1| Catalog {
-                    version: v1.version,
+        // Current stores keep a slim manifest in catalog.json and the
+        // rows in per-prefix shard files; legacy monolithic catalogs
+        // (v1/v2, rows inline) decode through the fallback shapes —
+        // each shape has a field the others lack, so the first
+        // successful decode identifies the layout.
+        if let Ok(manifest) = serde_json::from_str::<CatalogManifest>(&catalog_text) {
+            if manifest.version != CATALOG_VERSION {
+                return Err(RpqError::invalid(format!(
+                    "store {dir:?} has catalog version {} (this build reads up to \
+                     {CATALOG_VERSION})",
+                    manifest.version
+                )));
+            }
+            if manifest.shard_bits > MAX_SHARD_BITS {
+                return Err(RpqError::invalid(format!(
+                    "corrupt catalog.json in {dir:?}: shard_bits {} exceeds {MAX_SHARD_BITS}",
+                    manifest.shard_bits
+                )));
+            }
+            let mut by_id: HashMap<u64, ShardEntry> = HashMap::new();
+            for shard in 0..(1usize << manifest.shard_bits) {
+                let path = dir.join("catalog").join(shard_name(shard));
+                let text = match std::fs::read_to_string(&path) {
+                    Ok(text) => text,
+                    // A missing shard file is an empty shard.
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+                    Err(e) => return Err(RpqError::io(format!("cannot read {path:?}"), e)),
+                };
+                let shard: CatalogShard = serde_json::from_str(&text).map_err(|e| {
+                    RpqError::invalid(format!("corrupt catalog shard {path:?}: {e}"))
+                })?;
+                for row in shard.entries {
+                    // An id present in two shards is an interrupted
+                    // cross-shard move; the higher stamp is the newer row.
+                    match by_id.get(&row.entry.id) {
+                        Some(kept) if kept.stamp >= row.stamp => {}
+                        _ => {
+                            by_id.insert(row.entry.id, row);
+                        }
+                    }
+                }
+            }
+            let mut entries: Vec<CatalogEntry> = by_id.into_values().map(|row| row.entry).collect();
+            entries.sort_by_key(|e| e.id);
+            let catalog = Catalog {
+                next_id: manifest.next_id,
+                epoch: manifest.epoch,
+                entries,
+            };
+            return Ok(RunStore::assemble(
+                dir,
+                Arc::new(spec),
+                catalog,
+                true,
+                manifest.shard_bits,
+            ));
+        }
+        let catalog = match serde_json::from_str::<CatalogV2>(&catalog_text) {
+            Ok(v2) if (1..=2).contains(&v2.version) => Catalog {
+                next_id: v2.next_id,
+                epoch: v2.epoch,
+                entries: v2.entries,
+            },
+            Ok(v2) => {
+                return Err(RpqError::invalid(format!(
+                    "store {dir:?} has catalog version {} (this build reads up to \
+                     {CATALOG_VERSION})",
+                    v2.version
+                )))
+            }
+            Err(_) => {
+                let v1: CatalogV1 = serde_json::from_str(&catalog_text).map_err(|e| {
+                    RpqError::invalid(format!("corrupt catalog.json in {dir:?}: {e}"))
+                })?;
+                if v1.version != 1 {
+                    return Err(RpqError::invalid(format!(
+                        "store {dir:?} has catalog version {} (this build reads up to \
+                         {CATALOG_VERSION})",
+                        v1.version
+                    )));
+                }
+                Catalog {
                     next_id: v1.next_id,
                     epoch: 0,
                     entries: v1.entries,
-                })
-                .map_err(|e| RpqError::invalid(format!("corrupt catalog.json in {dir:?}: {e}")))?,
+                }
+            }
         };
-        if catalog.version == 0 || catalog.version > CATALOG_VERSION {
-            return Err(RpqError::invalid(format!(
-                "store {dir:?} has catalog version {} (this build reads up to {CATALOG_VERSION})",
-                catalog.version
-            )));
-        }
-        // Persist as the current version from here on.
-        catalog.version = CATALOG_VERSION;
-        Ok(RunStore::assemble(dir, Arc::new(spec), catalog))
+        Ok(RunStore::assemble(
+            dir,
+            Arc::new(spec),
+            catalog,
+            false,
+            SHARD_BITS,
+        ))
     }
 
     /// Open the store at `dir` when one exists (verifying it was built
@@ -395,7 +545,13 @@ impl RunStore {
         self
     }
 
-    fn assemble(dir: PathBuf, spec: Arc<Specification>, catalog: Catalog) -> RunStore {
+    fn assemble(
+        dir: PathBuf,
+        spec: Arc<Specification>,
+        catalog: Catalog,
+        sharded: bool,
+        shard_bits: u32,
+    ) -> RunStore {
         let by_fingerprint = catalog
             .entries
             .iter()
@@ -407,6 +563,8 @@ impl RunStore {
             state: Mutex::new(CatalogState {
                 catalog,
                 by_fingerprint,
+                sharded,
+                shard_bits,
             }),
             runs: Mutex::new(BoundedCache::new()),
             artifacts: Mutex::new(BoundedCache::new()),
@@ -576,7 +734,8 @@ impl RunStore {
         });
         state.by_fingerprint.insert(key, id);
         state.catalog.epoch += 1;
-        if let Err(e) = self.persist_catalog(&state.catalog) {
+        let dirty = [shard_of(key.0, state.shard_bits)];
+        if let Err(e) = self.persist_catalog(&mut state, Some(&dirty)) {
             // Keep memory and disk consistent: a run whose catalog row
             // never landed must not look ingested (a later retry would
             // dedupe against a row that does not exist on disk). The
@@ -659,7 +818,8 @@ impl RunStore {
         let key = (entry.fp_hi, entry.fp_lo, entry.n_nodes, entry.n_edges);
         state.by_fingerprint.remove(&key);
         state.catalog.epoch += 1;
-        if let Err(e) = self.persist_catalog(&state.catalog) {
+        let dirty = [shard_of(entry.fp_hi, state.shard_bits)];
+        if let Err(e) = self.persist_catalog(&mut state, Some(&dirty)) {
             // Roll back: a run whose catalog row is still on disk must
             // stay addressable (and deduplicable) in memory too.
             state.catalog.entries.insert(position, entry);
@@ -762,7 +922,9 @@ impl RunStore {
         }
         if pruned > 0 {
             state.catalog.epoch += 1;
-            if let Err(e) = self.persist_catalog(&state.catalog) {
+            // No rows changed — only the manifest's epoch (and, on a
+            // legacy store, the one-time shard migration) needs writing.
+            if let Err(e) = self.persist_catalog(&mut state, Some(&[])) {
                 state.catalog.epoch -= 1;
                 return Err(e);
             }
@@ -892,10 +1054,78 @@ impl RunStore {
         self.dir.join("index").join(format!("csr-{}.bin", id.0))
     }
 
-    fn persist_catalog(&self, catalog: &Catalog) -> Result<(), RpqError> {
-        let json = serde_json::to_string(catalog)
+    /// Persist the catalog: the slim manifest in `catalog.json` plus
+    /// the shard files named in `dirty` (each a prefix index from
+    /// [`shard_of`]). `None` — or a store still on the legacy
+    /// monolithic layout — rewrites every shard.
+    ///
+    /// Write ordering carries the crash-consistency argument. Normal
+    /// mutations write the manifest *first*: a crash before the dirty
+    /// shard lands loses the newest row but persists the advanced
+    /// `next_id`/`epoch`, so a reopened store can never hand out a
+    /// colliding id or falsely report an old epoch as current. The
+    /// one-time migration off a legacy monolithic catalog inverts
+    /// that — all shards first, manifest *last* — so a crash mid-way
+    /// leaves the legacy file authoritative and the partial shards
+    /// inert until a later complete pass.
+    fn persist_catalog(
+        &self,
+        state: &mut CatalogState,
+        dirty: Option<&[usize]>,
+    ) -> Result<(), RpqError> {
+        let manifest = CatalogManifest {
+            version: CATALOG_VERSION,
+            next_id: state.catalog.next_id,
+            epoch: state.catalog.epoch,
+            shard_bits: state.shard_bits,
+        };
+        let json = serde_json::to_string(&manifest)
             .map_err(|e| RpqError::invalid(format!("cannot serialize catalog: {e}")))?;
-        write_atomic(&self.dir.join("catalog.json"), json.as_bytes())
+        let manifest_path = self.dir.join("catalog.json");
+        if state.sharded {
+            if let Some(dirty) = dirty {
+                write_atomic(&manifest_path, json.as_bytes())?;
+                for &shard in dirty {
+                    self.persist_shard(state, shard)?;
+                }
+                return Ok(());
+            }
+        }
+        // Full pass: migration off a legacy catalog, or an explicit
+        // rewrite of every shard.
+        let shard_dir = self.dir.join("catalog");
+        std::fs::create_dir_all(&shard_dir)
+            .map_err(|e| RpqError::io(format!("cannot create {shard_dir:?}"), e))?;
+        for shard in 0..(1usize << state.shard_bits) {
+            self.persist_shard(state, shard)?;
+        }
+        write_atomic(&manifest_path, json.as_bytes())?;
+        state.sharded = true;
+        Ok(())
+    }
+
+    /// Write one shard file: every catalog row whose fingerprint prefix
+    /// maps to `shard`, stamped with the current epoch so duplicate ids
+    /// from an interrupted cross-shard move resolve to the newer row.
+    fn persist_shard(&self, state: &CatalogState, shard: usize) -> Result<(), RpqError> {
+        let rows = CatalogShard {
+            entries: state
+                .catalog
+                .entries
+                .iter()
+                .filter(|e| shard_of(e.fp_hi, state.shard_bits) == shard)
+                .map(|e| ShardEntry {
+                    stamp: state.catalog.epoch,
+                    entry: e.clone(),
+                })
+                .collect(),
+        };
+        let json = serde_json::to_string(&rows)
+            .map_err(|e| RpqError::invalid(format!("cannot serialize catalog shard: {e}")))?;
+        write_atomic(
+            &self.dir.join("catalog").join(shard_name(shard)),
+            json.as_bytes(),
+        )
     }
 }
 
@@ -1253,43 +1483,163 @@ mod tests {
         assert_eq!(reopened.epoch(), 5);
     }
 
+    /// Serialize one catalog row the way legacy (pre-shard) builds
+    /// wrote it inline.
+    fn legacy_row(id: u64, run: &Run) -> String {
+        let (fp_hi, fp_lo) = run.fingerprint();
+        format!(
+            "{{\"id\":{id},\"fp_hi\":{fp_hi},\"fp_lo\":{fp_lo},\"n_nodes\":{},\"n_edges\":{}}}",
+            run.n_nodes(),
+            run.n_edges()
+        )
+    }
+
+    /// Reset `dir` to a legacy monolithic catalog: the handwritten
+    /// `catalog.json` becomes the whole catalog and the shard files of
+    /// the current layout are removed.
+    fn write_legacy_catalog(dir: &Path, text: &str) {
+        let _ = std::fs::remove_dir_all(dir.join("catalog"));
+        std::fs::write(dir.join("catalog.json"), text).unwrap();
+    }
+
     #[test]
-    fn version_1_catalogs_upgrade_on_open() {
-        let dir = temp_dir("catalog_v1");
+    fn legacy_catalogs_upgrade_on_open_and_migrate_on_first_mutation() {
+        let dir = temp_dir("catalog_legacy");
         let spec = Arc::new(spec());
         let store = RunStore::create(&dir, Arc::clone(&spec)).unwrap();
         let a = run_of(&spec, 1);
         store.ingest(&a).unwrap();
         drop(store);
 
-        // Rewrite catalog.json in the version-1 shape: no epoch field,
-        // version 1 — what a pre-epoch build would have left behind.
+        // Version-1 shape: inline entries, no epoch field — what a
+        // pre-epoch build would have left behind.
         let path = dir.join("catalog.json");
-        let text = std::fs::read_to_string(&path).unwrap();
-        let epoch_at = text.find("\"epoch\"").expect("v2 catalogs carry an epoch");
-        let comma = text[epoch_at..].find(',').expect("epoch is not last") + epoch_at;
-        let v1 = format!("{}{}", &text[..epoch_at], &text[comma + 1..])
-            .replace("\"version\":2", "\"version\":1");
-        std::fs::write(&path, v1).unwrap();
-
+        write_legacy_catalog(
+            &dir,
+            &format!(
+                "{{\"version\":1,\"next_id\":1,\"entries\":[{}]}}",
+                legacy_row(0, &a)
+            ),
+        );
         let upgraded = RunStore::open(&dir).unwrap();
         assert_eq!(upgraded.epoch(), 0);
         assert_eq!(upgraded.len(), 1);
         assert!(upgraded.ingest(&a).unwrap().deduplicated);
-        // The first mutation persists the catalog as version 2 again.
+        // The first mutation migrates to the sharded layout: manifest
+        // in catalog.json, rows in catalog/shard-XX.json.
         upgraded.ingest(&run_of(&spec, 2)).unwrap();
         assert_eq!(upgraded.epoch(), 1);
         drop(upgraded);
         let text = std::fs::read_to_string(&path).unwrap();
-        assert!(text.contains("\"version\":2"), "{text}");
-        assert!(text.contains("\"epoch\":1"), "{text}");
+        assert!(text.contains("\"version\":3"), "{text}");
+        assert!(text.contains("\"shard_bits\""), "{text}");
+        assert!(!text.contains("\"entries\""), "{text}");
         let reopened = RunStore::open(&dir).unwrap();
         assert_eq!(reopened.epoch(), 1);
         assert_eq!(reopened.len(), 2);
+        drop(reopened);
 
-        // Catalogs from the future are refused, not misread.
-        std::fs::write(&path, text.replace("\"version\":2", "\"version\":9")).unwrap();
+        // Version-2 shape: inline entries plus an epoch — keeps its
+        // epoch through the upgrade.
+        write_legacy_catalog(
+            &dir,
+            &format!(
+                "{{\"version\":2,\"next_id\":1,\"epoch\":7,\"entries\":[{}]}}",
+                legacy_row(0, &a)
+            ),
+        );
+        let upgraded = RunStore::open(&dir).unwrap();
+        assert_eq!(upgraded.epoch(), 7);
+        assert_eq!(upgraded.len(), 1);
+        assert!(upgraded.ingest(&a).unwrap().deduplicated);
+        drop(upgraded);
+
+        // Catalogs from the future are refused, not misread — in both
+        // the manifest and the legacy inline shapes.
+        std::fs::write(
+            &path,
+            "{\"version\":9,\"next_id\":1,\"epoch\":7,\"shard_bits\":4}",
+        )
+        .unwrap();
         assert!(RunStore::open(&dir).is_err());
+        write_legacy_catalog(
+            &dir,
+            &format!(
+                "{{\"version\":9,\"next_id\":1,\"epoch\":7,\"entries\":[{}]}}",
+                legacy_row(0, &a)
+            ),
+        );
+        assert!(RunStore::open(&dir).is_err());
+    }
+
+    #[test]
+    fn catalogs_shard_by_fingerprint_prefix() {
+        let dir = temp_dir("catalog_shards");
+        let spec = Arc::new(spec());
+        let store = RunStore::create(&dir, Arc::clone(&spec)).unwrap();
+        let runs: Vec<Run> = (1..=4).map(|seed| run_of(&spec, seed)).collect();
+        for run in &runs {
+            store.ingest(run).unwrap();
+        }
+        // Fresh stores persist the sharded layout directly: a slim
+        // manifest plus one row file per populated prefix.
+        let manifest = std::fs::read_to_string(dir.join("catalog.json")).unwrap();
+        assert!(manifest.contains("\"version\":3"), "{manifest}");
+        assert!(!manifest.contains("\"entries\""), "{manifest}");
+        let mut populated = 0;
+        for shard in 0..(1usize << SHARD_BITS) {
+            let path = dir.join("catalog").join(shard_name(shard));
+            let Ok(text) = std::fs::read_to_string(&path) else {
+                continue;
+            };
+            let rows: CatalogShard = serde_json::from_str(&text).unwrap();
+            for row in &rows.entries {
+                assert_eq!(shard_of(row.entry.fp_hi, SHARD_BITS), shard);
+            }
+            populated += rows.entries.len();
+        }
+        assert_eq!(populated, 4);
+
+        // Reopen merges the shards back into ingestion (id) order.
+        let metas = store.metas();
+        drop(store);
+        let reopened = RunStore::open(&dir).unwrap();
+        assert_eq!(reopened.metas(), metas);
+        for run in &runs {
+            assert!(reopened.ingest(run).unwrap().deduplicated);
+        }
+    }
+
+    #[test]
+    fn duplicate_ids_across_shards_resolve_to_the_newer_stamp() {
+        let dir = temp_dir("catalog_stamps");
+        let spec = Arc::new(spec());
+        let store = RunStore::create(&dir, Arc::clone(&spec)).unwrap();
+        let a = run_of(&spec, 1);
+        store.ingest(&a).unwrap();
+        let (fp_hi, fp_lo) = a.fingerprint();
+        drop(store);
+
+        // Simulate a crash between the two shard writes of a
+        // cross-shard move: the same id also sits in another shard,
+        // under an older stamp and the pre-move fingerprint.
+        let stale_hi = fp_hi ^ (0xff << 56);
+        let stale_shard = shard_of(stale_hi, SHARD_BITS);
+        assert_ne!(stale_shard, shard_of(fp_hi, SHARD_BITS));
+        std::fs::write(
+            dir.join("catalog").join(shard_name(stale_shard)),
+            format!(
+                "{{\"entries\":[{{\"stamp\":0,\"entry\":{{\"id\":0,\"fp_hi\":{stale_hi},\
+                 \"fp_lo\":{fp_lo},\"n_nodes\":1,\"n_edges\":1}}}}]}}"
+            ),
+        )
+        .unwrap();
+
+        let reopened = RunStore::open(&dir).unwrap();
+        assert_eq!(reopened.len(), 1);
+        let meta = &reopened.metas()[0];
+        assert_eq!((meta.fp_hi, meta.fp_lo), (fp_hi, fp_lo));
+        assert!(reopened.ingest(&a).unwrap().deduplicated);
     }
 
     #[test]

@@ -292,7 +292,18 @@ impl OpenRun {
             state.by_fingerprint.remove(&old_key);
             state.by_fingerprint.insert(key, self.id);
             state.catalog.epoch += 1;
-            if let Err(e) = self.store.persist_catalog(&state.catalog) {
+            // A fingerprint change can move the row between catalog
+            // shards. New shard first: a crash between the two writes
+            // leaves the id in both, and the loader keeps the
+            // higher-stamped (newer) row.
+            let new_shard = crate::shard_of(key.0, state.shard_bits);
+            let old_shard = crate::shard_of(old.fp_hi, state.shard_bits);
+            let dirty: Vec<usize> = if new_shard == old_shard {
+                vec![new_shard]
+            } else {
+                vec![new_shard, old_shard]
+            };
+            if let Err(e) = self.store.persist_catalog(&mut state, Some(&dirty)) {
                 state.catalog.entries[position] = old;
                 state.by_fingerprint.remove(&key);
                 state.by_fingerprint.insert(old_key, self.id);

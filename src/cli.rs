@@ -29,6 +29,13 @@
 //!   [--cache C] [--policy P] [--kernel K]` — serve the store over TCP
 //!   (`rpq-serve`): one shared warm session, a bounded worker pool,
 //!   graceful overload refusals, clean SIGTERM/ctrl-c shutdown;
+//! * `router --backend HOST:PORT [--backend ...]` — the fault-tolerant
+//!   front tier (`rpq-router`): consistent-hashes run fingerprints
+//!   across the backends with R-way replication, health-checks them
+//!   (ping probes, ejection, half-open recovery), fails queries over
+//!   to the next replica with backoff, keeps replication flowing
+//!   backend-to-backend, and degrades to `Unavailable` frames instead
+//!   of hangs when a run's whole replica set is down;
 //! * `request <VERB> --addr HOST:PORT ...` — the client side: `query`
 //!   (every evaluation mode), `append` (grow an open run over the
 //!   wire), `stats`, `runs`, `ping`, `shutdown`;
@@ -54,6 +61,7 @@
 use rpq_core::{BatchOptions, QueryRequest, RpqError, Session, SubqueryPolicy};
 use rpq_grammar::Specification;
 use rpq_labeling::{EventBatch, Run, RunBuilder, RunStats};
+use rpq_router::{Router, RouterConfig};
 use rpq_serve::protocol::{QuerySpec, RunAddr, WireMode, WireResult};
 use rpq_serve::{ServeClient, ServeConfig, Server};
 use rpq_store::RunStore;
@@ -73,6 +81,7 @@ pub fn run_cli(args: &[String]) -> Result<String, RpqError> {
         Some("store") => cmd_store(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("router") => cmd_router(&args[1..]),
         Some("request") => cmd_request(&args[1..]),
         Some("watch") => cmd_watch(&args[1..]),
         Some("help") | None => Ok(USAGE.to_owned()),
@@ -96,6 +105,10 @@ USAGE:
   rpq batch <QUERY> --store DIR [--threads N] [--cache C] [--policy P] [--kernel K]
   rpq serve <SPEC> --store DIR [--addr HOST:PORT] [--workers N] [--queue Q]
             [--cache C] [--policy P] [--kernel K] [--idle-timeout SECS]
+            [--deadline SECS] [--chunk ENTRIES]
+  rpq router --backend HOST:PORT [--backend HOST:PORT ...] [--addr HOST:PORT]
+            [--replicas R] [--workers N] [--queue Q] [--deadline-ms MS]
+            [--probe-ms MS] [--sync-ms MS|off] [--cooldown-ms MS] [--eject-after K]
   rpq request query <QUERY> --addr HOST:PORT [--index I | --fp HEX]
             [--mode MODE] [--from U] [--to V] [--policy P] [--limit K]
   rpq request append --addr HOST:PORT --events FILE [--index I | --fp HEX]
@@ -726,6 +739,11 @@ fn cmd_serve(args: &[String]) -> Result<String, RpqError> {
             opt(&options, "idle-timeout").unwrap_or("60"),
             "--idle-timeout",
         )?),
+        deadline: Duration::from_secs(parse_num(
+            opt(&options, "deadline").unwrap_or("30"),
+            "--deadline",
+        )?),
+        chunk_entries: parse_num(opt(&options, "chunk").unwrap_or("65536"), "--chunk")?,
     };
     let server = Server::bind(store, &config)?;
     let warmed = server.warm()?;
@@ -746,6 +764,79 @@ fn cmd_serve(args: &[String]) -> Result<String, RpqError> {
     Ok(format!(
         "shutdown: served {} request(s) over {} connection(s), {} overloaded, {} error(s)\n",
         report.requests, report.accepted, report.overloaded, report.request_errors
+    ))
+}
+
+fn cmd_router(args: &[String]) -> Result<String, RpqError> {
+    let (_positional, options) = split_args(args)?;
+    let backends: Vec<std::net::SocketAddr> = options
+        .iter()
+        .filter(|(k, _)| *k == "backend")
+        .map(|&(_, v)| {
+            v.parse().map_err(|_| {
+                RpqError::invalid(format!("invalid --backend address {v:?} (want HOST:PORT)"))
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    if backends.is_empty() {
+        return Err(RpqError::invalid(
+            "router: at least one --backend HOST:PORT required",
+        ));
+    }
+    let config = RouterConfig {
+        addr: opt(&options, "addr").unwrap_or("127.0.0.1:0").to_owned(),
+        replication: parse_num(opt(&options, "replicas").unwrap_or("2"), "--replicas")?,
+        workers: parse_num(opt(&options, "workers").unwrap_or("0"), "--workers")?,
+        queue: parse_num(opt(&options, "queue").unwrap_or("64"), "--queue")?,
+        deadline: Duration::from_millis(parse_num(
+            opt(&options, "deadline-ms").unwrap_or("5000"),
+            "--deadline-ms",
+        )?),
+        eject_after: parse_num(opt(&options, "eject-after").unwrap_or("3"), "--eject-after")?,
+        cooldown: Duration::from_millis(parse_num(
+            opt(&options, "cooldown-ms").unwrap_or("500"),
+            "--cooldown-ms",
+        )?),
+        probe_interval: Duration::from_millis(parse_num(
+            opt(&options, "probe-ms").unwrap_or("250"),
+            "--probe-ms",
+        )?),
+        sync_interval: match opt(&options, "sync-ms") {
+            Some("off") => None,
+            Some(ms) => Some(Duration::from_millis(parse_num(ms, "--sync-ms")?)),
+            None => Some(Duration::from_millis(500)),
+        },
+        backends,
+        ..RouterConfig::default()
+    };
+    let router = Router::bind(&config)?;
+    let addr = router.local_addr()?;
+    // Announced immediately (run_cli's return value only prints after
+    // shutdown): harnesses scrape this line for the ephemeral port.
+    println!(
+        "rpq-router listening on {addr} ({} worker(s), {} backend(s), replication {}, \
+         probe {}ms, sync {})",
+        router.workers(),
+        config.backends.len(),
+        config.replication.min(config.backends.len()),
+        config.probe_interval.as_millis(),
+        match config.sync_interval {
+            Some(d) => format!("{}ms", d.as_millis()),
+            None => "off".to_owned(),
+        },
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    let report = router.run(Some(rpq_serve::signals::install_termination_flag()));
+    Ok(format!(
+        "shutdown: routed {} request(s) over {} connection(s), {} overloaded, \
+         {} failover(s), {} unavailable, {} run(s) replicated\n",
+        report.requests,
+        report.accepted,
+        report.overloaded,
+        report.failovers,
+        report.unavailable,
+        report.synced_runs
     ))
 }
 

@@ -75,6 +75,7 @@ pub use rpq_core as core;
 pub use rpq_grammar as grammar;
 pub use rpq_labeling as labeling;
 pub use rpq_relalg as relalg;
+pub use rpq_router as router;
 pub use rpq_serve as serve;
 pub use rpq_store as store;
 pub use rpq_workloads as workloads;
@@ -90,6 +91,7 @@ pub mod prelude {
     pub use rpq_grammar::{ModuleId, ProductionId, Specification, SpecificationBuilder, Tag};
     pub use rpq_labeling::{NodeId, Run, RunBuilder};
     pub use rpq_relalg::{NodePairSet, TagIndex};
+    pub use rpq_router::{Router, RouterConfig};
     pub use rpq_serve::{ServeClient, ServeConfig, Server};
     pub use rpq_store::{RunId, RunStore, StoreStats};
 }

@@ -66,6 +66,24 @@ pub struct LoadPoint {
     pub open: LoopStats,
 }
 
+/// Observability-overhead guard: request slices alternating between a
+/// metrics/tracing-armed server and a dark one, paired per round.
+#[derive(Debug, Clone)]
+pub struct ObsGuard {
+    /// Worker threads (= client connections) in both arms.
+    pub workers: usize,
+    /// Alternating slice pairs measured (medians taken).
+    pub runs_per_arm: usize,
+    /// Median slice throughput with metrics + span recording on.
+    pub on_rps: f64,
+    /// Median slice throughput with metrics + span recording off.
+    pub off_rps: f64,
+    /// Median of per-pair `(off − on) / off · 100` deltas — the
+    /// throughput the instrumentation costs; negative values mean the
+    /// armed arm measured faster (noise).
+    pub overhead_pct: f64,
+}
+
 /// The full measurement.
 #[derive(Debug, Clone)]
 pub struct ServeMeasurement {
@@ -81,6 +99,8 @@ pub struct ServeMeasurement {
     pub requests_per_client: usize,
     /// The sweep.
     pub points: Vec<LoadPoint>,
+    /// Metrics-on vs metrics-off delta.
+    pub obs_guard: ObsGuard,
 }
 
 fn scratch_dir() -> PathBuf {
@@ -128,6 +148,7 @@ fn issue(client: &mut ServeClient, query: &str, run_index: u64, since: Instant) 
     let request = WireRequest::Query(QuerySpec {
         query: query.to_owned(),
         policy: String::new(),
+        stages: false,
         run: RunAddr::Index(run_index),
         mode: WireMode::EntryExit,
     });
@@ -226,6 +247,121 @@ fn open_loop(
     aggregate("open", clients, offered_rps, latencies, errors, wall)
 }
 
+/// Bind one single-worker server over the scratch store with the
+/// observability plane armed or disarmed, for the guard below.
+fn obs_server(dir: &std::path::Path, on: bool) -> Server {
+    let store = RunStore::open(dir).expect("reopen scratch store");
+    // One worker: the sweep above already measures contention, and on
+    // a shared CPU the single-threaded loop is the only configuration
+    // quiet enough to resolve a few-percent delta.
+    let server = Server::bind(
+        store,
+        &ServeConfig {
+            workers: 1,
+            queue: 256,
+            observe: on,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind loopback server");
+    server.warm().expect("warm artifacts");
+    server
+}
+
+/// Issue `per_slice` back-to-back requests on a standing connection;
+/// returns the slice's throughput.
+fn obs_slice(
+    client: &mut ServeClient,
+    query: &str,
+    n_runs: usize,
+    per_slice: usize,
+    on: bool,
+) -> f64 {
+    // Span recording is process-global; arm it to match the server
+    // this slice talks to (the dark server never opens a frame, but
+    // the session inside it would still trace with recording left on).
+    rpq_obs::set_enabled(on);
+    let t0 = Instant::now();
+    for i in 0..per_slice {
+        let since = Instant::now();
+        issue(client, query, (i % n_runs) as u64, since).expect("guard request");
+    }
+    per_slice as f64 / t0.elapsed().as_secs_f64().max(1e-9)
+}
+
+/// Measure the observability overhead: an instrumented and a dark
+/// server stand side by side over the same artifacts, and one client
+/// thread alternates short request slices between them on standing
+/// connections. Both arms therefore sample the same few milliseconds
+/// of a shared host — co-tenant bursts and frequency shifts hit the
+/// adjacent slices of *both* arms — and the median of per-pair deltas
+/// discards the pairs a burst still managed to split. (Whole-run
+/// arms measured back to back swing tens of percent here, dwarfing
+/// the few-percent effect.) Leaves span recording enabled (the
+/// process default) on return.
+fn measure_obs_guard(
+    dir: &std::path::Path,
+    query: &str,
+    n_runs: usize,
+    per_slice: usize,
+    pairs: usize,
+) -> ObsGuard {
+    let server_on = obs_server(dir, true);
+    let server_off = obs_server(dir, false);
+    let addr_on = server_on.local_addr().expect("bound address");
+    let addr_off = server_off.local_addr().expect("bound address");
+    let handle_on = server_on.shutdown_handle();
+    let handle_off = server_off.shutdown_handle();
+    let serving_on = std::thread::spawn(move || server_on.run(None));
+    let serving_off = std::thread::spawn(move || server_off.run(None));
+    let mut client_on =
+        ServeClient::connect_with_retry(addr_on, Duration::from_secs(5)).expect("guard client");
+    let mut client_off =
+        ServeClient::connect_with_retry(addr_off, Duration::from_secs(5)).expect("guard client");
+    // Warm both paths (unrecorded): page cache, allocator growth,
+    // plan/artifact caches, branch history.
+    obs_slice(&mut client_on, query, n_runs, per_slice, true);
+    obs_slice(&mut client_off, query, n_runs, per_slice, false);
+    let mut on_slices = Vec::with_capacity(pairs);
+    let mut off_slices = Vec::with_capacity(pairs);
+    for round in 0..pairs {
+        // Alternate which arm leads so ordering bias cancels too.
+        if round % 2 == 0 {
+            on_slices.push(obs_slice(&mut client_on, query, n_runs, per_slice, true));
+            off_slices.push(obs_slice(&mut client_off, query, n_runs, per_slice, false));
+        } else {
+            off_slices.push(obs_slice(&mut client_off, query, n_runs, per_slice, false));
+            on_slices.push(obs_slice(&mut client_on, query, n_runs, per_slice, true));
+        }
+    }
+    rpq_obs::set_enabled(true);
+    handle_on.shutdown();
+    handle_off.shutdown();
+    serving_on.join().expect("server thread");
+    serving_off.join().expect("server thread");
+    let median = |mut v: Vec<f64>| -> f64 {
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite throughput"));
+        v[v.len() / 2]
+    };
+    let deltas: Vec<f64> = on_slices
+        .iter()
+        .zip(&off_slices)
+        .map(|(&on, &off)| (off - on) / off.max(1e-9) * 100.0)
+        .collect();
+    if std::env::var_os("RPQ_OBS_GUARD_DEBUG").is_some() {
+        eprintln!("obs_guard on:  {on_slices:.0?}");
+        eprintln!("obs_guard off: {off_slices:.0?}");
+        eprintln!("obs_guard deltas: {deltas:.1?}");
+    }
+    ObsGuard {
+        workers: 1,
+        runs_per_arm: pairs,
+        on_rps: median(on_slices),
+        off_rps: median(off_slices),
+        overhead_pct: median(deltas),
+    }
+}
+
 /// Run the sweep. `full` widens the corpus, client counts and request
 /// budget; quick mode keeps CI fast.
 pub fn measure(full: bool) -> ServeMeasurement {
@@ -302,6 +438,14 @@ pub fn measure(full: bool) -> ServeMeasurement {
         });
     }
 
+    // Longer windows than the sweep's: each arm run must dwarf the
+    // container's scheduling jitter for a few-percent delta to resolve.
+    // Slices short enough (tens of ms) that co-tenant bursts straddle
+    // a pair instead of swallowing one arm; enough pairs for a stable
+    // median.
+    let (guard_per_slice, guard_pairs) = if full { (1_500, 31) } else { (300, 3) };
+    let obs_guard = measure_obs_guard(&dir, &query, n_runs, guard_per_slice, guard_pairs);
+
     let _ = std::fs::remove_dir_all(&dir);
     ServeMeasurement {
         n_runs,
@@ -312,6 +456,7 @@ pub fn measure(full: bool) -> ServeMeasurement {
             .unwrap_or(1),
         requests_per_client: per_client,
         points,
+        obs_guard,
     }
 }
 
@@ -340,6 +485,14 @@ pub fn table(m: &ServeMeasurement) -> Table {
             ]);
         }
     }
+    table.row(vec![
+        format!("{}", m.obs_guard.workers),
+        "obs on/off".to_owned(),
+        format!("{:.0}/{:.0}", m.obs_guard.on_rps, m.obs_guard.off_rps),
+        String::new(),
+        String::new(),
+        format!("{:+.1}%", m.obs_guard.overhead_pct),
+    ]);
     table
 }
 
@@ -389,7 +542,18 @@ pub fn to_json(m: &ServeMeasurement) -> String {
             if i + 1 < m.points.len() { "," } else { "" },
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"obs_guard\": {{\"workers\": {}, \"runs_per_arm\": {}, \
+         \"metrics_on_rps\": {:.1}, \"metrics_off_rps\": {:.1}, \
+         \"overhead_pct\": {:.2}}}\n",
+        m.obs_guard.workers,
+        m.obs_guard.runs_per_arm,
+        m.obs_guard.on_rps,
+        m.obs_guard.off_rps,
+        m.obs_guard.overhead_pct,
+    ));
+    out.push_str("}\n");
     out
 }
 
@@ -420,9 +584,14 @@ mod tests {
             }
             assert!(point.open.offered_rps > 0.0);
         }
+        assert!(m.obs_guard.on_rps > 0.0 && m.obs_guard.off_rps > 0.0);
+        assert!(m.obs_guard.overhead_pct.is_finite());
+        assert!(rpq_obs::enabled(), "guard must restore span recording");
         let json = to_json(&m);
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert!(json.contains("\"p99_us\""));
+        assert!(json.contains("\"obs_guard\""));
+        assert!(table(&m).render().contains("obs on/off"));
         assert!(table(&m).render().contains("closed"));
     }
 }

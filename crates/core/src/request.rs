@@ -101,6 +101,12 @@ pub struct EvalMeta {
     /// Candidate nodes the request ranged over (2 for pairwise,
     /// `|l1| + |l2|` for list modes).
     pub nodes_touched: usize,
+    /// Per-stage timing breakdown of this evaluation: `(stage, µs)`
+    /// self-times collected by `rpq_obs::Trace` (`plan` = prepared-plan
+    /// compile/lookup, `index`/`csr` = per-run artifact build or load,
+    /// `eval` = the evaluation proper). Empty when tracing is disabled
+    /// process-wide (`rpq_obs::set_enabled(false)`).
+    pub stages: rpq_obs::Stages,
 }
 
 /// The payload of a [`QueryOutcome`].

@@ -441,6 +441,9 @@ impl Session {
         regex: &Regex,
         policy: SubqueryPolicy,
     ) -> Result<PreparedQuery, RpqError> {
+        // Stage-timed when a trace frame is open (a cache hit is still
+        // a `plan` stage — just a very short one).
+        let _plan_span = rpq_obs::Trace::span("plan");
         let key = PlanKey {
             canon: format!("{regex:?}"),
             policy,
@@ -522,6 +525,7 @@ impl Session {
     /// The cached per-run tag index, building it on first sight of the
     /// run. Returns the index and whether the cache hit.
     pub fn index_for(&self, run: &Run) -> (Arc<TagIndex>, IndexCacheUse) {
+        let _span = rpq_obs::Trace::span("index");
         let key = run_key(run);
         if let Some(index) = self.indexes.lock().expect("index cache lock").get(&key) {
             self.index_hits.fetch_add(1, Ordering::Relaxed);
@@ -620,6 +624,7 @@ impl Session {
     }
 
     fn csr_build(&self, key: RunKey, index: &TagIndex) -> (Arc<CsrIndex>, IndexCacheUse) {
+        let _span = rpq_obs::Trace::span("csr");
         let built = Arc::new(CsrIndex::build(index));
         // As with plans and indexes: this call built an arena, so it
         // reports (and counts) a miss even when it loses an insert race.
@@ -665,6 +670,12 @@ impl Session {
         request: &QueryRequest,
     ) -> QueryOutcome {
         self.assert_owns(query);
+        // Open a trace frame for this evaluation: the artifact lookups
+        // below record `index`/`csr` spans, the evaluation proper is
+        // the `eval` span, and the collected breakdown lands in
+        // `EvalMeta::stages`. Frames nest, so a server tracing its own
+        // request stages around this call is unaffected.
+        rpq_obs::Trace::begin();
         let plan = &query.inner.plan;
         let kind = query.inner.stats.kind;
         // Composite evaluation needs the per-run index; safe plans
@@ -686,6 +697,7 @@ impl Session {
         // closure counters bracket it exactly even under concurrency.
         let closures_before = rpq_relalg::thread_closure_counts();
 
+        let eval_span = rpq_obs::Trace::span("eval");
         let (result, nodes_touched) = match request {
             QueryRequest::Pairwise(..) | QueryRequest::EntryExit => {
                 let (u, v) = match request {
@@ -725,6 +737,7 @@ impl Session {
                 (QueryResult::Nodes(nodes), touched)
             }
         };
+        drop(eval_span);
         QueryOutcome {
             result,
             meta: EvalMeta {
@@ -733,6 +746,7 @@ impl Session {
                 kernel: rpq_relalg::kernel_mode(),
                 closures: rpq_relalg::thread_closure_counts().since(closures_before),
                 nodes_touched,
+                stages: rpq_obs::Trace::take(),
             },
         }
     }
@@ -959,6 +973,29 @@ mod tests {
         let outcome = session.evaluate(&safe, &run, &QueryRequest::entry_exit());
         assert_eq!(outcome.meta.closures, rpq_relalg::ClosureCounts::default());
         rpq_relalg::set_kernel_mode(before);
+    }
+
+    #[test]
+    fn evaluations_carry_a_stage_breakdown() {
+        let session = Session::from_spec(spec());
+        let run = RunBuilder::new(session.spec())
+            .seed(11)
+            .target_edges(60)
+            .build()
+            .unwrap();
+        // A composite leaf touches the index: both stages appear.
+        let q = session.prepare("go").unwrap();
+        let all: Vec<NodeId> = run.node_ids().collect();
+        let outcome = session.evaluate(&q, &run, &QueryRequest::all_pairs(all.clone(), all));
+        let names: Vec<&str> = outcome.meta.stages.iter().map(|(n, _)| *n).collect();
+        assert!(names.contains(&"index"), "{names:?}");
+        assert!(names.contains(&"eval"), "{names:?}");
+        // Safe plans have no artifact stage.
+        let safe = session.prepare("_*").unwrap();
+        let outcome = session.evaluate(&safe, &run, &QueryRequest::entry_exit());
+        let names: Vec<&str> = outcome.meta.stages.iter().map(|(n, _)| *n).collect();
+        assert!(names.contains(&"eval"), "{names:?}");
+        assert!(!names.contains(&"index"), "{names:?}");
     }
 
     #[test]

@@ -1,0 +1,46 @@
+//! Microbench: per-request cost of the tracing primitives.
+//!
+//! ```text
+//! cargo run --release -p rpq-obs --example trace_cost
+//! ```
+use rpq_obs::Trace;
+use std::time::Instant;
+
+fn main() {
+    let n = 1_000_000u32;
+    // Simulate one served request: two nested frames, five spans.
+    let t0 = Instant::now();
+    for _ in 0..n {
+        Trace::begin();
+        {
+            let _p = Trace::span("plan");
+        }
+        Trace::begin();
+        {
+            let _i = Trace::span("index");
+        }
+        {
+            let _c = Trace::span("csr");
+        }
+        {
+            let _e = Trace::span("eval");
+        }
+        let inner = Trace::take();
+        {
+            let _l = Trace::span("store_load");
+        }
+        let outer = Trace::take();
+        std::hint::black_box((inner, outer));
+    }
+    let on = t0.elapsed().as_nanos() as f64 / n as f64;
+
+    rpq_obs::set_enabled(false);
+    let t0 = Instant::now();
+    for _ in 0..n {
+        let _p = Trace::span("plan");
+        let _e = Trace::span("eval");
+    }
+    let off = t0.elapsed().as_nanos() as f64 / n as f64;
+    rpq_obs::set_enabled(true);
+    println!("armed frame+5 spans: {on:.0} ns/request; disabled spans: {off:.1} ns");
+}

@@ -1,0 +1,572 @@
+//! The metrics registry: named atomic counters, gauges, and log₂-scale
+//! latency histograms with lock-free recording and mergeable snapshots.
+//!
+//! Handles are `&'static` references obtained once at wiring time (the
+//! registry leaks one small allocation per distinct metric name, which
+//! is the point: metrics live for the process); recording afterwards is
+//! a single relaxed atomic op with no lock on the hot path. Labels use
+//! the Prometheus inline syntax directly in the metric name
+//! (`requests_total{backend="10.0.0.1:4000"}`), so aggregation across
+//! processes is plain name-wise merging.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Number of log₂ histogram buckets. Bucket `i` (for `i ≥ 1`) holds
+/// values whose bit length is `i`, i.e. `[2^(i-1), 2^i - 1]`; bucket 0
+/// holds zero; the last bucket absorbs everything larger. 40 buckets
+/// cover 0 .. 2³⁸ µs (~76 hours) before saturating.
+pub const BUCKETS: usize = 40;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A fresh zeroed counter.
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Add `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increment by one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous value.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A fresh zeroed gauge.
+    pub const fn new() -> Self {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// Set the gauge to `v`.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `d` (may be negative).
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Map a recorded value to its log₂ bucket index.
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        return 0;
+    }
+    let bits = 64 - v.leading_zeros() as usize;
+    bits.min(BUCKETS - 1)
+}
+
+/// Inclusive upper bound of bucket `i` (`u64::MAX` for the overflow
+/// bucket).
+pub fn bucket_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// A fixed-bucket log₂-scale histogram; recording is one relaxed
+/// `fetch_add` per bucket plus two for count/sum.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation (microseconds, by convention).
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the histogram state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A mergeable point-in-time histogram copy.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (`BUCKETS` entries when produced
+    /// locally; merging tolerates shorter vectors from older peers).
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Bucket-wise sum of `other` into `self`.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (i, n) in other.buckets.iter().enumerate() {
+            self.buckets[i] += n;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Quantile estimate: the inclusive upper bound of the bucket
+    /// containing the rank-`⌈q·count⌉` observation. Because buckets
+    /// are log₂-scale the estimate is at most 2× the true value (and
+    /// never below it).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_bound(i);
+            }
+        }
+        bucket_bound(BUCKETS - 1)
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Mean of observed values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, &'static Counter>,
+    gauges: BTreeMap<String, &'static Gauge>,
+    histograms: BTreeMap<String, &'static Histogram>,
+    notes: BTreeMap<String, String>,
+}
+
+/// A named collection of metrics. Components keep an owned or shared
+/// registry, resolve `&'static` handles once, and record lock-free
+/// afterwards; `snapshot()` freezes everything for exposition or
+/// wire transfer.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Get or create the counter named `name`.
+    pub fn counter(&self, name: &str) -> &'static Counter {
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        if let Some(c) = inner.counters.get(name) {
+            return c;
+        }
+        let leaked: &'static Counter = Box::leak(Box::new(Counter::new()));
+        inner.counters.insert(name.to_owned(), leaked);
+        leaked
+    }
+
+    /// Get or create the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> &'static Gauge {
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        if let Some(g) = inner.gauges.get(name) {
+            return g;
+        }
+        let leaked: &'static Gauge = Box::leak(Box::new(Gauge::new()));
+        inner.gauges.insert(name.to_owned(), leaked);
+        leaked
+    }
+
+    /// Get or create the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> &'static Histogram {
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        if let Some(h) = inner.histograms.get(name) {
+            return h;
+        }
+        let leaked: &'static Histogram = Box::leak(Box::new(Histogram::new()));
+        inner.histograms.insert(name.to_owned(), leaked);
+        leaked
+    }
+
+    /// Set (overwrite) a free-text annotation carried with snapshots —
+    /// e.g. the last configuration warning.
+    pub fn note(&self, key: &str, text: &str) {
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        inner.notes.insert(key.to_owned(), text.to_owned());
+    }
+
+    /// Freeze every registered metric into a mergeable snapshot
+    /// (entries sorted by name).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().expect("registry poisoned");
+        MetricsSnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, c)| (k.clone(), c.get()))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(k, g)| (k.clone(), g.get()))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), h.snapshot()))
+                .collect(),
+            notes: inner
+                .notes
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        }
+    }
+}
+
+static GLOBAL: Mutex<Option<&'static Registry>> = Mutex::new(None);
+
+/// The process-wide registry, for cross-crate counters that have no
+/// natural owner (e.g. client connect retries).
+pub fn global() -> &'static Registry {
+    let mut slot = GLOBAL.lock().expect("global registry poisoned");
+    if let Some(r) = *slot {
+        return r;
+    }
+    let leaked: &'static Registry = Box::leak(Box::new(Registry::new()));
+    *slot = Some(leaked);
+    leaked
+}
+
+/// A frozen, mergeable view of a registry (plus, when merged across a
+/// fleet, of many registries). Counters and histograms sum name-wise;
+/// gauges sum (fleet gauges read as totals); notes keep the first
+/// non-empty text per key.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` counter readings, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` gauge readings, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, snapshot)` histogram readings, sorted by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// `(key, text)` annotations, sorted by key.
+    pub notes: Vec<(String, String)>,
+}
+
+fn merge_into<V, F: FnMut(&mut V, &V)>(dst: &mut Vec<(String, V)>, src: &[(String, V)], mut f: F)
+where
+    V: Clone,
+{
+    for (name, v) in src {
+        match dst.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+            Ok(i) => f(&mut dst[i].1, v),
+            Err(i) => dst.insert(i, (name.clone(), v.clone())),
+        }
+    }
+}
+
+impl MetricsSnapshot {
+    /// Merge `other` into `self` (name-wise; see type docs for the
+    /// per-kind rule). Merging is associative and commutative for
+    /// counters, gauges, and histograms.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        merge_into(&mut self.counters, &other.counters, |a, b| *a += *b);
+        merge_into(&mut self.gauges, &other.gauges, |a, b| *a += *b);
+        merge_into(&mut self.histograms, &other.histograms, |a, b| a.merge(b));
+        merge_into(&mut self.notes, &other.notes, |a, b| {
+            if a.is_empty() {
+                b.clone_into(a);
+            }
+        });
+    }
+
+    /// Value of the counter named `name` (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// The histogram named `name`, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Prometheus-style plain-text exposition. Histograms expand to
+    /// cumulative `_bucket{le="..."}` lines plus `_sum`/`_count`;
+    /// labelled names (inline `{...}`) are spliced correctly; notes
+    /// render as `# NOTE key text` comment lines.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (key, text) in &self.notes {
+            out.push_str(&format!("# NOTE {key} {}\n", text.replace('\n', " ")));
+        }
+        for (name, v) in &self.counters {
+            out.push_str(&format!("# TYPE {} counter\n{name} {v}\n", family(name)));
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!("# TYPE {} gauge\n{name} {v}\n", family(name)));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!("# TYPE {} histogram\n", family(name)));
+            let mut cumulative = 0u64;
+            for (i, n) in h.buckets.iter().enumerate() {
+                cumulative += n;
+                if *n == 0 && i + 1 != h.buckets.len() {
+                    continue; // keep the exposition readable
+                }
+                let le = if i + 1 == h.buckets.len() {
+                    "+Inf".to_owned()
+                } else {
+                    bucket_bound(i).to_string()
+                };
+                out.push_str(&labelled(name, "bucket", &format!("le=\"{le}\"")));
+                out.push_str(&format!(" {cumulative}\n"));
+            }
+            out.push_str(&labelled(name, "sum", ""));
+            out.push_str(&format!(" {}\n", h.sum));
+            out.push_str(&labelled(name, "count", ""));
+            out.push_str(&format!(" {}\n", h.count));
+        }
+        out
+    }
+}
+
+/// Family name: the metric name with any inline label set stripped.
+fn family(name: &str) -> &str {
+    name.split('{').next().unwrap_or(name)
+}
+
+/// `name_<suffix>` with `extra` appended to (or opening) the label
+/// set — the suffix goes on the *base* name so a labelled histogram
+/// expands to `base_sum{labels}`, never `base{labels}_sum`.
+fn labelled(name: &str, suffix: &str, extra: &str) -> String {
+    match name.find('{') {
+        Some(open) => {
+            let (base, labels) = name.split_at(open);
+            let inner = labels.trim_start_matches('{').trim_end_matches('}');
+            if extra.is_empty() {
+                format!("{base}_{suffix}{{{inner}}}")
+            } else {
+                format!("{base}_{suffix}{{{inner},{extra}}}")
+            }
+        }
+        None if extra.is_empty() => format!("{name}_{suffix}"),
+        None => format!("{name}_{suffix}{{{extra}}}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        for i in 1..BUCKETS - 1 {
+            let low = 1u64 << (i - 1);
+            let high = (1u64 << i) - 1;
+            assert_eq!(bucket_index(low), i, "low edge of bucket {i}");
+            assert_eq!(bucket_index(high), i, "high edge of bucket {i}");
+            assert_eq!(bucket_bound(i), high);
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_bound(BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn quantile_estimates_stay_within_one_octave() {
+        for &v in &[1u64, 3, 17, 100, 1_000, 123_456] {
+            let h = Histogram::new();
+            for _ in 0..100 {
+                h.record(v);
+            }
+            let snap = h.snapshot();
+            for q in [0.5, 0.9, 0.99] {
+                let est = snap.quantile(q);
+                assert!(est >= v, "estimate below truth: {est} < {v}");
+                assert!(est <= 2 * v, "estimate above 2× truth: {est} > 2·{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = Histogram::new();
+        let threads = 8;
+        let per = 10_000u64;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let h = &h;
+                scope.spawn(move || {
+                    for i in 0..per {
+                        h.record(t * 1000 + i % 64);
+                    }
+                });
+            }
+        });
+        let snap = h.snapshot();
+        assert_eq!(snap.count, threads * per);
+        assert_eq!(snap.buckets.iter().sum::<u64>(), threads * per);
+    }
+
+    fn sample(seed: u64) -> MetricsSnapshot {
+        let r = Registry::new();
+        r.counter("a_total").add(seed);
+        r.counter(&format!("b_total{{x=\"{seed}\"}}")).add(1);
+        r.gauge("g").set(seed as i64);
+        let h = r.histogram("lat_micros");
+        for i in 0..seed {
+            h.record(i * 7 + seed);
+        }
+        r.note(
+            "warn",
+            if seed.is_multiple_of(2) {
+                ""
+            } else {
+                "odd seed"
+            },
+        );
+        r.snapshot()
+    }
+
+    #[test]
+    fn snapshot_merge_is_associative() {
+        let (a, b, c) = (sample(3), sample(10), sample(4));
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right);
+        assert_eq!(left.counter("a_total"), 17);
+        assert_eq!(left.histogram("lat_micros").unwrap().count, 17);
+    }
+
+    #[test]
+    fn text_exposition_has_families_buckets_and_notes() {
+        let r = Registry::new();
+        r.counter("requests_total{backend=\"a\"}").add(2);
+        r.histogram("lat_micros").record(5);
+        r.note("config_warning", "bad kernel");
+        let text = r.snapshot().to_text();
+        assert!(text.contains("# TYPE requests_total counter"), "{text}");
+        assert!(text.contains("requests_total{backend=\"a\"} 2"), "{text}");
+        assert!(text.contains("lat_micros_bucket{le=\"7\"} 1"), "{text}");
+        assert!(text.contains("lat_micros_bucket{le=\"+Inf\"} 1"), "{text}");
+        assert!(text.contains("lat_micros_count 1"), "{text}");
+        assert!(text.contains("# NOTE config_warning bad kernel"), "{text}");
+        // Labelled histograms keep the suffix on the base name.
+        r.histogram("stage_micros{stage=\"eval\"}").record(3);
+        let text = r.snapshot().to_text();
+        assert!(
+            text.contains("stage_micros_bucket{stage=\"eval\",le=\"3\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("stage_micros_sum{stage=\"eval\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("stage_micros_count{stage=\"eval\"} 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn registry_handles_are_stable_across_lookups() {
+        let r = Registry::new();
+        let c1 = r.counter("x_total");
+        c1.incr();
+        r.counter("x_total").add(2);
+        assert_eq!(c1.get(), 3);
+        assert_eq!(r.snapshot().counter("x_total"), 3);
+    }
+}

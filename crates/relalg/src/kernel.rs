@@ -22,6 +22,7 @@
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Mutex;
 
 /// Which kernel family executes a relational operator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -121,11 +122,40 @@ fn mode_from_env() -> KernelMode {
         Ok(raw) => KernelMode::from_env_value(&raw).unwrap_or_else(|message| {
             // The first kernel dispatch is a poor place to abort the
             // process, so warn once (the mode is cached after this
-            // read) and run with the default dispatch.
+            // read) and run with the default dispatch — but leave a
+            // trackable trace: stderr scrolls away, the counter and
+            // last-warning text surface in stats/metrics snapshots.
+            record_config_warning(&message);
             eprintln!("warning: {message}; falling back to `auto`");
             KernelMode::Auto
         }),
     }
+}
+
+// Configuration warnings (currently: rejected RPQ_RELALG_KERNEL
+// values). A counter plus the most recent message, queryable by the
+// service stats path so misconfiguration is visible in a scrape, not
+// just in a long-gone stderr line.
+static CONFIG_WARNINGS: AtomicU64 = AtomicU64::new(0);
+static LAST_CONFIG_WARNING: Mutex<Option<String>> = Mutex::new(None);
+
+pub(crate) fn record_config_warning(message: &str) {
+    CONFIG_WARNINGS.fetch_add(1, Ordering::Relaxed);
+    *LAST_CONFIG_WARNING.lock().expect("warning slot poisoned") = Some(message.to_owned());
+}
+
+/// How many configuration warnings this process has emitted
+/// (monotonic).
+pub fn config_warnings() -> u64 {
+    CONFIG_WARNINGS.load(Ordering::Relaxed)
+}
+
+/// The most recent configuration warning message, if any.
+pub fn last_config_warning() -> Option<String> {
+    LAST_CONFIG_WARNING
+        .lock()
+        .expect("warning slot poisoned")
+        .clone()
 }
 
 /// The kernel mode in force for this process.
@@ -417,6 +447,15 @@ mod tests {
         assert_eq!(spawned.bits, 1);
         // ... without touching this thread's view.
         assert_eq!(thread_closure_counts().since(thread_before), t);
+    }
+
+    #[test]
+    fn config_warnings_are_counted_with_last_text() {
+        let before = config_warnings();
+        record_config_warning("first bad value");
+        record_config_warning("second bad value");
+        assert_eq!(config_warnings() - before, 2);
+        assert_eq!(last_config_warning().as_deref(), Some("second bad value"));
     }
 
     #[test]

@@ -23,8 +23,10 @@
 //! so the copy is idempotent and safe to race with queries.
 //!
 //! The router serves **query traffic** — `Query`, `ListRuns` (the
-//! merged fleet inventory), `Stats` (summed fleet counters), `Ping`,
-//! `Shutdown`. The live-ingestion verbs (`Append`, `Subscribe`) and
+//! merged fleet inventory), `Stats` (summed fleet counters), `Metrics`
+//! (the fleet-wide observability scrape: router registry merged with
+//! every reachable backend's snapshot), `Ping`, `Shutdown`. The
+//! live-ingestion verbs (`Append`, `Subscribe`) and
 //! the replication verbs are refused with a pointer to the backends:
 //! they are stateful per-connection or per-store, and a transparent
 //! proxy for them would have to forward growth signals it cannot
@@ -76,6 +78,7 @@
 //!         query: "_*".to_owned(),
 //!         policy: String::new(),
 //!         run: RunAddr::Index(0),
+//!         stages: false,
 //!         mode: WireMode::EntryExit,
 //!     })
 //!     .unwrap();
@@ -98,16 +101,17 @@ pub mod ring;
 use health::{Availability, HealthTable};
 use ring::HashRing;
 use rpq_core::RpqError;
+use rpq_obs::{Counter, Registry};
 use rpq_serve::protocol::{
-    self, error_kind, QuerySpec, RunAddr, WireRequest, WireResponse, WireResult, WireRunInfo,
-    WireStatsReply,
+    self, error_kind, QuerySpec, RunAddr, WireMetricsReply, WireRequest, WireResponse, WireResult,
+    WireRunInfo, WireStatsReply,
 };
 use rpq_serve::{RetryPolicy, ServeClient, WireOutcome};
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
-use std::io::Read;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -153,6 +157,11 @@ pub struct RouterConfig {
     pub chunk_entries: usize,
     /// Idle keep-alive bound for front-side connections.
     pub idle_timeout: Duration,
+    /// Optional plain-text metrics listener, mirroring
+    /// [`rpq_serve::ServeConfig::metrics_addr`]: every connection gets
+    /// the *fleet-wide* text exposition (router registry merged with
+    /// every reachable backend's snapshot) and a close.
+    pub metrics_addr: Option<String>,
 }
 
 impl Default for RouterConfig {
@@ -171,6 +180,7 @@ impl Default for RouterConfig {
             sync_interval: Some(Duration::from_millis(500)),
             chunk_entries: 65_536,
             idle_timeout: Duration::from_secs(60),
+            metrics_addr: None,
         }
     }
 }
@@ -192,17 +202,38 @@ pub struct RouterReport {
     pub unavailable: u64,
     /// Runs copied between backends by the replication sync loop.
     pub synced_runs: u64,
+    /// Backoff pauses taken between replica failover attempts.
+    pub retries: u64,
 }
 
-/// Monotonic router counters.
-#[derive(Default)]
+/// The router's registry handles, resolved once at bind time; the
+/// registry itself is the source of truth for the metrics verb and the
+/// text exposition.
 struct Counters {
-    accepted: AtomicU64,
-    requests: AtomicU64,
-    overloaded: AtomicU64,
-    failovers: AtomicU64,
-    unavailable: AtomicU64,
-    synced_runs: AtomicU64,
+    accepted: &'static Counter,
+    requests: &'static Counter,
+    overloaded: &'static Counter,
+    failovers: &'static Counter,
+    retries: &'static Counter,
+    unavailable: &'static Counter,
+    synced_runs: &'static Counter,
+    /// Front-side dispatch latency, µs (includes the back-side trip).
+    request_micros: &'static rpq_obs::Histogram,
+}
+
+impl Counters {
+    fn new(registry: &Registry) -> Counters {
+        Counters {
+            accepted: registry.counter("rpq_router_connections_accepted_total"),
+            requests: registry.counter("rpq_router_requests_total"),
+            overloaded: registry.counter("rpq_router_overloaded_total"),
+            failovers: registry.counter("rpq_router_failovers_total"),
+            retries: registry.counter("rpq_router_retries_total"),
+            unavailable: registry.counter("rpq_router_unavailable_total"),
+            synced_runs: registry.counter("rpq_router_synced_runs_total"),
+            request_micros: registry.histogram("rpq_router_request_micros"),
+        }
+    }
 }
 
 /// A clonable handle that stops a running router from another thread.
@@ -291,7 +322,9 @@ pub struct Router {
     chunk_entries: usize,
     idle_timeout: Duration,
     shutdown: Arc<AtomicBool>,
+    registry: Arc<Registry>,
     counters: Counters,
+    metrics_listener: Option<TcpListener>,
 }
 
 impl Router {
@@ -314,6 +347,18 @@ impl Router {
         } else {
             config.workers
         };
+        let metrics_listener = match &config.metrics_addr {
+            Some(addr) => {
+                let l = TcpListener::bind(addr)
+                    .map_err(|e| RpqError::io(format!("cannot bind metrics address {addr}"), e))?;
+                l.set_nonblocking(true)
+                    .map_err(|e| RpqError::io("cannot set the metrics listener non-blocking", e))?;
+                Some(l)
+            }
+            None => None,
+        };
+        let registry = Arc::new(Registry::new());
+        let counters = Counters::new(&registry);
         Ok(Router {
             listener,
             ring: HashRing::new(config.backends.len()),
@@ -329,8 +374,18 @@ impl Router {
             chunk_entries: config.chunk_entries.max(1),
             idle_timeout: config.idle_timeout,
             shutdown: Arc::new(AtomicBool::new(false)),
-            counters: Counters::default(),
+            registry,
+            counters,
+            metrics_listener,
         })
+    }
+
+    /// The bound metrics-exposition address, when
+    /// [`RouterConfig::metrics_addr`] was set.
+    pub fn metrics_local_addr(&self) -> Option<SocketAddr> {
+        self.metrics_listener
+            .as_ref()
+            .and_then(|l| l.local_addr().ok())
     }
 
     /// The bound front address (read the ephemeral port here).
@@ -370,6 +425,9 @@ impl Router {
             if self.sync_interval.is_some() {
                 scope.spawn(|| self.run_syncer());
             }
+            if self.metrics_listener.is_some() {
+                scope.spawn(|| self.serve_metrics_scrapes());
+            }
             loop {
                 if external.is_some_and(|f| f.load(Ordering::Relaxed)) {
                     self.shutdown.store(true, Ordering::Relaxed);
@@ -379,9 +437,9 @@ impl Router {
                 }
                 match self.listener.accept() {
                     Ok((stream, _)) => {
-                        self.counters.accepted.fetch_add(1, Ordering::Relaxed);
+                        self.counters.accepted.incr();
                         if let Err(rejected) = queue.push(stream) {
-                            self.counters.overloaded.fetch_add(1, Ordering::Relaxed);
+                            self.counters.overloaded.incr();
                             self.refuse(rejected);
                         }
                     }
@@ -397,12 +455,45 @@ impl Router {
             queue.close();
         });
         RouterReport {
-            accepted: self.counters.accepted.load(Ordering::Relaxed),
-            requests: self.counters.requests.load(Ordering::Relaxed),
-            overloaded: self.counters.overloaded.load(Ordering::Relaxed),
-            failovers: self.counters.failovers.load(Ordering::Relaxed),
-            unavailable: self.counters.unavailable.load(Ordering::Relaxed),
-            synced_runs: self.counters.synced_runs.load(Ordering::Relaxed),
+            accepted: self.counters.accepted.get(),
+            requests: self.counters.requests.get(),
+            overloaded: self.counters.overloaded.get(),
+            failovers: self.counters.failovers.get(),
+            unavailable: self.counters.unavailable.get(),
+            synced_runs: self.counters.synced_runs.get(),
+            retries: self.counters.retries.get(),
+        }
+    }
+
+    /// The metrics-exposition loop: accept, dump the fleet-wide text
+    /// exposition, close (mirrors the backend server's listener).
+    fn serve_metrics_scrapes(&self) {
+        let listener = self
+            .metrics_listener
+            .as_ref()
+            .expect("metrics listener present when this loop runs");
+        loop {
+            if self.shutdown.load(Ordering::Relaxed) {
+                return;
+            }
+            match listener.accept() {
+                Ok((mut stream, _)) => {
+                    let text = self.fleet_metrics().to_snapshot().to_text();
+                    let _ = stream.set_nonblocking(false);
+                    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+                    let _ = stream.write_all(text.as_bytes());
+                    let _ = stream.flush();
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::Interrupted =>
+                {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(_) => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            }
         }
     }
 
@@ -461,8 +552,12 @@ impl Router {
                     return;
                 }
             };
-            self.counters.requests.fetch_add(1, Ordering::Relaxed);
+            self.counters.requests.incr();
+            let dispatched = Instant::now();
             let (response, stop) = self.dispatch(request);
+            self.counters
+                .request_micros
+                .record(dispatched.elapsed().as_micros() as u64);
             match self.write_response(&mut stream, &response) {
                 Ok(()) => {}
                 Err(e @ RpqError::Invalid(_)) => {
@@ -621,10 +716,11 @@ impl Router {
                 (WireResponse::ShuttingDown, true)
             }
             WireRequest::Stats => (self.fleet_stats(), false),
+            WireRequest::Metrics => (WireResponse::Metrics(self.fleet_metrics()), false),
             WireRequest::ListRuns => match self.inventory() {
                 Ok(merged) => (WireResponse::Runs(merged), false),
                 Err(message) => {
-                    self.counters.unavailable.fetch_add(1, Ordering::Relaxed);
+                    self.counters.unavailable.incr();
                     (WireResponse::Unavailable { message }, false)
                 }
             },
@@ -641,8 +737,8 @@ impl Router {
                 WireResponse::Error {
                     kind: "invalid".to_owned(),
                     message: "the router serves query traffic only \
-                              (Query/ListRuns/Stats/Ping/Shutdown); send live-ingestion \
-                              and replication verbs directly to a backend"
+                              (Query/ListRuns/Stats/Metrics/Ping/Shutdown); send \
+                              live-ingestion and replication verbs directly to a backend"
                         .to_owned(),
                 },
                 false,
@@ -684,7 +780,7 @@ impl Router {
                     }
                 },
                 Err(message) => {
-                    self.counters.unavailable.fetch_add(1, Ordering::Relaxed);
+                    self.counters.unavailable.incr();
                     return WireResponse::Unavailable { message };
                 }
             },
@@ -702,6 +798,7 @@ impl Router {
         let salt = fp_hi ^ fp_lo.rotate_left(17);
         for (attempt, &backend) in order.iter().enumerate() {
             if attempt > 0 {
+                self.counters.retries.incr();
                 self.retry.pause((attempt - 1) as u32, salt);
             }
             match self.backend_client(backend).and_then(|mut c| {
@@ -714,14 +811,14 @@ impl Router {
                         // this run yet — its answer would be a false
                         // "no such run". Count it healthy, fail over.
                         self.health.record_success(backend);
-                        self.counters.failovers.fetch_add(1, Ordering::Relaxed);
+                        self.counters.failovers.incr();
                         continue;
                     }
                     if backpressure(&response) {
                         // Alive but refusing (overloaded / draining):
                         // not a health event, but another replica may
                         // have room.
-                        self.counters.failovers.fetch_add(1, Ordering::Relaxed);
+                        self.counters.failovers.incr();
                         continue;
                     }
                     self.health.record_success(backend);
@@ -729,11 +826,11 @@ impl Router {
                 }
                 Err(_) => {
                     self.health.record_failure(backend);
-                    self.counters.failovers.fetch_add(1, Ordering::Relaxed);
+                    self.counters.failovers.incr();
                 }
             }
         }
-        self.counters.unavailable.fetch_add(1, Ordering::Relaxed);
+        self.counters.unavailable.incr();
         WireResponse::Unavailable {
             message: format!(
                 "no replica answered for run {fp_hi:016x}{fp_lo:016x} \
@@ -798,12 +895,52 @@ impl Router {
             }
         }
         if reached == 0 {
-            self.counters.unavailable.fetch_add(1, Ordering::Relaxed);
+            self.counters.unavailable.incr();
             return WireResponse::Unavailable {
                 message: "no backend answered the stats scan; the fleet is down".to_owned(),
             };
         }
+        // The router's own failover pauses ride along: a fleet client
+        // asking for Stats sees retry pressure wherever it arises.
+        total.retries += self.counters.retries.get();
         WireResponse::Stats(total)
+    }
+
+    /// One fleet-wide scrape: the router's own registry (request /
+    /// failover / retry / sync counters, per-backend health gauges)
+    /// merged name-wise with every reachable backend's metrics
+    /// snapshot, slow-query rings concatenated. Unreachable backends
+    /// simply contribute nothing — a scrape never fails outright.
+    fn fleet_metrics(&self) -> WireMetricsReply {
+        // Refresh the per-backend health gauges right before freezing.
+        for (backend, addr) in self.backends.iter().enumerate() {
+            let availability = self.health.availability(backend);
+            self.registry
+                .gauge(&format!("rpq_router_backend_healthy{{backend=\"{addr}\"}}"))
+                .set(i64::from(availability == Availability::Healthy));
+            self.registry
+                .gauge(&format!("rpq_router_backend_ejected{{backend=\"{addr}\"}}"))
+                .set(i64::from(availability == Availability::Ejected));
+        }
+        let mut snap = self.registry.snapshot();
+        snap.merge(&rpq_obs::global().snapshot());
+        let mut slow = Vec::new();
+        for backend in 0..self.backends.len() {
+            if self.health.availability(backend) == Availability::Ejected {
+                continue;
+            }
+            match self.backend_client(backend).and_then(|mut c| c.metrics()) {
+                Ok(reply) => {
+                    self.health.record_success(backend);
+                    snap.merge(&reply.to_snapshot());
+                    slow.extend(reply.slow);
+                }
+                Err(_) => self.health.record_failure(backend),
+            }
+        }
+        let mut reply = WireMetricsReply::from_snapshot(&snap, Vec::new());
+        reply.slow = slow;
+        reply
     }
 
     // -----------------------------------------------------------------
@@ -934,7 +1071,7 @@ impl Router {
                     .and_then(|mut c| c.push_run(run))
                 {
                     if !deduplicated {
-                        self.counters.synced_runs.fetch_add(1, Ordering::Relaxed);
+                        self.counters.synced_runs.incr();
                     }
                     // The replica's epoch moved: drop its cache entry
                     // so the next round re-reads the inventory.
@@ -993,6 +1130,8 @@ fn add_stats(total: &mut WireStatsReply, s: &WireStatsReply) {
     total.appends += s.appends;
     total.append_rebuilds += s.append_rebuilds;
     total.subscriptions += s.subscriptions;
+    total.retries += s.retries;
+    total.config_warnings += s.config_warnings;
 }
 
 #[cfg(test)]

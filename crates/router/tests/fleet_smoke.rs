@@ -166,6 +166,8 @@ fn fleet_survives_a_kill_dash_nine_and_drains_on_sigterm() {
         "50".to_owned(),
         "--cooldown-ms".to_owned(),
         "200".to_owned(),
+        "--metrics-addr".to_owned(),
+        "127.0.0.1:0".to_owned(),
     ];
     for (addr, _) in &backends {
         router_args.push("--backend".to_owned());
@@ -181,6 +183,16 @@ fn fleet_survives_a_kill_dash_nine_and_drains_on_sigterm() {
     );
     let (front, mut router_out) = scrape_addr(&mut router.0);
     let front = front.as_str();
+    let mut line = String::new();
+    router_out
+        .read_line(&mut line)
+        .expect("read metrics banner");
+    let router_metrics_addr = line
+        .split("listening on ")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .unwrap_or_else(|| panic!("no metrics address in banner: {line}"))
+        .to_owned();
 
     // 3. The merged inventory shows all three runs; wait until the
     // syncer has placed every run on at least two backends (any single
@@ -250,6 +262,33 @@ fn fleet_survives_a_kill_dash_nine_and_drains_on_sigterm() {
     );
     assert!(out.contains("reachable:"), "{out}");
 
+    // 4.5. One fleet-wide observability scrape through the front door:
+    // router counters, per-backend health gauges, and the backends'
+    // own request/latency/store families merged into one snapshot.
+    let fleet = run_ok(&bin, &["request", "metrics", "--addr", front, "--text"]);
+    assert!(fleet.contains("rpq_router_requests_total"), "{fleet}");
+    assert!(fleet.contains("rpq_router_request_micros"), "{fleet}");
+    assert!(
+        fleet.contains("rpq_router_backend_healthy{backend="),
+        "{fleet}"
+    );
+    assert!(fleet.contains("rpq_router_failovers_total"), "{fleet}");
+    assert!(fleet.contains("rpq_requests_total"), "{fleet}");
+    assert!(fleet.contains("rpq_request_micros_count"), "{fleet}");
+    assert!(fleet.contains("rpq_store_appends_total"), "{fleet}");
+    assert!(fleet.contains("rpq_store_append_rebuilds_total"), "{fleet}");
+    // The plaintext listener serves the same exposition.
+    let mut scraped = String::new();
+    std::net::TcpStream::connect(&router_metrics_addr)
+        .expect("connect router metrics listener")
+        .read_to_string(&mut scraped)
+        .expect("read router exposition");
+    assert!(scraped.contains("rpq_router_requests_total"), "{scraped}");
+    assert!(
+        scraped.contains("rpq_router_backend_healthy{backend="),
+        "{scraped}"
+    );
+
     // 5. kill -9 one backend with a query in flight: the in-flight
     // query and every follow-up must still answer through the fleet.
     let mut inflight = Command::new(&bin)
@@ -289,6 +328,27 @@ fn fleet_survives_a_kill_dash_nine_and_drains_on_sigterm() {
         );
     }
     assert!(run_ok(&bin, &["request", "runs", "--addr", front]).contains("3 stored run(s)"));
+
+    // 5.5. The fleet scrape reflects the loss: the victim's health
+    // gauge drops to 0 once the prober notices, and the surviving
+    // backends' counters still merge.
+    let unhealthy = format!(
+        "rpq_router_backend_healthy{{backend=\"{}\"}} 0",
+        backends[1].0
+    );
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let fleet = run_ok(&bin, &["request", "metrics", "--addr", front, "--text"]);
+        if fleet.contains(&unhealthy) {
+            assert!(fleet.contains("rpq_requests_total"), "{fleet}");
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "victim never marked unhealthy:\n{fleet}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
 
     // 6. SIGTERM → drain → exit 0 with the routing report.
     let status = Command::new("kill")

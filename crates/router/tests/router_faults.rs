@@ -220,6 +220,7 @@ impl Fleet {
             .query(QuerySpec {
                 query: query.to_owned(),
                 policy: String::new(),
+                stages: false,
                 run: RunAddr::Fingerprint(hi, lo),
                 mode: mode.clone(),
             })
@@ -370,6 +371,7 @@ fn epoch_divergence_resyncs_and_stale_replicas_refuse() {
         .request(&WireRequest::Query(QuerySpec {
             query: QUERIES[0].to_owned(),
             policy: String::new(),
+            stages: false,
             run: RunAddr::Fingerprint(hi, lo),
             mode: WireMode::EntryExit,
         }))
@@ -413,6 +415,7 @@ fn epoch_divergence_resyncs_and_stale_replicas_refuse() {
         .query(QuerySpec {
             query: QUERIES[0].to_owned(),
             policy: String::new(),
+            stages: false,
             run: RunAddr::Fingerprint(hi, lo),
             mode: WireMode::EntryExit,
         })
@@ -446,6 +449,7 @@ fn positional_addressing_follows_the_merged_inventory() {
             .query(QuerySpec {
                 query: QUERIES[0].to_owned(),
                 policy: String::new(),
+                stages: false,
                 run: RunAddr::Index(i as u64),
                 mode: WireMode::AllPairsFull,
             })
@@ -461,6 +465,7 @@ fn positional_addressing_follows_the_merged_inventory() {
         .request(&WireRequest::Query(QuerySpec {
             query: QUERIES[0].to_owned(),
             policy: String::new(),
+            stages: false,
             run: RunAddr::Index(99),
             mode: WireMode::EntryExit,
         }))
@@ -507,6 +512,7 @@ fn losing_all_replicas_is_a_bounded_unavailable_refusal() {
         client.request(&WireRequest::Query(QuerySpec {
             query: "_* e _*".to_owned(),
             policy: String::new(),
+            stages: false,
             run: RunAddr::Fingerprint(hi, lo),
             mode: WireMode::EntryExit,
         }))
@@ -546,6 +552,7 @@ fn losing_all_replicas_is_a_bounded_unavailable_refusal() {
         .request(&WireRequest::Subscribe(QuerySpec {
             query: "_* e _*".to_owned(),
             policy: String::new(),
+            stages: false,
             run: RunAddr::Fingerprint(hi, lo),
             mode: WireMode::EntryExit,
         }))
@@ -598,6 +605,7 @@ fn corrupted_artifacts_rebuild_instead_of_corrupting_answers() {
         .query(QuerySpec {
             query: "_* e _*".to_owned(),
             policy: String::new(),
+            stages: false,
             run: RunAddr::Index(0),
             mode: WireMode::AllPairsFull,
         })

@@ -6,8 +6,8 @@
 //! concurrent stream of work; they are cheap).
 
 use crate::protocol::{
-    self, QuerySpec, RunAddr, WireAppended, WireOutcome, WireRequest, WireResponse, WireResult,
-    WireRunInfo, WireStatsReply,
+    self, QuerySpec, RunAddr, WireAppended, WireMetricsReply, WireOutcome, WireRequest,
+    WireResponse, WireResult, WireRunInfo, WireStatsReply,
 };
 use crate::retry::RetryPolicy;
 use rpq_core::RpqError;
@@ -98,6 +98,9 @@ impl ServeClient {
                 Ok(client) => return Ok(client),
                 Err(e) if started.elapsed() >= timeout => return Err(e),
                 Err(_) => {
+                    rpq_obs::global()
+                        .counter("rpq_connect_retries_total")
+                        .incr();
                     policy.pause(attempt, salt);
                     attempt += 1;
                 }
@@ -155,6 +158,15 @@ impl ServeClient {
     pub fn stats(&mut self) -> Result<WireStatsReply, RpqError> {
         match self.request(&WireRequest::Stats)? {
             WireResponse::Stats(stats) => Ok(stats),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Snapshot the server's metrics registry and slow-query ring.
+    /// Against a router this is the fleet-wide aggregate.
+    pub fn metrics(&mut self) -> Result<WireMetricsReply, RpqError> {
+        match self.request(&WireRequest::Metrics)? {
+            WireResponse::Metrics(reply) => Ok(reply),
             other => Err(unexpected(other)),
         }
     }

@@ -61,6 +61,7 @@
 //!         query: "_*".to_owned(),
 //!         policy: String::new(),
 //!         run: RunAddr::Index(0),
+//!         stages: false,
 //!         mode: WireMode::EntryExit,
 //!     })
 //!     .unwrap();
@@ -81,8 +82,8 @@ pub mod signals;
 
 pub use client::ServeClient;
 pub use protocol::{
-    QuerySpec, RunAddr, WireAppended, WireMode, WireOutcome, WireRequest, WireResponse, WireResult,
-    WireRunInfo, WireStatsReply,
+    QuerySpec, RunAddr, WireAppended, WireHistogram, WireMetricsReply, WireMode, WireOutcome,
+    WireRequest, WireResponse, WireResult, WireRunInfo, WireSlowQuery, WireStatsReply,
 };
 pub use retry::RetryPolicy;
 pub use server::{ServeConfig, ServeReport, Server, ShutdownHandle};

@@ -39,8 +39,13 @@ pub const MAGIC: [u8; 4] = *b"RPQN";
 /// responses — [`WireResponse::OutcomeStream`] followed by
 /// [`WireResponse::Chunk`] frames — the replication verbs
 /// [`WireRequest::FetchRun`] / [`WireRequest::PushRun`], and the
-/// router's degraded [`WireResponse::Unavailable`] frame.)
-pub const VERSION: u8 = 4;
+/// router's degraded [`WireResponse::Unavailable`] frame; v5 added the
+/// observability surface — [`WireRequest::Metrics`] answered by
+/// [`WireResponse::Metrics`] with a mergeable registry snapshot and
+/// the slow-query ring, the per-request stage breakdown in
+/// [`WireOutcome::stages`], and the retry / config-warning counters in
+/// [`WireStatsReply`].)
+pub const VERSION: u8 = 5;
 
 /// Hard cap on one frame's payload (64 MiB) — bounds the allocation a
 /// length prefix can demand before a single payload byte is read.
@@ -122,6 +127,12 @@ pub struct QuerySpec {
     pub policy: String,
     /// Which stored run to evaluate over.
     pub run: RunAddr,
+    /// Ship the per-stage timing breakdown in the outcome. Stage
+    /// timings always land in the server's histograms and slow-query
+    /// log; serializing them onto every response is measurable at
+    /// closed-loop rates, so the wire copy is opt-in (the CLI asks for
+    /// it, the bench harness does not).
+    pub stages: bool,
     /// The evaluation mode.
     pub mode: WireMode,
 }
@@ -173,6 +184,13 @@ pub enum WireRequest {
         /// The run to ingest.
         run: Run,
     },
+    /// Snapshot the server's metrics registry — counters, gauges,
+    /// latency histograms, notes, and the slow-query ring — as a
+    /// [`WireResponse::Metrics`]. Routers answer this verb themselves
+    /// by merging every reachable backend's snapshot with their own
+    /// per-backend health/retry/sync metrics, so one scrape shows the
+    /// whole fleet.
+    Metrics,
 }
 
 /// A query result on the wire, mirroring [`QueryResult`].
@@ -267,10 +285,19 @@ pub struct WireOutcome {
     pub nodes_touched: u64,
     /// Server-side evaluation time in microseconds (excludes transport).
     pub micros: u64,
+    /// Per-stage timing breakdown in microseconds, self-time per stage
+    /// (session stages such as `plan` / `index` / `csr` / `eval` plus
+    /// the server's own `load` span). Empty when tracing is disabled
+    /// or the request left [`QuerySpec::stages`] unset.
+    pub stages: Vec<(String, u64)>,
 }
 
 impl WireOutcome {
-    /// Package an in-process outcome for the wire.
+    /// Package an in-process outcome for the wire. `stages` starts
+    /// empty: the stage breakdown spans two trace frames (the
+    /// session's, carried in the outcome's metadata, and the server's
+    /// own), so the server merges and attaches it — and only when the
+    /// request opted in ([`QuerySpec::stages`]).
     pub fn from_outcome(outcome: &QueryOutcome, micros: u64) -> WireOutcome {
         WireOutcome {
             result: WireResult::from_result(&outcome.result),
@@ -291,6 +318,7 @@ impl WireOutcome {
             closure_scc: outcome.meta.closures.scc,
             nodes_touched: outcome.meta.nodes_touched as u64,
             micros,
+            stages: Vec::new(),
         }
     }
 }
@@ -407,6 +435,140 @@ pub struct WireStatsReply {
     pub append_rebuilds: u64,
     /// Subscriptions the service accepted ([`WireRequest::Subscribe`]).
     pub subscriptions: u64,
+    /// Reconnect/backoff retries taken by this process's outbound
+    /// clients (`connect_with_retry` pauses plus router failover
+    /// re-dispatches).
+    pub retries: u64,
+    /// Configuration values that failed to parse and fell back to a
+    /// default (`RPQ_RELALG_KERNEL` etc.); the last warning's text
+    /// travels as a note in the metrics snapshot.
+    pub config_warnings: u64,
+}
+
+/// One latency histogram on the wire: per-bucket counts in
+/// [`rpq_obs`]'s fixed log₂ bucket layout plus the running sum/count,
+/// mirroring [`rpq_obs::HistogramSnapshot`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireHistogram {
+    /// Per-bucket observation counts (bucket `i` covers values of bit
+    /// length `i`; bucket 0 is exact zero, the last bucket overflow).
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+}
+
+impl WireHistogram {
+    /// Package a registry histogram snapshot for the wire.
+    pub fn from_snapshot(h: &rpq_obs::HistogramSnapshot) -> WireHistogram {
+        WireHistogram {
+            buckets: h.buckets.clone(),
+            count: h.count,
+            sum: h.sum,
+        }
+    }
+
+    /// Rebuild the mergeable snapshot (for percentile math client-side).
+    pub fn to_snapshot(&self) -> rpq_obs::HistogramSnapshot {
+        rpq_obs::HistogramSnapshot {
+            buckets: self.buckets.clone(),
+            count: self.count,
+            sum: self.sum,
+        }
+    }
+}
+
+/// One slow-query log entry on the wire, mirroring
+/// [`rpq_obs::SlowQuery`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireSlowQuery {
+    /// The query text as received.
+    pub query: String,
+    /// Hex fingerprint of the run it evaluated over.
+    pub fingerprint: String,
+    /// Kernel mode in force (`auto` / `pairs` / `bits` / `scc`).
+    pub kernel: String,
+    /// Closures run by the pair fixpoint during this evaluation.
+    pub closure_pairs: u64,
+    /// Closures run by the blocked-bitset fixpoint.
+    pub closure_bits: u64,
+    /// Closures run by the Tarjan condensation pass.
+    pub closure_scc: u64,
+    /// Per-stage self-times in microseconds.
+    pub stages: Vec<(String, u64)>,
+    /// Total server-side time in microseconds.
+    pub total_micros: u64,
+}
+
+impl WireSlowQuery {
+    /// Package a slow-log entry for the wire.
+    pub fn from_entry(e: &rpq_obs::SlowQuery) -> WireSlowQuery {
+        WireSlowQuery {
+            query: e.query.clone(),
+            fingerprint: e.fingerprint.clone(),
+            kernel: e.kernel.clone(),
+            closure_pairs: e.closures[0],
+            closure_bits: e.closures[1],
+            closure_scc: e.closures[2],
+            stages: e.stages.clone(),
+            total_micros: e.total_micros,
+        }
+    }
+}
+
+/// A full metrics scrape: the registry snapshot (counters, gauges,
+/// histograms, notes) plus the slow-query ring, oldest first. Replies
+/// to [`WireRequest::Metrics`]; snapshots merge name-wise
+/// ([`rpq_obs::MetricsSnapshot::merge`]), which is how the router folds
+/// every backend's scrape into one fleet-wide answer.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireMetricsReply {
+    /// Monotonic counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Point-in-time gauges, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Latency histograms, sorted by name.
+    pub histograms: Vec<(String, WireHistogram)>,
+    /// Free-text annotations (e.g. the last config warning).
+    pub notes: Vec<(String, String)>,
+    /// The slow-query ring, oldest first; empty when no `--slow-ms`
+    /// threshold is set.
+    pub slow: Vec<WireSlowQuery>,
+}
+
+impl WireMetricsReply {
+    /// Package a registry snapshot (plus slow-log entries) for the wire.
+    pub fn from_snapshot(
+        snap: &rpq_obs::MetricsSnapshot,
+        slow: Vec<rpq_obs::SlowQuery>,
+    ) -> WireMetricsReply {
+        WireMetricsReply {
+            counters: snap.counters.clone(),
+            gauges: snap.gauges.clone(),
+            histograms: snap
+                .histograms
+                .iter()
+                .map(|(name, h)| (name.clone(), WireHistogram::from_snapshot(h)))
+                .collect(),
+            notes: snap.notes.clone(),
+            slow: slow.iter().map(WireSlowQuery::from_entry).collect(),
+        }
+    }
+
+    /// Rebuild the mergeable registry snapshot (drops the slow log).
+    pub fn to_snapshot(&self) -> rpq_obs::MetricsSnapshot {
+        rpq_obs::MetricsSnapshot {
+            counters: self.counters.clone(),
+            gauges: self.gauges.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(name, h)| (name.clone(), h.to_snapshot()))
+                .collect(),
+            notes: self.notes.clone(),
+        }
+    }
 }
 
 /// A server response.
@@ -494,6 +656,9 @@ pub enum WireResponse {
         /// The recipient's catalog epoch after the push.
         epoch: u64,
     },
+    /// A [`WireRequest::Metrics`] reply: the metrics snapshot and the
+    /// slow-query ring.
+    Metrics(WireMetricsReply),
     /// The request failed; the connection stays usable.
     Error {
         /// Stable error class (`parse` / `plan` / `grammar` / `run` /
@@ -665,6 +830,7 @@ mod tests {
             round_trip(WireRequest::Query(QuerySpec {
                 query: "_* a _*".to_owned(),
                 policy: "cost".to_owned(),
+                stages: false,
                 run: RunAddr::Fingerprint(0xdead, 0xbeef),
                 mode,
             }));
@@ -672,6 +838,7 @@ mod tests {
         round_trip(WireRequest::Query(QuerySpec {
             query: "a+".to_owned(),
             policy: String::new(),
+            stages: false,
             run: RunAddr::Index(2),
             mode: WireMode::EntryExit,
         }));
@@ -701,6 +868,7 @@ mod tests {
         round_trip(WireRequest::Subscribe(QuerySpec {
             query: "untrusted _* publish".to_owned(),
             policy: String::new(),
+            stages: false,
             run: RunAddr::Index(1),
             mode: WireMode::EntryExit,
         }));
@@ -770,6 +938,7 @@ mod tests {
                 closure_scc: 2,
                 nodes_touched: 2,
                 micros: 17,
+                stages: vec![("plan".to_owned(), 3), ("eval".to_owned(), 11)],
             }));
         }
     }
@@ -803,6 +972,7 @@ mod tests {
             closure_scc: 0,
             nodes_touched: 9,
             micros: 4,
+            stages: Vec::new(),
         }));
         round_trip(WireResponse::Chunk {
             last: false,
@@ -812,6 +982,65 @@ mod tests {
             last: true,
             part: WireResult::Nodes(vec![3, 4, 5]),
         });
+    }
+
+    #[test]
+    fn v5_metrics_frames_round_trip() {
+        round_trip(WireRequest::Metrics);
+        round_trip(WireResponse::Metrics(WireMetricsReply::default()));
+        round_trip(WireResponse::Metrics(WireMetricsReply {
+            counters: vec![
+                ("rpq_requests_total".to_owned(), 42),
+                ("rpq_request_errors_total".to_owned(), 1),
+            ],
+            gauges: vec![("rpq_store_runs".to_owned(), 6)],
+            histograms: vec![(
+                "rpq_request_micros".to_owned(),
+                WireHistogram {
+                    buckets: vec![0, 1, 2, 3],
+                    count: 6,
+                    sum: 19,
+                },
+            )],
+            notes: vec![("config_warning".to_owned(), "bad kernel name".to_owned())],
+            slow: vec![WireSlowQuery {
+                query: "_* a _*".to_owned(),
+                fingerprint: "00ab00cd".to_owned(),
+                kernel: "auto".to_owned(),
+                closure_pairs: 1,
+                closure_bits: 0,
+                closure_scc: 2,
+                stages: vec![("eval".to_owned(), 950)],
+                total_micros: 1200,
+            }],
+        }));
+        round_trip(WireResponse::Stats(WireStatsReply {
+            retries: 4,
+            config_warnings: 1,
+            ..WireStatsReply::default()
+        }));
+    }
+
+    #[test]
+    fn metrics_reply_converts_to_a_mergeable_snapshot() {
+        let registry = rpq_obs::Registry::new();
+        registry.counter("rpq_requests_total").add(5);
+        registry.gauge("rpq_store_runs").set(3);
+        registry.histogram("rpq_request_micros").record(100);
+        registry.histogram("rpq_request_micros").record(7);
+        registry.note("config_warning", "x");
+        let snap = registry.snapshot();
+        let wire = WireMetricsReply::from_snapshot(&snap, Vec::new());
+        assert_eq!(wire.to_snapshot(), snap);
+        // Merging two wire-rebuilt snapshots doubles counters and
+        // histogram counts — the fleet-aggregation path.
+        let mut merged = wire.to_snapshot();
+        merged.merge(&wire.to_snapshot());
+        assert_eq!(merged.counter("rpq_requests_total"), 10);
+        assert_eq!(
+            merged.histogram("rpq_request_micros").map(|h| h.count),
+            Some(4)
+        );
     }
 
     #[test]

@@ -43,16 +43,17 @@
 //! connections, and the server returns its final [`ServeReport`].
 
 use crate::protocol::{
-    self, error_kind, QuerySpec, RunAddr, WireAppended, WireOutcome, WireRequest, WireResponse,
-    WireResult, WireRunInfo, WireStatsReply,
+    self, error_kind, QuerySpec, RunAddr, WireAppended, WireMetricsReply, WireOutcome, WireRequest,
+    WireResponse, WireResult, WireRunInfo, WireStatsReply,
 };
 use rpq_core::{PreparedQuery, RpqError, Session, SubqueryPolicy};
 use rpq_labeling::EventBatch;
+use rpq_obs::{Counter, Histogram, MetricsSnapshot, Registry, SlowLog, SlowQuery};
 use rpq_store::{OpenRun, RunId, RunStore};
 use std::collections::{HashMap, VecDeque};
-use std::io::Read;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -101,6 +102,20 @@ pub struct ServeConfig {
     /// header plus `Chunk` frames of at most this many entries, so
     /// `AllPairs` over a huge run never builds one 64 MiB frame.
     pub chunk_entries: usize,
+    /// Slow-query threshold in milliseconds: a query whose server-side
+    /// time clears it is captured in the slow-query ring (query text,
+    /// run fingerprint, kernel/closure counts, stage breakdown) and
+    /// shipped with [`WireResponse::Metrics`]. `None` disables capture.
+    pub slow_ms: Option<u64>,
+    /// Optional second listener that answers every TCP connection with
+    /// the Prometheus-style text exposition of the metrics registry and
+    /// closes — scrapeable with `curl`/`nc`, no protocol needed.
+    pub metrics_addr: Option<String>,
+    /// Master observability switch: `false` skips registry recording,
+    /// per-query tracing frames, and slow-log capture (the bench
+    /// overhead guard measures this delta). Metrics verbs still answer,
+    /// from whatever was recorded while observation was on.
+    pub observe: bool,
 }
 
 impl Default for ServeConfig {
@@ -114,18 +129,70 @@ impl Default for ServeConfig {
             idle_timeout: Duration::from_secs(60),
             deadline: Duration::from_secs(30),
             chunk_entries: 65_536,
+            slow_ms: None,
+            metrics_addr: None,
+            observe: true,
         }
     }
 }
 
-/// Monotonic service counters, shared with the stats verb.
-#[derive(Default)]
+/// The server's registry handles, resolved once at bind time so the
+/// request path records with single relaxed atomic ops — these are thin
+/// views over the registry, which remains the source of truth for
+/// stats, exposition, and fleet merging.
 struct Counters {
-    accepted: AtomicU64,
-    requests: AtomicU64,
-    overloaded: AtomicU64,
-    request_errors: AtomicU64,
-    subscriptions: AtomicU64,
+    accepted: &'static Counter,
+    requests: &'static Counter,
+    overloaded: &'static Counter,
+    request_errors: &'static Counter,
+    subscriptions: &'static Counter,
+    /// End-to-end server-side query latency, µs.
+    request_micros: &'static Histogram,
+    /// Response serialization + write time, µs (a stage that cannot
+    /// ride in its own response, so it lives in the registry only).
+    serialize_micros: &'static Histogram,
+    /// Per-stage histograms, pre-resolved for every name the tracing
+    /// layer emits — a name-keyed registry lookup (lock + hash +
+    /// format!) per stage per request costs double-digit percent at
+    /// loopback request rates.
+    stage_micros: Vec<(&'static str, &'static Histogram)>,
+}
+
+/// Every stage name the serving path can report (tracing spans in
+/// `Session::evaluate`, the store loader, and the server itself).
+const STAGE_NAMES: [&str; 5] = ["plan", "index", "csr", "eval", "store_load"];
+
+impl Counters {
+    fn new(registry: &Registry) -> Counters {
+        Counters {
+            accepted: registry.counter("rpq_connections_accepted_total"),
+            requests: registry.counter("rpq_requests_total"),
+            overloaded: registry.counter("rpq_overloaded_total"),
+            request_errors: registry.counter("rpq_request_errors_total"),
+            subscriptions: registry.counter("rpq_subscriptions_total"),
+            request_micros: registry.histogram("rpq_request_micros"),
+            serialize_micros: registry.histogram("rpq_serialize_micros"),
+            stage_micros: STAGE_NAMES
+                .iter()
+                .map(|name| {
+                    (
+                        *name,
+                        registry.histogram(&format!("rpq_stage_micros{{stage=\"{name}\"}}")),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// The histogram for one stage: a linear scan over the handful of
+    /// known names, falling back to a registry lookup for stages added
+    /// by future layers.
+    fn stage_histogram(&self, registry: &Registry, name: &str) -> &'static Histogram {
+        match self.stage_micros.iter().find(|(n, _)| *n == name) {
+            Some((_, histogram)) => histogram,
+            None => registry.histogram(&format!("rpq_stage_micros{{stage=\"{name}\"}}")),
+        }
+    }
 }
 
 /// What the server did over its lifetime, returned by [`Server::run`].
@@ -139,6 +206,11 @@ pub struct ServeReport {
     pub overloaded: u64,
     /// Requests answered with an error response.
     pub request_errors: u64,
+    /// Median query latency over the server's lifetime, µs (log₂-bucket
+    /// upper bound; 0 when no query ran).
+    pub p50_us: u64,
+    /// 99th-percentile query latency, µs.
+    pub p99_us: u64,
 }
 
 /// A clonable handle that stops a running server from another thread.
@@ -291,7 +363,11 @@ pub struct Server {
     deadline: Duration,
     chunk_entries: usize,
     shutdown: Arc<AtomicBool>,
-    counters: Arc<Counters>,
+    registry: Arc<Registry>,
+    counters: Counters,
+    slow_log: SlowLog,
+    metrics_listener: Option<TcpListener>,
+    observe: bool,
     /// Runs held open for streaming: the store's own registry keeps
     /// only weak handles, so the server pins each touched run's
     /// [`OpenRun`] for its lifetime — growth sequence numbers stay
@@ -327,6 +403,22 @@ impl Server {
         } else {
             config.workers
         };
+        let metrics_listener = match &config.metrics_addr {
+            Some(addr) => {
+                let l = TcpListener::bind(addr)
+                    .map_err(|e| RpqError::io(format!("cannot bind metrics address {addr}"), e))?;
+                l.set_nonblocking(true)
+                    .map_err(|e| RpqError::io("cannot set the metrics listener non-blocking", e))?;
+                Some(l)
+            }
+            None => None,
+        };
+        let registry = Arc::new(Registry::new());
+        let counters = Counters::new(&registry);
+        let slow_log = match config.slow_ms {
+            Some(ms) => SlowLog::new(ms.saturating_mul(1_000), rpq_obs::DEFAULT_CAPACITY),
+            None => SlowLog::disabled(),
+        };
         Ok(Server {
             listener,
             store: Arc::new(store),
@@ -339,7 +431,11 @@ impl Server {
             deadline: config.deadline,
             chunk_entries: config.chunk_entries.max(1),
             shutdown: Arc::new(AtomicBool::new(false)),
-            counters: Arc::new(Counters::default()),
+            registry,
+            counters,
+            slow_log,
+            metrics_listener,
+            observe: config.observe,
             open_runs: Mutex::new(HashMap::new()),
         })
     }
@@ -349,6 +445,14 @@ impl Server {
         self.listener
             .local_addr()
             .map_err(|e| RpqError::io("cannot read the bound address", e))
+    }
+
+    /// The bound metrics-exposition address, when
+    /// [`ServeConfig::metrics_addr`] was set.
+    pub fn metrics_local_addr(&self) -> Option<SocketAddr> {
+        self.metrics_listener
+            .as_ref()
+            .and_then(|l| l.local_addr().ok())
     }
 
     /// Worker threads the server will run.
@@ -404,6 +508,11 @@ impl Server {
             // they pin no worker, and re-dispatches them on their next
             // request's first byte.
             scope.spawn(|| self.poll_parked(&queue, &parked_inbox));
+            // The metrics-exposition listener: any TCP connection gets
+            // one plain-text registry dump and a close.
+            if self.metrics_listener.is_some() {
+                scope.spawn(|| self.serve_metrics_scrapes());
+            }
 
             // Accept loop: non-blocking accept polled against the
             // shutdown flags, so SIGTERM is noticed within ~10 ms.
@@ -419,12 +528,12 @@ impl Server {
                 }
                 match self.listener.accept() {
                     Ok((stream, _)) => {
-                        self.counters.accepted.fetch_add(1, Ordering::Relaxed);
+                        self.counters.accepted.incr();
                         // Admission control: refuse past `workers +
                         // queue` *live* connections (idle parked ones
                         // included — each holds resources either way).
                         if live.load(Ordering::Relaxed) >= capacity {
-                            self.counters.overloaded.fetch_add(1, Ordering::Relaxed);
+                            self.counters.overloaded.incr();
                             self.refuse(stream);
                             continue;
                         }
@@ -434,7 +543,7 @@ impl Server {
                             _permit: Permit::acquire(&live),
                         };
                         if let Err(rejected) = queue.push(conn) {
-                            self.counters.overloaded.fetch_add(1, Ordering::Relaxed);
+                            self.counters.overloaded.incr();
                             self.refuse(rejected.stream);
                         }
                     }
@@ -451,11 +560,48 @@ impl Server {
             }
             queue.close();
         });
+        let latency = self.counters.request_micros.snapshot();
         ServeReport {
-            accepted: self.counters.accepted.load(Ordering::Relaxed),
-            requests: self.counters.requests.load(Ordering::Relaxed),
-            overloaded: self.counters.overloaded.load(Ordering::Relaxed),
-            request_errors: self.counters.request_errors.load(Ordering::Relaxed),
+            accepted: self.counters.accepted.get(),
+            requests: self.counters.requests.get(),
+            overloaded: self.counters.overloaded.get(),
+            request_errors: self.counters.request_errors.get(),
+            p50_us: latency.p50(),
+            p99_us: latency.p99(),
+        }
+    }
+
+    /// The metrics-exposition loop: accept, dump the registry's text
+    /// exposition, close. Non-blocking accepts polled against the
+    /// shutdown flag, same as the main listener; a stalled scraper is
+    /// cut off by a short write timeout.
+    fn serve_metrics_scrapes(&self) {
+        let listener = self
+            .metrics_listener
+            .as_ref()
+            .expect("metrics listener present when this loop runs");
+        loop {
+            if self.shutdown.load(Ordering::Relaxed) {
+                return;
+            }
+            match listener.accept() {
+                Ok((mut stream, _)) => {
+                    let text = self.metrics_snapshot().to_text();
+                    let _ = stream.set_nonblocking(false);
+                    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+                    let _ = stream.write_all(text.as_bytes());
+                    let _ = stream.flush();
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::Interrupted =>
+                {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(_) => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            }
         }
     }
 
@@ -590,7 +736,7 @@ impl Server {
                     return;
                 }
             };
-            self.counters.requests.fetch_add(1, Ordering::Relaxed);
+            self.counters.requests.incr();
             // Subscribe flips the connection into push mode — it needs
             // the stream itself, so it bypasses the one-shot dispatch.
             let request = match request {
@@ -603,6 +749,7 @@ impl Server {
                 other => other,
             };
             let (response, stop) = self.handle(request);
+            let serialize_started = Instant::now();
             match self.write_response(&mut conn.stream, &response) {
                 Ok(()) => {}
                 // An Invalid write error means the response exceeded
@@ -610,7 +757,7 @@ impl Server {
                 // connection is still in sync, so substitute an error
                 // response the client can act on.
                 Err(e @ RpqError::Invalid(_)) => {
-                    self.counters.request_errors.fetch_add(1, Ordering::Relaxed);
+                    self.counters.request_errors.incr();
                     let substitute = WireResponse::Error {
                         kind: error_kind(&e).to_owned(),
                         message: e.to_string(),
@@ -620,6 +767,11 @@ impl Server {
                     }
                 }
                 Err(_) => return,
+            }
+            if self.observe {
+                self.counters
+                    .serialize_micros
+                    .record(serialize_started.elapsed().as_micros() as u64);
             }
             if stop {
                 return;
@@ -799,6 +951,7 @@ impl Server {
                 false,
             ),
             WireRequest::Stats => (WireResponse::Stats(self.stats()), false),
+            WireRequest::Metrics => (WireResponse::Metrics(self.metrics_reply()), false),
             WireRequest::Shutdown => {
                 self.shutdown.store(true, Ordering::Relaxed);
                 (WireResponse::ShuttingDown, true)
@@ -806,7 +959,7 @@ impl Server {
             WireRequest::Query(spec) => match self.evaluate(&spec) {
                 Ok(outcome) => (WireResponse::Outcome(outcome), false),
                 Err(e) => {
-                    self.counters.request_errors.fetch_add(1, Ordering::Relaxed);
+                    self.counters.request_errors.incr();
                     (
                         WireResponse::Error {
                             kind: error_kind(&e).to_owned(),
@@ -819,7 +972,7 @@ impl Server {
             WireRequest::Append { run, batch } => match self.append(&run, &batch) {
                 Ok(receipt) => (WireResponse::Appended(receipt), false),
                 Err(e) => {
-                    self.counters.request_errors.fetch_add(1, Ordering::Relaxed);
+                    self.counters.request_errors.incr();
                     (
                         WireResponse::Error {
                             kind: error_kind(&e).to_owned(),
@@ -837,7 +990,7 @@ impl Server {
             WireRequest::FetchRun(addr) => match self.fetch_run(&addr) {
                 Ok(response) => (response, false),
                 Err(e) => {
-                    self.counters.request_errors.fetch_add(1, Ordering::Relaxed);
+                    self.counters.request_errors.incr();
                     (
                         WireResponse::Error {
                             kind: error_kind(&e).to_owned(),
@@ -857,7 +1010,7 @@ impl Server {
                     false,
                 ),
                 Err(e) => {
-                    self.counters.request_errors.fetch_add(1, Ordering::Relaxed);
+                    self.counters.request_errors.incr();
                     (
                         WireResponse::Error {
                             kind: error_kind(&e).to_owned(),
@@ -871,7 +1024,7 @@ impl Server {
             // Unsubscribe reaching plain dispatch has no subscription
             // standing.
             WireRequest::Subscribe(_) | WireRequest::Unsubscribe => {
-                self.counters.request_errors.fetch_add(1, Ordering::Relaxed);
+                self.counters.request_errors.incr();
                 (
                     WireResponse::Error {
                         kind: "invalid".to_owned(),
@@ -883,8 +1036,50 @@ impl Server {
         }
     }
 
-    /// Evaluate one query request against the shared session.
+    /// Evaluate one query request against the shared session, under a
+    /// server-side trace frame. The frame collects the stages spent
+    /// *outside* [`Session::evaluate`] — `plan` (compile or plan-cache
+    /// lookup) and `store_load` (artifact decode) — while the session's
+    /// own frame lands `index`/`csr`/`eval` in the outcome's metadata;
+    /// the wire outcome carries the union when the request asked for
+    /// it ([`QuerySpec::stages`]).
     fn evaluate(&self, spec: &QuerySpec) -> Result<WireOutcome, RpqError> {
+        let started = Instant::now();
+        if self.observe {
+            rpq_obs::Trace::begin();
+        }
+        let evaluated = self.evaluate_inner(spec);
+        let frame = if self.observe {
+            rpq_obs::Trace::take()
+        } else {
+            Vec::new()
+        };
+        let mut outcome = evaluated?;
+        let micros = started.elapsed().as_micros() as u64;
+        // Merge the session's stages with the server's own frame —
+        // static names throughout, so the hot path allocates no stage
+        // strings. They materialize only for clients that opted in
+        // ([`QuerySpec::stages`]) and for slow-log captures.
+        let mut stages: rpq_obs::Stages = std::mem::take(&mut outcome.meta.stages);
+        for (name, us) in frame {
+            match stages.iter_mut().find(|(n, _)| *n == name) {
+                Some(slot) => slot.1 += us,
+                None => stages.push((name, us)),
+            }
+        }
+        let mut wire = WireOutcome::from_outcome(&outcome, micros);
+        if self.observe {
+            self.observe_query(spec, &wire, &stages);
+        }
+        if spec.stages {
+            wire.stages = stages.iter().map(|&(n, us)| (n.to_owned(), us)).collect();
+        }
+        Ok(wire)
+    }
+
+    /// The untimed body of [`Server::evaluate`] — separated so the
+    /// trace frame opened around it is always closed, even on `?` exits.
+    fn evaluate_inner(&self, spec: &QuerySpec) -> Result<rpq_core::QueryOutcome, RpqError> {
         let policy = if spec.policy.is_empty() {
             self.policy
         } else {
@@ -900,10 +1095,43 @@ impl Server {
         let run = self.store.run(id)?;
         let request = spec.mode.to_request(&run)?;
         let query = self.session.prepare_with(&spec.query, policy)?;
-        let started = Instant::now();
-        let outcome = self.session.evaluate(&query, &run, &request);
-        let micros = started.elapsed().as_micros() as u64;
-        Ok(WireOutcome::from_outcome(&outcome, micros))
+        Ok(self.session.evaluate(&query, &run, &request))
+    }
+
+    /// Record one evaluated query into the registry (latency and
+    /// per-stage histograms) and, past the threshold, the slow-query
+    /// ring.
+    fn observe_query(&self, spec: &QuerySpec, wire: &WireOutcome, stages: &rpq_obs::Stages) {
+        self.counters.request_micros.record(wire.micros);
+        for &(name, us) in stages {
+            self.counters
+                .stage_histogram(&self.registry, name)
+                .record(us);
+        }
+        if self.slow_log.qualifies(wire.micros) {
+            let fingerprint = match spec.run {
+                RunAddr::Fingerprint(hi, lo) => format!("{hi:016x}{lo:016x}"),
+                RunAddr::Index(i) => match self.resolve(&spec.run).and_then(|id| {
+                    self.store
+                        .metas()
+                        .iter()
+                        .find(|m| m.id == id)
+                        .map(|m| format!("{:016x}{:016x}", m.fp_hi, m.fp_lo))
+                        .ok_or_else(|| RpqError::invalid("run vanished".to_owned()))
+                }) {
+                    Ok(fp) => fp,
+                    Err(_) => format!("#{i}"),
+                },
+            };
+            self.slow_log.record(SlowQuery {
+                query: spec.query.clone(),
+                fingerprint,
+                kernel: wire.kernel.clone(),
+                closures: [wire.closure_pairs, wire.closure_bits, wire.closure_scc],
+                stages: stages.iter().map(|&(n, us)| (n.to_owned(), us)).collect(),
+                total_micros: wire.micros,
+            });
+        }
     }
 
     /// Open a run for streaming — or return the handle already held.
@@ -1010,7 +1238,7 @@ impl Server {
         let (open, query) = match stood {
             Ok(stood) => stood,
             Err(e) => {
-                self.counters.request_errors.fetch_add(1, Ordering::Relaxed);
+                self.counters.request_errors.incr();
                 let report = WireResponse::Error {
                     kind: error_kind(&e).to_owned(),
                     message: e.to_string(),
@@ -1025,7 +1253,7 @@ impl Server {
         let mut retained = match self.eval_snapshot(&query, &spec, &snap) {
             Ok(result) => result,
             Err(e) => {
-                self.counters.request_errors.fetch_add(1, Ordering::Relaxed);
+                self.counters.request_errors.incr();
                 let report = WireResponse::Error {
                     kind: error_kind(&e).to_owned(),
                     message: e.to_string(),
@@ -1043,7 +1271,7 @@ impl Server {
         if protocol::write_message(stream, &ack).is_err() {
             return SubExit::Close;
         }
-        self.counters.subscriptions.fetch_add(1, Ordering::Relaxed);
+        self.counters.subscriptions.incr();
 
         // Push mode. A tighter read timeout keeps both halves of the
         // poll/wait cycle responsive; the request/response timeout is
@@ -1059,7 +1287,7 @@ impl Server {
                 Ok(SubPoll::Quiet) => {}
                 Ok(SubPoll::Closed) => return SubExit::Close,
                 Ok(SubPoll::Request(WireRequest::Unsubscribe)) => {
-                    self.counters.requests.fetch_add(1, Ordering::Relaxed);
+                    self.counters.requests.incr();
                     let _ = stream.set_read_timeout(Some(READ_TICK));
                     return match protocol::write_message(stream, &WireResponse::Unsubscribed) {
                         Ok(()) => SubExit::Resume,
@@ -1067,8 +1295,8 @@ impl Server {
                     };
                 }
                 Ok(SubPoll::Request(_)) => {
-                    self.counters.requests.fetch_add(1, Ordering::Relaxed);
-                    self.counters.request_errors.fetch_add(1, Ordering::Relaxed);
+                    self.counters.requests.incr();
+                    self.counters.request_errors.incr();
                     let report = WireResponse::Error {
                         kind: "invalid".to_owned(),
                         message: "connection is in push mode; send Unsubscribe first".to_owned(),
@@ -1165,18 +1393,94 @@ impl Server {
             csr_reloads: store.csr_reloads,
             tag_rebuilds: store.tag_rebuilds,
             csr_rebuilds: store.csr_rebuilds,
-            accepted: self.counters.accepted.load(Ordering::Relaxed),
-            requests: self.counters.requests.load(Ordering::Relaxed),
-            overloaded: self.counters.overloaded.load(Ordering::Relaxed),
-            request_errors: self.counters.request_errors.load(Ordering::Relaxed),
+            accepted: self.counters.accepted.get(),
+            requests: self.counters.requests.get(),
+            overloaded: self.counters.overloaded.get(),
+            request_errors: self.counters.request_errors.get(),
             closures_pairs: closures.pairs,
             closures_bits: closures.bits,
             closures_scc: closures.scc,
             store_epoch: store.epoch,
             appends: store.appended,
             append_rebuilds: store.append_rebuilds,
-            subscriptions: self.counters.subscriptions.load(Ordering::Relaxed),
+            subscriptions: self.counters.subscriptions.get(),
+            retries: rpq_obs::global().counter("rpq_connect_retries_total").get(),
+            config_warnings: rpq_relalg::config_warnings(),
         }
+    }
+
+    /// The metrics verb's reply: the full snapshot plus the slow-query
+    /// ring.
+    fn metrics_reply(&self) -> WireMetricsReply {
+        WireMetricsReply::from_snapshot(&self.metrics_snapshot(), self.slow_log.entries())
+    }
+
+    /// Freeze everything observable about this process into one
+    /// mergeable snapshot: the server's own registry, the process-wide
+    /// registry (client connect retries), and point-in-time readings
+    /// derived from the session, store, and relalg counters that keep
+    /// their own state.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.registry.snapshot();
+        snap.merge(&rpq_obs::global().snapshot());
+        let session = self.session.stats();
+        let store = self.store.stats();
+        let closures = rpq_relalg::closure_counts();
+        let derived = MetricsSnapshot {
+            counters: vec![
+                (
+                    "rpq_closures_total{kernel=\"bits\"}".to_owned(),
+                    closures.bits,
+                ),
+                (
+                    "rpq_closures_total{kernel=\"pairs\"}".to_owned(),
+                    closures.pairs,
+                ),
+                (
+                    "rpq_closures_total{kernel=\"scc\"}".to_owned(),
+                    closures.scc,
+                ),
+                (
+                    "rpq_config_warnings_total".to_owned(),
+                    rpq_relalg::config_warnings(),
+                ),
+                ("rpq_plan_cache_hits_total".to_owned(), session.plan_hits),
+                (
+                    "rpq_plan_cache_misses_total".to_owned(),
+                    session.plan_misses,
+                ),
+                (
+                    "rpq_session_evictions_total".to_owned(),
+                    session.index_evictions + session.csr_evictions,
+                ),
+                (
+                    "rpq_store_append_rebuilds_total".to_owned(),
+                    store.append_rebuilds,
+                ),
+                ("rpq_store_appends_total".to_owned(), store.appended),
+                (
+                    "rpq_store_csr_rebuilds_total".to_owned(),
+                    store.csr_rebuilds,
+                ),
+                ("rpq_store_csr_reloads_total".to_owned(), store.csr_reloads),
+                (
+                    "rpq_store_tag_rebuilds_total".to_owned(),
+                    store.tag_rebuilds,
+                ),
+                ("rpq_store_tag_reloads_total".to_owned(), store.tag_reloads),
+            ],
+            gauges: vec![
+                ("rpq_store_epoch".to_owned(), store.epoch as i64),
+                ("rpq_store_runs".to_owned(), self.store.len() as i64),
+            ],
+            histograms: Vec::new(),
+            notes: match rpq_relalg::last_config_warning() {
+                Some(text) => vec![("config_warning".to_owned(), text)],
+                None => Vec::new(),
+            },
+        };
+        snap.merge(&derived);
+        snap
     }
 }
 

@@ -252,7 +252,8 @@ fn serve_every_verb_and_sigterm_cleanly() {
     );
     assert!(out.contains("3 run(s)"), "{out}");
 
-    // 2. Serve on an ephemeral port; scrape the announced address.
+    // 2. Serve on an ephemeral port with the full observability plane
+    // armed; scrape both announced addresses (query + metrics).
     let mut child = ChildGuard(
         Command::new(&bin)
             .args([
@@ -264,6 +265,10 @@ fn serve_every_verb_and_sigterm_cleanly() {
                 "127.0.0.1:0",
                 "--workers",
                 "2",
+                "--slow-ms",
+                "0",
+                "--metrics-addr",
+                "127.0.0.1:0",
             ])
             .stdout(Stdio::piped())
             .stderr(Stdio::piped())
@@ -280,6 +285,18 @@ fn serve_every_verb_and_sigterm_cleanly() {
         .nth(1)
         .and_then(|rest| rest.split_whitespace().next())
         .expect("address in banner")
+        .to_owned();
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read metrics banner");
+    assert!(
+        line.contains("metrics listening on"),
+        "unexpected metrics banner: {line}"
+    );
+    let metrics_addr = line
+        .split("listening on ")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .expect("metrics address in banner")
         .to_owned();
 
     // 3. Every request verb against the live server.
@@ -329,6 +346,43 @@ fn serve_every_verb_and_sigterm_cleanly() {
     let out = run_ok(&bin, &["request", "stats", "--addr", a]);
     assert!(out.contains("3 run(s) stored"), "{out}");
     assert!(out.contains("closures:"), "{out}");
+    assert!(out.contains("retries:"), "{out}");
+
+    // 3.5. Observability: the Metrics verb (structured + text), the
+    // plaintext scrape endpoint, and monotone counters under load.
+    let scrape = |metrics_addr: &str| -> String {
+        let mut text = String::new();
+        std::net::TcpStream::connect(metrics_addr)
+            .expect("connect metrics listener")
+            .read_to_string(&mut text)
+            .expect("read exposition");
+        text
+    };
+    let requests_total = |text: &str| -> u64 {
+        text.lines()
+            .find_map(|l| l.strip_prefix("rpq_requests_total "))
+            .unwrap_or_else(|| panic!("no rpq_requests_total in scrape:\n{text}"))
+            .trim()
+            .parse()
+            .expect("counter value")
+    };
+    let out = run_ok(&bin, &["request", "metrics", "--addr", a]);
+    assert!(out.contains("rpq_requests_total"), "{out}");
+    assert!(out.contains("rpq_request_micros"), "{out}");
+    assert!(out.contains("slow "), "slow-ms 0 must log queries: {out}");
+    let out = run_ok(&bin, &["request", "metrics", "--addr", a, "--text"]);
+    assert!(out.contains("# TYPE rpq_requests_total counter"), "{out}");
+    assert!(out.contains("rpq_request_micros_count"), "{out}");
+    let before = requests_total(&scrape(&metrics_addr));
+    assert!(before > 0, "verbs above must have been counted");
+    for _ in 0..3 {
+        run_ok(&bin, &["request", "query", "_* e _*", "--addr", a]);
+    }
+    let after = requests_total(&scrape(&metrics_addr));
+    assert!(
+        after >= before + 3,
+        "counter must be monotone under load ({before} -> {after})"
+    );
 
     // 4. SIGTERM → drain → exit 0 with the final report. std::process
     // has no signal API and the workspace pulls no libc, so use the
@@ -352,6 +406,10 @@ fn serve_every_verb_and_sigterm_cleanly() {
     let mut rest = String::new();
     reader.read_to_string(&mut rest).expect("drain stdout");
     assert!(rest.contains("shutdown: served"), "missing report: {rest}");
+    assert!(
+        rest.contains("latency p50") && rest.contains("p99"),
+        "report must carry final latency quantiles: {rest}"
+    );
 
     let _ = std::fs::remove_dir_all(&dir);
 }

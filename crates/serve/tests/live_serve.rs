@@ -119,6 +119,7 @@ fn append_over_the_wire_matches_in_process_replay() {
             .query(QuerySpec {
                 query: query.to_owned(),
                 policy: String::new(),
+                stages: false,
                 run: RunAddr::Index(0),
                 mode: WireMode::AllPairsFull,
             })
@@ -167,6 +168,7 @@ fn subscription_streams_delta_answers_only() {
         .subscribe(QuerySpec {
             query: "_*".to_owned(),
             policy: String::new(),
+            stages: false,
             run: RunAddr::Index(0),
             mode: WireMode::AllPairsFull,
         })
@@ -251,6 +253,7 @@ fn verdict_subscription_fires_when_reachability_appears() {
         .subscribe(QuerySpec {
             query: query.to_owned(),
             policy: String::new(),
+            stages: false,
             run: RunAddr::Index(0),
             mode: WireMode::EntryExit,
         })
@@ -314,6 +317,7 @@ fn idle_keepalive_closes_quiet_connections_but_not_subscribers() {
         .subscribe(QuerySpec {
             query: "_*".to_owned(),
             policy: String::new(),
+            stages: false,
             run: RunAddr::Index(0),
             mode: WireMode::AllPairsFull,
         })
@@ -354,6 +358,7 @@ fn shutdown_drains_an_active_subscriber() {
         .subscribe(QuerySpec {
             query: "_*".to_owned(),
             policy: String::new(),
+            stages: false,
             run: RunAddr::Index(0),
             mode: WireMode::EntryExit,
         })

@@ -1,0 +1,197 @@
+//! The serving observability contract: every evaluated query comes
+//! back with a per-stage time breakdown that stays inside the reported
+//! total, the `Metrics` verb exposes the request/latency/stage
+//! families, the slow-query ring captures qualifying queries with
+//! their fingerprints and stage timings, the plaintext `--metrics-addr`
+//! listener serves the Prometheus-style exposition, and the shutdown
+//! report carries final latency quantiles.
+
+use rpq_serve::protocol::{QuerySpec, RunAddr, WireMode, WireResult};
+use rpq_serve::{ServeClient, ServeConfig, Server};
+use rpq_store::RunStore;
+use std::io::Read;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Stage names the serving path may report; anything else is a typo.
+const STAGE_GLOSSARY: [&str; 5] = ["plan", "index", "csr", "eval", "store_load"];
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("rpq_metrics_trace_tests")
+        .join(format!("{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A bound server over a small fig2 store; returns its query address,
+/// metrics address (if configured) and the shutdown plumbing.
+fn serve(
+    name: &str,
+    config: &ServeConfig,
+) -> (
+    PathBuf,
+    SocketAddr,
+    Option<SocketAddr>,
+    rpq_serve::ShutdownHandle,
+    std::thread::JoinHandle<rpq_serve::ServeReport>,
+) {
+    let dir = temp_dir(name);
+    let spec = Arc::new(rpq_workloads::paper_examples::fig2_spec());
+    let store = RunStore::create(&dir, Arc::clone(&spec)).unwrap();
+    for (seed, target_edges) in [(1u64, 80usize), (2, 140)] {
+        let run = rpq_labeling::RunBuilder::new(&spec)
+            .seed(seed)
+            .target_edges(target_edges)
+            .build()
+            .unwrap();
+        assert!(!store.ingest(&run).unwrap().deduplicated);
+    }
+    let server = Server::bind(store, config).unwrap();
+    server.warm().unwrap();
+    let addr = server.local_addr().unwrap();
+    let metrics_addr = server.metrics_local_addr();
+    let handle = server.shutdown_handle();
+    let serving = std::thread::spawn(move || server.run(None));
+    (dir, addr, metrics_addr, handle, serving)
+}
+
+fn connect(addr: SocketAddr) -> ServeClient {
+    ServeClient::connect_with_retry(addr, Duration::from_secs(5)).unwrap()
+}
+
+fn spec_query(run: u64) -> QuerySpec {
+    QuerySpec {
+        query: "_*".to_owned(),
+        policy: String::new(),
+        run: RunAddr::Index(run),
+        stages: true,
+        mode: WireMode::EntryExit,
+    }
+}
+
+#[test]
+fn outcomes_carry_stage_breakdowns_inside_the_reported_total() {
+    let (dir, addr, _, handle, serving) = serve("stages", &ServeConfig::default());
+    let mut client = connect(addr);
+    for run in [0u64, 1, 0] {
+        let outcome = client.query(spec_query(run)).unwrap();
+        assert_eq!(outcome.result, WireResult::Bool(true));
+        assert!(
+            !outcome.stages.is_empty(),
+            "an evaluated query must report stages"
+        );
+        for (name, _) in &outcome.stages {
+            assert!(
+                STAGE_GLOSSARY.contains(&name.as_str()),
+                "unknown stage {name:?}"
+            );
+        }
+        let sum: u64 = outcome.stages.iter().map(|&(_, us)| us).sum();
+        assert!(
+            sum <= outcome.micros,
+            "stage self-times ({sum}µs) exceed the reported total ({}µs)",
+            outcome.micros
+        );
+        // The evaluation stage itself is always present: no query is
+        // answered without running the kernel or an index probe.
+        assert!(outcome.stages.iter().any(|(n, _)| n == "eval"));
+    }
+    // The wire copy is opt-in: the same query without the flag ships
+    // no stages (they still land in the server's histograms).
+    let quiet = client
+        .query(QuerySpec {
+            stages: false,
+            ..spec_query(0)
+        })
+        .unwrap();
+    assert!(quiet.stages.is_empty(), "{:?}", quiet.stages);
+    handle.shutdown();
+    let report = serving.join().unwrap();
+    assert!(report.requests >= 3);
+    assert!(report.p50_us <= report.p99_us);
+    assert!(
+        report.p99_us > 0,
+        "three timed requests imply a nonzero p99"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn metrics_verb_exposes_request_latency_and_stage_families() {
+    let (dir, addr, _, handle, serving) = serve("verb", &ServeConfig::default());
+    let mut client = connect(addr);
+    for _ in 0..4 {
+        client.query(spec_query(0)).unwrap();
+    }
+    let reply = client.metrics().unwrap();
+    let snap = reply.to_snapshot();
+    assert!(snap.counter("rpq_requests_total") >= 4);
+    assert!(snap.counter("rpq_connections_accepted_total") >= 1);
+    let latency = snap.histogram("rpq_request_micros").unwrap();
+    assert!(latency.count >= 4);
+    assert!(latency.p50() <= latency.p99());
+    assert!(
+        snap.histograms
+            .iter()
+            .any(|(name, h)| name.starts_with("rpq_stage_micros{stage=") && h.count > 0),
+        "per-stage histograms must be populated"
+    );
+    // Store-level counters ride the same snapshot (fleet merging
+    // depends on every family being in one place).
+    assert!(snap.gauges.iter().any(|(name, _)| name == "rpq_store_runs"));
+    let text = snap.to_text();
+    assert!(text.contains("# TYPE rpq_requests_total counter"));
+    assert!(text.contains("# TYPE rpq_request_micros histogram"));
+    assert!(text.contains("rpq_request_micros_count"));
+    handle.shutdown();
+    serving.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn slow_log_captures_qualifying_queries_with_fingerprints_and_stages() {
+    let config = ServeConfig {
+        slow_ms: Some(0), // every query qualifies
+        ..ServeConfig::default()
+    };
+    let (dir, addr, _, handle, serving) = serve("slowlog", &config);
+    let mut client = connect(addr);
+    client.query(spec_query(1)).unwrap();
+    let reply = client.metrics().unwrap();
+    assert!(!reply.slow.is_empty(), "slow-ms 0 must capture every query");
+    let entry = reply.slow.last().unwrap();
+    assert_eq!(entry.query, "_*");
+    assert_eq!(entry.fingerprint.len(), 32, "fingerprint is 32 hex digits");
+    assert!(entry.fingerprint.chars().all(|c| c.is_ascii_hexdigit()));
+    assert!(!entry.stages.is_empty());
+    assert!(entry.total_micros >= entry.stages.iter().map(|&(_, us)| us).sum());
+    handle.shutdown();
+    serving.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn metrics_listener_serves_the_plaintext_exposition() {
+    let config = ServeConfig {
+        metrics_addr: Some("127.0.0.1:0".to_owned()),
+        ..ServeConfig::default()
+    };
+    let (dir, addr, metrics_addr, handle, serving) = serve("scrape", &config);
+    let metrics_addr = metrics_addr.expect("metrics listener bound");
+    let mut client = connect(addr);
+    client.query(spec_query(0)).unwrap();
+    let mut text = String::new();
+    std::net::TcpStream::connect(metrics_addr)
+        .unwrap()
+        .read_to_string(&mut text)
+        .unwrap();
+    assert!(text.contains("# TYPE rpq_requests_total counter"));
+    assert!(text.contains("rpq_requests_total 1"));
+    assert!(text.contains("# TYPE rpq_request_micros histogram"));
+    handle.shutdown();
+    serving.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -139,6 +139,7 @@ proptest! {
             .query(QuerySpec {
                 query: query.to_owned(),
                 policy: String::new(),
+                stages: false,
                 run: addr,
                 mode: mode.clone(),
             })
@@ -170,6 +171,7 @@ fn concurrent_clients_all_match_the_referee() {
                         .query(QuerySpec {
                             query: query.to_owned(),
                             policy: String::new(),
+                            stages: false,
                             run: RunAddr::Index(run_idx as u64),
                             mode: mode.clone(),
                         })
@@ -190,6 +192,7 @@ fn failures_are_error_responses_and_the_connection_survives() {
         query: query.to_owned(),
         policy: policy.to_owned(),
         run,
+        stages: false,
         mode,
     };
     let cases = [

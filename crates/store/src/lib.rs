@@ -939,6 +939,7 @@ impl RunStore {
 
     /// The stored run with `id`, decoded at most once per process.
     pub fn run(&self, id: RunId) -> Result<Arc<Run>, RpqError> {
+        let _span = rpq_obs::Trace::span("store_load");
         if let Some(run) = self.runs.lock().expect("run cache lock").get(&id) {
             return Ok(run);
         }
@@ -982,6 +983,7 @@ impl RunStore {
     /// (a mis-restored backup, a copied file) must fall back to rebuild
     /// rather than silently answer for the wrong graph.
     pub fn artifacts(&self, id: RunId) -> Result<ArtifactPair, RpqError> {
+        let _span = rpq_obs::Trace::span("store_load");
         if let Some(pair) = self.artifacts.lock().expect("artifact cache lock").get(&id) {
             return Ok(pair);
         }

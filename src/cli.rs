@@ -105,13 +105,16 @@ USAGE:
   rpq batch <QUERY> --store DIR [--threads N] [--cache C] [--policy P] [--kernel K]
   rpq serve <SPEC> --store DIR [--addr HOST:PORT] [--workers N] [--queue Q]
             [--cache C] [--policy P] [--kernel K] [--idle-timeout SECS]
-            [--deadline SECS] [--chunk ENTRIES]
+            [--deadline SECS] [--chunk ENTRIES] [--slow-ms MS]
+            [--metrics-addr HOST:PORT]
   rpq router --backend HOST:PORT [--backend HOST:PORT ...] [--addr HOST:PORT]
             [--replicas R] [--workers N] [--queue Q] [--deadline-ms MS]
             [--probe-ms MS] [--sync-ms MS|off] [--cooldown-ms MS] [--eject-after K]
+            [--metrics-addr HOST:PORT]
   rpq request query <QUERY> --addr HOST:PORT [--index I | --fp HEX]
             [--mode MODE] [--from U] [--to V] [--policy P] [--limit K]
   rpq request append --addr HOST:PORT --events FILE [--index I | --fp HEX]
+  rpq request metrics --addr HOST:PORT [--text]
   rpq request (stats | runs | ping | shutdown) --addr HOST:PORT
   rpq watch <QUERY> --addr HOST:PORT [--index I | --fp HEX] [--mode MODE]
             [--from U] [--to V] [--policy P] [--limit K] [--max-deltas N]
@@ -156,7 +159,7 @@ fn load_run(path: &str, spec: &Specification) -> Result<Run, RpqError> {
 type ParsedArgs<'a> = (Vec<&'a str>, Vec<(&'a str, &'a str)>);
 
 /// Options that are bare flags (no value token follows them).
-const BOOL_FLAGS: [&str; 1] = ["gc"];
+const BOOL_FLAGS: [&str; 2] = ["gc", "text"];
 
 /// Parse `--key value` options; returns (positional, options). Keys
 /// listed in [`BOOL_FLAGS`] consume no value and parse as `"true"`.
@@ -744,6 +747,12 @@ fn cmd_serve(args: &[String]) -> Result<String, RpqError> {
             "--deadline",
         )?),
         chunk_entries: parse_num(opt(&options, "chunk").unwrap_or("65536"), "--chunk")?,
+        slow_ms: match opt(&options, "slow-ms") {
+            Some(ms) => Some(parse_num(ms, "--slow-ms")?),
+            None => None,
+        },
+        metrics_addr: opt(&options, "metrics-addr").map(str::to_owned),
+        observe: true,
     };
     let server = Server::bind(store, &config)?;
     let warmed = server.warm()?;
@@ -758,12 +767,21 @@ fn cmd_serve(args: &[String]) -> Result<String, RpqError> {
         config.policy.cli_name(),
         kernel.name(),
     );
+    if let Some(maddr) = server.metrics_local_addr() {
+        println!("metrics listening on {maddr}");
+    }
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
     let report = server.run(Some(rpq_serve::signals::install_termination_flag()));
     Ok(format!(
-        "shutdown: served {} request(s) over {} connection(s), {} overloaded, {} error(s)\n",
-        report.requests, report.accepted, report.overloaded, report.request_errors
+        "shutdown: served {} request(s) over {} connection(s), {} overloaded, {} error(s), \
+         latency p50 {}µs p99 {}µs\n",
+        report.requests,
+        report.accepted,
+        report.overloaded,
+        report.request_errors,
+        report.p50_us,
+        report.p99_us
     ))
 }
 
@@ -806,6 +824,7 @@ fn cmd_router(args: &[String]) -> Result<String, RpqError> {
             Some(ms) => Some(Duration::from_millis(parse_num(ms, "--sync-ms")?)),
             None => Some(Duration::from_millis(500)),
         },
+        metrics_addr: opt(&options, "metrics-addr").map(str::to_owned),
         backends,
         ..RouterConfig::default()
     };
@@ -825,16 +844,20 @@ fn cmd_router(args: &[String]) -> Result<String, RpqError> {
             None => "off".to_owned(),
         },
     );
+    if let Some(maddr) = router.metrics_local_addr() {
+        println!("metrics listening on {maddr}");
+    }
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
     let report = router.run(Some(rpq_serve::signals::install_termination_flag()));
     Ok(format!(
         "shutdown: routed {} request(s) over {} connection(s), {} overloaded, \
-         {} failover(s), {} unavailable, {} run(s) replicated\n",
+         {} failover(s) ({} retry backoff(s)), {} unavailable, {} run(s) replicated\n",
         report.requests,
         report.accepted,
         report.overloaded,
         report.failovers,
+        report.retries,
         report.unavailable,
         report.synced_runs
     ))
@@ -843,11 +866,18 @@ fn cmd_router(args: &[String]) -> Result<String, RpqError> {
 fn cmd_request(args: &[String]) -> Result<String, RpqError> {
     let (positional, options) = split_args(args)?;
     let verb = positional.first().ok_or_else(|| {
-        RpqError::invalid("request: missing verb (query | append | stats | runs | ping | shutdown)")
+        RpqError::invalid(
+            "request: missing verb (query | append | stats | metrics | runs | ping | shutdown)",
+        )
     })?;
-    if !["ping", "shutdown", "runs", "stats", "query", "append"].contains(verb) {
+    if ![
+        "ping", "shutdown", "runs", "stats", "metrics", "query", "append",
+    ]
+    .contains(verb)
+    {
         return Err(RpqError::invalid(format!(
-            "unknown request verb {verb:?} (query | append | stats | runs | ping | shutdown)"
+            "unknown request verb {verb:?} \
+             (query | append | stats | metrics | runs | ping | shutdown)"
         )));
     }
     let addr = opt(&options, "addr")
@@ -884,7 +914,8 @@ fn cmd_request(args: &[String]) -> Result<String, RpqError> {
                  session: plan {}h/{}m, index {}h/{}m, csr {}h/{}m, {} eviction(s)\n\
                  store:   tag reloads {}, csr reloads {}, tag rebuilds {}, csr rebuilds {}\n\
                  live:    epoch {}, {} append(s) ({} forced rebuild(s)), {} subscription(s)\n\
-                 closures: pairs {}, bits {}, scc {}\n",
+                 closures: pairs {}, bits {}, scc {}\n\
+                 retries: {} reconnect/failover backoff(s), {} config warning(s)\n",
                 s.store_runs,
                 s.accepted,
                 s.requests,
@@ -908,7 +939,65 @@ fn cmd_request(args: &[String]) -> Result<String, RpqError> {
                 s.closures_pairs,
                 s.closures_bits,
                 s.closures_scc,
+                s.retries,
+                s.config_warnings,
             ))
+        }
+        "metrics" => {
+            let reply = client.metrics()?;
+            if opt(&options, "text").is_some() {
+                return Ok(reply.to_snapshot().to_text());
+            }
+            let mut out = String::new();
+            writeln!(
+                out,
+                "metrics @ {addr}: {} counter(s), {} gauge(s), {} histogram(s), {} slow quer(ies)",
+                reply.counters.len(),
+                reply.gauges.len(),
+                reply.histograms.len(),
+                reply.slow.len()
+            )
+            .expect("write to string");
+            for (name, value) in &reply.counters {
+                writeln!(out, "  {name} {value}").expect("write to string");
+            }
+            for (name, value) in &reply.gauges {
+                writeln!(out, "  {name} {value}").expect("write to string");
+            }
+            for (name, hist) in &reply.histograms {
+                let h = hist.to_snapshot();
+                writeln!(
+                    out,
+                    "  {name} count={} mean={:.0} p50={} p90={} p99={}",
+                    h.count,
+                    h.mean(),
+                    h.p50(),
+                    h.p90(),
+                    h.p99()
+                )
+                .expect("write to string");
+            }
+            for (key, text) in &reply.notes {
+                writeln!(out, "  note {key}: {text}").expect("write to string");
+            }
+            for sq in &reply.slow {
+                let stages: Vec<String> = sq
+                    .stages
+                    .iter()
+                    .map(|(name, us)| format!("{name}={us}µs"))
+                    .collect();
+                writeln!(
+                    out,
+                    "  slow {}µs [{}] fp {} {:?} ({})",
+                    sq.total_micros,
+                    sq.kernel,
+                    sq.fingerprint,
+                    sq.query,
+                    stages.join(" ")
+                )
+                .expect("write to string");
+            }
+            Ok(out)
         }
         "query" => {
             let query = positional
@@ -1006,6 +1095,9 @@ fn cmd_request_query(
         query: query.to_owned(),
         policy: opt(options, "policy").unwrap_or("").to_owned(),
         run: parse_run_addr(options)?,
+        // The CLI is interactive: ask for the per-stage breakdown
+        // (bulk clients leave it off — it costs wire bytes per reply).
+        stages: true,
         mode: parse_wire_mode(options)?,
     })?;
     let limit: usize = parse_num(opt(options, "limit").unwrap_or("10"), "--limit")?;
@@ -1028,6 +1120,14 @@ fn cmd_request_query(
             outcome.closure_pairs, outcome.closure_bits, outcome.closure_scc
         )
         .expect("write to string");
+    }
+    if !outcome.stages.is_empty() {
+        let parts: Vec<String> = outcome
+            .stages
+            .iter()
+            .map(|(name, us)| format!("{name}={us}µs"))
+            .collect();
+        writeln!(out, "stages: {}", parts.join(" ")).expect("write to string");
     }
     match &outcome.result {
         WireResult::Bool(hit) => writeln!(out, "verdict: {hit}").expect("write to string"),
@@ -1072,6 +1172,7 @@ fn cmd_watch(args: &[String]) -> Result<String, RpqError> {
         query: (*query).to_owned(),
         policy: opt(&options, "policy").unwrap_or("").to_owned(),
         run: parse_run_addr(&options)?,
+        stages: false,
         mode: parse_wire_mode(&options)?,
     })?;
     // Streaming output: each line prints (and flushes) as it happens —

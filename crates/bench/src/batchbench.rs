@@ -306,10 +306,13 @@ mod tests {
         assert_eq!(m.warm.store.tag_reloads as usize, m.n_runs);
         assert_eq!(m.warm.store.csr_reloads as usize, m.n_runs);
         assert_eq!(m.warm.store.tag_rebuilds + m.warm.store.csr_rebuilds, 0);
-        // The seeded session never built an index itself in either leg.
+        // The seeded session never built an index itself in either
+        // leg, and the warm one consumed seeded artifacts — the tag
+        // index under the materialized strategy, the CSR arena under
+        // the lazy product search (forced-strategy CI legs included).
         assert_eq!(m.cold.session.index_misses, 0);
         assert_eq!(m.warm.session.index_misses, 0);
-        assert!(m.warm.session.index_hits > 0);
+        assert!(m.warm.session.index_hits + m.warm.session.csr_hits > 0);
 
         let json = to_json(&m);
         assert_eq!(json.matches('{').count(), json.matches('}').count());

@@ -66,11 +66,13 @@ fn main() {
     }
     if want("relalg") {
         // Not a paper figure: the pairs-vs-bits kernel A/B of
-        // rpq-relalg, recorded as the repo's perf baseline.
+        // rpq-relalg plus the lazy-vs-materialized strategy A/B,
+        // recorded together as the repo's perf baseline.
         let path = "BENCH_relalg.json";
         match rpq_bench::kernelbench::run_and_record(scale == Scale::Full, path) {
-            Ok(table) => {
-                println!("{}", table.render());
+            Ok((kernels, strategies)) => {
+                println!("{}", kernels.render());
+                println!("{}", strategies.render());
                 println!("baseline written to {path}\n");
             }
             Err(e) => eprintln!("cannot write {path}: {e}"),

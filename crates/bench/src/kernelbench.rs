@@ -226,7 +226,9 @@ pub fn table(measurements: &[KernelMeasurement]) -> Table {
     table
 }
 
-/// The JSON baseline record (`BENCH_relalg.json`).
+/// The JSON baseline record (`BENCH_relalg.json`). The kernel A/B/C
+/// lands under `results`; [`run_and_record`] appends the session-level
+/// lazy-vs-materialized sweep as a sibling `strategy_sweep` section.
 pub fn to_json(measurements: &[KernelMeasurement]) -> String {
     let mut out = String::from("{\n  \"bench\": \"relalg_kernel\",\n  \"results\": [\n");
     for (i, m) in measurements.iter().enumerate() {
@@ -256,11 +258,22 @@ pub fn to_json(measurements: &[KernelMeasurement]) -> String {
     out
 }
 
-/// Write the sweep to `path` and return the rendered table.
-pub fn run_and_record(full: bool, path: &str) -> std::io::Result<Table> {
+/// Run both sweeps — the kernel A/B/C and the session-level strategy
+/// A/B — write the combined baseline to `path`, and return the two
+/// rendered tables (kernels first).
+pub fn run_and_record(full: bool, path: &str) -> std::io::Result<(Table, Table)> {
     let measurements = measure(full);
-    std::fs::write(path, to_json(&measurements))?;
-    Ok(table(&measurements))
+    let strategies = crate::lazybench::measure(full);
+    let mut json = to_json(&measurements);
+    let closer = "  ]\n}\n";
+    debug_assert!(json.ends_with(closer));
+    json.truncate(json.len() - closer.len());
+    json.push_str(&format!(
+        "  ],\n  \"strategy_sweep\": {}\n}}\n",
+        crate::lazybench::to_json(&strategies)
+    ));
+    std::fs::write(path, json)?;
+    Ok((table(&measurements), crate::lazybench::table(&strategies)))
 }
 
 #[cfg(test)]

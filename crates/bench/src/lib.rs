@@ -22,6 +22,7 @@ pub mod datasets;
 pub mod experiments;
 pub mod ingestbench;
 pub mod kernelbench;
+pub mod lazybench;
 pub mod routerbench;
 pub mod servebench;
 pub mod timing;

@@ -185,6 +185,7 @@ fn issue_fp(
     let request = WireRequest::Query(QuerySpec {
         query: query.to_owned(),
         policy: String::new(),
+        strategy: String::new(),
         stages: false,
         run: RunAddr::Fingerprint(fp.0, fp.1),
         mode: WireMode::EntryExit,

@@ -148,6 +148,7 @@ fn issue(client: &mut ServeClient, query: &str, run_index: u64, since: Instant) 
     let request = WireRequest::Query(QuerySpec {
         query: query.to_owned(),
         policy: String::new(),
+        strategy: String::new(),
         stages: false,
         run: RunAddr::Index(run_index),
         mode: WireMode::EntryExit,

@@ -208,8 +208,11 @@ impl Session {
         let slots: Vec<Mutex<Option<BatchItem>>> = (0..n).map(|_| Mutex::new(None)).collect();
         // Safe plans decode labels only: never pull (or, on a cold
         // store, derive and persist) index artifacts a plan cannot
-        // read.
-        let wants_artifacts = query.stats().kind == PlanKind::Composite;
+        // read. Except under a forced-lazy strategy, where every plan
+        // runs the product search over the CSR arena — seed it, or
+        // each worker would derive its own.
+        let wants_artifacts = query.stats().kind == PlanKind::Composite
+            || crate::lazy::eval_strategy() == crate::lazy::EvalStrategy::Lazy;
 
         let worker = || loop {
             let i = cursor.fetch_add(1, Ordering::Relaxed);
@@ -361,12 +364,20 @@ mod tests {
         let runs = corpus(&session, 5);
         let query = session.prepare("go").unwrap();
         let all: Vec<rpq_labeling::NodeId> = runs[0].node_ids().collect();
-        for run in &runs {
-            session.evaluate(
+        // Forced materialized: index-cache LRU recency is the subject,
+        // and only the materialized pipeline touches that cache on
+        // every composite evaluation (the lazy product search works
+        // off the CSR cache instead).
+        let eval = |run: &_| {
+            session.evaluate_with_strategy(
                 &query,
                 run,
                 &QueryRequest::all_pairs(all.clone(), all.clone()),
-            );
+                crate::lazy::EvalStrategy::Materialized,
+            )
+        };
+        for run in &runs {
+            eval(run);
         }
         // 5 distinct runs through a 2-entry cache: ≥ 3 evictions.
         assert!(session.stats().index_evictions >= 3);
@@ -376,15 +387,11 @@ mod tests {
         assert!(!session.run_is_cached(&runs[0]));
         // Re-evaluating an evicted run is a miss again.
         let before = session.stats();
-        session.evaluate(
-            &query,
-            &runs[0],
-            &QueryRequest::all_pairs(all.clone(), all.clone()),
-        );
+        eval(&runs[0]);
         assert_eq!(session.stats().since(before).index_misses, 1);
         // And a recently-cached run still hits.
         let before = session.stats();
-        session.evaluate(&query, &runs[4], &QueryRequest::all_pairs(all.clone(), all));
+        eval(&runs[4]);
         assert_eq!(session.stats().since(before).index_hits, 1);
     }
 
@@ -402,7 +409,14 @@ mod tests {
 
         let query = session.prepare("go").unwrap();
         let all: Vec<rpq_labeling::NodeId> = run.node_ids().collect();
-        session.evaluate(&query, &run, &QueryRequest::all_pairs(all.clone(), all));
+        // Forced materialized, which consults the index cache on every
+        // composite evaluation — the seeded entry must hit.
+        session.evaluate_with_strategy(
+            &query,
+            &run,
+            &QueryRequest::all_pairs(all.clone(), all),
+            crate::lazy::EvalStrategy::Materialized,
+        );
         assert_eq!(session.stats().index_hits, 1);
         assert_eq!(session.stats().index_misses, 0);
     }

@@ -30,6 +30,7 @@ pub mod cost;
 pub mod engine;
 pub mod error;
 pub mod general;
+pub mod lazy;
 pub mod matrix;
 pub mod plan;
 pub mod portgraph;
@@ -46,6 +47,10 @@ pub use error::RpqError;
 pub use general::{
     all_pairs, all_pairs_csr, eval_node, pairwise, pairwise_csr, plan_query, plan_query_with,
     relational_node, EvalCtx, PlanNode, QueryPlan, SubqueryPolicy,
+};
+pub use lazy::{
+    eval_strategy, lazy_counts, set_eval_strategy, thread_expansions, EvalStrategy, LazyCounts,
+    LazyEval,
 };
 pub use matrix::StateMatrix;
 pub use plan::{PlanError, SafeQueryPlan};

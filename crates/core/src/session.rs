@@ -55,9 +55,10 @@
 
 use crate::error::RpqError;
 use crate::general::{self, QueryPlan, SubqueryPolicy};
+use crate::lazy::{self, EvalStrategy, LazyEval};
 use crate::plan::SafeQueryPlan;
 use crate::request::{EvalMeta, IndexCacheUse, PlanKind, QueryOutcome, QueryRequest, QueryResult};
-use rpq_automata::{compile_minimal_dfa, parse, Regex, Symbol};
+use rpq_automata::{compile_minimal_dfa, parse, Dfa, Regex, Symbol};
 use rpq_grammar::Specification;
 use rpq_labeling::{NodeId, Run};
 use rpq_relalg::{CsrIndex, NodePairSet, TagIndex};
@@ -87,6 +88,10 @@ struct PreparedInner {
     source: String,
     regex: Regex,
     plan: QueryPlan,
+    /// The query's minimal DFA, retained from planning: the lazy
+    /// product-graph engine composes it with the run's CSR arena at
+    /// evaluation time.
+    dfa: Arc<Dfa>,
     stats: PlanStats,
 }
 
@@ -116,6 +121,13 @@ impl PreparedQuery {
     /// The compiled plan.
     pub fn plan(&self) -> &QueryPlan {
         &self.inner.plan
+    }
+
+    /// The query's minimal DFA (compiled once at prepare time; the
+    /// lazy evaluation strategy composes it with the run graph on the
+    /// fly).
+    pub fn dfa(&self) -> &Dfa {
+        &self.inner.dfa
     }
 
     /// Is the query safe for the specification (Definition 13)?
@@ -456,14 +468,14 @@ impl Session {
         // not serialize concurrent sessions' unrelated queries. The
         // minimal DFA is the dominant cost — compile it once and share
         // it between the planner, the stats and the safety verdict.
-        let dfa = compile_minimal_dfa(regex, self.spec.n_tags());
+        let dfa = Arc::new(compile_minimal_dfa(regex, self.spec.n_tags()));
         let dfa_states = dfa.n_states();
         let plan = match policy {
             // The naive policy plans without safety analysis.
             SubqueryPolicy::AlwaysRelational => {
                 general::plan_query_with(&self.spec, regex, policy)?
             }
-            _ => general::plan_query_with_dfa(&self.spec, regex, policy, dfa.clone())?,
+            _ => general::plan_query_with_dfa(&self.spec, regex, policy, (*dfa).clone())?,
         };
         // Definition-13 safety is a property of the query, not of the
         // chosen plan: a non-leaf plan under a label-aware policy
@@ -474,7 +486,7 @@ impl Session {
             QueryPlan::Composite(..)
                 if policy == SubqueryPolicy::AlwaysRelational || general::is_leaf(regex) =>
             {
-                SafeQueryPlan::compile(&self.spec, dfa).is_ok()
+                SafeQueryPlan::compile(&self.spec, (*dfa).clone()).is_ok()
             }
             QueryPlan::Composite(..) => false,
         };
@@ -495,6 +507,7 @@ impl Session {
                 source: source(),
                 regex: regex.clone(),
                 plan,
+                dfa,
                 stats,
             }),
         };
@@ -663,19 +676,67 @@ impl Session {
     ///
     /// Safe plans never touch the tag index; composite plans fetch it
     /// from the per-run cache (building it at most once per run).
+    /// The evaluation strategy is the process-wide default
+    /// ([`crate::eval_strategy`], settable via `RPQ_EVAL_STRATEGY` or
+    /// [`crate::set_eval_strategy`]); use
+    /// [`Session::evaluate_with_strategy`] for a per-request override.
     pub fn evaluate(
         &self,
         query: &PreparedQuery,
         run: &Run,
         request: &QueryRequest,
     ) -> QueryOutcome {
+        self.evaluate_with_strategy(query, run, request, lazy::eval_strategy())
+    }
+
+    /// [`Session::evaluate`] with an explicit evaluation strategy:
+    /// `Lazy` composes the query DFA with the run's CSR arena on the
+    /// fly (frontier-bound product search), `Materialized` runs the
+    /// compiled relational/label plan, and `Auto` picks per request
+    /// with a shape-only cost model (see [`crate::lazy`]).
+    ///
+    /// Under `Auto`, safe plans always evaluate materialized — label
+    /// decoding is already constant-time per pair, so a product search
+    /// could only lose. Forcing `Lazy` overrides that and runs the
+    /// product search regardless of plan kind (the DFA alone defines
+    /// the query language), which is what the differential test suite
+    /// leans on.
+    pub fn evaluate_with_strategy(
+        &self,
+        query: &PreparedQuery,
+        run: &Run,
+        request: &QueryRequest,
+        strategy: EvalStrategy,
+    ) -> QueryOutcome {
         self.assert_owns(query);
         // Open a trace frame for this evaluation: the artifact lookups
         // below record `index`/`csr` spans, the evaluation proper is
-        // the `eval` span, and the collected breakdown lands in
-        // `EvalMeta::stages`. Frames nest, so a server tracing its own
-        // request stages around this call is unaffected.
+        // the `eval` span (plus `lazy_expand` for product searches),
+        // and the collected breakdown lands in `EvalMeta::stages`.
+        // Frames nest, so a server tracing its own request stages
+        // around this call is unaffected.
         rpq_obs::Trace::begin();
+        // Safe (sub)plans decode derivation labels, and labels describe
+        // reachability only on derivation DAGs. A streamed run that
+        // has grown a cycle (`Run::apply_events` accepts arbitrary
+        // event batches) is no derivation, so the label shortcut is
+        // unsound there — for fully-safe plans *and* for composite
+        // plans with `SafeEval` subtrees alike. The product search
+        // reads the edge lists as they actually are and takes over
+        // regardless of the requested strategy. The acyclicity verdict
+        // is cached on the run, so steady-state pairwise decoding
+        // stays allocation-free.
+        let labels_unsound = query.inner.plan.n_safe_subqueries() > 0 && !run.is_acyclic();
+        let use_lazy = labels_unsound
+            || match strategy {
+                EvalStrategy::Lazy => true,
+                EvalStrategy::Materialized => false,
+                EvalStrategy::Auto => self.auto_picks_lazy(query, run, request),
+            };
+        lazy::record_strategy(use_lazy);
+        if use_lazy {
+            return self.evaluate_lazy(query, run, request);
+        }
         let plan = &query.inner.plan;
         let kind = query.inner.stats.kind;
         // Composite evaluation needs the per-run index; safe plans
@@ -746,6 +807,102 @@ impl Session {
                 kernel: rpq_relalg::kernel_mode(),
                 closures: rpq_relalg::thread_closure_counts().since(closures_before),
                 nodes_touched,
+                strategy: EvalStrategy::Materialized,
+                product_states: 0,
+                stages: rpq_obs::Trace::take(),
+            },
+        }
+    }
+
+    /// The `Auto` strategy's per-request choice. Deliberately
+    /// shape-only — it reads the run's node/edge counts and the plan's
+    /// DFA size, never the tag index — so choosing a strategy can't
+    /// perturb the session's index-cache hit/miss accounting.
+    ///
+    /// Lazy wins when the frontier-bound product search is predicted
+    /// cheaper than materializing the plan's closures:
+    /// `searches × |Q| × (n + m)` (product-search worst case) against
+    /// `max(n, min(m·√n, n²))` (a semi-naive closure's ballpark). The
+    /// search count is 1 for single-source/target modes and `|l1|` for
+    /// all-pairs, so full-universe all-pairs requests — where the
+    /// materialized closure amortizes across every source — stay
+    /// materialized.
+    fn auto_picks_lazy(&self, query: &PreparedQuery, run: &Run, request: &QueryRequest) -> bool {
+        if query.inner.stats.kind != PlanKind::Composite
+            || !general::plan_uses_csr(&query.inner.plan)
+        {
+            return false;
+        }
+        let n_searches = match request {
+            QueryRequest::Pairwise(..)
+            | QueryRequest::EntryExit
+            | QueryRequest::SourceStar(_)
+            | QueryRequest::TargetStar(_)
+            | QueryRequest::Reachable(_) => 1.0,
+            QueryRequest::AllPairs(l1, _) => l1.len().max(1) as f64,
+        };
+        let n = run.n_nodes() as f64;
+        let m = run.n_edges() as f64;
+        let states = query.inner.stats.dfa_states.max(1) as f64;
+        let lazy_cost = n_searches * states * (n + m);
+        let materialized_cost = (m * n.max(1.0).sqrt()).min(n * n).max(n);
+        lazy_cost < materialized_cost
+    }
+
+    /// The lazy product-graph evaluation path: compose the prepared
+    /// query's minimal DFA with the run's CSR arena on the fly (see
+    /// [`LazyEval`]). Uses the same per-run CSR cache as materialized
+    /// composite evaluation, so the two strategies warm each other.
+    fn evaluate_lazy(
+        &self,
+        query: &PreparedQuery,
+        run: &Run,
+        request: &QueryRequest,
+    ) -> QueryOutcome {
+        let (csr, index_cache) = self.csr_for(run);
+        let closures_before = rpq_relalg::thread_closure_counts();
+        let expansions_before = lazy::thread_expansions();
+        let eval_span = rpq_obs::Trace::span("eval");
+        let mut engine = LazyEval::new(query.dfa(), &csr, self.spec.n_tags());
+        let (result, nodes_touched) = match request {
+            QueryRequest::Pairwise(..) | QueryRequest::EntryExit => {
+                let (u, v) = match request {
+                    QueryRequest::Pairwise(u, v) => (*u, *v),
+                    _ => (run.entry(), run.exit()),
+                };
+                (QueryResult::Bool(engine.pairwise(u, v)), 2)
+            }
+            QueryRequest::AllPairs(l1, l2) => {
+                let pairs = NodePairSet::from_pairs(engine.all_pairs(l1, l2));
+                (QueryResult::Pairs(pairs), l1.len() + l2.len())
+            }
+            QueryRequest::SourceStar(u) => {
+                let pairs: Vec<(NodeId, NodeId)> =
+                    engine.reachable(*u).into_iter().map(|v| (*u, v)).collect();
+                (
+                    QueryResult::Pairs(NodePairSet::from_pairs(pairs)),
+                    run.n_nodes() + 1,
+                )
+            }
+            QueryRequest::TargetStar(v) => (
+                QueryResult::Pairs(NodePairSet::from_pairs(engine.target_star(*v))),
+                run.n_nodes() + 1,
+            ),
+            QueryRequest::Reachable(u) => {
+                (QueryResult::Nodes(engine.reachable(*u)), run.n_nodes() + 1)
+            }
+        };
+        drop(eval_span);
+        QueryOutcome {
+            result,
+            meta: EvalMeta {
+                plan_kind: query.inner.stats.kind,
+                index_cache,
+                kernel: rpq_relalg::kernel_mode(),
+                closures: rpq_relalg::thread_closure_counts().since(closures_before),
+                nodes_touched,
+                strategy: EvalStrategy::Lazy,
+                product_states: lazy::thread_expansions() - expansions_before,
                 stages: rpq_obs::Trace::take(),
             },
         }
@@ -886,13 +1043,22 @@ mod tests {
         let q_go = session.prepare("go").unwrap();
         let q_base = session.prepare("base").unwrap();
         let all: Vec<NodeId> = run.node_ids().collect();
-        let o1 = session.evaluate(
+        // Forced materialized: the per-evaluation index-cache contract
+        // is the subject (the lazy product search only touches the
+        // index cache while building a missing CSR arena).
+        let o1 = session.evaluate_with_strategy(
             &q_go,
             &run,
             &QueryRequest::all_pairs(all.clone(), all.clone()),
+            EvalStrategy::Materialized,
         );
         assert_eq!(o1.meta.index_cache, IndexCacheUse::Miss);
-        let o2 = session.evaluate(&q_base, &run, &QueryRequest::all_pairs(all.clone(), all));
+        let o2 = session.evaluate_with_strategy(
+            &q_base,
+            &run,
+            &QueryRequest::all_pairs(all.clone(), all),
+            EvalStrategy::Materialized,
+        );
         assert_eq!(o2.meta.index_cache, IndexCacheUse::Hit);
         assert_eq!(session.stats().index_misses, 1);
         assert_eq!(session.stats().index_hits, 1);
@@ -921,20 +1087,24 @@ mod tests {
             .unwrap();
         // A relationally-planned star closes over an index leaf: the
         // arena is built on first evaluation, cached on the second.
+        // (Forced materialized: this test pins the relational path's
+        // artifact accounting, which `Auto` would route around here.)
         let q = session
             .prepare_with("go+", SubqueryPolicy::AlwaysRelational)
             .unwrap();
         let entry = run.entry();
-        session.evaluate(&q, &run, &QueryRequest::source_star(entry));
+        let star = QueryRequest::source_star(entry);
+        let forced = EvalStrategy::Materialized;
+        session.evaluate_with_strategy(&q, &run, &star, forced);
         assert_eq!(session.stats().csr_misses, 1);
-        session.evaluate(&q, &run, &QueryRequest::source_star(entry));
+        session.evaluate_with_strategy(&q, &run, &star, forced);
         assert_eq!(session.stats().csr_hits, 1);
         assert_eq!(session.stats().csr_misses, 1);
         // One index interaction per evaluation, not two.
         assert_eq!(session.stats().index_misses + session.stats().index_hits, 2);
         // Eviction drops the arena with the index.
         session.clear_run_cache();
-        session.evaluate(&q, &run, &QueryRequest::source_star(entry));
+        session.evaluate_with_strategy(&q, &run, &star, forced);
         assert_eq!(session.stats().csr_misses, 2);
         rpq_relalg::set_kernel_mode(before);
     }
@@ -953,16 +1123,22 @@ mod tests {
             .prepare_with("go+", SubqueryPolicy::AlwaysRelational)
             .unwrap();
         let entry = run.entry();
+        let star = QueryRequest::source_star(entry);
+        // Forced materialized throughout: closure counters are a
+        // relational-path fact, and `Auto` would pick lazy here.
+        let forced = EvalStrategy::Materialized;
         // Forced condensation: the one closure of `go+` runs scc and
         // the meta says so.
         rpq_relalg::set_kernel_mode(rpq_relalg::KernelMode::ForceScc);
-        let outcome = session.evaluate(&q, &run, &QueryRequest::source_star(entry));
+        let outcome = session.evaluate_with_strategy(&q, &run, &star, forced);
         assert_eq!(outcome.meta.kernel, rpq_relalg::KernelMode::ForceScc);
         assert_eq!(outcome.meta.closures.scc, 1, "{:?}", outcome.meta.closures);
         assert_eq!(outcome.meta.closures.total(), 1);
+        assert_eq!(outcome.meta.strategy, EvalStrategy::Materialized);
+        assert_eq!(outcome.meta.product_states, 0);
         // Forced pairs: same query, same closure count, other column.
         rpq_relalg::set_kernel_mode(rpq_relalg::KernelMode::ForcePairs);
-        let outcome = session.evaluate(&q, &run, &QueryRequest::source_star(entry));
+        let outcome = session.evaluate_with_strategy(&q, &run, &star, forced);
         assert_eq!(
             outcome.meta.closures.pairs, 1,
             "{:?}",
@@ -1008,7 +1184,15 @@ mod tests {
             .unwrap();
         let q = session.prepare("_*").unwrap();
         assert!(q.is_safe());
-        let outcome = session.evaluate(&q, &run, &QueryRequest::pairwise(run.entry(), run.exit()));
+        // Forced materialized: the claim is about the label-decoding
+        // safe plan, which needs no per-run artifact at all; a forced
+        // lazy evaluation would legitimately build the CSR arena.
+        let outcome = session.evaluate_with_strategy(
+            &q,
+            &run,
+            &QueryRequest::pairwise(run.entry(), run.exit()),
+            EvalStrategy::Materialized,
+        );
         assert_eq!(outcome.as_bool(), Some(true));
         assert_eq!(outcome.meta.index_cache, IndexCacheUse::NotNeeded);
         assert_eq!(outcome.meta.plan_kind, PlanKind::Safe);
@@ -1037,6 +1221,45 @@ mod tests {
             assert_eq!(v, exit);
             assert!(session.pairwise(&q, &run, u, v));
         }
+    }
+
+    #[test]
+    fn lazy_and_materialized_agree_and_surface_in_meta() {
+        let session = Session::from_spec(spec());
+        let run = RunBuilder::new(session.spec())
+            .seed(12)
+            .target_edges(80)
+            .build()
+            .unwrap();
+        let q = session
+            .prepare_with("go+ base _*", SubqueryPolicy::AlwaysRelational)
+            .unwrap();
+        let all: Vec<NodeId> = run.node_ids().collect();
+        let requests = [
+            QueryRequest::entry_exit(),
+            QueryRequest::pairwise(run.entry(), run.exit()),
+            QueryRequest::all_pairs(all.clone(), all.clone()),
+            QueryRequest::source_star(run.entry()),
+            QueryRequest::target_star(run.exit()),
+            QueryRequest::reachable(run.entry()),
+        ];
+        for request in &requests {
+            let lazy = session.evaluate_with_strategy(&q, &run, request, EvalStrategy::Lazy);
+            let mat = session.evaluate_with_strategy(&q, &run, request, EvalStrategy::Materialized);
+            assert_eq!(lazy.result, mat.result, "{request:?}");
+            assert_eq!(lazy.meta.strategy, EvalStrategy::Lazy);
+            assert_eq!(mat.meta.strategy, EvalStrategy::Materialized);
+            assert!(lazy.meta.product_states > 0, "{request:?}");
+            assert_eq!(mat.meta.product_states, 0);
+            // Lazy evaluations never run relational closures, and their
+            // product search shows up in the stage breakdown.
+            assert_eq!(lazy.meta.closures.total(), 0);
+            let names: Vec<&str> = lazy.meta.stages.iter().map(|(n, _)| *n).collect();
+            assert!(names.contains(&"lazy_expand"), "{names:?}");
+        }
+        // The lazy path reports the CSR cache interaction: the first
+        // evaluation above built the arena, the rest hit it.
+        assert_eq!(session.stats().csr_misses, 1);
     }
 
     #[test]

@@ -81,6 +81,11 @@ pub struct Run {
     /// Lazily computed structural fingerprint (see [`Run::fingerprint`]).
     #[serde(skip)]
     fingerprint: std::sync::OnceLock<(u64, u64)>,
+    /// Lazily computed acyclicity verdict (see [`Run::is_acyclic`]).
+    /// Derived runs are always DAGs, but streamed event batches can
+    /// close cycles, and label-based query plans must know.
+    #[serde(skip)]
+    acyclic: std::sync::OnceLock<bool>,
 }
 
 /// Structural equality: two runs are equal iff their event histories
@@ -127,6 +132,7 @@ impl Run {
             entry,
             exit,
             fingerprint: std::sync::OnceLock::new(),
+            acyclic: std::sync::OnceLock::new(),
         }
     }
 
@@ -175,6 +181,7 @@ impl Run {
             entry,
             exit,
             fingerprint: std::sync::OnceLock::new(),
+            acyclic: std::sync::OnceLock::new(),
         })
     }
 
@@ -402,21 +409,26 @@ impl Run {
         Ok(())
     }
 
-    /// Verify the run is a DAG (defensive check for tests).
+    /// Is the run a DAG? Computed once (Kahn's algorithm) and cached:
+    /// derived runs always are, but [`Run::apply_events`] can close a
+    /// cycle, after which derivation labels no longer describe
+    /// reachability and label-based plans must step aside.
     pub fn is_acyclic(&self) -> bool {
-        let n = self.n_nodes();
-        let mut indeg: Vec<usize> = (0..n).map(|i| self.inc[i].len()).collect();
-        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
-        let mut seen = 0;
-        while let Some(v) = queue.pop() {
-            seen += 1;
-            for &(to, _) in &self.out[v] {
-                indeg[to.index()] -= 1;
-                if indeg[to.index()] == 0 {
-                    queue.push(to.index());
+        *self.acyclic.get_or_init(|| {
+            let n = self.n_nodes();
+            let mut indeg: Vec<usize> = (0..n).map(|i| self.inc[i].len()).collect();
+            let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+            let mut seen = 0;
+            while let Some(v) = queue.pop() {
+                seen += 1;
+                for &(to, _) in &self.out[v] {
+                    indeg[to.index()] -= 1;
+                    if indeg[to.index()] == 0 {
+                        queue.push(to.index());
+                    }
                 }
             }
-        }
-        seen == n
+            seen == n
+        })
     }
 }

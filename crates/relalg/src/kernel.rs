@@ -139,7 +139,13 @@ fn mode_from_env() -> KernelMode {
 static CONFIG_WARNINGS: AtomicU64 = AtomicU64::new(0);
 static LAST_CONFIG_WARNING: Mutex<Option<String>> = Mutex::new(None);
 
-pub(crate) fn record_config_warning(message: &str) {
+/// Record one rejected configuration value: bump the process-wide
+/// warning counter and remember the message for stats/metrics
+/// snapshots. Public because other crates with env-tunable knobs
+/// (`RPQ_EVAL_STRATEGY` in `rpq-core`) funnel their fallback warnings
+/// through the same counter, so one `config_warnings` figure covers
+/// every knob.
+pub fn record_config_warning(message: &str) {
     CONFIG_WARNINGS.fetch_add(1, Ordering::Relaxed);
     *LAST_CONFIG_WARNING.lock().expect("warning slot poisoned") = Some(message.to_owned());
 }

@@ -44,8 +44,8 @@ pub use join::{
     transitive_closure_pairs, transitive_closure_scc, transitive_closure_scc_csr,
 };
 pub use kernel::{
-    closure_counts, config_warnings, kernel_mode, last_config_warning, set_kernel_mode,
-    thread_closure_counts, ClosureCounts, Kernel, KernelMode,
+    closure_counts, config_warnings, kernel_mode, last_config_warning, record_config_warning,
+    set_kernel_mode, thread_closure_counts, ClosureCounts, Kernel, KernelMode,
 };
 pub use relation::{NodePairSet, Relation};
 pub use scc::Condensation;

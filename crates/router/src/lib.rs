@@ -77,6 +77,7 @@
 //!     .query(QuerySpec {
 //!         query: "_*".to_owned(),
 //!         policy: String::new(),
+//!         strategy: String::new(),
 //!         run: RunAddr::Index(0),
 //!         stages: false,
 //!         mode: WireMode::EntryExit,
@@ -217,6 +218,12 @@ struct Counters {
     retries: &'static Counter,
     unavailable: &'static Counter,
     synced_runs: &'static Counter,
+    /// Back-side connection pool traffic: a hit reuses a warm
+    /// connection, a miss opens a fresh one, a discard drops a pooled
+    /// connection that failed mid-use (stale or backend down).
+    pool_hits: &'static Counter,
+    pool_misses: &'static Counter,
+    pool_discards: &'static Counter,
     /// Front-side dispatch latency, µs (includes the back-side trip).
     request_micros: &'static rpq_obs::Histogram,
 }
@@ -231,6 +238,9 @@ impl Counters {
             retries: registry.counter("rpq_router_retries_total"),
             unavailable: registry.counter("rpq_router_unavailable_total"),
             synced_runs: registry.counter("rpq_router_synced_runs_total"),
+            pool_hits: registry.counter("rpq_router_pool_hits_total"),
+            pool_misses: registry.counter("rpq_router_pool_misses_total"),
+            pool_discards: registry.counter("rpq_router_pool_discards_total"),
             request_micros: registry.histogram("rpq_router_request_micros"),
         }
     }
@@ -325,7 +335,14 @@ pub struct Router {
     registry: Arc<Registry>,
     counters: Counters,
     metrics_listener: Option<TcpListener>,
+    /// Warm back-side connections, one stack per backend: probes,
+    /// inventory scans and failover attempts reuse a connected
+    /// [`ServeClient`] instead of paying a TCP connect each time.
+    pools: Vec<Mutex<Vec<ServeClient>>>,
 }
+
+/// Warm connections retained per backend; extras close on check-in.
+const POOL_CAP: usize = 8;
 
 impl Router {
     /// Bind the front listener and assemble the ring and health table.
@@ -359,7 +376,11 @@ impl Router {
         };
         let registry = Arc::new(Registry::new());
         let counters = Counters::new(&registry);
+        let pools = (0..config.backends.len())
+            .map(|_| Mutex::new(Vec::new()))
+            .collect();
         Ok(Router {
+            pools,
             listener,
             ring: HashRing::new(config.backends.len()),
             health: HealthTable::new(config.backends.len(), config.eject_after, config.cooldown),
@@ -746,12 +767,58 @@ impl Router {
         }
     }
 
-    /// A connected client against one backend, every I/O bounded by
-    /// the per-attempt deadline.
+    /// A freshly connected client against one backend, every I/O
+    /// bounded by the per-attempt deadline. Back-side traffic goes
+    /// through [`Router::with_backend`], which fronts this with the
+    /// warm pool.
     fn backend_client(&self, backend: usize) -> Result<ServeClient, RpqError> {
         let mut client = ServeClient::connect_deadline(self.backends[backend], self.deadline)?;
         client.set_io_timeout(Some(self.deadline))?;
         Ok(client)
+    }
+
+    /// Run one back-side interaction against a backend over a pooled
+    /// connection. A warm connection that fails mid-use is discarded
+    /// and the interaction retried once on a fresh connect — the
+    /// backend may simply have idle-closed the pooled socket, and only
+    /// the fresh attempt is an authoritative health signal. Successful
+    /// connections go back to the pool (bounded at [`POOL_CAP`]).
+    ///
+    /// `f` must be effectively idempotent: it can run twice when the
+    /// pooled attempt fails. Every routed verb is (queries are
+    /// read-only, `PushRun` deduplicates by fingerprint).
+    fn with_backend<T>(
+        &self,
+        backend: usize,
+        mut f: impl FnMut(&mut ServeClient) -> Result<T, RpqError>,
+    ) -> Result<T, RpqError> {
+        if let Some(mut client) = self.pool_take(backend) {
+            self.counters.pool_hits.incr();
+            match f(&mut client) {
+                Ok(value) => {
+                    self.pool_put(backend, client);
+                    return Ok(value);
+                }
+                Err(_) => self.counters.pool_discards.incr(),
+            }
+        } else {
+            self.counters.pool_misses.incr();
+        }
+        let mut client = self.backend_client(backend)?;
+        let value = f(&mut client)?;
+        self.pool_put(backend, client);
+        Ok(value)
+    }
+
+    fn pool_take(&self, backend: usize) -> Option<ServeClient> {
+        self.pools[backend].lock().expect("pool lock").pop()
+    }
+
+    fn pool_put(&self, backend: usize, client: ServeClient) {
+        let mut pool = self.pools[backend].lock().expect("pool lock");
+        if pool.len() < POOL_CAP {
+            pool.push(client);
+        }
     }
 
     /// Route one query: resolve positional addressing against the
@@ -801,10 +868,7 @@ impl Router {
                 self.counters.retries.incr();
                 self.retry.pause((attempt - 1) as u32, salt);
             }
-            match self.backend_client(backend).and_then(|mut c| {
-                let response = c.request(&request)?;
-                Ok(response)
-            }) {
+            match self.with_backend(backend, |c| c.request(&request)) {
                 Ok(response) => {
                     if stale_replica(&response) {
                         // The backend is alive but has not replicated
@@ -851,7 +915,7 @@ impl Router {
             if self.health.availability(backend) == Availability::Ejected {
                 continue;
             }
-            match self.backend_client(backend).and_then(|mut c| c.runs()) {
+            match self.with_backend(backend, |c| c.runs()) {
                 Ok(runs) => {
                     self.health.record_success(backend);
                     reached += 1;
@@ -885,7 +949,7 @@ impl Router {
             if self.health.availability(backend) == Availability::Ejected {
                 continue;
             }
-            match self.backend_client(backend).and_then(|mut c| c.stats()) {
+            match self.with_backend(backend, |c| c.stats()) {
                 Ok(stats) => {
                     self.health.record_success(backend);
                     reached += 1;
@@ -929,7 +993,7 @@ impl Router {
             if self.health.availability(backend) == Availability::Ejected {
                 continue;
             }
-            match self.backend_client(backend).and_then(|mut c| c.metrics()) {
+            match self.with_backend(backend, |c| c.metrics()) {
                 Ok(reply) => {
                     self.health.record_success(backend);
                     snap.merge(&reply.to_snapshot());
@@ -971,7 +1035,7 @@ impl Router {
                 if self.health.availability(backend) == Availability::Ejected {
                     continue;
                 }
-                match self.backend_client(backend).and_then(|mut c| c.ping()) {
+                match self.with_backend(backend, |c| c.ping()) {
                     Ok(()) => self.health.record_success(backend),
                     Err(_) => self.health.record_failure(backend),
                 }
@@ -1011,7 +1075,7 @@ impl Router {
             if self.health.availability(backend) == Availability::Ejected {
                 continue;
             }
-            let epoch = match self.backend_client(backend).and_then(|mut c| c.stats()) {
+            let epoch = match self.with_backend(backend, |c| c.stats()) {
                 Ok(stats) => {
                     self.health.record_success(backend);
                     stats.store_epoch
@@ -1023,7 +1087,7 @@ impl Router {
             };
             let inventory = match &cache[backend] {
                 Some((cached_epoch, inventory)) if *cached_epoch == epoch => inventory.clone(),
-                _ => match self.backend_client(backend).and_then(|mut c| c.runs()) {
+                _ => match self.with_backend(backend, |c| c.runs()) {
                     Ok(inventory) => {
                         cache[backend] = Some((epoch, inventory.clone()));
                         inventory
@@ -1060,15 +1124,16 @@ impl Router {
                 let Some(&donor) = holding.first() else {
                     continue;
                 };
-                let fetched = self
-                    .backend_client(donor)
-                    .and_then(|mut c| c.fetch_run(RunAddr::Fingerprint(fp_hi, fp_lo)));
+                let fetched =
+                    self.with_backend(donor, |c| c.fetch_run(RunAddr::Fingerprint(fp_hi, fp_lo)));
                 let Ok((_donor_epoch, run)) = fetched else {
                     continue;
                 };
-                if let Ok((_, deduplicated, _epoch)) = self
-                    .backend_client(replica)
-                    .and_then(|mut c| c.push_run(run))
+                // Cloned because a pooled attempt may retry the push
+                // on a fresh connection (idempotent: fingerprint-
+                // deduplicated server-side).
+                if let Ok((_, deduplicated, _epoch)) =
+                    self.with_backend(replica, |c| c.push_run(run.clone()))
                 {
                     if !deduplicated {
                         self.counters.synced_runs.incr();
@@ -1132,6 +1197,9 @@ fn add_stats(total: &mut WireStatsReply, s: &WireStatsReply) {
     total.subscriptions += s.subscriptions;
     total.retries += s.retries;
     total.config_warnings += s.config_warnings;
+    total.strategy_lazy += s.strategy_lazy;
+    total.strategy_materialized += s.strategy_materialized;
+    total.lazy_expansions += s.lazy_expansions;
 }
 
 #[cfg(test)]

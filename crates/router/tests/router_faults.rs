@@ -220,6 +220,7 @@ impl Fleet {
             .query(QuerySpec {
                 query: query.to_owned(),
                 policy: String::new(),
+                strategy: String::new(),
                 stages: false,
                 run: RunAddr::Fingerprint(hi, lo),
                 mode: mode.clone(),
@@ -371,6 +372,7 @@ fn epoch_divergence_resyncs_and_stale_replicas_refuse() {
         .request(&WireRequest::Query(QuerySpec {
             query: QUERIES[0].to_owned(),
             policy: String::new(),
+            strategy: String::new(),
             stages: false,
             run: RunAddr::Fingerprint(hi, lo),
             mode: WireMode::EntryExit,
@@ -415,6 +417,7 @@ fn epoch_divergence_resyncs_and_stale_replicas_refuse() {
         .query(QuerySpec {
             query: QUERIES[0].to_owned(),
             policy: String::new(),
+            strategy: String::new(),
             stages: false,
             run: RunAddr::Fingerprint(hi, lo),
             mode: WireMode::EntryExit,
@@ -449,6 +452,7 @@ fn positional_addressing_follows_the_merged_inventory() {
             .query(QuerySpec {
                 query: QUERIES[0].to_owned(),
                 policy: String::new(),
+                strategy: String::new(),
                 stages: false,
                 run: RunAddr::Index(i as u64),
                 mode: WireMode::AllPairsFull,
@@ -465,6 +469,7 @@ fn positional_addressing_follows_the_merged_inventory() {
         .request(&WireRequest::Query(QuerySpec {
             query: QUERIES[0].to_owned(),
             policy: String::new(),
+            strategy: String::new(),
             stages: false,
             run: RunAddr::Index(99),
             mode: WireMode::EntryExit,
@@ -512,6 +517,7 @@ fn losing_all_replicas_is_a_bounded_unavailable_refusal() {
         client.request(&WireRequest::Query(QuerySpec {
             query: "_* e _*".to_owned(),
             policy: String::new(),
+            strategy: String::new(),
             stages: false,
             run: RunAddr::Fingerprint(hi, lo),
             mode: WireMode::EntryExit,
@@ -552,6 +558,7 @@ fn losing_all_replicas_is_a_bounded_unavailable_refusal() {
         .request(&WireRequest::Subscribe(QuerySpec {
             query: "_* e _*".to_owned(),
             policy: String::new(),
+            strategy: String::new(),
             stages: false,
             run: RunAddr::Fingerprint(hi, lo),
             mode: WireMode::EntryExit,
@@ -605,6 +612,7 @@ fn corrupted_artifacts_rebuild_instead_of_corrupting_answers() {
         .query(QuerySpec {
             query: "_* e _*".to_owned(),
             policy: String::new(),
+            strategy: String::new(),
             stages: false,
             run: RunAddr::Index(0),
             mode: WireMode::AllPairsFull,

@@ -241,6 +241,11 @@ impl ServeClient {
     /// Wait up to `timeout` for the next pushed delta. `Ok(None)`
     /// means the window passed quietly — the subscription is still
     /// standing, call again.
+    ///
+    /// Large deltas arrive chunked (a [`WireResponse::DeltaStream`]
+    /// header followed by [`WireResponse::Chunk`] frames, mirroring
+    /// the query path's `OutcomeStream`); they are reassembled here,
+    /// so callers never see the chunking.
     pub fn next_delta(&mut self, timeout: Duration) -> Result<Option<(u64, WireResult)>, RpqError> {
         self.stream
             .set_read_timeout(Some(timeout))
@@ -249,6 +254,29 @@ impl ServeClient {
         let _ = self.stream.set_read_timeout(None);
         match read? {
             Some(WireResponse::Delta { seq, added }) => Ok(Some((seq, added))),
+            Some(WireResponse::DeltaStream { seq, mut added }) => {
+                // The header is in hand, so the chunks are already on
+                // the wire (blocking mode was restored above): drain
+                // them into the empty header payload.
+                loop {
+                    let frame = protocol::read_message(&mut self.stream)?.ok_or_else(|| {
+                        RpqError::invalid("server closed the connection mid-delta".to_owned())
+                    })?;
+                    match frame {
+                        WireResponse::Chunk { last, part } => {
+                            added.absorb_chunk(part)?;
+                            if last {
+                                return Ok(Some((seq, added)));
+                            }
+                        }
+                        other => {
+                            return Err(RpqError::invalid(format!(
+                                "expected a delta chunk mid-stream, got {other:?}"
+                            )))
+                        }
+                    }
+                }
+            }
             Some(other) => Err(unexpected(other)),
             None => Ok(None),
         }
@@ -265,7 +293,9 @@ impl ServeClient {
                 RpqError::invalid("server closed the connection before responding".to_owned())
             })? {
                 WireResponse::Unsubscribed => return Ok(()),
-                WireResponse::Delta { .. } => {}
+                WireResponse::Delta { .. }
+                | WireResponse::DeltaStream { .. }
+                | WireResponse::Chunk { .. } => {}
                 other => return Err(unexpected(other)),
             }
         }

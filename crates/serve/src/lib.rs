@@ -60,6 +60,7 @@
 //!     .query(QuerySpec {
 //!         query: "_*".to_owned(),
 //!         policy: String::new(),
+//!         strategy: String::new(),
 //!         run: RunAddr::Index(0),
 //!         stages: false,
 //!         mode: WireMode::EntryExit,

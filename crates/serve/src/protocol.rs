@@ -44,8 +44,14 @@ pub const MAGIC: [u8; 4] = *b"RPQN";
 /// [`WireResponse::Metrics`] with a mergeable registry snapshot and
 /// the slow-query ring, the per-request stage breakdown in
 /// [`WireOutcome::stages`], and the retry / config-warning counters in
-/// [`WireStatsReply`].)
-pub const VERSION: u8 = 5;
+/// [`WireStatsReply`]; v6 added the lazy product-graph evaluation
+/// strategy — [`QuerySpec::strategy`], the resolved
+/// [`WireOutcome::strategy`] / [`WireOutcome::product_states`], the
+/// strategy / expansion counters in [`WireStatsReply`] — and chunked
+/// subscription pushes: a [`WireResponse::DeltaStream`] header followed
+/// by [`WireResponse::Chunk`] frames when one delta outgrows the
+/// server's chunk bound.)
+pub const VERSION: u8 = 6;
 
 /// Hard cap on one frame's payload (64 MiB) — bounds the allocation a
 /// length prefix can demand before a single payload byte is read.
@@ -125,6 +131,10 @@ pub struct QuerySpec {
     /// Subquery policy by CLI name (`cost` / `memo` / `naive`); empty
     /// means the server's default.
     pub policy: String,
+    /// Evaluation strategy by CLI name (`auto` / `lazy` /
+    /// `materialized`); empty means the server's process-wide default
+    /// (its `RPQ_EVAL_STRATEGY` / `--strategy` setting).
+    pub strategy: String,
     /// Which stored run to evaluate over.
     pub run: RunAddr,
     /// Ship the per-stage timing breakdown in the outcome. Stage
@@ -283,6 +293,12 @@ pub struct WireOutcome {
     pub closure_scc: u64,
     /// Candidate nodes the request ranged over.
     pub nodes_touched: u64,
+    /// `lazy` or `materialized` — the *resolved* evaluation strategy
+    /// that answered (an `auto` request reports what auto picked).
+    pub strategy: String,
+    /// `(dfa_state, node)` product states the lazy engine expanded;
+    /// 0 for materialized evaluations.
+    pub product_states: u64,
     /// Server-side evaluation time in microseconds (excludes transport).
     pub micros: u64,
     /// Per-stage timing breakdown in microseconds, self-time per stage
@@ -317,6 +333,8 @@ impl WireOutcome {
             closure_bits: outcome.meta.closures.bits,
             closure_scc: outcome.meta.closures.scc,
             nodes_touched: outcome.meta.nodes_touched as u64,
+            strategy: outcome.meta.strategy.name().to_owned(),
+            product_states: outcome.meta.product_states,
             micros,
             stages: Vec::new(),
         }
@@ -443,6 +461,14 @@ pub struct WireStatsReply {
     /// default (`RPQ_RELALG_KERNEL` etc.); the last warning's text
     /// travels as a note in the metrics snapshot.
     pub config_warnings: u64,
+    /// Evaluations answered by the lazy product-graph engine
+    /// (`rpq_core::lazy_counts`).
+    pub strategy_lazy: u64,
+    /// Evaluations answered by the materialized plan path.
+    pub strategy_materialized: u64,
+    /// `(dfa_state, node)` product states the lazy engine expanded,
+    /// process-wide.
+    pub lazy_expansions: u64,
 }
 
 /// One latency histogram on the wire: per-bucket counts in
@@ -614,6 +640,17 @@ pub enum WireResponse {
     },
     /// The server left push mode; request/response resumes.
     Unsubscribed,
+    /// Header of a chunked subscription push: a [`WireResponse::Delta`]
+    /// whose `added` payload outgrew the server's chunk bound. Carries
+    /// the growth sequence and an *empty* result of the correct kind;
+    /// the newly derived answers follow in [`WireResponse::Chunk`]
+    /// frames, exactly like an [`WireResponse::OutcomeStream`].
+    DeltaStream {
+        /// Growth sequence this delta was evaluated at.
+        seq: u64,
+        /// Empty placeholder of the delta's result kind.
+        added: WireResult,
+    },
     /// Header of a chunked query outcome: the metadata of
     /// [`WireResponse::Outcome`] whose `result` field is an *empty*
     /// result of the correct kind; the actual matches follow in
@@ -830,6 +867,7 @@ mod tests {
             round_trip(WireRequest::Query(QuerySpec {
                 query: "_* a _*".to_owned(),
                 policy: "cost".to_owned(),
+                strategy: "lazy".to_owned(),
                 stages: false,
                 run: RunAddr::Fingerprint(0xdead, 0xbeef),
                 mode,
@@ -838,6 +876,7 @@ mod tests {
         round_trip(WireRequest::Query(QuerySpec {
             query: "a+".to_owned(),
             policy: String::new(),
+            strategy: String::new(),
             stages: false,
             run: RunAddr::Index(2),
             mode: WireMode::EntryExit,
@@ -868,6 +907,7 @@ mod tests {
         round_trip(WireRequest::Subscribe(QuerySpec {
             query: "untrusted _* publish".to_owned(),
             policy: String::new(),
+            strategy: String::new(),
             stages: false,
             run: RunAddr::Index(1),
             mode: WireMode::EntryExit,
@@ -937,6 +977,8 @@ mod tests {
                 closure_bits: 1,
                 closure_scc: 2,
                 nodes_touched: 2,
+                strategy: "materialized".to_owned(),
+                product_states: 0,
                 micros: 17,
                 stages: vec![("plan".to_owned(), 3), ("eval".to_owned(), 11)],
             }));
@@ -971,6 +1013,8 @@ mod tests {
             closure_bits: 0,
             closure_scc: 0,
             nodes_touched: 9,
+            strategy: "lazy".to_owned(),
+            product_states: 120,
             micros: 4,
             stages: Vec::new(),
         }));
@@ -1017,6 +1061,28 @@ mod tests {
         round_trip(WireResponse::Stats(WireStatsReply {
             retries: 4,
             config_warnings: 1,
+            ..WireStatsReply::default()
+        }));
+    }
+
+    #[test]
+    fn v6_strategy_and_delta_stream_frames_round_trip() {
+        round_trip(WireRequest::Query(QuerySpec {
+            query: "a+".to_owned(),
+            policy: String::new(),
+            strategy: "materialized".to_owned(),
+            stages: true,
+            run: RunAddr::Index(0),
+            mode: WireMode::EntryExit,
+        }));
+        round_trip(WireResponse::DeltaStream {
+            seq: 9,
+            added: WireResult::Pairs(Vec::new()),
+        });
+        round_trip(WireResponse::Stats(WireStatsReply {
+            strategy_lazy: 12,
+            strategy_materialized: 30,
+            lazy_expansions: 4096,
             ..WireStatsReply::default()
         }));
     }

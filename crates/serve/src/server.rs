@@ -46,7 +46,7 @@ use crate::protocol::{
     self, error_kind, QuerySpec, RunAddr, WireAppended, WireMetricsReply, WireOutcome, WireRequest,
     WireResponse, WireResult, WireRunInfo, WireStatsReply,
 };
-use rpq_core::{PreparedQuery, RpqError, Session, SubqueryPolicy};
+use rpq_core::{EvalStrategy, PreparedQuery, RpqError, Session, SubqueryPolicy};
 use rpq_labeling::EventBatch;
 use rpq_obs::{Counter, Histogram, MetricsSnapshot, Registry, SlowLog, SlowQuery};
 use rpq_store::{OpenRun, RunId, RunStore};
@@ -85,6 +85,11 @@ pub struct ServeConfig {
     pub cache: Option<usize>,
     /// Default subquery policy for requests that don't name one.
     pub policy: SubqueryPolicy,
+    /// Default evaluation strategy for requests that don't name one
+    /// ([`QuerySpec::strategy`]). The CLI seeds this from `--strategy`
+    /// / `RPQ_EVAL_STRATEGY`; `Auto` lets the cost model pick per
+    /// request.
+    pub strategy: EvalStrategy,
     /// Idle keep-alive bound: a connection that sends no request for
     /// this long is closed cleanly. Idle connections are parked with
     /// the readiness poller (they pin no worker); this bounds how long
@@ -126,6 +131,7 @@ impl Default for ServeConfig {
             queue: 64,
             cache: None,
             policy: SubqueryPolicy::CostBased,
+            strategy: rpq_core::eval_strategy(),
             idle_timeout: Duration::from_secs(60),
             deadline: Duration::from_secs(30),
             chunk_entries: 65_536,
@@ -159,8 +165,9 @@ struct Counters {
 }
 
 /// Every stage name the serving path can report (tracing spans in
-/// `Session::evaluate`, the store loader, and the server itself).
-const STAGE_NAMES: [&str; 5] = ["plan", "index", "csr", "eval", "store_load"];
+/// `Session::evaluate` — including the lazy engine's product-search
+/// span — the store loader, and the server itself).
+const STAGE_NAMES: [&str; 6] = ["plan", "index", "csr", "eval", "lazy_expand", "store_load"];
 
 impl Counters {
     fn new(registry: &Registry) -> Counters {
@@ -359,6 +366,7 @@ pub struct Server {
     queue_cap: usize,
     cache: Option<usize>,
     policy: SubqueryPolicy,
+    strategy: EvalStrategy,
     idle_timeout: Duration,
     deadline: Duration,
     chunk_entries: usize,
@@ -427,6 +435,7 @@ impl Server {
             queue_cap: config.queue.max(1),
             cache: config.cache,
             policy: config.policy,
+            strategy: config.strategy,
             idle_timeout: config.idle_timeout,
             deadline: config.deadline,
             chunk_entries: config.chunk_entries.max(1),
@@ -1080,22 +1089,45 @@ impl Server {
     /// The untimed body of [`Server::evaluate`] — separated so the
     /// trace frame opened around it is always closed, even on `?` exits.
     fn evaluate_inner(&self, spec: &QuerySpec) -> Result<rpq_core::QueryOutcome, RpqError> {
-        let policy = if spec.policy.is_empty() {
-            self.policy
-        } else {
-            SubqueryPolicy::from_cli_name(&spec.policy).ok_or_else(|| {
-                RpqError::invalid(format!(
-                    "invalid policy {:?}: valid policies are {}",
-                    spec.policy,
-                    SubqueryPolicy::NAMES.join(", ")
-                ))
-            })?
-        };
+        let policy = self.resolve_policy(spec)?;
+        let strategy = self.resolve_strategy(spec)?;
         let id = self.resolve(&spec.run)?;
         let run = self.store.run(id)?;
         let request = spec.mode.to_request(&run)?;
         let query = self.session.prepare_with(&spec.query, policy)?;
-        Ok(self.session.evaluate(&query, &run, &request))
+        Ok(self
+            .session
+            .evaluate_with_strategy(&query, &run, &request, strategy))
+    }
+
+    /// The request's subquery policy, or the server default when the
+    /// spec leaves it empty.
+    fn resolve_policy(&self, spec: &QuerySpec) -> Result<SubqueryPolicy, RpqError> {
+        if spec.policy.is_empty() {
+            return Ok(self.policy);
+        }
+        SubqueryPolicy::from_cli_name(&spec.policy).ok_or_else(|| {
+            RpqError::invalid(format!(
+                "invalid policy {:?}: valid policies are {}",
+                spec.policy,
+                SubqueryPolicy::NAMES.join(", ")
+            ))
+        })
+    }
+
+    /// The request's evaluation strategy, or the server default when
+    /// the spec leaves it empty.
+    fn resolve_strategy(&self, spec: &QuerySpec) -> Result<EvalStrategy, RpqError> {
+        if spec.strategy.is_empty() {
+            return Ok(self.strategy);
+        }
+        EvalStrategy::from_name(&spec.strategy).ok_or_else(|| {
+            RpqError::invalid(format!(
+                "invalid strategy {:?}: valid strategies are {}",
+                spec.strategy,
+                EvalStrategy::NAMES.join(", ")
+            ))
+        })
     }
 
     /// Record one evaluated query into the registry (latency and
@@ -1205,7 +1237,10 @@ impl Server {
         snap: &rpq_store::LiveSnapshot,
     ) -> Result<WireResult, RpqError> {
         let request = spec.mode.to_request(&snap.run)?;
-        let outcome = self.session.evaluate(query, &snap.run, &request);
+        let strategy = self.resolve_strategy(spec)?;
+        let outcome = self
+            .session
+            .evaluate_with_strategy(query, &snap.run, &request, strategy);
         Ok(WireResult::from_result(&outcome.result))
     }
 
@@ -1219,17 +1254,10 @@ impl Server {
         // Stand the query up. Any setup failure is an ordinary error
         // response and the connection stays in request/response mode.
         let stood = (|| {
-            let policy = if spec.policy.is_empty() {
-                self.policy
-            } else {
-                SubqueryPolicy::from_cli_name(&spec.policy).ok_or_else(|| {
-                    RpqError::invalid(format!(
-                        "invalid policy {:?}: valid policies are {}",
-                        spec.policy,
-                        SubqueryPolicy::NAMES.join(", ")
-                    ))
-                })?
-            };
+            let policy = self.resolve_policy(&spec)?;
+            // Validate now so a bad strategy name fails the subscribe,
+            // not the first delta push.
+            self.resolve_strategy(&spec)?;
             let id = self.resolve(&spec.run)?;
             let open = self.open(id)?;
             let query = self.session.prepare_with(&spec.query, policy)?;
@@ -1322,17 +1350,76 @@ impl Server {
                     }
                 };
                 if let Some(added) = wire_added(&retained, &now) {
-                    let delta = WireResponse::Delta {
-                        seq: snap.seq,
-                        added,
-                    };
-                    if protocol::write_message(stream, &delta).is_err() {
+                    if self.write_delta(stream, snap.seq, &added).is_err() {
                         return SubExit::Close;
                     }
                 }
                 retained = now;
             }
         }
+    }
+
+    /// Push one delta, streaming oversized payloads exactly like a
+    /// chunked query outcome: a [`WireResponse::DeltaStream`] header
+    /// (the sequence plus an empty result of the right kind) followed
+    /// by bounded [`WireResponse::Chunk`] frames — an append landing
+    /// thousands of new pairs never builds one huge push frame.
+    fn write_delta(
+        &self,
+        stream: &mut TcpStream,
+        seq: u64,
+        added: &WireResult,
+    ) -> Result<(), RpqError> {
+        if added.len() <= self.chunk_entries {
+            return protocol::write_message(
+                stream,
+                &WireResponse::Delta {
+                    seq,
+                    added: added.clone(),
+                },
+            );
+        }
+        let header = WireResponse::DeltaStream {
+            seq,
+            added: added.empty_like(),
+        };
+        protocol::write_message(stream, &header)?;
+        match added {
+            WireResult::Pairs(pairs) => {
+                let slices = pairs.chunks(self.chunk_entries);
+                let n = slices.len();
+                for (i, slice) in slices.enumerate() {
+                    let frame = WireResponse::Chunk {
+                        last: i + 1 == n,
+                        part: WireResult::Pairs(slice.to_vec()),
+                    };
+                    protocol::write_message(stream, &frame)?;
+                }
+            }
+            WireResult::Nodes(nodes) => {
+                let slices = nodes.chunks(self.chunk_entries);
+                let n = slices.len();
+                for (i, slice) in slices.enumerate() {
+                    let frame = WireResponse::Chunk {
+                        last: i + 1 == n,
+                        part: WireResult::Nodes(slice.to_vec()),
+                    };
+                    protocol::write_message(stream, &frame)?;
+                }
+            }
+            // A verdict never exceeds the chunk bound; unreachable, but
+            // close the stream coherently if it ever does.
+            WireResult::Bool(_) => {
+                protocol::write_message(
+                    stream,
+                    &WireResponse::Chunk {
+                        last: true,
+                        part: added.clone(),
+                    },
+                )?;
+            }
+        }
+        Ok(())
     }
 
     /// One non-blocking peek at a subscribed connection: nothing
@@ -1380,6 +1467,7 @@ impl Server {
         let session = self.session.stats();
         let store = self.store.stats();
         let closures = rpq_relalg::closure_counts();
+        let lazy = rpq_core::lazy_counts();
         WireStatsReply {
             plan_hits: session.plan_hits,
             plan_misses: session.plan_misses,
@@ -1406,6 +1494,9 @@ impl Server {
             subscriptions: self.counters.subscriptions.get(),
             retries: rpq_obs::global().counter("rpq_connect_retries_total").get(),
             config_warnings: rpq_relalg::config_warnings(),
+            strategy_lazy: lazy.lazy_evals,
+            strategy_materialized: lazy.materialized_evals,
+            lazy_expansions: lazy.expansions,
         }
     }
 
@@ -1426,6 +1517,7 @@ impl Server {
         let session = self.session.stats();
         let store = self.store.stats();
         let closures = rpq_relalg::closure_counts();
+        let lazy = rpq_core::lazy_counts();
         let derived = MetricsSnapshot {
             counters: vec![
                 (
@@ -1444,6 +1536,7 @@ impl Server {
                     "rpq_config_warnings_total".to_owned(),
                     rpq_relalg::config_warnings(),
                 ),
+                ("rpq_lazy_expansions_total".to_owned(), lazy.expansions),
                 ("rpq_plan_cache_hits_total".to_owned(), session.plan_hits),
                 (
                     "rpq_plan_cache_misses_total".to_owned(),
@@ -1468,6 +1561,14 @@ impl Server {
                     store.tag_rebuilds,
                 ),
                 ("rpq_store_tag_reloads_total".to_owned(), store.tag_reloads),
+                (
+                    "rpq_strategy_total{strategy=\"lazy\"}".to_owned(),
+                    lazy.lazy_evals,
+                ),
+                (
+                    "rpq_strategy_total{strategy=\"materialized\"}".to_owned(),
+                    lazy.materialized_evals,
+                ),
             ],
             gauges: vec![
                 ("rpq_store_epoch".to_owned(), store.epoch as i64),

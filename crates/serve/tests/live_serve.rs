@@ -119,6 +119,7 @@ fn append_over_the_wire_matches_in_process_replay() {
             .query(QuerySpec {
                 query: query.to_owned(),
                 policy: String::new(),
+                strategy: String::new(),
                 stages: false,
                 run: RunAddr::Index(0),
                 mode: WireMode::AllPairsFull,
@@ -168,6 +169,7 @@ fn subscription_streams_delta_answers_only() {
         .subscribe(QuerySpec {
             query: "_*".to_owned(),
             policy: String::new(),
+            strategy: String::new(),
             stages: false,
             run: RunAddr::Index(0),
             mode: WireMode::AllPairsFull,
@@ -222,6 +224,74 @@ fn subscription_streams_delta_answers_only() {
 }
 
 #[test]
+fn oversized_deltas_stream_in_chunks_and_reassemble() {
+    // Satellite regression: a pushed delta larger than the server's
+    // `chunk_entries` bound goes out as a `DeltaStream` header plus
+    // `Chunk` frames (mirroring the query path's `OutcomeStream`) and
+    // the client reassembles it transparently — same convergence, no
+    // re-sends, with single frames bounded.
+    let fix = live(
+        "chunked_delta",
+        11,
+        110,
+        3,
+        ServeConfig {
+            workers: 4,
+            chunk_entries: 4,
+            ..ServeConfig::default()
+        },
+    );
+    let mut watcher = connect(fix.addr);
+    let (seq0, initial) = watcher
+        .subscribe(QuerySpec {
+            query: "_*".to_owned(),
+            policy: String::new(),
+            strategy: String::new(),
+            stages: false,
+            run: RunAddr::Index(0),
+            mode: WireMode::AllPairsFull,
+        })
+        .unwrap();
+
+    let mut appender = connect(fix.addr);
+    for batch in &fix.batches {
+        appender.append(RunAddr::Index(0), batch.clone()).unwrap();
+    }
+
+    let expected = pairs_of(&referee(
+        &fix.referee,
+        "_*",
+        &fix.full,
+        &WireMode::AllPairsFull,
+    ));
+    let mut accumulated = pairs_of(&initial);
+    let mut largest_delta = 0usize;
+    let mut last_seq = seq0;
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while accumulated != expected {
+        assert!(Instant::now() < deadline, "chunked deltas never converged");
+        if let Some((seq, added)) = watcher.next_delta(Duration::from_millis(500)).unwrap() {
+            assert!(seq > last_seq, "push sequence must be monotone");
+            last_seq = seq;
+            let pairs = pairs_of(&added);
+            largest_delta = largest_delta.max(pairs.len());
+            for pair in pairs {
+                assert!(accumulated.insert(pair), "pair {pair:?} was re-pushed");
+            }
+        }
+    }
+    // `_*` over all pairs grows by well over 4 entries per append on
+    // this stream, so the chunked path demonstrably ran.
+    assert!(
+        largest_delta > 4,
+        "no delta exceeded chunk_entries ({largest_delta}); the test lost its teeth"
+    );
+    watcher.unsubscribe().unwrap();
+    watcher.ping().unwrap();
+    let _ = std::fs::remove_dir_all(&fix.dir);
+}
+
+#[test]
 fn verdict_subscription_fires_when_reachability_appears() {
     // The monitoring scenario: stand a verdict query up and get pushed
     // a single `Bool(true)` the moment the property becomes reachable.
@@ -253,6 +323,7 @@ fn verdict_subscription_fires_when_reachability_appears() {
         .subscribe(QuerySpec {
             query: query.to_owned(),
             policy: String::new(),
+            strategy: String::new(),
             stages: false,
             run: RunAddr::Index(0),
             mode: WireMode::EntryExit,
@@ -317,6 +388,7 @@ fn idle_keepalive_closes_quiet_connections_but_not_subscribers() {
         .subscribe(QuerySpec {
             query: "_*".to_owned(),
             policy: String::new(),
+            strategy: String::new(),
             stages: false,
             run: RunAddr::Index(0),
             mode: WireMode::AllPairsFull,
@@ -358,6 +430,7 @@ fn shutdown_drains_an_active_subscriber() {
         .subscribe(QuerySpec {
             query: "_*".to_owned(),
             policy: String::new(),
+            strategy: String::new(),
             stages: false,
             run: RunAddr::Index(0),
             mode: WireMode::EntryExit,

@@ -16,7 +16,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 /// Stage names the serving path may report; anything else is a typo.
-const STAGE_GLOSSARY: [&str; 5] = ["plan", "index", "csr", "eval", "store_load"];
+const STAGE_GLOSSARY: [&str; 6] = ["plan", "index", "csr", "eval", "lazy_expand", "store_load"];
 
 fn temp_dir(name: &str) -> PathBuf {
     let dir = std::env::temp_dir()
@@ -66,6 +66,7 @@ fn spec_query(run: u64) -> QuerySpec {
     QuerySpec {
         query: "_*".to_owned(),
         policy: String::new(),
+        strategy: String::new(),
         run: RunAddr::Index(run),
         stages: true,
         mode: WireMode::EntryExit,

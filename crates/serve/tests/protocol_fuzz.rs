@@ -23,6 +23,7 @@ fn seed_frames() -> Vec<Vec<u8>> {
         encode_frame(&WireRequest::Query(QuerySpec {
             query: "_* a _*".to_owned(),
             policy: "cost".to_owned(),
+            strategy: String::new(),
             stages: false,
             run: RunAddr::Fingerprint(0xdead, 0xbeef),
             mode: WireMode::AllPairs(vec![0, 1, 2], vec![2, 1]),

@@ -139,6 +139,7 @@ proptest! {
             .query(QuerySpec {
                 query: query.to_owned(),
                 policy: String::new(),
+                strategy: String::new(),
                 stages: false,
                 run: addr,
                 mode: mode.clone(),
@@ -171,6 +172,7 @@ fn concurrent_clients_all_match_the_referee() {
                         .query(QuerySpec {
                             query: query.to_owned(),
                             policy: String::new(),
+                            strategy: String::new(),
                             stages: false,
                             run: RunAddr::Index(run_idx as u64),
                             mode: mode.clone(),
@@ -191,6 +193,7 @@ fn failures_are_error_responses_and_the_connection_survives() {
     let spec = |query: &str, run: RunAddr, mode: WireMode, policy: &str| QuerySpec {
         query: query.to_owned(),
         policy: policy.to_owned(),
+        strategy: String::new(),
         run,
         stages: false,
         mode,

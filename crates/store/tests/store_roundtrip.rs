@@ -77,10 +77,11 @@ fn persist_reload_identical_outcomes_and_warm_counters() {
     assert_eq!(stats.tag_rebuilds, 0);
     assert_eq!(stats.csr_rebuilds, 0);
     // ...and the session consumed them instead of building its own:
-    // its caches were seeded, so evaluations hit (csr_hits > 0 — the
-    // composite plan closed over the warm CSR arena) and nothing was
-    // ever derived session-side.
-    assert!(outcome.stats.index_hits > 0);
+    // its caches were seeded, so evaluations hit. Whichever evaluation
+    // strategy the session resolves to, the composite plan closes over
+    // the warm CSR arena (the lazy product search reads it directly
+    // and skips the tag index entirely, so only csr_hits is pinned)
+    // and nothing was ever derived session-side.
     assert!(
         outcome.stats.csr_hits > 0,
         "warm CSR arenas must be consumed"

@@ -53,12 +53,16 @@
 //! selects the relational kernel for joins/fixpoints: `auto`
 //! (density-based, the default), `bits` (blocked bitsets), `pairs`
 //! (sorted pairs + hash joins) or `scc` (Tarjan condensation for every
-//! transitive closure) — the A/B switch of `rpq-relalg`.
+//! transitive closure) — the A/B switch of `rpq-relalg`. `--strategy`
+//! selects the evaluation strategy: `auto` (cost model picks, the
+//! default), `lazy` (on-the-fly DFA×graph product search) or
+//! `materialized` (the relational pipeline) — the A/B switch of
+//! `rpq_core::lazy`.
 //!
 //! Every failure surfaces as [`RpqError`] — the CLI has no error type
 //! of its own.
 
-use rpq_core::{BatchOptions, QueryRequest, RpqError, Session, SubqueryPolicy};
+use rpq_core::{BatchOptions, EvalStrategy, QueryRequest, RpqError, Session, SubqueryPolicy};
 use rpq_grammar::Specification;
 use rpq_labeling::{EventBatch, Run, RunBuilder, RunStats};
 use rpq_router::{Router, RouterConfig};
@@ -99,31 +103,36 @@ USAGE:
   rpq simulate <SPEC> --edges N [--seed S] [--fork CYCLE] [--out FILE] [--stream B]
   rpq query <SPEC> <QUERY> [--run FILE | --edges N --seed S]
             [--from NODE] [--to NODE] [--limit K] [--policy P] [--kernel K]
+            [--strategy S]
   rpq stats (--run FILE | <SPEC> --edges N [--seed S])
   rpq store <SPEC> --dir DIR [--ingest N] [--edges M] [--seed S] [--add FILE]
             [--open rID --events FILE] [--remove FP|rID] [--gc]
   rpq batch <QUERY> --store DIR [--threads N] [--cache C] [--policy P] [--kernel K]
+            [--strategy S]
   rpq serve <SPEC> --store DIR [--addr HOST:PORT] [--workers N] [--queue Q]
-            [--cache C] [--policy P] [--kernel K] [--idle-timeout SECS]
-            [--deadline SECS] [--chunk ENTRIES] [--slow-ms MS]
-            [--metrics-addr HOST:PORT]
+            [--cache C] [--policy P] [--kernel K] [--strategy S]
+            [--idle-timeout SECS] [--deadline SECS] [--chunk ENTRIES]
+            [--slow-ms MS] [--metrics-addr HOST:PORT]
   rpq router --backend HOST:PORT [--backend HOST:PORT ...] [--addr HOST:PORT]
             [--replicas R] [--workers N] [--queue Q] [--deadline-ms MS]
             [--probe-ms MS] [--sync-ms MS|off] [--cooldown-ms MS] [--eject-after K]
             [--metrics-addr HOST:PORT]
   rpq request query <QUERY> --addr HOST:PORT [--index I | --fp HEX]
-            [--mode MODE] [--from U] [--to V] [--policy P] [--limit K]
+            [--mode MODE] [--from U] [--to V] [--policy P] [--strategy S]
+            [--limit K]
   rpq request append --addr HOST:PORT --events FILE [--index I | --fp HEX]
   rpq request metrics --addr HOST:PORT [--text]
   rpq request (stats | runs | ping | shutdown) --addr HOST:PORT
   rpq watch <QUERY> --addr HOST:PORT [--index I | --fp HEX] [--mode MODE]
-            [--from U] [--to V] [--policy P] [--limit K] [--max-deltas N]
+            [--from U] [--to V] [--policy P] [--strategy S] [--limit K]
+            [--max-deltas N]
 
-SPEC:   fig2 | fork | bioaid | qblast | path to a JSON specification
-NODE:   module:occurrence, e.g. a:2 (numeric node indexes for `request`)
-POLICY: cost (default) | memo | naive
-KERNEL: auto (default) | bits | pairs | scc
-MODE:   pairwise | entry-exit | all-pairs | source-star | target-star | reachable
+SPEC:     fig2 | fork | bioaid | qblast | path to a JSON specification
+NODE:     module:occurrence, e.g. a:2 (numeric node indexes for `request`)
+POLICY:   cost (default) | memo | naive
+KERNEL:   auto (default) | bits | pairs | scc
+STRATEGY: auto (default) | lazy | materialized
+MODE:     pairwise | entry-exit | all-pairs | source-star | target-star | reachable
 ";
 
 /// Resolve a spec argument.
@@ -220,6 +229,33 @@ fn apply_kernel(options: &[(&str, &str)]) -> Result<rpq_relalg::KernelMode, RpqE
         })?,
     };
     rpq_relalg::set_kernel_mode(mode);
+    Ok(mode)
+}
+
+/// Parse `--strategy` without touching process state; absent means the
+/// process-wide default (`RPQ_EVAL_STRATEGY` or `auto`). `query`
+/// threads the parsed mode through `evaluate_with_strategy` and
+/// `serve` through `ServeConfig`, so concurrent invocations (the test
+/// harness) never race on the global.
+fn parse_strategy(options: &[(&str, &str)]) -> Result<EvalStrategy, RpqError> {
+    match opt(options, "strategy") {
+        None => Ok(rpq_core::eval_strategy()),
+        Some(name) => EvalStrategy::from_name(name).ok_or_else(|| {
+            RpqError::invalid(format!(
+                "invalid --strategy {name:?}: valid strategies are {}",
+                EvalStrategy::NAMES.join(", ")
+            ))
+        }),
+    }
+}
+
+/// Apply `--strategy` process-wide (for `batch`, whose executor calls
+/// `Session::evaluate` on a pool and has no per-call override).
+fn apply_strategy(options: &[(&str, &str)]) -> Result<EvalStrategy, RpqError> {
+    let mode = parse_strategy(options)?;
+    if opt(options, "strategy").is_some() {
+        rpq_core::set_eval_strategy(mode);
+    }
     Ok(mode)
 }
 
@@ -379,26 +415,37 @@ fn cmd_query(args: &[String]) -> Result<String, RpqError> {
     };
     let policy = parse_policy(&options)?;
     let kernel = apply_kernel(&options)?;
+    let strategy = parse_strategy(&options)?;
     let session = Session::from_spec(spec);
     let query = session.prepare_with(query_text, policy)?;
 
     let mut out = String::new();
     writeln!(
         out,
-        "query: {query_text}\nsafe: {} (safe subqueries: {}, DFA states: {}, policy: {}, kernel: {})",
+        "query: {query_text}\nsafe: {} (safe subqueries: {}, DFA states: {}, policy: {}, \
+         kernel: {}, strategy: {})",
         query.is_safe(),
         query.stats().n_safe_subqueries,
         query.stats().dfa_states,
         query.stats().policy.cli_name(),
         kernel.name(),
+        strategy.name(),
     )
     .expect("write to string");
 
-    // Which closure algorithm(s) actually ran (kernel mode is intent;
-    // this is fact) — printed only when the plan closed something.
-    let closure_note = |out: &mut String, closures: rpq_relalg::ClosureCounts| {
-        if closures.total() > 0 {
-            writeln!(out, "closures: {}", closures.summary()).expect("write to string");
+    // Which closure algorithm(s) actually ran, and which strategy
+    // answered (the header modes are intent; these are fact).
+    let closure_note = |out: &mut String, meta: &rpq_core::EvalMeta| {
+        if meta.closures.total() > 0 {
+            writeln!(out, "closures: {}", meta.closures.summary()).expect("write to string");
+        }
+        if meta.strategy == EvalStrategy::Lazy {
+            writeln!(
+                out,
+                "lazy product search: {} product state(s) expanded",
+                meta.product_states
+            )
+            .expect("write to string");
         }
     };
     let resolve = |name: &str| -> Result<rpq_labeling::NodeId, RpqError> {
@@ -408,14 +455,19 @@ fn cmd_query(args: &[String]) -> Result<String, RpqError> {
     match (opt(&options, "from"), opt(&options, "to")) {
         (Some(f), Some(t)) => {
             let (u, v) = (resolve(f)?, resolve(t)?);
-            let outcome = session.evaluate(&query, &run, &QueryRequest::pairwise(u, v));
+            let outcome = session.evaluate_with_strategy(
+                &query,
+                &run,
+                &QueryRequest::pairwise(u, v),
+                strategy,
+            );
             writeln!(
                 out,
                 "{f} -R-> {t} : {}",
                 outcome.as_bool().expect("pairwise")
             )
             .expect("write to string");
-            closure_note(&mut out, outcome.meta.closures);
+            closure_note(&mut out, &outcome.meta);
         }
         (from, to) => {
             let request = match (from, to) {
@@ -427,7 +479,7 @@ fn cmd_query(args: &[String]) -> Result<String, RpqError> {
                 }
             };
             let limit: usize = parse_num(opt(&options, "limit").unwrap_or("20"), "--limit")?;
-            let outcome = session.evaluate(&query, &run, &request);
+            let outcome = session.evaluate_with_strategy(&query, &run, &request, strategy);
             let result = outcome.as_pairs().expect("pair-producing request");
             writeln!(out, "matches: {}", result.len()).expect("write to string");
             for (u, v) in result.iter().take(limit) {
@@ -443,7 +495,7 @@ fn cmd_query(args: &[String]) -> Result<String, RpqError> {
                 writeln!(out, "  … {} more (raise --limit)", result.len() - limit)
                     .expect("write to string");
             }
-            closure_note(&mut out, outcome.meta.closures);
+            closure_note(&mut out, &outcome.meta);
         }
     }
     Ok(out)
@@ -617,6 +669,7 @@ fn cmd_batch(args: &[String]) -> Result<String, RpqError> {
     let threads: usize = parse_num(opt(&options, "threads").unwrap_or("0"), "--threads")?;
     let policy = parse_policy(&options)?;
     let kernel = apply_kernel(&options)?;
+    let strategy = apply_strategy(&options)?;
     // The session shares the store's specification, so prepared plans
     // and stored runs always agree. `--cache` bounds both the
     // session's per-run index caches and the store's in-memory
@@ -644,11 +697,13 @@ fn cmd_batch(args: &[String]) -> Result<String, RpqError> {
     let mut out = String::new();
     writeln!(
         out,
-        "batch: {query_text} entry→exit over {} run(s) ({} thread(s), policy: {}, kernel: {})",
+        "batch: {query_text} entry→exit over {} run(s) ({} thread(s), policy: {}, kernel: {}, \
+         strategy: {})",
         outcome.items.len(),
         outcome.threads,
         query.stats().policy.cli_name(),
         kernel.name(),
+        strategy.name(),
     )
     .expect("write to string");
     let mut matched = 0usize;
@@ -729,6 +784,7 @@ fn cmd_serve(args: &[String]) -> Result<String, RpqError> {
         )));
     }
     let kernel = apply_kernel(&options)?;
+    let strategy = parse_strategy(&options)?;
     let config = ServeConfig {
         addr: opt(&options, "addr").unwrap_or("127.0.0.1:0").to_owned(),
         workers: parse_num(opt(&options, "workers").unwrap_or("0"), "--workers")?,
@@ -738,6 +794,7 @@ fn cmd_serve(args: &[String]) -> Result<String, RpqError> {
             None => None,
         },
         policy: parse_policy(&options)?,
+        strategy,
         idle_timeout: Duration::from_secs(parse_num(
             opt(&options, "idle-timeout").unwrap_or("60"),
             "--idle-timeout",
@@ -761,11 +818,12 @@ fn cmd_serve(args: &[String]) -> Result<String, RpqError> {
     // shutdown): harnesses scrape this line for the ephemeral port.
     println!(
         "rpq-serve listening on {addr} ({} worker(s), queue {}, {warmed} run(s) warm, \
-         policy {}, kernel {})",
+         policy {}, kernel {}, strategy {})",
         server.workers(),
         config.queue,
         config.policy.cli_name(),
         kernel.name(),
+        config.strategy.name(),
     );
     if let Some(maddr) = server.metrics_local_addr() {
         println!("metrics listening on {maddr}");
@@ -915,6 +973,7 @@ fn cmd_request(args: &[String]) -> Result<String, RpqError> {
                  store:   tag reloads {}, csr reloads {}, tag rebuilds {}, csr rebuilds {}\n\
                  live:    epoch {}, {} append(s) ({} forced rebuild(s)), {} subscription(s)\n\
                  closures: pairs {}, bits {}, scc {}\n\
+                 strategy: lazy {}, materialized {}, {} product state(s) expanded\n\
                  retries: {} reconnect/failover backoff(s), {} config warning(s)\n",
                 s.store_runs,
                 s.accepted,
@@ -939,6 +998,9 @@ fn cmd_request(args: &[String]) -> Result<String, RpqError> {
                 s.closures_pairs,
                 s.closures_bits,
                 s.closures_scc,
+                s.strategy_lazy,
+                s.strategy_materialized,
+                s.lazy_expansions,
                 s.retries,
                 s.config_warnings,
             ))
@@ -1094,6 +1156,7 @@ fn cmd_request_query(
     let outcome = client.query(QuerySpec {
         query: query.to_owned(),
         policy: opt(options, "policy").unwrap_or("").to_owned(),
+        strategy: opt(options, "strategy").unwrap_or("").to_owned(),
         run: parse_run_addr(options)?,
         // The CLI is interactive: ask for the per-stage breakdown
         // (bulk clients leave it off — it costs wire bytes per reply).
@@ -1104,15 +1167,24 @@ fn cmd_request_query(
     let mut out = String::new();
     writeln!(
         out,
-        "query: {query} @ {addr}\nplan: {}, index cache: {}, kernel: {}, \
+        "query: {query} @ {addr}\nplan: {}, strategy: {}, index cache: {}, kernel: {}, \
          {} node(s) touched, {} µs server-side",
         outcome.plan_kind,
+        outcome.strategy,
         outcome.index_cache,
         outcome.kernel,
         outcome.nodes_touched,
         outcome.micros
     )
     .expect("write to string");
+    if outcome.product_states > 0 {
+        writeln!(
+            out,
+            "lazy product search: {} product state(s) expanded",
+            outcome.product_states
+        )
+        .expect("write to string");
+    }
     if outcome.closure_pairs + outcome.closure_bits + outcome.closure_scc > 0 {
         writeln!(
             out,
@@ -1171,6 +1243,7 @@ fn cmd_watch(args: &[String]) -> Result<String, RpqError> {
     let (seq, initial) = client.subscribe(QuerySpec {
         query: (*query).to_owned(),
         policy: opt(&options, "policy").unwrap_or("").to_owned(),
+        strategy: opt(&options, "strategy").unwrap_or("").to_owned(),
         run: parse_run_addr(&options)?,
         stages: false,
         mode: parse_wire_mode(&options)?,
@@ -1343,9 +1416,23 @@ mod tests {
     fn kernels_are_selectable_and_agree() {
         let mut outputs = Vec::new();
         for kernel in ["bits", "pairs", "scc", "auto"] {
+            // Forced materialized: the closure accounting below is a
+            // relational-path fact (auto may route small runs to the
+            // lazy product engine, which closes nothing).
             let out = run(&[
-                "query", "fig2", "_* a _*", "--edges", "80", "--seed", "3", "--policy", "naive",
-                "--kernel", kernel,
+                "query",
+                "fig2",
+                "_* a _*",
+                "--edges",
+                "80",
+                "--seed",
+                "3",
+                "--policy",
+                "naive",
+                "--kernel",
+                kernel,
+                "--strategy",
+                "materialized",
             ])
             .unwrap();
             assert!(out.contains(&format!("kernel: {kernel}")), "{out}");
@@ -1379,6 +1466,51 @@ mod tests {
         assert!(
             message.contains("bits") && message.contains("scc"),
             "{message}"
+        );
+    }
+
+    #[test]
+    fn strategies_are_selectable_and_agree() {
+        let mut outputs = Vec::new();
+        for strategy in ["auto", "lazy", "materialized"] {
+            let out = run(&[
+                "query",
+                "fig2",
+                "_* a _*",
+                "--edges",
+                "80",
+                "--seed",
+                "3",
+                "--policy",
+                "naive",
+                "--from",
+                "c:1",
+                "--strategy",
+                strategy,
+            ])
+            .unwrap();
+            assert!(out.contains(&format!("strategy: {strategy}")), "{out}");
+            if strategy == "lazy" {
+                // The resolved strategy surfaces as fact, with its
+                // product-state accounting.
+                assert!(out.contains("lazy product search:"), "{out}");
+            }
+            let matches = out
+                .lines()
+                .find(|l| l.starts_with("matches:"))
+                .expect("matches line")
+                .to_owned();
+            outputs.push(matches);
+        }
+        // Both engines (and the cost-model dispatcher) answer
+        // identically.
+        assert!(outputs.iter().all(|o| o == &outputs[0]), "{outputs:?}");
+
+        let err = run(&["query", "fig2", "_*", "--strategy", "eager"]).unwrap_err();
+        let message = err.to_string();
+        assert!(
+            message.contains("lazy") && message.contains("materialized"),
+            "error must list valid strategies: {message}"
         );
     }
 
@@ -1418,8 +1550,20 @@ mod tests {
         assert!(out.contains("5 run(s)"), "{out}");
 
         // A safe query decodes labels only: the batch never touches
-        // the store's artifacts (no reloads, no rebuilds).
-        let out = run(&["batch", "_* e _*", "--store", &dir, "--threads", "2"]).unwrap();
+        // the store's artifacts (no reloads, no rebuilds). Forced
+        // materialized — under a forced-lazy environment the batch
+        // would legitimately pull warm CSR arenas even for safe plans.
+        let out = run(&[
+            "batch",
+            "_* e _*",
+            "--store",
+            &dir,
+            "--threads",
+            "2",
+            "--strategy",
+            "materialized",
+        ])
+        .unwrap();
         assert!(out.contains("over 5 run(s)"), "{out}");
         assert!(out.contains("matched"), "{out}");
         assert!(out.contains("tag reloads 0"), "{out}");
@@ -1427,6 +1571,9 @@ mod tests {
 
         // A composite query (with a bounded cache) consumes the warm
         // store: reload counters move, rebuilds stay at zero.
+        // Forced materialized: the tag-reload accounting is a
+        // relational-path fact (the lazy engine never fetches the tag
+        // index).
         let out = run(&[
             "batch",
             "_* a _*",
@@ -1438,9 +1585,12 @@ mod tests {
             "2",
             "--policy",
             "naive",
+            "--strategy",
+            "materialized",
         ])
         .unwrap();
         assert!(out.contains("policy: naive"), "{out}");
+        assert!(out.contains("strategy: materialized"), "{out}");
         assert!(out.contains("tag reloads 5"), "{out}");
         assert!(out.contains("tag rebuilds 0"), "{out}");
 
@@ -1592,9 +1742,38 @@ mod tests {
         .unwrap();
         assert!(out.contains("reachable:"), "{out}");
 
+        // A forced strategy rides the wire and the resolved choice
+        // comes back in the reply.
+        for strategy in ["lazy", "materialized"] {
+            let out = run(&[
+                "request",
+                "query",
+                "_* a _*",
+                "--addr",
+                &addr,
+                "--from",
+                "0",
+                "--strategy",
+                strategy,
+            ])
+            .unwrap();
+            assert!(out.contains(&format!("strategy: {strategy}")), "{out}");
+        }
+
         // Server-side failures surface as errors, not hangs.
         let err = run(&["request", "query", "(((", "--addr", &addr]).unwrap_err();
         assert!(err.to_string().contains("parse"), "{err}");
+        let err = run(&[
+            "request",
+            "query",
+            "_*",
+            "--addr",
+            &addr,
+            "--strategy",
+            "eager",
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("valid strategies"), "{err}");
 
         let stats = run(&["request", "stats", "--addr", &addr]).unwrap();
         assert!(stats.contains("2 run(s) stored"), "{stats}");

@@ -84,9 +84,9 @@ pub use rpq_workloads as workloads;
 pub mod prelude {
     pub use rpq_automata::{Regex, Symbol};
     pub use rpq_core::{
-        BatchOptions, BatchOutcome, PlanKind, PlanStats, PreparedQuery, QueryOutcome, QueryPlan,
-        QueryRequest, QueryResult, RpqError, RunSource, SafeQueryPlan, Session, SessionStats,
-        SubqueryPolicy,
+        BatchOptions, BatchOutcome, EvalStrategy, PlanKind, PlanStats, PreparedQuery, QueryOutcome,
+        QueryPlan, QueryRequest, QueryResult, RpqError, RunSource, SafeQueryPlan, Session,
+        SessionStats, SubqueryPolicy,
     };
     pub use rpq_grammar::{ModuleId, ProductionId, Specification, SpecificationBuilder, Tag};
     pub use rpq_labeling::{NodeId, Run, RunBuilder};

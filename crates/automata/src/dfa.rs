@@ -118,6 +118,18 @@ impl Dfa {
         Dfa::from_parts(n_symbols, table, start, accepting)
     }
 
+    /// Do the invariants [`Dfa::from_parts`] asserts hold? Serde
+    /// deserialization bypasses that constructor, so loaders of
+    /// persisted DFAs must check before trusting the table shape.
+    pub fn is_well_formed(&self) -> bool {
+        let n = self.n_states as usize;
+        n > 0
+            && self.accepting.len() == n
+            && self.table.len() == n * self.n_symbols as usize
+            && (self.start as usize) < n
+            && self.table.iter().all(|&t| (t as usize) < n)
+    }
+
     /// Number of states (including any dead state).
     pub fn n_states(&self) -> usize {
         self.n_states as usize

@@ -70,9 +70,10 @@ fn main() {
         // recorded together as the repo's perf baseline.
         let path = "BENCH_relalg.json";
         match rpq_bench::kernelbench::run_and_record(scale == Scale::Full, path) {
-            Ok((kernels, strategies)) => {
-                println!("{}", kernels.render());
-                println!("{}", strategies.render());
+            Ok(tables) => {
+                for t in tables {
+                    println!("{}", t.render());
+                }
                 println!("baseline written to {path}\n");
             }
             Err(e) => eprintln!("cannot write {path}: {e}"),

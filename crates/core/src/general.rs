@@ -15,8 +15,8 @@ use rpq_automata::{compile_minimal_dfa, Regex};
 use rpq_grammar::{Specification, Tag};
 use rpq_labeling::{NodeId, Run};
 use rpq_relalg::{
-    compose_in, transitive_closure_csr, transitive_closure_in, CsrIndex, NodePairSet, Relation,
-    TagIndex,
+    compose_in, transitive_closure_csr, transitive_closure_csr_shared, transitive_closure_in,
+    CondensationCache, CsrIndex, NodePairSet, Relation, TagIndex,
 };
 
 /// How safe subqueries inside a decomposed plan are evaluated.
@@ -293,6 +293,12 @@ pub struct EvalCtx<'a> {
     pub universe: &'a [NodeId],
     /// The subquery-evaluation policy.
     pub policy: SubqueryPolicy,
+    /// The evaluation-scoped condensation cache: a plan with k
+    /// SCC-kernel tag closures runs Tarjan once over the run's full
+    /// adjacency and schedules the other k−1 closures off the cached
+    /// component DAG. `None` (plus `csr: None`) keeps hand-rolled
+    /// contexts working; the session entry points always wire one in.
+    pub condensations: Option<&'a CondensationCache>,
 }
 
 /// Evaluate a composite plan node to a relation over the run.
@@ -442,8 +448,20 @@ fn regex_uses_csr(re: &Regex) -> bool {
 /// its pair set otherwise.
 fn closure_of(inner: &PlanNode, ctx: &EvalCtx<'_>) -> NodePairSet {
     match (inner, ctx.csr) {
-        (PlanNode::Sym(tag), Some(csr)) => transitive_closure_csr(csr.csr(*tag)),
-        (PlanNode::Wildcard, Some(csr)) => transitive_closure_csr(csr.all()),
+        // Tag/wildcard closures share one evaluation-scoped Tarjan
+        // condensation of the full adjacency (`csr.all()` is a
+        // super-graph of every per-tag arena, so its component DAG
+        // soundly schedules them all). Derived relations — the `_` arm
+        // below — are *not* sub-graphs of the run's edges and must not
+        // reuse it.
+        (PlanNode::Sym(tag), Some(csr)) => match ctx.condensations {
+            Some(cache) => transitive_closure_csr_shared(csr.csr(*tag), csr.all(), cache),
+            None => transitive_closure_csr(csr.csr(*tag)),
+        },
+        (PlanNode::Wildcard, Some(csr)) => match ctx.condensations {
+            Some(cache) => transitive_closure_csr_shared(csr.all(), csr.all(), cache),
+            None => transitive_closure_csr(csr.all()),
+        },
         _ => {
             let base = eval_node(inner, ctx);
             transitive_closure_in(&base.pairs, ctx.run.n_nodes())
@@ -515,6 +533,7 @@ pub fn all_pairs_csr(
         QueryPlan::Safe(p) => all_pairs_filtered(p, spec, run, l1, l2),
         QueryPlan::Composite(node, policy) => {
             let universe: Vec<NodeId> = run.node_ids().collect();
+            let condensations = CondensationCache::new();
             let ctx = EvalCtx {
                 spec,
                 run,
@@ -522,6 +541,7 @@ pub fn all_pairs_csr(
                 csr,
                 universe: &universe,
                 policy: *policy,
+                condensations: Some(&condensations),
             };
             // Kernel-dispatched endpoint selection: the dense closures
             // relational plans end in AND a target mask into each bit
@@ -558,6 +578,7 @@ pub fn pairwise_csr(
         QueryPlan::Safe(p) => p.pairwise(run, u, v),
         QueryPlan::Composite(node, policy) => {
             let universe: Vec<NodeId> = run.node_ids().collect();
+            let condensations = CondensationCache::new();
             let ctx = EvalCtx {
                 spec,
                 run,
@@ -565,6 +586,7 @@ pub fn pairwise_csr(
                 csr,
                 universe: &universe,
                 policy: *policy,
+                condensations: Some(&condensations),
             };
             eval_node(node, &ctx).contains(u, v)
         }

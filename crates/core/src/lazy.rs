@@ -109,17 +109,22 @@ static STRATEGY: AtomicU8 = AtomicU8::new(STRATEGY_UNSET);
 fn strategy_from_env() -> EvalStrategy {
     match std::env::var("RPQ_EVAL_STRATEGY") {
         Err(_) => EvalStrategy::Auto,
-        Ok(raw) => EvalStrategy::from_env_value(&raw).unwrap_or_else(|message| {
-            // Same contract as RPQ_RELALG_KERNEL: the first evaluation
-            // is a poor place to abort, so warn once (the strategy is
-            // cached after this read), fall back to the default — and
-            // leave a trackable trace in the shared config-warning
-            // counter so stats/metrics scrapes surface it.
-            rpq_relalg::record_config_warning(&message);
-            eprintln!("warning: {message}; falling back to `auto`");
-            EvalStrategy::Auto
-        }),
+        Ok(raw) => strategy_from_raw(&raw),
     }
+}
+
+/// Resolve a raw `RPQ_EVAL_STRATEGY` value with the same
+/// warn-and-fall-back contract as `RPQ_RELALG_KERNEL`, through the same
+/// [`rpq_relalg::warn_config_fallback`] helper: the first evaluation is
+/// a poor place to abort, so warn once (the strategy is cached after
+/// this read), fall back to the default — and leave a trackable trace
+/// in the shared config-warning counter so stats/metrics scrapes
+/// surface it.
+fn strategy_from_raw(raw: &str) -> EvalStrategy {
+    EvalStrategy::from_env_value(raw).unwrap_or_else(|message| {
+        rpq_relalg::warn_config_fallback(&message, "auto");
+        EvalStrategy::Auto
+    })
 }
 
 /// The evaluation strategy in force for this process.
@@ -509,6 +514,28 @@ mod tests {
                 "error must name the valid values: {err}"
             );
         }
+    }
+
+    #[test]
+    fn bad_strategy_value_counts_as_config_warning() {
+        // Regression: the `RPQ_EVAL_STRATEGY` warn-and-fall-back path
+        // must feed the shared config-warning counters exactly like
+        // `RPQ_RELALG_KERNEL` does (both now route through
+        // `rpq_relalg::warn_config_fallback`). It used to print the
+        // warning without recording it, leaving metrics scrapes blind
+        // to strategy typos.
+        let before = rpq_relalg::config_warnings();
+        assert_eq!(strategy_from_raw("eager"), EvalStrategy::Auto);
+        assert_eq!(rpq_relalg::config_warnings(), before + 1);
+        let last = rpq_relalg::last_config_warning()
+            .expect("a config warning must be recorded, not just printed");
+        assert!(last.contains("RPQ_EVAL_STRATEGY"), "{last}");
+        assert!(last.contains("eager"), "{last}");
+
+        // Valid and empty values must not count as warnings.
+        assert_eq!(strategy_from_raw("lazy"), EvalStrategy::Lazy);
+        assert_eq!(strategy_from_raw(""), EvalStrategy::Auto);
+        assert_eq!(rpq_relalg::config_warnings(), before + 1);
     }
 
     #[test]

@@ -57,4 +57,4 @@ pub use plan::{PlanError, SafeQueryPlan};
 pub use portgraph::BodyMatrices;
 pub use request::{EvalMeta, IndexCacheUse, PlanKind, QueryOutcome, QueryRequest, QueryResult};
 pub use safety::{check_safety, SafetyOutcome};
-pub use session::{PlanStats, PreparedQuery, Session, SessionStats};
+pub use session::{PlanStats, PlanStore, PreparedQuery, Session, SessionStats};

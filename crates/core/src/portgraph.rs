@@ -19,9 +19,10 @@
 use crate::matrix::StateMatrix;
 use rpq_automata::{Dfa, Symbol};
 use rpq_grammar::SimpleWorkflow;
+use serde::{Deserialize, Serialize};
 
 /// All port-to-port closures of one production body.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BodyMatrices {
     /// `between[i * n + j]`: out(i) → in(j). Zero matrix when no path.
     between: Vec<StateMatrix>,
@@ -133,6 +134,27 @@ impl BodyMatrices {
     /// body input → body output (candidate λ of the head).
     pub fn head(&self) -> &StateMatrix {
         &self.head
+    }
+
+    /// Number of body nodes these matrices cover.
+    pub fn n_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Do the invariants [`BodyMatrices::compute`] establishes hold
+    /// for a DFA of dimension `q`? Serde deserialization bypasses the
+    /// constructor, so loaders of persisted matrices must check.
+    pub fn is_well_formed(&self, q: usize) -> bool {
+        self.between.len() == self.n * self.n
+            && self.up.len() == self.n
+            && self.down.len() == self.n
+            && self
+                .between
+                .iter()
+                .chain(self.up.iter())
+                .chain(self.down.iter())
+                .chain(std::iter::once(&self.head))
+                .all(|m| m.dim() == q && m.is_well_formed())
     }
 }
 

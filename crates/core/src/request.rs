@@ -98,6 +98,13 @@ pub struct EvalMeta {
     /// may have condensed one fixpoint and run another semi-naive).
     /// All-zero for safe plans and closure-free composite plans.
     pub closures: rpq_relalg::ClosureCounts,
+    /// How the SCC-kernel closures above sourced their Tarjan
+    /// condensation: `computed` counts fresh condensations of the run's
+    /// adjacency, `reused` counts closures answered off the
+    /// evaluation-scoped [`rpq_relalg::CondensationCache`] (a plan with
+    /// k eligible tag closures reports `computed == 1, reused == k - 1`).
+    /// All-zero whenever no SCC-kernel closure ran.
+    pub condensations: rpq_relalg::CondensationCounts,
     /// Candidate nodes the request ranged over (2 for pairwise,
     /// `|l1| + |l2|` for list modes).
     pub nodes_touched: usize,

@@ -293,6 +293,31 @@ struct PlanKey {
     policy: SubqueryPolicy,
 }
 
+/// A persistence hook for compiled safe plans.
+///
+/// A session's in-memory plan cache dies with the process; stores
+/// implementing this trait give safe-plan compilation a durable tier:
+/// on a cache miss the session asks `load` before compiling (a
+/// restarted service reuses plans a previous process compiled), and
+/// hands every freshly compiled fully-safe plan to `store`.
+///
+/// Implementations own keying, durability and validation — a `load`
+/// must only return plans that verify against the session's
+/// specification (see [`SafeQueryPlan::restore`]); returning `None`
+/// makes the session recompile, so a corrupt or mismatched persisted
+/// plan degrades to a cold compile, never a wrong answer.
+pub trait PlanStore: Send + Sync {
+    /// A previously persisted plan for `(canon, policy)`, already
+    /// validated and ready to evaluate, or `None` to recompile.
+    fn load(&self, canon: &str, policy: SubqueryPolicy) -> Option<SafeQueryPlan>;
+
+    /// Persist a freshly compiled fully-safe plan. `source` is the
+    /// query's display rendering — re-parseable, so services can warm
+    /// their session from persisted plans at startup. Best-effort: a
+    /// failed write only costs a future recompile.
+    fn store(&self, canon: &str, source: &str, policy: SubqueryPolicy, plan: &SafeQueryPlan);
+}
+
 /// A query session bound to one workflow specification.
 ///
 /// Sessions are `Send + Sync`: the specification is shared behind an
@@ -302,6 +327,8 @@ struct PlanKey {
 pub struct Session {
     spec: Arc<Specification>,
     plans: Mutex<HashMap<PlanKey, PreparedQuery>>,
+    /// Durable tier under the in-memory plan cache; see [`PlanStore`].
+    plan_store: Option<Arc<dyn PlanStore>>,
     indexes: Mutex<LruMap<Arc<TagIndex>>>,
     /// CSR adjacency arenas (per-tag + wildcard), cached per run beside
     /// the tag indexes: composite evaluations feed them to the
@@ -337,6 +364,7 @@ impl Session {
         Session {
             spec,
             plans: Mutex::new(HashMap::new()),
+            plan_store: None,
             indexes: Mutex::new(LruMap::new()),
             csrs: Mutex::new(LruMap::new()),
             plan_hits: AtomicU64::new(0),
@@ -353,6 +381,14 @@ impl Session {
     /// Open a session, taking ownership of the specification.
     pub fn from_spec(spec: Specification) -> Session {
         Session::new(Arc::new(spec))
+    }
+
+    /// Attach a durable plan tier: safe-plan cache misses consult
+    /// `store` before compiling, and freshly compiled fully-safe plans
+    /// are handed to it for persistence. See [`PlanStore`].
+    pub fn with_plan_store(mut self, store: Arc<dyn PlanStore>) -> Session {
+        self.plan_store = Some(store);
+        self
     }
 
     /// Bound each per-run cache (tag indexes and CSR arenas) to at most
@@ -470,10 +506,34 @@ impl Session {
         // it between the planner, the stats and the safety verdict.
         let dfa = Arc::new(compile_minimal_dfa(regex, self.spec.n_tags()));
         let dfa_states = dfa.n_states();
+        let source = source();
         let plan = match policy {
             // The naive policy plans without safety analysis.
             SubqueryPolicy::AlwaysRelational => {
                 general::plan_query_with(&self.spec, regex, policy)?
+            }
+            // Fully-safe plans have a durable tier: a persisted plan
+            // (validated by the store) skips the safety analysis and
+            // port-graph closure computation; a fresh compile that
+            // lands fully safe is handed back for persistence. Leaf
+            // queries never compile safe plans, so they skip the tier.
+            _ if self.plan_store.is_some() && !general::is_leaf(regex) => {
+                let store = self.plan_store.as_ref().expect("checked above");
+                match store.load(&key.canon, policy) {
+                    Some(plan) => QueryPlan::Safe(plan),
+                    None => {
+                        let plan = general::plan_query_with_dfa(
+                            &self.spec,
+                            regex,
+                            policy,
+                            (*dfa).clone(),
+                        )?;
+                        if let QueryPlan::Safe(safe) = &plan {
+                            store.store(&key.canon, &source, policy, safe);
+                        }
+                        plan
+                    }
+                }
             }
             _ => general::plan_query_with_dfa(&self.spec, regex, policy, (*dfa).clone())?,
         };
@@ -504,7 +564,7 @@ impl Session {
         let prepared = PreparedQuery {
             inner: Arc::new(PreparedInner {
                 spec: Arc::clone(&self.spec),
-                source: source(),
+                source,
                 regex: regex.clone(),
                 plan,
                 dfa,
@@ -757,6 +817,7 @@ impl Session {
         // Evaluation is synchronous on this thread, so the thread-local
         // closure counters bracket it exactly even under concurrency.
         let closures_before = rpq_relalg::thread_closure_counts();
+        let condensations_before = rpq_relalg::thread_condensation_counts();
 
         let eval_span = rpq_obs::Trace::span("eval");
         let (result, nodes_touched) = match request {
@@ -806,6 +867,7 @@ impl Session {
                 index_cache,
                 kernel: rpq_relalg::kernel_mode(),
                 closures: rpq_relalg::thread_closure_counts().since(closures_before),
+                condensations: rpq_relalg::thread_condensation_counts().since(condensations_before),
                 nodes_touched,
                 strategy: EvalStrategy::Materialized,
                 product_states: 0,
@@ -843,8 +905,23 @@ impl Session {
         };
         let n = run.n_nodes() as f64;
         let m = run.n_edges() as f64;
+        // The reversed-DFA `TargetStar` search walks the *transposed
+        // arenas*, whose per-tag predecessor lists are deduplicated
+        // pair sets — so its edge budget is the run's distinct-triple
+        // count, not the raw event count. The two differ on stores
+        // whose histories re-append existing edges (live streams
+        // routinely do); charging the raw forward count there
+        // over-priced the reversed walk and flipped `auto` to
+        // materialized on exactly the append-heavy runs where the
+        // backward search is cheapest. Forward modes keep the raw
+        // count: it is the conservative bound that holds full-universe
+        // all-pairs requests on the materialized path.
+        let m_lazy = match request {
+            QueryRequest::TargetStar(_) => run.n_distinct_edges() as f64,
+            _ => m,
+        };
         let states = query.inner.stats.dfa_states.max(1) as f64;
-        let lazy_cost = n_searches * states * (n + m);
+        let lazy_cost = n_searches * states * (n + m_lazy);
         let materialized_cost = (m * n.max(1.0).sqrt()).min(n * n).max(n);
         lazy_cost < materialized_cost
     }
@@ -861,6 +938,7 @@ impl Session {
     ) -> QueryOutcome {
         let (csr, index_cache) = self.csr_for(run);
         let closures_before = rpq_relalg::thread_closure_counts();
+        let condensations_before = rpq_relalg::thread_condensation_counts();
         let expansions_before = lazy::thread_expansions();
         let eval_span = rpq_obs::Trace::span("eval");
         let mut engine = LazyEval::new(query.dfa(), &csr, self.spec.n_tags());
@@ -900,6 +978,7 @@ impl Session {
                 index_cache,
                 kernel: rpq_relalg::kernel_mode(),
                 closures: rpq_relalg::thread_closure_counts().since(closures_before),
+                condensations: rpq_relalg::thread_condensation_counts().since(condensations_before),
                 nodes_touched,
                 strategy: EvalStrategy::Lazy,
                 product_states: lazy::thread_expansions() - expansions_before,
@@ -992,7 +1071,7 @@ impl std::fmt::Debug for Session {
 mod tests {
     use super::*;
     use rpq_grammar::SpecificationBuilder;
-    use rpq_labeling::RunBuilder;
+    use rpq_labeling::{EventBatch, RunBuilder, RunEdge};
 
     fn spec() -> Specification {
         let mut b = SpecificationBuilder::new();
@@ -1149,6 +1228,124 @@ mod tests {
         let outcome = session.evaluate(&safe, &run, &QueryRequest::entry_exit());
         assert_eq!(outcome.meta.closures, rpq_relalg::ClosureCounts::default());
         rpq_relalg::set_kernel_mode(before);
+    }
+
+    #[test]
+    fn k_tag_closures_condense_exactly_once() {
+        let _guard = KERNEL_MODE_LOCK.lock().expect("kernel mode lock");
+        let before = rpq_relalg::kernel_mode();
+        rpq_relalg::set_kernel_mode(rpq_relalg::KernelMode::ForceScc);
+        let session = Session::from_spec(spec());
+        let run = RunBuilder::new(session.spec())
+            .seed(6)
+            .target_edges(60)
+            .build()
+            .unwrap();
+        // Three distinct closures in one plan, alternated so every
+        // branch evaluates (a concat chain short-circuits on empty
+        // intermediates, and repeated subqueries are deduplicated by
+        // plan compilation): Tarjan runs once over the run's full
+        // adjacency, the other two closures — the wildcard one
+        // included — reuse the cached component DAG.
+        let q = session
+            .prepare_with("go+ | done+ | _+", SubqueryPolicy::AlwaysRelational)
+            .unwrap();
+        let star = QueryRequest::source_star(run.entry());
+        let outcome = session.evaluate_with_strategy(&q, &run, &star, EvalStrategy::Materialized);
+        assert_eq!(outcome.meta.closures.scc, 3, "{:?}", outcome.meta.closures);
+        assert_eq!(
+            outcome.meta.condensations.computed, 1,
+            "{:?}",
+            outcome.meta.condensations
+        );
+        assert_eq!(
+            outcome.meta.condensations.reused, 2,
+            "{:?}",
+            outcome.meta.condensations
+        );
+        // The cache is evaluation-scoped: a fresh evaluation condenses
+        // afresh (and reuses again), it does not inherit the last one.
+        let outcome = session.evaluate_with_strategy(&q, &run, &star, EvalStrategy::Materialized);
+        assert_eq!(outcome.meta.condensations.computed, 1);
+        assert_eq!(outcome.meta.condensations.reused, 2);
+        // Lazy evaluations never condense.
+        let outcome = session.evaluate_with_strategy(&q, &run, &star, EvalStrategy::Lazy);
+        assert_eq!(
+            outcome.meta.condensations,
+            rpq_relalg::CondensationCounts::default()
+        );
+        rpq_relalg::set_kernel_mode(before);
+    }
+
+    #[test]
+    fn target_star_auto_boundary_charges_the_transposed_arena() {
+        // Regression: the reversed-DFA `TargetStar` search walks the
+        // deduplicated transposed arenas, so `auto` must charge it the
+        // run's distinct-triple count — not the raw event count, which
+        // a live stream re-appending existing edges inflates
+        // arbitrarily. Forward modes keep the conservative raw charge,
+        // so the two sides of the decision boundary diverge on exactly
+        // such runs.
+        let session = Session::from_spec(spec());
+        let q = session
+            .prepare_with("go+", SubqueryPolicy::AlwaysRelational)
+            .unwrap();
+        let mut run = RunBuilder::new(session.spec())
+            .seed(4)
+            .target_edges(60)
+            .build()
+            .unwrap();
+        let duplicates: Vec<RunEdge> = run
+            .node_ids()
+            .flat_map(|u| {
+                run.out_edges(u)
+                    .iter()
+                    .map(move |&(v, tag)| RunEdge {
+                        src: u,
+                        dst: v,
+                        tag,
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let n = run.n_nodes() as f64;
+        let s = q.inner.stats.dfa_states.max(1) as f64;
+        let mat = |m_raw: f64| (m_raw * n.sqrt()).min(n * n).max(n);
+        // Re-append the existing edges until the *raw* charge for one
+        // search crosses the materialized estimate. The distinct count
+        // never moves, so the run ends up straddling the boundary.
+        for _ in 0..200 {
+            let m_raw = run.n_edges() as f64;
+            if s * (n + m_raw) >= mat(m_raw) {
+                break;
+            }
+            run = run
+                .apply_events(&EventBatch {
+                    nodes: Vec::new(),
+                    edges: duplicates.clone(),
+                })
+                .unwrap();
+        }
+        let m_raw = run.n_edges() as f64;
+        let m_distinct = run.n_distinct_edges() as f64;
+        assert!(m_distinct < m_raw);
+        assert!(
+            s * (n + m_raw) >= mat(m_raw),
+            "raw-charged search must look more expensive than materializing"
+        );
+        assert!(
+            s * (n + m_distinct) < mat(m_raw),
+            "distinct-charged search must undercut it"
+        );
+        // The boundary: backward search lazy, forward search (same run,
+        // same plan, still raw-charged) materialized.
+        let target = QueryRequest::target_star(run.exit());
+        assert!(session.auto_picks_lazy(&q, &run, &target));
+        assert!(!session.auto_picks_lazy(&q, &run, &QueryRequest::source_star(run.entry())));
+        // End to end: `Auto` resolves — and reports — lazy for the
+        // backward search on this run.
+        let outcome = session.evaluate_with_strategy(&q, &run, &target, EvalStrategy::Auto);
+        assert_eq!(outcome.meta.strategy, EvalStrategy::Lazy);
     }
 
     #[test]

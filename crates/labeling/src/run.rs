@@ -86,6 +86,10 @@ pub struct Run {
     /// close cycles, and label-based query plans must know.
     #[serde(skip)]
     acyclic: std::sync::OnceLock<bool>,
+    /// Lazily computed distinct-edge count (see
+    /// [`Run::n_distinct_edges`]).
+    #[serde(skip)]
+    distinct_edges: std::sync::OnceLock<usize>,
 }
 
 /// Structural equality: two runs are equal iff their event histories
@@ -133,6 +137,7 @@ impl Run {
             exit,
             fingerprint: std::sync::OnceLock::new(),
             acyclic: std::sync::OnceLock::new(),
+            distinct_edges: std::sync::OnceLock::new(),
         }
     }
 
@@ -182,6 +187,7 @@ impl Run {
             exit,
             fingerprint: std::sync::OnceLock::new(),
             acyclic: std::sync::OnceLock::new(),
+            distinct_edges: std::sync::OnceLock::new(),
         })
     }
 
@@ -235,6 +241,25 @@ impl Run {
     /// Number of edges — the paper's run-size parameter.
     pub fn n_edges(&self) -> usize {
         self.edges.len()
+    }
+
+    /// Distinct `(src, tag, dst)` triples, computed once and cached —
+    /// the edge count of the deduplicated adjacency arenas (per-tag
+    /// CSR lists and their transposes) built over this run.
+    /// [`Run::n_edges`] counts raw events; histories that re-append an
+    /// existing edge (live streams routinely do) inflate it, while the
+    /// arenas a product search walks hold each triple exactly once.
+    pub fn n_distinct_edges(&self) -> usize {
+        *self.distinct_edges.get_or_init(|| {
+            let mut triples: Vec<(u32, u32, u32)> = self
+                .edges
+                .iter()
+                .map(|e| (e.src.0, e.tag.0, e.dst.0))
+                .collect();
+            triples.sort_unstable();
+            triples.dedup();
+            triples.len()
+        })
     }
 
     /// Node metadata.

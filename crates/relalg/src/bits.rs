@@ -15,6 +15,7 @@
 
 use crate::csr::CsrRelation;
 use crate::relation::NodePairSet;
+use crate::rowops;
 use rpq_labeling::NodeId;
 
 /// A dense boolean relation over `n` nodes, one blocked bitset row per
@@ -124,13 +125,9 @@ impl BitRelation {
     /// Word-wise union, in place. Returns whether `self` changed.
     pub fn union_in_place(&mut self, other: &BitRelation) -> bool {
         debug_assert_eq!(self.n_nodes, other.n_nodes);
-        let mut changed = false;
-        for (a, &b) in self.words.iter_mut().zip(&other.words) {
-            let next = *a | b;
-            changed |= next != *a;
-            *a = next;
-        }
-        changed
+        // One flat word-slice OR: rows share a stride, so the whole
+        // matrix is a single blocked pass.
+        rowops::or_into_changed(&mut self.words, &other.words)
     }
 
     /// Word-wise union.
@@ -144,9 +141,7 @@ impl BitRelation {
     pub fn difference(&self, other: &BitRelation) -> BitRelation {
         debug_assert_eq!(self.n_nodes, other.n_nodes);
         let mut out = self.clone();
-        for (a, &b) in out.words.iter_mut().zip(&other.words) {
-            *a &= !b;
-        }
+        rowops::andnot_into(&mut out.words, &other.words);
         out
     }
 
@@ -155,6 +150,7 @@ impl BitRelation {
     /// analogue of boolean matrix multiplication.
     pub fn compose(&self, other: &BitRelation) -> BitRelation {
         debug_assert_eq!(self.n_nodes, other.n_nodes);
+        let wpr = self.words_per_row;
         let mut out = BitRelation::new(self.n_nodes);
         for u in 0..self.n_nodes {
             let out_start = out.row_index(u);
@@ -164,9 +160,10 @@ impl BitRelation {
                     let v = (block << 6) + bits.trailing_zeros() as usize;
                     bits &= bits - 1;
                     let other_start = other.row_index(v);
-                    for k in 0..self.words_per_row {
-                        out.words[out_start + k] |= other.words[other_start + k];
-                    }
+                    rowops::or_into(
+                        &mut out.words[out_start..out_start + wpr],
+                        &other.words[other_start..other_start + wpr],
+                    );
                 }
             }
         }
@@ -178,15 +175,17 @@ impl BitRelation {
     /// `A ∘ dense B`.
     pub fn compose_csr(a: &CsrRelation, b: &BitRelation) -> BitRelation {
         debug_assert_eq!(a.n_nodes(), b.n_nodes);
+        let wpr = b.words_per_row;
         let mut out = BitRelation::new(b.n_nodes);
         for u in 0..a.n_nodes() as u32 {
             let out_start = out.row_index(u as usize);
-            for &v in a.neighbors_raw(u) {
-                let b_start = b.row_index(v as usize);
-                for k in 0..b.words_per_row {
-                    out.words[out_start + k] |= b.words[b_start + k];
-                }
-            }
+            rowops::or_gather_into(
+                &mut out.words[out_start..out_start + wpr],
+                a.neighbors_raw(u).iter().map(|&v| {
+                    let b_start = b.row_index(v as usize);
+                    &b.words[b_start..b_start + wpr]
+                }),
+            );
         }
         out
     }
@@ -204,6 +203,10 @@ impl BitRelation {
         let mut seen = self.clone();
         let mut delta = self.clone();
         let mut next = vec![0u64; wpr];
+        // Row starts of the current row's gather sources, batched so
+        // the blocked mode can consume them in pairs (one `next` pass
+        // per two base rows — see [`rowops::or_gather_into`]).
+        let mut gather: Vec<usize> = Vec::new();
         // Worklist of rows whose delta is non-empty: per-round cost is
         // proportional to the rows still growing, not to n (deep sparse
         // graphs would otherwise pay an n-row zero-scan per round).
@@ -218,26 +221,26 @@ impl BitRelation {
             for &u in &active {
                 let d_start = delta.row_index(u);
                 next.fill(0);
+                gather.clear();
                 for block in 0..wpr {
                     let mut bits = delta.words[d_start + block];
                     while bits != 0 {
                         let v = (block << 6) + bits.trailing_zeros() as usize;
                         bits &= bits - 1;
-                        let base = self.row_index(v);
-                        for (nw, &bw) in next.iter_mut().zip(&self.words[base..base + wpr]) {
-                            *nw |= bw;
-                        }
+                        gather.push(self.row_index(v));
                     }
                 }
+                rowops::or_gather_into(
+                    &mut next,
+                    gather.iter().map(|&base| &self.words[base..base + wpr]),
+                );
                 // new = next & !seen; seen |= new; delta[u] = new.
                 let s_start = seen.row_index(u);
-                let mut row_grew = false;
-                for (k, &nx) in next.iter().enumerate() {
-                    let new = nx & !seen.words[s_start + k];
-                    seen.words[s_start + k] |= new;
-                    delta.words[d_start + k] = new;
-                    row_grew |= new != 0;
-                }
+                let row_grew = rowops::claim_new(
+                    &next,
+                    &mut seen.words[s_start..s_start + wpr],
+                    &mut delta.words[d_start..d_start + wpr],
+                );
                 if row_grew {
                     still_active.push(u);
                 }
@@ -304,9 +307,7 @@ impl BitRelation {
             while i < dpairs.len() && dpairs[i].0 == u {
                 let v = dpairs[i].1.index();
                 step[v >> 6] |= 1 << (v & 63);
-                for (s, &w) in step.iter_mut().zip(self.row(v)) {
-                    *s |= w;
-                }
+                rowops::or_into(&mut step, self.row(v));
                 i += 1;
             }
             // Affected sources: u itself plus everything that already
@@ -319,13 +320,11 @@ impl BitRelation {
                     continue;
                 }
                 let s_start = x * wpr;
-                let mut grew = false;
-                for (k, &sw) in step.iter().enumerate() {
-                    let new = sw & !seen.words[s_start + k];
-                    seen.words[s_start + k] |= new;
-                    dl.words[s_start + k] |= new;
-                    grew |= new != 0;
-                }
+                let grew = rowops::claim_new_accum(
+                    &step,
+                    &mut seen.words[s_start..s_start + wpr],
+                    &mut dl.words[s_start..s_start + wpr],
+                );
                 if grew && !*on_wl {
                     *on_wl = true;
                     active.push(x);
@@ -354,21 +353,19 @@ impl BitRelation {
                         let w = (block << 6) + bits.trailing_zeros() as usize;
                         bits &= bits - 1;
                         let b_start = w * wpr;
-                        let base_row = &base.words[b_start..b_start + wpr];
-                        let old_row = &self.words[b_start..b_start + wpr];
-                        for (nx, (&bw, &cw)) in next.iter_mut().zip(base_row.iter().zip(old_row)) {
-                            *nx |= bw | cw;
-                        }
+                        rowops::or2_into(
+                            &mut next,
+                            &base.words[b_start..b_start + wpr],
+                            &self.words[b_start..b_start + wpr],
+                        );
                     }
                 }
                 let s_start = u * wpr;
-                let mut row_grew = false;
-                for (k, &nx) in next.iter().enumerate() {
-                    let new = nx & !seen.words[s_start + k];
-                    seen.words[s_start + k] |= new;
-                    dl.words[d_start + k] = new;
-                    row_grew |= new != 0;
-                }
+                let row_grew = rowops::claim_new(
+                    &next,
+                    &mut seen.words[s_start..s_start + wpr],
+                    &mut dl.words[d_start..d_start + wpr],
+                );
                 if row_grew {
                     still_active.push(u);
                 }

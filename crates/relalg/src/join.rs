@@ -190,6 +190,60 @@ pub fn transitive_closure_csr(base: &CsrRelation) -> NodePairSet {
     }
 }
 
+/// [`transitive_closure_csr`] with a shared, evaluation-scoped
+/// condensation: when the dispatch picks the SCC kernel, the Tarjan
+/// walk runs at most once per `cache` — over `whole`, the run's full
+/// adjacency (a super-graph of every per-tag `base`) — and the closure
+/// is scheduled off the cached component DAG
+/// ([`crate::scc::transitive_closure_scc_with`]). The non-SCC kernels
+/// are untouched, so a forced-`bits`/`pairs` A/B run never pays the
+/// condensation.
+pub fn transitive_closure_csr_shared(
+    base: &CsrRelation,
+    whole: &CsrRelation,
+    cache: &crate::scc::CondensationCache,
+) -> NodePairSet {
+    if base.n_edges() < 2 {
+        return base.to_pairs();
+    }
+    let kernel = choose_closure(base.n_nodes(), base.n_edges());
+    record_closure(kernel);
+    match kernel {
+        Kernel::Scc => {
+            crate::scc::transitive_closure_scc_with(cache.condensation(whole), base).to_pairs()
+        }
+        Kernel::Bits => BitRelation::from_csr(base).transitive_closure().to_pairs(),
+        Kernel::Pairs => transitive_closure_pairs(&base.to_pairs()),
+    }
+}
+
+/// Kernel-dispatched transitive closure materialized as a
+/// [`BitRelation`] — the shape live delta maintenance keeps warm
+/// ([`BitRelation::extend_closure`] seeds its delta rounds off it).
+/// Dispatches through [`choose_closure`] like every other closure
+/// entry point, so an auto-eligible sparse graph condenses instead of
+/// paying the semi-naive fixpoint. A `Pairs` verdict still runs the
+/// bit fixpoint (the caller's maintained structure is bit-shaped by
+/// definition) and is counted as the bits closure it actually is.
+pub fn transitive_closure_bitrel(r: &NodePairSet, n_nodes: usize) -> BitRelation {
+    let bits = BitRelation::from_pairs(r, n_nodes);
+    // A 0/1-pair base is its own closure; mirror the other entry
+    // points and skip dispatch (and its accounting) entirely.
+    if r.len() < 2 {
+        return bits;
+    }
+    match choose_closure(n_nodes, r.len()) {
+        Kernel::Scc => {
+            record_closure(Kernel::Scc);
+            crate::scc::transitive_closure_scc(&CsrRelation::from_pairs(r, n_nodes))
+        }
+        Kernel::Bits | Kernel::Pairs => {
+            record_closure(Kernel::Bits);
+            bits.transitive_closure()
+        }
+    }
+}
+
 /// Endpoint selection `r ↾ l1 × l2` with the **pair kernel**: one
 /// sorted merge over the pairs for the source restriction, then a
 /// binary-search probe per matched pair for the target restriction.

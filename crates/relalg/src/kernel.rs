@@ -120,13 +120,7 @@ fn mode_from_env() -> KernelMode {
     match std::env::var("RPQ_RELALG_KERNEL") {
         Err(_) => KernelMode::Auto,
         Ok(raw) => KernelMode::from_env_value(&raw).unwrap_or_else(|message| {
-            // The first kernel dispatch is a poor place to abort the
-            // process, so warn once (the mode is cached after this
-            // read) and run with the default dispatch — but leave a
-            // trackable trace: stderr scrolls away, the counter and
-            // last-warning text surface in stats/metrics snapshots.
-            record_config_warning(&message);
-            eprintln!("warning: {message}; falling back to `auto`");
+            warn_config_fallback(&message, "auto");
             KernelMode::Auto
         }),
     }
@@ -148,6 +142,18 @@ static LAST_CONFIG_WARNING: Mutex<Option<String>> = Mutex::new(None);
 pub fn record_config_warning(message: &str) {
     CONFIG_WARNINGS.fetch_add(1, Ordering::Relaxed);
     *LAST_CONFIG_WARNING.lock().expect("warning slot poisoned") = Some(message.to_owned());
+}
+
+/// The one warn-and-fallback path for every env-tunable knob
+/// (`RPQ_RELALG_KERNEL`, `RPQ_RELALG_ROWOPS`, `RPQ_EVAL_STRATEGY`):
+/// record the rejected value for stats/metrics snapshots *and* print
+/// the transient stderr line. The first dispatch that reads a knob is
+/// a poor place to abort the process, so callers fall back to
+/// `fallback` after this — stderr scrolls away, but the counter and
+/// last-warning text stay queryable in a scrape.
+pub fn warn_config_fallback(message: &str, fallback: &str) {
+    record_config_warning(message);
+    eprintln!("warning: {message}; falling back to `{fallback}`");
 }
 
 /// How many configuration warnings this process has emitted
@@ -280,6 +286,80 @@ pub fn closure_counts() -> ClosureCounts {
 /// and after an evaluation for an exact per-evaluation delta.
 pub fn thread_closure_counts() -> ClosureCounts {
     THREAD_CLOSURES.with(Cell::get)
+}
+
+/// How many SCC-kernel closures ran a fresh Tarjan walk versus reused
+/// an already-computed component DAG (see
+/// [`crate::scc::CondensationCache`]) — the ROADMAP's "condense once
+/// per evaluation, not once per closure operator" ledger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct CondensationCounts {
+    /// Condensations computed by a fresh Tarjan walk.
+    pub computed: u64,
+    /// Closures that reused a cached condensation instead.
+    pub reused: u64,
+}
+
+impl CondensationCounts {
+    /// The movement since an `earlier` snapshot.
+    pub fn since(self, earlier: CondensationCounts) -> CondensationCounts {
+        CondensationCounts {
+            computed: self.computed - earlier.computed,
+            reused: self.reused - earlier.reused,
+        }
+    }
+
+    /// Total cache interactions (computed + reused).
+    pub fn total(self) -> u64 {
+        self.computed + self.reused
+    }
+}
+
+static CONDENSATIONS_COMPUTED: AtomicU64 = AtomicU64::new(0);
+static CONDENSATIONS_REUSED: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static THREAD_CONDENSATIONS: Cell<CondensationCounts> = const {
+        Cell::new(CondensationCounts {
+            computed: 0,
+            reused: 0,
+        })
+    };
+}
+
+/// Record one condensation-cache interaction (called by
+/// [`crate::scc::CondensationCache`]; direct `Condensation::of` calls —
+/// referees, benches timing Tarjan itself — don't pollute the ledger).
+pub(crate) fn record_condensation(reused: bool) {
+    if reused {
+        &CONDENSATIONS_REUSED
+    } else {
+        &CONDENSATIONS_COMPUTED
+    }
+    .fetch_add(1, Ordering::Relaxed);
+    THREAD_CONDENSATIONS.with(|c| {
+        let mut counts = c.get();
+        if reused {
+            counts.reused += 1;
+        } else {
+            counts.computed += 1;
+        }
+        c.set(counts);
+    });
+}
+
+/// Process-wide condensation-cache totals (monotonic).
+pub fn condensation_counts() -> CondensationCounts {
+    CondensationCounts {
+        computed: CONDENSATIONS_COMPUTED.load(Ordering::Relaxed),
+        reused: CONDENSATIONS_REUSED.load(Ordering::Relaxed),
+    }
+}
+
+/// This thread's condensation-cache totals (monotonic); snapshot before
+/// and after an evaluation for an exact per-evaluation delta.
+pub fn thread_condensation_counts() -> CondensationCounts {
+    THREAD_CONDENSATIONS.with(Cell::get)
 }
 
 fn resolve(auto_choice: Kernel, n_nodes: usize) -> Kernel {

@@ -32,6 +32,7 @@ pub mod index;
 pub mod join;
 pub mod kernel;
 pub mod relation;
+pub mod rowops;
 pub mod scc;
 
 pub use bits::BitRelation;
@@ -40,12 +41,15 @@ pub use index::TagIndex;
 pub use join::{
     compose, compose_in, compose_pairs, compose_pairs_bits, compose_pairs_in, compose_pairs_kernel,
     select_pairs_bits, select_pairs_in, select_pairs_kernel, star, star_in, transitive_closure,
-    transitive_closure_bits, transitive_closure_csr, transitive_closure_in,
-    transitive_closure_pairs, transitive_closure_scc, transitive_closure_scc_csr,
+    transitive_closure_bitrel, transitive_closure_bits, transitive_closure_csr,
+    transitive_closure_csr_shared, transitive_closure_in, transitive_closure_pairs,
+    transitive_closure_scc, transitive_closure_scc_csr,
 };
 pub use kernel::{
-    closure_counts, config_warnings, kernel_mode, last_config_warning, record_config_warning,
-    set_kernel_mode, thread_closure_counts, ClosureCounts, Kernel, KernelMode,
+    closure_counts, condensation_counts, config_warnings, kernel_mode, last_config_warning,
+    record_config_warning, set_kernel_mode, thread_closure_counts, thread_condensation_counts,
+    warn_config_fallback, ClosureCounts, CondensationCounts, Kernel, KernelMode,
 };
 pub use relation::{NodePairSet, Relation};
-pub use scc::Condensation;
+pub use rowops::{row_ops_mode, set_row_ops_mode, RowOpsMode};
+pub use scc::{Condensation, CondensationCache};

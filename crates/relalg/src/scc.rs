@@ -31,7 +31,9 @@
 
 use crate::bits::BitRelation;
 use crate::csr::CsrRelation;
+use crate::rowops;
 use rpq_labeling::NodeId;
+use std::cell::OnceCell;
 
 /// The strongly-connected-component decomposition of a relation,
 /// with components numbered in reverse topological order of the
@@ -200,10 +202,7 @@ pub fn transitive_closure_scc(base: &CsrRelation) -> BitRelation {
                     cyclic = true;
                 } else if stamp[s] != c as u32 {
                     stamp[s] = c as u32;
-                    let src = &reach_incl[s * wpr..(s + 1) * wpr];
-                    for (r, &w) in row.iter_mut().zip(src) {
-                        *r |= w;
-                    }
+                    rowops::or_into(&mut row, &reach_incl[s * wpr..(s + 1) * wpr]);
                 }
             }
         }
@@ -224,6 +223,117 @@ pub fn transitive_closure_scc(base: &CsrRelation) -> BitRelation {
         }
     }
     out
+}
+
+/// Transitive closure of `base` scheduled by an *already-computed*
+/// condensation of a super-graph `G ⊇ base` over the same universe —
+/// the "condense once per evaluation" reuse path: a plan evaluating k
+/// tag closures over one run condenses the run's full adjacency once
+/// and schedules every per-tag closure off that component DAG.
+///
+/// Soundness: every edge of `base` is an edge of `G`, so it either
+/// stays inside one `cond` component or points to a *lower* component
+/// id (the reverse-topological invariant). Sweeping components sinks
+/// first therefore sees every cross-component successor row finished.
+/// Unlike [`transitive_closure_scc`], a multi-member component of `G`
+/// need not be strongly connected in `base`, so member rows are
+/// gathered node-wise (`row(u) = ⋃_{v ∈ N(u)} {v} ∪ row(v)`) and
+/// multi-member components run a small local fixpoint restricted to
+/// their members instead of the one-shot member-set OR.
+pub fn transitive_closure_scc_with(cond: &Condensation, base: &CsrRelation) -> BitRelation {
+    let n = base.n_nodes();
+    assert_eq!(
+        cond.n_nodes(),
+        n,
+        "condensation universe ({}) does not match the base relation ({n})",
+        cond.n_nodes()
+    );
+    let mut out = BitRelation::new(n);
+    if n == 0 || base.is_empty() {
+        return out;
+    }
+    let wpr = out.words_per_row();
+    let mut row = vec![0u64; wpr];
+    for c in 0..cond.n_comps() {
+        let members = cond.members(c);
+        if members.len() == 1 {
+            let u = members[0];
+            if base.neighbors_raw(u).is_empty() {
+                // Source-less rows stay all-zero: per-tag sub-relations
+                // are sparse in the run universe, and skipping the
+                // gather + copy here is what makes the reused sweep
+                // scale with the base instead of the node count.
+                continue;
+            }
+            row.fill(0);
+            for &v in base.neighbors_raw(u) {
+                row[(v >> 6) as usize] |= 1 << (v & 63);
+                rowops::or_into(&mut row, out.row(v as usize));
+            }
+            out.row_mut(u as usize).copy_from_slice(&row);
+        } else {
+            if members.iter().all(|&u| base.neighbors_raw(u).is_empty()) {
+                continue;
+            }
+            // Members may depend on each other in either direction
+            // (the super-graph cycle need not survive in `base`):
+            // iterate to a local fixpoint. External rows are final, so
+            // rounds are bounded by the longest base path inside the
+            // component.
+            loop {
+                let mut changed = false;
+                for &u in members {
+                    if base.neighbors_raw(u).is_empty() {
+                        continue;
+                    }
+                    row.fill(0);
+                    for &v in base.neighbors_raw(u) {
+                        row[(v >> 6) as usize] |= 1 << (v & 63);
+                        rowops::or_into(&mut row, out.row(v as usize));
+                    }
+                    changed |= rowops::or_into_changed(out.row_mut(u as usize), &row);
+                }
+                if !changed {
+                    break;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// An evaluation-scoped, lazily-computed condensation: the first
+/// SCC-kernel closure of an evaluation runs Tarjan over the run's full
+/// adjacency, every later closure in the same evaluation reuses the
+/// component DAG via [`transitive_closure_scc_with`]. Both outcomes
+/// are counted ([`crate::condensation_counts`] /
+/// [`crate::thread_condensation_counts`]), so `EvalMeta` can report
+/// reuse as fact. One cache serves exactly one graph — callers create
+/// it per (evaluation, run) pair.
+#[derive(Debug, Default)]
+pub struct CondensationCache {
+    cond: OnceCell<Condensation>,
+}
+
+impl CondensationCache {
+    /// An empty cache (nothing condensed yet).
+    pub fn new() -> CondensationCache {
+        CondensationCache {
+            cond: OnceCell::new(),
+        }
+    }
+
+    /// The cached condensation, computing it from `g` on first use.
+    /// Every call records into the computed/reused ledger.
+    pub fn condensation(&self, g: &CsrRelation) -> &Condensation {
+        let mut computed = false;
+        let cond = self.cond.get_or_init(|| {
+            computed = true;
+            Condensation::of(g)
+        });
+        crate::kernel::record_condensation(!computed);
+        cond
+    }
 }
 
 #[cfg(test)]

@@ -165,6 +165,52 @@ proptest! {
         prop_assert_eq!(&maintained, &merged_bits.transitive_closure());
     }
 
+    // Row-ops differential: every bit-kernel operator must be
+    // byte-identical under the blocked (4×u64) and scalar word loops,
+    // and both must match the pairs referee. Covers all six rowops
+    // primitives through their real call sites: compose (`or_into`),
+    // closure (`claim_new` / `or_into_changed`), union (`or_into`),
+    // difference (`andnot_into`) and delta maintenance (`or2_into` /
+    // `claim_new_accum`).
+    #[test]
+    fn row_ops_modes_agree_with_the_pairs_referee(
+        a in relation(90, 120),
+        b in relation(90, 120),
+        delta in relation(96, 40),
+    ) {
+        let before = rpq_relalg::row_ops_mode();
+        let compose_ref = compose_pairs_kernel(&a, &b);
+        let closure_ref = transitive_closure_pairs(&a);
+        let union_ref = a.union(&b);
+        let diff_ref: NodePairSet =
+            a.iter().filter(|&(u, v)| !b.contains(u, v)).collect();
+        let merged = a.union(&delta);
+        for mode in [rpq_relalg::RowOpsMode::Blocked, rpq_relalg::RowOpsMode::Scalar] {
+            rpq_relalg::set_row_ops_mode(mode);
+            let name = mode.name();
+            prop_assert_eq!(
+                &compose_pairs_bits(&a, &b, 90), &compose_ref, "compose under {}", name);
+            prop_assert_eq!(
+                &transitive_closure_bits(&a, 90), &closure_ref, "closure under {}", name);
+            let ab = BitRelation::from_pairs(&a, 90);
+            let bb = BitRelation::from_pairs(&b, 90);
+            prop_assert_eq!(&ab.union(&bb).to_pairs(), &union_ref, "union under {}", name);
+            prop_assert_eq!(
+                &ab.difference(&bb).to_pairs(), &diff_ref, "difference under {}", name);
+            let merged_bits = BitRelation::from_pairs(&merged, 96);
+            let maintained = ab
+                .transitive_closure()
+                .grow(96)
+                .extend_closure(&merged_bits, &delta);
+            prop_assert_eq!(
+                &maintained,
+                &merged_bits.transitive_closure(),
+                "extend_closure under {}", name
+            );
+        }
+        rpq_relalg::set_row_ops_mode(before);
+    }
+
     #[test]
     fn csr_and_bits_round_trip(r in relation(100, 150)) {
         prop_assert_eq!(&CsrRelation::from_pairs(&r, 100).to_pairs(), &r);

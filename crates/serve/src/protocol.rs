@@ -50,8 +50,13 @@ pub const MAGIC: [u8; 4] = *b"RPQN";
 /// strategy / expansion counters in [`WireStatsReply`] — and chunked
 /// subscription pushes: a [`WireResponse::DeltaStream`] header followed
 /// by [`WireResponse::Chunk`] frames when one delta outgrows the
-/// server's chunk bound.)
-pub const VERSION: u8 = 6;
+/// server's chunk bound; v7 added the shared-condensation counters —
+/// [`WireOutcome::condensations_computed`] /
+/// [`WireOutcome::condensations_reused`] per request plus their
+/// process-wide twins in [`WireStatsReply`] — and the persisted
+/// plan-cache counters [`WireStatsReply::plan_reloads`] /
+/// [`WireStatsReply::plan_rebuilds`].)
+pub const VERSION: u8 = 7;
 
 /// Hard cap on one frame's payload (64 MiB) — bounds the allocation a
 /// length prefix can demand before a single payload byte is read.
@@ -291,6 +296,11 @@ pub struct WireOutcome {
     pub closure_bits: u64,
     /// Closures run through the Tarjan condensation pass.
     pub closure_scc: u64,
+    /// SCC condensations this evaluation computed from scratch.
+    pub condensations_computed: u64,
+    /// SCC condensations this evaluation reused from the run-scoped
+    /// condensation cache instead of recomputing.
+    pub condensations_reused: u64,
     /// Candidate nodes the request ranged over.
     pub nodes_touched: u64,
     /// `lazy` or `materialized` — the *resolved* evaluation strategy
@@ -332,6 +342,8 @@ impl WireOutcome {
             closure_pairs: outcome.meta.closures.pairs,
             closure_bits: outcome.meta.closures.bits,
             closure_scc: outcome.meta.closures.scc,
+            condensations_computed: outcome.meta.condensations.computed,
+            condensations_reused: outcome.meta.condensations.reused,
             nodes_touched: outcome.meta.nodes_touched as u64,
             strategy: outcome.meta.strategy.name().to_owned(),
             product_states: outcome.meta.product_states,
@@ -443,6 +455,17 @@ pub struct WireStatsReply {
     pub closures_bits: u64,
     /// Process-wide closures run by the Tarjan condensation pass.
     pub closures_scc: u64,
+    /// Process-wide SCC condensations computed from scratch
+    /// (`rpq_relalg::condensation_counts`).
+    pub condensations_computed: u64,
+    /// Process-wide SCC condensations answered by the run-scoped
+    /// condensation cache.
+    pub condensations_reused: u64,
+    /// Compiled plans decoded warm from the store's persisted plan
+    /// cache ([`rpq_store::StoreStats`]).
+    pub plan_reloads: u64,
+    /// Compiled plans built cold and persisted for the next process.
+    pub plan_rebuilds: u64,
     /// The store's catalog epoch — a monotonic counter bumped on every
     /// catalog-visible mutation (ingest, append, remove, gc).
     pub store_epoch: u64,
@@ -976,6 +999,8 @@ mod tests {
                 closure_pairs: 0,
                 closure_bits: 1,
                 closure_scc: 2,
+                condensations_computed: 1,
+                condensations_reused: 3,
                 nodes_touched: 2,
                 strategy: "materialized".to_owned(),
                 product_states: 0,
@@ -1012,6 +1037,8 @@ mod tests {
             closure_pairs: 0,
             closure_bits: 0,
             closure_scc: 0,
+            condensations_computed: 0,
+            condensations_reused: 0,
             nodes_touched: 9,
             strategy: "lazy".to_owned(),
             product_states: 120,
@@ -1083,6 +1110,17 @@ mod tests {
             strategy_lazy: 12,
             strategy_materialized: 30,
             lazy_expansions: 4096,
+            ..WireStatsReply::default()
+        }));
+    }
+
+    #[test]
+    fn v7_condensation_and_plan_cache_counters_round_trip() {
+        round_trip(WireResponse::Stats(WireStatsReply {
+            condensations_computed: 3,
+            condensations_reused: 9,
+            plan_reloads: 2,
+            plan_rebuilds: 1,
             ..WireStatsReply::default()
         }));
     }

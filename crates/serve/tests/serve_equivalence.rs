@@ -376,6 +376,64 @@ fn shutdown_drains_a_continuously_busy_connection() {
 }
 
 #[test]
+fn restart_reloads_persisted_plans_warm() {
+    let dir = temp_dir("plan_warm");
+    let spec = Arc::new(rpq_workloads::paper_examples::fig2_spec());
+    let store = RunStore::create(&dir, Arc::clone(&spec)).unwrap();
+    let run = RunBuilder::new(&spec)
+        .seed(7)
+        .target_edges(60)
+        .build()
+        .unwrap();
+    store.ingest(&run).unwrap();
+    let spec_q = |query: &str| QuerySpec {
+        query: query.to_owned(),
+        policy: String::new(),
+        strategy: String::new(),
+        stages: false,
+        run: RunAddr::Index(0),
+        mode: WireMode::EntryExit,
+    };
+
+    // Cold process: the first prepare compiles the plan and persists it
+    // beside the index artifacts.
+    let server = Server::bind(store, &ServeConfig::default()).unwrap();
+    server.warm().unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = server.shutdown_handle();
+    let serving = std::thread::spawn(move || server.run(None));
+    let mut client = connect(addr);
+    let cold = client.query(spec_q("_* e _*")).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.plan_rebuilds, 1, "first prepare compiles cold");
+    assert_eq!(stats.plan_reloads, 0);
+    handle.shutdown();
+    serving.join().unwrap();
+
+    // Restarted process: warm() pulls the persisted plan back through
+    // the store tier — no recompilation — and the warm answer matches
+    // the cold one.
+    let reopened = RunStore::open(&dir).unwrap();
+    let server = Server::bind(reopened, &ServeConfig::default()).unwrap();
+    server.warm().unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = server.shutdown_handle();
+    let serving = std::thread::spawn(move || server.run(None));
+    let mut client = connect(addr);
+    let warm = client.query(spec_q("_* e _*")).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.plan_reloads, 1, "restart decodes the persisted plan");
+    assert_eq!(
+        stats.plan_rebuilds, 0,
+        "nothing recompiles on the warm path"
+    );
+    assert_eq!(cold.result, warm.result);
+    handle.shutdown();
+    serving.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn shutdown_handle_stops_an_idle_server() {
     let dir = temp_dir("handle");
     let spec = Arc::new(rpq_workloads::paper_examples::fig2_spec());

@@ -56,7 +56,7 @@ pub mod live;
 
 pub use live::{Appended, LiveSnapshot, OpenRun};
 
-use rpq_core::{RpqError, RunRef, RunSource};
+use rpq_core::{PlanStore, RpqError, RunRef, RunSource, SafeQueryPlan, SubqueryPolicy};
 use rpq_grammar::Specification;
 use rpq_labeling::Run;
 use rpq_relalg::{CsrIndex, TagIndex};
@@ -114,6 +114,12 @@ pub struct StoreStats {
     /// Appends whose churn exceeded the threshold, forcing a full
     /// artifact rebuild instead of the incremental delta path.
     pub append_rebuilds: u64,
+    /// Compiled safe plans decoded from persisted artifacts (the warm
+    /// path: a restarted process reuses plans a previous one compiled).
+    pub plan_reloads: u64,
+    /// Safe plans compiled cold (no valid persisted artifact; the
+    /// fresh plan is persisted for next time).
+    pub plan_rebuilds: u64,
     /// The catalog epoch: a monotonic mutation counter bumped (and
     /// persisted) on every catalog-visible change — ingest, append,
     /// removal, orphan pruning. Clients cache against it: an unchanged
@@ -136,6 +142,8 @@ impl StoreStats {
             orphans_pruned: self.orphans_pruned - earlier.orphans_pruned,
             appended: self.appended - earlier.appended,
             append_rebuilds: self.append_rebuilds - earlier.append_rebuilds,
+            plan_reloads: self.plan_reloads - earlier.plan_reloads,
+            plan_rebuilds: self.plan_rebuilds - earlier.plan_rebuilds,
             // The epoch is a level, not a rate, but it is monotonic, so
             // the difference reads as "catalog mutations since".
             epoch: self.epoch - earlier.epoch,
@@ -347,6 +355,11 @@ pub struct RunStore {
     orphans_pruned: AtomicU64,
     appended: AtomicU64,
     append_rebuilds: AtomicU64,
+    plan_reloads: AtomicU64,
+    plan_rebuilds: AtomicU64,
+    /// FNV-1a of the spec's JSON rendering: binds persisted plans to
+    /// *this* store's specification (see [`PersistedPlan::spec_fp`]).
+    spec_fp: u64,
 }
 
 /// One run's catalog row, as exposed to clients ([`RunStore::metas`]):
@@ -377,7 +390,7 @@ impl RunStore {
                 "directory {dir:?} already holds a run store; use open"
             )));
         }
-        for sub in ["runs", "index", "catalog"] {
+        for sub in ["runs", "index", "catalog", "plans"] {
             std::fs::create_dir_all(dir.join(sub))
                 .map_err(|e| RpqError::io(format!("cannot create store directory {dir:?}"), e))?;
         }
@@ -552,6 +565,11 @@ impl RunStore {
         sharded: bool,
         shard_bits: u32,
     ) -> RunStore {
+        // The spec's serialized form is deterministic (ordered field
+        // maps), so its hash is a stable cross-process fingerprint.
+        let spec_fp = serde_json::to_string(spec.as_ref())
+            .map(|json| fnv1a(json.as_bytes()))
+            .unwrap_or(0);
         let by_fingerprint = catalog
             .entries
             .iter()
@@ -580,6 +598,9 @@ impl RunStore {
             orphans_pruned: AtomicU64::new(0),
             appended: AtomicU64::new(0),
             append_rebuilds: AtomicU64::new(0),
+            plan_reloads: AtomicU64::new(0),
+            plan_rebuilds: AtomicU64::new(0),
+            spec_fp,
         }
     }
 
@@ -696,6 +717,8 @@ impl RunStore {
             orphans_pruned: self.orphans_pruned.load(Ordering::Relaxed),
             appended: self.appended.load(Ordering::Relaxed),
             append_rebuilds: self.append_rebuilds.load(Ordering::Relaxed),
+            plan_reloads: self.plan_reloads.load(Ordering::Relaxed),
+            plan_rebuilds: self.plan_rebuilds.load(Ordering::Relaxed),
             epoch: self.epoch(),
         }
     }
@@ -1042,6 +1065,58 @@ impl RunStore {
         codec::from_bytes(&bytes).ok()
     }
 
+    // -- plan cache ----------------------------------------------------
+
+    /// Every valid persisted plan's `(query source, policy)` — what a
+    /// service warms its session with at startup: re-preparing each
+    /// pair pulls the persisted plan through [`PlanStore::load`] into
+    /// the session's in-memory cache without recompiling. Unreadable,
+    /// outdated or foreign-spec files are skipped silently (they fall
+    /// back to recompile-on-demand, never an error).
+    pub fn persisted_plans(&self) -> Vec<(String, SubqueryPolicy)> {
+        let mut out = Vec::new();
+        let Ok(entries) = std::fs::read_dir(self.plans_dir()) else {
+            return out;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if !name.starts_with("plan-") || !name.ends_with(".bin") {
+                continue;
+            }
+            let Ok(bytes) = std::fs::read(entry.path()) else {
+                continue;
+            };
+            let Ok(persisted) = codec::from_bytes::<PersistedPlan>(&bytes) else {
+                continue;
+            };
+            if persisted.version != PLAN_VERSION || persisted.spec_fp != self.spec_fp {
+                continue;
+            }
+            if let Some(policy) = SubqueryPolicy::from_cli_name(&persisted.policy) {
+                out.push((persisted.source, policy));
+            }
+        }
+        // Directory order is filesystem-dependent; warm deterministically.
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    fn plans_dir(&self) -> PathBuf {
+        self.dir.join("plans")
+    }
+
+    /// One file per (canonical query, policy, spec) key. The filename
+    /// is the key's hash; the full key is stored inside the file and
+    /// re-checked on load, so a hash collision (or a copied file)
+    /// degrades to a recompile, never a wrong plan.
+    fn plan_path(&self, canon: &str, policy: SubqueryPolicy) -> PathBuf {
+        let mut h = fnv1a(canon.as_bytes());
+        h ^= fnv1a(policy.cli_name().as_bytes()).rotate_left(1);
+        h ^= self.spec_fp.rotate_left(2);
+        self.plans_dir().join(format!("plan-{h:016x}.bin"))
+    }
+
     // -- paths & persistence -------------------------------------------
 
     fn run_path(&self, id: RunId) -> PathBuf {
@@ -1129,6 +1204,82 @@ impl RunStore {
             json.as_bytes(),
         )
     }
+}
+
+/// Persisted-plan schema version; files with another version fall back
+/// to recompile.
+const PLAN_VERSION: u32 = 1;
+
+/// The persisted form of one compiled safe plan (`plans/plan-*.bin`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct PersistedPlan {
+    version: u32,
+    /// Normalized-AST rendering — the cache key ([`Session`] plan-cache
+    /// keying uses the same canonicalization).
+    canon: String,
+    /// Re-parseable display rendering, for warm-at-startup.
+    source: String,
+    /// The subquery policy's CLI name.
+    policy: String,
+    /// Fingerprint of the owning store's specification: a plan file
+    /// copied between stores of different specs must fail key
+    /// validation rather than decode for the wrong grammar.
+    spec_fp: u64,
+    plan: SafeQueryPlan,
+}
+
+/// The durable safe-plan tier ([`rpq_core::PlanStore`]): compiled plans
+/// persist beside the index artifacts, keyed by (normalized query,
+/// policy, spec fingerprint), with the same tamper-fallback-to-rebuild
+/// contract the CSR artifacts have. Attach with
+/// `Session::with_plan_store` to make prepared safe plans survive
+/// process restarts.
+impl PlanStore for RunStore {
+    fn load(&self, canon: &str, policy: SubqueryPolicy) -> Option<SafeQueryPlan> {
+        let _span = rpq_obs::Trace::span("store_load");
+        let bytes = std::fs::read(self.plan_path(canon, policy)).ok()?;
+        let persisted: PersistedPlan = codec::from_bytes(&bytes).ok()?;
+        if persisted.version != PLAN_VERSION
+            || persisted.canon != canon
+            || persisted.policy != policy.cli_name()
+            || persisted.spec_fp != self.spec_fp
+        {
+            return None;
+        }
+        // Restore validates every structural invariant against the
+        // spec and rebuilds the skipped power tables; a tampered or
+        // truncated payload fails here and recompiles.
+        let plan = persisted.plan.restore(&self.spec).ok()?;
+        self.plan_reloads.fetch_add(1, Ordering::Relaxed);
+        Some(plan)
+    }
+
+    fn store(&self, canon: &str, source: &str, policy: SubqueryPolicy, plan: &SafeQueryPlan) {
+        // The compile already happened — that is what the rebuild
+        // counter measures; persistence is best-effort on top.
+        self.plan_rebuilds.fetch_add(1, Ordering::Relaxed);
+        let persisted = PersistedPlan {
+            version: PLAN_VERSION,
+            canon: canon.to_owned(),
+            source: source.to_owned(),
+            policy: policy.cli_name().to_owned(),
+            spec_fp: self.spec_fp,
+            plan: plan.clone(),
+        };
+        // Stores created by older builds lack `plans/`.
+        let _ = std::fs::create_dir_all(self.plans_dir());
+        let _ = write_atomic(&self.plan_path(canon, policy), &codec::to_bytes(&persisted));
+    }
+}
+
+/// 64-bit FNV-1a: key hashing for plan files and the spec fingerprint.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// Write-then-rename so readers never observe a torn file: the catalog
@@ -1276,6 +1427,61 @@ mod tests {
         tampered.artifacts(id).unwrap();
         assert_eq!(tampered.stats().tag_rebuilds, 1);
         assert_eq!(tampered.stats().csr_reloads, 1);
+    }
+
+    #[test]
+    fn plans_persist_reload_and_fall_back_on_tamper() {
+        let dir = temp_dir("plans");
+        let spec = Arc::new(spec());
+        let store = Arc::new(RunStore::create(&dir, Arc::clone(&spec)).unwrap());
+        let session = rpq_core::Session::new(store.spec_arc())
+            .with_plan_store(Arc::clone(&store) as Arc<dyn PlanStore>);
+
+        // Cold: the safe plan compiles and persists.
+        let q = session.prepare("_* e _*").unwrap();
+        assert!(q.plan().is_safe());
+        assert_eq!(store.stats().plan_rebuilds, 1);
+        assert_eq!(store.stats().plan_reloads, 0);
+        // Session cache hit: no further store traffic, any spelling.
+        session.prepare("_*  e  _*").unwrap();
+        assert_eq!(store.stats().plan_rebuilds, 1);
+        // Composite (unsafe) and leaf queries bypass the durable tier.
+        assert!(!session.prepare("_* a _*").unwrap().plan().is_safe());
+        session.prepare("e").unwrap();
+        assert_eq!(store.stats().plan_rebuilds, 1);
+        assert_eq!(
+            store.persisted_plans(),
+            vec![("_* e _*".to_owned(), SubqueryPolicy::CostBased)]
+        );
+
+        // Restart: a fresh store + session reload instead of recompiling.
+        let store2 = Arc::new(RunStore::open(&dir).unwrap());
+        let session2 = rpq_core::Session::new(store2.spec_arc())
+            .with_plan_store(Arc::clone(&store2) as Arc<dyn PlanStore>);
+        let q2 = session2.prepare("_* e _*").unwrap();
+        assert_eq!(store2.stats().plan_reloads, 1);
+        assert_eq!(store2.stats().plan_rebuilds, 0);
+        // The reloaded plan (rebuilt power tables included) answers
+        // exactly like the freshly compiled one on a deep-recursion run.
+        let run = run_of(&spec, 5);
+        let (fresh, reloaded) = (q.safe_plan().unwrap(), q2.safe_plan().unwrap());
+        for u in run.node_ids() {
+            for v in run.node_ids() {
+                assert_eq!(fresh.pairwise(&run, u, v), reloaded.pairwise(&run, u, v));
+            }
+        }
+
+        // Tampered plan files fall back to recompile, never an error.
+        for entry in std::fs::read_dir(store.dir().join("plans")).unwrap() {
+            std::fs::write(entry.unwrap().path(), b"garbage").unwrap();
+        }
+        let store3 = Arc::new(RunStore::open(&dir).unwrap());
+        assert!(store3.persisted_plans().is_empty());
+        let session3 = rpq_core::Session::new(store3.spec_arc())
+            .with_plan_store(Arc::clone(&store3) as Arc<dyn PlanStore>);
+        assert!(session3.prepare("_* e _*").unwrap().plan().is_safe());
+        assert_eq!(store3.stats().plan_reloads, 0);
+        assert_eq!(store3.stats().plan_rebuilds, 1);
     }
 
     #[test]

@@ -132,8 +132,10 @@ impl RunStore {
         let run = self.run(id)?;
         let (tag, csr) = self.artifacts(id)?;
         let n = run.n_nodes();
+        // Kernel-dispatched warm fixpoint: an auto-eligible run
+        // condenses here instead of paying the semi-naive rounds.
         let reach = kernel::bits_representable(n)
-            .then(|| Arc::new(BitRelation::from_pairs(tag.all_edges(), n).transitive_closure()));
+            .then(|| Arc::new(rpq_relalg::transitive_closure_bitrel(tag.all_edges(), n)));
         let handle = Arc::new(OpenRun {
             store: Arc::clone(self),
             id,
@@ -235,8 +237,15 @@ impl OpenRun {
 
         let (tag, csr, reach) = if rebuilt {
             let tag = TagIndex::build(&run, self.store.spec().n_tags());
+            // A churn-triggered rebuild refixpoints from scratch, so it
+            // goes through the same `choose_closure` dispatch as
+            // evaluation-time closures rather than hardcoding the
+            // semi-naive path.
             let reach = kernel::bits_representable(n_nodes).then(|| {
-                Arc::new(BitRelation::from_pairs(tag.all_edges(), n_nodes).transitive_closure())
+                Arc::new(rpq_relalg::transitive_closure_bitrel(
+                    tag.all_edges(),
+                    n_nodes,
+                ))
             });
             let csr = CsrIndex::build(&tag);
             (Arc::new(tag), Arc::new(csr), reach)
@@ -487,6 +496,49 @@ mod tests {
         assert_eq!(out.seq, 2);
         assert_eq!(store.epoch(), epoch);
         assert_eq!(store.stats().appended, 2);
+    }
+
+    #[test]
+    fn rebuilds_route_the_closure_through_kernel_dispatch() {
+        // Regression: the open-time warm fixpoint and the
+        // churn-triggered rebuild both hardcoded the semi-naive bit
+        // fixpoint, so an SCC-eligible run never condensed on the
+        // live path. Both now go through `choose_closure`; under a
+        // forced-scc mode the closure counters must say so.
+        let dir = temp_dir("rebuild_dispatch");
+        let spec = Arc::new(spec());
+        let full = run_of(&spec, 13, 90);
+        let (base, batches) = event_stream(&full, 2).unwrap();
+        let store = Arc::new(RunStore::create(&dir, Arc::clone(&spec)).unwrap());
+        let id = store.ingest(&base).unwrap().id;
+
+        let mode_before = rpq_relalg::kernel_mode();
+        rpq_relalg::set_kernel_mode(rpq_relalg::KernelMode::ForceScc);
+        let before = rpq_relalg::thread_closure_counts();
+        let open = store.open_run(id).unwrap();
+        let opened = rpq_relalg::thread_closure_counts().since(before);
+        assert_eq!(
+            opened.scc, 1,
+            "open-time fixpoint must dispatch: {opened:?}"
+        );
+        assert_eq!(opened.bits, 0, "{opened:?}");
+
+        // Churn threshold 0: the append rebuilds, and the rebuilt
+        // closure dispatches too.
+        open.set_churn_percent(0);
+        let before = rpq_relalg::thread_closure_counts();
+        let out = open.append_events(&batches[0]).unwrap();
+        assert!(out.rebuilt);
+        let rebuilt = rpq_relalg::thread_closure_counts().since(before);
+        assert_eq!(rebuilt.scc, 1, "rebuild must dispatch: {rebuilt:?}");
+        assert_eq!(rebuilt.bits, 0, "{rebuilt:?}");
+
+        // Same closure as a semi-naive refixpoint, algorithm aside.
+        let snap = open.snapshot();
+        let referee =
+            BitRelation::from_pairs(snap.tag.all_edges(), snap.run.n_nodes()).transitive_closure();
+        assert_eq!(*snap.reach.as_ref().unwrap().as_ref(), referee);
+        rpq_relalg::set_kernel_mode(mode_before);
     }
 
     #[test]

@@ -439,6 +439,14 @@ fn cmd_query(args: &[String]) -> Result<String, RpqError> {
         if meta.closures.total() > 0 {
             writeln!(out, "closures: {}", meta.closures.summary()).expect("write to string");
         }
+        if meta.condensations.total() > 0 {
+            writeln!(
+                out,
+                "condensations: {} computed, {} reused",
+                meta.condensations.computed, meta.condensations.reused
+            )
+            .expect("write to string");
+        }
         if meta.strategy == EvalStrategy::Lazy {
             writeln!(
                 out,
@@ -731,11 +739,14 @@ fn cmd_batch(args: &[String]) -> Result<String, RpqError> {
     .expect("write to string");
     writeln!(
         out,
-        "store: tag reloads {}, csr reloads {}, tag rebuilds {}, csr rebuilds {}",
+        "store: tag reloads {}, csr reloads {}, tag rebuilds {}, csr rebuilds {}, \
+         plan reloads {}, plan rebuilds {}",
         store_stats.tag_reloads,
         store_stats.csr_reloads,
         store_stats.tag_rebuilds,
-        store_stats.csr_rebuilds
+        store_stats.csr_rebuilds,
+        store_stats.plan_reloads,
+        store_stats.plan_rebuilds
     )
     .expect("write to string");
     writeln!(
@@ -971,8 +982,9 @@ fn cmd_request(args: &[String]) -> Result<String, RpqError> {
                  service: {} connection(s), {} request(s), {} overloaded, {} error(s)\n\
                  session: plan {}h/{}m, index {}h/{}m, csr {}h/{}m, {} eviction(s)\n\
                  store:   tag reloads {}, csr reloads {}, tag rebuilds {}, csr rebuilds {}\n\
+                 plans:   {} reload(s) from disk, {} cold rebuild(s)\n\
                  live:    epoch {}, {} append(s) ({} forced rebuild(s)), {} subscription(s)\n\
-                 closures: pairs {}, bits {}, scc {}\n\
+                 closures: pairs {}, bits {}, scc {} (condensations: {} computed, {} reused)\n\
                  strategy: lazy {}, materialized {}, {} product state(s) expanded\n\
                  retries: {} reconnect/failover backoff(s), {} config warning(s)\n",
                 s.store_runs,
@@ -991,6 +1003,8 @@ fn cmd_request(args: &[String]) -> Result<String, RpqError> {
                 s.csr_reloads,
                 s.tag_rebuilds,
                 s.csr_rebuilds,
+                s.plan_reloads,
+                s.plan_rebuilds,
                 s.store_epoch,
                 s.appends,
                 s.append_rebuilds,
@@ -998,6 +1012,8 @@ fn cmd_request(args: &[String]) -> Result<String, RpqError> {
                 s.closures_pairs,
                 s.closures_bits,
                 s.closures_scc,
+                s.condensations_computed,
+                s.condensations_reused,
                 s.strategy_lazy,
                 s.strategy_materialized,
                 s.lazy_expansions,
@@ -1190,6 +1206,14 @@ fn cmd_request_query(
             out,
             "closures: pairs:{} bits:{} scc:{}",
             outcome.closure_pairs, outcome.closure_bits, outcome.closure_scc
+        )
+        .expect("write to string");
+    }
+    if outcome.condensations_computed + outcome.condensations_reused > 0 {
+        writeln!(
+            out,
+            "condensations: {} computed, {} reused",
+            outcome.condensations_computed, outcome.condensations_reused
         )
         .expect("write to string");
     }
